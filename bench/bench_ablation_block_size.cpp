@@ -1,0 +1,49 @@
+// Ablation: zig-zag block size. Sweeps the block (number of sequences
+// traversing the layers together) for FlexGen and LM-Offload at fixed
+// generation length — larger blocks amortize per-step weight streaming
+// until memory capacity (or CPU-attention time) takes over.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lmo/core/lm_offload.hpp"
+#include "lmo/sched/flexgen.hpp"
+#include "lmo/util/check.hpp"
+
+int main() {
+  using namespace lmo;
+  using bench::fmt;
+
+  const auto spec = model::ModelSpec::opt_30b();
+  const auto platform = hw::Platform::a100_single();
+
+  bench::print_header(
+      "Ablation — zig-zag block size (OPT-30B, s=64, n=32, A100)");
+
+  util::Table table({"block", "batches", "FlexGen tput", "LM-Offload tput",
+                     "LMO advantage"});
+  for (std::int64_t nb : {1, 2, 5, 10, 20, 28}) {
+    model::Workload w{.prompt_len = 64, .gen_len = 32, .gpu_batch = 64,
+                      .num_batches = nb};
+    std::string fg_str = "infeasible";
+    double fg_tput = 0.0;
+    try {
+      fg_tput = sched::FlexGen::run(spec, w, platform).throughput;
+      fg_str = fmt(fg_tput, 1);
+    } catch (const util::CheckError&) {
+    }
+    const auto lmo = core::LMOffload::run(spec, w, platform);
+    table.add_row({std::to_string(w.block_size()), std::to_string(nb),
+                   fg_str, fmt(lmo.throughput, 1),
+                   fg_tput > 0.0 ? fmt(lmo.throughput / fg_tput, 2) + "x"
+                                 : "-"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThroughput grows with the block while weight streaming "
+               "amortizes, then flattens once the CPU-attention scan or "
+               "PCIe cache streaming dominates; memory capacity caps the "
+               "usable block. Non-monotonic LM-Offload points mark the "
+               "search switching between CPU- and GPU-attention policies "
+               "at block-size crossovers.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation: operator bundling (paper §4.2 — "we bundle small operators
+// when throttling parallelism to avoid cache thrashing"). Bundling fuses
+// dispatch-dominated small ops into their producers; its benefit scales
+// with how small the operators are. We sweep the operator granularity from
+// micro-batch decode (ops of a few microseconds, where the paper says "the
+// overhead of thread scheduling can easily kill the performance") up to
+// full-block ops where dispatch is negligible.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lmo/parallel/bundling.hpp"
+#include "lmo/parallel/parallelism_search.hpp"
+#include "lmo/parallel/scaling.hpp"
+
+int main() {
+  using namespace lmo;
+  using bench::fmt;
+
+  const auto platform = hw::Platform::a100_single();
+  const parallel::ThreadScalingModel scaling(platform.cpu);
+
+  bench::print_header(
+      "Ablation — operator bundling vs operator granularity "
+      "(attention compute task, 3 co-resident batches, intra-op 8)");
+
+  util::Table table({"batch/op", "hidden", "raw ops", "bundles",
+                     "makespan raw (us)", "makespan bundled (us)",
+                     "speedup"});
+  struct Scale {
+    std::int64_t batch;
+    std::int64_t hidden;
+  };
+  for (const Scale& s : {Scale{1, 256}, Scale{1, 1024}, Scale{4, 2048},
+                         Scale{16, 4096}, Scale{64, 7168}}) {
+    model::AttentionGraphParams params;
+    params.hidden = s.hidden;
+    params.seq_len = 68;
+    params.batch = s.batch;
+    params.num_batches = 3;
+    auto raw = model::build_attention_graph(params);
+
+    auto bundled_src = raw;
+    const int bundles = parallel::bundle_small_ops(bundled_src);
+    const auto bundled = parallel::bundled_graph(bundled_src);
+
+    const int intra = 8;
+    const auto times = [&](const model::OpNode& op) {
+      return scaling.op_seconds(op, intra, intra * 3);
+    };
+    const double makespan_raw =
+        parallel::schedule_compute_graph(raw, 3, times);
+    const double makespan_bundled =
+        parallel::schedule_compute_graph(bundled, 3, times);
+
+    table.add_row({std::to_string(s.batch), std::to_string(s.hidden),
+                   std::to_string(raw.size()), std::to_string(bundles),
+                   fmt(makespan_raw * 1e6, 1),
+                   fmt(makespan_bundled * 1e6, 1),
+                   fmt(makespan_raw / makespan_bundled, 3) + "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAt micro-batch scale the fused KVAppend/Softmax chains "
+               "save their per-op dispatch cost (the paper's rationale); "
+               "at full-block scale ops are milliseconds long and bundling "
+               "is neutral — it never hurts because Q/K/V parallelism is "
+               "preserved.\n";
+  return 0;
+}

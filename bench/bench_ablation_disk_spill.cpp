@@ -1,0 +1,55 @@
+// Ablation: three-tier weight placement. Sweeps the fraction of weights
+// spilled from host memory to NVMe for a model that does not fit host
+// memory at full block — quantifying the cost of each spilled percent and
+// the break-even against shrinking the batch instead.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lmo/perfmodel/estimator.hpp"
+#include "lmo/sched/schedule_builder.hpp"
+#include "lmo/util/check.hpp"
+
+int main() {
+  using namespace lmo;
+  using bench::fmt;
+
+  const auto spec = model::ModelSpec::opt_66b();
+  const model::Workload w{.prompt_len = 64, .gen_len = 32, .gpu_batch = 64,
+                          .num_batches = 10};
+  const auto platform = hw::Platform::a100_single();
+
+  bench::print_header(
+      "Ablation — disk spill fraction for OPT-66B fp16 (block 640, "
+      "240 GB host memory, NVMe at 3 GB/s)");
+
+  util::Table table({"weights on disk", "CPU resident", "fits", "tput "
+                     "(tok/s)", "disk task/step (s)"});
+  for (double wd : {0.0, 0.1, 0.25, 0.4, 0.6}) {
+    perfmodel::Policy p;
+    p.weights_on_gpu = 0.1;
+    p.weights_on_disk = wd;
+    p.attention_on_cpu = true;
+    const auto est = perfmodel::estimate(spec, w, p, platform);
+    std::string tput = "-";
+    std::string disk_time = "-";
+    if (est.fits) {
+      const auto des = sched::simulate(spec, w, p, platform, "x");
+      tput = fmt(des.throughput, 1);
+      disk_time = fmt(est.mid_step.load_weight_disk *
+                          static_cast<double>(spec.num_layers),
+                      2);
+    }
+    table.add_row({fmt(wd * 100, 0) + "%",
+                   util::format_bytes(
+                       perfmodel::cpu_resident_bytes(spec, w, p)),
+                   est.fits ? "yes" : "no", tput, disk_time});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nfp16 OPT-66B needs some spill to fit the host at block "
+               "640; each additional spilled fraction costs decode "
+               "throughput once the 3 GB/s NVMe read becomes the per-layer "
+               "bottleneck. LM-Offload avoids the spill entirely by "
+               "4-bit-compressing host weights.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: group-wise quantization configuration. Sweeps bit width ×
+// group size on the *real* kernel, reporting compression ratio (payload +
+// per-group metadata), reconstruction error, and kernel time — the
+// trade-off behind the library's group-64 / 4-bit default.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lmo/tensor/quantize.hpp"
+#include "lmo/util/rng.hpp"
+
+int main() {
+  using namespace lmo;
+  using bench::fmt;
+
+  util::Xoshiro256 rng(7);
+  const tensor::Tensor input =
+      tensor::Tensor::uniform({256, 7168}, rng, -2.0f, 2.0f);
+
+  bench::print_header(
+      "Ablation — quantization bit width x group size (256x7168 f32 "
+      "layer slice, real kernel)");
+
+  util::Table table({"bits", "group", "ratio vs fp16", "max |err|",
+                     "mean |err|", "quant (ms)", "dequant (ms)"});
+  for (int bits : {4, 8}) {
+    for (std::int64_t group : {16, 32, 64, 128, 256, 1024}) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto q = tensor::quantize(input, tensor::QuantConfig{bits, group});
+      const double quant_ms =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count() *
+          1e3;
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto back = tensor::dequantize(q);
+      const double dequant_ms =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t1)
+              .count() *
+          1e3;
+
+      double max_err = 0.0, sum_err = 0.0;
+      auto a = input.f32();
+      auto b = back.f32();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double err = std::abs(a[i] - b[i]);
+        max_err = std::max(max_err, err);
+        sum_err += err;
+      }
+      table.add_row({std::to_string(bits), std::to_string(group),
+                     fmt(q.compression_ratio_vs_f16(), 2) + "x",
+                     fmt(max_err, 4),
+                     fmt(sum_err / static_cast<double>(a.size()), 4),
+                     fmt(quant_ms, 1), fmt(dequant_ms, 1)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSmaller groups: lower error, more metadata (worse "
+               "ratio). 4-bit/64 balances a ~3.6x ratio against uniform "
+               "error; this is the library default.\n";
+  return 0;
+}

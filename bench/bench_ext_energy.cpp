@@ -1,0 +1,58 @@
+// Extension benchmark: energy per generated token for the three frameworks
+// (OPT-30B on the A100 platform). Offloading trades time on cheap silicon
+// (CPU, links) for time on the expensive GPU; the joules-per-token view
+// shows where each framework actually burns power.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lmo/core/lm_offload.hpp"
+#include "lmo/sched/flexgen.hpp"
+#include "lmo/sched/zero_inference.hpp"
+#include "lmo/sim/energy.hpp"
+
+int main() {
+  using namespace lmo;
+  using bench::fmt;
+
+  const auto spec = model::ModelSpec::opt_30b();
+  const auto platform = hw::Platform::a100_single();
+  const auto power = sim::PowerModel::make_default(platform);
+
+  bench::print_header(
+      "Extension — energy per token (OPT-30B, s=64, A100 + 2x Xeon)");
+
+  util::Table table({"len", "framework", "tput (tok/s)", "J/token",
+                     "GPU J/token", "CPU J/token", "gpu util"});
+  for (std::int64_t len : {8L, 32L, 128L}) {
+    const model::Workload w{64, len, 64, 10};
+    const auto fg = sched::FlexGen::run(spec, w, platform);
+    const auto zr = sched::ZeroInference::run(spec, w, platform);
+    const auto lmo = core::LMOffload::run(spec, w, platform);
+    for (const auto* r : {&fg, &zr, &lmo}) {
+      const double tokens = static_cast<double>(r->workload.total_tokens());
+      const auto energy = sim::energy_report(r->run, power, tokens);
+      double gpu_util = 0.0;
+      for (const auto& res : r->run.resources) {
+        if (res.name == "gpu") gpu_util = res.utilization;
+      }
+      table.add_row({std::to_string(len), r->framework,
+                     fmt(r->throughput, 1),
+                     fmt(energy.joules_per_token, 2),
+                     fmt(energy.per_resource_joules.count("gpu")
+                             ? energy.per_resource_joules.at("gpu") / tokens
+                             : 0.0,
+                         2),
+                     fmt(energy.per_resource_joules.count("cpu")
+                             ? energy.per_resource_joules.at("cpu") / tokens
+                             : 0.0,
+                         2),
+                     fmt(gpu_util, 2)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nFaster frameworks amortize the node's idle floor over "
+               "more tokens: LM-Offload's higher throughput directly cuts "
+               "J/token even though its GPU runs hotter.\n";
+  return 0;
+}

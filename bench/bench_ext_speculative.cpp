@@ -1,0 +1,82 @@
+// Extension benchmark: speculative decoding on the real runtime. A
+// shallow draft proposes blocks that the deep target verifies in single
+// forward passes; when the models agree often enough, the expensive
+// target runs far fewer passes per emitted token — all while remaining
+// bit-identical to vanilla greedy decoding.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lmo/runtime/speculative.hpp"
+
+int main() {
+  using namespace lmo;
+  using bench::fmt;
+
+  // Target: 6 layers; drafts of decreasing fidelity. Same vocab/hidden so
+  // a truncated-depth draft approximates the target (layer-skip drafting).
+  const std::int64_t hidden = 64;
+  const std::int64_t vocab = 512;
+  const std::vector<std::int64_t> prompt = {11, 42, 7, 99, 3, 250, 18, 5};
+  const std::int64_t gen_len = 48;
+
+  auto make_config = [&](std::int64_t layers, std::uint64_t seed) {
+    runtime::RuntimeConfig config;
+    config.spec = model::ModelSpec::tiny(layers, hidden, 4, vocab);
+    config.prefetch_threads = 0;
+    config.seed = seed;
+    return config;
+  };
+
+  bench::print_header(
+      "Extension — speculative decoding (6-layer target, wall clock, "
+      "greedy/lossless)");
+
+  // Vanilla baseline.
+  runtime::Generator vanilla(make_config(6, 5));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto reference = vanilla.generate({prompt}, gen_len);
+  const double vanilla_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  util::Table table({"draft", "k", "acceptance", "target passes",
+                     "wall (ms)", "speedup", "lossless"});
+  table.add_row({"(vanilla)", "-", "-", std::to_string(gen_len),
+                 fmt(vanilla_s * 1e3, 1), "1.00x", "-"});
+
+  struct Variant {
+    const char* label;
+    std::int64_t draft_layers;
+    std::uint64_t draft_seed;  // same seed = same early layers' statistics
+    int k;
+  };
+  const Variant variants[] = {
+      {"identical twin", 6, 5, 4},
+      {"identical twin", 6, 5, 8},
+      {"unrelated 1-layer", 1, 77, 4},
+  };
+  for (const Variant& v : variants) {
+    runtime::Generator target(make_config(6, 5));
+    runtime::Generator draft(make_config(v.draft_layers, v.draft_seed));
+    runtime::SpeculativeConfig config;
+    config.draft_tokens = v.k;
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto result = runtime::speculative_generate(target, draft, prompt,
+                                                      gen_len, config);
+    const double spec_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+            .count();
+    table.add_row({v.label, std::to_string(v.k),
+                   fmt(result.acceptance_rate() * 100, 0) + "%",
+                   std::to_string(result.target_forward_passes),
+                   fmt(spec_s * 1e3, 1), fmt(vanilla_s / spec_s, 2) + "x",
+                   result.tokens == reference.tokens[0] ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAn agreeing draft collapses target passes ~k-fold; a "
+               "disagreeing draft costs verification work but never "
+               "changes the output (greedy speculation is lossless).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces paper Figure 3: inference throughput of OPT-30B under every
+// combination of attention offloading × quantization target, on the single-
+// A100 platform with the motivation workload (s=64, n=128, bsz=64,
+// bls=640).
+//
+// Expected shape (paper Observation 1 & 2): with attention offloading,
+// every quantization variant is no better than no quantization; without
+// attention offloading, KV-cache quantization is a large win and beats
+// weight-only quantization.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lmo/sched/flexgen.hpp"
+#include "lmo/sched/schedule_builder.hpp"
+
+int main() {
+  using namespace lmo;
+  using bench::fmt;
+
+  const auto spec = model::ModelSpec::opt_30b();
+  const auto w = bench::motivation_workload();
+  const auto platform = hw::Platform::a100_single();
+
+  struct Strategy {
+    const char* label;
+    bool attention_on_cpu;
+    int weight_bits;
+    int kv_bits;
+  };
+  const Strategy strategies[] = {
+      {"offload-attn / no quant", true, 16, 16},
+      {"offload-attn / weights 4-bit", true, 4, 16},
+      {"offload-attn / kv 4-bit", true, 16, 4},
+      {"offload-attn / both 4-bit", true, 4, 4},
+      {"gpu-attn / no quant", false, 16, 16},
+      {"gpu-attn / weights 4-bit", false, 4, 16},
+      {"gpu-attn / kv 4-bit", false, 16, 4},
+      {"gpu-attn / both 4-bit", false, 4, 4},
+  };
+
+  bench::print_header(
+      "Figure 3 — throughput of offloading x quantization strategies "
+      "(OPT-30B, s=64, n=128, bls=640, A100)");
+
+  util::Table table({"strategy", "policy", "tput (tok/s)", "vs no-quant"});
+  double baseline_offload = 0.0;
+  double baseline_gpu = 0.0;
+  for (const Strategy& s : strategies) {
+    perfmodel::Policy p;
+    p.attention_on_cpu = s.attention_on_cpu;
+    p.weight_bits = s.weight_bits;
+    p.kv_bits = s.kv_bits;
+    // Fill the GPU with weights up to capacity, FlexGen-style; activations
+    // ride the GPU when attention does.
+    p.activations_on_gpu = s.attention_on_cpu ? 0.0 : 1.0;
+    // Pick the largest feasible weight fraction on a 5% grid.
+    for (double wg = 1.0; wg >= 0.0; wg -= 0.05) {
+      p.weights_on_gpu = wg > 0.0 ? wg : 0.0;
+      if (perfmodel::estimate(spec, w, p, platform).fits) break;
+    }
+    const auto report =
+        sched::FlexGen::run_with_policy(spec, w, p, platform);
+    double& baseline = s.attention_on_cpu ? baseline_offload : baseline_gpu;
+    if (s.weight_bits == 16 && s.kv_bits == 16) baseline = report.throughput;
+    table.add_row({s.label, report.policy.to_string(),
+                   fmt(report.throughput, 1),
+                   fmt(report.throughput / baseline, 2) + "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper reference: offload-attn 41 -> best-quant 32 tok/s "
+               "(quant hurts); gpu-attn 46 -> kv-4bit 82 tok/s (quant "
+               "helps).\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Real-execution benchmark (wall clock, not simulated): the tiny
+// transformer generating through the offloading runtime under different
+// placement/quantization/prefetch settings — the paper's trade-offs
+// reproduced on actual tensors, with the accuracy cost (teacher-forced
+// NLL) alongside the throughput gain.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lmo/runtime/evaluate.hpp"
+#include "lmo/runtime/generator.hpp"
+#include "lmo/util/units.hpp"
+
+int main() {
+  using namespace lmo;
+  using bench::fmt;
+
+  runtime::RuntimeConfig base;
+  base.spec = model::ModelSpec::tiny(4, 96, 4, 512);
+  base.quant_group = 96;
+  base.device_layers = 0;
+
+  const std::vector<std::vector<std::int64_t>> prompts = {
+      {11, 42, 7, 99, 3, 250, 18, 5, 77, 130},
+      {101, 102, 103, 104, 105, 106, 107, 108, 109, 110},
+      {500, 400, 300, 200, 100, 50, 25, 12, 6, 3},
+  };
+  const std::vector<std::vector<std::int64_t>> eval_corpus = {
+      {11, 42, 7, 99, 3, 250, 18, 5, 77, 130, 7, 9},
+      {500, 400, 300, 200, 100, 50, 25, 12, 6, 3, 1, 0},
+  };
+  const std::int64_t gen_len = 24;
+
+  struct Variant {
+    const char* label;
+    int weight_bits;
+    int kv_bits;
+    std::int64_t device_layers;
+    int prefetch;
+  };
+  const Variant variants[] = {
+      {"all device-resident", 16, 16, 4, 0},
+      {"offloaded fp16, sync", 16, 16, 0, 0},
+      {"offloaded fp16, prefetch", 16, 16, 0, 2},
+      {"offloaded w8", 8, 16, 0, 2},
+      {"offloaded w4", 4, 16, 0, 2},
+      {"offloaded w4 + kv4", 4, 4, 0, 2},
+  };
+
+  bench::print_header(
+      "Real runtime — offloading x quantization on actual tensors "
+      "(4 layers x hidden 96, 3 prompts x 24 tokens, wall clock)");
+
+  util::Table table({"variant", "tok/s", "H2D traffic", "staging hits",
+                     "KV stored", "mean NLL"});
+  for (const Variant& v : variants) {
+    runtime::RuntimeConfig config = base;
+    config.weight_bits = v.weight_bits;
+    config.kv_bits = v.kv_bits;
+    config.device_layers = v.device_layers;
+    config.prefetch_threads = v.prefetch;
+
+    runtime::Generator generator(config);
+    const auto result = generator.generate(prompts, gen_len);
+
+    runtime::Generator scorer(config);
+    const auto eval = runtime::evaluate_corpus(scorer, eval_corpus, 4);
+
+    table.add_row(
+        {v.label, fmt(result.tokens_per_second, 0),
+         util::format_bytes(result.offload.bytes_host_to_device),
+         std::to_string(result.offload.staging_hits),
+         util::format_bytes(static_cast<double>(result.kv_stored_bytes)),
+         fmt(eval.mean_nll, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nQuantizing host weights cuts real transfer volume ~4x "
+               "(8x vs fp32) at a small NLL cost; the compressed KV cache "
+               "shrinks residency ~4x. Absolute tok/s is laptop-scale "
+               "CPU-only compute — the relative movements are the story.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Reproduces paper Table 3: end-to-end comparison of FlexGen,
+// ZeRO-Inference and LM-Offload over four models × five generation lengths
+// on the single-A100 platform, reporting policy (wg/cg/hg), memory
+// footprint, throughput and normalized throughput.
+//
+// Expected shape: LM-Offload fastest in (nearly) every cell — up to ~3× over
+// FlexGen and up to ~2.9× over ZeRO-Inference; ZeRO collapses at 66B scale
+// where its whole-tensor design forces tiny batches.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lmo/core/lm_offload.hpp"
+#include "lmo/sched/flexgen.hpp"
+#include "lmo/sched/zero_inference.hpp"
+#include "lmo/util/check.hpp"
+#include "lmo/util/csv.hpp"
+
+int main() {
+  using namespace lmo;
+  using bench::fmt;
+  using bench::gb;
+
+  const auto platform = hw::Platform::a100_single();
+  const std::vector<std::string> models = {"opt-30b", "opt-66b", "llama-30b",
+                                           "llama-65b"};
+
+  bench::print_header(
+      "Table 3 — FlexGen vs ZeRO-Inference vs LM-Offload "
+      "(A100-40GB, s=64)");
+
+  util::Table table({"model", "len", "framework", "bsz", "wg", "cg", "hg",
+                     "mem (GB)", "tput", "norm"});
+  util::CsvWriter csv({"model", "len", "framework", "bsz", "wg", "cg", "hg",
+                       "mem_gb", "tput", "norm"});
+
+  double fg_ratio_sum = 0.0, zr_ratio_sum = 0.0;
+  double fg_ratio_max = 0.0, zr_ratio_max = 0.0;
+  int cells = 0;
+
+  for (const auto& name : models) {
+    const auto spec = model::ModelSpec::by_name(name);
+    for (std::int64_t len : bench::table3_lengths()) {
+      const auto w = bench::table3_workload(name, len);
+      // FlexGen (fp16 only) may need a smaller block than the paper lists
+      // under our stricter peak-KV accounting; LM-Offload's quantized cache
+      // fits the full block.
+      const auto w_fg = bench::shrink_to_fit(w, [&](const auto& cand) {
+        try {
+          (void)sched::FlexGen::plan(spec, cand, platform);
+          return true;
+        } catch (const util::CheckError&) {
+          return false;
+        }
+      });
+      const auto fg = sched::FlexGen::run(spec, w_fg, platform);
+      const auto zr = sched::ZeroInference::run(spec, w, platform);
+      const auto lmo = core::LMOffload::run(spec, w, platform);
+
+      const auto emit = [&](const sched::SimulationReport& r) {
+        const double norm = r.throughput / lmo.throughput;
+        const std::vector<std::string> row = {
+            name,
+            std::to_string(len),
+            r.framework,
+            std::to_string(r.workload.block_size()),
+            fmt(r.policy.weights_on_gpu * 100, 0),
+            fmt(r.policy.cache_on_gpu * 100, 0),
+            fmt(r.policy.activations_on_gpu * 100, 0),
+            gb(r.memory_bytes),
+            fmt(r.throughput, 1),
+            fmt(norm, 2)};
+        table.add_row(row);
+        csv.add_row(row);
+      };
+      emit(fg);
+      emit(zr);
+      emit(lmo);
+
+      const double fg_ratio = lmo.throughput / fg.throughput;
+      const double zr_ratio = lmo.throughput / zr.throughput;
+      fg_ratio_sum += fg_ratio;
+      zr_ratio_sum += zr_ratio;
+      fg_ratio_max = std::max(fg_ratio_max, fg_ratio);
+      zr_ratio_max = std::max(zr_ratio_max, zr_ratio);
+      ++cells;
+    }
+  }
+  table.print(std::cout);
+  csv.save("table3_overall.csv");
+
+  std::cout << "\nLM-Offload vs FlexGen:        up to " << fmt(fg_ratio_max, 2)
+            << "x, average " << fmt(fg_ratio_sum / cells, 2)
+            << "x  (paper: up to 2.95x, avg 2.34x)\n";
+  std::cout << "LM-Offload vs ZeRO-Inference: up to " << fmt(zr_ratio_max, 2)
+            << "x, average " << fmt(zr_ratio_sum / cells, 2)
+            << "x  (paper: up to 2.88x, avg 1.57x)\n";
+  std::cout << "CSV written to table3_overall.csv\n";
+  return 0;
+}

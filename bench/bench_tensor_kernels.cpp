@@ -1,0 +1,87 @@
+// Micro-benchmarks of the tensor compute kernels the real runtime uses:
+// naive vs cache-blocked GEMM across shapes, plus softmax / layernorm /
+// activation throughput.
+#include <benchmark/benchmark.h>
+
+#include "lmo/tensor/ops.hpp"
+#include "lmo/util/rng.hpp"
+
+namespace {
+
+using namespace lmo;
+using tensor::Tensor;
+
+Tensor make(std::int64_t rows, std::int64_t cols, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return Tensor::uniform({rows, cols}, rng);
+}
+
+void BM_MatmulNtNaive(benchmark::State& state) {
+  const auto n = state.range(0);
+  const Tensor a = make(n, n, 1);
+  const Tensor b = make(n, n, 2);
+  for (auto _ : state) {
+    auto c = tensor::matmul_nt(a, b);
+    benchmark::DoNotOptimize(c.raw().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulNtNaive)->MinTime(0.05)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_MatmulNtBlocked(benchmark::State& state) {
+  const auto n = state.range(0);
+  const Tensor a = make(n, n, 1);
+  const Tensor b = make(n, n, 2);
+  for (auto _ : state) {
+    auto c = tensor::matmul_nt_blocked(a, b, 64);
+    benchmark::DoNotOptimize(c.raw().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulNtBlocked)->MinTime(0.05)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_Softmax(benchmark::State& state) {
+  const Tensor a = make(256, 1024, 3);
+  for (auto _ : state) {
+    auto s = tensor::softmax_rows(a);
+    benchmark::DoNotOptimize(s.raw().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.byte_size()));
+}
+BENCHMARK(BM_Softmax)->MinTime(0.05);
+
+void BM_LayerNorm(benchmark::State& state) {
+  const Tensor a = make(256, 1024, 4);
+  const Tensor gamma = Tensor::full({1024}, 1.0f);
+  const Tensor beta = Tensor::zeros({1024});
+  for (auto _ : state) {
+    auto n = tensor::layer_norm(a, gamma, beta);
+    benchmark::DoNotOptimize(n.raw().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.byte_size()));
+}
+BENCHMARK(BM_LayerNorm)->MinTime(0.05);
+
+void BM_Activations(benchmark::State& state) {
+  const Tensor a = make(256, 1024, 5);
+  const int which = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Tensor out = which == 0   ? tensor::gelu(a)
+                 : which == 1 ? tensor::relu(a)
+                              : tensor::silu(a);
+    benchmark::DoNotOptimize(out.raw().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.byte_size()));
+}
+BENCHMARK(BM_Activations)
+    ->MinTime(0.05)
+    ->Arg(0)   // gelu
+    ->Arg(1)   // relu
+    ->Arg(2);  // silu
+
+}  // namespace
+
+BENCHMARK_MAIN();

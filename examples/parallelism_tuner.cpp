@@ -1,0 +1,73 @@
+// Thread-level parallelism tuning demo (paper §4, Algorithm 3): build the
+// attention compute task's op-dependency graph, bundle small operators,
+// analyze its concurrency with Kahn's algorithm, and compare the tuned
+// thread plan against framework defaults.
+//
+//   $ ./parallelism_tuner [model] [co_resident_batches]
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "lmo/core/lm_offload.hpp"
+#include "lmo/parallel/bundling.hpp"
+#include "lmo/parallel/parallelism_search.hpp"
+#include "lmo/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lmo;
+
+  const std::string model_name = argc > 1 ? argv[1] : "opt-30b";
+  const int batches = argc > 2 ? std::stoi(argv[2]) : 3;
+
+  const auto spec = model::ModelSpec::by_name(model_name);
+  const auto platform = hw::Platform::a100_single();
+
+  model::AttentionGraphParams params;
+  params.hidden = spec.hidden;
+  params.seq_len = 68;
+  params.batch = 64;
+  params.num_batches = batches;
+  auto graph = model::build_attention_graph(params);
+
+  std::printf("attention compute-task graph for %s (%d co-resident "
+              "batches): %zu ops\n",
+              spec.name.c_str(), batches, graph.size());
+
+  const int bundles = parallel::bundle_small_ops(graph);
+  const auto coarse = parallel::bundled_graph(graph);
+  std::printf("operator bundling: %zu ops -> %d bundles\n", graph.size(),
+              bundles);
+  std::printf("Kahn max concurrency level: %zu (this becomes the inter-op "
+              "parallelism)\n\n",
+              coarse.max_concurrency());
+
+  parallel::SearchInput input;
+  input.compute_graph = coarse;
+  input.io_bytes = {model::layer_weight_bytes(spec, 16) * 0.45, 0.0, 9.2e6,
+                    0.0, 9.2e6};
+  input.platform = platform;
+
+  const auto tuned = parallel::find_optimal_parallelism(input);
+  const auto fallback = parallel::default_parallelism(input);
+
+  util::Table table({"plan", "inter-op", "intra-op", "compute (ms)",
+                     "T_gen (ms)"});
+  table.add_row({"framework default",
+                 std::to_string(fallback.inter_op_compute),
+                 std::to_string(fallback.intra_op_compute),
+                 util::Table::num(fallback.compute_seconds * 1e3, 2),
+                 util::Table::num(fallback.t_gen * 1e3, 2)});
+  table.add_row({"Algorithm 3", std::to_string(tuned.inter_op_compute),
+                 std::to_string(tuned.intra_op_compute),
+                 util::Table::num(tuned.compute_seconds * 1e3, 2),
+                 util::Table::num(tuned.t_gen * 1e3, 2)});
+  table.print(std::cout);
+
+  std::printf("\nI/O task threads (load_weight, store_act, store_cache, "
+              "load_cache, load_act):");
+  for (int t : tuned.io_threads) std::printf(" %d", t);
+  std::printf("\ncompute-task speedup from parallelism control: %.2fx "
+              "(paper Fig. 8: ~1.5x)\n",
+              fallback.compute_seconds / tuned.compute_seconds);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Policy explorer: enumerate the offloading/quantization design space for a
+// model and print the top policies by modeled throughput — the search space
+// the paper calls "infeasible to navigate ... due to the combinatorial
+// nature of the problem" without performance models.
+//
+//   $ ./policy_explorer [model] [gen_len] [top_k]
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lmo/perfmodel/estimator.hpp"
+#include "lmo/sched/policy_search.hpp"
+#include "lmo/util/table.hpp"
+#include "lmo/util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lmo;
+
+  const std::string model_name = argc > 1 ? argv[1] : "opt-30b";
+  const std::int64_t gen_len = argc > 2 ? std::stoll(argv[2]) : 32;
+  const std::size_t top_k = argc > 3 ? std::stoul(argv[3]) : 12;
+
+  const auto spec = model::ModelSpec::by_name(model_name);
+  const model::Workload w{.prompt_len = 64,
+                          .gen_len = gen_len,
+                          .gpu_batch = 64,
+                          .num_batches = 10};
+  const auto platform = hw::Platform::a100_single();
+  const auto space = sched::SearchSpace::lm_offload();
+
+  struct Candidate {
+    perfmodel::Policy policy;
+    perfmodel::Estimate estimate;
+  };
+  std::vector<Candidate> feasible;
+  std::size_t evaluated = 0;
+
+  for (bool attn_cpu : space.attention_on_cpu_choices) {
+    for (int wbits : space.weight_bits_choices) {
+      for (int kvbits : space.kv_bits_choices) {
+        for (double wg : space.wg_choices) {
+          for (double cg : space.cg_choices) {
+            if (attn_cpu && cg > 0.0) continue;
+            if (kvbits < 16 && cg > 0.0) continue;
+            for (double hg : space.hg_choices) {
+              perfmodel::Policy p;
+              p.weights_on_gpu = wg;
+              p.cache_on_gpu = cg;
+              p.activations_on_gpu = hg;
+              p.attention_on_cpu = attn_cpu;
+              p.weight_bits = wbits;
+              p.kv_bits = kvbits;
+              p.parallelism_control = true;
+              ++evaluated;
+              auto est = perfmodel::estimate(spec, w, p, platform);
+              if (est.fits) feasible.push_back({p, std::move(est)});
+            }
+          }
+        }
+      }
+    }
+  }
+  std::sort(feasible.begin(), feasible.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.estimate.throughput > b.estimate.throughput;
+            });
+
+  std::printf("policy space for %s (gen len %lld): %zu candidates, %zu "
+              "feasible on %s\n\n",
+              spec.name.c_str(), static_cast<long long>(gen_len), evaluated,
+              feasible.size(), platform.name.c_str());
+
+  util::Table table({"#", "policy", "tput (tok/s)", "GPU mem", "CPU mem"});
+  for (std::size_t i = 0; i < std::min(top_k, feasible.size()); ++i) {
+    const auto& c = feasible[i];
+    table.add_row({std::to_string(i + 1), c.policy.to_string(),
+                   util::Table::num(c.estimate.throughput, 1),
+                   util::format_bytes(c.estimate.gpu_bytes_needed),
+                   util::format_bytes(c.estimate.cpu_bytes_needed)});
+  }
+  table.print(std::cout);
+
+  if (!feasible.empty()) {
+    const auto& best = feasible.front();
+    const auto& worst = feasible.back();
+    std::printf("\nspread: best %.1f vs worst-feasible %.1f tokens/s "
+                "(%.1fx) — the cost of picking the wrong policy.\n",
+                best.estimate.throughput, worst.estimate.throughput,
+                best.estimate.throughput / worst.estimate.throughput);
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Real end-to-end generation through the offloading runtime, at laptop
+// scale: a synthetic-weight transformer whose host-resident weights stream
+// through the (real) group-wise quantizer, with a compressed KV cache and
+// asynchronous weight prefetch — then the same run without quantization,
+// to show the accuracy/traffic trade-off on actual numbers.
+//
+//   $ ./tiny_llm_generation [layers] [hidden] [gen_len]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lmo/runtime/generator.hpp"
+#include "lmo/util/units.hpp"
+
+namespace {
+
+void describe(const char* label, const lmo::runtime::GenerationResult& r) {
+  std::printf("%-22s %7.1f tok/s | prefill %s, decode %s | H2D %s | "
+              "staging hits %llu | KV stored %s\n",
+              label, r.tokens_per_second,
+              lmo::util::format_seconds(r.prefill_seconds).c_str(),
+              lmo::util::format_seconds(r.decode_seconds).c_str(),
+              lmo::util::format_bytes(r.offload.bytes_host_to_device).c_str(),
+              static_cast<unsigned long long>(r.offload.staging_hits),
+              lmo::util::format_bytes(
+                  static_cast<double>(r.kv_stored_bytes))
+                  .c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lmo;
+
+  const std::int64_t layers = argc > 1 ? std::stoll(argv[1]) : 4;
+  const std::int64_t hidden = argc > 2 ? std::stoll(argv[2]) : 64;
+  const std::int64_t gen_len = argc > 3 ? std::stoll(argv[3]) : 16;
+
+  runtime::RuntimeConfig config;
+  config.spec = model::ModelSpec::tiny(layers, hidden, 4, 512);
+  config.quant_group = 64;
+  config.prefetch_threads = 2;
+  config.device_layers = 0;  // every layer offloaded to the host tier
+
+  const std::vector<std::vector<std::int64_t>> prompts = {
+      {11, 42, 7, 99, 3, 250, 18, 5},
+      {101, 102, 103, 104, 105, 106, 107, 108},
+  };
+
+  std::printf("tiny transformer: %lld layers x hidden %lld, %zu prompts, "
+              "generating %lld tokens each\n\n",
+              static_cast<long long>(layers), static_cast<long long>(hidden),
+              prompts.size(), static_cast<long long>(gen_len));
+
+  // fp16 host weights, fp32 KV.
+  runtime::Generator plain(config);
+  const auto r_plain = plain.generate(prompts, gen_len);
+  describe("fp16 weights", r_plain);
+
+  // 4-bit weights + 4-bit KV cache at rest.
+  config.weight_bits = 4;
+  config.kv_bits = 4;
+  runtime::Generator quant(config);
+  const auto r_quant = quant.generate(prompts, gen_len);
+  describe("4-bit weights + KV", r_quant);
+
+  // How much did quantization change the generated text?
+  std::size_t agree = 0, total = 0;
+  for (std::size_t s = 0; s < prompts.size(); ++s) {
+    for (std::size_t t = 0; t < r_plain.tokens[s].size(); ++t) {
+      agree += (r_plain.tokens[s][t] == r_quant.tokens[s][t]);
+      ++total;
+    }
+  }
+  std::printf("\ntransfer volume reduced %.1fx; generated tokens agree "
+              "%zu/%zu; (de)quant time %s\n",
+              r_plain.offload.bytes_host_to_device /
+                  r_quant.offload.bytes_host_to_device,
+              agree, total,
+              util::format_seconds(r_quant.offload.dequantize_seconds +
+                                   r_quant.kv_quantize_seconds +
+                                   r_quant.kv_dequantize_seconds)
+                  .c_str());
+
+  std::printf("\nfirst tokens (fp16):  ");
+  for (std::size_t t = 0; t < 8 && t < r_plain.tokens[0].size(); ++t) {
+    std::printf("%lld ", static_cast<long long>(r_plain.tokens[0][t]));
+  }
+  std::printf("\nfirst tokens (4-bit): ");
+  for (std::size_t t = 0; t < 8 && t < r_quant.tokens[0].size(); ++t) {
+    std::printf("%lld ", static_cast<long long>(r_quant.tokens[0][t]));
+  }
+  std::printf("\n");
+  return 0;
+}

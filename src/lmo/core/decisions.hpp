@@ -1,0 +1,60 @@
+// The three model-guided decisions of paper §3.2 ("How to use the models"):
+//   1. is weight quantization beneficial?
+//   2. is KV-cache quantization beneficial?
+//   3. is attention offloading (still) beneficial once quantization is in
+//      play?
+// Each compares the relevant task times with and without the quantization
+// terms (Eqs. 3-9), amortizing one-time costs over the run. These are the
+// building blocks the full policy search generalizes; they are exposed
+// separately because they are the paper's headline mechanism and make good
+// unit-test and example targets.
+#pragma once
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/memory.hpp"
+#include "lmo/perfmodel/policy.hpp"
+
+namespace lmo::core {
+
+struct QuantDecision {
+  bool beneficial = false;
+  double seconds_without = 0.0;  ///< task time, no quantization
+  double seconds_with = 0.0;     ///< task time + (de)quant overhead
+  double gain() const {          ///< >1 means quantization wins
+    return seconds_with > 0.0 ? seconds_without / seconds_with : 0.0;
+  }
+};
+
+/// Decision 1: weight quantization at `bits`, for the policy's current
+/// placement/attention choices. Compares per-step load_weight against the
+/// quantized load + GPU dequant + amortized one-time CPU quantization.
+QuantDecision decide_weight_quantization(const model::ModelSpec& spec,
+                                         const model::Workload& w,
+                                         const perfmodel::Policy& base,
+                                         int bits,
+                                         const hw::Platform& platform);
+
+/// Decision 2: KV-cache quantization at `bits`. Compares
+/// (load_cache + store_cache) against (Eq. 6 + Eq. 7). With attention
+/// offloaded the cache traffic is zero, so quantization can only add
+/// overhead — the decision comes back negative (paper Observation 1).
+QuantDecision decide_kv_quantization(const model::ModelSpec& spec,
+                                     const model::Workload& w,
+                                     const perfmodel::Policy& base, int bits,
+                                     const hw::Platform& platform);
+
+struct AttentionPlacementDecision {
+  bool offload_to_cpu = false;
+  double cpu_seconds = 0.0;  ///< best per-step T_gen with CPU attention
+  double gpu_seconds = 0.0;  ///< best per-step T_gen with GPU attention
+};
+
+/// Decision 3: attention placement, evaluated *with* each side's best
+/// quantization setting (the paper's point: quantization flips this
+/// comparison's winner for some workloads).
+AttentionPlacementDecision decide_attention_placement(
+    const model::ModelSpec& spec, const model::Workload& w,
+    const perfmodel::Policy& base, const hw::Platform& platform);
+
+}  // namespace lmo::core

@@ -1,0 +1,98 @@
+#include "lmo/core/lm_offload.hpp"
+
+#include <algorithm>
+
+#include "lmo/parallel/bundling.hpp"
+#include "lmo/sched/schedule_builder.hpp"
+
+namespace lmo::core {
+
+const char* version() { return "1.0.0"; }
+
+model::OpGraph LMOffload::compute_graph(const model::ModelSpec& spec,
+                                        const model::Workload& workload,
+                                        const perfmodel::Policy& policy) {
+  model::AttentionGraphParams params;
+  params.hidden = spec.hidden;
+  params.seq_len = workload.prompt_len + workload.gen_len / 2;
+  params.batch = workload.gpu_batch;
+  // The compute task co-hosts the batches of the zig-zag block that are
+  // in flight at once; a handful is typical (Alg. 1 inner loop).
+  params.num_batches = static_cast<int>(
+      std::min<std::int64_t>(workload.num_batches, 3));
+  params.kv_bits = policy.kv_bits;
+  auto graph = model::build_attention_graph(params);
+  // Bundle dispatch-dominated small ops before concurrency analysis.
+  parallel::bundle_small_ops(graph);
+  return graph;
+}
+
+std::array<double, parallel::kNumIoTasks> LMOffload::io_volumes(
+    const model::ModelSpec& spec, const model::Workload& workload,
+    const perfmodel::Policy& policy) {
+  std::array<double, parallel::kNumIoTasks> volumes{};
+  volumes[parallel::kLoadWeight] =
+      model::layer_weight_bytes(spec, policy.weight_bits) *
+      (1.0 - policy.weights_on_gpu);
+  const double act = model::activation_bytes(spec, workload, 16);
+  if (policy.attention_on_cpu) {
+    volumes[parallel::kStoreActivation] = act;
+    volumes[parallel::kLoadActivation] = act;
+  } else {
+    const double stream = 1.0 - policy.cache_on_gpu;
+    const std::int64_t mid = workload.gen_len / 2;
+    volumes[parallel::kLoadCache] =
+        model::kv_cache_bytes_at(spec, workload, mid, policy.kv_bits) *
+        stream;
+    volumes[parallel::kStoreCache] =
+        model::new_kv_cache_bytes(spec, workload, policy.kv_bits) * stream;
+    const double spill = 1.0 - policy.activations_on_gpu;
+    volumes[parallel::kStoreActivation] = act * spill;
+    volumes[parallel::kLoadActivation] = act * spill;
+  }
+  return volumes;
+}
+
+Plan LMOffload::plan(const model::ModelSpec& spec,
+                     const model::Workload& workload,
+                     const hw::Platform& platform,
+                     const PlanOptions& options) {
+  auto space = sched::SearchSpace::lm_offload(options.parallelism_control);
+  if (!options.allow_weight_quant) space.weight_bits_choices = {16};
+  if (!options.allow_kv_quant) space.kv_bits_choices = {16};
+
+  Plan plan;
+  plan.search = sched::search_policy(spec, workload, platform, space);
+  plan.compute_graph = compute_graph(spec, workload, plan.policy());
+
+  if (options.parallelism_control) {
+    parallel::SearchInput input;
+    input.compute_graph = plan.compute_graph;
+    input.io_bytes = io_volumes(spec, workload, plan.policy());
+    input.platform = platform;
+    plan.parallelism = parallel::find_optimal_parallelism(input);
+  } else {
+    parallel::SearchInput input;
+    input.compute_graph = plan.compute_graph;
+    input.io_bytes = io_volumes(spec, workload, plan.policy());
+    input.platform = platform;
+    plan.parallelism = parallel::default_parallelism(input);
+  }
+  return plan;
+}
+
+sched::SimulationReport LMOffload::run(const model::ModelSpec& spec,
+                                       const model::Workload& workload,
+                                       const hw::Platform& platform,
+                                       const PlanOptions& options) {
+  const Plan planned = plan(spec, workload, platform, options);
+  return run_with_policy(spec, workload, planned.policy(), platform);
+}
+
+sched::SimulationReport LMOffload::run_with_policy(
+    const model::ModelSpec& spec, const model::Workload& workload,
+    const perfmodel::Policy& policy, const hw::Platform& platform) {
+  return sched::simulate(spec, workload, policy, platform, kName);
+}
+
+}  // namespace lmo::core

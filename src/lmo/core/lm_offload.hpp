@@ -1,0 +1,74 @@
+// LM-Offload — the paper's system. Planning combines:
+//   1. the quantization-aware policy search over placement × attention ×
+//      bit widths, scored by the full performance model (paper §3);
+//   2. thread-level parallelism control via Algorithm 3 over the attention
+//      op-dependency graph (paper §4).
+// Execution replays the chosen plan on the discrete-event simulator (paper-
+// scale platforms) — the real-tensor execution path lives in lmo::runtime.
+//
+// This header is the primary public entry point of the library.
+#pragma once
+
+#include <string>
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/memory.hpp"
+#include "lmo/parallel/parallelism_search.hpp"
+#include "lmo/sched/policy_search.hpp"
+#include "lmo/sched/report.hpp"
+
+namespace lmo::core {
+
+struct Plan {
+  sched::SearchResult search;               ///< chosen policy + its estimate
+  parallel::ParallelismPlan parallelism;    ///< Algorithm-3 thread plan
+  model::OpGraph compute_graph;             ///< graph the plan was built on
+
+  const perfmodel::Policy& policy() const { return search.best; }
+};
+
+struct PlanOptions {
+  /// Disable Algorithm 3 (paper Fig. 7 evaluates modeling alone).
+  bool parallelism_control = true;
+  /// Restrict the search's quantization dimensions (Fig. 3 ablations).
+  bool allow_weight_quant = true;
+  bool allow_kv_quant = true;
+};
+
+class LMOffload {
+ public:
+  static constexpr const char* kName = "lm-offload";
+
+  static Plan plan(const model::ModelSpec& spec,
+                   const model::Workload& workload,
+                   const hw::Platform& platform,
+                   const PlanOptions& options = {});
+
+  /// Plan, then execute on the DES.
+  static sched::SimulationReport run(const model::ModelSpec& spec,
+                                     const model::Workload& workload,
+                                     const hw::Platform& platform,
+                                     const PlanOptions& options = {});
+
+  static sched::SimulationReport run_with_policy(
+      const model::ModelSpec& spec, const model::Workload& workload,
+      const perfmodel::Policy& policy, const hw::Platform& platform);
+
+  /// Build the attention compute-task graph (Fig. 6) sized for this
+  /// workload and policy; shared by planning, Fig. 5 and Fig. 8 benches.
+  static model::OpGraph compute_graph(const model::ModelSpec& spec,
+                                      const model::Workload& workload,
+                                      const perfmodel::Policy& policy);
+
+  /// Per-step I/O volumes of the five load/store tasks under a policy —
+  /// the inputs Algorithm 3 uses to assign the remaining threads.
+  static std::array<double, parallel::kNumIoTasks> io_volumes(
+      const model::ModelSpec& spec, const model::Workload& workload,
+      const perfmodel::Policy& policy);
+};
+
+/// Library version, for downstream packaging.
+const char* version();
+
+}  // namespace lmo::core

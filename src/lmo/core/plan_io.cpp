@@ -1,0 +1,113 @@
+#include "lmo/core/plan_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "lmo/util/check.hpp"
+#include "lmo/util/string_util.hpp"
+
+namespace lmo::core {
+
+bool SavedPlan::operator==(const SavedPlan& other) const {
+  return model == other.model &&
+         workload.prompt_len == other.workload.prompt_len &&
+         workload.gen_len == other.workload.gen_len &&
+         workload.gpu_batch == other.workload.gpu_batch &&
+         workload.num_batches == other.workload.num_batches &&
+         policy == other.policy;
+}
+
+std::string plan_to_string(const SavedPlan& plan) {
+  std::ostringstream os;
+  os << "# lm-offload plan\n";
+  os << "model = " << plan.model << "\n";
+  os << "workload.prompt_len = " << plan.workload.prompt_len << "\n";
+  os << "workload.gen_len = " << plan.workload.gen_len << "\n";
+  os << "workload.gpu_batch = " << plan.workload.gpu_batch << "\n";
+  os << "workload.num_batches = " << plan.workload.num_batches << "\n";
+  os << "policy.weights_on_gpu = " << plan.policy.weights_on_gpu << "\n";
+  os << "policy.cache_on_gpu = " << plan.policy.cache_on_gpu << "\n";
+  os << "policy.activations_on_gpu = " << plan.policy.activations_on_gpu
+     << "\n";
+  os << "policy.weights_on_disk = " << plan.policy.weights_on_disk << "\n";
+  os << "policy.attention_on_cpu = "
+     << (plan.policy.attention_on_cpu ? 1 : 0) << "\n";
+  os << "policy.weight_bits = " << plan.policy.weight_bits << "\n";
+  os << "policy.kv_bits = " << plan.policy.kv_bits << "\n";
+  os << "policy.resident_weights_compressed = "
+     << (plan.policy.resident_weights_compressed ? 1 : 0) << "\n";
+  os << "policy.parallelism_control = "
+     << (plan.policy.parallelism_control ? 1 : 0) << "\n";
+  return os.str();
+}
+
+SavedPlan plan_from_string(const std::string& text) {
+  std::map<std::string, std::string> kv;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const std::size_t eq = trimmed.find('=');
+    LMO_CHECK_MSG(eq != std::string::npos,
+                  "missing '=' on plan line " + std::to_string(line_number));
+    kv[util::trim(trimmed.substr(0, eq))] =
+        util::trim(trimmed.substr(eq + 1));
+  }
+
+  SavedPlan plan;
+  const auto take = [&](const char* key) {
+    auto it = kv.find(key);
+    LMO_CHECK_MSG(it != kv.end(), std::string("plan missing key: ") + key);
+    const std::string value = it->second;
+    kv.erase(it);
+    return value;
+  };
+  plan.model = take("model");
+  plan.workload.prompt_len = std::stoll(take("workload.prompt_len"));
+  plan.workload.gen_len = std::stoll(take("workload.gen_len"));
+  plan.workload.gpu_batch = std::stoll(take("workload.gpu_batch"));
+  plan.workload.num_batches = std::stoll(take("workload.num_batches"));
+  plan.policy.weights_on_gpu = std::stod(take("policy.weights_on_gpu"));
+  plan.policy.cache_on_gpu = std::stod(take("policy.cache_on_gpu"));
+  plan.policy.activations_on_gpu =
+      std::stod(take("policy.activations_on_gpu"));
+  plan.policy.weights_on_disk = std::stod(take("policy.weights_on_disk"));
+  plan.policy.attention_on_cpu =
+      std::stoll(take("policy.attention_on_cpu")) != 0;
+  plan.policy.weight_bits =
+      static_cast<int>(std::stoll(take("policy.weight_bits")));
+  plan.policy.kv_bits = static_cast<int>(std::stoll(take("policy.kv_bits")));
+  plan.policy.resident_weights_compressed =
+      std::stoll(take("policy.resident_weights_compressed")) != 0;
+  plan.policy.parallelism_control =
+      std::stoll(take("policy.parallelism_control")) != 0;
+  for (const auto& [key, value] : kv) {
+    LMO_CHECK_MSG(false, "unknown plan key: " + key);
+  }
+  plan.workload.validate();
+  plan.policy.validate();
+  return plan;
+}
+
+void save_plan(const SavedPlan& plan, const std::string& path) {
+  std::ofstream out(path);
+  LMO_CHECK_MSG(out.good(), "cannot open plan file for writing: " + path);
+  out << plan_to_string(plan);
+  LMO_CHECK_MSG(out.good(), "write failed for plan file: " + path);
+}
+
+SavedPlan load_plan(const std::string& path) {
+  std::ifstream in(path);
+  LMO_CHECK_MSG(in.good(), "cannot open plan file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return plan_from_string(buffer.str());
+}
+
+}  // namespace lmo::core

@@ -1,0 +1,32 @@
+// Plan persistence: serialize a policy (plus its workload context) to a
+// small text format and load it back — FlexGen ships such policy files so
+// expensive searches are paid once per (model, hardware, workload). Format
+// is the same key=value dialect as platform configs.
+#pragma once
+
+#include <string>
+
+#include "lmo/model/memory.hpp"
+#include "lmo/perfmodel/policy.hpp"
+
+namespace lmo::core {
+
+struct SavedPlan {
+  std::string model;  ///< ModelSpec name the plan was made for
+  model::Workload workload;
+  perfmodel::Policy policy;
+
+  bool operator==(const SavedPlan& other) const;
+};
+
+/// Serialize to the key=value text format.
+std::string plan_to_string(const SavedPlan& plan);
+
+/// Parse; throws CheckError on malformed input, unknown keys, or a policy
+/// that fails validation.
+SavedPlan plan_from_string(const std::string& text);
+
+void save_plan(const SavedPlan& plan, const std::string& path);
+SavedPlan load_plan(const std::string& path);
+
+}  // namespace lmo::core

@@ -1,0 +1,194 @@
+#include "lmo/hw/platform.hpp"
+
+#include "lmo/util/check.hpp"
+#include "lmo/util/units.hpp"
+
+namespace lmo::hw {
+
+using util::kGB;
+using util::kTFLOP;
+
+const char* to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kGPU:
+      return "gpu";
+    case DeviceKind::kCPU:
+      return "cpu";
+    case DeviceKind::kDisk:
+      return "disk";
+  }
+  LMO_UNREACHABLE("bad DeviceKind");
+}
+
+void Device::validate() const {
+  LMO_CHECK_GT(peak_flops, 0.0);
+  LMO_CHECK_GT(mem_bandwidth, 0.0);
+  LMO_CHECK_GT(freq_hz, 0.0);
+  LMO_CHECK_GT(mem_capacity, 0.0);
+  LMO_CHECK_GE(cores, 1);
+  LMO_CHECK_GE(hw_threads, cores);
+}
+
+double Link::transfer_seconds(double bytes) const {
+  LMO_CHECK_GE(bytes, 0.0);
+  if (bytes == 0.0) return 0.0;
+  LMO_CHECK_GT(bandwidth, 0.0);
+  return latency + bytes / bandwidth;
+}
+
+void Link::validate() const {
+  LMO_CHECK_GE(bandwidth, 0.0);
+  LMO_CHECK_GE(latency, 0.0);
+}
+
+void Platform::validate() const {
+  cpu.validate();
+  gpu.validate();
+  disk.validate();
+  LMO_CHECK_GE(num_gpus, 1);
+  cpu_to_gpu.validate();
+  gpu_to_cpu.validate();
+  disk_to_cpu.validate();
+  gpu_to_gpu.validate();
+  LMO_CHECK(cpu.kind == DeviceKind::kCPU);
+  LMO_CHECK(gpu.kind == DeviceKind::kGPU);
+}
+
+Platform Platform::a100_single() {
+  Platform p;
+  p.name = "a100-single";
+
+  p.cpu = Device{
+      .kind = DeviceKind::kCPU,
+      .name = "2x Xeon Gold 6330",
+      .peak_flops = 4.3 * kTFLOP,   // 56 cores × 2.0 GHz × AVX-512 FMA
+      .mem_bandwidth = 190.0 * kGB, // 16 channels DDR4-2933, achieved STREAM
+      .freq_hz = 2.0e9,
+      .mem_capacity = 240.0 * kGB,
+      .cores = 56,
+      .hw_threads = 112,
+  };
+  p.gpu = Device{
+      .kind = DeviceKind::kGPU,
+      .name = "NVIDIA A100-40GB",
+      .peak_flops = 312.0 * kTFLOP,  // fp16 tensor cores
+      .mem_bandwidth = 1555.0 * kGB,
+      .freq_hz = 1.41e9,
+      .mem_capacity = 40.0 * kGB,
+      .cores = 108,  // SMs
+      .hw_threads = 108,
+  };
+  p.disk = Device{
+      .kind = DeviceKind::kDisk,
+      .name = "NVMe SSD",
+      .peak_flops = 1.0,  // storage only
+      .mem_bandwidth = 3.0 * kGB,
+      .freq_hz = 1.0,
+      .mem_capacity = 2000.0 * kGB,
+      .cores = 1,
+      .hw_threads = 1,
+  };
+  // PCIe 4.0 x16: 32 GB/s per direction (64 GB/s bidirectional, Table 4).
+  p.cpu_to_gpu = Link{.bandwidth = 32.0 * kGB, .latency = 15e-6};
+  p.gpu_to_cpu = Link{.bandwidth = 32.0 * kGB, .latency = 15e-6};
+  p.disk_to_cpu = Link{.bandwidth = 3.0 * kGB, .latency = 100e-6};
+  p.gpu_to_gpu = Link{.bandwidth = 0.0, .latency = 0.0};
+  p.num_gpus = 1;
+  p.validate();
+  return p;
+}
+
+Platform Platform::h100_single() {
+  Platform p = a100_single();
+  p.name = "h100-single";
+  p.gpu.name = "NVIDIA H100-80GB";
+  p.gpu.peak_flops = 990.0 * kTFLOP;  // fp16 tensor cores (dense)
+  p.gpu.mem_bandwidth = 3350.0 * kGB;
+  p.gpu.freq_hz = 1.78e9;
+  p.gpu.mem_capacity = 80.0 * kGB;
+  p.gpu.cores = 132;  // SMs
+  p.gpu.hw_threads = 132;
+  // PCIe 5.0 x16: 64 GB/s per direction (128 GB/s bidirectional).
+  p.cpu_to_gpu = Link{.bandwidth = 64.0 * kGB, .latency = 12e-6};
+  p.gpu_to_cpu = Link{.bandwidth = 64.0 * kGB, .latency = 12e-6};
+  p.validate();
+  return p;
+}
+
+Platform Platform::rtx4090_desktop() {
+  Platform p = a100_single();
+  p.name = "rtx4090-desktop";
+  p.cpu = Device{
+      .kind = DeviceKind::kCPU,
+      .name = "16-core desktop CPU",
+      .peak_flops = 1.5 * kTFLOP,
+      .mem_bandwidth = 70.0 * kGB,  // dual-channel DDR5
+      .freq_hz = 4.5e9,
+      .mem_capacity = 128.0 * kGB,
+      .cores = 16,
+      .hw_threads = 32,
+  };
+  p.gpu = Device{
+      .kind = DeviceKind::kGPU,
+      .name = "NVIDIA RTX 4090",
+      .peak_flops = 165.0 * kTFLOP,  // fp16 tensor cores
+      .mem_bandwidth = 1008.0 * kGB,
+      .freq_hz = 2.52e9,
+      .mem_capacity = 24.0 * kGB,
+      .cores = 128,
+      .hw_threads = 128,
+  };
+  p.cpu_to_gpu = Link{.bandwidth = 32.0 * kGB, .latency = 15e-6};
+  p.gpu_to_cpu = Link{.bandwidth = 32.0 * kGB, .latency = 15e-6};
+  p.validate();
+  return p;
+}
+
+Platform Platform::v100_quad() {
+  Platform p;
+  p.name = "v100-quad";
+
+  p.cpu = Device{
+      .kind = DeviceKind::kCPU,
+      .name = "2x IBM POWER9",
+      .peak_flops = 1.9 * kTFLOP,   // 44 cores, narrower SIMD than AVX-512
+      .mem_bandwidth = 220.0 * kGB, // 8-channel DDR4 per socket
+      .freq_hz = 3.0e9,
+      .mem_capacity = 280.0 * kGB,
+      .cores = 44,
+      .hw_threads = 176,  // SMT4
+  };
+  p.gpu = Device{
+      .kind = DeviceKind::kGPU,
+      .name = "NVIDIA V100-16GB",
+      .peak_flops = 112.0 * kTFLOP,  // fp16 tensor cores
+      .mem_bandwidth = 900.0 * kGB,
+      .freq_hz = 1.38e9,
+      .mem_capacity = 16.0 * kGB,
+      .cores = 80,
+      .hw_threads = 80,
+  };
+  p.disk = Device{
+      .kind = DeviceKind::kDisk,
+      .name = "NVMe SSD",
+      .peak_flops = 1.0,
+      .mem_bandwidth = 3.0 * kGB,
+      .freq_hz = 1.0,
+      .mem_capacity = 2000.0 * kGB,
+      .cores = 1,
+      .hw_threads = 1,
+  };
+  // NVLink with unified addressing needs no pinned staging; per-chunk cost
+  // is an order of magnitude below the PCIe platform's.
+  p.eff.cache_chunk_overhead = 0.4e-3;
+  // NVLink 2.0 CPU<->GPU on POWER9: 150 GB/s per direction (300 bidir).
+  p.cpu_to_gpu = Link{.bandwidth = 150.0 * kGB, .latency = 5e-6};
+  p.gpu_to_cpu = Link{.bandwidth = 150.0 * kGB, .latency = 5e-6};
+  p.disk_to_cpu = Link{.bandwidth = 3.0 * kGB, .latency = 100e-6};
+  p.gpu_to_gpu = Link{.bandwidth = 150.0 * kGB, .latency = 5e-6};
+  p.num_gpus = 4;
+  p.validate();
+  return p;
+}
+
+}  // namespace lmo::hw

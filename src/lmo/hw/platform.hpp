@@ -1,0 +1,127 @@
+// Hardware platform descriptions (paper Table 4) plus the calibration
+// constants ("effective efficiencies") that turn peak numbers into achieved
+// numbers. All units are SI: bytes, seconds, FLOP/s, Hz.
+//
+// The two presets mirror the paper's testbeds:
+//   * a100_single():  2× Xeon Gold 6330 (56 cores, 240 GB) + 1× A100-40GB,
+//                     PCIe 4.0 ×16 (64 GB/s bidirectional).
+//   * v100_quad():    2× POWER9 (44 cores, 280 GB) + 4× V100-16GB,
+//                     NVLink 2.0 (300 GB/s bidirectional).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lmo::hw {
+
+enum class DeviceKind { kGPU, kCPU, kDisk };
+
+const char* to_string(DeviceKind kind);
+
+/// One compute device. `peak_flops` is dense-matmul throughput in the
+/// precision the device actually computes in (fp16 tensor cores for GPUs,
+/// fp32 SIMD for CPUs).
+struct Device {
+  DeviceKind kind = DeviceKind::kCPU;
+  std::string name;
+  double peak_flops = 0.0;     ///< FLOP/s
+  double mem_bandwidth = 0.0;  ///< bytes/s
+  double freq_hz = 0.0;        ///< core clock; elements/s for scalar scans
+  double mem_capacity = 0.0;   ///< bytes
+  int cores = 1;               ///< physical cores
+  int hw_threads = 1;          ///< hardware threads (SMT)
+
+  void validate() const;
+};
+
+/// A unidirectional transfer path. Transfers cost latency + bytes/bandwidth.
+struct Link {
+  double bandwidth = 0.0;  ///< bytes/s, per direction
+  double latency = 0.0;    ///< seconds per transfer
+
+  double transfer_seconds(double bytes) const;
+  void validate() const;
+};
+
+/// Calibration constants: the fraction of peak each operation class
+/// achieves, plus fixed per-task overheads. Tuned once against the paper's
+/// absolute OPT-30B numbers (see DESIGN.md §5); every experiment then reads
+/// the same values, so all *comparisons* are apples-to-apples.
+struct Efficiency {
+  double gpu_matmul = 0.45;      ///< of GPU peak_flops (large-batch GEMM)
+  double gpu_mem = 0.80;         ///< of GPU mem_bandwidth (elementwise)
+  double pcie = 0.62;            ///< of link bandwidth (pinned, chunked)
+  double cpu_matmul = 0.55;      ///< of CPU peak_flops
+  /// Effective CPU memory bandwidth achieved by the memory-bound attention
+  /// scan under *default* framework threading (oversubscribed threads,
+  /// cache thrash — paper §4.1). Fraction of cpu.mem_bandwidth.
+  double cpu_attention_default = 0.065;
+  /// Same, under LM-Offload's parallelism control (paper Fig. 8: compute
+  /// task −32%, end-to-end −38%).
+  double cpu_attention_tuned = 0.105;
+  /// CPU-side quant/dequant effective memory bandwidth fraction.
+  double cpu_quant = 0.30;
+  /// GPU-side dequant is elementwise unpack, not tensor-core work.
+  double gpu_dequant_mem = 0.35;
+  /// Fixed overhead per asynchronous task launch + per-layer sync,
+  /// seconds. Penalizes schedules with many tiny transfers.
+  double task_overhead = 2.2e-3;
+  /// Per-batch pinned-buffer staging cost when the KV cache streams over
+  /// PCIe for GPU attention: the cache lives as one buffer per (layer,
+  /// batch) in host memory, so every layer's load issues num_batches
+  /// separate pin+copy+launch sequences (unlike the single contiguous
+  /// weight buffer). Seconds per chunk.
+  double cache_chunk_overhead = 4.4e-3;
+  /// CPU-attention bandwidth fraction FlexGen's LP *assumes* — an
+  /// optimistic roofline that ignores framework threading effects. The gap
+  /// between this and cpu_attention_default is the paper's criticism of
+  /// FlexGen's policy search ("inaccurately estimating the performance
+  /// impact of asynchronous execution").
+  double cpu_attention_assumed = 0.25;
+};
+
+/// A full platform: one CPU complex, `num_gpus` identical GPUs, a disk, and
+/// the links between them.
+struct Platform {
+  std::string name;
+  Device cpu;
+  Device gpu;
+  Device disk;
+  int num_gpus = 1;
+  Link cpu_to_gpu;   ///< host-to-device, per direction
+  Link gpu_to_cpu;   ///< device-to-host, per direction
+  Link disk_to_cpu;  ///< weight initialization path (T_init)
+  Link gpu_to_gpu;   ///< inter-GPU (pipeline parallelism); 0 bw if 1 GPU
+  Efficiency eff;
+
+  void validate() const;
+
+  // -- achieved (post-efficiency) rates, used by perf models ---------------
+  double gpu_matmul_flops() const { return gpu.peak_flops * eff.gpu_matmul; }
+  double cpu_matmul_flops() const { return cpu.peak_flops * eff.cpu_matmul; }
+  double gpu_mem_bw() const { return gpu.mem_bandwidth * eff.gpu_mem; }
+  double h2d_bw() const { return cpu_to_gpu.bandwidth * eff.pcie; }
+  double d2h_bw() const { return gpu_to_cpu.bandwidth * eff.pcie; }
+  double cpu_attention_bw(bool parallelism_control) const {
+    return cpu.mem_bandwidth * (parallelism_control
+                                    ? eff.cpu_attention_tuned
+                                    : eff.cpu_attention_default);
+  }
+  double cpu_quant_bw() const { return cpu.mem_bandwidth * eff.cpu_quant; }
+  double gpu_dequant_bw() const {
+    return gpu.mem_bandwidth * eff.gpu_dequant_mem;
+  }
+
+  /// Paper Table 4, single-GPU platform.
+  static Platform a100_single();
+  /// Paper Table 4, multi-GPU platform (use num_gpus ≤ 4 of it).
+  static Platform v100_quad();
+  /// H100-80GB + PCIe 5.0 ×16 node (the paper's intro example: even 80 GB
+  /// cannot hold LLaMA-2-70B fp16).
+  static Platform h100_single();
+  /// Consumer box: RTX-4090-24GB, 16-core desktop CPU, PCIe 4.0 ×16 —
+  /// the cost-constrained deployment offloading exists for.
+  static Platform rtx4090_desktop();
+};
+
+}  // namespace lmo::hw

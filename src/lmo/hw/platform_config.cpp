@@ -1,0 +1,124 @@
+#include "lmo/hw/platform_config.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "lmo/util/check.hpp"
+#include "lmo/util/string_util.hpp"
+#include "lmo/util/units.hpp"
+
+namespace lmo::hw {
+namespace {
+
+using util::kGB;
+using util::kTFLOP;
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    LMO_CHECK_MSG(consumed == value.size(),
+                  "trailing characters in value for key: " + key);
+    return parsed;
+  } catch (const std::exception&) {
+    LMO_CHECK_MSG(false, "cannot parse number '" + value + "' for key: " +
+                             key);
+    LMO_UNREACHABLE("unreachable");
+  }
+}
+
+}  // namespace
+
+Platform platform_by_name(const std::string& name) {
+  if (name == "a100-single") return Platform::a100_single();
+  if (name == "v100-quad") return Platform::v100_quad();
+  if (name == "h100-single") return Platform::h100_single();
+  if (name == "rtx4090-desktop") return Platform::rtx4090_desktop();
+  LMO_CHECK_MSG(false, "unknown platform preset: " + name);
+  LMO_UNREACHABLE("unreachable");
+}
+
+Platform platform_from_string(const std::string& text) {
+  // First pass: collect key/value pairs, resolve the base preset.
+  std::map<std::string, std::string> kv;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const std::size_t eq = trimmed.find('=');
+    LMO_CHECK_MSG(eq != std::string::npos,
+                  "missing '=' on line " + std::to_string(line_number) +
+                      ": " + trimmed);
+    const std::string key = util::trim(trimmed.substr(0, eq));
+    const std::string value = util::trim(trimmed.substr(eq + 1));
+    LMO_CHECK_MSG(!key.empty() && !value.empty(),
+                  "empty key or value on line " +
+                      std::to_string(line_number));
+    kv[key] = value;
+  }
+
+  Platform platform = Platform::a100_single();
+  if (auto it = kv.find("base"); it != kv.end()) {
+    platform = platform_by_name(it->second);
+    kv.erase(it);
+  }
+
+  for (const auto& [key, value] : kv) {
+    if (key == "name") {
+      platform.name = value;
+    } else if (key == "gpu.mem_capacity_gb") {
+      platform.gpu.mem_capacity = parse_double(key, value) * kGB;
+    } else if (key == "gpu.peak_tflops") {
+      platform.gpu.peak_flops = parse_double(key, value) * kTFLOP;
+    } else if (key == "gpu.mem_bandwidth_gbps") {
+      platform.gpu.mem_bandwidth = parse_double(key, value) * kGB;
+    } else if (key == "cpu.mem_capacity_gb") {
+      platform.cpu.mem_capacity = parse_double(key, value) * kGB;
+    } else if (key == "cpu.peak_tflops") {
+      platform.cpu.peak_flops = parse_double(key, value) * kTFLOP;
+    } else if (key == "cpu.mem_bandwidth_gbps") {
+      platform.cpu.mem_bandwidth = parse_double(key, value) * kGB;
+    } else if (key == "cpu.cores") {
+      platform.cpu.cores = static_cast<int>(parse_double(key, value));
+    } else if (key == "cpu.hw_threads") {
+      platform.cpu.hw_threads = static_cast<int>(parse_double(key, value));
+    } else if (key == "link.h2d_gbps") {
+      platform.cpu_to_gpu.bandwidth = parse_double(key, value) * kGB;
+    } else if (key == "link.d2h_gbps") {
+      platform.gpu_to_cpu.bandwidth = parse_double(key, value) * kGB;
+    } else if (key == "link.disk_gbps") {
+      platform.disk_to_cpu.bandwidth = parse_double(key, value) * kGB;
+      platform.disk.mem_bandwidth = platform.disk_to_cpu.bandwidth;
+    } else if (key == "num_gpus") {
+      platform.num_gpus = static_cast<int>(parse_double(key, value));
+    } else if (key == "eff.pcie") {
+      platform.eff.pcie = parse_double(key, value);
+    } else if (key == "eff.gpu_matmul") {
+      platform.eff.gpu_matmul = parse_double(key, value);
+    } else if (key == "eff.cpu_attention_default") {
+      platform.eff.cpu_attention_default = parse_double(key, value);
+    } else if (key == "eff.cpu_attention_tuned") {
+      platform.eff.cpu_attention_tuned = parse_double(key, value);
+    } else {
+      LMO_CHECK_MSG(false, "unknown platform config key: " + key);
+    }
+  }
+  platform.validate();
+  return platform;
+}
+
+Platform platform_from_file(const std::string& path) {
+  std::ifstream in(path);
+  LMO_CHECK_MSG(in.good(), "cannot open platform config: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return platform_from_string(buffer.str());
+}
+
+}  // namespace lmo::hw

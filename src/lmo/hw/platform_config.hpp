@@ -1,0 +1,39 @@
+// Text-format platform descriptions, so users can model their own hardware
+// without recompiling. Simple "key = value" lines, '#' comments, units in
+// the key names. Unspecified keys inherit from a base preset.
+//
+//   base = a100-single
+//   gpu.mem_capacity_gb = 24        # e.g. an RTX 4090
+//   gpu.peak_tflops = 165
+//   cpu.cores = 16
+//   link.h2d_gbps = 25
+//
+// Recognized keys (all optional):
+//   base                             "a100-single" | "v100-quad"
+//   name
+//   gpu.mem_capacity_gb   gpu.peak_tflops   gpu.mem_bandwidth_gbps
+//   cpu.mem_capacity_gb   cpu.peak_tflops   cpu.mem_bandwidth_gbps
+//   cpu.cores             cpu.hw_threads
+//   link.h2d_gbps         link.d2h_gbps     link.disk_gbps
+//   num_gpus
+//   eff.pcie              eff.gpu_matmul    eff.cpu_attention_default
+//   eff.cpu_attention_tuned
+#pragma once
+
+#include <string>
+
+#include "lmo/hw/platform.hpp"
+
+namespace lmo::hw {
+
+/// Parse a config from text; throws CheckError with the offending line on
+/// malformed input or unknown keys.
+Platform platform_from_string(const std::string& text);
+
+/// Load from a file path.
+Platform platform_from_file(const std::string& path);
+
+/// Resolve "a100-single" / "v100-quad" preset names; throws on unknown.
+Platform platform_by_name(const std::string& name);
+
+}  // namespace lmo::hw

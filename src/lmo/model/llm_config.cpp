@@ -1,0 +1,143 @@
+#include "lmo/model/llm_config.hpp"
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::model {
+
+const char* to_string(Activation activation) {
+  switch (activation) {
+    case Activation::kGelu:
+      return "gelu";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSilu:
+      return "silu";
+  }
+  LMO_UNREACHABLE("bad Activation");
+}
+
+std::int64_t ModelSpec::attention_weights_per_layer() const {
+  return 4 * hidden * hidden;
+}
+
+std::int64_t ModelSpec::mlp_weights_per_layer() const {
+  return static_cast<std::int64_t>(mlp_matrices) * hidden * mlp_hidden;
+}
+
+std::int64_t ModelSpec::weights_per_layer() const {
+  return attention_weights_per_layer() + mlp_weights_per_layer();
+}
+
+std::int64_t ModelSpec::embedding_weights() const { return vocab * hidden; }
+
+std::int64_t ModelSpec::total_weights() const {
+  return num_layers * weights_per_layer() + embedding_weights();
+}
+
+void ModelSpec::validate() const {
+  LMO_CHECK_GT(num_layers, 0);
+  LMO_CHECK_GT(hidden, 0);
+  LMO_CHECK_GT(mlp_hidden, 0);
+  LMO_CHECK_GT(num_heads, 0);
+  LMO_CHECK_GT(vocab, 0);
+  LMO_CHECK_EQ(hidden % num_heads, 0);
+  LMO_CHECK(mlp_matrices == 2 || mlp_matrices == 3);
+}
+
+ModelSpec ModelSpec::opt_13b() {
+  return ModelSpec{.name = "opt-13b",
+                   .num_layers = 40,
+                   .hidden = 5120,
+                   .mlp_hidden = 20480,
+                   .num_heads = 40,
+                   .vocab = 50272,
+                   .mlp_matrices = 2,
+                   .activation = Activation::kRelu};
+}
+
+ModelSpec ModelSpec::opt_30b() {
+  return ModelSpec{.name = "opt-30b",
+                   .num_layers = 48,
+                   .hidden = 7168,
+                   .mlp_hidden = 28672,
+                   .num_heads = 56,
+                   .vocab = 50272,
+                   .mlp_matrices = 2,
+                   .activation = Activation::kRelu};
+}
+
+ModelSpec ModelSpec::opt_66b() {
+  return ModelSpec{.name = "opt-66b",
+                   .num_layers = 64,
+                   .hidden = 9216,
+                   .mlp_hidden = 36864,
+                   .num_heads = 72,
+                   .vocab = 50272,
+                   .mlp_matrices = 2,
+                   .activation = Activation::kRelu};
+}
+
+ModelSpec ModelSpec::llama_13b() {
+  return ModelSpec{.name = "llama-13b",
+                   .num_layers = 40,
+                   .hidden = 5120,
+                   .mlp_hidden = 13824,
+                   .num_heads = 40,
+                   .vocab = 32000,
+                   .mlp_matrices = 3,
+                   .activation = Activation::kSilu};
+}
+
+ModelSpec ModelSpec::llama_30b() {
+  return ModelSpec{.name = "llama-30b",
+                   .num_layers = 60,
+                   .hidden = 6656,
+                   .mlp_hidden = 17920,
+                   .num_heads = 52,
+                   .vocab = 32000,
+                   .mlp_matrices = 3,
+                   .activation = Activation::kSilu};
+}
+
+ModelSpec ModelSpec::llama_65b() {
+  return ModelSpec{.name = "llama-65b",
+                   .num_layers = 80,
+                   .hidden = 8192,
+                   .mlp_hidden = 22016,
+                   .num_heads = 64,
+                   .vocab = 32000,
+                   .mlp_matrices = 3,
+                   .activation = Activation::kSilu};
+}
+
+ModelSpec ModelSpec::tiny(std::int64_t layers, std::int64_t hidden,
+                          std::int64_t heads, std::int64_t vocab) {
+  ModelSpec spec{.name = "tiny",
+                 .num_layers = layers,
+                 .hidden = hidden,
+                 .mlp_hidden = 4 * hidden,
+                 .num_heads = heads,
+                 .vocab = vocab,
+                 .mlp_matrices = 2};
+  spec.validate();
+  return spec;
+}
+
+ModelSpec ModelSpec::by_name(const std::string& name) {
+  if (name == "opt-13b") return opt_13b();
+  if (name == "opt-30b") return opt_30b();
+  if (name == "opt-66b") return opt_66b();
+  if (name == "llama-13b") return llama_13b();
+  if (name == "llama-30b") return llama_30b();
+  if (name == "llama-65b") return llama_65b();
+  if (name == "tiny") return tiny();
+  LMO_CHECK_MSG(false, "unknown model name: " + name);
+  LMO_UNREACHABLE("unreachable");
+}
+
+std::vector<std::string> ModelSpec::known_names() {
+  return {"opt-13b",   "opt-30b",   "opt-66b", "llama-13b",
+          "llama-30b", "llama-65b", "tiny"};
+}
+
+}  // namespace lmo::model

@@ -1,0 +1,63 @@
+// Transformer architecture descriptions for the models the paper evaluates
+// (OPT-13/30/66B, LLaMA-13/30/65B) plus a tiny preset for the real-execution
+// runtime. Only the quantities that determine offloading behaviour are kept:
+// layer count, hidden sizes, head count, vocab.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lmo::model {
+
+/// MLP non-linearity. OPT uses ReLU, LLaMA uses SiLU (in a gated MLP),
+/// the tiny runtime preset defaults to GELU.
+enum class Activation { kGelu, kRelu, kSilu };
+
+const char* to_string(Activation activation);
+
+struct ModelSpec {
+  std::string name;
+  std::int64_t num_layers = 0;   ///< l
+  std::int64_t hidden = 0;       ///< h1
+  std::int64_t mlp_hidden = 0;   ///< h2 (intermediate size)
+  std::int64_t num_heads = 0;
+  std::int64_t vocab = 0;
+  /// MLP weight matrices per layer: 2 for OPT (fc1, fc2), 3 for LLaMA
+  /// (gate, up, down). The paper's num_weights formula assumes 2; we keep
+  /// architecture-accurate counts and the perf model generalizes.
+  int mlp_matrices = 2;
+  Activation activation = Activation::kGelu;
+
+  std::int64_t head_dim() const { return hidden / num_heads; }
+
+  /// Attention weights per layer: Q, K, V, output projections (4·h1²).
+  std::int64_t attention_weights_per_layer() const;
+  /// MLP weights per layer: mlp_matrices · h1 · h2.
+  std::int64_t mlp_weights_per_layer() const;
+  /// num_weights in the paper's Eq. (12) context = attention + MLP.
+  std::int64_t weights_per_layer() const;
+  /// Embedding (+ unembedding, tied) parameters.
+  std::int64_t embedding_weights() const;
+  /// Total parameter count across all layers + embeddings.
+  std::int64_t total_weights() const;
+
+  void validate() const;
+
+  // -- presets (architecture-accurate public configs) ----------------------
+  static ModelSpec opt_13b();
+  static ModelSpec opt_30b();
+  static ModelSpec opt_66b();
+  static ModelSpec llama_13b();
+  static ModelSpec llama_30b();
+  static ModelSpec llama_65b();
+  /// Laptop-scale model for the real-execution runtime and tests.
+  static ModelSpec tiny(std::int64_t layers = 2, std::int64_t hidden = 64,
+                        std::int64_t heads = 4, std::int64_t vocab = 256);
+
+  /// Lookup by name ("opt-30b", "llama-65b", ...); throws on unknown.
+  static ModelSpec by_name(const std::string& name);
+  static std::vector<std::string> known_names();
+};
+
+}  // namespace lmo::model

@@ -1,0 +1,132 @@
+#include "lmo/model/memory.hpp"
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::model {
+
+void Workload::validate() const {
+  LMO_CHECK_GT(prompt_len, 0);
+  LMO_CHECK_GT(gen_len, 0);
+  LMO_CHECK_GT(gpu_batch, 0);
+  LMO_CHECK_GT(num_batches, 0);
+}
+
+double bytes_per_element(int bits) {
+  LMO_CHECK_GT(bits, 0);
+  LMO_CHECK_LE(bits, 32);
+  return static_cast<double>(bits) / 8.0;
+}
+
+double layer_weight_bytes(const ModelSpec& spec, int bits) {
+  return static_cast<double>(spec.weights_per_layer()) *
+         bytes_per_element(bits);
+}
+
+double total_weight_bytes(const ModelSpec& spec, int bits) {
+  return static_cast<double>(spec.total_weights()) * bytes_per_element(bits);
+}
+
+namespace {
+
+double kv_elements_at_len(const ModelSpec& spec, const Workload& w,
+                          double seq_len) {
+  // 2 (K and V) × seq × h1 × bls elements, one layer.
+  return 2.0 * seq_len * static_cast<double>(spec.hidden) *
+         static_cast<double>(w.block_size());
+}
+
+}  // namespace
+
+double pf_kv_cache_bytes(const ModelSpec& spec, const Workload& w, int bits) {
+  return kv_elements_at_len(spec, w,
+                            static_cast<double>(w.prompt_len + 1)) *
+         bytes_per_element(bits);
+}
+
+double old_kv_cache_avg_bytes(const ModelSpec& spec, const Workload& w,
+                              int bits) {
+  const double avg_len = static_cast<double>(w.prompt_len) +
+                         static_cast<double>(w.gen_len) / 2.0;
+  return kv_elements_at_len(spec, w, avg_len) * bytes_per_element(bits);
+}
+
+double kv_cache_bytes_at(const ModelSpec& spec, const Workload& w,
+                         std::int64_t t, int bits) {
+  LMO_CHECK_GE(t, 0);
+  LMO_CHECK_LT(t, w.gen_len);
+  return kv_elements_at_len(spec, w,
+                            static_cast<double>(w.prompt_len + t)) *
+         bytes_per_element(bits);
+}
+
+double new_kv_cache_bytes(const ModelSpec& spec, const Workload& w, int bits) {
+  return kv_elements_at_len(spec, w, 1.0) * bytes_per_element(bits);
+}
+
+double peak_kv_cache_total_bytes(const ModelSpec& spec, const Workload& w,
+                                 int bits) {
+  return kv_elements_at_len(
+             spec, w, static_cast<double>(w.prompt_len + w.gen_len)) *
+         bytes_per_element(bits) * static_cast<double>(spec.num_layers);
+}
+
+double activation_bytes(const ModelSpec& spec, const Workload& w, int bits) {
+  return static_cast<double>(w.block_size()) *
+         static_cast<double>(spec.hidden) * bytes_per_element(bits);
+}
+
+FootprintBreakdown inference_footprint(const ModelSpec& spec,
+                                       const Workload& w, int weight_bits,
+                                       int kv_bits) {
+  FootprintBreakdown fp;
+  fp.weights = total_weight_bytes(spec, weight_bits);
+  fp.kv_cache = peak_kv_cache_total_bytes(spec, w, kv_bits);
+  // Working activations: a few hidden-state buffers per in-flight batch.
+  fp.activations = 4.0 * activation_bytes(spec, w, 16);
+  return fp;
+}
+
+double attention_projection_flops(const ModelSpec& spec, const Workload& w) {
+  const double h1 = static_cast<double>(spec.hidden);
+  return static_cast<double>(w.block_size()) * 2.0 * 4.0 * h1 * h1;
+}
+
+double attention_score_flops(const ModelSpec& spec, const Workload& w,
+                             std::int64_t t) {
+  const double h1 = static_cast<double>(spec.hidden);
+  const double seq = static_cast<double>(w.prompt_len + t);
+  // Per sequence: score QKᵀ 2·seq·h1 + weighted sum AV 2·seq·h1 + softmax.
+  return static_cast<double>(w.block_size()) * (4.0 * seq * h1 + 5.0 * seq);
+}
+
+double attention_decode_flops(const ModelSpec& spec, const Workload& w,
+                              std::int64_t t) {
+  return attention_projection_flops(spec, w) +
+         attention_score_flops(spec, w, t);
+}
+
+double mlp_decode_flops(const ModelSpec& spec, const Workload& w) {
+  const double bls = static_cast<double>(w.block_size());
+  return bls * 2.0 * static_cast<double>(spec.mlp_weights_per_layer());
+}
+
+double layer_prefill_flops(const ModelSpec& spec, const Workload& w) {
+  const double h1 = static_cast<double>(spec.hidden);
+  const double bls = static_cast<double>(w.block_size());
+  const double s = static_cast<double>(w.prompt_len);
+  const double proj =
+      2.0 * s * (4.0 * h1 * h1 +
+                 static_cast<double>(spec.mlp_weights_per_layer()));
+  const double attn = 4.0 * s * s * h1;  // quadratic prefill attention
+  return bls * (proj + attn);
+}
+
+double attention_kv_bytes_touched(const ModelSpec& spec, const Workload& w,
+                                  std::int64_t t, int bits) {
+  // The decode-attention scan reads the whole per-layer KV cache once and
+  // appends one token's K and V.
+  return kv_cache_bytes_at(spec, w, t, bits) +
+         new_kv_cache_bytes(spec, w, bits);
+}
+
+}  // namespace lmo::model

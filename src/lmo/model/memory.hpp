@@ -1,0 +1,99 @@
+// Tensor-size calculators (paper Eqs. 17-19 and the footprint numbers in
+// §3.1). Everything returns *bytes*; element width is a parameter so the
+// same formulas serve fp16 baselines and 4/8-bit quantized variants.
+#pragma once
+
+#include <cstdint>
+
+#include "lmo/model/llm_config.hpp"
+
+namespace lmo::model {
+
+/// A generation workload: prompt length s, generation length n, per-GPU
+/// batch size, and the zig-zag block = gpu_batch × num_batches sequences
+/// that traverse the layers together (FlexGen's block schedule).
+struct Workload {
+  std::int64_t prompt_len = 64;   ///< s
+  std::int64_t gen_len = 128;     ///< n
+  std::int64_t gpu_batch = 64;    ///< inference batch size per compute step
+  std::int64_t num_batches = 10;  ///< batches per zig-zag block
+
+  std::int64_t block_size() const { return gpu_batch * num_batches; }  ///< bls
+  /// Tokens produced per full block pass (throughput numerator).
+  std::int64_t total_tokens() const { return block_size() * gen_len; }
+
+  void validate() const;
+};
+
+/// Bytes per stored element given a bit width (16 for fp16, 4/8 quantized).
+double bytes_per_element(int bits);
+
+// -- weights ----------------------------------------------------------------
+
+/// One transformer layer's weights.
+double layer_weight_bytes(const ModelSpec& spec, int bits);
+/// All layers + embeddings.
+double total_weight_bytes(const ModelSpec& spec, int bits);
+
+// -- KV cache (per transformer layer, for a whole zig-zag block) -------------
+
+/// Eq. 17: prefilled KV cache, 2·(s+1)·h1·bls elements.
+double pf_kv_cache_bytes(const ModelSpec& spec, const Workload& w, int bits);
+/// Eq. 18 (per-token average): old KV consumed in one token generation,
+/// 2·(s + n/2)·h1·bls elements.
+double old_kv_cache_avg_bytes(const ModelSpec& spec, const Workload& w,
+                              int bits);
+/// KV size at a specific decode step t ∈ [0, n): 2·(s + t)·h1·bls elements.
+double kv_cache_bytes_at(const ModelSpec& spec, const Workload& w,
+                         std::int64_t t, int bits);
+/// Eq. 19 (per token): newly generated KV, 2·h1·bls elements.
+double new_kv_cache_bytes(const ModelSpec& spec, const Workload& w, int bits);
+/// Peak KV cache across all layers at end of generation (capacity planning).
+double peak_kv_cache_total_bytes(const ModelSpec& spec, const Workload& w,
+                                 int bits);
+
+// -- activations --------------------------------------------------------------
+
+/// Hidden activations crossing the CPU/GPU boundary per layer per token
+/// step: bls·h1 elements (the paper: "KB scale ... <1% of inference time").
+double activation_bytes(const ModelSpec& spec, const Workload& w, int bits);
+
+// -- aggregate footprint ------------------------------------------------------
+
+struct FootprintBreakdown {
+  double weights = 0.0;
+  double kv_cache = 0.0;
+  double activations = 0.0;
+  double total() const { return weights + kv_cache + activations; }
+};
+
+/// Total memory the inference touches (paper §3.1: OPT-30B with s=64,
+/// n=128, bls=640 → ≈214 GB: 55 GB weights + 157 GB KV).
+FootprintBreakdown inference_footprint(const ModelSpec& spec,
+                                       const Workload& w, int weight_bits,
+                                       int kv_bits);
+
+// -- compute volumes ----------------------------------------------------------
+
+/// FLOPs of one layer's attention for one decode step over the whole block
+/// (QKV projections + QKᵀ + AV + output projection).
+double attention_decode_flops(const ModelSpec& spec, const Workload& w,
+                              std::int64_t t);
+/// Projection-only part (QKV + output, 2·4·h1² per token): weight GEMMs
+/// that stay on the GPU even when attention is offloaded.
+double attention_projection_flops(const ModelSpec& spec, const Workload& w);
+/// Cache-touching part (QKᵀ + AV + softmax): what attention offloading
+/// actually moves to the CPU, next to the KV cache.
+double attention_score_flops(const ModelSpec& spec, const Workload& w,
+                             std::int64_t t);
+/// FLOPs of one layer's MLP for one decode step over the whole block.
+double mlp_decode_flops(const ModelSpec& spec, const Workload& w);
+/// FLOPs of one layer over the full prompt (prefill), whole block.
+double layer_prefill_flops(const ModelSpec& spec, const Workload& w);
+
+/// Bytes of KV cache *touched* by attention at decode step t (the
+/// memory-bound part of the compute task).
+double attention_kv_bytes_touched(const ModelSpec& spec, const Workload& w,
+                                  std::int64_t t, int bits);
+
+}  // namespace lmo::model

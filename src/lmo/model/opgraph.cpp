@@ -1,0 +1,212 @@
+#include "lmo/model/opgraph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <sstream>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::model {
+
+OpId OpGraph::add_op(std::string name, double flops, double bytes) {
+  nodes_.push_back(OpNode{std::move(name), flops, bytes, -1});
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return static_cast<OpId>(nodes_.size() - 1);
+}
+
+void OpGraph::add_edge(OpId from, OpId to) {
+  LMO_CHECK_GE(from, 0);
+  LMO_CHECK_LT(static_cast<std::size_t>(from), nodes_.size());
+  LMO_CHECK_GE(to, 0);
+  LMO_CHECK_LT(static_cast<std::size_t>(to), nodes_.size());
+  LMO_CHECK_NE(from, to);
+  succ_[static_cast<std::size_t>(from)].push_back(to);
+  pred_[static_cast<std::size_t>(to)].push_back(from);
+}
+
+const OpNode& OpGraph::node(OpId id) const {
+  LMO_CHECK_GE(id, 0);
+  LMO_CHECK_LT(static_cast<std::size_t>(id), nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+OpNode& OpGraph::node(OpId id) {
+  LMO_CHECK_GE(id, 0);
+  LMO_CHECK_LT(static_cast<std::size_t>(id), nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<OpId>& OpGraph::successors(OpId id) const {
+  LMO_CHECK_LT(static_cast<std::size_t>(id), nodes_.size());
+  return succ_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<OpId>& OpGraph::predecessors(OpId id) const {
+  LMO_CHECK_LT(static_cast<std::size_t>(id), nodes_.size());
+  return pred_[static_cast<std::size_t>(id)];
+}
+
+std::vector<OpId> OpGraph::topological_order() const {
+  std::vector<int> indegree(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (OpId s : succ_[i]) ++indegree[static_cast<std::size_t>(s)];
+  }
+  std::queue<OpId> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push(static_cast<OpId>(i));
+  }
+  std::vector<OpId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const OpId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (OpId s : succ_[static_cast<std::size_t>(id)]) {
+      if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push(s);
+    }
+  }
+  LMO_CHECK_MSG(order.size() == nodes_.size(), "op graph has a cycle");
+  return order;
+}
+
+bool OpGraph::is_acyclic() const {
+  try {
+    (void)topological_order();
+    return true;
+  } catch (const util::CheckError&) {
+    return false;
+  }
+}
+
+std::vector<std::vector<OpId>> OpGraph::level_sets() const {
+  const auto order = topological_order();
+  std::vector<int> level(nodes_.size(), 0);
+  int max_level = 0;
+  for (OpId id : order) {
+    for (OpId p : pred_[static_cast<std::size_t>(id)]) {
+      level[static_cast<std::size_t>(id)] =
+          std::max(level[static_cast<std::size_t>(id)],
+                   level[static_cast<std::size_t>(p)] + 1);
+    }
+    max_level = std::max(max_level, level[static_cast<std::size_t>(id)]);
+  }
+  std::vector<std::vector<OpId>> levels(
+      static_cast<std::size_t>(max_level + 1));
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    levels[static_cast<std::size_t>(level[i])].push_back(
+        static_cast<OpId>(i));
+  }
+  return levels;
+}
+
+std::size_t OpGraph::max_concurrency() const {
+  std::size_t best = 0;
+  for (const auto& level : level_sets()) best = std::max(best, level.size());
+  return best;
+}
+
+double OpGraph::total_flops() const {
+  double sum = 0.0;
+  for (const auto& n : nodes_) sum += n.flops;
+  return sum;
+}
+
+double OpGraph::total_bytes() const {
+  double sum = 0.0;
+  for (const auto& n : nodes_) sum += n.bytes;
+  return sum;
+}
+
+std::string to_dot(const OpGraph& graph, const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << title << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  // Nodes, grouped by bundle where assigned.
+  std::map<int, std::vector<OpId>> bundles;
+  std::vector<OpId> loose;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto id = static_cast<OpId>(i);
+    if (graph.node(id).bundle >= 0) {
+      bundles[graph.node(id).bundle].push_back(id);
+    } else {
+      loose.push_back(id);
+    }
+  }
+  const auto emit_node = [&](OpId id, const char* indent) {
+    const OpNode& n = graph.node(id);
+    os << indent << "n" << id << " [label=\"" << n.name << "\\n"
+       << static_cast<long long>(n.flops / 1e6) << " MFLOP, "
+       << static_cast<long long>(n.bytes / 1e6) << " MB\"];\n";
+  };
+  for (const auto& [bundle, members] : bundles) {
+    if (members.size() > 1) {
+      os << "  subgraph cluster_b" << bundle << " {\n    label=\"bundle "
+         << bundle << "\";\n    style=dashed;\n";
+      for (OpId id : members) emit_node(id, "    ");
+      os << "  }\n";
+    } else {
+      emit_node(members.front(), "  ");
+    }
+  }
+  for (OpId id : loose) emit_node(id, "  ");
+  // Edges.
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto from = static_cast<OpId>(i);
+    for (OpId to : graph.successors(from)) {
+      os << "  n" << from << " -> n" << to << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+OpGraph build_attention_graph(const AttentionGraphParams& params) {
+  LMO_CHECK_GT(params.hidden, 0);
+  LMO_CHECK_GT(params.seq_len, 0);
+  LMO_CHECK_GT(params.batch, 0);
+  LMO_CHECK_GE(params.num_batches, 1);
+
+  const double h1 = static_cast<double>(params.hidden);
+  const double seq = static_cast<double>(params.seq_len);
+  const double b = static_cast<double>(params.batch);
+  const double kv_bytes_per_elem =
+      static_cast<double>(params.kv_bits) / 8.0;
+
+  OpGraph g;
+  for (int batch = 0; batch < params.num_batches; ++batch) {
+    const std::string tag = "[b" + std::to_string(batch) + "]";
+    // One decode token per sequence.
+    const double proj_flops = 2.0 * b * h1 * h1;
+    const double proj_bytes = b * h1 * 4.0 + h1 * h1 * 2.0;
+
+    const OpId ln = g.add_op("LayerNorm" + tag, 5.0 * b * h1, b * h1 * 8.0);
+    const OpId q = g.add_op("QProj" + tag, proj_flops, proj_bytes);
+    const OpId k = g.add_op("KProj" + tag, proj_flops, proj_bytes);
+    const OpId v = g.add_op("VProj" + tag, proj_flops, proj_bytes);
+    const OpId append =
+        g.add_op("KVAppend" + tag, 0.0, 2.0 * b * h1 * kv_bytes_per_elem);
+    const OpId qk = g.add_op("BmmQK" + tag, 2.0 * b * seq * h1,
+                             b * seq * h1 * kv_bytes_per_elem);
+    const OpId sm = g.add_op("Softmax" + tag, 5.0 * b * seq, b * seq * 8.0);
+    const OpId av = g.add_op("BmmAV" + tag, 2.0 * b * seq * h1,
+                             b * seq * h1 * kv_bytes_per_elem);
+    const OpId out = g.add_op("OutProj" + tag, proj_flops, proj_bytes);
+
+    g.add_edge(ln, q);
+    g.add_edge(ln, k);
+    g.add_edge(ln, v);
+    g.add_edge(k, append);
+    g.add_edge(v, append);
+    g.add_edge(q, qk);
+    g.add_edge(append, qk);
+    g.add_edge(qk, sm);
+    g.add_edge(sm, av);
+    g.add_edge(append, av);
+    g.add_edge(av, out);
+  }
+  return g;
+}
+
+}  // namespace lmo::model

@@ -1,0 +1,73 @@
+// Operation dependency graphs (paper Fig. 6). A generic small DAG of named
+// operators with per-op cost metadata, plus a builder for the attention
+// compute task's graph. The parallelism controller (lmo::parallel) runs
+// Kahn's algorithm over these graphs to find the maximum concurrency level
+// that determines inter-op parallelism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lmo::model {
+
+using OpId = int;
+
+struct OpNode {
+  std::string name;
+  double flops = 0.0;      ///< arithmetic volume
+  double bytes = 0.0;      ///< memory traffic volume
+  int bundle = -1;         ///< operator-bundling group (-1 = unbundled)
+};
+
+class OpGraph {
+ public:
+  OpId add_op(std::string name, double flops = 0.0, double bytes = 0.0);
+  /// `from` must complete before `to` starts.
+  void add_edge(OpId from, OpId to);
+
+  std::size_t size() const { return nodes_.size(); }
+  const OpNode& node(OpId id) const;
+  OpNode& node(OpId id);
+  const std::vector<OpId>& successors(OpId id) const;
+  const std::vector<OpId>& predecessors(OpId id) const;
+
+  /// Topological order (Kahn); throws CheckError if cyclic.
+  std::vector<OpId> topological_order() const;
+  bool is_acyclic() const;
+
+  /// Kahn level sets: ops grouped by longest-path depth from sources. The
+  /// size of the largest level is the maximum concurrency level the paper's
+  /// Algorithm 3 uses (Line 4).
+  std::vector<std::vector<OpId>> level_sets() const;
+  std::size_t max_concurrency() const;
+
+  double total_flops() const;
+  double total_bytes() const;
+
+ private:
+  std::vector<OpNode> nodes_;
+  std::vector<std::vector<OpId>> succ_;
+  std::vector<std::vector<OpId>> pred_;
+};
+
+/// Build the attention compute-task graph of Fig. 6 for `num_batches`
+/// concurrently in-flight batches. Per batch: layernorm → {Q,K,V}
+/// projections (parallel) → KV append → QKᵀ → softmax → AV → output
+/// projection. Costs are filled from the model/workload dimensions at
+/// decode step `t`.
+struct AttentionGraphParams {
+  std::int64_t hidden = 0;
+  std::int64_t seq_len = 0;    ///< s + t at the step being modeled
+  std::int64_t batch = 0;      ///< sequences per batch
+  int num_batches = 1;         ///< batches co-resident in the compute task
+  int kv_bits = 16;
+};
+
+OpGraph build_attention_graph(const AttentionGraphParams& params);
+
+/// Graphviz DOT rendering of an op graph (paper Fig. 6's picture), nodes
+/// labelled with name + FLOPs/bytes, same-bundle ops clustered.
+std::string to_dot(const OpGraph& graph, const std::string& title = "ops");
+
+}  // namespace lmo::model

@@ -1,0 +1,189 @@
+#include "lmo/multigpu/pipeline.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lmo/perfmodel/estimator.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::multigpu {
+namespace {
+
+using perfmodel::StepCosts;
+
+std::string tag(std::int64_t t, int stage, std::int64_t micro) {
+  return "[t=" + std::to_string(t) + ",s=" + std::to_string(stage) +
+         ",m=" + std::to_string(micro) + "]";
+}
+
+}  // namespace
+
+PipelineReport run_pipeline(const model::ModelSpec& spec,
+                            const model::Workload& workload,
+                            const perfmodel::Policy& policy,
+                            const hw::Platform& platform,
+                            const PipelineOptions& options) {
+  spec.validate();
+  workload.validate();
+  policy.validate();
+  LMO_CHECK_GE(options.num_gpus, 1);
+  LMO_CHECK_LE(options.num_gpus, platform.num_gpus);
+  LMO_CHECK_GE(options.micro_batches, 1);
+  LMO_CHECK_EQ(workload.block_size() % options.micro_batches, 0);
+
+  const int k = options.num_gpus;
+  const std::int64_t m_count = options.micro_batches;
+
+  // Micro-batch workload: the per-step costs of one micro at one stage.
+  model::Workload micro = workload;
+  micro.gpu_batch = workload.block_size() / m_count;
+  micro.num_batches = 1;
+
+  // Layers per stage (last stage takes the remainder).
+  const std::int64_t base_layers = spec.num_layers / k;
+  std::vector<std::int64_t> stage_layers(static_cast<std::size_t>(k),
+                                         base_layers);
+  stage_layers.back() += spec.num_layers % k;
+
+  sim::Engine engine;
+  const auto cpu = engine.add_resource("cpu");
+  std::vector<sim::ResourceId> gpus, h2d, d2h, links;
+  for (int s = 0; s < k; ++s) {
+    gpus.push_back(engine.add_resource("gpu" + std::to_string(s)));
+    h2d.push_back(engine.add_resource("h2d" + std::to_string(s)));
+    d2h.push_back(engine.add_resource("d2h" + std::to_string(s)));
+    if (s + 1 < k) {
+      links.push_back(
+          engine.add_resource("p2p" + std::to_string(s) + "-" +
+                              std::to_string(s + 1)));
+    }
+  }
+
+  const double act_bytes = model::activation_bytes(spec, micro, 16);
+  const double p2p_seconds =
+      platform.gpu_to_gpu.bandwidth > 0.0
+          ? platform.gpu_to_gpu.transfer_seconds(act_bytes)
+          : 0.0;
+
+  // prev_done[stage][micro]: completion of this (stage, micro) pair at the
+  // previous step — the KV cache must be updated in step order.
+  std::vector<std::vector<sim::TaskId>> prev_done(
+      static_cast<std::size_t>(k),
+      std::vector<sim::TaskId>(static_cast<std::size_t>(m_count),
+                               sim::kInvalidTask));
+
+  for (std::int64_t t = 1; t < workload.gen_len; ++t) {
+    const StepCosts costs =
+        perfmodel::step_costs(spec, micro, policy, platform, t);
+
+    // One weight stream per (step, stage), serving every micro-batch.
+    std::vector<sim::TaskId> weights_ready(static_cast<std::size_t>(k));
+    for (int s = 0; s < k; ++s) {
+      const double lw =
+          costs.load_weight * static_cast<double>(stage_layers[
+                                  static_cast<std::size_t>(s)]);
+      weights_ready[static_cast<std::size_t>(s)] = engine.add_task(
+          "load_weight" + tag(t, s, -1), "load_weight",
+          h2d[static_cast<std::size_t>(s)], lw, {});
+    }
+
+    for (std::int64_t m = 0; m < m_count; ++m) {
+      sim::TaskId carried = sim::kInvalidTask;  // activation from prev stage
+      for (int s = 0; s < k; ++s) {
+        const double layers =
+            static_cast<double>(stage_layers[static_cast<std::size_t>(s)]);
+        std::vector<sim::TaskId> deps = {
+            weights_ready[static_cast<std::size_t>(s)]};
+        if (carried != sim::kInvalidTask) deps.push_back(carried);
+        if (prev_done[static_cast<std::size_t>(s)]
+                     [static_cast<std::size_t>(m)] != sim::kInvalidTask) {
+          deps.push_back(prev_done[static_cast<std::size_t>(s)]
+                                  [static_cast<std::size_t>(m)]);
+        }
+
+        // Cache streaming for GPU attention rides this stage's own link.
+        sim::TaskId cache_ready = sim::kInvalidTask;
+        if (!policy.attention_on_cpu && costs.load_cache > 0.0) {
+          cache_ready = engine.add_task(
+              "load_cache" + tag(t, s, m), "load_cache",
+              h2d[static_cast<std::size_t>(s)], costs.load_cache * layers,
+              deps);
+        }
+
+        std::vector<sim::TaskId> compute_deps = deps;
+        if (cache_ready != sim::kInvalidTask) {
+          compute_deps.push_back(cache_ready);
+        }
+        sim::TaskId attn;
+        if (policy.attention_on_cpu) {
+          // All stages contend on the one CPU complex.
+          attn = engine.add_task("compute_attention" + tag(t, s, m),
+                                 "compute_attention", cpu,
+                                 costs.compute_cpu * layers, compute_deps);
+        } else {
+          attn = engine.add_task("compute_attention" + tag(t, s, m),
+                                 "compute_attention",
+                                 gpus[static_cast<std::size_t>(s)],
+                                 0.0, compute_deps);
+        }
+        const sim::TaskId mlp = engine.add_task(
+            "compute_mlp" + tag(t, s, m), "compute_mlp",
+            gpus[static_cast<std::size_t>(s)], costs.compute_gpu * layers,
+            {attn});
+        if (!policy.attention_on_cpu && costs.store_cache > 0.0) {
+          engine.add_task("store_cache" + tag(t, s, m), "store_cache",
+                          d2h[static_cast<std::size_t>(s)],
+                          costs.store_cache * layers, {mlp});
+        }
+
+        sim::TaskId done = mlp;
+        if (s + 1 < k && p2p_seconds > 0.0) {
+          done = engine.add_task("p2p" + tag(t, s, m), "p2p",
+                                 links[static_cast<std::size_t>(s)],
+                                 p2p_seconds, {mlp});
+        }
+        prev_done[static_cast<std::size_t>(s)]
+                 [static_cast<std::size_t>(m)] = mlp;
+        carried = done;
+      }
+    }
+  }
+
+  PipelineReport report;
+  report.num_gpus = k;
+  report.policy = policy;
+  report.workload = workload;
+  report.run = engine.run();
+  report.decode_seconds = report.run.makespan;
+  LMO_CHECK_GT(report.decode_seconds, 0.0);
+  report.throughput = static_cast<double>(workload.total_tokens()) /
+                      report.decode_seconds;
+  double gpu_util = 0.0;
+  for (const auto& r : report.run.resources) {
+    if (r.name.rfind("gpu", 0) == 0) gpu_util += r.utilization;
+    if (r.name == "cpu") report.cpu_utilization = r.utilization;
+  }
+  report.gpu_utilization = gpu_util / static_cast<double>(k);
+  return report;
+}
+
+std::vector<PipelineReport> weak_scaling(const model::ModelSpec& spec,
+                                         const model::Workload& base,
+                                         const perfmodel::Policy& policy,
+                                         const hw::Platform& platform,
+                                         int max_gpus,
+                                         std::int64_t micro_batches) {
+  std::vector<PipelineReport> reports;
+  for (int k = 1; k <= max_gpus; ++k) {
+    model::Workload w = base;
+    w.gpu_batch = base.gpu_batch * k;  // weak scaling: batch ∝ GPUs
+    PipelineOptions options;
+    options.num_gpus = k;
+    options.micro_batches = micro_batches;
+    reports.push_back(run_pipeline(spec, w, policy, platform, options));
+  }
+  return reports;
+}
+
+}  // namespace lmo::multigpu

@@ -1,0 +1,54 @@
+// Pipeline-parallel multi-GPU inference (paper §5.5, Fig. 9).
+//
+// Layers are partitioned into `num_gpus` contiguous stages; micro-batches
+// flow through the stages each decode step. Every GPU has its own
+// host link (NVLink on the POWER9 platform), but there is only ONE CPU
+// complex — so policies that offload attention to the CPU (FlexGen's
+// default) serialize all stages' attention on the shared CPU resource and
+// stop scaling, while LM-Offload's quantized GPU-attention streaming
+// scales with the per-GPU links. That asymmetry is the paper's observed
+// widening gap (up to 13.9× growth from 1 to 4 GPUs).
+#pragma once
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/memory.hpp"
+#include "lmo/perfmodel/policy.hpp"
+#include "lmo/sim/engine.hpp"
+
+namespace lmo::multigpu {
+
+struct PipelineOptions {
+  int num_gpus = 1;
+  std::int64_t micro_batches = 4;  ///< per decode step
+};
+
+struct PipelineReport {
+  int num_gpus = 1;
+  perfmodel::Policy policy;
+  model::Workload workload;
+  double decode_seconds = 0.0;
+  double throughput = 0.0;  ///< tokens/s over the decode phase
+  double cpu_utilization = 0.0;
+  double gpu_utilization = 0.0;  ///< mean over stages
+  sim::RunResult run;
+};
+
+/// Simulate decode under pipeline parallelism. The workload's block is
+/// split evenly across micro-batches; `policy` applies to every stage.
+PipelineReport run_pipeline(const model::ModelSpec& spec,
+                            const model::Workload& workload,
+                            const perfmodel::Policy& policy,
+                            const hw::Platform& platform,
+                            const PipelineOptions& options);
+
+/// Weak-scaling sweep (paper Fig. 9): batch doubles with the GPU count.
+/// Returns one report per GPU count in [1, max_gpus].
+std::vector<PipelineReport> weak_scaling(const model::ModelSpec& spec,
+                                         const model::Workload& base,
+                                         const perfmodel::Policy& policy,
+                                         const hw::Platform& platform,
+                                         int max_gpus,
+                                         std::int64_t micro_batches = 4);
+
+}  // namespace lmo::multigpu

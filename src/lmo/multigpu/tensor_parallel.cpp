@@ -1,0 +1,139 @@
+#include "lmo/multigpu/tensor_parallel.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lmo/perfmodel/estimator.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::multigpu {
+
+double allreduce_bytes_per_rank(double elements, int k) {
+  LMO_CHECK_GE(k, 1);
+  if (k == 1) return 0.0;
+  const double kd = static_cast<double>(k);
+  return 2.0 * (kd - 1.0) / kd * elements * 2.0;  // fp16 payload
+}
+
+TensorParallelReport run_tensor_parallel(const model::ModelSpec& spec,
+                                         const model::Workload& workload,
+                                         const perfmodel::Policy& policy,
+                                         const hw::Platform& platform,
+                                         const TensorParallelOptions&
+                                             options) {
+  spec.validate();
+  workload.validate();
+  policy.validate();
+  LMO_CHECK_GE(options.num_gpus, 1);
+  LMO_CHECK_LE(options.num_gpus, platform.num_gpus);
+  const int k = options.num_gpus;
+
+  // Each rank holds 1/k of every tensor (heads and MLP columns split), so
+  // every per-layer cost component — weight streams, cache traffic, HBM
+  // reads, FLOPs — divides by k. Compute the full-layer costs once and
+  // shard them linearly.
+  model::Workload full = workload;
+  full.gpu_batch = workload.block_size();
+  full.num_batches = 1;
+  const double inv_k = 1.0 / static_cast<double>(k);
+
+  sim::Engine engine;
+  std::vector<sim::ResourceId> gpus, h2d;
+  for (int r = 0; r < k; ++r) {
+    gpus.push_back(engine.add_resource("gpu" + std::to_string(r)));
+    h2d.push_back(engine.add_resource("h2d" + std::to_string(r)));
+  }
+  const auto cpu = engine.add_resource("cpu");
+  const auto fabric = engine.add_resource("fabric");
+
+  // Per-layer all-reduce payload: the block's activations (bls × h1).
+  const double act_elements =
+      static_cast<double>(workload.block_size()) *
+      static_cast<double>(spec.hidden);
+  const double ar_seconds =
+      platform.gpu_to_gpu.bandwidth > 0.0
+          ? allreduce_bytes_per_rank(act_elements, k) /
+                    platform.gpu_to_gpu.bandwidth +
+                platform.gpu_to_gpu.latency * 2.0 *
+                    static_cast<double>(k - 1)
+          : 0.0;
+  double allreduce_total = 0.0;
+
+  std::vector<sim::TaskId> prev_layer_done(static_cast<std::size_t>(k),
+                                           sim::kInvalidTask);
+  for (std::int64_t t = 1; t < workload.gen_len; ++t) {
+    const perfmodel::StepCosts costs =
+        perfmodel::step_costs(spec, full, policy, platform, t);
+    for (std::int64_t j = 0; j < spec.num_layers; ++j) {
+      const std::string tag =
+          "[t=" + std::to_string(t) + ",l=" + std::to_string(j) + "]";
+      std::vector<sim::TaskId> rank_done(static_cast<std::size_t>(k));
+      for (int r = 0; r < k; ++r) {
+        std::vector<sim::TaskId> deps;
+        if (prev_layer_done[static_cast<std::size_t>(r)] !=
+            sim::kInvalidTask) {
+          deps.push_back(prev_layer_done[static_cast<std::size_t>(r)]);
+        }
+        // Rank-local weight stream (1/k of the layer) on its own link.
+        const sim::TaskId lw = engine.add_task(
+            "load_weight" + tag, "load_weight",
+            h2d[static_cast<std::size_t>(r)], costs.load_weight * inv_k,
+            deps);
+        std::vector<sim::TaskId> compute_deps = deps;
+        compute_deps.push_back(lw);
+        sim::TaskId compute;
+        if (policy.attention_on_cpu) {
+          // All ranks' attention shards still share the one CPU.
+          compute = engine.add_task("compute_attention" + tag,
+                                    "compute_attention", cpu,
+                                    costs.compute_cpu * inv_k, compute_deps);
+          compute = engine.add_task("compute_mlp" + tag, "compute_mlp",
+                                    gpus[static_cast<std::size_t>(r)],
+                                    costs.compute_gpu * inv_k, {compute});
+        } else {
+          if (costs.load_cache > 0.0) {
+            compute_deps.push_back(engine.add_task(
+                "load_cache" + tag, "load_cache",
+                h2d[static_cast<std::size_t>(r)],
+                costs.load_cache * inv_k, deps));
+          }
+          compute = engine.add_task("compute" + tag, "compute_mlp",
+                                    gpus[static_cast<std::size_t>(r)],
+                                    costs.compute_gpu * inv_k, compute_deps);
+        }
+        rank_done[static_cast<std::size_t>(r)] = compute;
+      }
+      // Two all-reduces per layer, serialized on the shared fabric; every
+      // rank joins (a barrier across ranks).
+      if (k > 1) {
+        const sim::TaskId ar = engine.add_task(
+            "allreduce" + tag, "allreduce", fabric, 2.0 * ar_seconds,
+            rank_done);
+        allreduce_total += 2.0 * ar_seconds;
+        for (auto& done : prev_layer_done) done = ar;
+      } else {
+        prev_layer_done = rank_done;
+      }
+    }
+  }
+
+  TensorParallelReport report;
+  report.num_gpus = k;
+  report.policy = policy;
+  report.workload = workload;
+  report.run = engine.run();
+  report.decode_seconds = report.run.makespan;
+  LMO_CHECK_GT(report.decode_seconds, 0.0);
+  report.throughput = static_cast<double>(workload.total_tokens()) /
+                      report.decode_seconds;
+  report.allreduce_seconds = allreduce_total;
+  double util = 0.0;
+  for (const auto& r : report.run.resources) {
+    if (r.name.rfind("gpu", 0) == 0) util += r.utilization;
+  }
+  report.gpu_utilization = util / static_cast<double>(k);
+  return report;
+}
+
+}  // namespace lmo::multigpu

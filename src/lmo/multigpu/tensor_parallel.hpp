@@ -1,0 +1,46 @@
+// Tensor parallelism (Megatron-style) as the alternative multi-GPU
+// strategy to pipeline.hpp: every layer's attention heads and MLP columns
+// split across the GPUs, with two activation all-reduces per layer
+// (after attention, after MLP). Offloaded tensors split the same way, so
+// each GPU streams 1/k of the weights over its own host link — but the
+// per-layer all-reduce puts the inter-GPU fabric on the critical path,
+// which is exactly the trade-off against pipeline bubbles.
+#pragma once
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/memory.hpp"
+#include "lmo/perfmodel/policy.hpp"
+#include "lmo/sim/engine.hpp"
+
+namespace lmo::multigpu {
+
+struct TensorParallelOptions {
+  int num_gpus = 1;
+};
+
+struct TensorParallelReport {
+  int num_gpus = 1;
+  perfmodel::Policy policy;
+  model::Workload workload;
+  double decode_seconds = 0.0;
+  double throughput = 0.0;         ///< tokens/s over decode
+  double allreduce_seconds = 0.0;  ///< total fabric time
+  double gpu_utilization = 0.0;    ///< mean over ranks
+  sim::RunResult run;
+};
+
+/// Simulate decode under tensor parallelism. `policy` applies per rank
+/// with volumes divided by the degree.
+TensorParallelReport run_tensor_parallel(const model::ModelSpec& spec,
+                                         const model::Workload& workload,
+                                         const perfmodel::Policy& policy,
+                                         const hw::Platform& platform,
+                                         const TensorParallelOptions&
+                                             options);
+
+/// Bytes one ring all-reduce moves per rank for an activation of
+/// `elements` fp16 values across `k` ranks: 2·(k−1)/k · elements · 2 B.
+double allreduce_bytes_per_rank(double elements, int k);
+
+}  // namespace lmo::multigpu

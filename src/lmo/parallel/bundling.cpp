@@ -1,0 +1,75 @@
+#include "lmo/parallel/bundling.hpp"
+
+#include <map>
+#include <set>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::parallel {
+
+int bundle_small_ops(model::OpGraph& graph, const BundlingOptions& options) {
+  const auto order = graph.topological_order();
+  int next_bundle = 0;
+  for (model::OpId id : order) {
+    auto& node = graph.node(id);
+    const bool small = node.flops < options.small_flops_threshold &&
+                       node.bytes < options.small_bytes_threshold;
+    const auto& preds = graph.predecessors(id);
+    if (small && preds.size() == 1 &&
+        graph.successors(preds[0]).size() == 1) {
+      // Linear-chain fusion: inherit the predecessor's bundle.
+      node.bundle = graph.node(preds[0]).bundle;
+    } else {
+      node.bundle = next_bundle++;
+    }
+  }
+  return next_bundle;
+}
+
+model::OpGraph bundled_graph(const model::OpGraph& graph) {
+  // Collect members per bundle (bundle ids are assigned in topological
+  // order by bundle_small_ops, so they are already valid node ids for the
+  // coarse graph).
+  std::map<int, std::vector<model::OpId>> members;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto& node = graph.node(static_cast<model::OpId>(i));
+    LMO_CHECK_MSG(node.bundle >= 0,
+                  "bundled_graph requires bundle_small_ops to run first");
+    members[node.bundle].push_back(static_cast<model::OpId>(i));
+  }
+
+  model::OpGraph coarse;
+  std::map<int, model::OpId> bundle_to_node;
+  for (const auto& [bundle, ops] : members) {
+    double flops = 0.0;
+    double bytes = 0.0;
+    std::string name = "bundle" + std::to_string(bundle) + "{";
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto& op = graph.node(ops[i]);
+      flops += op.flops;
+      bytes += op.bytes;
+      if (i > 0) name += "+";
+      name += op.name;
+    }
+    name += "}";
+    bundle_to_node[bundle] = coarse.add_op(std::move(name), flops, bytes);
+  }
+
+  std::set<std::pair<model::OpId, model::OpId>> edges;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto from_id = static_cast<model::OpId>(i);
+    const int from_bundle = graph.node(from_id).bundle;
+    for (model::OpId succ : graph.successors(from_id)) {
+      const int to_bundle = graph.node(succ).bundle;
+      if (from_bundle == to_bundle) continue;
+      const auto edge = std::make_pair(bundle_to_node.at(from_bundle),
+                                       bundle_to_node.at(to_bundle));
+      if (edges.insert(edge).second) {
+        coarse.add_edge(edge.first, edge.second);
+      }
+    }
+  }
+  return coarse;
+}
+
+}  // namespace lmo::parallel

@@ -1,0 +1,31 @@
+// Operator bundling (paper §1/§4: "we bundle small operators when
+// throttling parallelism to avoid cache thrashing"). Small operators —
+// whose work is below a threshold — are merged with an adjacent operator in
+// the same dependency chain so they execute inside one parallelism domain
+// instead of paying their own dispatch and cache-warmup cost.
+#pragma once
+
+#include <vector>
+
+#include "lmo/model/opgraph.hpp"
+
+namespace lmo::parallel {
+
+struct BundlingOptions {
+  /// Ops with fewer FLOPs than this are bundle candidates.
+  double small_flops_threshold = 1e6;
+  /// ... unless they also move at least this many bytes.
+  double small_bytes_threshold = 1e6;
+};
+
+/// Assign bundle ids in `graph` (OpNode::bundle): each small op is fused
+/// into its sole predecessor's bundle when that is its only dependency and
+/// it is the predecessor's only dependent (a linear chain); everything else
+/// gets its own bundle. Returns the number of bundles.
+int bundle_small_ops(model::OpGraph& graph, const BundlingOptions& options = {});
+
+/// A bundled view: the coarse DAG whose nodes are bundles (summed costs),
+/// suitable for concurrency analysis after bundling.
+model::OpGraph bundled_graph(const model::OpGraph& graph);
+
+}  // namespace lmo::parallel

@@ -1,0 +1,38 @@
+#include "lmo/parallel/cache_model.hpp"
+
+namespace lmo::parallel {
+
+CacheMissEstimate estimate_llc_misses(const model::ModelSpec& spec,
+                                      const model::Workload& w, int kv_bits,
+                                      bool parallelism_control,
+                                      const CacheMissParams& params) {
+  CacheMissEstimate est;
+  const double layers = static_cast<double>(spec.num_layers);
+
+  for (std::int64_t t = 1; t < w.gen_len; ++t) {
+    // Reads: the attention scan touches the whole per-layer KV cache once.
+    const double kv_read =
+        model::kv_cache_bytes_at(spec, w, t, kv_bits) * layers;
+    // Writes: the concatenation-style KV append rewrites the cache, plus
+    // the new token's K/V and the attention output activations.
+    const double kv_rewrite = kv_read;
+    const double new_kv = model::new_kv_cache_bytes(spec, w, kv_bits) * layers;
+    const double act = model::activation_bytes(spec, w, 16) * layers;
+    est.bytes_read += kv_read + new_kv;
+    est.bytes_written += kv_rewrite + new_kv + act;
+  }
+
+  const double load_thrash = parallelism_control
+                                 ? params.load_thrash_controlled
+                                 : params.load_thrash_default;
+  const double store_thrash = parallelism_control
+                                  ? params.store_thrash_controlled
+                                  : params.store_thrash_default;
+  est.load_misses = est.bytes_read / params.line_bytes * load_thrash;
+  // The rewrite traffic was already counted in bytes_written; store thrash
+  // folds in write-allocate fills.
+  est.store_misses = est.bytes_written / params.line_bytes * store_thrash;
+  return est;
+}
+
+}  // namespace lmo::parallel

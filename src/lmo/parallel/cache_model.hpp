@@ -1,0 +1,46 @@
+// Last-level-cache miss model (paper Table 5).
+//
+// The decode-phase CPU work (attention scan + KV append + staging copies)
+// streams far more data than the LLC holds, so nearly every touched line
+// misses; thread oversubscription multiplies misses further by evicting
+// co-running operators' working sets (the thrash factors below, calibrated
+// to the paper's perf-counter measurements: load misses 10B→6B and store
+// misses 19B→12B for OPT-30B, n=8, under default vs controlled threading).
+//
+// Store misses exceed load misses because framework-style CPU attention
+// materializes temporaries: the KV concatenation rewrites the whole cache,
+// and write-allocate turns those stores into additional line fills.
+#pragma once
+
+#include <cstdint>
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/memory.hpp"
+
+namespace lmo::parallel {
+
+struct CacheMissParams {
+  double line_bytes = 64.0;
+  /// Thrash multipliers on perfectly-streamed misses.
+  double load_thrash_default = 1.53;
+  double load_thrash_controlled = 0.92;
+  double store_thrash_default = 2.90;
+  double store_thrash_controlled = 1.82;
+};
+
+struct CacheMissEstimate {
+  double load_misses = 0.0;
+  double store_misses = 0.0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+};
+
+/// Estimate LLC misses for a full decode run with attention offloaded to
+/// the CPU (the configuration Table 5 measures).
+CacheMissEstimate estimate_llc_misses(const model::ModelSpec& spec,
+                                      const model::Workload& w, int kv_bits,
+                                      bool parallelism_control,
+                                      const CacheMissParams& params = {});
+
+}  // namespace lmo::parallel

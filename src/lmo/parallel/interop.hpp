@@ -1,0 +1,31 @@
+// Inter-op executor: runs an OpGraph over a ThreadPool respecting
+// dependencies, with at most `inter_op_parallelism` operators in flight —
+// the same two-level parallelism PyTorch exposes via
+// set_num_interop_threads / set_num_threads, which the paper's Algorithm 3
+// tunes. Each operator body receives the op id; intra-op parallelism is the
+// body's own business (the runtime passes a sub-pool).
+#pragma once
+
+#include <functional>
+
+#include "lmo/model/opgraph.hpp"
+#include "lmo/parallel/threadpool.hpp"
+
+namespace lmo::parallel {
+
+struct InterOpStats {
+  std::size_t ops_executed = 0;
+  /// Peak number of operators that were genuinely in flight at once.
+  std::size_t peak_concurrency = 0;
+};
+
+/// Execute every op in `graph` on `pool`, honouring edges, with at most
+/// `inter_op_parallelism` ops admitted concurrently. Blocks until done.
+/// `body` is invoked once per op (from a pool thread). Deterministic
+/// completion, nondeterministic interleaving — callers synchronize their
+/// own state. Rethrows the first body exception after quiescing.
+InterOpStats run_graph(const model::OpGraph& graph, ThreadPool& pool,
+                       int inter_op_parallelism,
+                       const std::function<void(model::OpId)>& body);
+
+}  // namespace lmo::parallel

@@ -1,0 +1,82 @@
+#include "lmo/parallel/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::parallel {
+
+ThreadScalingModel::ThreadScalingModel(const hw::Device& cpu,
+                                       ScalingParams params)
+    : cpu_(cpu), params_(params) {
+  LMO_CHECK(cpu.kind == hw::DeviceKind::kCPU);
+  LMO_CHECK_GE(params_.bw_saturation_threads, 1);
+}
+
+double ThreadScalingModel::effective_bandwidth(int intra_threads) const {
+  LMO_CHECK_GE(intra_threads, 1);
+  // Saturating ramp: full bandwidth at bw_saturation_threads, linear below.
+  const double fraction =
+      std::min(1.0, static_cast<double>(intra_threads) /
+                        static_cast<double>(params_.bw_saturation_threads));
+  return cpu_.mem_bandwidth * fraction;
+}
+
+double ThreadScalingModel::contention_factor(int total_active_threads) const {
+  LMO_CHECK_GE(total_active_threads, 0);
+  const double cores = static_cast<double>(cpu_.cores);
+  const double over =
+      std::max(0.0, static_cast<double>(total_active_threads) - cores) /
+      cores;
+  return 1.0 + params_.oversubscription_penalty * over;
+}
+
+double ThreadScalingModel::op_seconds(const model::OpNode& op,
+                                      int intra_threads,
+                                      int total_active_threads) const {
+  LMO_CHECK_GE(intra_threads, 1);
+  const int usable = std::min(intra_threads, cpu_.hw_threads);
+
+  // Fair sharing: when the machine-wide active thread count exceeds the
+  // physical cores, every op gets a proportional slice of compute and
+  // memory bandwidth — oversubscription never creates capacity.
+  const double available =
+      std::min(1.0, static_cast<double>(cpu_.cores) /
+                        static_cast<double>(std::max(total_active_threads,
+                                                     1)));
+
+  // Compute-bound component: flat per-core FLOP rate, per-op scaling cap,
+  // shared cores.
+  const double per_core_flops =
+      cpu_.peak_flops / static_cast<double>(cpu_.cores);
+  double compute_threads = static_cast<double>(
+      std::min({usable, params_.per_op_compute_cap, cpu_.cores}));
+  compute_threads = std::min(
+      compute_threads,
+      std::max(1.0, static_cast<double>(cpu_.cores) * available));
+  const double compute = op.flops / (per_core_flops * compute_threads);
+
+  // Memory-bound component: the op's own saturating ramp, bounded by its
+  // thread-proportional share of the machine's total bandwidth (so the
+  // aggregate across co-running ops never exceeds capacity, and scaling
+  // intra-op threads with fixed co-runners is flat — paper Fig. 5 left).
+  const double share =
+      cpu_.mem_bandwidth *
+      std::min(1.0, static_cast<double>(usable) /
+                        static_cast<double>(std::max(total_active_threads,
+                                                     usable)));
+  const double bandwidth = std::min(effective_bandwidth(usable), share);
+  const double memory = op.bytes / bandwidth;
+
+  double t = std::max(compute, memory);
+
+  // Cache thrash from oversubscription, and NUMA once one op spans both
+  // sockets.
+  t *= contention_factor(total_active_threads);
+  if (usable > cpu_.cores / 2) t *= params_.numa_penalty;
+
+  return t + params_.dispatch_overhead;
+}
+
+}  // namespace lmo::parallel

@@ -1,0 +1,67 @@
+#include "lmo/parallel/threadpool.hpp"
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::parallel {
+
+ThreadPool::ThreadPool(int num_threads) {
+  LMO_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    LMO_CHECK_MSG(!stop_, "submit on stopped ThreadPool");
+    queue_.push(std::move(packaged));
+    ++in_flight_;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      ++completed_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace lmo::parallel

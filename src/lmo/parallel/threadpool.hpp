@@ -1,0 +1,51 @@
+// Fixed-size thread pool with a shared FIFO queue. This is the real
+// execution substrate for the runtime's asynchronous offload tasks and the
+// inter-op executor; its size is what LM-Offload's parallelism controller
+// decides. Keep it boring and correct: mutex + condvar, no lock-free
+// cleverness — task granularity here is ≥ tens of microseconds.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lmo::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers (≥ 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Number of tasks executed since construction.
+  std::size_t completed() const;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  std::size_t completed_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace lmo::parallel

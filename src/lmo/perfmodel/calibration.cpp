@@ -1,0 +1,109 @@
+#include "lmo/perfmodel/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lmo/perfmodel/estimator.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::perfmodel {
+namespace {
+
+constexpr double kInfeasiblePenalty = 25.0;  // (log 5-ish error)^2 · a lot
+
+}  // namespace
+
+std::vector<CalibrationKnob> default_knobs() {
+  return {
+      {"pcie", [](hw::Efficiency& e) -> double& { return e.pcie; }, 0.2,
+       0.95},
+      {"gpu_matmul",
+       [](hw::Efficiency& e) -> double& { return e.gpu_matmul; }, 0.15,
+       0.85},
+      {"cpu_attention_default",
+       [](hw::Efficiency& e) -> double& { return e.cpu_attention_default; },
+       0.01, 0.5},
+      {"cpu_attention_tuned",
+       [](hw::Efficiency& e) -> double& { return e.cpu_attention_tuned; },
+       0.02, 0.7},
+      {"task_overhead",
+       [](hw::Efficiency& e) -> double& { return e.task_overhead; }, 1e-4,
+       2e-2},
+  };
+}
+
+double calibration_loss(const hw::Platform& platform,
+                        const std::vector<Observation>& observations) {
+  LMO_CHECK(!observations.empty());
+  double loss = 0.0;
+  for (const auto& obs : observations) {
+    LMO_CHECK_GT(obs.measured_throughput, 0.0);
+    const auto est = estimate(obs.spec, obs.workload, obs.policy, platform);
+    if (!est.fits || est.throughput <= 0.0) {
+      loss += kInfeasiblePenalty;
+      continue;
+    }
+    const double err = std::log(est.throughput / obs.measured_throughput);
+    loss += err * err;
+  }
+  return loss / static_cast<double>(observations.size());
+}
+
+CalibrationResult calibrate(const hw::Platform& initial,
+                            const std::vector<Observation>& observations,
+                            const std::vector<CalibrationKnob>& knobs,
+                            const CalibrationOptions& options) {
+  LMO_CHECK(!observations.empty());
+  LMO_CHECK(!knobs.empty());
+  LMO_CHECK_GE(options.grid_points, 3);
+
+  CalibrationResult result;
+  result.platform = initial;
+  result.initial_loss = calibration_loss(initial, observations);
+  double best_loss = result.initial_loss;
+
+  // Per-knob bracket, shrunk around the incumbent every round.
+  std::vector<std::pair<double, double>> brackets;
+  brackets.reserve(knobs.size());
+  for (const auto& knob : knobs) brackets.push_back({knob.lo, knob.hi});
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    const double round_start_loss = best_loss;
+    for (std::size_t k = 0; k < knobs.size(); ++k) {
+      const auto& knob = knobs[k];
+      auto [lo, hi] = brackets[k];
+      double best_value = knob.field(result.platform.eff);
+      for (int g = 0; g < options.grid_points; ++g) {
+        const double value =
+            lo + (hi - lo) * static_cast<double>(g) /
+                     static_cast<double>(options.grid_points - 1);
+        hw::Platform candidate = result.platform;
+        knob.field(candidate.eff) = value;
+        const double loss = calibration_loss(candidate, observations);
+        if (loss < best_loss) {
+          best_loss = loss;
+          best_value = value;
+        }
+      }
+      knob.field(result.platform.eff) = best_value;
+      // Shrink the bracket around the incumbent.
+      const double half = (hi - lo) * options.shrink * 0.5;
+      brackets[k] = {std::max(knob.lo, best_value - half),
+                     std::min(knob.hi, best_value + half)};
+    }
+    ++result.rounds;
+    if (round_start_loss - best_loss < options.tolerance) break;
+  }
+
+  result.final_loss = best_loss;
+  result.fit_ratios.reserve(observations.size());
+  for (const auto& obs : observations) {
+    const auto est = estimate(obs.spec, obs.workload, obs.policy,
+                              result.platform);
+    result.fit_ratios.push_back(
+        est.fits ? est.throughput / obs.measured_throughput : 0.0);
+  }
+  return result;
+}
+
+}  // namespace lmo::perfmodel

@@ -1,0 +1,70 @@
+// Calibration: fit the platform's effective-efficiency constants against
+// measured throughputs. The paper builds its models from offline profiling
+// of the target machine; this is the equivalent for adopting the library on
+// new hardware — collect a handful of (workload, policy, measured tokens/s)
+// observations, pick which Efficiency fields to fit, and run a coordinate-
+// descent minimization of the mean squared *log* throughput error.
+//
+// Log error makes 2× over-prediction and 2× under-prediction equally bad,
+// which is the right loss for throughput ratios.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/memory.hpp"
+#include "lmo/perfmodel/policy.hpp"
+
+namespace lmo::perfmodel {
+
+struct Observation {
+  model::ModelSpec spec;
+  model::Workload workload;
+  Policy policy;
+  double measured_throughput = 0.0;  ///< tokens/s
+};
+
+/// A fittable knob: name, accessor into Efficiency, and search bounds.
+struct CalibrationKnob {
+  std::string name;
+  std::function<double&(hw::Efficiency&)> field;
+  double lo = 0.01;
+  double hi = 1.0;
+};
+
+/// The knobs that usually need machine-specific tuning.
+std::vector<CalibrationKnob> default_knobs();
+
+struct CalibrationOptions {
+  int max_rounds = 12;          ///< coordinate-descent sweeps
+  int grid_points = 9;          ///< evaluations per knob per sweep
+  double shrink = 0.55;         ///< bracket shrink factor per round
+  double tolerance = 1e-4;      ///< stop when loss improves less than this
+};
+
+struct CalibrationResult {
+  hw::Platform platform;        ///< with fitted Efficiency
+  double initial_loss = 0.0;    ///< mean squared log error before
+  double final_loss = 0.0;      ///< ... and after
+  int rounds = 0;
+  /// Per-observation predicted/measured ratios under the fitted constants.
+  std::vector<double> fit_ratios;
+};
+
+/// Mean squared log(predicted/measured) error of `platform` over the
+/// observations. Infeasible predictions contribute a large penalty.
+double calibration_loss(const hw::Platform& platform,
+                        const std::vector<Observation>& observations);
+
+/// Fit `knobs` (default: default_knobs()) to the observations, starting
+/// from `initial`. Deterministic; no randomness.
+CalibrationResult calibrate(const hw::Platform& initial,
+                            const std::vector<Observation>& observations,
+                            const std::vector<CalibrationKnob>& knobs =
+                                default_knobs(),
+                            const CalibrationOptions& options = {});
+
+}  // namespace lmo::perfmodel

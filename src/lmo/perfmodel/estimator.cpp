@@ -1,0 +1,345 @@
+#include "lmo/perfmodel/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lmo/perfmodel/quant_model.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::perfmodel {
+namespace {
+
+using model::ModelSpec;
+using model::Workload;
+
+double roofline(double flops, double bytes, double flop_rate,
+                double byte_rate) {
+  return std::max(flops / flop_rate, bytes / byte_rate);
+}
+
+/// Per-layer launch/sync overhead for one decode step: Algorithm 1 issues
+/// its task group once per batch in the block, then synchronizes.
+double layer_overhead(const Workload& w, const hw::Platform& platform,
+                      const Policy& policy) {
+  // Uncontrolled threading pays extra scheduling/contention cost per task
+  // group (paper §4.1: up to 40% variance from thread management alone).
+  const double per_task = platform.eff.task_overhead *
+                          (policy.parallelism_control ? 1.0 : 1.6);
+  return per_task * static_cast<double>(w.num_batches);
+}
+
+}  // namespace
+
+StepCosts step_costs(const ModelSpec& spec, const Workload& w,
+                     const Policy& policy, const hw::Platform& platform,
+                     std::int64_t t, const EstimatorOptions& options) {
+  policy.validate();
+  w.validate();
+  StepCosts costs;
+
+  const bool quant_terms = !options.flexgen_style;
+  const double wc = 1.0 - policy.weights_on_gpu;  // fraction offloaded
+
+  // ---- load_weight (Eq. 4): stream the offloaded fraction of the next
+  // layer's weights, then dequantize on the GPU if they are compressed.
+  // Disk-tier weights first cross disk→CPU (a separate, slower resource),
+  // then ride the same H2D link.
+  const double weight_stream_bytes =
+      model::layer_weight_bytes(spec, policy.weight_bits) * wc;
+  costs.load_weight = weight_stream_bytes / platform.h2d_bw();
+  if (policy.weights_on_disk > 0.0) {
+    const double disk_bytes =
+        model::layer_weight_bytes(spec, policy.weight_bits) *
+        policy.weights_on_disk;
+    costs.load_weight_disk =
+        platform.disk_to_cpu.transfer_seconds(disk_bytes);
+  }
+  if (quant_terms && policy.weights_quantized()) {
+    const double dequant =
+        dequan_wgt_seconds(spec, wc, policy.weight_bits, platform);
+    costs.load_weight += dequant;
+    costs.dequant_time += dequant;
+  }
+
+  // ---- KV-cache traffic: only exists when attention runs on the GPU; with
+  // attention offloading the cache never crosses PCIe (paper Observation 1).
+  const double cache_stream_fraction = 1.0 - policy.cache_on_gpu;
+  if (!policy.attention_on_cpu) {
+    if (cache_stream_fraction > 0.0) {
+      costs.load_cache =
+          model::kv_cache_bytes_at(spec, w, t, policy.kv_bits) *
+              cache_stream_fraction / platform.h2d_bw() +
+          (quant_terms ? platform.eff.cache_chunk_overhead *
+                             static_cast<double>(w.num_batches)
+                       : 0.0);
+      costs.store_cache = model::new_kv_cache_bytes(spec, w, policy.kv_bits) *
+                          cache_stream_fraction / platform.d2h_bw();
+    }
+    if (quant_terms && policy.kv_quantized()) {
+      // A compressed cache — streamed or GPU-resident — must be expanded
+      // before the fp16 attention kernels can read it (Eq. 6), and the new
+      // token's KV re-compressed (Eq. 7).
+      const double dequant = dequan_old_cache_seconds(
+          spec, w, t, policy.kv_bits, /*on_cpu=*/false, platform);
+      const double quant = quan_new_cache_seconds(
+          spec, w, policy.kv_bits, /*on_cpu=*/false, platform);
+      costs.load_cache += dequant;
+      costs.store_cache += quant;
+      costs.dequant_time += dequant;
+      costs.quant_time += quant;
+    }
+  }
+
+  // ---- activations: cross PCIe when attention is offloaded (CPU attention
+  // output feeds the GPU MLP and vice versa) or when activations of waiting
+  // batches are spilled to host memory (1 - hg).
+  const double act_bytes = model::activation_bytes(spec, w, 16);
+  const double act_fraction =
+      policy.attention_on_cpu ? 1.0 : (1.0 - policy.activations_on_gpu);
+  costs.load_activation = act_bytes * act_fraction / platform.h2d_bw();
+  costs.store_activation = act_bytes * act_fraction / platform.d2h_bw();
+
+  // ---- compute. The MLP and the attention projections (weight GEMMs)
+  // always run on the GPU; only the cache-touching score/value part follows
+  // the attention-placement policy.
+  const double mlp_bytes_touched =
+      static_cast<double>(spec.mlp_weights_per_layer()) * 2.0;
+  costs.compute_gpu = roofline(model::mlp_decode_flops(spec, w),
+                               mlp_bytes_touched, platform.gpu_matmul_flops(),
+                               platform.gpu_mem_bw());
+  const double proj_bytes =
+      static_cast<double>(spec.attention_weights_per_layer()) * 2.0;
+  costs.compute_gpu += roofline(model::attention_projection_flops(spec, w),
+                                proj_bytes, platform.gpu_matmul_flops(),
+                                platform.gpu_mem_bw());
+  if (quant_terms && policy.resident_weights_compressed &&
+      policy.weights_quantized()) {
+    // ZeRO-style resident compression: every layer's resident weights are
+    // expanded on the GPU before use.
+    const double dequant = dequan_wgt_seconds(spec, policy.weights_on_gpu,
+                                              policy.weight_bits, platform);
+    costs.compute_gpu += dequant;
+    costs.dequant_time += dequant;
+  }
+
+  const double attn_flops = model::attention_score_flops(spec, w, t);
+  if (policy.attention_on_cpu) {
+    // The scan always reads *expanded* (fp16-equivalent) data — CPU GEMMs
+    // cannot consume packed 4-bit payloads — so compression does not shrink
+    // the attention traffic (paper Observation 1: with attention offloading
+    // quantization is pure overhead). Hybrid attention splits the scan:
+    // the GPU covers its resident cache slice, the CPU the remainder, and
+    // the partial softmaxes merge by renormalization (negligible cost).
+    const double cpu_share =
+        policy.hybrid_attention ? 1.0 - policy.cache_on_gpu : 1.0;
+    const double kv_touched =
+        model::attention_kv_bytes_touched(spec, w, t, 16) * cpu_share;
+    const double attention_bw =
+        options.flexgen_style
+            ? platform.cpu.mem_bandwidth * platform.eff.cpu_attention_assumed
+            : platform.cpu_attention_bw(policy.parallelism_control);
+    costs.compute_cpu = roofline(attn_flops * cpu_share, kv_touched,
+                                 platform.cpu_matmul_flops(), attention_bw);
+    if (policy.hybrid_attention && policy.cache_on_gpu > 0.0) {
+      const double gpu_share = policy.cache_on_gpu;
+      costs.compute_gpu += roofline(
+          attn_flops * gpu_share,
+          model::attention_kv_bytes_touched(spec, w, t, 16) * gpu_share,
+          platform.gpu_matmul_flops(), platform.gpu_mem_bw());
+    }
+    if (quant_terms && policy.kv_quantized()) {
+      // The compressed host-resident cache must be expanded for the scan
+      // and the new token's KV re-compressed — both on the CPU, contending
+      // with the attention threads.
+      const double dequant = dequan_old_cache_seconds(
+          spec, w, t, policy.kv_bits, /*on_cpu=*/true, platform);
+      const double quant = quan_new_cache_seconds(
+          spec, w, policy.kv_bits, /*on_cpu=*/true, platform);
+      costs.compute_cpu += dequant + quant;
+      costs.dequant_time += dequant;
+      costs.quant_time += quant;
+    }
+  } else {
+    const double kv_touched =
+        model::attention_kv_bytes_touched(spec, w, t, 16);
+    costs.compute_gpu += roofline(attn_flops, kv_touched,
+                                  platform.gpu_matmul_flops(),
+                                  platform.gpu_mem_bw());
+  }
+
+  // ---- Eq. 2, resource-aware: tasks sharing a link/device serialize.
+  const double h2d = costs.load_weight + costs.load_cache +
+                     costs.load_activation;
+  const double d2h = costs.store_cache + costs.store_activation;
+  const double overhead =
+      options.flexgen_style ? 0.0 : layer_overhead(w, platform, policy);
+  costs.t_gen = std::max({h2d, d2h, costs.compute_gpu, costs.compute_cpu,
+                          costs.load_weight_disk}) +
+                overhead;
+  return costs;
+}
+
+double gpu_resident_bytes(const ModelSpec& spec, const Workload& w,
+                          const Policy& policy) {
+  const int resident_bits =
+      policy.resident_weights_compressed ? policy.weight_bits : 16;
+  const double resident_weights =
+      model::total_weight_bytes(spec, resident_bits) * policy.weights_on_gpu;
+  const double resident_cache =
+      model::peak_kv_cache_total_bytes(spec, w, policy.kv_bits) *
+      policy.cache_on_gpu;
+  const double resident_act =
+      4.0 * model::activation_bytes(spec, w, 16) * policy.activations_on_gpu;
+
+  // Working set: double-buffered streamed layer weights (held in compute
+  // precision after dequantization) and, when attention runs on the GPU,
+  // one layer's full KV cache at its final length plus score buffers.
+  double working = 2.0 * model::layer_weight_bytes(spec, 16) *
+                   (1.0 - policy.weights_on_gpu > 0.0 ? 1.0 : 0.0);
+  working = std::max(working, 2.0 * model::layer_weight_bytes(spec, 16));
+  if (!policy.attention_on_cpu) {
+    Workload end = w;
+    working += model::kv_cache_bytes_at(spec, end, w.gen_len - 1, 16) +
+               2.0 * model::activation_bytes(spec, w, 16);
+  }
+  return resident_weights + resident_cache + resident_act + working;
+}
+
+double disk_resident_bytes(const ModelSpec& spec, const Workload& w,
+                           const Policy& policy) {
+  (void)w;
+  return model::total_weight_bytes(spec, policy.weight_bits) *
+         policy.weights_on_disk;
+}
+
+double cpu_resident_bytes(const ModelSpec& spec, const Workload& w,
+                          const Policy& policy) {
+  const double weights =
+      model::total_weight_bytes(spec, policy.weight_bits) *
+      (1.0 - policy.weights_on_gpu - policy.weights_on_disk);
+  const double cache =
+      model::peak_kv_cache_total_bytes(spec, w, policy.kv_bits) *
+      (1.0 - policy.cache_on_gpu);
+  const double act = 4.0 * model::activation_bytes(spec, w, 16) *
+                     (1.0 - policy.activations_on_gpu);
+  // Pinned staging buffers for transfers.
+  const double staging = 2.0 * model::layer_weight_bytes(spec, 16);
+  return weights + cache + act + staging;
+}
+
+Estimate estimate(const ModelSpec& spec, const Workload& w,
+                  const Policy& policy, const hw::Platform& platform,
+                  const EstimatorOptions& options) {
+  policy.validate();
+  w.validate();
+  spec.validate();
+
+  Estimate est;
+  est.gpu_bytes_needed = gpu_resident_bytes(spec, w, policy);
+  est.cpu_bytes_needed = cpu_resident_bytes(spec, w, policy);
+  est.footprint = model::inference_footprint(spec, w, policy.weight_bits,
+                                             policy.kv_bits);
+  if (est.gpu_bytes_needed > platform.gpu.mem_capacity) {
+    est.infeasible_reason = "exceeds GPU memory capacity";
+    return est;
+  }
+  if (est.cpu_bytes_needed > platform.cpu.mem_capacity) {
+    est.infeasible_reason = "exceeds CPU memory capacity";
+    return est;
+  }
+  if (disk_resident_bytes(spec, w, policy) > platform.disk.mem_capacity) {
+    est.infeasible_reason = "exceeds disk capacity";
+    return est;
+  }
+  est.fits = true;
+
+  const double l = static_cast<double>(spec.num_layers);
+  const bool quant_terms = !options.flexgen_style;
+
+  // ---- T_init (Eq. 3): weights disk→CPU/GPU (the disk-resident share
+  // stays put), plus one-time CPU quantization of the offloaded share.
+  est.t_init = platform.disk_to_cpu.transfer_seconds(
+      model::total_weight_bytes(spec, 16) * (1.0 - policy.weights_on_disk));
+  if (quant_terms && policy.weights_quantized()) {
+    est.t_init += quan_pf_wgt_seconds(spec, 1.0 - policy.weights_on_gpu,
+                                      platform) *
+                  l;
+  }
+
+  // ---- T_pf (Eq. 5): prefill one layer = max(weight stream, compute,
+  // prefilled-KV store), plus prefill KV quantization.
+  {
+    const double weight_stream =
+        model::layer_weight_bytes(spec, policy.weight_bits) *
+        (1.0 - policy.weights_on_gpu) / platform.h2d_bw();
+    const double disk_stream = platform.disk_to_cpu.transfer_seconds(
+        model::layer_weight_bytes(spec, policy.weight_bits) *
+        policy.weights_on_disk);
+    const double compute = model::layer_prefill_flops(spec, w) /
+                           platform.gpu_matmul_flops();
+    double kv_store = 0.0;
+    const double kv_off_fraction = 1.0 - policy.cache_on_gpu;
+    // Prefilled KV leaves the GPU whenever the cache lives (partly) on the
+    // CPU — which is always the case with attention offloading.
+    const double store_fraction =
+        policy.attention_on_cpu ? 1.0 : kv_off_fraction;
+    kv_store = model::pf_kv_cache_bytes(spec, w, policy.kv_bits) *
+               store_fraction / platform.d2h_bw();
+    double t_pf = std::max({weight_stream, disk_stream, compute, kv_store});
+    if (quant_terms && policy.kv_quantized()) {
+      const double quant = quan_pf_cache_seconds(spec, w, policy.kv_bits,
+                                                 platform);
+      t_pf += quant;
+      est.total_quant_time += quant * l;
+    }
+    if (!options.flexgen_style) {
+      t_pf += layer_overhead(w, platform, policy);
+    }
+    est.t_prefill = t_pf * l;
+  }
+
+  // ---- decode: Σ_t T_gen(t) · l (Eq. 1 with per-step exactness).
+  const std::int64_t steps = w.gen_len - 1;
+  if (options.use_average_kv) {
+    const std::int64_t mid = w.gen_len / 2;
+    const StepCosts mid_costs = step_costs(spec, w, policy, platform, mid,
+                                           options);
+    est.t_decode = mid_costs.t_gen * static_cast<double>(steps) * l;
+    est.mid_step = mid_costs;
+    est.total_quant_time +=
+        mid_costs.quant_time * static_cast<double>(steps) * l;
+    est.total_dequant_time +=
+        mid_costs.dequant_time * static_cast<double>(steps) * l;
+    est.total_load_weight +=
+        mid_costs.load_weight * static_cast<double>(steps) * l;
+    est.total_load_cache +=
+        mid_costs.load_cache * static_cast<double>(steps) * l;
+    est.total_store_cache +=
+        mid_costs.store_cache * static_cast<double>(steps) * l;
+    est.total_compute += (mid_costs.compute_gpu + mid_costs.compute_cpu) *
+                         static_cast<double>(steps) * l;
+  } else {
+    for (std::int64_t t = 1; t < w.gen_len; ++t) {
+      const StepCosts sc = step_costs(spec, w, policy, platform, t, options);
+      est.t_decode += sc.t_gen * l;
+      est.total_quant_time += sc.quant_time * l;
+      est.total_dequant_time += sc.dequant_time * l;
+      est.total_load_weight += sc.load_weight * l;
+      est.total_load_cache += sc.load_cache * l;
+      est.total_store_cache += sc.store_cache * l;
+      est.total_compute += (sc.compute_gpu + sc.compute_cpu) * l;
+      if (t == w.gen_len / 2) est.mid_step = sc;
+    }
+    if (w.gen_len == 1) {
+      est.mid_step = step_costs(spec, w, policy, platform, 0, options);
+    }
+  }
+
+  est.total_time = est.t_prefill + est.t_decode;
+  LMO_CHECK_GT(est.total_time, 0.0);
+  est.throughput =
+      static_cast<double>(w.total_tokens()) / est.total_time;
+  return est;
+}
+
+}  // namespace lmo::perfmodel

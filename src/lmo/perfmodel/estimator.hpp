@@ -1,0 +1,101 @@
+// End-to-end analytical performance estimator.
+//
+// Implements the paper's Eq. 1 (T = T_init + T_pf·l + Σ_t T_gen(t)·l) with
+// the six-task decode decomposition of Algorithm 1 / Eq. 2. Two refinements
+// over the paper's simplest form, both needed to reproduce its measured
+// behaviour:
+//   * tasks that share a physical resource (both load tasks share the H2D
+//     PCIe direction; CPU attention shares cores with CPU-side (de)quant)
+//     serialize, so T_gen = max over *resources*, not over raw tasks;
+//   * T_gen(t) depends on the decode step t because the old KV cache grows
+//     linearly — we sum the exact per-step times instead of using only the
+//     average-size approximation of Eq. 18 (which is also available, for
+//     comparison, via `use_average_kv`).
+//
+// The estimator is pure arithmetic (microseconds per call) so policy
+// searches can evaluate thousands of candidates; the DES in lmo::sched
+// re-validates the chosen policy with true asynchronous overlap.
+#pragma once
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/memory.hpp"
+#include "lmo/perfmodel/policy.hpp"
+
+namespace lmo::perfmodel {
+
+/// Durations of the six Algorithm-1 tasks (plus the quantization terms
+/// folded into them, Eqs. 4-7) for one transformer layer at one decode step.
+struct StepCosts {
+  double load_weight = 0.0;       ///< incl. GPU weight dequant (Eq. 4)
+  double load_weight_disk = 0.0;  ///< disk→CPU read for disk-tier weights
+  double load_cache = 0.0;        ///< incl. old-cache dequant (Eq. 6)
+  double load_activation = 0.0;
+  double store_cache = 0.0;       ///< incl. new-cache quant (Eq. 7)
+  double store_activation = 0.0;
+  double compute_gpu = 0.0;       ///< MLP (+ attention when on GPU)
+  double compute_cpu = 0.0;       ///< attention when offloaded (+ CPU quant)
+
+  // Quantization components, broken out for Fig. 4.
+  double quant_time = 0.0;
+  double dequant_time = 0.0;
+
+  /// Resource-aware Eq. 2: max(H2D link, D2H link, GPU, CPU) + overhead.
+  double t_gen = 0.0;
+};
+
+struct Estimate {
+  bool fits = false;             ///< respects GPU and CPU memory capacity
+  std::string infeasible_reason; ///< empty when fits
+
+  double t_init = 0.0;     ///< weights disk→CPU + one-time quant (Eq. 3)
+  double t_prefill = 0.0;  ///< T_pf · l
+  double t_decode = 0.0;   ///< Σ_t T_gen(t) · l
+  double total_time = 0.0; ///< prefill + decode (throughput denominator)
+  double throughput = 0.0; ///< tokens/s = bls·n / total_time
+
+  double gpu_bytes_needed = 0.0;
+  double cpu_bytes_needed = 0.0;
+  model::FootprintBreakdown footprint;  ///< "mem" column of Table 3
+
+  StepCosts mid_step;  ///< per-layer costs at t = n/2 (representative)
+
+  // Aggregates over the whole run (for Figs. 4 and 8).
+  double total_quant_time = 0.0;
+  double total_dequant_time = 0.0;
+  double total_load_weight = 0.0;
+  double total_load_cache = 0.0;
+  double total_store_cache = 0.0;
+  double total_compute = 0.0;
+};
+
+struct EstimatorOptions {
+  /// Use the paper's Eq. 18 average-KV-size approximation instead of the
+  /// exact per-step sum.
+  bool use_average_kv = false;
+  /// Drop per-task launch/sync overheads and quantization terms — this is
+  /// the (over-optimistic) cost model the paper attributes to FlexGen's LP,
+  /// used by the FlexGen baseline's policy search.
+  bool flexgen_style = false;
+};
+
+/// Per-layer step costs at decode step t.
+StepCosts step_costs(const model::ModelSpec& spec, const model::Workload& w,
+                     const Policy& policy, const hw::Platform& platform,
+                     std::int64_t t, const EstimatorOptions& options = {});
+
+/// Full Eq.-1 estimate.
+Estimate estimate(const model::ModelSpec& spec, const model::Workload& w,
+                  const Policy& policy, const hw::Platform& platform,
+                  const EstimatorOptions& options = {});
+
+/// GPU bytes a policy pins resident (weights·wg + peak KV·cg + activations·hg
+/// + double-buffered working set). Exposed for policy searches.
+double gpu_resident_bytes(const model::ModelSpec& spec,
+                          const model::Workload& w, const Policy& policy);
+double cpu_resident_bytes(const model::ModelSpec& spec,
+                          const model::Workload& w, const Policy& policy);
+double disk_resident_bytes(const model::ModelSpec& spec,
+                           const model::Workload& w, const Policy& policy);
+
+}  // namespace lmo::perfmodel

@@ -1,0 +1,58 @@
+#include "lmo/perfmodel/policy.hpp"
+
+#include <cstdio>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::perfmodel {
+
+void Policy::validate() const {
+  auto check_fraction = [](double f) {
+    LMO_CHECK_GE(f, 0.0);
+    LMO_CHECK_LE(f, 1.0);
+  };
+  check_fraction(weights_on_gpu);
+  check_fraction(cache_on_gpu);
+  check_fraction(activations_on_gpu);
+  check_fraction(weights_on_disk);
+  LMO_CHECK_LE(weights_on_gpu + weights_on_disk, 1.0 + 1e-9);
+  LMO_CHECK(weight_bits == 16 || weight_bits == 8 || weight_bits == 4);
+  if (hybrid_attention) {
+    LMO_CHECK_MSG(attention_on_cpu,
+                  "hybrid attention extends CPU attention with a "
+                  "GPU-resident slice");
+  }
+  LMO_CHECK(kv_bits == 16 || kv_bits == 8 || kv_bits == 4);
+}
+
+std::string Policy::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "wg=%.0f%% cg=%.0f%% hg=%.0f%% attn=%s w%d%s kv%d ctl=%s",
+                weights_on_gpu * 100.0, cache_on_gpu * 100.0,
+                activations_on_gpu * 100.0,
+                attention_on_cpu ? "cpu" : "gpu", weight_bits,
+                resident_weights_compressed ? "r" : "", kv_bits,
+                parallelism_control ? "on" : "off");
+  std::string out = buf;
+  if (hybrid_attention) out += " hybrid";
+  if (weights_on_disk > 0.0) {
+    std::snprintf(buf, sizeof(buf), " wd=%.0f%%", weights_on_disk * 100.0);
+    out += buf;
+  }
+  return out;
+}
+
+bool Policy::operator==(const Policy& other) const {
+  return weights_on_gpu == other.weights_on_gpu &&
+         cache_on_gpu == other.cache_on_gpu &&
+         activations_on_gpu == other.activations_on_gpu &&
+         weights_on_disk == other.weights_on_disk &&
+         attention_on_cpu == other.attention_on_cpu &&
+         hybrid_attention == other.hybrid_attention &&
+         weight_bits == other.weight_bits && kv_bits == other.kv_bits &&
+         resident_weights_compressed == other.resident_weights_compressed &&
+         parallelism_control == other.parallelism_control;
+}
+
+}  // namespace lmo::perfmodel

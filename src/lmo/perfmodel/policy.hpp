@@ -1,0 +1,60 @@
+// An execution policy: everything the offloading runtime must decide before
+// running. This is the decision space the paper's models navigate —
+// placement percentages (FlexGen's wg/cg/hg), attention offloading, and the
+// per-tensor quantization choices LM-Offload adds.
+#pragma once
+
+#include <string>
+
+namespace lmo::perfmodel {
+
+struct Policy {
+  // Placement fractions in [0, 1]: share of each tensor class resident in
+  // GPU memory ("wg", "cg", "hg" columns of paper Table 3, as fractions).
+  double weights_on_gpu = 0.0;      ///< wg
+  double cache_on_gpu = 0.0;        ///< cg
+  double activations_on_gpu = 0.0;  ///< hg
+
+  /// Share of weights spilled past host memory onto the disk tier (FlexGen
+  /// supports a three-tier hierarchy; the paper's T_init loads weights from
+  /// disk). The CPU share is the remainder 1 - wg - weights_on_disk.
+  double weights_on_disk = 0.0;
+
+  /// Attention offloading: compute decode attention on the CPU next to the
+  /// KV cache (true) or on the GPU, streaming the cache in (false).
+  bool attention_on_cpu = true;
+
+  /// Hybrid attention (FlexGen's fractional-cache design): with
+  /// attention_on_cpu and cache_on_gpu > 0, the GPU computes scores over
+  /// its resident cache slice while the CPU handles the host-resident
+  /// remainder; the two partial softmaxes merge by renormalization. Splits
+  /// the scan across both memory systems instead of moving bytes.
+  bool hybrid_attention = false;
+
+  /// Storage bit width of offloaded tensors: 16 = no quantization, 8/4 =
+  /// group-wise quantized (Alg. 2).
+  int weight_bits = 16;
+  int kv_bits = 16;
+
+  /// Keep even GPU-resident weights compressed (ZeRO-Inference's scheme:
+  /// 4-bit weights live on the GPU and are dequantized on the fly every
+  /// layer). FlexGen/LM-Offload store resident weights in compute precision
+  /// and only compress the *streamed* fraction.
+  bool resident_weights_compressed = false;
+
+  /// Thread-level parallelism control (paper §4 / Algorithm 3) on or off.
+  bool parallelism_control = false;
+
+  bool weights_quantized() const { return weight_bits < 16; }
+  bool kv_quantized() const { return kv_bits < 16; }
+
+  /// Throws CheckError if fractions are out of range or bits invalid.
+  void validate() const;
+
+  /// "wg=55% cg=0% hg=0% attn=cpu w16 kv16 ctl=off"
+  std::string to_string() const;
+
+  bool operator==(const Policy& other) const;
+};
+
+}  // namespace lmo::perfmodel

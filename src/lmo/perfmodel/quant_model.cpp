@@ -1,0 +1,114 @@
+#include "lmo/perfmodel/quant_model.hpp"
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::perfmodel {
+namespace {
+
+// SIMD lanes assumed for the scalar min/max scan (conservative for AVX-512
+// and for GPU warps alike; calibration constant, see header).
+constexpr double kSimdFactor = 4.0;
+
+// Normalization does 3 FLOPs per element (subtract, scale, round — Eq. 10).
+constexpr double kNormFlopsPerElement = 3.0;
+
+}  // namespace
+
+double minmax_scan_rate(const hw::Device& device) {
+  return device.freq_hz * static_cast<double>(device.cores) * kSimdFactor;
+}
+
+PhaseCosts quantize_cost(double elements, double bytes,
+                         const hw::Device& device, double achieved_flops,
+                         double achieved_mem_bw) {
+  LMO_CHECK_GE(elements, 0.0);
+  LMO_CHECK_GE(bytes, 0.0);
+  PhaseCosts costs;
+  if (elements == 0.0) return costs;
+  costs.minmax = elements / minmax_scan_rate(device);
+  costs.normalize = elements * kNormFlopsPerElement / achieved_flops;
+  costs.postprocess = bytes / achieved_mem_bw;
+  return costs;
+}
+
+PhaseCosts dequantize_cost(double elements, double bytes,
+                           double achieved_flops, double achieved_mem_bw) {
+  LMO_CHECK_GE(elements, 0.0);
+  PhaseCosts costs;
+  if (elements == 0.0) return costs;
+  costs.normalize = elements * kNormFlopsPerElement / achieved_flops;
+  costs.postprocess = bytes / achieved_mem_bw;
+  return costs;
+}
+
+double quan_pf_wgt_seconds(const model::ModelSpec& spec, double wc,
+                           const hw::Platform& platform) {
+  LMO_CHECK_GE(wc, 0.0);
+  LMO_CHECK_LE(wc, 1.0);
+  const double elements =
+      static_cast<double>(spec.weights_per_layer()) * wc;
+  const double bytes = elements * 2.0;  // quantizing from fp16 storage
+  return quantize_cost(elements, bytes, platform.cpu,
+                       platform.cpu_matmul_flops(), platform.cpu_quant_bw())
+      .total();
+}
+
+double dequan_wgt_seconds(const model::ModelSpec& spec, double wc,
+                          int weight_bits, const hw::Platform& platform) {
+  if (weight_bits >= 16) return 0.0;
+  const double elements =
+      static_cast<double>(spec.weights_per_layer()) * wc;
+  const double bytes = elements * 2.0;  // fp16 output written to HBM
+  return dequantize_cost(elements, bytes, platform.gpu_matmul_flops(),
+                         platform.gpu_dequant_bw())
+      .total();
+}
+
+double quan_pf_cache_seconds(const model::ModelSpec& spec,
+                             const model::Workload& w, int kv_bits,
+                             const hw::Platform& platform) {
+  if (kv_bits >= 16) return 0.0;
+  const double bytes = model::pf_kv_cache_bytes(spec, w, 16);
+  const double elements = bytes / 2.0;
+  return quantize_cost(elements, bytes, platform.gpu,
+                       platform.gpu_matmul_flops(),
+                       platform.gpu_dequant_bw())
+      .total();
+}
+
+double quan_new_cache_seconds(const model::ModelSpec& spec,
+                              const model::Workload& w, int kv_bits,
+                              bool on_cpu, const hw::Platform& platform) {
+  if (kv_bits >= 16) return 0.0;
+  const double bytes = model::new_kv_cache_bytes(spec, w, 16);
+  const double elements = bytes / 2.0;
+  if (on_cpu) {
+    return quantize_cost(elements, bytes, platform.cpu,
+                         platform.cpu_matmul_flops(),
+                         platform.cpu_quant_bw())
+        .total();
+  }
+  return quantize_cost(elements, bytes, platform.gpu,
+                       platform.gpu_matmul_flops(),
+                       platform.gpu_dequant_bw())
+      .total();
+}
+
+double dequan_old_cache_seconds(const model::ModelSpec& spec,
+                                const model::Workload& w, std::int64_t t,
+                                int kv_bits, bool on_cpu,
+                                const hw::Platform& platform) {
+  if (kv_bits >= 16) return 0.0;
+  const double bytes = model::kv_cache_bytes_at(spec, w, t, 16);
+  const double elements = bytes / 2.0;
+  if (on_cpu) {
+    return dequantize_cost(elements, bytes, platform.cpu_matmul_flops(),
+                           platform.cpu_quant_bw())
+        .total();
+  }
+  return dequantize_cost(elements, bytes, platform.gpu_matmul_flops(),
+                         platform.gpu_dequant_bw())
+      .total();
+}
+
+}  // namespace lmo::perfmodel

@@ -1,0 +1,78 @@
+// Analytical (de)quantization cost models — paper §3.2, Eqs. 3-24.
+//
+// Each quantization has three modeled phases (the paper profiles padding as
+// <5% and drops it): per-group min/max scan, min-max normalization (3 FLOPs
+// per element, Eq. 10), and post-processing (pack/copy, memory-bound).
+// Dequantization has no min/max phase (Eq. 16 / 24).
+//
+// One deliberate generalization over the paper's literal formulas: Eq. 13
+// writes the min/max scan cost as elements / freq, i.e. one element per
+// clock on a single core. Both devices scan with many cores and SIMD lanes,
+// so we scale the denominator by cores × a SIMD factor; the *structure*
+// (scan ∝ elements, normalize ∝ 3·elements FLOPs, post-process ∝ bytes /
+// memory bandwidth) is exactly the paper's.
+#pragma once
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/memory.hpp"
+
+namespace lmo::perfmodel {
+
+/// Effective scan rate (elements/s) for the min/max phase on a device.
+double minmax_scan_rate(const hw::Device& device);
+
+/// Per-phase quantization cost for a tensor of `elements` elements stored in
+/// `bytes` bytes, executed on `device` with achieved memory bandwidth
+/// `mem_bw` and achieved FLOP rate `flops`.
+struct PhaseCosts {
+  double minmax = 0.0;
+  double normalize = 0.0;
+  double postprocess = 0.0;
+  double total() const { return minmax + normalize + postprocess; }
+};
+
+/// Quantization: all three phases (Eqs. 13-15 shape).
+PhaseCosts quantize_cost(double elements, double bytes,
+                         const hw::Device& device, double achieved_flops,
+                         double achieved_mem_bw);
+
+/// Dequantization: normalize + post-process only (Eqs. 16, 24).
+PhaseCosts dequantize_cost(double elements, double bytes,
+                           double achieved_flops, double achieved_mem_bw);
+
+// ---------------------------------------------------------------------------
+// Paper-level wrappers, one transformer layer each.
+// ---------------------------------------------------------------------------
+
+/// Eq. 12: one-time weight quantization on the CPU during initialization,
+/// for the fraction `wc` of this layer's weights living on the CPU.
+double quan_pf_wgt_seconds(const model::ModelSpec& spec, double wc,
+                           const hw::Platform& platform);
+
+/// Eq. 16: weight dequantization on the GPU after each load, fraction `wc`
+/// of one layer, quantized at `weight_bits`.
+double dequan_wgt_seconds(const model::ModelSpec& spec, double wc,
+                          int weight_bits, const hw::Platform& platform);
+
+/// Eq. 20: prefill KV-cache quantization for one layer (on the GPU, where
+/// the prefill ran), at `kv_bits`.
+double quan_pf_cache_seconds(const model::ModelSpec& spec,
+                             const model::Workload& w, int kv_bits,
+                             const hw::Platform& platform);
+
+/// Eq. 7 term: quantize the newly generated KV of one token (one layer).
+/// `on_cpu` selects the device doing the work (GPU when attention runs on
+/// GPU and the cache streams back; CPU when attention is offloaded and the
+/// cache is kept compressed in host memory).
+double quan_new_cache_seconds(const model::ModelSpec& spec,
+                              const model::Workload& w, int kv_bits,
+                              bool on_cpu, const hw::Platform& platform);
+
+/// Eq. 6 term: dequantize the old KV cache at decode step t (one layer).
+double dequan_old_cache_seconds(const model::ModelSpec& spec,
+                                const model::Workload& w, std::int64_t t,
+                                int kv_bits, bool on_cpu,
+                                const hw::Platform& platform);
+
+}  // namespace lmo::perfmodel

@@ -1,0 +1,39 @@
+// Accuracy evaluation for the real runtime: teacher-forced negative
+// log-likelihood / perplexity of a continuation under the model. This is
+// how the cost of quantization is measured in accuracy terms — the flip
+// side of the throughput benefit the performance models quantify.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lmo/runtime/generator.hpp"
+
+namespace lmo::runtime {
+
+struct EvalResult {
+  double nll = 0.0;         ///< total negative log-likelihood (nats)
+  double mean_nll = 0.0;    ///< per predicted token
+  double perplexity = 0.0;  ///< exp(mean_nll)
+  std::int64_t tokens = 0;  ///< predicted positions scored
+};
+
+/// Teacher-forced scoring of one sequence: positions [context_len, size)
+/// are predicted from their prefixes in a single forward pass (the KV
+/// cache makes this exact). `context_len` ≥ 1; the first `context_len`
+/// tokens are conditioning only.
+EvalResult evaluate_sequence(Generator& generator,
+                             std::span<const std::int64_t> tokens,
+                             std::int64_t context_len = 1);
+
+/// Aggregate over a corpus of sequences (pooled token count).
+EvalResult evaluate_corpus(
+    Generator& generator,
+    const std::vector<std::vector<std::int64_t>>& sequences,
+    std::int64_t context_len = 1);
+
+/// Log-softmax probability of `token` under rank-1 `logits`.
+double token_log_prob(const tensor::Tensor& logits, std::int64_t token);
+
+}  // namespace lmo::runtime

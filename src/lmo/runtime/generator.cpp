@@ -1,0 +1,221 @@
+#include "lmo/runtime/generator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "lmo/tensor/ops.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+void SamplingConfig::validate() const {
+  LMO_CHECK_GE(temperature, 0.0);
+  LMO_CHECK_GE(top_k, 0);
+  LMO_CHECK_GE(top_p, 0.0);
+  LMO_CHECK_LE(top_p, 1.0);
+}
+
+std::int64_t sample_token(const tensor::Tensor& logits,
+                          const SamplingConfig& config,
+                          util::Xoshiro256& rng) {
+  config.validate();
+  LMO_CHECK_EQ(logits.shape().rank(), 1u);
+  if (config.greedy()) return tensor::argmax(logits);
+
+  auto p = logits.f32();
+  const std::size_t vocab = p.size();
+
+  // Candidate set: all tokens, or the top-k by logit.
+  std::vector<std::size_t> candidates(vocab);
+  for (std::size_t i = 0; i < vocab; ++i) candidates[i] = i;
+  if (config.top_k > 0 && static_cast<std::size_t>(config.top_k) < vocab) {
+    std::partial_sort(candidates.begin(),
+                      candidates.begin() + config.top_k, candidates.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        return p[a] > p[b];
+                      });
+    candidates.resize(static_cast<std::size_t>(config.top_k));
+  }
+
+  // Temperature softmax over the candidates (numerically stable).
+  double mx = -1e30;
+  for (std::size_t i : candidates) {
+    mx = std::max(mx, static_cast<double>(p[i]));
+  }
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  double total = 0.0;
+  for (std::size_t i : candidates) {
+    const double w = std::exp((p[i] - mx) / config.temperature);
+    weights.push_back(w);
+    total += w;
+  }
+
+  // Nucleus (top-p) truncation: keep the smallest probability-sorted
+  // prefix whose mass reaches top_p.
+  if (config.top_p > 0.0 && config.top_p < 1.0) {
+    std::vector<std::size_t> order(candidates.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return weights[a] > weights[b];
+    });
+    double cumulative = 0.0;
+    std::size_t keep = 0;
+    while (keep < order.size()) {
+      cumulative += weights[order[keep]];
+      ++keep;
+      if (cumulative >= config.top_p * total) break;
+    }
+    std::vector<std::size_t> kept_candidates;
+    std::vector<double> kept_weights;
+    kept_candidates.reserve(keep);
+    kept_weights.reserve(keep);
+    total = 0.0;
+    for (std::size_t i = 0; i < keep; ++i) {
+      kept_candidates.push_back(candidates[order[i]]);
+      kept_weights.push_back(weights[order[i]]);
+      total += weights[order[i]];
+    }
+    candidates = std::move(kept_candidates);
+    weights = std::move(kept_weights);
+  }
+
+  double u = rng.uniform() * total;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return static_cast<std::int64_t>(candidates[i]);
+  }
+  return static_cast<std::int64_t>(candidates.back());
+}
+
+Generator::Generator(const RuntimeConfig& config)
+    : config_(config), sampling_rng_(config.sampling.seed) {
+  config_.spec.validate();
+  config_.sampling.validate();
+  device_pool_ =
+      std::make_unique<MemoryPool>("device", config.device_capacity);
+  host_pool_ = std::make_unique<MemoryPool>("host", config.host_capacity);
+  manager_ = std::make_unique<OffloadManager>(
+      *device_pool_, *host_pool_, config.weight_bits, config.quant_group);
+  transformer_ = std::make_unique<Transformer>(
+      config.spec, *manager_, config.device_layers, config.seed);
+  if (config.prefetch_threads > 0) {
+    prefetch_pool_ =
+        std::make_unique<parallel::ThreadPool>(config.prefetch_threads);
+  }
+  if (config.compute_threads > 1) {
+    compute_pool_ =
+        std::make_unique<parallel::ThreadPool>(config.compute_threads);
+    transformer_->set_compute_pool(compute_pool_.get());
+  }
+  if (config.paged_kv) {
+    LMO_CHECK_MSG(config.kv_bits == 16,
+                  "paged KV pages store f32 rows; kv_bits must be 16");
+    page_pool_ = std::make_unique<PagePool>(config.spec.hidden,
+                                            config.page_tokens, *host_pool_);
+  }
+}
+
+Generator::~Generator() = default;
+
+GenerationResult Generator::generate(
+    const std::vector<std::vector<std::int64_t>>& prompts,
+    std::int64_t gen_len) {
+  LMO_CHECK(!prompts.empty());
+  LMO_CHECK_GT(gen_len, 0);
+
+  GenerationResult result;
+  result.tokens.resize(prompts.size());
+
+  // Per-sequence caches (charged to the host pool, where offloaded caches
+  // live in the paper's design).
+  std::vector<SequenceCache> caches;
+  caches.reserve(prompts.size());
+  for (std::size_t s = 0; s < prompts.size(); ++s) {
+    LMO_CHECK(!prompts[s].empty());
+    if (config_.paged_kv) {
+      SequenceCache paged;
+      for (std::int64_t layer = 0; layer < config_.spec.num_layers;
+           ++layer) {
+        paged.push_back(std::make_unique<PagedKVCache>(*page_pool_));
+      }
+      caches.push_back(std::move(paged));
+    } else {
+      caches.push_back(transformer_->make_cache(
+          config_.kv_bits, config_.quant_group, *host_pool_));
+    }
+  }
+  std::vector<SequenceCache*> cache_ptrs;
+  for (auto& c : caches) cache_ptrs.push_back(&c);
+
+  parallel::ThreadPool* prefetch = prefetch_pool_.get();
+
+  // ---- prefill: all prompt tokens at once, layer-outer over the batch.
+  auto start = Clock::now();
+  std::vector<tensor::Tensor> states;
+  states.reserve(prompts.size());
+  for (const auto& prompt : prompts) {
+    states.push_back(transformer_->embed(prompt));
+  }
+  transformer_->forward(states, cache_ptrs, prefetch);
+  std::vector<std::int64_t> next(prompts.size());
+  for (std::size_t s = 0; s < prompts.size(); ++s) {
+    next[s] = sample_token(transformer_->logits(states[s]),
+                           config_.sampling, sampling_rng_);
+    result.tokens[s].push_back(next[s]);
+  }
+  result.prefill_seconds = seconds_since(start);
+
+  // ---- decode: one token per sequence per step.
+  start = Clock::now();
+  for (std::int64_t t = 1; t < gen_len; ++t) {
+    std::vector<tensor::Tensor> step_states;
+    step_states.reserve(prompts.size());
+    for (std::size_t s = 0; s < prompts.size(); ++s) {
+      const std::int64_t token[] = {next[s]};
+      step_states.push_back(transformer_->embed(token));
+    }
+    transformer_->forward(step_states, cache_ptrs, prefetch);
+    for (std::size_t s = 0; s < prompts.size(); ++s) {
+      next[s] = sample_token(transformer_->logits(step_states[s]),
+                             config_.sampling, sampling_rng_);
+      result.tokens[s].push_back(next[s]);
+    }
+  }
+  result.decode_seconds = seconds_since(start);
+
+  const double total = result.prefill_seconds + result.decode_seconds;
+  result.tokens_per_second =
+      static_cast<double>(gen_len) * static_cast<double>(prompts.size()) /
+      total;
+  result.offload = manager_->stats();
+  for (const auto& cache : caches) {
+    for (const auto& layer_cache : cache) {
+      if (const auto* flat = dynamic_cast<const KVCache*>(layer_cache.get())) {
+        result.kv_quantize_seconds += flat->quantize_seconds();
+        result.kv_dequantize_seconds += flat->dequantize_seconds();
+        result.kv_stored_bytes += flat->stored_bytes();
+      } else if (const auto* paged =
+                     dynamic_cast<const PagedKVCache*>(layer_cache.get())) {
+        result.kv_stored_bytes +=
+            paged->block_table().size() * page_pool_->page_bytes();
+      }
+    }
+  }
+  result.device_peak_bytes = device_pool_->peak();
+  result.host_peak_bytes = host_pool_->peak();
+  return result;
+}
+
+}  // namespace lmo::runtime

@@ -1,0 +1,101 @@
+// End-to-end generation harness over the real runtime: prefill + greedy
+// decode for a batch of prompts, with the offloading, quantization and
+// prefetch machinery engaged. Produces the same accounting the paper
+// reports at laptop scale: throughput, phase times, transfer volumes,
+// memory peaks and (de)quantization time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lmo/model/llm_config.hpp"
+#include "lmo/runtime/paged_kv.hpp"
+#include "lmo/runtime/transformer.hpp"
+
+namespace lmo::runtime {
+
+/// Decoding strategy. Greedy (temperature == 0) is deterministic; with
+/// temperature > 0 tokens are drawn from the (optionally top-k truncated)
+/// softmax distribution using the seeded RNG — still fully reproducible.
+struct SamplingConfig {
+  double temperature = 0.0;  ///< 0 = greedy argmax
+  int top_k = 0;             ///< 0 = no truncation
+  double top_p = 0.0;        ///< nucleus cutoff in (0, 1]; 0 = disabled
+  std::uint64_t seed = 1234;
+
+  bool greedy() const { return temperature <= 0.0; }
+  void validate() const;
+};
+
+struct RuntimeConfig {
+  model::ModelSpec spec = model::ModelSpec::tiny();
+  /// Transformer layers whose weights stay device-resident; the rest are
+  /// host-resident and streamed per fetch (the runtime's "wg").
+  std::int64_t device_layers = 0;
+  int weight_bits = 16;  ///< host weight storage: 16 (fp16), 8 or 4
+  int kv_bits = 16;      ///< KV-at-rest storage
+  std::int64_t quant_group = 32;
+  std::size_t device_capacity = 256u << 20;  ///< logical "GPU" pool
+  std::size_t host_capacity = 2048ull << 20;
+  /// vLLM-style paged KV allocation (f32 pages from a shared pool)
+  /// instead of per-sequence contiguous buffers; requires kv_bits == 16.
+  bool paged_kv = false;
+  std::int64_t page_tokens = 16;  ///< token slots per page
+  int prefetch_threads = 2;  ///< 0 disables async weight prefetch
+  /// Intra-op threads for the attention kernel (heads split across a
+  /// pool); 0 = serial. Results are bit-identical either way.
+  int compute_threads = 0;
+  std::uint64_t seed = 42;
+  SamplingConfig sampling;   ///< greedy by default
+};
+
+/// Draw one token from `logits` (rank-1, [vocab]) under `config`. Exposed
+/// for testing; the Generator calls this per sequence per step.
+std::int64_t sample_token(const tensor::Tensor& logits,
+                          const SamplingConfig& config,
+                          util::Xoshiro256& rng);
+
+struct GenerationResult {
+  /// Generated token ids per prompt (greedy argmax decoding).
+  std::vector<std::vector<std::int64_t>> tokens;
+  double prefill_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double tokens_per_second = 0.0;  ///< generated tokens / (prefill + decode)
+  OffloadStats offload;
+  double kv_quantize_seconds = 0.0;
+  double kv_dequantize_seconds = 0.0;
+  std::size_t device_peak_bytes = 0;
+  std::size_t host_peak_bytes = 0;
+  std::size_t kv_stored_bytes = 0;
+};
+
+class Generator {
+ public:
+  explicit Generator(const RuntimeConfig& config);
+  ~Generator();
+
+  const RuntimeConfig& config() const { return config_; }
+  Transformer& transformer() { return *transformer_; }
+  OffloadManager& manager() { return *manager_; }
+  MemoryPool& device_pool() { return *device_pool_; }
+  MemoryPool& host_pool() { return *host_pool_; }
+
+  /// Generate `gen_len` tokens for each prompt.
+  GenerationResult generate(
+      const std::vector<std::vector<std::int64_t>>& prompts,
+      std::int64_t gen_len);
+
+ private:
+  RuntimeConfig config_;
+  util::Xoshiro256 sampling_rng_;
+  std::unique_ptr<MemoryPool> device_pool_;
+  std::unique_ptr<MemoryPool> host_pool_;
+  std::unique_ptr<OffloadManager> manager_;
+  std::unique_ptr<Transformer> transformer_;
+  std::unique_ptr<parallel::ThreadPool> prefetch_pool_;
+  std::unique_ptr<parallel::ThreadPool> compute_pool_;
+  std::unique_ptr<PagePool> page_pool_;  ///< when paged_kv
+};
+
+}  // namespace lmo::runtime

@@ -1,0 +1,116 @@
+#include "lmo/runtime/kv_cache.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::runtime {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+KVCache::KVCache(std::int64_t hidden, int bits, std::int64_t group_size,
+                 MemoryPool& pool)
+    : hidden_(hidden), bits_(bits), group_size_(group_size), pool_(&pool) {
+  LMO_CHECK_GT(hidden, 0);
+  LMO_CHECK(bits == 16 || bits == 8 || bits == 4);
+  LMO_CHECK_GT(group_size, 0);
+}
+
+KVCache::~KVCache() {
+  if (pool_ != nullptr && stored_bytes_ > 0) {
+    pool_->release(stored_bytes_);
+  }
+}
+
+KVCache::Row KVCache::make_row(const tensor::Tensor& row) {
+  LMO_CHECK_EQ(row.shape().rank(), 1u);
+  LMO_CHECK_EQ(row.shape()[0], hidden_);
+  Row out;
+  if (bits_ == 16) {
+    out.plain = row.clone();
+  } else {
+    const auto start = std::chrono::steady_clock::now();
+    out.quantized =
+        tensor::quantize(row, tensor::QuantConfig{bits_, group_size_});
+    quantize_seconds_ += seconds_since(start);
+  }
+  return out;
+}
+
+std::size_t KVCache::row_bytes(const Row& row) const {
+  return row.quantized.defined() ? row.quantized.byte_size()
+                                 : row.plain.byte_size();
+}
+
+void KVCache::append(const tensor::Tensor& k_row,
+                     const tensor::Tensor& v_row) {
+  Row k = make_row(k_row);
+  Row v = make_row(v_row);
+  const std::size_t bytes = row_bytes(k) + row_bytes(v);
+  pool_->charge(bytes);
+  stored_bytes_ += bytes;
+  k_rows_.push_back(std::move(k));
+  v_rows_.push_back(std::move(v));
+  ++length_;
+}
+
+tensor::Tensor KVCache::materialize(const std::vector<Row>& rows) const {
+  LMO_CHECK(!rows.empty());
+  tensor::Tensor out = tensor::Tensor::zeros({length_, hidden_});
+  auto dst = out.f32();
+  for (std::int64_t i = 0; i < length_; ++i) {
+    tensor::Tensor row;
+    if (rows[static_cast<std::size_t>(i)].quantized.defined()) {
+      const auto start = std::chrono::steady_clock::now();
+      row = tensor::dequantize(rows[static_cast<std::size_t>(i)].quantized);
+      dequantize_seconds_ += seconds_since(start);
+    } else {
+      row = rows[static_cast<std::size_t>(i)].plain;
+    }
+    std::memcpy(dst.data() + i * hidden_, row.f32().data(),
+                static_cast<std::size_t>(hidden_) * sizeof(float));
+  }
+  return out;
+}
+
+void KVCache::truncate(std::int64_t new_length) {
+  LMO_CHECK_GE(new_length, 0);
+  LMO_CHECK_LE(new_length, length_);
+  while (length_ > new_length) {
+    const std::size_t bytes =
+        row_bytes(k_rows_.back()) + row_bytes(v_rows_.back());
+    k_rows_.pop_back();
+    v_rows_.pop_back();
+    pool_->release(bytes);
+    stored_bytes_ -= bytes;
+    --length_;
+  }
+}
+
+tensor::Tensor KVCache::keys() const { return materialize(k_rows_); }
+
+tensor::Tensor KVCache::values() const { return materialize(v_rows_); }
+
+double KVCache::dequantize_seconds() const { return dequantize_seconds_; }
+
+std::unique_ptr<KVCacheBase> KVCache::clone() const {
+  auto copy = std::make_unique<KVCache>(hidden_, bits_, group_size_, *pool_);
+  // Rows hold shared-immutable payloads; copying the row vectors is a deep
+  // logical copy. Charge the pool for the duplicate residency.
+  copy->k_rows_ = k_rows_;
+  copy->v_rows_ = v_rows_;
+  copy->length_ = length_;
+  copy->stored_bytes_ = stored_bytes_;
+  pool_->charge(stored_bytes_);
+  return copy;
+}
+
+}  // namespace lmo::runtime

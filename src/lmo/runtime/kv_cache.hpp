@@ -1,0 +1,92 @@
+// Real KV cache with optional at-rest compression. One instance per
+// (layer, sequence). Appends quantize the incoming K/V rows with the real
+// group-wise quantizer (matching the paper: "the KV cache is updated
+// throughout token generation and quantized at each transformer layer");
+// reads expand the whole cache back to f32 — compute never runs on packed
+// payloads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lmo/runtime/mempool.hpp"
+#include "lmo/tensor/quantize.hpp"
+#include "lmo/tensor/tensor.hpp"
+
+namespace lmo::runtime {
+
+/// Interface shared by the cache backends (contiguous KVCache and
+/// PagedKVCache): append one token's K/V rows, materialize the full
+/// matrices for the attention scan.
+class KVCacheBase {
+ public:
+  virtual ~KVCacheBase() = default;
+  virtual void append(const tensor::Tensor& k_row,
+                      const tensor::Tensor& v_row) = 0;
+  virtual std::int64_t length() const = 0;
+  virtual tensor::Tensor keys() const = 0;
+  virtual tensor::Tensor values() const = 0;
+  /// Roll the cache back to `new_length` tokens (speculative-decoding
+  /// rejection, beam pruning). new_length ≤ length().
+  virtual void truncate(std::int64_t new_length) = 0;
+  /// Deep copy (beam forking). The copy charges its own pool bytes.
+  virtual std::unique_ptr<KVCacheBase> clone() const = 0;
+};
+
+class KVCache : public KVCacheBase {
+ public:
+  /// `bits` = 16 keeps rows in f32; 4/8 stores each appended row
+  /// compressed. `pool` is charged with the stored bytes.
+  KVCache(std::int64_t hidden, int bits, std::int64_t group_size,
+          MemoryPool& pool);
+  ~KVCache();
+  KVCache(KVCache&&) noexcept = default;
+  KVCache(const KVCache&) = delete;
+  KVCache& operator=(const KVCache&) = delete;
+
+  /// Append one token's key and value rows (rank-1, extent = hidden).
+  void append(const tensor::Tensor& k_row,
+              const tensor::Tensor& v_row) override;
+
+  std::int64_t length() const override { return length_; }
+  std::int64_t hidden() const { return hidden_; }
+  int bits() const { return bits_; }
+
+  /// Materialize the full K (or V) matrix [length, hidden] in f32,
+  /// dequantizing stored rows as needed.
+  tensor::Tensor keys() const override;
+  tensor::Tensor values() const override;
+  void truncate(std::int64_t new_length) override;
+  std::unique_ptr<KVCacheBase> clone() const override;
+
+  /// Bytes currently charged to the pool.
+  std::size_t stored_bytes() const { return stored_bytes_; }
+
+  /// Cumulative time spent (de)quantizing rows, seconds.
+  double quantize_seconds() const { return quantize_seconds_; }
+  double dequantize_seconds() const;
+
+ private:
+  struct Row {
+    tensor::Tensor plain;               ///< f32 when bits == 16
+    tensor::QuantizedTensor quantized;  ///< otherwise
+  };
+
+  tensor::Tensor materialize(const std::vector<Row>& rows) const;
+  Row make_row(const tensor::Tensor& row);
+  std::size_t row_bytes(const Row& row) const;
+
+  std::int64_t hidden_;
+  int bits_;
+  std::int64_t group_size_;
+  MemoryPool* pool_;
+  std::vector<Row> k_rows_;
+  std::vector<Row> v_rows_;
+  std::int64_t length_ = 0;
+  std::size_t stored_bytes_ = 0;
+  double quantize_seconds_ = 0.0;
+  mutable double dequantize_seconds_ = 0.0;
+};
+
+}  // namespace lmo::runtime

@@ -1,0 +1,79 @@
+#include "lmo/runtime/mempool.hpp"
+
+#include "lmo/util/check.hpp"
+#include "lmo/util/units.hpp"
+
+namespace lmo::runtime {
+
+MemoryPool::MemoryPool(std::string name, std::size_t capacity_bytes)
+    : name_(std::move(name)), capacity_(capacity_bytes) {
+  LMO_CHECK_GT(capacity_, 0u);
+}
+
+void MemoryPool::charge(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LMO_CHECK_MSG(used_ + bytes <= capacity_,
+                "pool '" + name_ + "' exhausted: " +
+                    util::format_bytes(static_cast<double>(used_)) + " used + " +
+                    util::format_bytes(static_cast<double>(bytes)) +
+                    " requested > " +
+                    util::format_bytes(static_cast<double>(capacity_)) +
+                    " capacity");
+  used_ += bytes;
+  if (used_ > peak_) peak_ = used_;
+}
+
+void MemoryPool::release(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LMO_CHECK_LE(bytes, used_);
+  used_ -= bytes;
+}
+
+std::size_t MemoryPool::used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_;
+}
+
+std::size_t MemoryPool::peak() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
+}
+
+std::size_t MemoryPool::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_ - used_;
+}
+
+PoolCharge::PoolCharge(MemoryPool& pool, std::size_t bytes)
+    : pool_(&pool), bytes_(bytes) {
+  pool.charge(bytes);
+}
+
+PoolCharge::~PoolCharge() { reset(); }
+
+PoolCharge::PoolCharge(PoolCharge&& other) noexcept
+    : pool_(other.pool_), bytes_(other.bytes_) {
+  other.pool_ = nullptr;
+  other.bytes_ = 0;
+}
+
+PoolCharge& PoolCharge::operator=(PoolCharge&& other) noexcept {
+  if (this != &other) {
+    reset();
+    pool_ = other.pool_;
+    bytes_ = other.bytes_;
+    other.pool_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void PoolCharge::reset() {
+  if (pool_ != nullptr && bytes_ > 0) {
+    pool_->release(bytes_);
+  }
+  pool_ = nullptr;
+  bytes_ = 0;
+}
+
+}  // namespace lmo::runtime

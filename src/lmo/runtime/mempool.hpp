@@ -1,0 +1,59 @@
+// Capacity-enforcing memory pool. The runtime mirrors the paper's two-tier
+// memory (GPU device memory vs host memory) on one machine: tensors live in
+// ordinary heap storage, but every allocation is charged against the pool
+// of its *logical* device, and exceeding the configured capacity throws —
+// which is exactly the failure offloading exists to avoid. Benches and
+// tests read the high-water mark.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace lmo::runtime {
+
+class MemoryPool {
+ public:
+  MemoryPool(std::string name, std::size_t capacity_bytes);
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Charge an allocation; throws PoolExhausted (a CheckError subtype
+  /// message) when it would exceed capacity.
+  void charge(std::size_t bytes);
+  /// Release a previous charge.
+  void release(std::size_t bytes);
+
+  std::size_t used() const;
+  std::size_t peak() const;
+  std::size_t available() const;
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII charge.
+class PoolCharge {
+ public:
+  PoolCharge() = default;
+  PoolCharge(MemoryPool& pool, std::size_t bytes);
+  ~PoolCharge();
+  PoolCharge(PoolCharge&& other) noexcept;
+  PoolCharge& operator=(PoolCharge&& other) noexcept;
+  PoolCharge(const PoolCharge&) = delete;
+  PoolCharge& operator=(const PoolCharge&) = delete;
+
+  std::size_t bytes() const { return bytes_; }
+  void reset();
+
+ private:
+  MemoryPool* pool_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace lmo::runtime

@@ -1,0 +1,165 @@
+#include "lmo/runtime/offload_manager.hpp"
+
+#include <chrono>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::runtime {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+OffloadManager::OffloadManager(MemoryPool& device_pool, MemoryPool& host_pool,
+                               int quant_bits, std::int64_t group_size)
+    : device_pool_(device_pool),
+      host_pool_(host_pool),
+      quant_bits_(quant_bits),
+      group_size_(group_size) {
+  LMO_CHECK(quant_bits == 16 || quant_bits == 8 || quant_bits == 4);
+}
+
+void OffloadManager::register_tensor(const std::string& name,
+                                     tensor::Tensor value, Tier tier) {
+  LMO_CHECK(value.defined());
+  LMO_CHECK(value.dtype() == tensor::DType::kF32);
+  std::lock_guard<std::mutex> lock(mutex_);
+  LMO_CHECK_MSG(entries_.count(name) == 0, "duplicate tensor name: " + name);
+
+  Entry entry;
+  entry.tier = tier;
+  if (tier == Tier::kDevice) {
+    entry.plain = std::move(value);
+    entry.charge = PoolCharge(device_pool_, entry.plain.byte_size());
+  } else if (quant_bits_ == 16) {
+    entry.plain = value.cast(tensor::DType::kF16);
+    entry.charge = PoolCharge(host_pool_, entry.plain.byte_size());
+  } else {
+    const auto start = std::chrono::steady_clock::now();
+    entry.quantized = tensor::quantize(
+        value, tensor::QuantConfig{quant_bits_, group_size_});
+    stats_.quantize_seconds += seconds_since(start);
+    entry.charge = PoolCharge(host_pool_, entry.quantized.byte_size());
+  }
+  entries_[name] = std::move(entry);
+}
+
+bool OffloadManager::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+Tier OffloadManager::tier_of(const std::string& name) const {
+  auto it = entries_.find(name);
+  LMO_CHECK_MSG(it != entries_.end(), "unknown tensor: " + name);
+  return it->second.tier;
+}
+
+std::size_t OffloadManager::stored_bytes(const std::string& name) const {
+  auto it = entries_.find(name);
+  LMO_CHECK_MSG(it != entries_.end(), "unknown tensor: " + name);
+  const Entry& entry = it->second;
+  return entry.quantized.defined() ? entry.quantized.byte_size()
+                                   : entry.plain.byte_size();
+}
+
+tensor::Tensor OffloadManager::materialize(const Entry& entry) {
+  // Host → device transfer of the stored payload. Entries are immutable
+  // after registration, so this runs without the manager lock; stats are
+  // updated by the caller under the lock.
+  if (entry.quantized.defined()) {
+    return tensor::dequantize(entry.quantized);
+  }
+  return entry.plain.cast(tensor::DType::kF32);
+}
+
+tensor::Tensor OffloadManager::fetch(const std::string& name) {
+  const Entry* entry = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    LMO_CHECK_MSG(it != entries_.end(), "unknown tensor: " + name);
+    ++stats_.fetches;
+    entry = &it->second;
+    if (entry->tier == Tier::kDevice) {
+      ++stats_.device_hits;
+      return entry->plain;  // already f32, shared storage
+    }
+    // An in-flight prefetch of this tensor will stage it shortly; waiting
+    // is cheaper than a duplicate transfer.
+    staged_cv_.wait(lock, [&] { return in_flight_.count(name) == 0; });
+    auto staged = staged_.find(name);
+    if (staged != staged_.end()) {
+      tensor::Tensor value = std::move(staged->second);
+      staged_.erase(staged);
+      ++stats_.staging_hits;
+      return value;
+    }
+    const std::size_t payload = entry->quantized.defined()
+                                    ? entry->quantized.byte_size()
+                                    : entry->plain.byte_size();
+    stats_.bytes_host_to_device += static_cast<double>(payload);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  tensor::Tensor value = materialize(*entry);
+  if (entry->quantized.defined()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.dequantize_seconds += seconds_since(start);
+  }
+  return value;
+}
+
+std::future<void> OffloadManager::prefetch(const std::string& name,
+                                           parallel::ThreadPool& pool) {
+  auto promise = std::make_shared<std::promise<void>>();
+  auto future = promise->get_future();
+  // Claim the in-flight slot at submit time so a concurrent fetch() of the
+  // same name waits for this load instead of duplicating the transfer.
+  const Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    LMO_CHECK_MSG(it != entries_.end(), "unknown tensor: " + name);
+    entry = &it->second;
+    if (entry->tier == Tier::kDevice || staged_.count(name) != 0 ||
+        in_flight_.count(name) != 0) {
+      promise->set_value();
+      return future;
+    }
+    in_flight_.insert(name);
+    const std::size_t payload = entry->quantized.defined()
+                                    ? entry->quantized.byte_size()
+                                    : entry->plain.byte_size();
+    stats_.bytes_host_to_device += static_cast<double>(payload);
+  }
+  pool.submit([this, name, entry, promise] {
+    try {
+      const auto start = std::chrono::steady_clock::now();
+      tensor::Tensor value = materialize(*entry);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (entry->quantized.defined()) {
+          stats_.dequantize_seconds += seconds_since(start);
+        }
+        staged_.emplace(name, std::move(value));
+        in_flight_.erase(name);
+      }
+      staged_cv_.notify_all();
+      promise->set_value();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        in_flight_.erase(name);
+      }
+      staged_cv_.notify_all();
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+}  // namespace lmo::runtime

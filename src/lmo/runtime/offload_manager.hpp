@@ -1,0 +1,90 @@
+// Offload manager: owns every weight tensor, tracks its home tier (device
+// pool vs host pool), compresses host-resident tensors with the real
+// group-wise quantizer, and serves fetches — synchronously or as an
+// asynchronous prefetch on a thread pool (the runtime's analogue of
+// Algorithm 1's load_weight task). Byte counters record the traffic the
+// paper's Table 1 accounts.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "lmo/parallel/threadpool.hpp"
+#include "lmo/runtime/mempool.hpp"
+#include "lmo/tensor/quantize.hpp"
+#include "lmo/tensor/tensor.hpp"
+
+namespace lmo::runtime {
+
+enum class Tier { kDevice, kHost };
+
+struct OffloadStats {
+  std::uint64_t fetches = 0;
+  std::uint64_t device_hits = 0;       ///< fetch served from device tier
+  std::uint64_t staging_hits = 0;      ///< fetch served by a prior prefetch
+  double bytes_host_to_device = 0.0;   ///< payload actually moved
+  double quantize_seconds = 0.0;       ///< one-time compression at register
+  double dequantize_seconds = 0.0;     ///< per-fetch expansion
+};
+
+class OffloadManager {
+ public:
+  /// `quant_bits` = 16 stores host tensors in fp16; 4/8 compresses them
+  /// with Algorithm 2 at `group_size`.
+  OffloadManager(MemoryPool& device_pool, MemoryPool& host_pool,
+                 int quant_bits = 16, std::int64_t group_size = 64);
+
+  /// Register a tensor under `name` with home `tier`. Device-tier tensors
+  /// stay in f32 (compute precision); host-tier tensors are stored fp16 or
+  /// quantized. Charges the matching pool.
+  void register_tensor(const std::string& name, tensor::Tensor value,
+                       Tier tier);
+
+  bool contains(const std::string& name) const;
+  Tier tier_of(const std::string& name) const;
+  std::size_t stored_bytes(const std::string& name) const;
+
+  /// Fetch for compute: returns an f32 tensor. Host-tier tensors are
+  /// "transferred" (counted) and dequantized/upcast on the way.
+  tensor::Tensor fetch(const std::string& name);
+
+  /// Asynchronous prefetch on `pool`: materializes the tensor off-thread
+  /// and parks it in a staging slot that the next fetch() of the same name
+  /// consumes without re-transferring — the runtime analogue of Algorithm
+  /// 1 overlapping load_weight with compute.
+  std::future<void> prefetch(const std::string& name,
+                             parallel::ThreadPool& pool);
+
+  const OffloadStats& stats() const { return stats_; }
+  int quant_bits() const { return quant_bits_; }
+
+ private:
+  struct Entry {
+    Tier tier = Tier::kHost;
+    // Exactly one of these holds the payload.
+    tensor::Tensor plain;                   ///< f32 (device) or f16 (host)
+    tensor::QuantizedTensor quantized;      ///< host, compressed
+    PoolCharge charge;
+  };
+
+  tensor::Tensor materialize(const Entry& entry);
+
+  MemoryPool& device_pool_;
+  MemoryPool& host_pool_;
+  int quant_bits_;
+  std::int64_t group_size_;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, tensor::Tensor> staged_;
+  std::set<std::string> in_flight_;  ///< prefetches not yet staged
+  std::condition_variable staged_cv_;
+  std::mutex mutex_;
+  OffloadStats stats_;
+};
+
+}  // namespace lmo::runtime

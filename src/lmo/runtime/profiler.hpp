@@ -1,0 +1,41 @@
+// Offline profiling of the runtime's *real* kernels — the paper's §4.2
+// workflow: "we use offline profiling and collect the execution times of
+// those operations with various intra-op parallelism ... the profiling
+// results are repeatedly used during the online LLM inference."
+//
+// profile_attention_op() executes the real attention layer (through the
+// Transformer, with a prefilled KV cache) at each requested intra-op
+// thread count and records median wall times into a ProfileDB. Because
+// Algorithm 3 consumes *per-operator* times, the measured layer time is
+// apportioned across the compute graph's operators by their modeled FLOP/
+// byte shares — a measured total with model-shaped structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/opgraph.hpp"
+#include "lmo/parallel/profile_db.hpp"
+
+namespace lmo::runtime {
+
+struct ProfileOptions {
+  std::int64_t seq_len = 64;   ///< prefilled context before measuring
+  std::int64_t batch = 2;      ///< sequences measured together
+  int repeats = 3;             ///< median over this many runs
+  std::uint64_t seed = 7;
+};
+
+/// Measure one real decode step of `spec` (laptop-scale specs only) at
+/// each thread count; returns (a) the raw per-layer-step seconds keyed as
+/// "decode_layer_step", and (b) per-operator entries for every op in
+/// `graph`, apportioned by modeled cost share — ready to pass to
+/// parallel::find_optimal_parallelism as measured overrides.
+parallel::ProfileDB profile_attention_op(const model::ModelSpec& spec,
+                                         const model::OpGraph& graph,
+                                         const std::vector<int>&
+                                             thread_counts,
+                                         const ProfileOptions& options = {});
+
+}  // namespace lmo::runtime

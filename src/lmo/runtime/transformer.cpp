@@ -1,0 +1,241 @@
+#include "lmo/runtime/transformer.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "lmo/tensor/ops.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::runtime {
+
+using tensor::Tensor;
+
+std::string Transformer::weight_name(std::int64_t layer,
+                                     const std::string& kind) {
+  return "layer" + std::to_string(layer) + "." + kind;
+}
+
+Transformer::Transformer(const model::ModelSpec& spec,
+                         OffloadManager& manager, std::int64_t device_layers,
+                         std::uint64_t seed)
+    : spec_(spec), manager_(manager) {
+  spec.validate();
+  LMO_CHECK_GE(device_layers, 0);
+  LMO_CHECK_LE(device_layers, spec.num_layers);
+
+  util::Xoshiro256 rng(seed);
+  const std::int64_t h = spec.hidden;
+  const std::int64_t h2 = spec.mlp_hidden;
+  const float stddev = 0.4f / std::sqrt(static_cast<float>(h));
+
+  // The embedding table is always device-resident (it is touched every
+  // token); registering it charges the device pool.
+  manager_.register_tensor("embedding", Tensor::normal({spec.vocab, h}, rng,
+                                                       1.0f),
+                           Tier::kDevice);
+  embedding_ = manager_.fetch("embedding");
+  lnf_gamma_ = Tensor::full({h}, 1.0f);
+  lnf_beta_ = Tensor::zeros({h});
+
+  for (std::int64_t layer = 0; layer < spec.num_layers; ++layer) {
+    const Tier tier = layer < device_layers ? Tier::kDevice : Tier::kHost;
+    auto reg = [&](const std::string& kind, Tensor value) {
+      manager_.register_tensor(weight_name(layer, kind), std::move(value),
+                               tier);
+    };
+    reg("wq", Tensor::normal({h, h}, rng, stddev));
+    reg("wk", Tensor::normal({h, h}, rng, stddev));
+    reg("wv", Tensor::normal({h, h}, rng, stddev));
+    reg("wo", Tensor::normal({h, h}, rng, stddev));
+    reg("w1", Tensor::normal({h2, h}, rng, stddev));
+    reg("w2", Tensor::normal({h, h2}, rng, stddev));
+    reg("ln1_gamma", Tensor::full({h}, 1.0f));
+    reg("ln1_beta", Tensor::zeros({h}));
+    reg("ln2_gamma", Tensor::full({h}, 1.0f));
+    reg("ln2_beta", Tensor::zeros({h}));
+  }
+}
+
+SequenceCache Transformer::make_cache(int kv_bits, std::int64_t group_size,
+                                      MemoryPool& pool) const {
+  SequenceCache cache;
+  cache.reserve(static_cast<std::size_t>(spec_.num_layers));
+  for (std::int64_t layer = 0; layer < spec_.num_layers; ++layer) {
+    cache.push_back(std::make_unique<KVCache>(spec_.hidden, kv_bits,
+                                              group_size, pool));
+  }
+  return cache;
+}
+
+Tensor Transformer::embed(std::span<const std::int64_t> tokens) {
+  LMO_CHECK(!tokens.empty());
+  const std::int64_t h = spec_.hidden;
+  Tensor out = Tensor::zeros({static_cast<std::int64_t>(tokens.size()), h});
+  auto dst = out.f32();
+  auto src = embedding_.f32();
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::int64_t token = tokens[i];
+    LMO_CHECK_GE(token, 0);
+    LMO_CHECK_LT(token, spec_.vocab);
+    std::memcpy(dst.data() + static_cast<std::int64_t>(i) * h,
+                src.data() + token * h,
+                static_cast<std::size_t>(h) * sizeof(float));
+  }
+  return out;
+}
+
+Transformer::LayerWeights Transformer::fetch_layer(std::int64_t layer) {
+  LayerWeights w;
+  w.wq = manager_.fetch(weight_name(layer, "wq"));
+  w.wk = manager_.fetch(weight_name(layer, "wk"));
+  w.wv = manager_.fetch(weight_name(layer, "wv"));
+  w.wo = manager_.fetch(weight_name(layer, "wo"));
+  w.w1 = manager_.fetch(weight_name(layer, "w1"));
+  w.w2 = manager_.fetch(weight_name(layer, "w2"));
+  w.ln1_gamma = manager_.fetch(weight_name(layer, "ln1_gamma"));
+  w.ln1_beta = manager_.fetch(weight_name(layer, "ln1_beta"));
+  w.ln2_gamma = manager_.fetch(weight_name(layer, "ln2_gamma"));
+  w.ln2_beta = manager_.fetch(weight_name(layer, "ln2_beta"));
+  return w;
+}
+
+Tensor Transformer::attention(const LayerWeights& w, const Tensor& x,
+                              KVCacheBase& cache) {
+  const std::int64_t t_new = x.shape()[0];
+  const std::int64_t h = spec_.hidden;
+  const std::int64_t heads = spec_.num_heads;
+  const std::int64_t hd = spec_.head_dim();
+
+  const Tensor q = tensor::matmul_nt_blocked(x, w.wq);
+  const Tensor k = tensor::matmul_nt_blocked(x, w.wk);
+  const Tensor v = tensor::matmul_nt_blocked(x, w.wv);
+
+  // Append the new positions to the cache (quantized at rest if enabled).
+  for (std::int64_t i = 0; i < t_new; ++i) {
+    cache.append(tensor::slice_rows(k, i, i + 1).reshaped({h}),
+                 tensor::slice_rows(v, i, i + 1).reshaped({h}));
+  }
+
+  const Tensor keys = cache.keys();      // [prior + t_new, h]
+  const Tensor values = cache.values();
+  const std::int64_t total = cache.length();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  Tensor out = Tensor::zeros({t_new, h});
+  auto pout = out.f32();
+  auto pq = q.f32();
+  auto pk = keys.f32();
+  auto pv = values.f32();
+
+  // Per head: scores = q_h · K_hᵀ · scale with causal masking, softmax,
+  // context = scores · V_h. Heads are independent, so they split cleanly
+  // across the intra-op pool (bit-identical to the serial order).
+  const auto head_range = [&](std::int64_t begin, std::int64_t end) {
+    std::vector<float> scores(static_cast<std::size_t>(total));
+    for (std::int64_t head = begin; head < end; ++head) {
+      const std::int64_t off = head * hd;
+      for (std::int64_t i = 0; i < t_new; ++i) {
+        // Causal horizon in the *materialized* matrix: everything up to
+        // and including token i's own row (the last t_new rows are the new
+        // tokens). Equivalent to prior+i+1 for exact caches, and correct
+        // under eviction (WindowKVCache), where total < prior + t_new.
+        const std::int64_t visible = total - (t_new - 1 - i);
+        if (visible <= 0) continue;  // fully evicted context (tiny window)
+        const float* qrow = pq.data() + i * h + off;
+        float mx = -1e30f;
+        for (std::int64_t j = 0; j < visible; ++j) {
+          const float* krow = pk.data() + j * h + off;
+          float dot = 0.0f;
+          for (std::int64_t d = 0; d < hd; ++d) dot += qrow[d] * krow[d];
+          scores[static_cast<std::size_t>(j)] = dot * scale;
+          mx = std::max(mx, dot * scale);
+        }
+        float sum = 0.0f;
+        for (std::int64_t j = 0; j < visible; ++j) {
+          auto& s = scores[static_cast<std::size_t>(j)];
+          s = std::exp(s - mx);
+          sum += s;
+        }
+        const float inv = 1.0f / sum;
+        float* orow = pout.data() + i * h + off;
+        for (std::int64_t j = 0; j < visible; ++j) {
+          const float weight = scores[static_cast<std::size_t>(j)] * inv;
+          const float* vrow = pv.data() + j * h + off;
+          for (std::int64_t d = 0; d < hd; ++d) orow[d] += weight * vrow[d];
+        }
+      }
+    }
+  };
+
+  if (compute_pool_ == nullptr || compute_pool_->size() <= 1 || heads == 1) {
+    head_range(0, heads);
+  } else {
+    const std::int64_t workers =
+        std::min<std::int64_t>(compute_pool_->size(), heads);
+    const std::int64_t chunk = (heads + workers - 1) / workers;
+    std::vector<std::future<void>> pending;
+    for (std::int64_t begin = 0; begin < heads; begin += chunk) {
+      const std::int64_t end = std::min(begin + chunk, heads);
+      pending.push_back(
+          compute_pool_->submit([&, begin, end] { head_range(begin, end); }));
+    }
+    for (auto& f : pending) f.get();
+  }
+  return tensor::matmul_nt_blocked(out, w.wo);
+}
+
+Tensor Transformer::layer_forward(const LayerWeights& w, const Tensor& x,
+                                  KVCacheBase& cache) {
+  // Pre-LN attention block.
+  const Tensor normed1 = tensor::layer_norm(x, w.ln1_gamma, w.ln1_beta);
+  const Tensor attn = attention(w, normed1, cache);
+  const Tensor mid = tensor::add(x, attn);
+
+  // Pre-LN MLP block with the model family's non-linearity.
+  const Tensor normed2 = tensor::layer_norm(mid, w.ln2_gamma, w.ln2_beta);
+  const Tensor pre = tensor::matmul_nt_blocked(normed2, w.w1);
+  Tensor up;
+  switch (spec_.activation) {
+    case model::Activation::kGelu:
+      up = tensor::gelu(pre);
+      break;
+    case model::Activation::kRelu:
+      up = tensor::relu(pre);
+      break;
+    case model::Activation::kSilu:
+      up = tensor::silu(pre);
+      break;
+  }
+  const Tensor down = tensor::matmul_nt_blocked(up, w.w2);
+  return tensor::add(mid, down);
+}
+
+void Transformer::forward(std::vector<Tensor>& states,
+                          std::vector<SequenceCache*>& caches,
+                          parallel::ThreadPool* prefetch) {
+  LMO_CHECK_EQ(states.size(), caches.size());
+  LMO_CHECK(!states.empty());
+
+  for (std::int64_t layer = 0; layer < spec_.num_layers; ++layer) {
+    if (prefetch != nullptr && layer + 1 < spec_.num_layers) {
+      // Warm the next layer's host payloads concurrently with compute.
+      for (const char* kind : {"wq", "wk", "wv", "wo", "w1", "w2"}) {
+        (void)manager_.prefetch(weight_name(layer + 1, kind), *prefetch);
+      }
+    }
+    const LayerWeights w = fetch_layer(layer);
+    for (std::size_t s = 0; s < states.size(); ++s) {
+      states[s] = layer_forward(
+          w, states[s], *(*caches[s])[static_cast<std::size_t>(layer)]);
+    }
+  }
+}
+
+Tensor Transformer::logits(const Tensor& state) {
+  const std::int64_t rows = state.shape()[0];
+  const Tensor last = tensor::slice_rows(state, rows - 1, rows);
+  const Tensor normed = tensor::layer_norm(last, lnf_gamma_, lnf_beta_);
+  return tensor::matmul_nt_blocked(normed, embedding_).reshaped({spec_.vocab});
+}
+
+}  // namespace lmo::runtime

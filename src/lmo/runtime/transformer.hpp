@@ -1,0 +1,87 @@
+// A real (laptop-scale) pre-LayerNorm transformer executed through the
+// offloading substrate: every layer's weights are fetched from the
+// OffloadManager (possibly dequantized host payloads), the KV cache is a
+// real KVCache (possibly compressed at rest), and all math runs in f32 via
+// lmo::tensor ops. The walk is layer-outer so one weight fetch serves every
+// sequence in the batch — the same amortization the zig-zag block schedule
+// exploits.
+//
+// Simplifications vs production checkpoints (documented in DESIGN.md):
+// tied input/output embeddings, no biases, GELU MLP for all presets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lmo/model/llm_config.hpp"
+#include "lmo/parallel/threadpool.hpp"
+#include "lmo/runtime/kv_cache.hpp"
+#include "lmo/runtime/offload_manager.hpp"
+#include "lmo/tensor/tensor.hpp"
+#include "lmo/util/rng.hpp"
+
+namespace lmo::runtime {
+
+/// All KV caches for one sequence (one per layer), backend-polymorphic.
+using SequenceCache = std::vector<std::unique_ptr<KVCacheBase>>;
+
+class Transformer {
+ public:
+  /// Creates synthetic weights (normal, seeded) and registers them with
+  /// `manager`: the first `device_layers` layers live on the device tier,
+  /// the rest on the host tier (streamed on fetch).
+  Transformer(const model::ModelSpec& spec, OffloadManager& manager,
+              std::int64_t device_layers, std::uint64_t seed);
+
+  const model::ModelSpec& spec() const { return spec_; }
+
+  /// Fresh per-sequence caches (`spec.num_layers` of them).
+  SequenceCache make_cache(int kv_bits, std::int64_t group_size,
+                           MemoryPool& pool) const;
+
+  /// Embed a token sequence → [T, h].
+  tensor::Tensor embed(std::span<const std::int64_t> tokens);
+
+  /// Intra-op parallelism for the attention kernel: heads are split across
+  /// `pool` (nullptr = serial). Heads are independent, so the parallel
+  /// result is bit-identical to the serial one.
+  void set_compute_pool(parallel::ThreadPool* pool) { compute_pool_ = pool; }
+
+  /// Run all layers over a batch of hidden-state matrices ([T_i, h]),
+  /// appending every position to the caches. Layer-outer: weights are
+  /// fetched once per layer for the whole batch; with `prefetch` non-null,
+  /// layer i+1's weights load asynchronously while layer i computes.
+  void forward(std::vector<tensor::Tensor>& states,
+               std::vector<SequenceCache*>& caches,
+               parallel::ThreadPool* prefetch = nullptr);
+
+  /// Final LayerNorm + tied unembedding of the last row → [vocab].
+  tensor::Tensor logits(const tensor::Tensor& state);
+
+  /// Weight-tensor name for OffloadManager lookups, e.g. name(3, "wq").
+  static std::string weight_name(std::int64_t layer, const std::string& kind);
+
+ private:
+  struct LayerWeights {
+    tensor::Tensor wq, wk, wv, wo, w1, w2;
+    tensor::Tensor ln1_gamma, ln1_beta, ln2_gamma, ln2_beta;
+  };
+
+  LayerWeights fetch_layer(std::int64_t layer);
+  /// One layer over one sequence: attention (with cache append) + MLP.
+  tensor::Tensor layer_forward(const LayerWeights& w, const tensor::Tensor& x,
+                               KVCacheBase& cache);
+  tensor::Tensor attention(const LayerWeights& w, const tensor::Tensor& x,
+                           KVCacheBase& cache);
+
+  model::ModelSpec spec_;
+  OffloadManager& manager_;
+  parallel::ThreadPool* compute_pool_ = nullptr;
+  tensor::Tensor embedding_;  ///< [vocab, h], always device-resident
+  tensor::Tensor lnf_gamma_, lnf_beta_;
+};
+
+}  // namespace lmo::runtime

@@ -1,0 +1,31 @@
+#include "lmo/sched/flexgen.hpp"
+
+#include "lmo/sched/schedule_builder.hpp"
+
+namespace lmo::sched {
+
+SearchResult FlexGen::plan(const model::ModelSpec& spec,
+                           const model::Workload& workload,
+                           const hw::Platform& platform) {
+  perfmodel::EstimatorOptions options;
+  options.flexgen_style = true;      // no quantization/overhead modeling
+  options.use_average_kv = true;     // FlexGen models the average KV size
+  return search_policy(spec, workload, platform, SearchSpace::flexgen(),
+                       options);
+}
+
+SimulationReport FlexGen::run(const model::ModelSpec& spec,
+                              const model::Workload& workload,
+                              const hw::Platform& platform) {
+  const auto planned = plan(spec, workload, platform);
+  return run_with_policy(spec, workload, planned.best, platform);
+}
+
+SimulationReport FlexGen::run_with_policy(const model::ModelSpec& spec,
+                                          const model::Workload& workload,
+                                          const perfmodel::Policy& policy,
+                                          const hw::Platform& platform) {
+  return simulate(spec, workload, policy, platform, kName);
+}
+
+}  // namespace lmo::sched

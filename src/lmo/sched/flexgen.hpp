@@ -1,0 +1,41 @@
+// FlexGen baseline (paper §2.2, Sheng et al. ICML'23): zig-zag block
+// scheduling with a linear-programming policy search over tensor placement.
+// Reproduced with the paper's criticism intact: the search scores
+// candidates with an *optimistic* cost model that ignores quantization
+// overheads, per-task launch costs and thread contention — so the policy
+// it picks is not the one that runs fastest on the real (simulated)
+// machine.
+#pragma once
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/memory.hpp"
+#include "lmo/sched/policy_search.hpp"
+#include "lmo/sched/report.hpp"
+
+namespace lmo::sched {
+
+class FlexGen {
+ public:
+  static constexpr const char* kName = "flexgen";
+
+  /// LP-style policy search (placement only, no quantization, optimistic
+  /// cost model).
+  static SearchResult plan(const model::ModelSpec& spec,
+                           const model::Workload& workload,
+                           const hw::Platform& platform);
+
+  /// Plan, then execute the chosen policy on the DES.
+  static SimulationReport run(const model::ModelSpec& spec,
+                              const model::Workload& workload,
+                              const hw::Platform& platform);
+
+  /// Execute a caller-chosen policy under FlexGen's runtime (used by the
+  /// Fig. 3 strategy sweep, which varies quantization by hand).
+  static SimulationReport run_with_policy(const model::ModelSpec& spec,
+                                          const model::Workload& workload,
+                                          const perfmodel::Policy& policy,
+                                          const hw::Platform& platform);
+};
+
+}  // namespace lmo::sched

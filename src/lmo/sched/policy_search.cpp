@@ -1,0 +1,287 @@
+#include "lmo/sched/policy_search.hpp"
+
+#include "lmo/util/check.hpp"
+#include "lmo/util/rng.hpp"
+
+namespace lmo::sched {
+namespace {
+
+std::vector<double> percent_grid(int step_percent) {
+  std::vector<double> grid;
+  for (int p = 0; p <= 100; p += step_percent) {
+    grid.push_back(static_cast<double>(p) / 100.0);
+  }
+  return grid;
+}
+
+}  // namespace
+
+SearchSpace SearchSpace::flexgen() {
+  SearchSpace space;
+  space.wg_choices = percent_grid(5);
+  space.cg_choices = {0.0, 0.25, 0.5, 0.75, 1.0};
+  space.hg_choices = {0.0, 1.0};
+  space.wd_choices = {0.0, 0.25, 0.5};
+  space.attention_on_cpu_choices = {true, false};
+  space.weight_bits_choices = {16};
+  space.kv_bits_choices = {16};
+  return space;
+}
+
+SearchSpace SearchSpace::lm_offload(bool parallelism_control) {
+  SearchSpace space;
+  space.wg_choices = percent_grid(5);
+  space.cg_choices = {0.0, 0.25, 0.5, 0.75, 1.0};
+  space.hg_choices = {0.0, 1.0};
+  space.wd_choices = {0.0, 0.25, 0.5};
+  space.attention_on_cpu_choices = {true, false};
+  space.allow_hybrid_attention = true;
+  space.weight_bits_choices = {16, 8, 4};
+  space.kv_bits_choices = {16, 8, 4};
+  space.parallelism_control = parallelism_control;
+  return space;
+}
+
+SearchResult search_policy(const model::ModelSpec& spec,
+                           const model::Workload& workload,
+                           const hw::Platform& platform,
+                           const SearchSpace& space,
+                           const perfmodel::EstimatorOptions& options) {
+  LMO_CHECK(!space.wg_choices.empty());
+  LMO_CHECK(!space.cg_choices.empty());
+  LMO_CHECK(!space.hg_choices.empty());
+  LMO_CHECK(!space.attention_on_cpu_choices.empty());
+  LMO_CHECK(!space.weight_bits_choices.empty());
+  LMO_CHECK(!space.kv_bits_choices.empty());
+
+  SearchResult result;
+  bool found = false;
+
+  for (bool attn_cpu : space.attention_on_cpu_choices) {
+    for (int wbits : space.weight_bits_choices) {
+      for (int kvbits : space.kv_bits_choices) {
+        // With attention on the CPU the cache never crosses PCIe, so cg and
+        // (for the CPU-resident cache) dequantization-free kv=16 are the
+        // only meaningful choices unless the policy compresses host memory.
+        for (double wg : space.wg_choices) {
+          for (double cg : space.cg_choices) {
+            // CPU attention with a GPU-resident cache slice requires the
+            // hybrid split; otherwise the cache lives with the compute.
+            const bool hybrid = attn_cpu && cg > 0.0;
+            if (hybrid && !space.allow_hybrid_attention) continue;
+            // The FlexGen-derived runtime compresses only the host-side
+            // cache; GPU-resident KV stays in compute precision (Table 3:
+            // cg=0 whenever the cache is quantized).
+            if (kvbits < 16 && cg > 0.0) continue;
+            for (double hg : space.hg_choices) {
+              for (double wd : space.wd_choices) {
+                if (wg + wd > 1.0) continue;
+                perfmodel::Policy policy;
+                policy.weights_on_gpu = wg;
+                policy.cache_on_gpu = cg;
+                policy.activations_on_gpu = hg;
+                policy.weights_on_disk = wd;
+                policy.attention_on_cpu = attn_cpu;
+                policy.hybrid_attention = hybrid;
+                policy.weight_bits = wbits;
+                policy.kv_bits = kvbits;
+                policy.resident_weights_compressed =
+                    space.resident_weights_compressed;
+                policy.parallelism_control = space.parallelism_control;
+
+                ++result.evaluated;
+                const auto est =
+                    perfmodel::estimate(spec, workload, policy, platform,
+                                        options);
+                if (!est.fits) continue;
+                ++result.feasible;
+
+                const bool better =
+                    !found || est.throughput > result.estimate.throughput ||
+                    (est.throughput == result.estimate.throughput &&
+                     est.gpu_bytes_needed <
+                         result.estimate.gpu_bytes_needed);
+                if (better) {
+                  result.best = policy;
+                  result.estimate = est;
+                  found = true;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  LMO_CHECK_MSG(found, "no feasible policy for " + spec.name +
+                           " on " + platform.name);
+  return result;
+}
+
+namespace {
+
+/// Sample a random policy from the space (uniform over each dimension).
+perfmodel::Policy random_policy(const SearchSpace& space,
+                                util::Xoshiro256& rng) {
+  const auto pick = [&rng](const auto& choices) {
+    return choices[static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(choices.size())))];
+  };
+  perfmodel::Policy p;
+  p.weights_on_gpu = pick(space.wg_choices);
+  p.cache_on_gpu = pick(space.cg_choices);
+  p.activations_on_gpu = pick(space.hg_choices);
+  p.weights_on_disk = pick(space.wd_choices);
+  p.attention_on_cpu = pick(space.attention_on_cpu_choices);
+  p.weight_bits = pick(space.weight_bits_choices);
+  p.kv_bits = pick(space.kv_bits_choices);
+  p.resident_weights_compressed = space.resident_weights_compressed;
+  p.parallelism_control = space.parallelism_control;
+  return p;
+}
+
+/// Project a candidate onto the space's constraint set; returns false when
+/// the combination is structurally invalid.
+bool legalize(const SearchSpace& space, perfmodel::Policy& p) {
+  if (p.weights_on_gpu + p.weights_on_disk > 1.0) return false;
+  if (p.kv_bits < 16 && p.cache_on_gpu > 0.0) return false;
+  p.hybrid_attention = p.attention_on_cpu && p.cache_on_gpu > 0.0;
+  if (p.hybrid_attention && !space.allow_hybrid_attention) return false;
+  return true;
+}
+
+/// Mutate one dimension to a neighbouring choice.
+perfmodel::Policy mutate(const SearchSpace& space,
+                         const perfmodel::Policy& base,
+                         util::Xoshiro256& rng) {
+  const auto nudge = [&rng](const auto& choices, auto current) {
+    // Move to an adjacent grid value (or anywhere for tiny grids).
+    std::size_t index = 0;
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      if (choices[i] == current) index = i;
+    }
+    const bool up = rng.below(2) == 0;
+    if (up && index + 1 < choices.size()) return choices[index + 1];
+    if (!up && index > 0) return choices[index - 1];
+    return choices[static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(choices.size())))];
+  };
+  perfmodel::Policy p = base;
+  switch (rng.below(7)) {
+    case 0:
+      p.weights_on_gpu = nudge(space.wg_choices, p.weights_on_gpu);
+      break;
+    case 1:
+      p.cache_on_gpu = nudge(space.cg_choices, p.cache_on_gpu);
+      break;
+    case 2:
+      p.activations_on_gpu = nudge(space.hg_choices, p.activations_on_gpu);
+      break;
+    case 3:
+      p.weights_on_disk = nudge(space.wd_choices, p.weights_on_disk);
+      break;
+    case 4:
+      p.attention_on_cpu = !p.attention_on_cpu;
+      break;
+    case 5:
+      p.weight_bits = nudge(space.weight_bits_choices, p.weight_bits);
+      break;
+    default:
+      p.kv_bits = nudge(space.kv_bits_choices, p.kv_bits);
+  }
+  return p;
+}
+
+}  // namespace
+
+SearchResult search_policy_stochastic(const model::ModelSpec& spec,
+                                      const model::Workload& workload,
+                                      const hw::Platform& platform,
+                                      const SearchSpace& space,
+                                      const perfmodel::EstimatorOptions&
+                                          options,
+                                      int restarts, int steps_per_restart,
+                                      std::uint64_t seed) {
+  LMO_CHECK_GE(restarts, 1);
+  LMO_CHECK_GE(steps_per_restart, 1);
+  util::Xoshiro256 rng(seed);
+  SearchResult result;
+  bool found = false;
+
+  const auto consider = [&](perfmodel::Policy candidate) -> double {
+    ++result.evaluated;
+    const auto est =
+        perfmodel::estimate(spec, workload, candidate, platform, options);
+    if (!est.fits) return -1.0;
+    ++result.feasible;
+    if (!found || est.throughput > result.estimate.throughput) {
+      result.best = candidate;
+      result.estimate = est;
+      found = true;
+    }
+    return est.throughput;
+  };
+
+  for (int r = 0; r < restarts; ++r) {
+    // Find a feasible starting point.
+    perfmodel::Policy current;
+    double current_score = -1.0;
+    for (int tries = 0; tries < 50 && current_score < 0.0; ++tries) {
+      perfmodel::Policy candidate = random_policy(space, rng);
+      if (!legalize(space, candidate)) continue;
+      current_score = consider(candidate);
+      if (current_score >= 0.0) current = candidate;
+    }
+    if (current_score < 0.0) continue;
+
+    for (int s = 0; s < steps_per_restart; ++s) {
+      perfmodel::Policy candidate = mutate(space, current, rng);
+      if (!legalize(space, candidate)) continue;
+      const double score = consider(candidate);
+      if (score > current_score) {
+        current = candidate;
+        current_score = score;
+      }
+    }
+  }
+  LMO_CHECK_MSG(found, "stochastic search found no feasible policy for " +
+                           spec.name);
+  return result;
+}
+
+BlockSearchResult search_block_size(const model::ModelSpec& spec,
+                                    const model::Workload& shape,
+                                    const hw::Platform& platform,
+                                    const SearchSpace& space,
+                                    const perfmodel::EstimatorOptions& options,
+                                    std::int64_t max_batches) {
+  LMO_CHECK_GE(max_batches, 1);
+  BlockSearchResult best;
+  bool found = false;
+  for (std::int64_t gpu_batch : {16, 32, 64}) {
+    for (std::int64_t nb = 1; nb <= max_batches; nb *= 2) {
+      model::Workload w = shape;
+      w.gpu_batch = gpu_batch;
+      w.num_batches = nb;
+      ++best.blocks_tried;
+      SearchResult candidate;
+      try {
+        candidate = search_policy(spec, w, platform, space, options);
+      } catch (const util::CheckError&) {
+        continue;  // nothing fits at this block
+      }
+      ++best.blocks_feasible;
+      if (!found ||
+          candidate.estimate.throughput > best.search.estimate.throughput) {
+        best.workload = w;
+        best.search = candidate;
+        found = true;
+      }
+    }
+  }
+  LMO_CHECK_MSG(found, "no feasible (block, policy) for " + spec.name +
+                           " on " + platform.name);
+  return best;
+}
+
+}  // namespace lmo::sched

@@ -1,0 +1,89 @@
+// Offloading-policy search over the {wg, cg, hg, attention placement,
+// quantization} space. FlexGen's linear-programming search and LM-Offload's
+// quantization-aware search are both instances of this enumeration — they
+// differ only in which dimensions are open and which cost model scores a
+// candidate (paper §2.2 vs §3.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/memory.hpp"
+#include "lmo/perfmodel/estimator.hpp"
+#include "lmo/perfmodel/policy.hpp"
+
+namespace lmo::sched {
+
+struct SearchSpace {
+  std::vector<double> wg_choices;
+  std::vector<double> cg_choices;
+  std::vector<double> hg_choices;
+  /// Disk-spill fractions for weights (three-tier hierarchy); candidates
+  /// with wg + wd > 1 are skipped.
+  std::vector<double> wd_choices = {0.0};
+  std::vector<bool> attention_on_cpu_choices;
+  std::vector<int> weight_bits_choices;
+  std::vector<int> kv_bits_choices;
+  bool resident_weights_compressed = false;
+  bool parallelism_control = false;
+  /// Allow hybrid attention candidates (CPU attention + GPU-resident cache
+  /// slice scanned in place) — FlexGen's fractional-cache design.
+  bool allow_hybrid_attention = false;
+
+  /// FlexGen's space: placement percentages and attention offloading only,
+  /// no quantization (paper §2.2: its LP does not model compression).
+  static SearchSpace flexgen();
+  /// LM-Offload's space: adds 4/8-bit weight and KV quantization.
+  static SearchSpace lm_offload(bool parallelism_control = true);
+};
+
+struct SearchResult {
+  perfmodel::Policy best;
+  perfmodel::Estimate estimate;  ///< estimate of `best` under the scoring model
+  std::size_t evaluated = 0;
+  std::size_t feasible = 0;
+};
+
+/// Enumerate the space, score with `estimate()` under `options`, return the
+/// feasible candidate with the highest estimated throughput (deterministic
+/// tie-break: lower GPU footprint, then enumeration order).
+SearchResult search_policy(const model::ModelSpec& spec,
+                           const model::Workload& workload,
+                           const hw::Platform& platform,
+                           const SearchSpace& space,
+                           const perfmodel::EstimatorOptions& options = {});
+
+/// Stochastic alternative to the exhaustive enumeration: seeded
+/// random-restart hill climbing over the same discrete space. Scales to
+/// spaces where full enumeration is too slow (fine placement grids, many
+/// bit widths); deterministic for a fixed seed. Typically lands within a
+/// few percent of the exhaustive optimum at a fraction of the
+/// evaluations.
+SearchResult search_policy_stochastic(
+    const model::ModelSpec& spec, const model::Workload& workload,
+    const hw::Platform& platform, const SearchSpace& space,
+    const perfmodel::EstimatorOptions& options = {}, int restarts = 8,
+    int steps_per_restart = 60, std::uint64_t seed = 1);
+
+struct BlockSearchResult {
+  model::Workload workload;  ///< chosen (gpu_batch, num_batches)
+  SearchResult search;       ///< best policy at that block
+  std::size_t blocks_tried = 0;
+  std::size_t blocks_feasible = 0;
+};
+
+/// Joint search over zig-zag block size AND policy: the full version of
+/// FlexGen's LP (which optimizes the block too, not just placement).
+/// `shape` supplies prompt_len/gen_len; its batch fields are ignored.
+/// Candidate blocks are gpu_batch ∈ {16, 32, 64} × num_batches ∈
+/// {1, 2, 4, ..., max_batches}. Throws when no (block, policy) fits.
+BlockSearchResult search_block_size(
+    const model::ModelSpec& spec, const model::Workload& shape,
+    const hw::Platform& platform, const SearchSpace& space,
+    const perfmodel::EstimatorOptions& options = {},
+    std::int64_t max_batches = 32);
+
+}  // namespace lmo::sched

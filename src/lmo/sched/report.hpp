@@ -1,0 +1,34 @@
+// Result of simulating one inference run under a policy: the throughput
+// numbers the paper's tables report plus the task-level trace its figures
+// break down.
+#pragma once
+
+#include <string>
+
+#include "lmo/model/memory.hpp"
+#include "lmo/perfmodel/policy.hpp"
+#include "lmo/sim/counters.hpp"
+#include "lmo/sim/engine.hpp"
+
+namespace lmo::sched {
+
+struct SimulationReport {
+  std::string framework;  ///< "flexgen", "zero-inference", "lm-offload"
+  perfmodel::Policy policy;
+  model::Workload workload;
+
+  double init_seconds = 0.0;     ///< T_init (weights from disk)
+  double prefill_seconds = 0.0;
+  double decode_seconds = 0.0;
+  double total_seconds = 0.0;    ///< prefill + decode
+  double throughput = 0.0;       ///< tokens/s
+
+  double memory_bytes = 0.0;     ///< "mem" column of Table 3
+  double gpu_bytes = 0.0;
+  double cpu_bytes = 0.0;
+
+  sim::RunResult run;            ///< full task trace (Figs. 4, 8)
+  sim::Counters counters;        ///< I/O traffic by channel (Table 1)
+};
+
+}  // namespace lmo::sched

@@ -1,0 +1,617 @@
+#include "lmo/sched/schedule_builder.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lmo/perfmodel/estimator.hpp"
+#include "lmo/perfmodel/quant_model.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::sched {
+namespace {
+
+using model::ModelSpec;
+using model::Workload;
+using perfmodel::Policy;
+using sim::TaskId;
+
+double roofline(double flops, double bytes, double flop_rate,
+                double byte_rate) {
+  return std::max(flops / flop_rate, bytes / byte_rate);
+}
+
+/// Emits the decode-step and prefill task groups; owns the engine and the
+/// bookkeeping shared between them.
+class Builder {
+ public:
+  Builder(const ModelSpec& spec, const Workload& w, const Policy& policy,
+          const hw::Platform& platform, bool per_layer_weights = false)
+      : spec_(spec),
+        w_(w),
+        policy_(policy),
+        platform_(platform),
+        per_layer_weights_(per_layer_weights) {
+    h2d_ = engine_.add_resource("h2d");
+    d2h_ = engine_.add_resource("d2h");
+    gpu_ = engine_.add_resource("gpu");
+    cpu_ = engine_.add_resource("cpu");
+    disk_ = engine_.add_resource("disk");
+    sync_overhead_ = platform.eff.task_overhead *
+                     (policy.parallelism_control ? 1.0 : 1.6) *
+                     static_cast<double>(w.num_batches);
+  }
+
+  void build_prefill() {
+    const double compute = model::layer_prefill_flops(spec_, w_) /
+                           platform_.gpu_matmul_flops();
+    const double store_fraction =
+        policy_.attention_on_cpu ? 1.0 : (1.0 - policy_.cache_on_gpu);
+    const double kv_bytes =
+        model::pf_kv_cache_bytes(spec_, w_, policy_.kv_bits) * store_fraction;
+
+    const double disk_stream =
+        model::layer_weight_bytes(spec_, policy_.weight_bits) *
+        policy_.weights_on_disk;
+    for (std::int64_t j = 0; j < spec_.num_layers; ++j) {
+      const std::string tag = layer_tag(/*t=*/0, j);
+      std::vector<TaskId> lw_deps = deps_after_sync(/*prefetch=*/true);
+      if (disk_stream > 0.0) {
+        lw_deps.push_back(
+            add(disk_, "disk_read", tag,
+                platform_.disk_to_cpu.transfer_seconds(disk_stream),
+                deps_after_sync(true)));
+      }
+      const double weight_stream = weight_stream_bytes(j);
+      const TaskId lw = add(h2d_, "prefill_load_weight", tag,
+                            weight_stream / platform_.h2d_bw(), lw_deps);
+      counters_.add(sim::channel::kH2DWeights, weight_stream);
+
+      std::vector<TaskId> compute_deps = deps_after_sync(false);
+      compute_deps.push_back(lw);
+      const TaskId pf =
+          add(gpu_, "prefill_compute", tag, compute, compute_deps);
+
+      TaskId store_dep = pf;
+      if (policy_.kv_quantized()) {
+        store_dep = add(gpu_, "quantize", tag,
+                        perfmodel::quan_pf_cache_seconds(
+                            spec_, w_, policy_.kv_bits, platform_),
+                        {pf});
+      }
+      TaskId last = store_dep;
+      if (kv_bytes > 0.0) {
+        last = add(d2h_, "prefill_store_cache", tag,
+                   kv_bytes / platform_.d2h_bw(), {store_dep});
+        counters_.add(sim::channel::kD2HCache, kv_bytes);
+      }
+      finish_layer_with_sync(tag, {last, pf});
+    }
+    prefill_task_count_ = engine_.task_count();
+  }
+
+  void build_decode_step(std::int64_t t) {
+    for (std::int64_t j = 0; j < spec_.num_layers; ++j) {
+      const std::string tag = layer_tag(t, j);
+      if (policy_.attention_on_cpu) {
+        build_cpu_attention_layer(t, j, tag);
+      } else {
+        build_gpu_attention_layer(t, j, tag);
+      }
+    }
+  }
+
+  /// The literal Algorithm 1: per (step, layer, batch) task groups. Weight
+  /// transfers are chunked per batch (Alg. 1 issues load_weight inside the
+  /// k-loop), the KV cache and activations are per-batch buffers, and the
+  /// per-layer synchronize() closes the k-loop.
+  void build_decode_step_per_batch(std::int64_t t) {
+    const std::int64_t nb = w_.num_batches;
+    if (prev_store_cache_.empty()) {
+      prev_store_cache_.assign(
+          static_cast<std::size_t>(spec_.num_layers),
+          std::vector<TaskId>(static_cast<std::size_t>(nb),
+                              sim::kInvalidTask));
+    }
+    const double inv_nb = 1.0 / static_cast<double>(nb);
+    // Per-batch volumes and durations: the block's per-layer quantities
+    // split evenly over its batches.
+    const double weight_chunk_bytes =
+        model::layer_weight_bytes(spec_, policy_.weight_bits) *
+        (1.0 - policy_.weights_on_gpu) * inv_nb;
+    const double act_bytes = model::activation_bytes(spec_, w_, 16) * inv_nb;
+    const double per_batch_overhead =
+        platform_.eff.task_overhead *
+        (policy_.parallelism_control ? 1.0 : 1.6);
+
+    for (std::int64_t j = 0; j < spec_.num_layers; ++j) {
+      std::vector<TaskId> layer_done;
+      for (std::int64_t k = 0; k < nb; ++k) {
+        const std::string tag = "[t=" + std::to_string(t) +
+                                ",l=" + std::to_string(j) +
+                                ",b=" + std::to_string(k) + "]";
+        // load_weight(i, j, k): this batch's chunk of the layer weights.
+        TaskId lw = sim::kInvalidTask;
+        if (weight_chunk_bytes > 0.0) {
+          lw = add(h2d_, "load_weight", tag,
+                   weight_chunk_bytes / platform_.h2d_bw(),
+                   deps_after_sync(true));
+          counters_.add(sim::channel::kH2DWeights, weight_chunk_bytes);
+          if (policy_.weights_quantized()) {
+            lw = add(gpu_, "dequantize", tag,
+                     perfmodel::dequan_wgt_seconds(
+                         spec_, (1.0 - policy_.weights_on_gpu) * inv_nb,
+                         policy_.weight_bits, platform_),
+                     {lw});
+          }
+        }
+
+        if (policy_.attention_on_cpu) {
+          layer_done.push_back(
+              per_batch_cpu_attention(t, k, tag, lw, act_bytes));
+        } else {
+          layer_done.push_back(
+              per_batch_gpu_attention(t, j, k, tag, lw, inv_nb));
+        }
+      }
+      // synchronize() after the k-loop (Alg. 1 line 18).
+      const TaskId sync =
+          engine_.add_task("sync" + layer_tag(t, j), "sync", gpu_,
+                           per_batch_overhead *
+                               static_cast<double>(nb),
+                           layer_done);
+      prev_prev_sync_ = prev_sync_;
+      prev_sync_ = sync;
+    }
+  }
+
+  SimulationReport finish(const std::string& framework) {
+    SimulationReport report;
+    report.framework = framework;
+    report.policy = policy_;
+    report.workload = w_;
+    report.run = engine_.run();
+    report.counters = counters_;
+
+    // Prefill/decode split: prefill tasks were added first.
+    double prefill_end = 0.0;
+    for (std::size_t i = 0; i < prefill_task_count_; ++i) {
+      prefill_end = std::max(prefill_end, report.run.tasks[i].finish);
+    }
+    report.prefill_seconds = prefill_end;
+    report.total_seconds = report.run.makespan;
+    report.decode_seconds = report.total_seconds - prefill_end;
+    return report;
+  }
+
+ private:
+  TaskId add(sim::ResourceId resource, const std::string& category,
+             const std::string& tag, double duration,
+             const std::vector<TaskId>& deps) {
+    return engine_.add_task(category + tag, category, resource, duration,
+                            deps);
+  }
+
+  static std::string layer_tag(std::int64_t t, std::int64_t j) {
+    return "[t=" + std::to_string(t) + ",l=" + std::to_string(j) + "]";
+  }
+
+  /// Dependencies implementing the Algorithm-1 per-layer barrier: compute
+  /// tasks wait for the previous layer's synchronize(); load tasks may
+  /// prefetch one layer ahead (Alg. 1 line 7 loads layer j+1's weights
+  /// during layer j), so they wait on the sync two layers back.
+  std::vector<TaskId> deps_after_sync(bool prefetch) const {
+    const TaskId dep = prefetch ? prev_prev_sync_ : prev_sync_;
+    if (dep == sim::kInvalidTask) return {};
+    return {dep};
+  }
+
+  void finish_layer_with_sync(const std::string& tag,
+                              std::vector<TaskId> deps) {
+    deps.erase(std::remove(deps.begin(), deps.end(), sim::kInvalidTask),
+               deps.end());
+    const TaskId sync = add(gpu_, "sync", tag, sync_overhead_, deps);
+    prev_prev_sync_ = prev_sync_;
+    prev_sync_ = sync;
+  }
+
+  void build_cpu_attention_layer(std::int64_t t, std::int64_t j,
+                                 const std::string& tag) {
+    // Weights for the GPU-side MLP still stream in.
+    const TaskId lw = add_load_weight(tag, j);
+    const TaskId dw = add_weight_dequant(tag, lw);
+
+    // Hidden states hop to the CPU for attention, then back for the MLP.
+    const double act_bytes = model::activation_bytes(spec_, w_, 16);
+    const TaskId act_down =
+        add(d2h_, "store_activation", tag, act_bytes / platform_.d2h_bw(),
+            deps_after_sync(false));
+    counters_.add(sim::channel::kD2HActivation, act_bytes);
+
+    // Attention scans expanded (fp16-equivalent) data; compression never
+    // shrinks the CPU traffic (paper Observation 1). Under the hybrid
+    // split the CPU covers only the host-resident cache share; the GPU
+    // slice is added to the GPU attention task below.
+    const double cpu_share =
+        policy_.hybrid_attention ? 1.0 - policy_.cache_on_gpu : 1.0;
+    std::vector<TaskId> attn_deps = {act_down};
+    double attn_time =
+        roofline(model::attention_score_flops(spec_, w_, t) * cpu_share,
+                 model::attention_kv_bytes_touched(spec_, w_, t, 16) *
+                     cpu_share,
+                 platform_.cpu_matmul_flops(),
+                 platform_.cpu_attention_bw(policy_.parallelism_control));
+    if (policy_.kv_quantized()) {
+      const TaskId dq =
+          add(cpu_, "dequantize", tag,
+              perfmodel::dequan_old_cache_seconds(
+                  spec_, w_, t, policy_.kv_bits, /*on_cpu=*/true, platform_),
+              deps_after_sync(false));
+      attn_deps.push_back(dq);
+    }
+    const TaskId attn =
+        add(cpu_, "compute_attention", tag, attn_time, attn_deps);
+    if (policy_.kv_quantized()) {
+      add(cpu_, "quantize", tag,
+          perfmodel::quan_new_cache_seconds(spec_, w_, policy_.kv_bits,
+                                            /*on_cpu=*/true, platform_),
+          {attn});
+    }
+
+    const TaskId act_up = add(h2d_, "load_activation", tag,
+                              act_bytes / platform_.h2d_bw(), {attn});
+    counters_.add(sim::channel::kH2DActivation, act_bytes);
+
+    // Hybrid: the GPU scans its resident cache slice concurrently with the
+    // CPU scan; the merged softmax feeds the MLP.
+    TaskId gpu_attn = sim::kInvalidTask;
+    if (policy_.hybrid_attention && policy_.cache_on_gpu > 0.0) {
+      const double gpu_share = policy_.cache_on_gpu;
+      gpu_attn = add(
+          gpu_, "compute_attention", tag,
+          roofline(model::attention_score_flops(spec_, w_, t) * gpu_share,
+                   model::attention_kv_bytes_touched(spec_, w_, t, 16) *
+                       gpu_share,
+                   platform_.gpu_matmul_flops(), platform_.gpu_mem_bw()),
+          deps_after_sync(false));
+    }
+
+    std::vector<TaskId> mlp_deps = {act_up};
+    if (lw != sim::kInvalidTask) mlp_deps.push_back(lw);
+    if (dw != sim::kInvalidTask) mlp_deps.push_back(dw);
+    if (gpu_attn != sim::kInvalidTask) mlp_deps.push_back(gpu_attn);
+    const TaskId mlp = add(gpu_, "compute_mlp", tag, mlp_seconds(), mlp_deps);
+    finish_layer_with_sync(tag, {mlp, attn});
+  }
+
+  void build_gpu_attention_layer(std::int64_t t, std::int64_t j,
+                                 const std::string& tag) {
+    const TaskId lw = add_load_weight(tag, j);
+    const TaskId dw = add_weight_dequant(tag, lw);
+
+    const double stream_fraction = 1.0 - policy_.cache_on_gpu;
+    TaskId cache_ready = sim::kInvalidTask;
+    if (stream_fraction > 0.0) {
+      const double cache_bytes =
+          model::kv_cache_bytes_at(spec_, w_, t, policy_.kv_bits) *
+          stream_fraction;
+      // Per-(layer, batch) pinned-buffer staging: the host-side cache is
+      // one buffer per batch, so each layer load is num_batches chunked
+      // transfers, not one contiguous copy.
+      const double chunking = platform_.eff.cache_chunk_overhead *
+                              static_cast<double>(w_.num_batches);
+      const TaskId lc = add(h2d_, "load_cache", tag,
+                            cache_bytes / platform_.h2d_bw() + chunking,
+                            deps_after_sync(true));
+      counters_.add(sim::channel::kH2DCache, cache_bytes);
+      cache_ready = lc;
+    }
+    if (policy_.kv_quantized()) {
+      // The whole compressed cache — streamed or resident — expands on the
+      // GPU before the attention kernels read it (Eq. 6).
+      cache_ready = add(gpu_, "dequantize", tag,
+                        perfmodel::dequan_old_cache_seconds(
+                            spec_, w_, t, policy_.kv_bits,
+                            /*on_cpu=*/false, platform_),
+                        cache_ready == sim::kInvalidTask
+                            ? deps_after_sync(false)
+                            : std::vector<TaskId>{cache_ready});
+    }
+
+    // Spilled activations of waiting batches come back before compute.
+    const double act_fraction = 1.0 - policy_.activations_on_gpu;
+    TaskId act_in = sim::kInvalidTask;
+    if (act_fraction > 0.0) {
+      const double act_bytes =
+          model::activation_bytes(spec_, w_, 16) * act_fraction;
+      act_in = add(h2d_, "load_activation", tag,
+                   act_bytes / platform_.h2d_bw(), deps_after_sync(true));
+      counters_.add(sim::channel::kH2DActivation, act_bytes);
+    }
+
+    std::vector<TaskId> attn_deps = deps_after_sync(false);
+    if (lw != sim::kInvalidTask) attn_deps.push_back(lw);
+    if (dw != sim::kInvalidTask) attn_deps.push_back(dw);
+    if (cache_ready != sim::kInvalidTask) attn_deps.push_back(cache_ready);
+    if (act_in != sim::kInvalidTask) attn_deps.push_back(act_in);
+    const double attn_time =
+        roofline(model::attention_score_flops(spec_, w_, t),
+                 model::attention_kv_bytes_touched(spec_, w_, t, 16),
+                 platform_.gpu_matmul_flops(), platform_.gpu_mem_bw());
+    const TaskId attn =
+        add(gpu_, "compute_attention", tag, attn_time, attn_deps);
+
+    // New KV re-compressed (Eq. 7) and, when streaming, sent back to host.
+    TaskId store_ready = attn;
+    if (policy_.kv_quantized()) {
+      store_ready = add(gpu_, "quantize", tag,
+                        perfmodel::quan_new_cache_seconds(
+                            spec_, w_, policy_.kv_bits, /*on_cpu=*/false,
+                            platform_),
+                        {attn});
+    }
+    if (stream_fraction > 0.0) {
+      const double new_bytes =
+          model::new_kv_cache_bytes(spec_, w_, policy_.kv_bits) *
+          stream_fraction;
+      add(d2h_, "store_cache", tag, new_bytes / platform_.d2h_bw(),
+          {store_ready});
+      counters_.add(sim::channel::kD2HCache, new_bytes);
+    }
+    if (act_fraction > 0.0) {
+      const double act_bytes =
+          model::activation_bytes(spec_, w_, 16) * act_fraction;
+      add(d2h_, "store_activation", tag, act_bytes / platform_.d2h_bw(),
+          {attn});
+      counters_.add(sim::channel::kD2HActivation, act_bytes);
+    }
+
+    const TaskId mlp = add(gpu_, "compute_mlp", tag, mlp_seconds(), {attn});
+    finish_layer_with_sync(tag, {mlp});
+  }
+
+  /// One batch's CPU-attention path: activations hop down, the batch's
+  /// share of the cache scan runs on the CPU, activations hop back up and
+  /// the GPU-side MLP chunk completes. Returns the batch's terminal task.
+  TaskId per_batch_cpu_attention(std::int64_t t, std::int64_t k,
+                                 const std::string& tag, TaskId lw,
+                                 double act_bytes) {
+    const double inv_nb = 1.0 / static_cast<double>(w_.num_batches);
+    const TaskId act_down =
+        add(d2h_, "store_activation", tag, act_bytes / platform_.d2h_bw(),
+            deps_after_sync(false));
+    counters_.add(sim::channel::kD2HActivation, act_bytes);
+
+    std::vector<TaskId> attn_deps = {act_down};
+    double attn_time =
+        roofline(model::attention_score_flops(spec_, w_, t) * inv_nb,
+                 model::attention_kv_bytes_touched(spec_, w_, t, 16) * inv_nb,
+                 platform_.cpu_matmul_flops(),
+                 platform_.cpu_attention_bw(policy_.parallelism_control));
+    if (policy_.kv_quantized()) {
+      attn_deps.push_back(
+          add(cpu_, "dequantize", tag,
+              perfmodel::dequan_old_cache_seconds(spec_, w_, t,
+                                                  policy_.kv_bits,
+                                                  /*on_cpu=*/true,
+                                                  platform_) *
+                  inv_nb,
+              deps_after_sync(false)));
+    }
+    const TaskId attn =
+        add(cpu_, "compute_attention", tag, attn_time, attn_deps);
+    if (policy_.kv_quantized()) {
+      add(cpu_, "quantize", tag,
+          perfmodel::quan_new_cache_seconds(spec_, w_, policy_.kv_bits,
+                                            /*on_cpu=*/true, platform_) *
+              inv_nb,
+          {attn});
+    }
+    const TaskId act_up = add(h2d_, "load_activation", tag,
+                              act_bytes / platform_.h2d_bw(), {attn});
+    counters_.add(sim::channel::kH2DActivation, act_bytes);
+    std::vector<TaskId> mlp_deps = {act_up};
+    if (lw != sim::kInvalidTask) mlp_deps.push_back(lw);
+    (void)k;
+    return add(gpu_, "compute_mlp", tag, mlp_seconds() * inv_nb, mlp_deps);
+  }
+
+  /// One batch's GPU-attention path: its cache slice streams in (after
+  /// last step's store of the same batch), attention + MLP run on the GPU,
+  /// the new KV goes back. Returns the batch's terminal task.
+  TaskId per_batch_gpu_attention(std::int64_t t, std::int64_t j,
+                                 std::int64_t k, const std::string& tag,
+                                 TaskId lw, double inv_nb) {
+    const double stream_fraction = 1.0 - policy_.cache_on_gpu;
+    auto& prev_store = prev_store_cache_[static_cast<std::size_t>(j)]
+                                        [static_cast<std::size_t>(k)];
+    TaskId cache_ready = sim::kInvalidTask;
+    if (stream_fraction > 0.0) {
+      const double cache_bytes =
+          model::kv_cache_bytes_at(spec_, w_, t, policy_.kv_bits) *
+          stream_fraction * inv_nb;
+      std::vector<TaskId> lc_deps = deps_after_sync(true);
+      if (prev_store != sim::kInvalidTask) lc_deps.push_back(prev_store);
+      cache_ready = add(h2d_, "load_cache", tag,
+                        cache_bytes / platform_.h2d_bw() +
+                            platform_.eff.cache_chunk_overhead,
+                        lc_deps);
+      counters_.add(sim::channel::kH2DCache, cache_bytes);
+    }
+    if (policy_.kv_quantized()) {
+      cache_ready = add(gpu_, "dequantize", tag,
+                        perfmodel::dequan_old_cache_seconds(
+                            spec_, w_, t, policy_.kv_bits,
+                            /*on_cpu=*/false, platform_) *
+                            inv_nb,
+                        cache_ready == sim::kInvalidTask
+                            ? deps_after_sync(false)
+                            : std::vector<TaskId>{cache_ready});
+    }
+    std::vector<TaskId> attn_deps = deps_after_sync(false);
+    if (lw != sim::kInvalidTask) attn_deps.push_back(lw);
+    if (cache_ready != sim::kInvalidTask) attn_deps.push_back(cache_ready);
+    const double attn_time =
+        roofline(model::attention_score_flops(spec_, w_, t) * inv_nb,
+                 model::attention_kv_bytes_touched(spec_, w_, t, 16) * inv_nb,
+                 platform_.gpu_matmul_flops(), platform_.gpu_mem_bw());
+    const TaskId attn =
+        add(gpu_, "compute_attention", tag, attn_time, attn_deps);
+
+    TaskId store_ready = attn;
+    if (policy_.kv_quantized()) {
+      store_ready = add(gpu_, "quantize", tag,
+                        perfmodel::quan_new_cache_seconds(
+                            spec_, w_, policy_.kv_bits, /*on_cpu=*/false,
+                            platform_) *
+                            inv_nb,
+                        {attn});
+    }
+    if (stream_fraction > 0.0) {
+      const double new_bytes =
+          model::new_kv_cache_bytes(spec_, w_, policy_.kv_bits) *
+          stream_fraction * inv_nb;
+      prev_store = add(d2h_, "store_cache", tag,
+                       new_bytes / platform_.d2h_bw(), {store_ready});
+      counters_.add(sim::channel::kD2HCache, new_bytes);
+    }
+    return add(gpu_, "compute_mlp", tag, mlp_seconds() * inv_nb, {attn});
+  }
+
+  /// Streamed weight bytes for layer `j` under the placement mode.
+  double weight_stream_bytes(std::int64_t j) const {
+    const double layer_bytes =
+        model::layer_weight_bytes(spec_, policy_.weight_bits);
+    if (!per_layer_weights_) {
+      return layer_bytes * (1.0 - policy_.weights_on_gpu);
+    }
+    const auto resident = static_cast<std::int64_t>(
+        policy_.weights_on_gpu * static_cast<double>(spec_.num_layers) +
+        0.5);
+    return j < resident ? 0.0 : layer_bytes;
+  }
+
+  TaskId add_load_weight(const std::string& tag, std::int64_t j) {
+    const double bytes = weight_stream_bytes(j);
+    if (bytes == 0.0) {
+      // Layer fully resident: compute depends only on the layer barrier.
+      return sim::kInvalidTask;
+    }
+    // Disk-tier share reads from disk into host staging first; the H2D
+    // transfer of those bytes then depends on the read.
+    std::vector<TaskId> deps = deps_after_sync(true);
+    if (policy_.weights_on_disk > 0.0) {
+      const double disk_bytes =
+          model::layer_weight_bytes(spec_, policy_.weight_bits) *
+          policy_.weights_on_disk;
+      deps.push_back(add(disk_, "disk_read", tag,
+                         platform_.disk_to_cpu.transfer_seconds(disk_bytes),
+                         deps_after_sync(true)));
+    }
+    const TaskId lw =
+        add(h2d_, "load_weight", tag, bytes / platform_.h2d_bw(), deps);
+    counters_.add(sim::channel::kH2DWeights, bytes);
+    return lw;
+  }
+
+  /// GPU-side dequantization after a compressed weight load; also covers
+  /// ZeRO-style resident compression. Returns kInvalidTask when no
+  /// dequantization is needed.
+  TaskId add_weight_dequant(const std::string& tag, TaskId lw) {
+    if (lw == sim::kInvalidTask && !policy_.resident_weights_compressed) {
+      return sim::kInvalidTask;  // nothing streamed, nothing to expand
+    }
+    double seconds = 0.0;
+    if (policy_.weights_quantized()) {
+      seconds += perfmodel::dequan_wgt_seconds(
+          spec_, 1.0 - policy_.weights_on_gpu, policy_.weight_bits,
+          platform_);
+      if (policy_.resident_weights_compressed) {
+        seconds += perfmodel::dequan_wgt_seconds(
+            spec_, policy_.weights_on_gpu, policy_.weight_bits, platform_);
+      }
+    }
+    if (seconds == 0.0) return sim::kInvalidTask;
+    return add(gpu_, "dequantize", tag, seconds,
+               lw == sim::kInvalidTask ? std::vector<TaskId>{}
+                                       : std::vector<TaskId>{lw});
+  }
+
+  /// GPU-side dense work that never moves: MLP plus the attention
+  /// projections (weight GEMMs).
+  double mlp_seconds() const {
+    const double mlp_bytes =
+        static_cast<double>(spec_.mlp_weights_per_layer()) * 2.0;
+    const double proj_bytes =
+        static_cast<double>(spec_.attention_weights_per_layer()) * 2.0;
+    return roofline(model::mlp_decode_flops(spec_, w_), mlp_bytes,
+                    platform_.gpu_matmul_flops(), platform_.gpu_mem_bw()) +
+           roofline(model::attention_projection_flops(spec_, w_), proj_bytes,
+                    platform_.gpu_matmul_flops(), platform_.gpu_mem_bw());
+  }
+
+  const ModelSpec& spec_;
+  const Workload& w_;
+  const Policy& policy_;
+  const hw::Platform& platform_;
+  bool per_layer_weights_ = false;
+
+  sim::Engine engine_;
+  sim::Counters counters_;
+  sim::ResourceId h2d_{}, d2h_{}, gpu_{}, cpu_{}, disk_{};
+  TaskId prev_sync_ = sim::kInvalidTask;
+  TaskId prev_prev_sync_ = sim::kInvalidTask;
+  double sync_overhead_ = 0.0;
+  std::size_t prefill_task_count_ = 0;
+  /// Per-batch mode: last store_cache task per (layer, batch).
+  std::vector<std::vector<TaskId>> prev_store_cache_;
+};
+
+}  // namespace
+
+SimulationReport simulate(const ModelSpec& spec, const Workload& workload,
+                          const Policy& policy, const hw::Platform& platform,
+                          const std::string& framework,
+                          const BuildOptions& options) {
+  spec.validate();
+  workload.validate();
+  policy.validate();
+
+  const auto est = perfmodel::estimate(spec, workload, policy, platform);
+  LMO_CHECK_MSG(est.fits, "policy does not fit platform memory: " +
+                              policy.to_string() + " (" +
+                              est.infeasible_reason + ")");
+
+  Builder builder(spec, workload, policy, platform,
+                  options.per_layer_weights);
+  if (options.include_prefill) builder.build_prefill();
+  const auto emit_step = [&](std::int64_t t) {
+    if (options.granularity == Granularity::kPerBatch) {
+      builder.build_decode_step_per_batch(t);
+    } else {
+      builder.build_decode_step(t);
+    }
+  };
+  if (options.all_steps) {
+    for (std::int64_t t = 1; t < workload.gen_len; ++t) emit_step(t);
+  } else {
+    emit_step(options.single_step);
+  }
+
+  SimulationReport report = builder.finish(framework);
+  report.init_seconds = est.t_init;
+  report.gpu_bytes = est.gpu_bytes_needed;
+  report.cpu_bytes = est.cpu_bytes_needed;
+  // Total consumption across both tiers — the paper's "mem" column.
+  report.memory_bytes = est.gpu_bytes_needed + est.cpu_bytes_needed;
+
+  const double tokens =
+      options.all_steps
+          ? static_cast<double>(workload.total_tokens())
+          : static_cast<double>(workload.block_size());
+  LMO_CHECK_GT(report.total_seconds, 0.0);
+  report.throughput = tokens / report.total_seconds;
+  return report;
+}
+
+}  // namespace lmo::sched

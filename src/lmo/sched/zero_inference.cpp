@@ -1,0 +1,72 @@
+#include "lmo/sched/zero_inference.hpp"
+
+#include <algorithm>
+
+#include "lmo/sched/schedule_builder.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::sched {
+
+perfmodel::Policy ZeroInference::policy() {
+  perfmodel::Policy p;
+  p.weights_on_gpu = 1.0;              // whole tensor on GPU...
+  p.weight_bits = 4;                   // ...kept 4-bit quantized
+  p.resident_weights_compressed = true;
+  p.cache_on_gpu = 0.0;                // KV cache offloaded wholesale
+  p.kv_bits = 16;                      // no KV quantization support
+  p.activations_on_gpu = 1.0;
+  p.attention_on_cpu = false;          // attention on GPU, cache streamed
+  p.parallelism_control = false;
+  return p;
+}
+
+std::int64_t ZeroInference::max_feasible_batch(const model::ModelSpec& spec,
+                                               const model::Workload& shape,
+                                               const hw::Platform& platform,
+                                               std::int64_t max_batch) {
+  // Whole-tensor offloading stages the entire (fp16) KV cache of the batch
+  // through GPU memory during attention, so the cache of *all* layers at
+  // full sequence length bounds the batch — unlike partial offloading,
+  // which only double-buffers one layer. A 10% capacity reserve covers
+  // allocator fragmentation and framework buffers.
+  const double resident =
+      model::total_weight_bytes(spec, policy().weight_bits);
+  const double reserve = 0.10 * platform.gpu.mem_capacity;
+  const double usable = platform.gpu.mem_capacity - resident - reserve;
+  LMO_CHECK_MSG(usable > 0.0,
+                "ZeRO-Inference cannot hold " + spec.name +
+                    " weights on this GPU even 4-bit quantized");
+
+  const double seq = static_cast<double>(shape.prompt_len + shape.gen_len);
+  const double per_seq_kv = 2.0 * seq * static_cast<double>(spec.hidden) *
+                            static_cast<double>(spec.num_layers) * 2.0;
+  const double per_seq_act =
+      4.0 * static_cast<double>(spec.hidden) * 2.0;
+  const auto limit =
+      static_cast<std::int64_t>(usable / (per_seq_kv + per_seq_act));
+  LMO_CHECK_MSG(limit >= 1, "ZeRO-Inference cannot fit batch 1 for " +
+                                spec.name);
+
+  std::int64_t batch = 1;
+  while (batch * 2 <= std::min(limit, max_batch)) batch *= 2;
+  return batch;
+}
+
+SimulationReport ZeroInference::run(const model::ModelSpec& spec,
+                                    const model::Workload& shape,
+                                    const hw::Platform& platform) {
+  return run_with_batch(spec, shape,
+                        max_feasible_batch(spec, shape, platform), platform);
+}
+
+SimulationReport ZeroInference::run_with_batch(const model::ModelSpec& spec,
+                                               const model::Workload& shape,
+                                               std::int64_t batch,
+                                               const hw::Platform& platform) {
+  model::Workload w = shape;
+  w.gpu_batch = batch;
+  w.num_batches = 1;  // no zig-zag blocking
+  return simulate(spec, w, policy(), platform, kName);
+}
+
+}  // namespace lmo::sched

@@ -1,0 +1,46 @@
+// ZeRO-Inference baseline (paper §5.1, Aminabadi et al. SC'22): no partial
+// tensor offloading — a tensor class is entirely on the GPU or entirely
+// off. Following the paper's evaluation setup, weights are 4-bit quantized
+// and GPU-resident (dequantized on the fly each layer), the KV cache lives
+// in host memory and streams through PCIe for GPU attention, activations
+// stay on the GPU, and there is no zig-zag blocking (one inference batch).
+#pragma once
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/memory.hpp"
+#include "lmo/perfmodel/policy.hpp"
+#include "lmo/sched/report.hpp"
+
+namespace lmo::sched {
+
+class ZeroInference {
+ public:
+  static constexpr const char* kName = "zero-inference";
+
+  /// The fixed whole-tensor policy described above.
+  static perfmodel::Policy policy();
+
+  /// Largest batch ZeRO-Inference sustains for this configuration: the
+  /// whole-tensor design keeps every in-flight activation and attention
+  /// working buffer on the GPU, which caps the batch long before
+  /// LM-Offload's partial offloading does (paper: "enables an average of
+  /// 24× larger batch sizes"). Power-of-two, capped at `max_batch`.
+  static std::int64_t max_feasible_batch(const model::ModelSpec& spec,
+                                         const model::Workload& shape,
+                                         const hw::Platform& platform,
+                                         std::int64_t max_batch = 64);
+
+  /// Run with batch = max_feasible_batch and num_batches = 1.
+  static SimulationReport run(const model::ModelSpec& spec,
+                              const model::Workload& shape,
+                              const hw::Platform& platform);
+
+  /// Run with a caller-fixed batch (e.g. the paper's measured values).
+  static SimulationReport run_with_batch(const model::ModelSpec& spec,
+                                         const model::Workload& shape,
+                                         std::int64_t batch,
+                                         const hw::Platform& platform);
+};
+
+}  // namespace lmo::sched

@@ -1,0 +1,248 @@
+#include "lmo/serve/server_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "lmo/perfmodel/estimator.hpp"
+#include "lmo/util/check.hpp"
+#include "lmo/util/stats.hpp"
+
+namespace lmo::serve {
+
+void ServeConfig::validate() const {
+  LMO_CHECK_GE(max_batch, 1);
+  LMO_CHECK_GE(prefill_chunk, 0);
+}
+
+namespace {
+
+struct Active {
+  Request request;
+  std::int64_t prefilled = 0;  ///< prompt tokens processed so far
+  std::int64_t generated = 0;
+  double first_token_time = -1.0;
+
+  bool decoding() const { return prefilled >= request.prompt_len; }
+};
+
+/// Duration of one engine step for the current batch composition: a decode
+/// token for every in-flight sequence, using the per-layer Eq.-2 cost at
+/// the batch's mean progress.
+double decode_step_seconds(const model::ModelSpec& spec,
+                           const perfmodel::Policy& policy,
+                           const hw::Platform& platform,
+                           const std::vector<Active>& active) {
+  double prompt_sum = 0.0;
+  double progress_sum = 0.0;
+  std::int64_t batch = 0;
+  for (const Active& a : active) {
+    if (!a.decoding()) continue;
+    prompt_sum += static_cast<double>(a.request.prompt_len);
+    progress_sum += static_cast<double>(a.generated);
+    ++batch;
+  }
+  if (batch == 0) return 0.0;
+  model::Workload w;
+  w.prompt_len = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(prompt_sum / static_cast<double>(batch)));
+  w.gen_len = 2;  // step_costs only uses t below
+  w.gpu_batch = batch;
+  w.num_batches = 1;
+  const std::int64_t t = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(progress_sum / static_cast<double>(batch)));
+  // Clamp t into the workload's valid range by growing gen_len.
+  w.gen_len = t + 1;
+  const auto costs = perfmodel::step_costs(spec, w, policy, platform, t);
+  return costs.t_gen * static_cast<double>(spec.num_layers);
+}
+
+/// Compute-only cost of pushing `tokens` prompt tokens through all layers
+/// (the chunked-prefill increment piggybacked on a decode step).
+double chunk_prefill_seconds(const model::ModelSpec& spec,
+                             const perfmodel::Policy& policy,
+                             const hw::Platform& platform,
+                             std::int64_t tokens) {
+  if (tokens <= 0) return 0.0;
+  model::Workload w;
+  w.prompt_len = tokens;
+  w.gen_len = 2;
+  w.gpu_batch = 1;
+  w.num_batches = 1;
+  const double compute = model::layer_prefill_flops(spec, w) /
+                         platform.gpu_matmul_flops();
+  const double weights =
+      model::layer_weight_bytes(spec, policy.weight_bits) *
+      (1.0 - policy.weights_on_gpu) / platform.h2d_bw();
+  return std::max(compute, weights) * static_cast<double>(spec.num_layers);
+}
+
+/// Prefill cost for newly admitted sequences (their prompts, batched).
+double prefill_seconds(const model::ModelSpec& spec,
+                       const perfmodel::Policy& policy,
+                       const hw::Platform& platform,
+                       const std::vector<const Request*>& admitted) {
+  if (admitted.empty()) return 0.0;
+  double prompt_sum = 0.0;
+  for (const Request* r : admitted) {
+    prompt_sum += static_cast<double>(r->prompt_len);
+  }
+  model::Workload w;
+  w.prompt_len = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(prompt_sum /
+                                   static_cast<double>(admitted.size())));
+  w.gen_len = 2;
+  w.gpu_batch = static_cast<std::int64_t>(admitted.size());
+  w.num_batches = 1;
+  // Per-layer prefill: GPU compute over the prompts + weight stream.
+  const double compute = model::layer_prefill_flops(spec, w) /
+                         platform.gpu_matmul_flops();
+  const double weights =
+      model::layer_weight_bytes(spec, policy.weight_bits) *
+      (1.0 - policy.weights_on_gpu) / platform.h2d_bw();
+  return std::max(compute, weights) *
+         static_cast<double>(spec.num_layers);
+}
+
+}  // namespace
+
+ServeMetrics simulate_serving(const model::ModelSpec& spec,
+                              const perfmodel::Policy& policy,
+                              const hw::Platform& platform,
+                              const std::vector<Request>& requests,
+                              const ServeConfig& config) {
+  spec.validate();
+  policy.validate();
+  config.validate();
+  LMO_CHECK(!requests.empty());
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    LMO_CHECK_GE(requests[i].arrival_seconds,
+                 requests[i - 1].arrival_seconds);
+  }
+
+  std::deque<const Request*> queue;
+  std::size_t next_arrival = 0;
+  std::vector<Active> active;
+  double clock = 0.0;
+  double occupancy_integral = 0.0;
+  std::int64_t tokens_generated = 0;
+
+  ServeMetrics metrics;
+  metrics.outcomes.resize(requests.size());
+
+  const auto pull_arrivals = [&](double now) {
+    while (next_arrival < requests.size() &&
+           requests[next_arrival].arrival_seconds <= now) {
+      queue.push_back(&requests[next_arrival]);
+      ++next_arrival;
+    }
+  };
+
+  const auto admit = [&]() {
+    std::vector<const Request*> admitted;
+    while (!queue.empty() &&
+           static_cast<std::int64_t>(active.size()) < config.max_batch) {
+      const Request* r = queue.front();
+      queue.pop_front();
+      active.push_back(Active{*r, 0, 0, -1.0});
+      admitted.push_back(r);
+    }
+    return admitted;
+  };
+
+  while (next_arrival < requests.size() || !queue.empty() ||
+         !active.empty()) {
+    pull_arrivals(clock);
+
+    if (active.empty() && queue.empty()) {
+      // Idle: jump to the next arrival.
+      LMO_CHECK_LT(next_arrival, requests.size());
+      clock = requests[next_arrival].arrival_seconds;
+      pull_arrivals(clock);
+    }
+
+    // Admission.
+    std::vector<const Request*> admitted;
+    if (config.batching == Batching::kContinuous || active.empty()) {
+      admitted = admit();
+    }
+    if (config.prefill_chunk == 0) {
+      // Monolithic prefill on admission: newcomers stall the engine.
+      if (!admitted.empty()) {
+        clock += prefill_seconds(spec, policy, platform, admitted);
+        for (auto& a : active) {
+          if (!a.decoding()) a.prefilled = a.request.prompt_len;
+        }
+      }
+    }
+    LMO_CHECK(!active.empty());
+
+    // Chunked prefill: advance warming sequences by up to one chunk each,
+    // piggybacked on this step.
+    double prefill_cost = 0.0;
+    if (config.prefill_chunk > 0) {
+      std::int64_t chunk_tokens = 0;
+      for (auto& a : active) {
+        if (a.decoding()) continue;
+        const std::int64_t take = std::min(
+            config.prefill_chunk, a.request.prompt_len - a.prefilled);
+        a.prefilled += take;
+        chunk_tokens += take;
+      }
+      prefill_cost =
+          chunk_prefill_seconds(spec, policy, platform, chunk_tokens);
+    }
+
+    // One decode step for every fully-prefilled sequence.
+    std::int64_t decoding = 0;
+    for (const auto& a : active) decoding += a.decoding();
+    const double step =
+        decode_step_seconds(spec, policy, platform, active) + prefill_cost;
+    LMO_CHECK_GT(step, 0.0);
+    occupancy_integral += static_cast<double>(active.size()) * step;
+    clock += step;
+    tokens_generated += decoding;
+
+    for (auto it = active.begin(); it != active.end();) {
+      if (!it->decoding()) {
+        ++it;
+        continue;
+      }
+      if (it->first_token_time < 0.0) it->first_token_time = clock;
+      ++it->generated;
+      if (it->generated >= it->request.gen_len) {
+        auto& outcome =
+            metrics.outcomes[static_cast<std::size_t>(it->request.id)];
+        outcome.id = it->request.id;
+        outcome.ttft = it->first_token_time - it->request.arrival_seconds;
+        outcome.latency = clock - it->request.arrival_seconds;
+        outcome.tokens = it->generated;
+        ++metrics.completed;
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  metrics.duration = clock;
+  LMO_CHECK_GT(metrics.duration, 0.0);
+  metrics.token_throughput =
+      static_cast<double>(tokens_generated) / metrics.duration;
+  metrics.request_throughput =
+      static_cast<double>(metrics.completed) / metrics.duration;
+  metrics.mean_batch_occupancy = occupancy_integral / metrics.duration;
+
+  util::SampleSet ttft;
+  util::SampleSet latency;
+  for (const auto& outcome : metrics.outcomes) {
+    ttft.add(outcome.ttft);
+    latency.add(outcome.latency);
+  }
+  metrics.ttft_p50 = ttft.quantile(0.5);
+  metrics.ttft_p95 = ttft.quantile(0.95);
+  metrics.latency_p50 = latency.quantile(0.5);
+  metrics.latency_p95 = latency.quantile(0.95);
+  return metrics;
+}
+
+}  // namespace lmo::serve

@@ -1,0 +1,70 @@
+// Step-level online-serving simulation over the offloading engine.
+//
+// The engine advances in decode steps (one token for every in-flight
+// sequence per step, plus prefill work for newly admitted ones); the step
+// duration comes from the same per-layer cost model the offline
+// experiments use (Eq. 2 applied to the *current* batch composition).
+// Two admission policies:
+//   * static batching — wait for the running batch to fully drain, then
+//     admit up to max_batch queued requests at once (FlexGen's offline
+//     regime exposed to arrivals);
+//   * continuous batching — admit queued requests at every step boundary
+//     while capacity allows (the vLLM-style regime).
+//
+// Metrics are the latency quantities offline throughput hides: time to
+// first token (TTFT) and end-to-end request latency percentiles.
+#pragma once
+
+#include <vector>
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/model/llm_config.hpp"
+#include "lmo/perfmodel/policy.hpp"
+#include "lmo/serve/workload_gen.hpp"
+
+namespace lmo::serve {
+
+enum class Batching { kStatic, kContinuous };
+
+struct ServeConfig {
+  std::int64_t max_batch = 32;  ///< engine capacity, sequences
+  Batching batching = Batching::kContinuous;
+  /// Chunked prefill (Sarathi-style): 0 = prefill a request's whole prompt
+  /// at admission, stalling in-flight decodes for its duration; > 0 = feed
+  /// at most this many prompt tokens per request per engine step,
+  /// piggybacked on the decode steps, so running requests keep emitting
+  /// tokens while newcomers warm up.
+  std::int64_t prefill_chunk = 0;
+
+  void validate() const;
+};
+
+struct RequestOutcome {
+  std::int64_t id = 0;
+  double ttft = 0.0;     ///< first token emitted − arrival
+  double latency = 0.0;  ///< last token emitted − arrival
+  std::int64_t tokens = 0;
+};
+
+struct ServeMetrics {
+  double duration = 0.0;            ///< makespan of the whole trace
+  double token_throughput = 0.0;    ///< generated tokens / duration
+  double request_throughput = 0.0;  ///< completed requests / duration
+  double ttft_p50 = 0.0;
+  double ttft_p95 = 0.0;
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double mean_batch_occupancy = 0.0;  ///< time-averaged in-flight sequences
+  std::size_t completed = 0;
+  std::vector<RequestOutcome> outcomes;  ///< per request, by id order
+};
+
+/// Simulate serving `requests` (sorted by arrival) on one engine running
+/// `policy` on `platform`. Deterministic.
+ServeMetrics simulate_serving(const model::ModelSpec& spec,
+                              const perfmodel::Policy& policy,
+                              const hw::Platform& platform,
+                              const std::vector<Request>& requests,
+                              const ServeConfig& config);
+
+}  // namespace lmo::serve

@@ -1,0 +1,109 @@
+#include "lmo/serve/workload_gen.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <cmath>
+
+#include "lmo/util/check.hpp"
+#include "lmo/util/csv.hpp"
+
+namespace lmo::serve {
+
+void RequestProfile::validate() const {
+  LMO_CHECK_GT(arrival_rate, 0.0);
+  LMO_CHECK_GT(prompt_min, 0);
+  LMO_CHECK_LE(prompt_min, prompt_mean);
+  LMO_CHECK_LE(prompt_mean, prompt_max);
+  LMO_CHECK_GT(gen_min, 0);
+  LMO_CHECK_LE(gen_min, gen_mean);
+  LMO_CHECK_LE(gen_mean, gen_max);
+}
+
+namespace {
+
+/// Lognormal-flavoured length draw: exp of a normal centred on log(mean),
+/// clamped to [lo, hi]. σ = 0.6 gives the heavy-ish right tail observed in
+/// production prompt-length distributions.
+std::int64_t draw_length(util::Xoshiro256& rng, std::int64_t mean,
+                         std::int64_t lo, std::int64_t hi) {
+  const double mu = std::log(static_cast<double>(mean));
+  const double sample = std::exp(mu + 0.6 * rng.normal());
+  const auto length = static_cast<std::int64_t>(std::llround(sample));
+  return std::clamp(length, lo, hi);
+}
+
+}  // namespace
+
+std::vector<Request> generate_requests(const RequestProfile& profile,
+                                       std::int64_t count,
+                                       std::uint64_t seed) {
+  profile.validate();
+  LMO_CHECK_GT(count, 0);
+
+  util::Xoshiro256 rng(seed);
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  double clock = 0.0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    // Exponential inter-arrival: -ln(U)/λ.
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    clock += -std::log(u) / profile.arrival_rate;
+    Request request;
+    request.id = i;
+    request.arrival_seconds = clock;
+    request.prompt_len = draw_length(rng, profile.prompt_mean,
+                                     profile.prompt_min, profile.prompt_max);
+    request.gen_len =
+        draw_length(rng, profile.gen_mean, profile.gen_min, profile.gen_max);
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+std::vector<Request> requests_from_csv_text(const std::string& text) {
+  const auto csv = util::CsvReader::parse(text);
+  std::vector<Request> requests;
+  requests.reserve(csv.rows());
+  for (std::size_t i = 0; i < csv.rows(); ++i) {
+    Request request;
+    request.arrival_seconds = std::stod(csv.at(i, "arrival_seconds"));
+    request.prompt_len = std::stoll(csv.at(i, "prompt_len"));
+    request.gen_len = std::stoll(csv.at(i, "gen_len"));
+    LMO_CHECK_GE(request.arrival_seconds, 0.0);
+    LMO_CHECK_GT(request.prompt_len, 0);
+    LMO_CHECK_GT(request.gen_len, 0);
+    requests.push_back(request);
+  }
+  LMO_CHECK_MSG(!requests.empty(), "request trace is empty");
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) {
+              return a.arrival_seconds < b.arrival_seconds;
+            });
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].id = static_cast<std::int64_t>(i);
+  }
+  return requests;
+}
+
+std::vector<Request> requests_from_csv(const std::string& path) {
+  std::ifstream in(path);
+  LMO_CHECK_MSG(in.good(), "cannot open request trace: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return requests_from_csv_text(buffer.str());
+}
+
+void requests_to_csv(const std::vector<Request>& requests,
+                     const std::string& path) {
+  util::CsvWriter writer({"arrival_seconds", "prompt_len", "gen_len"});
+  for (const Request& r : requests) {
+    writer.add_row({std::to_string(r.arrival_seconds),
+                    std::to_string(r.prompt_len),
+                    std::to_string(r.gen_len)});
+  }
+  writer.save(path);
+}
+
+}  // namespace lmo::serve

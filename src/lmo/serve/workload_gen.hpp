@@ -1,0 +1,51 @@
+// Online-serving request workloads: Poisson arrivals with randomized
+// prompt/generation lengths. The paper evaluates offline (throughput-only)
+// inference; this substrate extends the study to the latency-sensitive
+// regime its related work (vLLM et al.) targets. Fully seeded and
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lmo/util/rng.hpp"
+
+namespace lmo::serve {
+
+struct Request {
+  std::int64_t id = 0;
+  double arrival_seconds = 0.0;
+  std::int64_t prompt_len = 0;
+  std::int64_t gen_len = 0;
+};
+
+struct RequestProfile {
+  double arrival_rate = 1.0;      ///< requests/second (Poisson)
+  std::int64_t prompt_mean = 64;  ///< geometric-ish spread around means
+  std::int64_t prompt_min = 8;
+  std::int64_t prompt_max = 512;
+  std::int64_t gen_mean = 64;
+  std::int64_t gen_min = 4;
+  std::int64_t gen_max = 512;
+
+  void validate() const;
+};
+
+/// Generate `count` requests with exponential inter-arrival gaps and
+/// log-uniform-ish lengths clamped to the profile's bounds.
+std::vector<Request> generate_requests(const RequestProfile& profile,
+                                       std::int64_t count,
+                                       std::uint64_t seed);
+
+/// Load a recorded request trace from CSV with columns
+/// `arrival_seconds, prompt_len, gen_len` (header required, any order).
+/// Rows are sorted by arrival; ids assigned by sorted position.
+std::vector<Request> requests_from_csv(const std::string& path);
+std::vector<Request> requests_from_csv_text(const std::string& text);
+
+/// Write requests back out in the same format.
+void requests_to_csv(const std::vector<Request>& requests,
+                     const std::string& path);
+
+}  // namespace lmo::serve

@@ -1,0 +1,42 @@
+#include "lmo/sim/counters.hpp"
+
+#include "lmo/util/check.hpp"
+#include "lmo/util/string_util.hpp"
+
+namespace lmo::sim {
+
+void Counters::add(const std::string& key, double value) {
+  LMO_CHECK(!key.empty());
+  values_[key] += value;
+}
+
+double Counters::get(const std::string& key) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+bool Counters::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+double Counters::sum_prefix(const std::string& prefix) const {
+  double sum = 0.0;
+  for (const auto& [key, value] : values_) {
+    if (util::starts_with(key, prefix)) sum += value;
+  }
+  return sum;
+}
+
+std::vector<std::string> Counters::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+Counters& Counters::operator+=(const Counters& other) {
+  for (const auto& [key, value] : other.values_) values_[key] += value;
+  return *this;
+}
+
+}  // namespace lmo::sim

@@ -1,0 +1,47 @@
+// Named byte/event counters. Schedule builders record per-channel I/O
+// traffic here (weights vs KV cache vs activations, each direction), which
+// is exactly what paper Table 1 reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lmo::sim {
+
+class Counters {
+ public:
+  void add(const std::string& key, double value);
+  void increment(const std::string& key) { add(key, 1.0); }
+
+  /// 0.0 when absent.
+  double get(const std::string& key) const;
+  bool has(const std::string& key) const;
+
+  /// Sum of all counters whose key starts with `prefix`.
+  double sum_prefix(const std::string& prefix) const;
+
+  std::vector<std::string> keys() const;
+  void clear() { values_.clear(); }
+
+  Counters& operator+=(const Counters& other);
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Canonical channel keys used across schedule builders, so benches and
+/// tests agree on names.
+namespace channel {
+inline constexpr const char* kH2DWeights = "h2d.weights";
+inline constexpr const char* kH2DCache = "h2d.kv_cache";
+inline constexpr const char* kH2DActivation = "h2d.activation";
+inline constexpr const char* kD2HWeights = "d2h.weights";
+inline constexpr const char* kD2HCache = "d2h.kv_cache";
+inline constexpr const char* kD2HActivation = "d2h.activation";
+inline constexpr const char* kLLCLoadMisses = "llc.load_misses";
+inline constexpr const char* kLLCStoreMisses = "llc.store_misses";
+}  // namespace channel
+
+}  // namespace lmo::sim

@@ -1,0 +1,63 @@
+#include "lmo/sim/energy.hpp"
+
+#include <algorithm>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::sim {
+
+void PowerModel::set(const std::string& resource, PowerSpec spec) {
+  LMO_CHECK_GE(spec.active_watts, 0.0);
+  LMO_CHECK_GE(spec.idle_watts, 0.0);
+  LMO_CHECK_GE(spec.active_watts, spec.idle_watts);
+  specs_[resource] = spec;
+}
+
+const PowerSpec& PowerModel::get(const std::string& resource) const {
+  auto it = specs_.find(resource);
+  LMO_CHECK_MSG(it != specs_.end(), "no power spec for resource: " + resource);
+  return it->second;
+}
+
+bool PowerModel::has(const std::string& resource) const {
+  return specs_.count(resource) != 0;
+}
+
+PowerModel PowerModel::make_default(const hw::Platform& platform) {
+  PowerModel model;
+  // GPU: TDP-class active draw scaled from peak FLOPs (A100 ≈ 400 W at
+  // 312 TFLOP/s), ~20% idle floor.
+  const double gpu_active =
+      400.0 * platform.gpu.peak_flops / (312.0 * 1e12);
+  model.set("gpu", {gpu_active, gpu_active * 0.2});
+  // CPU complex: ~3.7 W per core package power under load, 30% idle.
+  const double cpu_active = 3.7 * static_cast<double>(platform.cpu.cores);
+  model.set("cpu", {cpu_active, cpu_active * 0.3});
+  // PCIe/NVLink PHY + DMA engines.
+  model.set("h2d", {25.0, 5.0});
+  model.set("d2h", {25.0, 5.0});
+  model.set("disk", {12.0, 2.0});
+  return model;
+}
+
+EnergyReport energy_report(const RunResult& result, const PowerModel& power,
+                           double tokens_generated) {
+  LMO_CHECK_GE(tokens_generated, 0.0);
+  EnergyReport report;
+  for (const auto& resource : result.resources) {
+    if (!power.has(resource.name)) continue;
+    const PowerSpec& spec = power.get(resource.name);
+    const double busy = resource.busy;
+    const double idle = std::max(
+        0.0, result.makespan * static_cast<double>(resource.lanes) - busy);
+    const double joules = busy * spec.active_watts + idle * spec.idle_watts;
+    report.per_resource_joules[resource.name] = joules;
+    report.total_joules += joules;
+  }
+  if (tokens_generated > 0.0) {
+    report.joules_per_token = report.total_joules / tokens_generated;
+  }
+  return report;
+}
+
+}  // namespace lmo::sim

@@ -1,0 +1,49 @@
+// Energy accounting over a simulated schedule: each resource maps to a
+// device with an active-power figure and an idle floor; busy time burns
+// active watts, the rest of the makespan burns idle watts. Produces the
+// joules-per-token economics that motivate offloading in the first place
+// (one A100 node vs several).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/sim/engine.hpp"
+
+namespace lmo::sim {
+
+/// Active/idle draw in watts for one schedule resource.
+struct PowerSpec {
+  double active_watts = 0.0;
+  double idle_watts = 0.0;
+};
+
+/// Resource-name → power mapping. make_default() covers the canonical
+/// schedule-builder resources (gpu, cpu, h2d/d2h, disk) with figures
+/// derived from the platform (GPU TDP-class active draw, CPU package
+/// power, links folded into their endpoints).
+class PowerModel {
+ public:
+  void set(const std::string& resource, PowerSpec spec);
+  const PowerSpec& get(const std::string& resource) const;
+  bool has(const std::string& resource) const;
+
+  static PowerModel make_default(const hw::Platform& platform);
+
+ private:
+  std::map<std::string, PowerSpec> specs_;
+};
+
+struct EnergyReport {
+  double total_joules = 0.0;
+  double joules_per_token = 0.0;      ///< 0 when tokens unknown
+  std::map<std::string, double> per_resource_joules;
+};
+
+/// Integrate energy over a finished schedule. Resources absent from the
+/// model contribute nothing (conservative).
+EnergyReport energy_report(const RunResult& result, const PowerModel& power,
+                           double tokens_generated = 0.0);
+
+}  // namespace lmo::sim

@@ -1,0 +1,146 @@
+#include "lmo/sim/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::sim {
+
+double RunResult::category_busy(const std::string& category) const {
+  for (const auto& c : categories) {
+    if (c.category == category) return c.busy;
+  }
+  return 0.0;
+}
+
+double RunResult::resource_busy(const std::string& name) const {
+  for (const auto& r : resources) {
+    if (r.name == name) return r.busy;
+  }
+  LMO_CHECK_MSG(false, "unknown resource: " + name);
+  LMO_UNREACHABLE("unreachable");
+}
+
+ResourceId Engine::add_resource(std::string name, int lanes) {
+  LMO_CHECK_GE(lanes, 1);
+  for (const auto& r : resources_) {
+    LMO_CHECK_MSG(r.name != name, "duplicate resource name: " + name);
+  }
+  resources_.push_back(Resource{std::move(name), lanes});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+TaskId Engine::add_task(std::string name, std::string category,
+                        ResourceId resource, double duration,
+                        const std::vector<TaskId>& deps) {
+  LMO_CHECK_GE(resource, 0);
+  LMO_CHECK_LT(static_cast<std::size_t>(resource), resources_.size());
+  LMO_CHECK_GE(duration, 0.0);
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  for (TaskId d : deps) {
+    LMO_CHECK_GE(d, 0);
+    LMO_CHECK_LT(d, id);
+  }
+  tasks_.push_back(PendingTask{std::move(name), std::move(category), resource,
+                               duration, deps});
+  return id;
+}
+
+RunResult Engine::run() {
+  LMO_CHECK_MSG(!ran_, "Engine::run may be called only once");
+  ran_ = true;
+
+  const std::size_t n = tasks_.size();
+  std::vector<std::vector<TaskId>> successors(n);
+  std::vector<int> indegree(n, 0);
+  std::vector<double> ready_time(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (TaskId d : tasks_[i].deps) {
+      successors[static_cast<std::size_t>(d)].push_back(
+          static_cast<TaskId>(i));
+      ++indegree[i];
+    }
+  }
+
+  // Per-resource lane availability (min-heap of free times per resource).
+  std::vector<std::priority_queue<double, std::vector<double>,
+                                  std::greater<double>>>
+      lane_free(resources_.size());
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    for (int l = 0; l < resources_[r].lanes; ++l) lane_free[r].push(0.0);
+  }
+
+  // Ready queue ordered by (ready_time, insertion index) — deterministic.
+  using Key = std::pair<double, TaskId>;
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push({0.0, static_cast<TaskId>(i)});
+  }
+
+  RunResult result;
+  result.tasks.resize(n);
+  std::size_t scheduled = 0;
+
+  while (!ready.empty()) {
+    const auto [rtime, id] = ready.top();
+    ready.pop();
+    const auto& t = tasks_[static_cast<std::size_t>(id)];
+
+    auto& lanes = lane_free[static_cast<std::size_t>(t.resource)];
+    const double lane_available = lanes.top();
+    lanes.pop();
+    const double start = std::max(rtime, lane_available);
+    const double finish = start + t.duration;
+    lanes.push(finish);
+
+    auto& rec = result.tasks[static_cast<std::size_t>(id)];
+    rec.name = t.name;
+    rec.category = t.category;
+    rec.resource = t.resource;
+    rec.duration = t.duration;
+    rec.start = start;
+    rec.finish = finish;
+    result.makespan = std::max(result.makespan, finish);
+    ++scheduled;
+
+    for (TaskId succ : successors[static_cast<std::size_t>(id)]) {
+      auto& rt = ready_time[static_cast<std::size_t>(succ)];
+      rt = std::max(rt, finish);
+      if (--indegree[static_cast<std::size_t>(succ)] == 0) {
+        ready.push({rt, succ});
+      }
+    }
+  }
+  LMO_CHECK_MSG(scheduled == n, "schedule DAG has a cycle");
+
+  // Aggregates.
+  result.resources.resize(resources_.size());
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    result.resources[r].name = resources_[r].name;
+    result.resources[r].lanes = resources_[r].lanes;
+  }
+  std::map<std::string, CategoryStats> by_category;
+  for (const auto& rec : result.tasks) {
+    result.resources[static_cast<std::size_t>(rec.resource)].busy +=
+        rec.duration;
+    auto& cat = by_category[rec.category];
+    cat.category = rec.category;
+    cat.busy += rec.duration;
+    ++cat.count;
+  }
+  if (result.makespan > 0.0) {
+    for (auto& r : result.resources) {
+      r.utilization = r.busy / (static_cast<double>(r.lanes) *
+                                result.makespan);
+    }
+  }
+  result.categories.reserve(by_category.size());
+  for (auto& [key, stats] : by_category) {
+    result.categories.push_back(std::move(stats));
+  }
+  return result;
+}
+
+}  // namespace lmo::sim

@@ -1,0 +1,83 @@
+#include "lmo/sim/trace_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::sim {
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const RunResult& result,
+                            const TraceExportOptions& options) {
+  LMO_CHECK_GT(options.time_scale, 0.0);
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  auto emit = [&](const std::string& json) {
+    if (!first) os << ",\n";
+    first = false;
+    os << json;
+  };
+
+  // Resource (process) name metadata.
+  for (std::size_t r = 0; r < result.resources.size(); ++r) {
+    std::ostringstream ev;
+    ev << R"({"name":"process_name","ph":"M","pid":)" << r
+       << R"(,"tid":0,"args":{"name":")";
+    append_escaped(ev, result.resources[r].name);
+    ev << "\"}}";
+    emit(ev.str());
+  }
+
+  for (const auto& task : result.tasks) {
+    if (task.duration < options.min_duration) continue;
+    std::ostringstream ev;
+    ev << R"({"name":")";
+    append_escaped(ev, task.name);
+    ev << R"(","cat":")";
+    append_escaped(ev, task.category);
+    ev << R"(","ph":"X","pid":)" << task.resource << R"(,"tid":0,"ts":)"
+       << task.start * options.time_scale << R"(,"dur":)"
+       << task.duration * options.time_scale << "}";
+    emit(ev.str());
+  }
+  os << "]\n";
+  return os.str();
+}
+
+void save_chrome_trace(const RunResult& result, const std::string& path,
+                       const TraceExportOptions& options) {
+  std::ofstream out(path);
+  LMO_CHECK_MSG(out.good(), "cannot open trace output file: " + path);
+  out << to_chrome_trace(result, options);
+  LMO_CHECK_MSG(out.good(), "write failed for trace file: " + path);
+}
+
+}  // namespace lmo::sim

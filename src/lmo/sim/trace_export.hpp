@@ -1,0 +1,30 @@
+// Export a simulated schedule as a Chrome trace (chrome://tracing /
+// Perfetto "trace event" JSON): one row per resource, one complete event
+// per task, colored by category. Lets users inspect exactly how the six
+// Algorithm-1 tasks overlap under any policy.
+#pragma once
+
+#include <string>
+
+#include "lmo/sim/engine.hpp"
+
+namespace lmo::sim {
+
+struct TraceExportOptions {
+  /// Scale simulated seconds to trace microseconds (default 1e6 = real
+  /// time; increase to spread out very short schedules).
+  double time_scale = 1e6;
+  /// Drop tasks shorter than this many simulated seconds (0 keeps all).
+  double min_duration = 0.0;
+};
+
+/// Serialize to the Trace Event JSON array format. Resources become process
+/// ids (with metadata names); each task is a complete ("ph":"X") event.
+std::string to_chrome_trace(const RunResult& result,
+                            const TraceExportOptions& options = {});
+
+/// Write to a file; throws CheckError on I/O failure.
+void save_chrome_trace(const RunResult& result, const std::string& path,
+                       const TraceExportOptions& options = {});
+
+}  // namespace lmo::sim

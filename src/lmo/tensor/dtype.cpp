@@ -1,0 +1,114 @@
+#include "lmo/tensor/dtype.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::tensor {
+
+std::size_t bits_of(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return 32;
+    case DType::kF16:
+      return 16;
+    case DType::kI8:
+    case DType::kU8:
+      return 8;
+    case DType::kI4:
+      return 4;
+  }
+  LMO_UNREACHABLE("bad DType");
+}
+
+std::size_t bytes_for(DType dtype, std::size_t count) {
+  return (count * bits_of(dtype) + 7) / 8;
+}
+
+const char* to_string(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "f32";
+    case DType::kF16:
+      return "f16";
+    case DType::kI8:
+      return "i8";
+    case DType::kU8:
+      return "u8";
+    case DType::kI4:
+      return "i4";
+  }
+  LMO_UNREACHABLE("bad DType");
+}
+
+DType dtype_from_string(const std::string& name) {
+  if (name == "f32") return DType::kF32;
+  if (name == "f16") return DType::kF16;
+  if (name == "i8") return DType::kI8;
+  if (name == "u8") return DType::kU8;
+  if (name == "i4") return DType::kI4;
+  LMO_CHECK_MSG(false, "unknown dtype name: " + name);
+  LMO_UNREACHABLE("unreachable");
+}
+
+std::uint16_t f32_to_f16_bits(float value) {
+  std::uint32_t x = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  x &= 0x7fffffffu;
+
+  if (x >= 0x47800000u) {               // overflow or NaN/inf
+    if (x > 0x7f800000u) {              // NaN — keep a payload bit
+      return static_cast<std::uint16_t>(sign | 0x7e00u);
+    }
+    return static_cast<std::uint16_t>(sign | 0x7c00u);  // inf
+  }
+  if (x < 0x38800000u) {  // subnormal half or zero
+    // Add implicit leading 1 and shift so one unit equals 2^-24 (the half
+    // subnormal step); round to nearest even.
+    const std::uint32_t shift = 126u - (x >> 23);
+    if (shift > 24u) return static_cast<std::uint16_t>(sign);
+    std::uint32_t mant = (x & 0x7fffffu) | 0x800000u;
+    const std::uint32_t rounded =
+        (mant >> shift) +
+        (((mant >> (shift - 1)) & 1u) &
+         (((mant & ((1u << (shift - 1)) - 1u)) != 0u) | ((mant >> shift) & 1u)));
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+  // Normal range: rebias exponent, round mantissa to nearest even.
+  std::uint32_t half = ((x >> 13) & 0x3ffu) | (((x >> 23) - 112u) << 10);
+  const std::uint32_t round_bit = (x >> 12) & 1u;
+  const std::uint32_t sticky = (x & 0xfffu) != 0u;
+  half += round_bit & (sticky | (half & 1u));
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+float f16_bits_to_f32(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1fu;
+  const std::uint32_t mant = bits & 0x3ffu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      std::uint32_t m = mant;
+      std::uint32_t e = 112;  // 127 - 15
+      while ((m & 0x400u) == 0) {
+        m <<= 1;
+        --e;
+      }
+      m &= 0x3ffu;
+      out = sign | ((e + 1) << 23) | (m << 13);
+    }
+  } else if (exp == 0x1f) {
+    out = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    out = sign | ((exp + 112) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+}  // namespace lmo::tensor

@@ -1,0 +1,51 @@
+// Element types supported by the tensor library. I4 is a *packed* type: two
+// elements per byte; tensors with DType::kI4 must have an even innermost
+// extent after quantization padding (the quantizer guarantees this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lmo::tensor {
+
+enum class DType : std::uint8_t {
+  kF32,  ///< IEEE-754 binary32
+  kF16,  ///< IEEE-754 binary16 (software emulated)
+  kI8,   ///< signed 8-bit quantized payload
+  kU8,   ///< raw bytes / packed payloads
+  kI4,   ///< packed unsigned 4-bit, two per byte
+};
+
+/// Size of one element in *bits* (I4 = 4).
+std::size_t bits_of(DType dtype);
+
+/// Bytes needed to store `count` elements of `dtype`, rounding packed types
+/// up to whole bytes.
+std::size_t bytes_for(DType dtype, std::size_t count);
+
+const char* to_string(DType dtype);
+
+/// Parse "f32" / "f16" / "i8" / "u8" / "i4"; throws CheckError otherwise.
+DType dtype_from_string(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Software fp16: round-to-nearest-even conversion, sufficient for storage
+// emulation (compute always happens in f32).
+// ---------------------------------------------------------------------------
+
+std::uint16_t f32_to_f16_bits(float value);
+float f16_bits_to_f32(std::uint16_t bits);
+
+/// Storage-only half type. Arithmetic converts through float.
+struct Half {
+  std::uint16_t bits = 0;
+
+  Half() = default;
+  explicit Half(float f) : bits(f32_to_f16_bits(f)) {}
+  explicit operator float() const { return f16_bits_to_f32(bits); }
+};
+
+static_assert(sizeof(Half) == 2, "Half must be exactly two bytes");
+
+}  // namespace lmo::tensor

@@ -1,0 +1,70 @@
+#include "lmo/tensor/shape.hpp"
+
+#include <sstream>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::tensor {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) {
+  LMO_CHECK_LE(dims.size(), kMaxRank);
+  for (std::int64_t d : dims) {
+    LMO_CHECK_GE(d, 0);
+    dims_[rank_++] = d;
+  }
+}
+
+std::int64_t Shape::dim(std::size_t axis) const {
+  LMO_CHECK_LT(axis, rank_);
+  return dims_[axis];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+  return n;
+}
+
+std::int64_t Shape::stride(std::size_t axis) const {
+  LMO_CHECK_LT(axis, rank_);
+  std::int64_t s = 1;
+  for (std::size_t i = axis + 1; i < rank_; ++i) s *= dims_[i];
+  return s;
+}
+
+Shape Shape::with_dim(std::size_t axis, std::int64_t extent) const {
+  LMO_CHECK_LT(axis, rank_);
+  LMO_CHECK_GE(extent, 0);
+  Shape out = *this;
+  out.dims_[axis] = extent;
+  return out;
+}
+
+Shape Shape::appended(std::int64_t extent) const {
+  LMO_CHECK_LT(rank_, kMaxRank);
+  LMO_CHECK_GE(extent, 0);
+  Shape out = *this;
+  out.dims_[out.rank_++] = extent;
+  return out;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (dims_[i] != other.dims_[i]) return false;
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace lmo::tensor

@@ -1,0 +1,46 @@
+// Dense row-major shapes. Rank is small (<= 4 in practice: [batch, heads,
+// seq, head_dim]); stored in a small inline vector.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace lmo::tensor {
+
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 6;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+
+  std::size_t rank() const { return rank_; }
+  std::int64_t dim(std::size_t axis) const;
+  std::int64_t operator[](std::size_t axis) const { return dim(axis); }
+
+  /// Total element count (1 for rank-0).
+  std::int64_t numel() const;
+
+  /// Row-major stride of `axis` in elements.
+  std::int64_t stride(std::size_t axis) const;
+
+  /// Shape with `axis` replaced by `extent`.
+  Shape with_dim(std::size_t axis, std::int64_t extent) const;
+
+  /// Append a trailing dimension.
+  Shape appended(std::int64_t extent) const;
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const;  ///< "[2, 3, 4]"
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace lmo::tensor

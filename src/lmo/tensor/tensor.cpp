@@ -1,0 +1,160 @@
+#include "lmo/tensor/tensor.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::tensor {
+
+Tensor::Tensor(Shape shape, DType dtype)
+    : shape_(shape),
+      dtype_(dtype),
+      storage_(std::make_shared<std::vector<std::byte>>(
+          bytes_for(dtype, static_cast<std::size_t>(shape.numel())))) {}
+
+Tensor Tensor::zeros(Shape shape, DType dtype) { return Tensor(shape, dtype); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(shape, DType::kF32);
+  for (float& x : t.f32()) x = value;
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, util::Xoshiro256& rng, float lo,
+                       float hi) {
+  Tensor t(shape, DType::kF32);
+  for (float& x : t.f32()) {
+    x = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, util::Xoshiro256& rng, float stddev) {
+  Tensor t(shape, DType::kF32);
+  for (float& x : t.f32()) {
+    x = static_cast<float>(rng.normal() * stddev);
+  }
+  return t;
+}
+
+Tensor Tensor::from_values(Shape shape, std::vector<float> values) {
+  LMO_CHECK_EQ(static_cast<std::int64_t>(values.size()), shape.numel());
+  Tensor t(shape, DType::kF32);
+  std::memcpy(t.raw().data(), values.data(), values.size() * sizeof(float));
+  return t;
+}
+
+std::size_t Tensor::byte_size() const {
+  return storage_ ? storage_->size() : 0;
+}
+
+std::span<const std::byte> Tensor::raw() const {
+  LMO_CHECK(defined());
+  return {storage_->data(), storage_->size()};
+}
+
+std::span<std::byte> Tensor::raw() {
+  LMO_CHECK(defined());
+  return {storage_->data(), storage_->size()};
+}
+
+std::span<const float> Tensor::f32() const {
+  LMO_CHECK(defined());
+  LMO_CHECK(dtype_ == DType::kF32);
+  return {reinterpret_cast<const float*>(storage_->data()),
+          static_cast<std::size_t>(numel())};
+}
+
+std::span<float> Tensor::f32() {
+  LMO_CHECK(defined());
+  LMO_CHECK(dtype_ == DType::kF32);
+  return {reinterpret_cast<float*>(storage_->data()),
+          static_cast<std::size_t>(numel())};
+}
+
+std::int64_t Tensor::flat_index(
+    std::initializer_list<std::int64_t> index) const {
+  LMO_CHECK_EQ(index.size(), shape_.rank());
+  std::int64_t flat = 0;
+  std::size_t axis = 0;
+  for (std::int64_t i : index) {
+    LMO_CHECK_GE(i, 0);
+    LMO_CHECK_LT(i, shape_.dim(axis));
+    flat += i * shape_.stride(axis);
+    ++axis;
+  }
+  return flat;
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> index) const {
+  return f32()[static_cast<std::size_t>(flat_index(index))];
+}
+
+void Tensor::set(std::initializer_list<std::int64_t> index, float value) {
+  f32()[static_cast<std::size_t>(flat_index(index))] = value;
+}
+
+Tensor Tensor::cast(DType target) const {
+  LMO_CHECK(defined());
+  if (target == dtype_) return clone();
+  LMO_CHECK_MSG(dtype_ == DType::kF32 || dtype_ == DType::kF16,
+                "cast supports f32<->f16 only; quantized types go through "
+                "the quantizer");
+  LMO_CHECK_MSG(target == DType::kF32 || target == DType::kF16,
+                "cast supports f32<->f16 only");
+
+  Tensor out(shape_, target);
+  const std::size_t n = static_cast<std::size_t>(numel());
+  if (dtype_ == DType::kF32 && target == DType::kF16) {
+    const float* src = reinterpret_cast<const float*>(storage_->data());
+    auto* dst = reinterpret_cast<std::uint16_t*>(out.raw().data());
+    for (std::size_t i = 0; i < n; ++i) dst[i] = f32_to_f16_bits(src[i]);
+  } else {
+    const auto* src = reinterpret_cast<const std::uint16_t*>(storage_->data());
+    float* dst = reinterpret_cast<float*>(out.raw().data());
+    for (std::size_t i = 0; i < n; ++i) dst[i] = f16_bits_to_f32(src[i]);
+  }
+  return out;
+}
+
+Tensor Tensor::clone() const {
+  LMO_CHECK(defined());
+  Tensor out(shape_, dtype_);
+  std::memcpy(out.raw().data(), storage_->data(), storage_->size());
+  return out;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  LMO_CHECK(defined());
+  LMO_CHECK_EQ(new_shape.numel(), shape_.numel());
+  Tensor out = *this;  // shares storage
+  out.shape_ = new_shape;
+  return out;
+}
+
+float Tensor::max_abs() const {
+  float m = 0.0f;
+  for (float x : f32()) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+float Tensor::max_abs_diff(const Tensor& other) const {
+  LMO_CHECK(shape_ == other.shape_);
+  auto a = f32();
+  auto b = other.f32();
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double Tensor::mean() const {
+  double sum = 0.0;
+  for (float x : f32()) sum += x;
+  const std::int64_t n = numel();
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace lmo::tensor

@@ -1,0 +1,77 @@
+// Dense row-major tensor with shared ownership of storage. Compute happens
+// in f32; f16/i8/i4 exist as storage formats produced by the quantizer or by
+// explicit casts. The class is deliberately small — it is an offloading
+// substrate, not a full autograd framework.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "lmo/tensor/dtype.hpp"
+#include "lmo/tensor/shape.hpp"
+#include "lmo/util/rng.hpp"
+
+namespace lmo::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocate zero-initialized storage for `shape` × `dtype`.
+  Tensor(Shape shape, DType dtype);
+
+  // -- factories ----------------------------------------------------------
+  static Tensor zeros(Shape shape, DType dtype = DType::kF32);
+  static Tensor full(Shape shape, float value);
+  /// i.i.d. uniform in [lo, hi), f32.
+  static Tensor uniform(Shape shape, util::Xoshiro256& rng, float lo = -1.0f,
+                        float hi = 1.0f);
+  /// i.i.d. normal(0, stddev), f32 — synthetic weights.
+  static Tensor normal(Shape shape, util::Xoshiro256& rng,
+                       float stddev = 0.02f);
+  static Tensor from_values(Shape shape, std::vector<float> values);
+
+  // -- metadata -----------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  DType dtype() const { return dtype_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  std::size_t byte_size() const;
+  bool defined() const { return storage_ != nullptr; }
+
+  // -- raw access ---------------------------------------------------------
+  std::span<const std::byte> raw() const;
+  std::span<std::byte> raw();
+
+  /// Typed f32 access; requires dtype == kF32.
+  std::span<const float> f32() const;
+  std::span<float> f32();
+
+  float at(std::initializer_list<std::int64_t> index) const;
+  void set(std::initializer_list<std::int64_t> index, float value);
+
+  // -- conversions --------------------------------------------------------
+  /// Cast to f16 storage (round-to-nearest-even) or back to f32.
+  Tensor cast(DType target) const;
+
+  /// Deep copy.
+  Tensor clone() const;
+
+  /// View with a different shape; numel must match, dtype preserved.
+  Tensor reshaped(Shape new_shape) const;
+
+  // -- reductions / comparisons (test + validation helpers) ----------------
+  float max_abs() const;
+  float max_abs_diff(const Tensor& other) const;
+  double mean() const;
+
+ private:
+  Shape shape_;
+  DType dtype_ = DType::kF32;
+  std::shared_ptr<std::vector<std::byte>> storage_;
+
+  std::int64_t flat_index(std::initializer_list<std::int64_t> index) const;
+};
+
+}  // namespace lmo::tensor

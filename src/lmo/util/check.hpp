@@ -1,0 +1,66 @@
+// Lightweight runtime-check macros. These are *always on* (they guard API
+// contracts, not internal hot loops) and throw lmo::util::CheckError so that
+// tests can assert on violations instead of aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lmo::util {
+
+/// Thrown when an LMO_CHECK* macro fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+template <class A, class B>
+[[noreturn]] void check_cmp_failed(const char* expr, const char* file,
+                                   int line, const A& a, const B& b) {
+  std::ostringstream os;
+  os << expr << " (lhs=" << a << ", rhs=" << b << ")";
+  check_failed(os.str().c_str(), file, line, "");
+}
+
+}  // namespace detail
+}  // namespace lmo::util
+
+#define LMO_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::lmo::util::detail::check_failed(#cond, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define LMO_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::lmo::util::detail::check_failed(#cond, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+#define LMO_CHECK_OP(op, a, b)                                            \
+  do {                                                                    \
+    if (!((a)op(b)))                                                      \
+      ::lmo::util::detail::check_cmp_failed(#a " " #op " " #b, __FILE__,  \
+                                            __LINE__, (a), (b));          \
+  } while (0)
+
+#define LMO_CHECK_EQ(a, b) LMO_CHECK_OP(==, a, b)
+#define LMO_CHECK_NE(a, b) LMO_CHECK_OP(!=, a, b)
+#define LMO_CHECK_LT(a, b) LMO_CHECK_OP(<, a, b)
+#define LMO_CHECK_LE(a, b) LMO_CHECK_OP(<=, a, b)
+#define LMO_CHECK_GT(a, b) LMO_CHECK_OP(>, a, b)
+#define LMO_CHECK_GE(a, b) LMO_CHECK_OP(>=, a, b)
+
+#define LMO_UNREACHABLE(msg) \
+  ::lmo::util::detail::check_failed("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,161 @@
+#include "lmo/util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::util {
+namespace {
+
+std::string escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LMO_CHECK(!header_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  LMO_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+namespace {
+
+/// Split CSV text into records of fields, honouring quotes.
+std::vector<std::vector<std::string>> tokenize_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  const auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        LMO_CHECK_MSG(!field_started || field.empty(),
+                      "quote inside unquoted CSV field");
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += c;
+        field_started = true;
+    }
+  }
+  LMO_CHECK_MSG(!in_quotes, "unterminated quote in CSV input");
+  if (field_started || !field.empty() || !record.empty()) end_record();
+  return records;
+}
+
+}  // namespace
+
+CsvReader CsvReader::parse(const std::string& text) {
+  auto records = tokenize_csv(text);
+  LMO_CHECK_MSG(!records.empty(), "empty CSV input");
+  CsvReader reader;
+  reader.header_ = std::move(records.front());
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    LMO_CHECK_MSG(records[i].size() == reader.header_.size(),
+                  "CSV row " + std::to_string(i) + " has " +
+                      std::to_string(records[i].size()) + " fields, header "
+                      "has " + std::to_string(reader.header_.size()));
+    reader.rows_.push_back(std::move(records[i]));
+  }
+  return reader;
+}
+
+CsvReader CsvReader::load(const std::string& path) {
+  std::ifstream in(path);
+  LMO_CHECK_MSG(in.good(), "cannot open CSV input file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+const std::vector<std::string>& CsvReader::row(std::size_t i) const {
+  LMO_CHECK_LT(i, rows_.size());
+  return rows_[i];
+}
+
+std::size_t CsvReader::column(const std::string& name) const {
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (header_[c] == name) return c;
+  }
+  LMO_CHECK_MSG(false, "CSV has no column named: " + name);
+  LMO_UNREACHABLE("unreachable");
+}
+
+const std::string& CsvReader::at(std::size_t row,
+                                 const std::string& name) const {
+  return this->row(row)[column(name)];
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  LMO_CHECK_MSG(out.good(), "cannot open CSV output file: " + path);
+  out << to_string();
+  LMO_CHECK_MSG(out.good(), "write failed for CSV output file: " + path);
+}
+
+}  // namespace lmo::util

@@ -1,0 +1,51 @@
+// CSV writer for benchmark outputs (machine-readable companions to the
+// ASCII tables). Handles RFC-4180 quoting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lmo::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Serialize header + rows; fields containing comma/quote/newline are
+  /// quoted with embedded quotes doubled.
+  std::string to_string() const;
+
+  /// Write to a file; throws CheckError on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// RFC-4180 CSV reader: header + rows, quoted fields with doubled quotes,
+/// embedded commas and newlines. The inverse of CsvWriter.
+class CsvReader {
+ public:
+  /// Parse from text; throws CheckError on ragged rows or dangling quotes.
+  static CsvReader parse(const std::string& text);
+  /// Read and parse a file.
+  static CsvReader load(const std::string& path);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Column index by header name; throws when absent.
+  std::size_t column(const std::string& name) const;
+  /// Field by (row, column-name).
+  const std::string& at(std::size_t row, const std::string& name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lmo::util

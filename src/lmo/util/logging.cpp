@@ -1,0 +1,84 @@
+#include "lmo/util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace lmo::util {
+namespace {
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::function<void(const std::string&)>& sink_ref() {
+  static std::function<void(const std::string&)> sink;
+  return sink;
+}
+
+std::atomic<int>& level_ref() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  return level;
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  level_ref().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::level() const {
+  return static_cast<LogLevel>(level_ref().load(std::memory_order_relaxed));
+}
+
+void Logger::set_sink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_ref() = std::move(sink);
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (sink_ref()) {
+    sink_ref()(message);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+  }
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << base << ":" << line << " ";
+}
+
+LogLine::~LogLine() { Logger::instance().write(level_, stream_.str()); }
+
+}  // namespace detail
+}  // namespace lmo::util

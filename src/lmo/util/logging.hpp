@@ -1,0 +1,66 @@
+// Minimal leveled logger. Thread-safe, writes to stderr by default; tests
+// can redirect the sink. Intentionally tiny: the library's main outputs are
+// structured tables, not log spew.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace lmo::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* to_string(LogLevel level);
+
+/// Global log configuration. Defaults: level=kWarn, sink=stderr.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Replace the output sink (e.g. capture in tests). Pass nullptr to
+  /// restore stderr.
+  void set_sink(std::function<void(const std::string&)> sink);
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <class T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace lmo::util
+
+#define LMO_LOG(lmo_level_)                                              \
+  if (static_cast<int>(lmo_level_) <                                     \
+      static_cast<int>(::lmo::util::Logger::instance().level())) {       \
+  } else                                                                 \
+    ::lmo::util::detail::LogLine(lmo_level_, __FILE__, __LINE__)
+
+#define LMO_DEBUG LMO_LOG(::lmo::util::LogLevel::kDebug)
+#define LMO_INFO LMO_LOG(::lmo::util::LogLevel::kInfo)
+#define LMO_WARN LMO_LOG(::lmo::util::LogLevel::kWarn)
+#define LMO_ERROR LMO_LOG(::lmo::util::LogLevel::kError)

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmo::util {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+/// Case-sensitive prefix/suffix tests (thin wrappers, self-documenting).
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Left/right pad with spaces to at least `width` characters.
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
+}  // namespace lmo::util

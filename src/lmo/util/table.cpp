@@ -1,0 +1,79 @@
+#include "lmo/util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "lmo/util/check.hpp"
+#include "lmo/util/string_util.hpp"
+#include "lmo/util/units.hpp"
+
+namespace lmo::util {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' &&
+               c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  LMO_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  LMO_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int digits) {
+  return format_fixed(v, digits);
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_right) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const bool right = align_right && looks_numeric(row[c]);
+      os << ' '
+         << (right ? pad_left(row[c], widths[c]) : pad_right(row[c], widths[c]))
+         << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(header_, /*align_right=*/false);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row, /*align_right=*/true);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace lmo::util

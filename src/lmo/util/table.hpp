@@ -1,0 +1,35 @@
+// ASCII table printer used by every benchmark binary to emit the paper's
+// tables/figures as aligned rows. Columns are right-aligned for numbers and
+// left-aligned for text (decided per cell by content).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lmo::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int digits = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Render with column separators and a header rule.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lmo::util

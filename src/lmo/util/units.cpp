@@ -1,0 +1,43 @@
+#include "lmo/util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lmo::util {
+namespace {
+
+std::string printf_str(const char* fmt, double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v, suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  const double abs = std::fabs(bytes);
+  if (abs >= kTB) return printf_str("%.2f %s", bytes / kTB, "TB");
+  if (abs >= kGB) return printf_str("%.2f %s", bytes / kGB, "GB");
+  if (abs >= kMB) return printf_str("%.2f %s", bytes / kMB, "MB");
+  if (abs >= kKB) return printf_str("%.2f %s", bytes / kKB, "KB");
+  return printf_str("%.0f %s", bytes, "B");
+}
+
+std::string format_seconds(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) return printf_str("%.3f %s", seconds, "s");
+  if (abs >= kMilli) return printf_str("%.3f %s", seconds / kMilli, "ms");
+  return printf_str("%.1f %s", seconds / kMicro, "us");
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  return format_bytes(bytes_per_second) + "/s";
+}
+
+}  // namespace lmo::util

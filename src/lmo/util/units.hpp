@@ -1,0 +1,37 @@
+// Byte/time unit helpers and human-readable formatting. All simulator and
+// performance-model code works in SI base units: bytes, seconds, FLOPs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lmo::util {
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+
+inline constexpr double kGFLOP = 1e9;
+inline constexpr double kTFLOP = 1e12;
+
+/// "12.34 GB", "567.8 MB", ... (SI, matches the paper's units).
+std::string format_bytes(double bytes);
+
+/// "1.23 s", "45.6 ms", "789 us".
+std::string format_seconds(double seconds);
+
+/// "123.4 GB/s".
+std::string format_bandwidth(double bytes_per_second);
+
+/// Fixed-precision double → string (printf "%.*f").
+std::string format_fixed(double value, int digits);
+
+}  // namespace lmo::util

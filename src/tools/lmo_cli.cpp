@@ -1,0 +1,416 @@
+// lmo — command-line front end for the LM-Offload library.
+//
+//   lmo plan     --model opt-30b --len 32 [--bls 640] [--platform FILE]
+//   lmo compare  --model opt-30b --len 32        (FlexGen/ZeRO/LM-Offload)
+//   lmo sweep    --model opt-30b                 (all Table-3 lengths)
+//   lmo trace    --model opt-30b --len 8 --out trace.json
+//   lmo models                                    (list presets)
+//
+// --platform takes either a preset name (a100-single, v100-quad) or a path
+// to a key=value platform config (see lmo/hw/platform_config.hpp).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lmo/core/decisions.hpp"
+#include "lmo/core/lm_offload.hpp"
+#include "lmo/core/plan_io.hpp"
+#include "lmo/hw/platform_config.hpp"
+#include "lmo/sched/flexgen.hpp"
+#include "lmo/sched/zero_inference.hpp"
+#include "lmo/perfmodel/calibration.hpp"
+#include "lmo/serve/server_sim.hpp"
+#include "lmo/serve/workload_gen.hpp"
+#include "lmo/sim/trace_export.hpp"
+#include "lmo/util/check.hpp"
+#include "lmo/util/csv.hpp"
+#include "lmo/util/table.hpp"
+#include "lmo/util/units.hpp"
+
+namespace {
+
+using namespace lmo;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoll(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    LMO_CHECK_MSG(key.rfind("--", 0) == 0, "expected --option, got: " + key);
+    args.options[key.substr(2)] = argv[i + 1];
+  }
+  return args;
+}
+
+hw::Platform load_platform(const Args& args) {
+  const std::string spec = args.get("platform", "a100-single");
+  try {
+    return hw::platform_by_name(spec);  // preset name?
+  } catch (const util::CheckError&) {
+    return hw::platform_from_file(spec);  // otherwise a config file
+  }
+}
+
+model::Workload load_workload(const Args& args) {
+  model::Workload w;
+  w.prompt_len = args.get_int("prompt", 64);
+  w.gen_len = args.get_int("len", 32);
+  w.gpu_batch = args.get_int("batch", 64);
+  w.num_batches = args.get_int("batches", 10);
+  const std::int64_t bls = args.get_int("bls", 0);
+  if (bls > 0) {
+    w.gpu_batch = std::min<std::int64_t>(bls, 64);
+    w.num_batches = std::max<std::int64_t>(bls / w.gpu_batch, 1);
+  }
+  w.validate();
+  return w;
+}
+
+int cmd_models() {
+  util::Table table({"model", "layers", "hidden", "mlp", "heads", "params",
+                     "fp16 weights"});
+  for (const auto& name : model::ModelSpec::known_names()) {
+    const auto spec = model::ModelSpec::by_name(name);
+    table.add_row({spec.name, std::to_string(spec.num_layers),
+                   std::to_string(spec.hidden),
+                   std::to_string(spec.mlp_hidden),
+                   std::to_string(spec.num_heads),
+                   util::Table::num(
+                       static_cast<double>(spec.total_weights()) / 1e9, 1) +
+                       "B",
+                   util::format_bytes(model::total_weight_bytes(spec, 16))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const auto spec = model::ModelSpec::by_name(args.get("model", "opt-30b"));
+  model::Workload workload = load_workload(args);
+  const auto platform = load_platform(args);
+
+  // --auto-block 1: let the search pick the zig-zag block too.
+  if (args.get_int("auto-block", 0) != 0) {
+    const auto block = sched::search_block_size(
+        spec, workload, platform, sched::SearchSpace::lm_offload());
+    workload = block.workload;
+    std::printf("auto block: %lld (= %lld x %lld), %zu/%zu candidate "
+                "blocks feasible\n",
+                static_cast<long long>(workload.block_size()),
+                static_cast<long long>(workload.gpu_batch),
+                static_cast<long long>(workload.num_batches),
+                block.blocks_feasible, block.blocks_tried);
+  }
+
+  const auto plan = core::LMOffload::plan(spec, workload, platform);
+  std::printf("model:     %s on %s\n", spec.name.c_str(),
+              platform.name.c_str());
+  std::printf("workload:  s=%lld n=%lld block=%lld (%lld x %lld)\n",
+              static_cast<long long>(workload.prompt_len),
+              static_cast<long long>(workload.gen_len),
+              static_cast<long long>(workload.block_size()),
+              static_cast<long long>(workload.gpu_batch),
+              static_cast<long long>(workload.num_batches));
+  std::printf("policy:    %s\n", plan.policy().to_string().c_str());
+  std::printf("threads:   inter-op %d x intra-op %d + 5 I/O tasks\n",
+              plan.parallelism.inter_op_compute,
+              plan.parallelism.intra_op_compute);
+  std::printf("estimate:  %.1f tokens/s | GPU %s | CPU %s | init %s\n",
+              plan.search.estimate.throughput,
+              util::format_bytes(plan.search.estimate.gpu_bytes_needed)
+                  .c_str(),
+              util::format_bytes(plan.search.estimate.cpu_bytes_needed)
+                  .c_str(),
+              util::format_seconds(plan.search.estimate.t_init).c_str());
+
+  const std::string save_path = args.get("save", "");
+  if (!save_path.empty()) {
+    core::SavedPlan saved{spec.name, workload, plan.policy()};
+    core::save_plan(saved, save_path);
+    std::printf("plan saved to %s (replay: lmo compare --plan %s)\n",
+                save_path.c_str(), save_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  // A saved plan fixes model, workload and the LM-Offload policy.
+  const std::string plan_path = args.get("plan", "");
+  model::ModelSpec spec =
+      model::ModelSpec::by_name(args.get("model", "opt-30b"));
+  model::Workload workload = load_workload(args);
+  const auto platform = load_platform(args);
+
+  sched::SimulationReport lmo;
+  if (!plan_path.empty()) {
+    const auto saved = core::load_plan(plan_path);
+    spec = model::ModelSpec::by_name(saved.model);
+    workload = saved.workload;
+    lmo = core::LMOffload::run_with_policy(spec, workload, saved.policy,
+                                           platform);
+  } else {
+    lmo = core::LMOffload::run(spec, workload, platform);
+  }
+  const auto fg = sched::FlexGen::run(spec, workload, platform);
+  const auto zr = sched::ZeroInference::run(spec, workload, platform);
+
+  util::Table table({"framework", "policy", "bsz", "mem", "tput (tok/s)",
+                     "norm"});
+  const std::vector<const sched::SimulationReport*> reports = {&fg, &zr,
+                                                               &lmo};
+  for (const sched::SimulationReport* r : reports) {
+    table.add_row({r->framework, r->policy.to_string(),
+                   std::to_string(r->workload.block_size()),
+                   util::format_bytes(r->memory_bytes),
+                   util::Table::num(r->throughput, 1),
+                   util::Table::num(r->throughput / lmo.throughput, 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto spec = model::ModelSpec::by_name(args.get("model", "opt-30b"));
+  const auto platform = load_platform(args);
+  util::Table table({"len", "FlexGen", "ZeRO-Inference", "LM-Offload",
+                     "vs FG", "vs ZeRO"});
+  for (std::int64_t len : {8, 16, 32, 64, 128}) {
+    model::Workload w{.prompt_len = 64, .gen_len = len, .gpu_batch = 64,
+                      .num_batches = 10};
+    const auto fg = sched::FlexGen::run(spec, w, platform);
+    const auto zr = sched::ZeroInference::run(spec, w, platform);
+    const auto lmo = core::LMOffload::run(spec, w, platform);
+    table.add_row({std::to_string(len), util::Table::num(fg.throughput, 1),
+                   util::Table::num(zr.throughput, 1),
+                   util::Table::num(lmo.throughput, 1),
+                   util::Table::num(lmo.throughput / fg.throughput, 2) + "x",
+                   util::Table::num(lmo.throughput / zr.throughput, 2) +
+                       "x"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_decide(const Args& args) {
+  // The three model-guided decisions of paper §3.2, standalone.
+  const auto spec = model::ModelSpec::by_name(args.get("model", "opt-30b"));
+  const auto workload = load_workload(args);
+  const auto platform = load_platform(args);
+
+  perfmodel::Policy base;
+  base.weights_on_gpu = args.get_int("wg", 50) / 100.0;
+  base.attention_on_cpu = args.get("attn", "cpu") == "cpu";
+  base.activations_on_gpu = base.attention_on_cpu ? 0.0 : 1.0;
+
+  const int bits = static_cast<int>(args.get_int("bits", 4));
+  const auto wq = core::decide_weight_quantization(spec, workload, base,
+                                                   bits, platform);
+  const auto kq = core::decide_kv_quantization(spec, workload, base, bits,
+                                               platform);
+  const auto place = core::decide_attention_placement(spec, workload, base,
+                                                      platform);
+
+  std::printf("base policy: %s\n\n", base.to_string().c_str());
+  std::printf("weight %d-bit quantization: %-14s load_weight %s -> %s "
+              "(%.2fx)\n",
+              bits, wq.beneficial ? "BENEFICIAL" : "not beneficial",
+              util::format_seconds(wq.seconds_without).c_str(),
+              util::format_seconds(wq.seconds_with).c_str(), wq.gain());
+  std::printf("KV %d-bit quantization:     %-14s cache path  %s -> %s "
+              "(%.2fx)\n",
+              bits, kq.beneficial ? "BENEFICIAL" : "not beneficial",
+              util::format_seconds(kq.seconds_without).c_str(),
+              util::format_seconds(kq.seconds_with).c_str(), kq.gain());
+  std::printf("attention placement:       %-14s per layer-step: cpu %s vs "
+              "gpu %s\n",
+              place.offload_to_cpu ? "OFFLOAD TO CPU" : "KEEP ON GPU",
+              util::format_seconds(place.cpu_seconds).c_str(),
+              util::format_seconds(place.gpu_seconds).c_str());
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  // Online-serving simulation: requests from --trace CSV (arrival_seconds,
+  // prompt_len, gen_len) or a Poisson profile (--rate, --requests).
+  const auto spec = model::ModelSpec::by_name(args.get("model", "opt-13b"));
+  const auto platform = load_platform(args);
+
+  std::vector<serve::Request> requests;
+  const std::string trace = args.get("trace", "");
+  if (!trace.empty()) {
+    requests = serve::requests_from_csv(trace);
+  } else {
+    serve::RequestProfile profile;
+    profile.arrival_rate = std::stod(args.get("rate", "2.0"));
+    requests = serve::generate_requests(
+        profile, args.get_int("requests", 100), 2024);
+  }
+
+  perfmodel::Policy policy;
+  const std::string plan_path = args.get("plan", "");
+  if (!plan_path.empty()) {
+    policy = core::load_plan(plan_path).policy;
+  } else {
+    policy.weights_on_gpu = 0.5;
+    policy.attention_on_cpu = false;
+    policy.activations_on_gpu = 1.0;
+    policy.weight_bits = 4;
+    policy.kv_bits = 4;
+    policy.parallelism_control = true;
+  }
+
+  serve::ServeConfig config;
+  config.max_batch = args.get_int("max-batch", 16);
+  config.prefill_chunk = args.get_int("chunk", 0);
+  config.batching = args.get("batching", "continuous") == "static"
+                        ? serve::Batching::kStatic
+                        : serve::Batching::kContinuous;
+
+  const auto m =
+      serve::simulate_serving(spec, policy, platform, requests, config);
+  std::printf("served %zu requests on %s (%s batching%s)\n", m.completed,
+              spec.name.c_str(),
+              config.batching == serve::Batching::kStatic ? "static"
+                                                          : "continuous",
+              config.prefill_chunk > 0 ? ", chunked prefill" : "");
+  std::printf("duration %.1f s | %.0f tok/s | %.2f req/s | occupancy "
+              "%.1f/%lld\n",
+              m.duration, m.token_throughput, m.request_throughput,
+              m.mean_batch_occupancy,
+              static_cast<long long>(config.max_batch));
+  std::printf("TTFT p50/p95: %.2f / %.2f s | latency p50/p95: %.2f / "
+              "%.2f s\n",
+              m.ttft_p50, m.ttft_p95, m.latency_p50, m.latency_p95);
+  return 0;
+}
+
+int cmd_graph(const Args& args) {
+  // Emit the attention compute-task op graph (paper Fig. 6) as DOT.
+  const auto spec = model::ModelSpec::by_name(args.get("model", "opt-30b"));
+  const auto workload = load_workload(args);
+  perfmodel::Policy policy;  // graph structure is policy-light
+  policy.kv_bits = static_cast<int>(args.get_int("kv-bits", 16));
+  auto graph = core::LMOffload::compute_graph(spec, workload, policy);
+  const std::string out = args.get("out", "fig6.dot");
+  std::ofstream file(out);
+  LMO_CHECK_MSG(file.good(), "cannot open output: " + out);
+  file << model::to_dot(graph, spec.name + " attention compute task");
+  std::printf("wrote %zu ops (max concurrency %zu) to %s — render with "
+              "`dot -Tsvg %s`\n",
+              graph.size(), graph.max_concurrency(), out.c_str(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_calibrate(const Args& args) {
+  // Observations CSV columns: model, prompt, gen_len, gpu_batch,
+  // num_batches, wg, attn (cpu|gpu), weight_bits, kv_bits, control (0|1),
+  // tput.
+  const std::string path = args.get("obs", "");
+  LMO_CHECK_MSG(!path.empty(), "calibrate needs --obs observations.csv");
+  const auto csv = util::CsvReader::load(path);
+
+  std::vector<perfmodel::Observation> observations;
+  for (std::size_t i = 0; i < csv.rows(); ++i) {
+    perfmodel::Observation obs;
+    obs.spec = model::ModelSpec::by_name(csv.at(i, "model"));
+    obs.workload.prompt_len = std::stoll(csv.at(i, "prompt"));
+    obs.workload.gen_len = std::stoll(csv.at(i, "gen_len"));
+    obs.workload.gpu_batch = std::stoll(csv.at(i, "gpu_batch"));
+    obs.workload.num_batches = std::stoll(csv.at(i, "num_batches"));
+    obs.policy.weights_on_gpu = std::stod(csv.at(i, "wg"));
+    obs.policy.attention_on_cpu = csv.at(i, "attn") == "cpu";
+    obs.policy.activations_on_gpu =
+        obs.policy.attention_on_cpu ? 0.0 : 1.0;
+    obs.policy.weight_bits =
+        static_cast<int>(std::stoll(csv.at(i, "weight_bits")));
+    obs.policy.kv_bits = static_cast<int>(std::stoll(csv.at(i, "kv_bits")));
+    obs.policy.parallelism_control = csv.at(i, "control") == "1";
+    obs.measured_throughput = std::stod(csv.at(i, "tput"));
+    observations.push_back(std::move(obs));
+  }
+  std::printf("fitting %zu observations from %s\n", observations.size(),
+              path.c_str());
+
+  const auto fit =
+      perfmodel::calibrate(load_platform(args), observations);
+  std::printf("loss: %.4f -> %.4f in %d rounds\n", fit.initial_loss,
+              fit.final_loss, fit.rounds);
+  std::printf("\n# fitted constants (paste into a platform config)\n");
+  std::printf("eff.pcie = %.4f\n", fit.platform.eff.pcie);
+  std::printf("eff.gpu_matmul = %.4f\n", fit.platform.eff.gpu_matmul);
+  std::printf("eff.cpu_attention_default = %.4f\n",
+              fit.platform.eff.cpu_attention_default);
+  std::printf("eff.cpu_attention_tuned = %.4f\n",
+              fit.platform.eff.cpu_attention_tuned);
+  std::printf("# task_overhead = %.2f ms (not a config key; edit code)\n",
+              fit.platform.eff.task_overhead * 1e3);
+  std::printf("\npredicted/measured per observation:");
+  for (double ratio : fit.fit_ratios) std::printf(" %.2f", ratio);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const auto spec = model::ModelSpec::by_name(args.get("model", "opt-30b"));
+  model::Workload workload = load_workload(args);
+  workload.gen_len = std::min<std::int64_t>(workload.gen_len, 8);
+  const auto platform = load_platform(args);
+  const std::string out = args.get("out", "lmo_trace.json");
+
+  const auto report = core::LMOffload::run(spec, workload, platform);
+  sim::save_chrome_trace(report.run, out);
+  std::printf("wrote %zu tasks to %s (open in chrome://tracing)\n",
+              report.run.tasks.size(), out.c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lmo <plan|compare|sweep|decide|calibrate|graph|serve|trace|\n            models> "
+               "[--model M] [--len N] [--prompt N] [--batch N] "
+               "[--batches N] [--bls N] [--platform preset-or-file] "
+               "[--wg PCT] [--attn cpu|gpu] [--bits 4|8] [--out FILE]\n"
+               "platform presets: a100-single, v100-quad, h100-single, "
+               "rtx4090-desktop\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "models") return cmd_models();
+    if (args.command == "plan") return cmd_plan(args);
+    if (args.command == "compare") return cmd_compare(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "decide") return cmd_decide(args);
+    if (args.command == "calibrate") return cmd_calibrate(args);
+    if (args.command == "graph") return cmd_graph(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "trace") return cmd_trace(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

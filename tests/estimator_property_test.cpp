@@ -1,0 +1,149 @@
+// Parameterized property sweeps over the analytical estimator: invariants
+// that must hold for every model × workload × policy combination, not just
+// the hand-picked cases in perfmodel_test.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lmo/perfmodel/estimator.hpp"
+#include "lmo/sched/schedule_builder.hpp"
+
+namespace lmo::perfmodel {
+namespace {
+
+using model::ModelSpec;
+using model::Workload;
+
+struct SweepCase {
+  std::string model;
+  std::int64_t gen_len;
+  bool attention_on_cpu;
+  int weight_bits;
+  int kv_bits;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const auto& c = info.param;
+  std::string name = c.model + "_n" + std::to_string(c.gen_len) + "_" +
+                     (c.attention_on_cpu ? "cpu" : "gpu") + "_w" +
+                     std::to_string(c.weight_bits) + "_kv" +
+                     std::to_string(c.kv_bits);
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+class EstimatorSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  ModelSpec spec() const { return ModelSpec::by_name(GetParam().model); }
+  Workload workload() const {
+    return Workload{64, GetParam().gen_len, 64, 10};
+  }
+  Policy policy(double wg = 0.3) const {
+    Policy p;
+    p.weights_on_gpu = wg;
+    p.attention_on_cpu = GetParam().attention_on_cpu;
+    p.activations_on_gpu = GetParam().attention_on_cpu ? 0.0 : 1.0;
+    p.weight_bits = GetParam().weight_bits;
+    p.kv_bits = GetParam().kv_bits;
+    return p;
+  }
+  hw::Platform platform() const { return hw::Platform::a100_single(); }
+};
+
+TEST_P(EstimatorSweep, NonNegativeAndInternallyConsistent) {
+  const auto est = estimate(spec(), workload(), policy(), platform());
+  if (!est.fits) GTEST_SKIP() << est.infeasible_reason;
+  EXPECT_GT(est.throughput, 0.0);
+  EXPECT_GE(est.t_prefill, 0.0);
+  EXPECT_GE(est.t_decode, 0.0);
+  EXPECT_NEAR(est.total_time, est.t_prefill + est.t_decode, 1e-9);
+  EXPECT_NEAR(est.throughput * est.total_time,
+              static_cast<double>(workload().total_tokens()),
+              1e-6 * static_cast<double>(workload().total_tokens()));
+  EXPECT_GE(est.total_quant_time, 0.0);
+  EXPECT_GE(est.total_dequant_time, 0.0);
+  EXPECT_GT(est.gpu_bytes_needed, 0.0);
+  EXPECT_GT(est.cpu_bytes_needed, 0.0);
+}
+
+TEST_P(EstimatorSweep, TgenIsMaxPlusOverheadLowerBound) {
+  // Eq. 2: T_gen must be at least each component.
+  const auto costs = step_costs(spec(), workload(), policy(), platform(),
+                                workload().gen_len / 2);
+  EXPECT_GE(costs.t_gen + 1e-12,
+            costs.load_weight + costs.load_cache + costs.load_activation);
+  EXPECT_GE(costs.t_gen + 1e-12,
+            costs.store_cache + costs.store_activation);
+  EXPECT_GE(costs.t_gen + 1e-12, costs.compute_gpu);
+  EXPECT_GE(costs.t_gen + 1e-12, costs.compute_cpu);
+}
+
+TEST_P(EstimatorSweep, StepCostsMonotoneInDecodeStep) {
+  // The KV cache only grows, so no per-step cost may shrink with t.
+  const auto early = step_costs(spec(), workload(), policy(), platform(), 1);
+  const auto late = step_costs(spec(), workload(), policy(), platform(),
+                               workload().gen_len - 1);
+  EXPECT_GE(late.load_cache + 1e-12, early.load_cache);
+  EXPECT_GE(late.compute_cpu + 1e-12, early.compute_cpu);
+  EXPECT_GE(late.compute_gpu + 1e-12, early.compute_gpu);
+  EXPECT_GE(late.t_gen + 1e-12, early.t_gen);
+}
+
+TEST_P(EstimatorSweep, MoreResidentWeightsNeverSlower) {
+  const auto lo = estimate(spec(), workload(), policy(0.0), platform());
+  const auto hi = estimate(spec(), workload(), policy(0.4), platform());
+  if (!lo.fits || !hi.fits) GTEST_SKIP();
+  EXPECT_GE(hi.throughput + 1e-9, lo.throughput);
+}
+
+TEST_P(EstimatorSweep, ParallelismControlNeverSlower) {
+  Policy off = policy();
+  Policy on = policy();
+  on.parallelism_control = true;
+  const auto e_off = estimate(spec(), workload(), off, platform());
+  const auto e_on = estimate(spec(), workload(), on, platform());
+  if (!e_off.fits || !e_on.fits) GTEST_SKIP();
+  EXPECT_GE(e_on.throughput + 1e-9, e_off.throughput);
+}
+
+TEST_P(EstimatorSweep, DesAgreesWithinFactorTwo) {
+  const auto est = estimate(spec(), workload(), policy(), platform());
+  if (!est.fits) GTEST_SKIP();
+  if (workload().gen_len > 32) GTEST_SKIP();  // keep DES runs small
+  const auto des =
+      sched::simulate(spec(), workload(), policy(), platform(), "sweep");
+  const double ratio = est.throughput / des.throughput;
+  EXPECT_GT(ratio, 0.5) << "estimator pessimistic vs DES";
+  EXPECT_LT(ratio, 2.0) << "estimator optimistic vs DES";
+}
+
+TEST_P(EstimatorSweep, FasterLinkNeverSlower) {
+  auto fast = platform();
+  fast.cpu_to_gpu.bandwidth *= 2.0;
+  fast.gpu_to_cpu.bandwidth *= 2.0;
+  const auto base = estimate(spec(), workload(), policy(), platform());
+  const auto boosted = estimate(spec(), workload(), policy(), fast);
+  if (!base.fits || !boosted.fits) GTEST_SKIP();
+  EXPECT_GE(boosted.throughput + 1e-9, base.throughput);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, EstimatorSweep,
+    ::testing::Values(
+        SweepCase{"opt-30b", 8, true, 16, 16},
+        SweepCase{"opt-30b", 8, false, 16, 4},
+        SweepCase{"opt-30b", 32, true, 4, 16},
+        SweepCase{"opt-30b", 32, false, 4, 4},
+        SweepCase{"opt-66b", 16, true, 4, 16},
+        SweepCase{"opt-66b", 16, false, 4, 4},
+        SweepCase{"llama-30b", 32, true, 16, 16},
+        SweepCase{"llama-30b", 8, false, 8, 8},
+        SweepCase{"llama-65b", 16, false, 4, 4},
+        SweepCase{"opt-13b", 64, true, 16, 16},
+        SweepCase{"opt-13b", 64, false, 16, 16}),
+    case_name);
+
+}  // namespace
+}  // namespace lmo::perfmodel

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "lmo/hw/platform.hpp"
+#include "lmo/util/check.hpp"
+#include "lmo/util/units.hpp"
+
+namespace lmo::hw {
+namespace {
+
+using util::CheckError;
+using util::kGB;
+
+TEST(Link, TransferSecondsIncludesLatency) {
+  Link link{.bandwidth = 10 * kGB, .latency = 1e-3};
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(0.0), 0.0);  // nothing to move
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(10 * kGB), 1.001);
+}
+
+TEST(Link, ZeroBandwidthWithBytesThrows) {
+  Link link{.bandwidth = 0.0, .latency = 0.0};
+  EXPECT_THROW(link.transfer_seconds(1.0), CheckError);
+}
+
+TEST(Device, ValidationCatchesNonsense) {
+  Device d{.kind = DeviceKind::kCPU,
+           .name = "x",
+           .peak_flops = 1.0,
+           .mem_bandwidth = 1.0,
+           .freq_hz = 1.0,
+           .mem_capacity = 1.0,
+           .cores = 4,
+           .hw_threads = 2};  // threads < cores
+  EXPECT_THROW(d.validate(), CheckError);
+}
+
+TEST(Platform, A100MatchesPaperTable4) {
+  const Platform p = Platform::a100_single();
+  EXPECT_EQ(p.num_gpus, 1);
+  EXPECT_EQ(p.cpu.cores, 56);       // 2× Xeon Gold 6330
+  EXPECT_EQ(p.cpu.hw_threads, 112);
+  EXPECT_DOUBLE_EQ(p.cpu.mem_capacity, 240 * kGB);
+  EXPECT_DOUBLE_EQ(p.gpu.mem_capacity, 40 * kGB);  // A100-40GB
+  // PCIe 4.0 x16: 64 GB/s bidirectional = 32 per direction.
+  EXPECT_DOUBLE_EQ(p.cpu_to_gpu.bandwidth + p.gpu_to_cpu.bandwidth,
+                   64 * kGB);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Platform, V100QuadMatchesPaperTable4) {
+  const Platform p = Platform::v100_quad();
+  EXPECT_EQ(p.num_gpus, 4);
+  EXPECT_EQ(p.cpu.cores, 44);  // 2× POWER9
+  EXPECT_DOUBLE_EQ(p.cpu.mem_capacity, 280 * kGB);
+  EXPECT_DOUBLE_EQ(p.gpu.mem_capacity, 16 * kGB);  // V100-16GB
+  // NVLink 2.0: 300 GB/s bidirectional.
+  EXPECT_DOUBLE_EQ(p.cpu_to_gpu.bandwidth + p.gpu_to_cpu.bandwidth,
+                   300 * kGB);
+  EXPECT_GT(p.gpu_to_gpu.bandwidth, 0.0);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Platform, AchievedRatesBelowPeak) {
+  const Platform p = Platform::a100_single();
+  EXPECT_LT(p.gpu_matmul_flops(), p.gpu.peak_flops);
+  EXPECT_LT(p.h2d_bw(), p.cpu_to_gpu.bandwidth);
+  EXPECT_LT(p.gpu_mem_bw(), p.gpu.mem_bandwidth);
+  EXPECT_GT(p.gpu_matmul_flops(), 0.0);
+}
+
+TEST(Platform, ParallelismControlRaisesCpuAttentionBandwidth) {
+  const Platform p = Platform::a100_single();
+  // Paper Fig. 8: tuned threading cuts the compute task by ~32%.
+  EXPECT_GT(p.cpu_attention_bw(true), p.cpu_attention_bw(false) * 1.3);
+  EXPECT_LT(p.cpu_attention_bw(true), p.cpu_attention_bw(false) * 2.5);
+}
+
+TEST(Platform, FlexGenAssumedBandwidthIsOptimistic) {
+  // The gap between assumed and achieved CPU-attention bandwidth is the
+  // mechanism behind FlexGen's mis-planning (paper §2.2 criticism).
+  const Platform p = Platform::a100_single();
+  EXPECT_GT(p.cpu.mem_bandwidth * p.eff.cpu_attention_assumed,
+            p.cpu_attention_bw(true));
+}
+
+TEST(Platform, H100AndDesktopPresets) {
+  const Platform h100 = Platform::h100_single();
+  EXPECT_DOUBLE_EQ(h100.gpu.mem_capacity, 80 * kGB);
+  // PCIe 5.0 x16 = 128 GB/s bidirectional (the paper's intro interconnect).
+  EXPECT_DOUBLE_EQ(h100.cpu_to_gpu.bandwidth + h100.gpu_to_cpu.bandwidth,
+                   128 * kGB);
+  EXPECT_GT(h100.gpu.peak_flops, Platform::a100_single().gpu.peak_flops);
+  EXPECT_NO_THROW(h100.validate());
+
+  const Platform desktop = Platform::rtx4090_desktop();
+  EXPECT_DOUBLE_EQ(desktop.gpu.mem_capacity, 24 * kGB);
+  EXPECT_EQ(desktop.cpu.cores, 16);
+  EXPECT_LT(desktop.cpu.mem_bandwidth, h100.cpu.mem_bandwidth);
+  EXPECT_NO_THROW(desktop.validate());
+}
+
+TEST(DeviceKind, Names) {
+  EXPECT_STREQ(to_string(DeviceKind::kGPU), "gpu");
+  EXPECT_STREQ(to_string(DeviceKind::kCPU), "cpu");
+  EXPECT_STREQ(to_string(DeviceKind::kDisk), "disk");
+}
+
+}  // namespace
+}  // namespace lmo::hw

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "lmo/model/llm_config.hpp"
+#include "lmo/model/memory.hpp"
+#include "lmo/model/opgraph.hpp"
+#include "lmo/util/check.hpp"
+#include "lmo/util/units.hpp"
+
+namespace lmo::model {
+namespace {
+
+using util::CheckError;
+using util::kGB;
+
+// The paper's §3.1 motivation workload: OPT-30B, s=64, n=128, batch 64,
+// zig-zag block 640.
+Workload paper_workload() {
+  return Workload{.prompt_len = 64,
+                  .gen_len = 128,
+                  .gpu_batch = 64,
+                  .num_batches = 10};
+}
+
+TEST(ModelSpec, ParameterCountsMatchPublishedSizes) {
+  // Architecture-accurate presets should land near the advertised sizes.
+  EXPECT_NEAR(static_cast<double>(ModelSpec::opt_13b().total_weights()),
+              13e9, 1.5e9);
+  EXPECT_NEAR(static_cast<double>(ModelSpec::opt_30b().total_weights()),
+              30e9, 1.5e9);
+  EXPECT_NEAR(static_cast<double>(ModelSpec::opt_66b().total_weights()),
+              66e9, 3e9);
+  EXPECT_NEAR(static_cast<double>(ModelSpec::llama_13b().total_weights()),
+              13e9, 1e9);
+  EXPECT_NEAR(static_cast<double>(ModelSpec::llama_30b().total_weights()),
+              32.5e9, 1.5e9);
+  EXPECT_NEAR(static_cast<double>(ModelSpec::llama_65b().total_weights()),
+              65e9, 2e9);
+}
+
+TEST(ModelSpec, WeightsPerLayerFormula) {
+  const auto spec = ModelSpec::opt_30b();
+  // Paper: num_weights = 4·h1² + 2·h1·h2 for OPT.
+  EXPECT_EQ(spec.weights_per_layer(),
+            4 * spec.hidden * spec.hidden +
+                2 * spec.hidden * spec.mlp_hidden);
+  // LLaMA uses three MLP matrices.
+  const auto llama = ModelSpec::llama_30b();
+  EXPECT_EQ(llama.mlp_weights_per_layer(),
+            3 * llama.hidden * llama.mlp_hidden);
+}
+
+TEST(ModelSpec, LookupByName) {
+  EXPECT_EQ(ModelSpec::by_name("opt-30b").num_layers, 48);
+  EXPECT_EQ(ModelSpec::by_name("llama-65b").num_layers, 80);
+  EXPECT_THROW(ModelSpec::by_name("gpt-99t"), CheckError);
+  EXPECT_EQ(ModelSpec::known_names().size(), 7u);
+}
+
+TEST(ModelSpec, ValidationCatchesBadHeads) {
+  auto spec = ModelSpec::tiny();
+  spec.num_heads = 7;  // does not divide hidden=64
+  EXPECT_THROW(spec.validate(), CheckError);
+}
+
+TEST(Memory, Paper31FootprintNumbers) {
+  // §3.1: "the total memory consumption is 214GB, among which the
+  // parameters take 55GB and the KV cache takes up to 157GB."
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const double weights = total_weight_bytes(spec, 16);
+  const double kv = peak_kv_cache_total_bytes(spec, w, 16);
+  EXPECT_NEAR(weights / kGB, 55.0, 8.0);   // we include embeddings
+  EXPECT_NEAR(kv / kGB, 157.0, 15.0);
+  const auto fp = inference_footprint(spec, w, 16, 16);
+  EXPECT_NEAR(fp.total() / kGB, 214.0, 20.0);
+}
+
+TEST(Memory, KvEquations17To19) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const double elem = 2.0;  // fp16
+  // Eq. 17: 2·(s+1)·h1·bls elements.
+  EXPECT_DOUBLE_EQ(pf_kv_cache_bytes(spec, w, 16),
+                   2.0 * 65 * 7168 * 640 * elem);
+  // Eq. 18 (per-token average): 2·(s+n/2)·h1·bls.
+  EXPECT_DOUBLE_EQ(old_kv_cache_avg_bytes(spec, w, 16),
+                   2.0 * 128 * 7168 * 640 * elem);
+  // Eq. 19: 2·h1·bls.
+  EXPECT_DOUBLE_EQ(new_kv_cache_bytes(spec, w, 16),
+                   2.0 * 7168 * 640 * elem);
+  // Step-t cache grows linearly.
+  EXPECT_LT(kv_cache_bytes_at(spec, w, 1, 16),
+            kv_cache_bytes_at(spec, w, 100, 16));
+  EXPECT_THROW(kv_cache_bytes_at(spec, w, 128, 16), CheckError);
+}
+
+TEST(Memory, QuantizationShrinksProportionally) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  EXPECT_DOUBLE_EQ(total_weight_bytes(spec, 4),
+                   total_weight_bytes(spec, 16) / 4.0);
+  EXPECT_DOUBLE_EQ(peak_kv_cache_total_bytes(spec, w, 8),
+                   peak_kv_cache_total_bytes(spec, w, 16) / 2.0);
+}
+
+TEST(Memory, ActivationsAreSmall) {
+  // Paper: "the activation size is small ... load/store activation takes
+  // less than 1% of inference time."
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  EXPECT_LT(activation_bytes(spec, w, 16),
+            0.01 * old_kv_cache_avg_bytes(spec, w, 16));
+}
+
+TEST(Memory, ComputeVolumes) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  // Projections dominate the score part at short contexts.
+  EXPECT_GT(attention_projection_flops(spec, w),
+            attention_score_flops(spec, w, 0));
+  // Score flops grow with t, projections do not.
+  EXPECT_GT(attention_score_flops(spec, w, 100),
+            attention_score_flops(spec, w, 1));
+  EXPECT_DOUBLE_EQ(attention_decode_flops(spec, w, 5),
+                   attention_projection_flops(spec, w) +
+                       attention_score_flops(spec, w, 5));
+  // Prefill is far more compute than one decode step.
+  EXPECT_GT(layer_prefill_flops(spec, w),
+            10 * attention_decode_flops(spec, w, 0));
+}
+
+TEST(Workload, BlockSizeAndValidation) {
+  const auto w = paper_workload();
+  EXPECT_EQ(w.block_size(), 640);
+  EXPECT_EQ(w.total_tokens(), 640 * 128);
+  Workload bad = w;
+  bad.gen_len = 0;
+  EXPECT_THROW(bad.validate(), CheckError);
+}
+
+// ---------------------------------------------------------------- graph --
+
+TEST(OpGraph, TopologicalOrderRespectsEdges) {
+  OpGraph g;
+  const auto a = g.add_op("a");
+  const auto b = g.add_op("b");
+  const auto c = g.add_op("c");
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], a);
+  EXPECT_EQ(order[2], c);
+  EXPECT_TRUE(g.is_acyclic());
+}
+
+TEST(OpGraph, CycleDetected) {
+  OpGraph g;
+  const auto a = g.add_op("a");
+  const auto b = g.add_op("b");
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_THROW(g.topological_order(), CheckError);
+}
+
+TEST(OpGraph, LevelSetsAndMaxConcurrency) {
+  // Diamond: one source, two parallel middles, one sink.
+  OpGraph g;
+  const auto a = g.add_op("a");
+  const auto b = g.add_op("b");
+  const auto c = g.add_op("c");
+  const auto d = g.add_op("d");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  const auto levels = g.level_sets();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[1].size(), 2u);
+  EXPECT_EQ(g.max_concurrency(), 2u);
+}
+
+TEST(AttentionGraph, MatchesFig6Structure) {
+  AttentionGraphParams params;
+  params.hidden = 128;
+  params.seq_len = 32;
+  params.batch = 4;
+  params.num_batches = 1;
+  const OpGraph g = build_attention_graph(params);
+  EXPECT_EQ(g.size(), 9u);  // ln, q, k, v, append, qk, softmax, av, out
+  EXPECT_TRUE(g.is_acyclic());
+  // Q, K, V projections are the parallel frontier.
+  EXPECT_EQ(g.max_concurrency(), 3u);
+  EXPECT_GT(g.total_flops(), 0.0);
+  EXPECT_GT(g.total_bytes(), 0.0);
+}
+
+TEST(AttentionGraph, ConcurrencyScalesWithCoResidentBatches) {
+  AttentionGraphParams params;
+  params.hidden = 128;
+  params.seq_len = 32;
+  params.batch = 4;
+  params.num_batches = 4;
+  const OpGraph g = build_attention_graph(params);
+  EXPECT_EQ(g.size(), 36u);
+  EXPECT_EQ(g.max_concurrency(), 12u);  // 3 per batch × 4 batches
+}
+
+TEST(OpGraph, DotExportContainsNodesEdgesAndBundles) {
+  AttentionGraphParams params{.hidden = 64, .seq_len = 16, .batch = 2,
+                              .num_batches = 1, .kv_bits = 16};
+  auto g = build_attention_graph(params);
+  // Assign bundles so the cluster path is exercised.
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g.node(static_cast<OpId>(i)).bundle = static_cast<int>(i / 3);
+  }
+  const std::string dot = to_dot(g, "fig6");
+  EXPECT_NE(dot.find("digraph \"fig6\""), std::string::npos);
+  EXPECT_NE(dot.find("QProj"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_b0"), std::string::npos);
+  // Every edge of the graph is present.
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, 11u);  // the Fig. 6 edge count for one batch
+}
+
+TEST(AttentionGraph, KvBitsAffectTrafficNotStructure) {
+  AttentionGraphParams p16{.hidden = 128, .seq_len = 32, .batch = 4,
+                           .num_batches = 1, .kv_bits = 16};
+  AttentionGraphParams p4 = p16;
+  p4.kv_bits = 4;
+  EXPECT_GT(build_attention_graph(p16).total_bytes(),
+            build_attention_graph(p4).total_bytes());
+  EXPECT_EQ(build_attention_graph(p16).size(),
+            build_attention_graph(p4).size());
+}
+
+}  // namespace
+}  // namespace lmo::model

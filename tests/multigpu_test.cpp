@@ -1,0 +1,217 @@
+// Tests for the pipeline-parallel multi-GPU simulation (paper §5.5).
+#include <gtest/gtest.h>
+
+#include "lmo/multigpu/pipeline.hpp"
+#include "lmo/multigpu/tensor_parallel.hpp"
+#include "lmo/sched/zero_inference.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::multigpu {
+namespace {
+
+using model::ModelSpec;
+using model::Workload;
+using perfmodel::Policy;
+using util::CheckError;
+
+// Paper Fig. 9 setup: 13B models, s=256, n=64 on the POWER9 + V100 node.
+Workload fig9_workload() {
+  return Workload{.prompt_len = 256,
+                  .gen_len = 64,
+                  .gpu_batch = 32,
+                  .num_batches = 1};
+}
+
+Policy flexgen_policy() {
+  Policy p;
+  p.weights_on_gpu = 0.3;
+  p.attention_on_cpu = true;  // FlexGen default: CPU attention
+  return p;
+}
+
+Policy lm_offload_policy() {
+  Policy p;
+  p.weights_on_gpu = 0.3;
+  p.attention_on_cpu = false;  // GPU attention with quantized streaming
+  p.kv_bits = 4;
+  p.weight_bits = 4;
+  p.activations_on_gpu = 1.0;
+  p.parallelism_control = true;
+  return p;
+}
+
+TEST(Pipeline, SingleGpuMatchesBasicInvariants) {
+  const auto report = run_pipeline(ModelSpec::opt_13b(), fig9_workload(),
+                                   flexgen_policy(),
+                                   hw::Platform::v100_quad(),
+                                   PipelineOptions{.num_gpus = 1,
+                                                   .micro_batches = 4});
+  EXPECT_EQ(report.num_gpus, 1);
+  EXPECT_GT(report.throughput, 0.0);
+  EXPECT_GT(report.decode_seconds, 0.0);
+  EXPECT_GT(report.cpu_utilization, 0.0);  // CPU attention busy
+}
+
+TEST(Pipeline, RejectsBadConfigs) {
+  const auto platform = hw::Platform::v100_quad();
+  EXPECT_THROW(run_pipeline(ModelSpec::opt_13b(), fig9_workload(),
+                            flexgen_policy(), platform,
+                            PipelineOptions{.num_gpus = 8,
+                                            .micro_batches = 4}),
+               CheckError);  // platform has 4 GPUs
+  EXPECT_THROW(run_pipeline(ModelSpec::opt_13b(), fig9_workload(),
+                            flexgen_policy(), platform,
+                            PipelineOptions{.num_gpus = 2,
+                                            .micro_batches = 5}),
+               CheckError);  // 32 % 5 != 0
+}
+
+TEST(Pipeline, WeakScalingDoublesBatch) {
+  const auto reports = weak_scaling(ModelSpec::opt_13b(), fig9_workload(),
+                                    lm_offload_policy(),
+                                    hw::Platform::v100_quad(), 4);
+  ASSERT_EQ(reports.size(), 4u);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(reports[static_cast<std::size_t>(k)].num_gpus, k + 1);
+    EXPECT_EQ(reports[static_cast<std::size_t>(k)].workload.gpu_batch,
+              32 * (k + 1));
+  }
+}
+
+TEST(Pipeline, LmOffloadScalesBetterThanFlexGen) {
+  // Paper Fig. 9: the gap between LM-Offload and FlexGen grows with the
+  // GPU count, because FlexGen's CPU attention serializes all stages on
+  // the single CPU complex.
+  const auto platform = hw::Platform::v100_quad();
+  const auto spec = ModelSpec::opt_13b();
+  const auto fg = weak_scaling(spec, fig9_workload(), flexgen_policy(),
+                               platform, 4);
+  const auto lmo = weak_scaling(spec, fig9_workload(), lm_offload_policy(),
+                                platform, 4);
+  // LM-Offload wins at every GPU count.
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_GT(lmo[k].throughput, fg[k].throughput) << (k + 1) << " GPUs";
+  }
+  // And the ratio widens from 1 to 4 GPUs.
+  const double gap1 = lmo[0].throughput / fg[0].throughput;
+  const double gap4 = lmo[3].throughput / fg[3].throughput;
+  EXPECT_GT(gap4, gap1 * 1.3);
+}
+
+TEST(Pipeline, LmOffloadWeakScalingIsNearLinear) {
+  const auto lmo = weak_scaling(ModelSpec::opt_13b(), fig9_workload(),
+                                lm_offload_policy(),
+                                hw::Platform::v100_quad(), 4);
+  // Weak scaling: throughput should grow substantially with GPUs.
+  EXPECT_GT(lmo[3].throughput, lmo[0].throughput * 2.0);
+}
+
+TEST(Pipeline, FlexGenCpuAttentionSaturatesSharedCpu) {
+  const auto fg = weak_scaling(ModelSpec::opt_13b(), fig9_workload(),
+                               flexgen_policy(),
+                               hw::Platform::v100_quad(), 4);
+  // The shared CPU becomes the bottleneck: utilization approaches 1 while
+  // throughput gains flatten well below linear.
+  EXPECT_GT(fg[3].cpu_utilization, 0.8);
+  EXPECT_LT(fg[3].throughput, fg[0].throughput * 2.4);
+}
+
+TEST(Pipeline, MoreMicroBatchesReduceBubblesWhenComputeBound) {
+  // Micro-batching trades pipeline bubbles against per-micro fixed costs
+  // (each micro re-reads the stage's weights from HBM). With a large batch
+  // the per-micro work scales with batch and the bubble reduction wins.
+  Policy resident;
+  resident.weights_on_gpu = 0.3;
+  resident.attention_on_cpu = false;
+  resident.cache_on_gpu = 1.0;
+  resident.activations_on_gpu = 1.0;
+  Workload big = fig9_workload();
+  big.gpu_batch = 2048;
+  const auto platform = hw::Platform::v100_quad();
+  const auto spec = ModelSpec::opt_13b();
+  const auto coarse = run_pipeline(spec, big, resident, platform,
+                                   PipelineOptions{.num_gpus = 4,
+                                                   .micro_batches = 1});
+  const auto fine = run_pipeline(spec, big, resident, platform,
+                                 PipelineOptions{.num_gpus = 4,
+                                                 .micro_batches = 8});
+  EXPECT_GE(fine.throughput, coarse.throughput);
+  // ... and the opposite at a small, weight-read-bound batch.
+  const auto small_coarse =
+      run_pipeline(spec, fig9_workload(), resident, platform,
+                   PipelineOptions{.num_gpus = 4, .micro_batches = 1});
+  const auto small_fine =
+      run_pipeline(spec, fig9_workload(), resident, platform,
+                   PipelineOptions{.num_gpus = 4, .micro_batches = 8});
+  EXPECT_GE(small_coarse.throughput, small_fine.throughput);
+}
+
+// ------------------------------------------------------ tensor parallelism --
+
+TEST(TensorParallel, AllReduceBytesFormula) {
+  // Ring all-reduce moves 2(k−1)/k of the payload per rank, fp16.
+  EXPECT_DOUBLE_EQ(allreduce_bytes_per_rank(1000.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(allreduce_bytes_per_rank(1000.0, 2), 2000.0);
+  EXPECT_DOUBLE_EQ(allreduce_bytes_per_rank(1000.0, 4), 3000.0);
+}
+
+TEST(TensorParallel, SingleGpuSane) {
+  const auto report = run_tensor_parallel(
+      ModelSpec::opt_13b(), fig9_workload(), lm_offload_policy(),
+      hw::Platform::v100_quad(), TensorParallelOptions{.num_gpus = 1});
+  EXPECT_GT(report.throughput, 0.0);
+  EXPECT_EQ(report.allreduce_seconds, 0.0);  // no fabric traffic alone
+}
+
+TEST(TensorParallel, ScalesWithGpusForGpuPolicies) {
+  const auto platform = hw::Platform::v100_quad();
+  const auto one = run_tensor_parallel(ModelSpec::opt_13b(), fig9_workload(),
+                                       lm_offload_policy(), platform,
+                                       TensorParallelOptions{.num_gpus = 1});
+  const auto four =
+      run_tensor_parallel(ModelSpec::opt_13b(), fig9_workload(),
+                          lm_offload_policy(), platform,
+                          TensorParallelOptions{.num_gpus = 4});
+  EXPECT_GT(four.throughput, one.throughput * 1.3);
+  EXPECT_GT(four.allreduce_seconds, 0.0);
+}
+
+TEST(TensorParallel, AllReducePutsFabricOnCriticalPath) {
+  // Crippling the inter-GPU fabric (PCIe-host-bounce grade: 100× less
+  // bandwidth, 100× the latency) must visibly hurt TP throughput.
+  auto slow = hw::Platform::v100_quad();
+  slow.gpu_to_gpu.bandwidth /= 100.0;
+  slow.gpu_to_gpu.latency *= 100.0;
+  const auto fast = run_tensor_parallel(
+      ModelSpec::opt_13b(), fig9_workload(), lm_offload_policy(),
+      hw::Platform::v100_quad(), TensorParallelOptions{.num_gpus = 4});
+  const auto throttled = run_tensor_parallel(
+      ModelSpec::opt_13b(), fig9_workload(), lm_offload_policy(), slow,
+      TensorParallelOptions{.num_gpus = 4});
+  EXPECT_GT(fast.throughput, throttled.throughput * 1.2);
+  EXPECT_GT(throttled.allreduce_seconds, fast.allreduce_seconds * 10.0);
+}
+
+TEST(TensorParallel, CpuAttentionStillSharesTheCpu) {
+  const auto platform = hw::Platform::v100_quad();
+  const auto one = run_tensor_parallel(ModelSpec::opt_13b(), fig9_workload(),
+                                       flexgen_policy(), platform,
+                                       TensorParallelOptions{.num_gpus = 1});
+  const auto four =
+      run_tensor_parallel(ModelSpec::opt_13b(), fig9_workload(),
+                          flexgen_policy(), platform,
+                          TensorParallelOptions{.num_gpus = 4});
+  // The CPU attention shards all land on the single CPU → no speedup.
+  EXPECT_LT(four.throughput, one.throughput * 1.4);
+}
+
+TEST(TensorParallel, RejectsTooManyGpus) {
+  EXPECT_THROW(run_tensor_parallel(ModelSpec::opt_13b(), fig9_workload(),
+                                   lm_offload_policy(),
+                                   hw::Platform::v100_quad(),
+                                   TensorParallelOptions{.num_gpus = 8}),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace lmo::multigpu

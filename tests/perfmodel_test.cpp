@@ -1,0 +1,304 @@
+// Tests for the analytical performance models (paper §3.2, Eqs. 1-24),
+// including the paper's two headline observations as assertions.
+#include <gtest/gtest.h>
+
+#include "lmo/perfmodel/estimator.hpp"
+#include "lmo/perfmodel/policy.hpp"
+#include "lmo/perfmodel/quant_model.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::perfmodel {
+namespace {
+
+using model::ModelSpec;
+using model::Workload;
+using util::CheckError;
+
+Workload paper_workload() {
+  return Workload{.prompt_len = 64,
+                  .gen_len = 128,
+                  .gpu_batch = 64,
+                  .num_batches = 10};
+}
+
+Policy flexgen_like() {
+  Policy p;
+  p.weights_on_gpu = 0.55;
+  p.attention_on_cpu = true;
+  return p;
+}
+
+// ----------------------------------------------------------------- policy --
+
+TEST(Policy, ValidationAndToString) {
+  Policy p = flexgen_like();
+  EXPECT_NO_THROW(p.validate());
+  p.weights_on_gpu = 1.5;
+  EXPECT_THROW(p.validate(), CheckError);
+  p.weights_on_gpu = 0.5;
+  p.weight_bits = 12;
+  EXPECT_THROW(p.validate(), CheckError);
+
+  Policy q;
+  q.weight_bits = 4;
+  q.kv_bits = 8;
+  q.parallelism_control = true;
+  const std::string s = q.to_string();
+  EXPECT_NE(s.find("w4"), std::string::npos);
+  EXPECT_NE(s.find("kv8"), std::string::npos);
+  EXPECT_NE(s.find("ctl=on"), std::string::npos);
+}
+
+TEST(Policy, EqualityIncludesAllFields) {
+  Policy a, b;
+  EXPECT_TRUE(a == b);
+  b.resident_weights_compressed = true;
+  EXPECT_FALSE(a == b);
+}
+
+// ------------------------------------------------------------- quant model --
+
+TEST(QuantModel, PhaseStructureMatchesAlgorithm2) {
+  const auto platform = hw::Platform::a100_single();
+  const PhaseCosts q = quantize_cost(1e9, 2e9, platform.cpu,
+                                     platform.cpu_matmul_flops(),
+                                     platform.cpu_quant_bw());
+  EXPECT_GT(q.minmax, 0.0);
+  EXPECT_GT(q.normalize, 0.0);
+  EXPECT_GT(q.postprocess, 0.0);
+  // Dequantization has no min/max phase (Eq. 16/24).
+  const PhaseCosts d = dequantize_cost(1e9, 2e9,
+                                       platform.cpu_matmul_flops(),
+                                       platform.cpu_quant_bw());
+  EXPECT_EQ(d.minmax, 0.0);
+  EXPECT_GT(d.total(), 0.0);
+  EXPECT_LT(d.total(), q.total());
+}
+
+TEST(QuantModel, CostsScaleLinearlyWithElements) {
+  const auto platform = hw::Platform::a100_single();
+  const double t1 = quantize_cost(1e8, 2e8, platform.cpu,
+                                  platform.cpu_matmul_flops(),
+                                  platform.cpu_quant_bw())
+                        .total();
+  const double t2 = quantize_cost(2e8, 4e8, platform.cpu,
+                                  platform.cpu_matmul_flops(),
+                                  platform.cpu_quant_bw())
+                        .total();
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-12);
+}
+
+TEST(QuantModel, WeightOverheadProportionalToOffloadedFraction) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto platform = hw::Platform::a100_single();
+  const double half = quan_pf_wgt_seconds(spec, 0.5, platform);
+  const double full = quan_pf_wgt_seconds(spec, 1.0, platform);
+  EXPECT_NEAR(full, 2.0 * half, 1e-12);
+  EXPECT_EQ(quan_pf_wgt_seconds(spec, 0.0, platform), 0.0);
+}
+
+TEST(QuantModel, DequantZeroWhenNotQuantized) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto platform = hw::Platform::a100_single();
+  EXPECT_EQ(dequan_wgt_seconds(spec, 0.5, 16, platform), 0.0);
+  EXPECT_GT(dequan_wgt_seconds(spec, 0.5, 4, platform), 0.0);
+  EXPECT_EQ(quan_pf_cache_seconds(spec, paper_workload(), 16, platform), 0.0);
+}
+
+TEST(QuantModel, OldCacheDequantGrowsWithStep) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  // Paper: "such (de)compression overhead continuously increases" as
+  // tokens are generated.
+  EXPECT_LT(dequan_old_cache_seconds(spec, w, 1, 4, false, platform),
+            dequan_old_cache_seconds(spec, w, 100, 4, false, platform));
+}
+
+// -------------------------------------------------------------- estimator --
+
+TEST(Estimator, InfeasibleWhenEverythingPinnedOnGpu) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  Policy p;
+  p.weights_on_gpu = 1.0;  // 60 GB fp16 > 40 GB A100
+  p.attention_on_cpu = true;
+  const auto est = estimate(spec, w, p, platform);
+  EXPECT_FALSE(est.fits);
+  EXPECT_NE(est.infeasible_reason.find("GPU"), std::string::npos);
+  EXPECT_EQ(est.throughput, 0.0);
+}
+
+TEST(Estimator, FeasibleBaselineProducesSaneNumbers) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  const auto est = estimate(spec, w, flexgen_like(), platform);
+  ASSERT_TRUE(est.fits);
+  EXPECT_GT(est.throughput, 5.0);     // tokens/s, sane lower bound
+  EXPECT_LT(est.throughput, 2000.0);  // and upper bound
+  EXPECT_GT(est.t_prefill, 0.0);
+  EXPECT_GT(est.t_decode, est.t_prefill);  // n = 128 decode dominates
+  EXPECT_GT(est.t_init, 0.0);
+}
+
+TEST(Estimator, Observation1_QuantizationHurtsWithAttentionOffloading) {
+  // Paper Fig. 3 / Observation 1: with attention offloading the KV cache
+  // never crosses PCIe, so KV quantization is pure overhead.
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  Policy plain = flexgen_like();
+  Policy quantized = flexgen_like();
+  quantized.kv_bits = 4;
+  const auto est_plain = estimate(spec, w, plain, platform);
+  const auto est_quant = estimate(spec, w, quantized, platform);
+  ASSERT_TRUE(est_plain.fits);
+  ASSERT_TRUE(est_quant.fits);
+  EXPECT_GT(est_plain.throughput, est_quant.throughput);
+}
+
+TEST(Estimator, Observation1_KvQuantizationHelpsWithoutOffloading) {
+  // ... while with GPU attention (cache streamed over PCIe) KV quantization
+  // is a large win.
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  Policy plain;
+  plain.attention_on_cpu = false;
+  plain.activations_on_gpu = 1.0;
+  Policy quantized = plain;
+  quantized.kv_bits = 4;
+  const auto est_plain = estimate(spec, w, plain, platform);
+  const auto est_quant = estimate(spec, w, quantized, platform);
+  ASSERT_TRUE(est_plain.fits);
+  ASSERT_TRUE(est_quant.fits);
+  EXPECT_GT(est_quant.throughput, est_plain.throughput * 1.3);
+}
+
+TEST(Estimator, Observation2_KvQuantBeatsWeightQuantWithoutOffloading) {
+  // Paper Fig. 3: without attention offloading, quantizing the KV cache
+  // alone outperforms quantizing weights alone (the cache dominates I/O).
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  Policy base;
+  base.attention_on_cpu = false;
+  base.activations_on_gpu = 1.0;
+  Policy wq = base;
+  wq.weight_bits = 4;
+  Policy kq = base;
+  kq.kv_bits = 4;
+  const auto est_wq = estimate(spec, w, wq, platform);
+  const auto est_kq = estimate(spec, w, kq, platform);
+  ASSERT_TRUE(est_wq.fits);
+  ASSERT_TRUE(est_kq.fits);
+  EXPECT_GT(est_kq.throughput, est_wq.throughput);
+}
+
+TEST(Estimator, AttentionOffloadEliminatesCacheTraffic) {
+  // Paper Table 1: with attention offloading, KV-cache PCIe traffic = 0.
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  const StepCosts cpu_side =
+      step_costs(spec, w, flexgen_like(), platform, 64);
+  EXPECT_EQ(cpu_side.load_cache, 0.0);
+  EXPECT_EQ(cpu_side.store_cache, 0.0);
+  EXPECT_GT(cpu_side.compute_cpu, 0.0);
+
+  Policy gpu_attn;
+  gpu_attn.attention_on_cpu = false;
+  const StepCosts gpu_side = step_costs(spec, w, gpu_attn, platform, 64);
+  EXPECT_GT(gpu_side.load_cache, 0.0);
+  EXPECT_GT(gpu_side.store_cache, 0.0);
+  EXPECT_EQ(gpu_side.compute_cpu, 0.0);
+}
+
+TEST(Estimator, ParallelismControlImprovesCpuAttentionThroughput) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  Policy off = flexgen_like();
+  Policy on = flexgen_like();
+  on.parallelism_control = true;
+  const double t_off = estimate(spec, w, off, platform).throughput;
+  const double t_on = estimate(spec, w, on, platform).throughput;
+  EXPECT_GT(t_on, t_off * 1.2);
+}
+
+TEST(Estimator, FlexGenStyleIsOptimistic) {
+  // FlexGen's cost model ignores quantization terms and launch overheads →
+  // it always predicts at least as fast as the full model.
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  EstimatorOptions optimistic;
+  optimistic.flexgen_style = true;
+  for (const Policy& p : {flexgen_like(), Policy{}}) {
+    const double full = estimate(spec, w, p, platform).throughput;
+    const double flex = estimate(spec, w, p, platform, optimistic).throughput;
+    EXPECT_GE(flex, full);
+  }
+}
+
+TEST(Estimator, AverageKvApproximationCloseToExact) {
+  // Eq. 18's average-size shortcut should be within a few percent of the
+  // exact per-step sum (the KV cost is linear in t).
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  EstimatorOptions avg;
+  avg.use_average_kv = true;
+  const double exact = estimate(spec, w, flexgen_like(), platform).throughput;
+  const double approx =
+      estimate(spec, w, flexgen_like(), platform, avg).throughput;
+  EXPECT_NEAR(approx / exact, 1.0, 0.08);
+}
+
+TEST(Estimator, MoreWeightsOnGpuReducesLoadTime) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  Policy lo = flexgen_like();
+  lo.weights_on_gpu = 0.2;
+  Policy hi = flexgen_like();
+  hi.weights_on_gpu = 0.6;
+  EXPECT_GT(step_costs(spec, w, lo, platform, 64).load_weight,
+            step_costs(spec, w, hi, platform, 64).load_weight);
+}
+
+TEST(Estimator, ZeroStyleResidentCompressionFitsAndPaysDequant) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  Policy z;
+  z.weights_on_gpu = 1.0;
+  z.weight_bits = 4;
+  z.resident_weights_compressed = true;
+  z.attention_on_cpu = false;
+  z.activations_on_gpu = 1.0;
+  const auto est = estimate(spec, w, z, platform);
+  ASSERT_TRUE(est.fits);  // 15 GB of 4-bit weights fit the A100
+  const StepCosts sc = step_costs(spec, w, z, platform, 64);
+  EXPECT_GT(sc.dequant_time, 0.0);  // on-the-fly expansion every layer
+
+  Policy z16 = z;
+  z16.weight_bits = 16;
+  z16.resident_weights_compressed = false;
+  EXPECT_FALSE(estimate(spec, w, z16, platform).fits);  // 60 GB fp16 > 40
+}
+
+TEST(Estimator, ThroughputCountsAllGeneratedTokens) {
+  const auto spec = ModelSpec::tiny();
+  Workload w{.prompt_len = 8, .gen_len = 4, .gpu_batch = 2,
+             .num_batches = 2};
+  const auto platform = hw::Platform::a100_single();
+  const auto est = estimate(spec, w, flexgen_like(), platform);
+  ASSERT_TRUE(est.fits);
+  EXPECT_NEAR(est.throughput * est.total_time, 16.0, 1e-6);  // bls·n = 16
+}
+
+}  // namespace
+}  // namespace lmo::perfmodel

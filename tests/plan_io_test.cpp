@@ -1,0 +1,104 @@
+// Tests for plan persistence and the joint block-size + policy search.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "lmo/core/plan_io.hpp"
+#include "lmo/sched/policy_search.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo {
+namespace {
+
+using util::CheckError;
+
+core::SavedPlan sample_plan() {
+  core::SavedPlan plan;
+  plan.model = "opt-30b";
+  plan.workload = model::Workload{64, 32, 64, 10};
+  plan.policy.weights_on_gpu = 0.55;
+  plan.policy.attention_on_cpu = false;
+  plan.policy.activations_on_gpu = 1.0;
+  plan.policy.weight_bits = 4;
+  plan.policy.kv_bits = 4;
+  plan.policy.parallelism_control = true;
+  return plan;
+}
+
+TEST(PlanIo, RoundTripsThroughText) {
+  const auto plan = sample_plan();
+  const auto parsed = core::plan_from_string(core::plan_to_string(plan));
+  EXPECT_TRUE(parsed == plan);
+}
+
+TEST(PlanIo, RoundTripsThroughFile) {
+  const std::string path = "plan_io_test.plan";
+  core::save_plan(sample_plan(), path);
+  const auto loaded = core::load_plan(path);
+  EXPECT_TRUE(loaded == sample_plan());
+  std::remove(path.c_str());
+}
+
+TEST(PlanIo, CommentsAndWhitespaceTolerated) {
+  const std::string text = core::plan_to_string(sample_plan()) +
+                           "\n  # trailing comment\n\n";
+  EXPECT_TRUE(core::plan_from_string(text) == sample_plan());
+}
+
+TEST(PlanIo, RejectsMalformedInput) {
+  EXPECT_THROW(core::plan_from_string(""), CheckError);  // missing keys
+  EXPECT_THROW(core::plan_from_string("model opt-30b"), CheckError);
+  const std::string with_junk =
+      core::plan_to_string(sample_plan()) + "bogus.key = 1\n";
+  EXPECT_THROW(core::plan_from_string(with_junk), CheckError);
+  // Invalid policy values fail validation on load.
+  std::string bad = core::plan_to_string(sample_plan());
+  bad.replace(bad.find("policy.weight_bits = 4"),
+              std::string("policy.weight_bits = 4").size(),
+              "policy.weight_bits = 5");
+  EXPECT_THROW(core::plan_from_string(bad), CheckError);
+}
+
+TEST(PlanIo, MissingFileThrows) {
+  EXPECT_THROW(core::load_plan("/nonexistent/x.plan"), CheckError);
+}
+
+// -------------------------------------------------------- block search --
+
+TEST(BlockSearch, FindsLargerBlocksForThroughput) {
+  const auto spec = model::ModelSpec::opt_30b();
+  const model::Workload shape{64, 16, 1, 1};
+  const auto result = sched::search_block_size(
+      spec, shape, hw::Platform::a100_single(),
+      sched::SearchSpace::lm_offload());
+  EXPECT_GT(result.blocks_tried, 10u);
+  EXPECT_GT(result.blocks_feasible, 0u);
+  // Throughput favours substantial blocks (weight-stream amortization).
+  EXPECT_GE(result.workload.block_size(), 128);
+  EXPECT_TRUE(result.search.estimate.fits);
+
+  // The chosen block must beat a deliberately tiny one.
+  model::Workload tiny = shape;
+  tiny.gpu_batch = 16;
+  tiny.num_batches = 1;
+  const auto small = sched::search_policy(spec, tiny,
+                                          hw::Platform::a100_single(),
+                                          sched::SearchSpace::lm_offload());
+  EXPECT_GT(result.search.estimate.throughput,
+            small.estimate.throughput);
+}
+
+TEST(BlockSearch, RespectsMemoryAtLargeModels) {
+  // OPT-66B fp16 (FlexGen space): big blocks blow the host budget, so the
+  // search must settle on something feasible, possibly with disk spill.
+  const auto spec = model::ModelSpec::opt_66b();
+  const model::Workload shape{64, 32, 1, 1};
+  const auto result = sched::search_block_size(
+      spec, shape, hw::Platform::a100_single(),
+      sched::SearchSpace::flexgen());
+  EXPECT_TRUE(result.search.estimate.fits);
+  EXPECT_LT(result.blocks_feasible, result.blocks_tried);
+}
+
+}  // namespace
+}  // namespace lmo

@@ -1,0 +1,419 @@
+// Tests for the policy search, the Algorithm-1 DES schedule builder, and
+// the FlexGen / ZeRO-Inference baselines.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lmo/sched/flexgen.hpp"
+#include "lmo/sched/policy_search.hpp"
+#include "lmo/sched/schedule_builder.hpp"
+#include "lmo/sched/zero_inference.hpp"
+#include "lmo/util/check.hpp"
+#include "lmo/util/units.hpp"
+
+namespace lmo::sched {
+namespace {
+
+using model::ModelSpec;
+using model::Workload;
+using perfmodel::Policy;
+using util::CheckError;
+
+Workload paper_workload(std::int64_t gen_len = 128) {
+  return Workload{.prompt_len = 64,
+                  .gen_len = gen_len,
+                  .gpu_batch = 64,
+                  .num_batches = 10};
+}
+
+// ----------------------------------------------------------- policy search --
+
+TEST(PolicySearch, FlexGenSpaceExcludesQuantization) {
+  const auto space = SearchSpace::flexgen();
+  EXPECT_EQ(space.weight_bits_choices, std::vector<int>{16});
+  EXPECT_EQ(space.kv_bits_choices, std::vector<int>{16});
+  EXPECT_FALSE(space.parallelism_control);
+}
+
+TEST(PolicySearch, LmOffloadSpaceIncludesQuantization) {
+  const auto space = SearchSpace::lm_offload();
+  EXPECT_EQ(space.weight_bits_choices.size(), 3u);
+  EXPECT_EQ(space.kv_bits_choices.size(), 3u);
+  EXPECT_TRUE(space.parallelism_control);
+}
+
+TEST(PolicySearch, FindsFeasiblePolicyAndCountsCandidates) {
+  const auto result = search_policy(ModelSpec::opt_30b(), paper_workload(),
+                                    hw::Platform::a100_single(),
+                                    SearchSpace::flexgen());
+  EXPECT_GT(result.evaluated, 100u);
+  EXPECT_GT(result.feasible, 0u);
+  EXPECT_LE(result.feasible, result.evaluated);
+  EXPECT_TRUE(result.estimate.fits);
+  EXPECT_GT(result.estimate.throughput, 0.0);
+}
+
+TEST(PolicySearch, FlexGenPlanMatchesPaperShape) {
+  // Paper Table 3, OPT-30B: FlexGen picks attention offloading with about
+  // half the weights on the GPU and no KV cache on the GPU.
+  const auto planned = FlexGen::plan(ModelSpec::opt_30b(), paper_workload(),
+                                     hw::Platform::a100_single());
+  EXPECT_TRUE(planned.best.attention_on_cpu);
+  EXPECT_EQ(planned.best.cache_on_gpu, 0.0);
+  EXPECT_GT(planned.best.weights_on_gpu, 0.1);
+  EXPECT_LT(planned.best.weights_on_gpu, 0.7);  // 60 GB fp16 vs 40 GB GPU
+  EXPECT_EQ(planned.best.weight_bits, 16);
+  EXPECT_EQ(planned.best.kv_bits, 16);
+}
+
+TEST(PolicySearch, QuantizedResidentCacheExcluded) {
+  // Runtime constraint: the GPU-resident cache stays in compute precision.
+  const auto result = search_policy(ModelSpec::opt_30b(), paper_workload(),
+                                    hw::Platform::a100_single(),
+                                    SearchSpace::lm_offload());
+  if (result.best.kv_quantized()) {
+    EXPECT_EQ(result.best.cache_on_gpu, 0.0);
+  }
+}
+
+TEST(PolicySearch, ThrowsWhenNothingFits) {
+  // A tiny fake GPU cannot fit even the working set of OPT-66B.
+  auto platform = hw::Platform::a100_single();
+  platform.gpu.mem_capacity = 1e9;  // 1 GB
+  platform.cpu.mem_capacity = 2e9;
+  EXPECT_THROW(search_policy(ModelSpec::opt_66b(), paper_workload(),
+                             platform, SearchSpace::flexgen()),
+               CheckError);
+}
+
+// --------------------------------------------------------- schedule builder --
+
+TEST(Simulate, ReportAccountsPhasesAndTokens) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload(16);
+  Policy p;
+  p.weights_on_gpu = 0.5;
+  p.attention_on_cpu = true;
+  const auto report = simulate(spec, w, p, hw::Platform::a100_single(),
+                               "test");
+  EXPECT_EQ(report.framework, "test");
+  EXPECT_GT(report.prefill_seconds, 0.0);
+  EXPECT_GT(report.decode_seconds, 0.0);
+  EXPECT_NEAR(report.total_seconds,
+              report.prefill_seconds + report.decode_seconds, 1e-9);
+  EXPECT_NEAR(report.throughput * report.total_seconds,
+              static_cast<double>(w.total_tokens()), 1e-3);
+  EXPECT_GT(report.init_seconds, 0.0);
+  EXPECT_GT(report.memory_bytes, 100e9);  // ~80 GB+ for this workload
+}
+
+TEST(Simulate, Table1TrafficWithAttentionOffloading) {
+  // Paper Table 1: with attention offloading the KV cache never crosses
+  // PCIe; only weights (H2D) and small activations move.
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload(8);
+  Policy p;
+  p.weights_on_gpu = 0.55;
+  p.attention_on_cpu = true;
+  const auto report =
+      simulate(spec, w, p, hw::Platform::a100_single(), "fg");
+  EXPECT_EQ(report.counters.get(sim::channel::kH2DCache), 0.0);
+  EXPECT_GT(report.counters.get(sim::channel::kH2DWeights), 0.0);
+  EXPECT_GT(report.counters.get(sim::channel::kH2DActivation), 0.0);
+  EXPECT_GT(report.counters.get(sim::channel::kD2HActivation), 0.0);
+  // Activations are tiny relative to weights (paper: 0.38 GB vs 16.32 GB).
+  EXPECT_LT(report.counters.get(sim::channel::kH2DActivation),
+            0.1 * report.counters.get(sim::channel::kH2DWeights));
+}
+
+TEST(Simulate, Table1TrafficWithoutAttentionOffloading) {
+  // Without offloading the old cache dominates H2D (paper: 78.72 GB vs
+  // 38.88 GB weights per token).
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload(8);
+  Policy p;
+  p.weights_on_gpu = 0.4;
+  p.attention_on_cpu = false;
+  p.activations_on_gpu = 1.0;
+  // Decode-phase traffic only — Table 1 counts "one token generation".
+  BuildOptions decode_only;
+  decode_only.include_prefill = false;
+  const auto report = simulate(spec, w, p, hw::Platform::a100_single(), "fg",
+                               decode_only);
+  EXPECT_GT(report.counters.get(sim::channel::kH2DCache),
+            report.counters.get(sim::channel::kH2DWeights));
+  EXPECT_GT(report.counters.get(sim::channel::kD2HCache), 0.0);
+  // New-cache stores are ~1% of old-cache loads (1 vs s+t tokens).
+  EXPECT_LT(report.counters.get(sim::channel::kD2HCache),
+            0.05 * report.counters.get(sim::channel::kH2DCache));
+}
+
+TEST(Simulate, QuantizedKvReducesTrafficButAddsDequantTasks) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload(8);
+  Policy plain;
+  plain.attention_on_cpu = false;
+  plain.activations_on_gpu = 1.0;
+  Policy quant = plain;
+  quant.kv_bits = 4;
+  const auto platform = hw::Platform::a100_single();
+  const auto rep_plain = simulate(spec, w, plain, platform, "x");
+  const auto rep_quant = simulate(spec, w, quant, platform, "x");
+  EXPECT_NEAR(rep_quant.counters.get(sim::channel::kH2DCache) * 4.0,
+              rep_plain.counters.get(sim::channel::kH2DCache), 1e6);
+  EXPECT_EQ(rep_plain.run.category_busy("dequantize"), 0.0);
+  EXPECT_GT(rep_quant.run.category_busy("dequantize"), 0.0);
+  EXPECT_GT(rep_quant.run.category_busy("quantize"), 0.0);
+  EXPECT_GT(rep_plain.throughput, 0.0);
+  EXPECT_GT(rep_quant.throughput, rep_plain.throughput);
+}
+
+TEST(Simulate, DecodeTimeGrowsWithGenerationLength) {
+  const auto spec = ModelSpec::opt_30b();
+  Policy p;
+  p.weights_on_gpu = 0.5;
+  p.attention_on_cpu = true;
+  const auto platform = hw::Platform::a100_single();
+  const auto short_run = simulate(spec, paper_workload(8), p, platform, "x");
+  const auto long_run = simulate(spec, paper_workload(32), p, platform, "x");
+  EXPECT_GT(long_run.decode_seconds, short_run.decode_seconds * 3.0);
+  // Same prefill work.
+  EXPECT_NEAR(long_run.prefill_seconds, short_run.prefill_seconds,
+              0.05 * short_run.prefill_seconds);
+}
+
+TEST(Simulate, InfeasiblePolicyThrows) {
+  Policy p;
+  p.weights_on_gpu = 1.0;  // fp16 OPT-30B cannot be GPU-resident
+  EXPECT_THROW(simulate(ModelSpec::opt_30b(), paper_workload(8), p,
+                        hw::Platform::a100_single(), "x"),
+               CheckError);
+}
+
+TEST(Simulate, ParallelismControlSpeedsUpCpuAttention) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload(8);
+  Policy off;
+  off.weights_on_gpu = 0.5;
+  off.attention_on_cpu = true;
+  Policy on = off;
+  on.parallelism_control = true;
+  const auto platform = hw::Platform::a100_single();
+  const auto rep_off = simulate(spec, w, off, platform, "x");
+  const auto rep_on = simulate(spec, w, on, platform, "x");
+  EXPECT_GT(rep_on.throughput, rep_off.throughput * 1.15);
+  // Fig. 8: the compute task shrinks the most.
+  EXPECT_LT(rep_on.run.category_busy("compute_attention"),
+            rep_off.run.category_busy("compute_attention") * 0.8);
+}
+
+// ----------------------------------------------------- per-batch Algorithm 1 --
+
+TEST(PerBatchSchedule, MatchesAggregatedTrafficExactly) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload(8);
+  const auto platform = hw::Platform::a100_single();
+  for (bool cpu_attn : {true, false}) {
+    Policy p;
+    p.weights_on_gpu = 0.5;
+    p.attention_on_cpu = cpu_attn;
+    p.activations_on_gpu = cpu_attn ? 0.0 : 1.0;
+    BuildOptions agg;
+    BuildOptions per_batch;
+    per_batch.granularity = Granularity::kPerBatch;
+    const auto ra = simulate(spec, w, p, platform, "agg", agg);
+    const auto rb = simulate(spec, w, p, platform, "pb", per_batch);
+    for (const char* ch :
+         {sim::channel::kH2DWeights, sim::channel::kH2DCache,
+          sim::channel::kH2DActivation, sim::channel::kD2HCache,
+          sim::channel::kD2HActivation}) {
+      EXPECT_NEAR(ra.counters.get(ch), rb.counters.get(ch),
+                  1e-3 * std::max(1.0, ra.counters.get(ch)))
+          << ch;
+    }
+  }
+}
+
+TEST(PerBatchSchedule, ThroughputWithinBandOfAggregated) {
+  // Chunking the block into per-batch tasks changes overlap slightly but
+  // must not change the performance story.
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload(8);
+  const auto platform = hw::Platform::a100_single();
+  Policy p;
+  p.weights_on_gpu = 0.5;
+  p.attention_on_cpu = true;
+  BuildOptions per_batch;
+  per_batch.granularity = Granularity::kPerBatch;
+  const auto ra = simulate(spec, w, p, platform, "agg");
+  const auto rb = simulate(spec, w, p, platform, "pb", per_batch);
+  EXPECT_NEAR(rb.throughput / ra.throughput, 1.0, 0.25);
+}
+
+TEST(PerBatchSchedule, EmitsSixTasksPerBatch) {
+  const auto spec = ModelSpec::tiny();
+  const model::Workload w{4, 3, 2, 4};  // 4 batches
+  const auto platform = hw::Platform::a100_single();
+  Policy p;
+  p.weights_on_gpu = 0.0;
+  p.attention_on_cpu = true;
+  BuildOptions options;
+  options.include_prefill = false;
+  options.granularity = Granularity::kPerBatch;
+  const auto report = simulate(spec, w, p, platform, "pb", options);
+  // Per (step, layer, batch): load_weight, store_act, compute_attention,
+  // load_act, compute_mlp (no cache traffic on the CPU path) + per-layer
+  // sync. steps=2, layers=2, batches=4.
+  std::int64_t computes = 0, syncs = 0, loads = 0;
+  for (const auto& task : report.run.tasks) {
+    computes += task.category == "compute_attention";
+    syncs += task.category == "sync";
+    loads += task.category == "load_weight";
+  }
+  EXPECT_EQ(computes, 2 * 2 * 4);
+  EXPECT_EQ(syncs, 2 * 2);
+  EXPECT_EQ(loads, 2 * 2 * 4);  // chunked per batch (Alg. 1 line 7)
+}
+
+TEST(PerBatchSchedule, CacheStreamsRespectPerBatchOrdering) {
+  // load_cache(i, j, k) must start after store_cache(i-1, j, k): the same
+  // batch's cache is updated before it is re-read next step.
+  const auto spec = ModelSpec::tiny();
+  const model::Workload w{4, 3, 2, 2};
+  const auto platform = hw::Platform::a100_single();
+  Policy p;
+  p.attention_on_cpu = false;
+  p.activations_on_gpu = 1.0;
+  BuildOptions options;
+  options.include_prefill = false;
+  options.granularity = Granularity::kPerBatch;
+  const auto report = simulate(spec, w, p, platform, "pb", options);
+  // Collect per-(layer,batch) store finish and next-step load start.
+  std::map<std::string, double> store_finish;
+  bool checked = false;
+  for (const auto& task : report.run.tasks) {
+    if (task.category == "store_cache" &&
+        task.name.find("t=1") != std::string::npos) {
+      store_finish[task.name.substr(task.name.find("l="))] = task.finish;
+    }
+  }
+  for (const auto& task : report.run.tasks) {
+    if (task.category == "load_cache" &&
+        task.name.find("t=2") != std::string::npos) {
+      const auto key = task.name.substr(task.name.find("l="));
+      // The t=1 store for this (layer, batch) must precede this load.
+      for (const auto& [skey, finish] : store_finish) {
+        if (skey == key) {
+          EXPECT_GE(task.start, finish - 1e-12);
+          checked = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(PerLayerPlacement, MatchesSmearedTrafficUpToRounding) {
+  // FlexGen's whole-layer layout vs the uniform smear: same total weight
+  // traffic (rounded to whole layers), similar throughput, burstier link.
+  const auto spec = ModelSpec::opt_30b();  // 48 layers
+  const auto w = paper_workload(8);
+  const auto platform = hw::Platform::a100_single();
+  Policy p;
+  p.weights_on_gpu = 0.5;  // exactly 24 resident layers
+  p.attention_on_cpu = true;
+  BuildOptions smear;
+  BuildOptions layered;
+  layered.per_layer_weights = true;
+  const auto rs = simulate(spec, w, p, platform, "smear", smear);
+  const auto rl = simulate(spec, w, p, platform, "layered", layered);
+  EXPECT_NEAR(rl.counters.get(sim::channel::kH2DWeights),
+              rs.counters.get(sim::channel::kH2DWeights),
+              0.02 * rs.counters.get(sim::channel::kH2DWeights));
+  EXPECT_NEAR(rl.throughput / rs.throughput, 1.0, 0.2);
+
+  // A non-layer-aligned fraction rounds to whole layers.
+  Policy odd = p;
+  odd.weights_on_gpu = 0.52;  // 24.96 layers → 25 resident
+  const auto ro = simulate(spec, w, odd, platform, "layered", layered);
+  const double per_layer =
+      model::layer_weight_bytes(spec, 16) * (w.gen_len - 1);
+  EXPECT_NEAR(ro.counters.get(sim::channel::kH2DWeights),
+              23.0 * per_layer + /*prefill*/ 23.0 *
+                  model::layer_weight_bytes(spec, 16),
+              1e6);
+}
+
+// ----------------------------------------------------------------- FlexGen --
+
+TEST(FlexGen, RunProducesReportWithItsOwnPlan) {
+  const auto report = FlexGen::run(ModelSpec::opt_30b(), paper_workload(8),
+                                   hw::Platform::a100_single());
+  EXPECT_EQ(report.framework, FlexGen::kName);
+  EXPECT_TRUE(report.policy.attention_on_cpu);
+  EXPECT_GT(report.throughput, 10.0);
+  EXPECT_LT(report.throughput, 1000.0);
+}
+
+TEST(FlexGen, PlanIsOverOptimisticAboutItself) {
+  // The LP's estimated throughput exceeds what the DES delivers — the
+  // paper's criticism of FlexGen's policy search.
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload(8);
+  const auto platform = hw::Platform::a100_single();
+  const auto planned = FlexGen::plan(spec, w, platform);
+  const auto report = FlexGen::run_with_policy(spec, w, planned.best,
+                                               platform);
+  EXPECT_GT(planned.estimate.throughput, report.throughput);
+}
+
+// ----------------------------------------------------------- ZeRO-Inference --
+
+TEST(ZeroInference, PolicyIsWholeTensor) {
+  const auto p = ZeroInference::policy();
+  EXPECT_EQ(p.weights_on_gpu, 1.0);
+  EXPECT_EQ(p.weight_bits, 4);
+  EXPECT_TRUE(p.resident_weights_compressed);
+  EXPECT_EQ(p.cache_on_gpu, 0.0);
+  EXPECT_EQ(p.kv_bits, 16);  // no KV quantization support
+  EXPECT_FALSE(p.attention_on_cpu);
+}
+
+TEST(ZeroInference, BatchCapsMatchPaperStructure) {
+  // Paper Table 3: OPT-30B sustains batch 64 at every generation length;
+  // OPT-66B decays from ~32 down to 4 as the sequence grows.
+  const auto platform = hw::Platform::a100_single();
+  for (std::int64_t len : {8, 16, 32, 64, 128}) {
+    Workload shape{.prompt_len = 64, .gen_len = len, .gpu_batch = 1,
+                   .num_batches = 1};
+    EXPECT_EQ(ZeroInference::max_feasible_batch(ModelSpec::opt_30b(), shape,
+                                                platform),
+              64)
+        << len;
+  }
+  Workload short_shape{.prompt_len = 64, .gen_len = 8, .gpu_batch = 1,
+                       .num_batches = 1};
+  Workload long_shape = short_shape;
+  long_shape.gen_len = 128;
+  const auto big = ZeroInference::max_feasible_batch(ModelSpec::opt_66b(),
+                                                     short_shape, platform);
+  const auto small = ZeroInference::max_feasible_batch(ModelSpec::opt_66b(),
+                                                       long_shape, platform);
+  EXPECT_GE(big, 8);
+  EXPECT_LE(small, 8);
+  EXPECT_GT(big, small);
+}
+
+TEST(ZeroInference, RunUsesSingleBlock) {
+  const auto report = ZeroInference::run(
+      ModelSpec::opt_30b(),
+      Workload{.prompt_len = 64, .gen_len = 8, .gpu_batch = 1,
+               .num_batches = 1},
+      hw::Platform::a100_single());
+  EXPECT_EQ(report.workload.num_batches, 1);
+  EXPECT_EQ(report.workload.gpu_batch, 64);
+  EXPECT_GT(report.throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace lmo::sched

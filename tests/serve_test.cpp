@@ -1,0 +1,240 @@
+// Tests for the online-serving extension: workload generation and the
+// step-level serving simulation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "lmo/serve/server_sim.hpp"
+#include "lmo/serve/workload_gen.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::serve {
+namespace {
+
+using util::CheckError;
+
+RequestProfile quick_profile(double rate = 2.0) {
+  RequestProfile profile;
+  profile.arrival_rate = rate;
+  profile.prompt_mean = 32;
+  profile.prompt_min = 8;
+  profile.prompt_max = 128;
+  profile.gen_mean = 16;
+  profile.gen_min = 4;
+  profile.gen_max = 64;
+  return profile;
+}
+
+perfmodel::Policy serving_policy() {
+  perfmodel::Policy p;
+  p.weights_on_gpu = 0.5;
+  p.attention_on_cpu = false;
+  p.activations_on_gpu = 1.0;
+  p.kv_bits = 4;
+  p.weight_bits = 4;
+  p.parallelism_control = true;
+  return p;
+}
+
+// ------------------------------------------------------------- generator --
+
+TEST(WorkloadGen, DeterministicAndSorted) {
+  const auto a = generate_requests(quick_profile(), 50, 7);
+  const auto b = generate_requests(quick_profile(), 50, 7);
+  ASSERT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+    EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+    }
+  }
+}
+
+TEST(WorkloadGen, LengthsWithinBounds) {
+  const auto profile = quick_profile();
+  for (const auto& r : generate_requests(profile, 300, 3)) {
+    EXPECT_GE(r.prompt_len, profile.prompt_min);
+    EXPECT_LE(r.prompt_len, profile.prompt_max);
+    EXPECT_GE(r.gen_len, profile.gen_min);
+    EXPECT_LE(r.gen_len, profile.gen_max);
+  }
+}
+
+TEST(WorkloadGen, ArrivalRateApproximatelyPoisson) {
+  const auto requests = generate_requests(quick_profile(4.0), 2000, 11);
+  const double horizon = requests.back().arrival_seconds;
+  const double rate = 2000.0 / horizon;
+  EXPECT_NEAR(rate, 4.0, 0.5);
+}
+
+TEST(WorkloadGen, ValidatesProfile) {
+  RequestProfile bad = quick_profile();
+  bad.arrival_rate = 0.0;
+  EXPECT_THROW(generate_requests(bad, 10, 1), CheckError);
+  bad = quick_profile();
+  bad.gen_min = 100;  // min > mean
+  EXPECT_THROW(generate_requests(bad, 10, 1), CheckError);
+  EXPECT_THROW(generate_requests(quick_profile(), 0, 1), CheckError);
+}
+
+TEST(WorkloadGen, CsvRoundTripAndSorting) {
+  const auto original = generate_requests(quick_profile(), 20, 17);
+  requests_to_csv(original, "serve_trace_test.csv");
+  const auto loaded = requests_from_csv("serve_trace_test.csv");
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_NEAR(loaded[i].arrival_seconds, original[i].arrival_seconds,
+                1e-6);
+    EXPECT_EQ(loaded[i].prompt_len, original[i].prompt_len);
+    EXPECT_EQ(loaded[i].gen_len, original[i].gen_len);
+    EXPECT_EQ(loaded[i].id, static_cast<std::int64_t>(i));
+  }
+  std::remove("serve_trace_test.csv");
+
+  // Unsorted text is sorted on load; bad values rejected.
+  const auto sorted = requests_from_csv_text(
+      "arrival_seconds,prompt_len,gen_len\n5.0,8,4\n1.0,16,2\n");
+  EXPECT_EQ(sorted[0].prompt_len, 16);
+  EXPECT_EQ(sorted[1].prompt_len, 8);
+  EXPECT_THROW(requests_from_csv_text(
+                   "arrival_seconds,prompt_len,gen_len\n1.0,0,4\n"),
+               CheckError);
+  EXPECT_THROW(requests_from_csv("/nonexistent.csv"), CheckError);
+}
+
+// -------------------------------------------------------------- simulator --
+
+TEST(ServeSim, CompletesEveryRequest) {
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(), 40, 5);
+  ServeConfig config;
+  config.max_batch = 8;
+  const auto metrics = simulate_serving(spec, serving_policy(),
+                                        hw::Platform::a100_single(),
+                                        requests, config);
+  EXPECT_EQ(metrics.completed, 40u);
+  EXPECT_GT(metrics.duration, requests.back().arrival_seconds);
+  EXPECT_GT(metrics.token_throughput, 0.0);
+  for (const auto& outcome : metrics.outcomes) {
+    EXPECT_GT(outcome.ttft, 0.0);
+    EXPECT_GE(outcome.latency, outcome.ttft);
+    EXPECT_GT(outcome.tokens, 0);
+  }
+  EXPECT_GE(metrics.ttft_p95, metrics.ttft_p50);
+  EXPECT_GE(metrics.latency_p95, metrics.latency_p50);
+  EXPECT_GT(metrics.mean_batch_occupancy, 0.0);
+  EXPECT_LE(metrics.mean_batch_occupancy, 8.0 + 1e-9);
+}
+
+TEST(ServeSim, ContinuousBatchingBeatsStaticOnTtft) {
+  // Static batching makes late arrivals wait for the whole running batch
+  // to drain; continuous admission cuts tail TTFT.
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(3.0), 60, 9);
+  ServeConfig continuous;
+  continuous.max_batch = 8;
+  continuous.batching = Batching::kContinuous;
+  ServeConfig static_batching = continuous;
+  static_batching.batching = Batching::kStatic;
+
+  const auto platform = hw::Platform::a100_single();
+  const auto m_cont = simulate_serving(spec, serving_policy(), platform,
+                                       requests, continuous);
+  const auto m_static = simulate_serving(spec, serving_policy(), platform,
+                                         requests, static_batching);
+  EXPECT_EQ(m_cont.completed, m_static.completed);
+  EXPECT_LT(m_cont.ttft_p95, m_static.ttft_p95);
+}
+
+TEST(ServeSim, LargerBatchRaisesThroughputUnderLoad) {
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(50.0), 80, 13);
+  ServeConfig small;
+  small.max_batch = 2;
+  ServeConfig large;
+  large.max_batch = 32;
+  const auto platform = hw::Platform::a100_single();
+  const auto m_small =
+      simulate_serving(spec, serving_policy(), platform, requests, small);
+  const auto m_large =
+      simulate_serving(spec, serving_policy(), platform, requests, large);
+  EXPECT_GT(m_large.token_throughput, m_small.token_throughput * 1.5);
+}
+
+TEST(ServeSim, IdleGapsAreSkippedNotBilled) {
+  // Two requests far apart: the engine idles in between, so the second
+  // request's TTFT is small even though the trace duration is long.
+  const auto spec = model::ModelSpec::opt_13b();
+  std::vector<Request> requests = {
+      {0, 0.0, 32, 4},
+      {1, 1000.0, 32, 4},
+  };
+  ServeConfig config;
+  const auto metrics = simulate_serving(spec, serving_policy(),
+                                        hw::Platform::a100_single(),
+                                        requests, config);
+  EXPECT_GT(metrics.duration, 1000.0);
+  EXPECT_LT(metrics.outcomes[1].ttft, 10.0);
+}
+
+TEST(ServeSim, ChunkedPrefillCutsTailTtftUnderMixedLoad) {
+  // A few very long prompts among short ones: monolithic prefill stalls
+  // running decodes for the whole long prompt; chunking amortizes it.
+  const auto spec = model::ModelSpec::opt_13b();
+  RequestProfile profile = quick_profile(4.0);
+  profile.prompt_mean = 96;
+  profile.prompt_max = 512;
+  const auto requests = generate_requests(profile, 60, 21);
+
+  ServeConfig monolithic;
+  monolithic.max_batch = 8;
+  ServeConfig chunked = monolithic;
+  chunked.prefill_chunk = 32;
+
+  const auto platform = hw::Platform::a100_single();
+  const auto m_mono =
+      simulate_serving(spec, serving_policy(), platform, requests,
+                       monolithic);
+  const auto m_chunk = simulate_serving(spec, serving_policy(), platform,
+                                        requests, chunked);
+  EXPECT_EQ(m_chunk.completed, m_mono.completed);
+  // Chunking must not cost much aggregate throughput...
+  EXPECT_GT(m_chunk.token_throughput, m_mono.token_throughput * 0.7);
+  // ... and warming requests no longer block the engine wholesale, so the
+  // per-token pace of running requests (latency spread) tightens. Verify
+  // every request still produced its tokens with sane timings.
+  for (const auto& outcome : m_chunk.outcomes) {
+    EXPECT_GT(outcome.ttft, 0.0);
+    EXPECT_GE(outcome.latency, outcome.ttft);
+  }
+}
+
+TEST(ServeSim, ChunkedPrefillValidated) {
+  ServeConfig config;
+  config.prefill_chunk = -1;
+  EXPECT_THROW(config.validate(), CheckError);
+}
+
+TEST(ServeSim, ValidatesInputs) {
+  const auto spec = model::ModelSpec::opt_13b();
+  ServeConfig config;
+  EXPECT_THROW(simulate_serving(spec, serving_policy(),
+                                hw::Platform::a100_single(), {}, config),
+               CheckError);
+  config.max_batch = 0;
+  const auto requests = generate_requests(quick_profile(), 5, 1);
+  EXPECT_THROW(simulate_serving(spec, serving_policy(),
+                                hw::Platform::a100_single(), requests,
+                                config),
+               CheckError);
+  // Unsorted arrivals rejected.
+  std::vector<Request> unsorted = {{0, 5.0, 8, 4}, {1, 1.0, 8, 4}};
+  ServeConfig ok;
+  EXPECT_THROW(simulate_serving(spec, serving_policy(),
+                                hw::Platform::a100_single(), unsorted, ok),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace lmo::serve

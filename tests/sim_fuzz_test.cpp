@@ -1,0 +1,151 @@
+// Randomized stress tests for the discrete-event engine: seeded random
+// DAGs, checked against the scheduler's hard invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "lmo/sim/engine.hpp"
+#include "lmo/util/rng.hpp"
+
+namespace lmo::sim {
+namespace {
+
+struct FuzzSpec {
+  std::uint64_t seed;
+  int num_resources;
+  int max_lanes;
+  int num_tasks;
+  double dep_probability;
+};
+
+struct BuiltCase {
+  RunResult result;
+  std::vector<std::vector<TaskId>> deps;  ///< per task
+  std::vector<int> lanes;                 ///< per resource
+  double total_duration = 0.0;
+  double critical_path = 0.0;
+};
+
+BuiltCase build_and_run(const FuzzSpec& spec) {
+  util::Xoshiro256 rng(spec.seed);
+  Engine engine;
+  BuiltCase built;
+  built.lanes.reserve(static_cast<std::size_t>(spec.num_resources));
+  for (int r = 0; r < spec.num_resources; ++r) {
+    const int lanes =
+        1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                spec.max_lanes)));
+    built.lanes.push_back(lanes);
+    engine.add_resource("r" + std::to_string(r), lanes);
+  }
+
+  std::vector<double> durations;
+  std::vector<double> longest_path_to;  // critical path estimate
+  for (int i = 0; i < spec.num_tasks; ++i) {
+    std::vector<TaskId> deps;
+    // Each earlier task is a dependency with some probability (bounded
+    // fan-in keeps the graphs interesting but not complete).
+    for (int j = std::max(0, i - 12); j < i; ++j) {
+      if (rng.uniform() < spec.dep_probability) {
+        deps.push_back(static_cast<TaskId>(j));
+      }
+    }
+    const double duration = rng.uniform(0.0, 2.0);
+    const auto resource = static_cast<ResourceId>(
+        rng.below(static_cast<std::uint64_t>(spec.num_resources)));
+    engine.add_task("t" + std::to_string(i), "fuzz", resource, duration,
+                    deps);
+    built.deps.push_back(deps);
+    built.total_duration += duration;
+    double start = 0.0;
+    for (TaskId d : deps) {
+      start = std::max(start, longest_path_to[static_cast<std::size_t>(d)]);
+    }
+    longest_path_to.push_back(start + duration);
+    built.critical_path =
+        std::max(built.critical_path, longest_path_to.back());
+    durations.push_back(duration);
+  }
+  built.result = engine.run();
+  return built;
+}
+
+class SimFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimFuzz, InvariantsHold) {
+  const FuzzSpec spec{GetParam(), 4, 3, 200, 0.15};
+  const BuiltCase built = build_and_run(spec);
+  const auto& tasks = built.result.tasks;
+  ASSERT_EQ(tasks.size(), 200u);
+
+  // 1. Every task runs exactly for its duration, after its dependencies.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_NEAR(tasks[i].finish - tasks[i].start, tasks[i].duration, 1e-12);
+    for (TaskId d : built.deps[i]) {
+      EXPECT_GE(tasks[i].start + 1e-12,
+                tasks[static_cast<std::size_t>(d)].finish);
+    }
+  }
+
+  // 2. Lane capacity is never exceeded: at any instant, at most `lanes`
+  //    tasks of a resource overlap. Sweep start/end events per resource.
+  for (std::size_t r = 0; r < built.lanes.size(); ++r) {
+    std::vector<std::pair<double, int>> events;
+    for (const auto& task : tasks) {
+      if (static_cast<std::size_t>(task.resource) != r) continue;
+      if (task.duration == 0.0) continue;
+      events.push_back({task.start, +1});
+      events.push_back({task.finish, -1});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second < b.second;  // close before open
+              });
+    int open = 0;
+    for (const auto& [time, delta] : events) {
+      open += delta;
+      EXPECT_LE(open, built.lanes[r]) << "resource " << r;
+    }
+  }
+
+  // 3. Makespan bounds: at least the critical path and the busiest
+  //    resource's serial share; at most the total serial duration.
+  EXPECT_GE(built.result.makespan + 1e-9, built.critical_path);
+  for (std::size_t r = 0; r < built.lanes.size(); ++r) {
+    const double busy = built.result.resources[r].busy;
+    EXPECT_GE(built.result.makespan + 1e-9,
+              busy / static_cast<double>(built.lanes[r]));
+    EXPECT_LE(built.result.resources[r].utilization, 1.0 + 1e-9);
+  }
+  EXPECT_LE(built.result.makespan, built.total_duration + 1e-9);
+
+  // 4. Category aggregation is conserved.
+  EXPECT_NEAR(built.result.category_busy("fuzz"), built.total_duration,
+              1e-6);
+}
+
+TEST_P(SimFuzz, DeterministicAcrossRuns) {
+  const FuzzSpec spec{GetParam(), 3, 2, 120, 0.2};
+  const BuiltCase a = build_and_run(spec);
+  const BuiltCase b = build_and_run(spec);
+  ASSERT_EQ(a.result.tasks.size(), b.result.tasks.size());
+  EXPECT_EQ(a.result.makespan, b.result.makespan);
+  for (std::size_t i = 0; i < a.result.tasks.size(); ++i) {
+    EXPECT_EQ(a.result.tasks[i].start, b.result.tasks[i].start);
+    EXPECT_EQ(a.result.tasks[i].finish, b.result.tasks[i].finish);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>&
+                                info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace lmo::sim

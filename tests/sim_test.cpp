@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "lmo/sim/counters.hpp"
+#include "lmo/sim/energy.hpp"
+#include "lmo/sim/engine.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::sim {
+namespace {
+
+using util::CheckError;
+
+TEST(Engine, SingleTask) {
+  Engine e;
+  const auto r = e.add_resource("r");
+  e.add_task("t", "cat", r, 2.5);
+  const auto result = e.run();
+  EXPECT_DOUBLE_EQ(result.makespan, 2.5);
+  EXPECT_DOUBLE_EQ(result.tasks[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(result.tasks[0].finish, 2.5);
+}
+
+TEST(Engine, SerialResourceSerializesIndependentTasks) {
+  Engine e;
+  const auto r = e.add_resource("r");
+  e.add_task("a", "x", r, 1.0);
+  e.add_task("b", "x", r, 2.0);
+  const auto result = e.run();
+  EXPECT_DOUBLE_EQ(result.makespan, 3.0);
+}
+
+TEST(Engine, DifferentResourcesOverlap) {
+  Engine e;
+  const auto r1 = e.add_resource("r1");
+  const auto r2 = e.add_resource("r2");
+  e.add_task("a", "x", r1, 2.0);
+  e.add_task("b", "x", r2, 3.0);
+  EXPECT_DOUBLE_EQ(e.run().makespan, 3.0);
+}
+
+TEST(Engine, DependenciesRespected) {
+  Engine e;
+  const auto r1 = e.add_resource("r1");
+  const auto r2 = e.add_resource("r2");
+  const auto a = e.add_task("a", "x", r1, 2.0);
+  e.add_task("b", "x", r2, 1.0, {a});
+  const auto result = e.run();
+  EXPECT_DOUBLE_EQ(result.tasks[1].start, 2.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 3.0);
+}
+
+TEST(Engine, MultiLaneResourceRunsConcurrently) {
+  Engine e;
+  const auto r = e.add_resource("pool", /*lanes=*/2);
+  for (int i = 0; i < 4; ++i) e.add_task("t", "x", r, 1.0);
+  EXPECT_DOUBLE_EQ(e.run().makespan, 2.0);  // 4 tasks / 2 lanes
+}
+
+TEST(Engine, DiamondDependencyChainsCorrectly) {
+  // a → {b, c} → d, all on separate resources.
+  Engine e;
+  std::vector<ResourceId> rs;
+  for (int i = 0; i < 4; ++i) {
+    rs.push_back(e.add_resource("r" + std::to_string(i)));
+  }
+  const auto a = e.add_task("a", "x", rs[0], 1.0);
+  const auto b = e.add_task("b", "x", rs[1], 2.0, {a});
+  const auto c = e.add_task("c", "x", rs[2], 5.0, {a});
+  e.add_task("d", "x", rs[3], 1.0, {b, c});
+  const auto result = e.run();
+  EXPECT_DOUBLE_EQ(result.tasks[3].start, 6.0);  // after c
+  EXPECT_DOUBLE_EQ(result.makespan, 7.0);
+}
+
+TEST(Engine, PipeliningOverlapsLikeAlgorithm1) {
+  // Two "steps": load(i+1) overlaps compute(i) on different resources;
+  // compute(i) depends on load(i). Classic double buffering.
+  Engine e;
+  const auto link = e.add_resource("link");
+  const auto gpu = e.add_resource("gpu");
+  TaskId prev_compute = kInvalidTask;
+  for (int i = 0; i < 3; ++i) {
+    const auto load = e.add_task("load", "load", link, 1.0);
+    std::vector<TaskId> deps = {load};
+    if (prev_compute != kInvalidTask) deps.push_back(prev_compute);
+    prev_compute = e.add_task("compute", "compute", gpu, 1.0, deps);
+  }
+  // Perfect overlap: 1 (first load) + 3 computes = 4, not 6.
+  EXPECT_DOUBLE_EQ(e.run().makespan, 4.0);
+}
+
+TEST(Engine, AggregatesPerResourceAndCategory) {
+  Engine e;
+  const auto r1 = e.add_resource("r1");
+  const auto r2 = e.add_resource("r2");
+  e.add_task("a", "load", r1, 2.0);
+  e.add_task("b", "load", r1, 1.0);
+  e.add_task("c", "compute", r2, 3.0);
+  const auto result = e.run();
+  EXPECT_DOUBLE_EQ(result.category_busy("load"), 3.0);
+  EXPECT_DOUBLE_EQ(result.category_busy("compute"), 3.0);
+  EXPECT_DOUBLE_EQ(result.category_busy("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(result.resource_busy("r1"), 3.0);
+  EXPECT_DOUBLE_EQ(result.resources[0].utilization, 1.0);
+  EXPECT_THROW(result.resource_busy("nope"), CheckError);
+}
+
+TEST(Engine, RejectsBadInputs) {
+  Engine e;
+  const auto r = e.add_resource("r");
+  EXPECT_THROW(e.add_resource("r"), CheckError);       // duplicate name
+  EXPECT_THROW(e.add_task("t", "c", 5, 1.0), CheckError);  // bad resource
+  EXPECT_THROW(e.add_task("t", "c", r, -1.0), CheckError);
+  const auto t = e.add_task("t", "c", r, 1.0);
+  EXPECT_THROW(e.add_task("u", "c", r, 1.0, {t + 1}), CheckError);
+}
+
+TEST(Engine, RunTwiceThrows) {
+  Engine e;
+  const auto r = e.add_resource("r");
+  e.add_task("t", "c", r, 1.0);
+  (void)e.run();
+  EXPECT_THROW(e.run(), CheckError);
+}
+
+TEST(Engine, DeterministicTieBreak) {
+  // Equal-ready tasks execute in insertion order.
+  Engine e;
+  const auto r = e.add_resource("r");
+  e.add_task("first", "c", r, 1.0);
+  e.add_task("second", "c", r, 1.0);
+  const auto result = e.run();
+  EXPECT_LT(result.tasks[0].start, result.tasks[1].start);
+}
+
+TEST(Energy, IntegratesBusyAndIdle) {
+  Engine e;
+  const auto gpu = e.add_resource("gpu");
+  const auto cpu = e.add_resource("cpu");
+  e.add_task("a", "x", gpu, 2.0);
+  e.add_task("b", "x", cpu, 4.0);  // makespan 4, gpu idle for 2
+  const auto result = e.run();
+
+  PowerModel power;
+  power.set("gpu", {100.0, 10.0});
+  power.set("cpu", {50.0, 5.0});
+  const auto report = energy_report(result, power, /*tokens=*/8.0);
+  // gpu: 2 s × 100 W + 2 s × 10 W = 220 J; cpu: 4 × 50 = 200 J.
+  EXPECT_DOUBLE_EQ(report.per_resource_joules.at("gpu"), 220.0);
+  EXPECT_DOUBLE_EQ(report.per_resource_joules.at("cpu"), 200.0);
+  EXPECT_DOUBLE_EQ(report.total_joules, 420.0);
+  EXPECT_DOUBLE_EQ(report.joules_per_token, 52.5);
+}
+
+TEST(Energy, UnknownResourcesIgnoredAndSpecsValidated) {
+  Engine e;
+  const auto r = e.add_resource("mystery");
+  e.add_task("a", "x", r, 1.0);
+  const auto result = e.run();
+  PowerModel power;
+  EXPECT_DOUBLE_EQ(energy_report(result, power).total_joules, 0.0);
+  EXPECT_THROW(power.set("x", {1.0, 2.0}), util::CheckError);  // idle>active
+  EXPECT_THROW(power.get("x"), util::CheckError);
+}
+
+TEST(Energy, DefaultModelCoversScheduleResources) {
+  const auto power = PowerModel::make_default(hw::Platform::a100_single());
+  for (const char* name : {"gpu", "cpu", "h2d", "d2h", "disk"}) {
+    EXPECT_TRUE(power.has(name)) << name;
+    EXPECT_GT(power.get(name).active_watts, 0.0);
+  }
+  // A100-class GPU ≈ 400 W active.
+  EXPECT_NEAR(power.get("gpu").active_watts, 400.0, 5.0);
+}
+
+TEST(Counters, AddGetSumPrefix) {
+  Counters c;
+  c.add(channel::kH2DWeights, 10.0);
+  c.add(channel::kH2DWeights, 5.0);
+  c.add(channel::kH2DCache, 2.0);
+  c.add(channel::kD2HCache, 1.0);
+  EXPECT_DOUBLE_EQ(c.get(channel::kH2DWeights), 15.0);
+  EXPECT_DOUBLE_EQ(c.get("missing"), 0.0);
+  EXPECT_FALSE(c.has("missing"));
+  EXPECT_DOUBLE_EQ(c.sum_prefix("h2d."), 17.0);
+  EXPECT_DOUBLE_EQ(c.sum_prefix("d2h."), 1.0);
+  EXPECT_EQ(c.keys().size(), 3u);
+}
+
+TEST(Counters, MergeAccumulates) {
+  Counters a, b;
+  a.add("x", 1.0);
+  b.add("x", 2.0);
+  b.add("y", 3.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+  EXPECT_DOUBLE_EQ(a.get("y"), 3.0);
+}
+
+}  // namespace
+}  // namespace lmo::sim

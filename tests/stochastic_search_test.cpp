@@ -1,0 +1,73 @@
+// Tests for the stochastic (random-restart hill-climbing) policy search.
+#include <gtest/gtest.h>
+
+#include "lmo/sched/policy_search.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::sched {
+namespace {
+
+using model::ModelSpec;
+using model::Workload;
+
+Workload paper_workload(std::int64_t len = 32) {
+  return Workload{64, len, 64, 10};
+}
+
+TEST(StochasticSearch, DeterministicForFixedSeed) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  const auto space = SearchSpace::lm_offload();
+  const auto a = search_policy_stochastic(spec, w, platform, space, {}, 4,
+                                          30, 99);
+  const auto b = search_policy_stochastic(spec, w, platform, space, {}, 4,
+                                          30, 99);
+  EXPECT_TRUE(a.best == b.best);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+}
+
+TEST(StochasticSearch, NearExhaustiveQualityWithFewerEvaluations) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto platform = hw::Platform::a100_single();
+  const auto space = SearchSpace::lm_offload();
+  for (std::int64_t len : {8L, 32L}) {
+    const auto w = paper_workload(len);
+    const auto exhaustive = search_policy(spec, w, platform, space);
+    const auto stochastic =
+        search_policy_stochastic(spec, w, platform, space, {}, 12, 100, 7);
+    // Within 10% of the optimum at well under half the evaluations.
+    EXPECT_GT(stochastic.estimate.throughput,
+              exhaustive.estimate.throughput * 0.90)
+        << "len=" << len;
+    EXPECT_LT(stochastic.evaluated, exhaustive.evaluated) << len;
+  }
+}
+
+TEST(StochasticSearch, RespectsStructuralConstraints) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload(8);
+  const auto platform = hw::Platform::a100_single();
+  auto space = SearchSpace::lm_offload();
+  space.allow_hybrid_attention = false;
+  const auto result =
+      search_policy_stochastic(spec, w, platform, space, {}, 6, 50, 3);
+  EXPECT_NO_THROW(result.best.validate());
+  EXPECT_FALSE(result.best.hybrid_attention);
+  if (result.best.kv_quantized()) {
+    EXPECT_EQ(result.best.cache_on_gpu, 0.0);
+  }
+  EXPECT_LE(result.best.weights_on_gpu + result.best.weights_on_disk, 1.0);
+}
+
+TEST(StochasticSearch, ValidatesArguments) {
+  const auto spec = ModelSpec::opt_30b();
+  EXPECT_THROW(search_policy_stochastic(spec, paper_workload(),
+                                        hw::Platform::a100_single(),
+                                        SearchSpace::lm_offload(), {}, 0, 10,
+                                        1),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace lmo::sched

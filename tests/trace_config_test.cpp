@@ -1,0 +1,196 @@
+// Tests for the Chrome-trace exporter, the platform config parser, and the
+// disk tier.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "lmo/hw/platform_config.hpp"
+#include "lmo/perfmodel/estimator.hpp"
+#include "lmo/sched/flexgen.hpp"
+#include "lmo/sched/schedule_builder.hpp"
+#include "lmo/sim/trace_export.hpp"
+#include "lmo/util/check.hpp"
+#include "lmo/util/units.hpp"
+
+namespace lmo {
+namespace {
+
+using util::CheckError;
+
+// ----------------------------------------------------------- trace export --
+
+sim::RunResult tiny_run() {
+  sim::Engine engine;
+  const auto r1 = engine.add_resource("link");
+  const auto r2 = engine.add_resource("gpu");
+  const auto a = engine.add_task("load[0]", "load", r1, 1.5);
+  engine.add_task("compute \"x\"", "compute", r2, 2.0, {a});
+  return engine.run();
+}
+
+TEST(TraceExport, EmitsMetadataAndCompleteEvents) {
+  const std::string json = sim::to_chrome_trace(tiny_run());
+  EXPECT_NE(json.find(R"("ph":"M")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"link")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("cat":"compute")"), std::string::npos);
+  // Durations in microseconds with the default scale.
+  EXPECT_NE(json.find(R"("dur":2e+06)"), std::string::npos);
+  // Quotes in task names escaped.
+  EXPECT_NE(json.find(R"(compute \"x\")"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
+TEST(TraceExport, MinDurationFilters) {
+  sim::TraceExportOptions options;
+  options.min_duration = 1.8;
+  const std::string json = sim::to_chrome_trace(tiny_run(), options);
+  EXPECT_EQ(json.find("load[0]"), std::string::npos);
+  EXPECT_NE(json.find("compute"), std::string::npos);
+}
+
+TEST(TraceExport, SaveWritesFile) {
+  const std::string path = "trace_test_output.json";
+  sim::save_chrome_trace(tiny_run(), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line.front(), '[');
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, FullScheduleRoundTrips) {
+  perfmodel::Policy p;
+  p.weights_on_gpu = 0.5;
+  p.attention_on_cpu = true;
+  const auto report = sched::simulate(
+      model::ModelSpec::tiny(), model::Workload{4, 4, 2, 2}, p,
+      hw::Platform::a100_single(), "x");
+  const std::string json = sim::to_chrome_trace(report.run);
+  EXPECT_GT(json.size(), 1000u);
+  EXPECT_NE(json.find("compute_attention"), std::string::npos);
+}
+
+// -------------------------------------------------------- platform config --
+
+TEST(PlatformConfig, PresetLookup) {
+  EXPECT_EQ(hw::platform_by_name("a100-single").name, "a100-single");
+  EXPECT_EQ(hw::platform_by_name("v100-quad").num_gpus, 4);
+  EXPECT_THROW(hw::platform_by_name("tpu-v5"), CheckError);
+}
+
+TEST(PlatformConfig, OverridesApplyOnTopOfBase) {
+  const auto p = hw::platform_from_string(R"(
+    # a consumer box
+    base = a100-single
+    name = rtx4090-box
+    gpu.mem_capacity_gb = 24
+    gpu.peak_tflops = 165
+    cpu.cores = 16
+    cpu.hw_threads = 32
+    link.h2d_gbps = 25
+  )");
+  EXPECT_EQ(p.name, "rtx4090-box");
+  EXPECT_DOUBLE_EQ(p.gpu.mem_capacity, 24 * util::kGB);
+  EXPECT_DOUBLE_EQ(p.gpu.peak_flops, 165 * util::kTFLOP);
+  EXPECT_EQ(p.cpu.cores, 16);
+  EXPECT_DOUBLE_EQ(p.cpu_to_gpu.bandwidth, 25 * util::kGB);
+  // Unspecified values inherited from the A100 preset.
+  EXPECT_DOUBLE_EQ(p.cpu.mem_capacity, 240 * util::kGB);
+}
+
+TEST(PlatformConfig, RejectsMalformedInput) {
+  EXPECT_THROW(hw::platform_from_string("gpu.mem_capacity_gb 24"),
+               CheckError);  // missing '='
+  EXPECT_THROW(hw::platform_from_string("bogus.key = 1"), CheckError);
+  EXPECT_THROW(hw::platform_from_string("cpu.cores = twelve"), CheckError);
+  EXPECT_THROW(hw::platform_from_string("base = quantum-annealer"),
+               CheckError);
+  EXPECT_THROW(hw::platform_from_string("cpu.cores = 12 trailing"),
+               CheckError);
+}
+
+TEST(PlatformConfig, EmptyStringIsBasePreset) {
+  const auto p = hw::platform_from_string("");
+  EXPECT_EQ(p.name, "a100-single");
+}
+
+TEST(PlatformConfig, MissingFileThrows) {
+  EXPECT_THROW(hw::platform_from_file("/nonexistent/platform.conf"),
+               CheckError);
+}
+
+// -------------------------------------------------------------- disk tier --
+
+TEST(DiskTier, PolicyValidatesCombinedFractions) {
+  perfmodel::Policy p;
+  p.weights_on_gpu = 0.7;
+  p.weights_on_disk = 0.4;  // 1.1 combined
+  EXPECT_THROW(p.validate(), CheckError);
+  p.weights_on_disk = 0.3;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_NE(p.to_string().find("wd=30%"), std::string::npos);
+}
+
+TEST(DiskTier, SpillReducesCpuFootprint) {
+  const auto spec = model::ModelSpec::opt_66b();
+  const model::Workload w{64, 32, 64, 10};
+  perfmodel::Policy base;
+  base.weights_on_gpu = 0.1;
+  base.attention_on_cpu = true;
+  perfmodel::Policy spilled = base;
+  spilled.weights_on_disk = 0.5;
+  EXPECT_LT(perfmodel::cpu_resident_bytes(spec, w, spilled),
+            perfmodel::cpu_resident_bytes(spec, w, base));
+  EXPECT_GT(perfmodel::disk_resident_bytes(spec, w, spilled), 0.0);
+  EXPECT_EQ(perfmodel::disk_resident_bytes(spec, w, base), 0.0);
+}
+
+TEST(DiskTier, DiskStreamingSlowsDecode) {
+  const auto spec = model::ModelSpec::opt_30b();
+  const model::Workload w{64, 16, 64, 10};
+  const auto platform = hw::Platform::a100_single();
+  perfmodel::Policy base;
+  base.weights_on_gpu = 0.3;
+  base.attention_on_cpu = true;
+  perfmodel::Policy spilled = base;
+  spilled.weights_on_disk = 0.5;
+  const auto est_base = perfmodel::estimate(spec, w, base, platform);
+  const auto est_spilled = perfmodel::estimate(spec, w, spilled, platform);
+  ASSERT_TRUE(est_base.fits);
+  ASSERT_TRUE(est_spilled.fits);
+  // NVMe at 3 GB/s throttles the weight stream hard.
+  EXPECT_LT(est_spilled.throughput, est_base.throughput * 0.7);
+  EXPECT_GT(est_spilled.mid_step.load_weight_disk, 0.0);
+  // Less disk→CPU staging at init (the spilled share stays on disk).
+  EXPECT_LT(est_spilled.t_init, est_base.t_init);
+}
+
+TEST(DiskTier, DesEmitsDiskReads) {
+  const auto spec = model::ModelSpec::opt_30b();
+  const model::Workload w{64, 4, 64, 2};
+  perfmodel::Policy p;
+  p.weights_on_gpu = 0.3;
+  p.weights_on_disk = 0.4;
+  p.attention_on_cpu = true;
+  const auto report =
+      sched::simulate(spec, w, p, hw::Platform::a100_single(), "x");
+  EXPECT_GT(report.run.category_busy("disk_read"), 0.0);
+  EXPECT_GT(report.run.resource_busy("disk"), 0.0);
+}
+
+TEST(DiskTier, FlexGenSearchUsesDiskWhenCpuIsTight) {
+  // OPT-66B at a large block exceeds 240 GB host memory in fp16 — the LP
+  // must spill weights to disk to find any feasible policy.
+  const auto spec = model::ModelSpec::opt_66b();
+  const model::Workload w{64, 32, 64, 10};
+  const auto planned =
+      sched::FlexGen::plan(spec, w, hw::Platform::a100_single());
+  EXPECT_GT(planned.best.weights_on_disk, 0.0);
+}
+
+}  // namespace
+}  // namespace lmo

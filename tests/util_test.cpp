@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "lmo/util/check.hpp"
+#include "lmo/util/csv.hpp"
+#include "lmo/util/logging.hpp"
+#include "lmo/util/rng.hpp"
+#include "lmo/util/stats.hpp"
+#include "lmo/util/string_util.hpp"
+#include "lmo/util/table.hpp"
+#include "lmo/util/units.hpp"
+
+namespace lmo::util {
+namespace {
+
+// ---------------------------------------------------------------- check --
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(LMO_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(LMO_CHECK_EQ(4, 4));
+  EXPECT_NO_THROW(LMO_CHECK_LT(1, 2));
+}
+
+TEST(Check, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(LMO_CHECK(false), CheckError);
+  EXPECT_THROW(LMO_CHECK_EQ(1, 2), CheckError);
+  EXPECT_THROW(LMO_CHECK_GT(1.0, 2.0), CheckError);
+}
+
+TEST(Check, MessageContainsOperandsAndLocation) {
+  try {
+    LMO_CHECK_EQ(3, 5);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lhs=3"), std::string::npos);
+    EXPECT_NE(what.find("rhs=5"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckMsgIncludesCustomMessage) {
+  try {
+    LMO_CHECK_MSG(false, "custom context");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"),
+              std::string::npos);
+  }
+}
+
+// -------------------------------------------------------------- logging --
+
+TEST(Logging, RespectsLevelAndSink) {
+  std::vector<std::string> captured;
+  Logger::instance().set_sink(
+      [&](const std::string& line) { captured.push_back(line); });
+  Logger::instance().set_level(LogLevel::kWarn);
+
+  LMO_INFO << "hidden";
+  LMO_WARN << "visible " << 42;
+
+  Logger::instance().set_sink(nullptr);
+  Logger::instance().set_level(LogLevel::kWarn);
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_NE(captured[0].find("visible 42"), std::string::npos);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+// ---------------------------------------------------------------- units --
+
+TEST(Units, FormatBytesPicksScale) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2.5 * kKB), "2.50 KB");
+  EXPECT_EQ(format_bytes(157 * kGB), "157.00 GB");
+  EXPECT_EQ(format_bytes(1.2 * kTB), "1.20 TB");
+}
+
+TEST(Units, FormatSecondsPicksScale) {
+  EXPECT_EQ(format_seconds(2.5), "2.500 s");
+  EXPECT_EQ(format_seconds(0.0032), "3.200 ms");
+  EXPECT_EQ(format_seconds(15e-6), "15.0 us");
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(64 * kGB), "64.00 GB/s");
+}
+
+// ---------------------------------------------------------------- stats --
+
+TEST(RunningStat, MeanVarianceMinMax) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(x);
+  EXPECT_EQ(stat.count(), 8u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesPooledComputation) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(SampleSet, QuantilesExactOnKnownData) {
+  SampleSet s;
+  for (int i = 1; i <= 9; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 9.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(SampleSet, QuantileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 7.5);
+}
+
+TEST(SampleSet, EmptyQuantileThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), CheckError);
+}
+
+// ------------------------------------------------------------------ rng --
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += (a() != b());
+  EXPECT_GT(differing, 12);
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, NormalHasRoughlyUnitMoments) {
+  Xoshiro256 rng(23);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) stat.add(rng.normal());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.03);
+}
+
+// ---------------------------------------------------------- string_util --
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, PrefixSuffixJoinPad) {
+  EXPECT_TRUE(starts_with("lm-offload", "lm-"));
+  EXPECT_FALSE(starts_with("lm", "lmo"));
+  EXPECT_TRUE(ends_with("report.csv", ".csv"));
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("7", 3), "7  ");
+}
+
+// ---------------------------------------------------------------- table --
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "tput"});
+  t.add_row({"flexgen", "51.00"});
+  t.add_row({"lm-offload", "117.00"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("117.00"), std::string::npos);
+  // Header separator row exists.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, NumFormatsFixed) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+// ------------------------------------------------------------------ csv --
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter csv({"k", "v"});
+  csv.add_row({"plain", "a,b"});
+  csv.add_row({"quote", "say \"hi\""});
+  const std::string out = csv.to_string();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, RoundTripLineCount) {
+  CsvWriter csv({"x"});
+  for (int i = 0; i < 5; ++i) csv.add_row({std::to_string(i)});
+  const auto lines = split(trim(csv.to_string()), '\n');
+  EXPECT_EQ(lines.size(), 6u);  // header + 5 rows
+}
+
+TEST(CsvReader, ParsesWriterOutputExactly) {
+  CsvWriter writer({"name", "value"});
+  writer.add_row({"plain", "1"});
+  writer.add_row({"comma, inside", "2"});
+  writer.add_row({"quote \"q\"", "3"});
+  writer.add_row({"multi\nline", "4"});
+  const auto reader = CsvReader::parse(writer.to_string());
+  ASSERT_EQ(reader.rows(), 4u);
+  EXPECT_EQ(reader.header(), (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ(reader.at(1, "name"), "comma, inside");
+  EXPECT_EQ(reader.at(2, "name"), "quote \"q\"");
+  EXPECT_EQ(reader.at(3, "name"), "multi\nline");
+  EXPECT_EQ(reader.at(3, "value"), "4");
+}
+
+TEST(CsvReader, ColumnLookup) {
+  const auto reader = CsvReader::parse("a,b\n1,2\n");
+  EXPECT_EQ(reader.column("b"), 1u);
+  EXPECT_THROW(reader.column("c"), CheckError);
+  EXPECT_THROW(reader.row(1), CheckError);
+}
+
+TEST(CsvReader, ToleratesCrlfAndMissingTrailingNewline) {
+  const auto reader = CsvReader::parse("a,b\r\n1,2\r\n3,4");
+  ASSERT_EQ(reader.rows(), 2u);
+  EXPECT_EQ(reader.at(1, "b"), "4");
+}
+
+TEST(CsvReader, RejectsMalformed) {
+  EXPECT_THROW(CsvReader::parse(""), CheckError);
+  EXPECT_THROW(CsvReader::parse("a,b\n1\n"), CheckError);  // ragged
+  EXPECT_THROW(CsvReader::parse("a\n\"unterminated\n"), CheckError);
+  EXPECT_THROW(CsvReader::load("/nonexistent.csv"), CheckError);
+}
+
+}  // namespace
+}  // namespace lmo::util
