@@ -108,6 +108,7 @@ Generator::Generator(const RuntimeConfig& config)
   host_pool_ = std::make_unique<MemoryPool>("host", config.host_capacity);
   manager_ = std::make_unique<OffloadManager>(
       *device_pool_, *host_pool_, config.weight_bits, config.quant_group);
+  manager_->set_recovery(config.recovery);
   transformer_ = std::make_unique<Transformer>(
       config.spec, *manager_, config.device_layers, config.seed);
   if (config.prefetch_threads > 0) {

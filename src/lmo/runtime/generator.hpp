@@ -43,6 +43,8 @@ struct RuntimeConfig {
   bool paged_kv = false;
   std::int64_t page_tokens = 16;  ///< token slots per page
   int prefetch_threads = 2;  ///< 0 disables async weight prefetch
+  /// Transfer-retry / watchdog / degradation knobs (see OffloadManager).
+  RecoveryConfig recovery;
   /// Intra-op threads for the attention kernel (heads split across a
   /// pool); 0 = serial. Results are bit-identical either way.
   int compute_threads = 0;

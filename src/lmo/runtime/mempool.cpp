@@ -1,6 +1,8 @@
 #include "lmo/runtime/mempool.hpp"
 
 #include "lmo/util/check.hpp"
+#include "lmo/util/fault.hpp"
+#include "lmo/util/status.hpp"
 #include "lmo/util/units.hpp"
 
 namespace lmo::runtime {
@@ -11,16 +13,31 @@ MemoryPool::MemoryPool(std::string name, std::size_t capacity_bytes)
 }
 
 void MemoryPool::charge(std::size_t bytes) {
+  auto& injector = util::FaultInjector::instance();
+  if (injector.enabled() &&
+      injector.should_fail_alloc("pool." + name_ + ".charge")) {
+    throw util::ResourceExhausted("pool '" + name_ +
+                                  "' allocation denied by fault injection");
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  LMO_CHECK_MSG(used_ + bytes <= capacity_,
-                "pool '" + name_ + "' exhausted: " +
-                    util::format_bytes(static_cast<double>(used_)) + " used + " +
-                    util::format_bytes(static_cast<double>(bytes)) +
-                    " requested > " +
-                    util::format_bytes(static_cast<double>(capacity_)) +
-                    " capacity");
+  if (used_ + bytes > capacity_) {
+    throw util::ResourceExhausted(
+        "pool '" + name_ + "' exhausted: " +
+        util::format_bytes(static_cast<double>(used_)) + " used + " +
+        util::format_bytes(static_cast<double>(bytes)) + " requested > " +
+        util::format_bytes(static_cast<double>(capacity_)) + " capacity");
+  }
   used_ += bytes;
   if (used_ > peak_) peak_ = used_;
+}
+
+bool MemoryPool::try_charge(std::size_t bytes) {
+  try {
+    charge(bytes);
+  } catch (const util::ResourceExhausted&) {
+    return false;
+  }
+  return true;
 }
 
 void MemoryPool::release(std::size_t bytes) {

@@ -19,9 +19,13 @@ class MemoryPool {
   const std::string& name() const { return name_; }
   std::size_t capacity() const { return capacity_; }
 
-  /// Charge an allocation; throws PoolExhausted (a CheckError subtype
-  /// message) when it would exceed capacity.
+  /// Charge an allocation; throws util::ResourceExhausted (a CheckError
+  /// subtype) when it would exceed capacity. Consults the fault injector
+  /// at site "pool.<name>.charge", so chaos suites can deny allocations.
   void charge(std::size_t bytes);
+  /// Non-throwing charge; returns false when the pool cannot afford it
+  /// (or the fault injector denies it).
+  bool try_charge(std::size_t bytes);
   /// Release a previous charge.
   void release(std::size_t bytes);
 

@@ -1,11 +1,17 @@
 #include "lmo/runtime/offload_manager.hpp"
 
 #include <chrono>
+#include <thread>
 
 #include "lmo/util/check.hpp"
+#include "lmo/util/fault.hpp"
+#include "lmo/util/status.hpp"
 
 namespace lmo::runtime {
 namespace {
+
+constexpr const char* kFetchSite = "offload.fetch.transfer";
+constexpr const char* kPrefetchSite = "offload.prefetch.transfer";
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -13,7 +19,18 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+void sleep_seconds(double seconds) {
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
 }  // namespace
+
+void RecoveryConfig::validate() const {
+  LMO_CHECK_GE(max_transfer_attempts, 1);
+  LMO_CHECK_GE(retry_backoff_seconds, 0.0);
+}
 
 OffloadManager::OffloadManager(MemoryPool& device_pool, MemoryPool& host_pool,
                                int quant_bits, std::int64_t group_size)
@@ -22,6 +39,23 @@ OffloadManager::OffloadManager(MemoryPool& device_pool, MemoryPool& host_pool,
       quant_bits_(quant_bits),
       group_size_(group_size) {
   LMO_CHECK(quant_bits == 16 || quant_bits == 8 || quant_bits == 4);
+}
+
+void OffloadManager::set_recovery(const RecoveryConfig& recovery) {
+  recovery.validate();
+  std::lock_guard<std::mutex> lock(mutex_);
+  recovery_ = recovery;
+}
+
+std::size_t OffloadManager::staged_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return staged_.size();
+}
+
+std::size_t OffloadManager::evict_staged_locked() {
+  const std::size_t n = staged_.size();
+  staged_.clear();  // StagedEntry charges release their device-pool bytes
+  return n;
 }
 
 void OffloadManager::register_tensor(const std::string& name,
@@ -34,17 +68,50 @@ void OffloadManager::register_tensor(const std::string& name,
   Entry entry;
   entry.tier = tier;
   if (tier == Tier::kDevice) {
-    entry.plain = std::move(value);
-    entry.charge = PoolCharge(device_pool_, entry.plain.byte_size());
-  } else if (quant_bits_ == 16) {
-    entry.plain = value.cast(tensor::DType::kF16);
-    entry.charge = PoolCharge(host_pool_, entry.plain.byte_size());
-  } else {
-    const auto start = std::chrono::steady_clock::now();
-    entry.quantized = tensor::quantize(
-        value, tensor::QuantConfig{quant_bits_, group_size_});
-    stats_.quantize_seconds += seconds_since(start);
-    entry.charge = PoolCharge(host_pool_, entry.quantized.byte_size());
+    entry.plain = value;
+    try {
+      entry.charge = PoolCharge(device_pool_, entry.plain.byte_size());
+      entries_[name] = std::move(entry);
+      return;
+    } catch (const util::ResourceExhausted&) {
+      if (!recovery_.allow_degradation) throw;
+      // Ladder rung 1: reclaim device-side staging buffers and retry.
+      stats_.staged_evictions += evict_staged_locked();
+    }
+    try {
+      entry.charge = PoolCharge(device_pool_, entry.plain.byte_size());
+      entries_[name] = std::move(entry);
+      return;
+    } catch (const util::ResourceExhausted&) {
+      // Ladder rung 2: demote to the host tier (streamed on fetch).
+      ++stats_.degradations;
+      entry.plain = tensor::Tensor();
+      entry.tier = Tier::kHost;
+    }
+  }
+
+  // Host tier (possibly after demotion): fp16 → 8-bit → 4-bit ladder.
+  int bits = quant_bits_;
+  for (;;) {
+    try {
+      if (bits == 16) {
+        entry.plain = value.cast(tensor::DType::kF16);
+        entry.charge = PoolCharge(host_pool_, entry.plain.byte_size());
+      } else {
+        const auto start = std::chrono::steady_clock::now();
+        entry.quantized =
+            tensor::quantize(value, tensor::QuantConfig{bits, group_size_});
+        stats_.quantize_seconds += seconds_since(start);
+        entry.plain = tensor::Tensor();
+        entry.charge = PoolCharge(host_pool_, entry.quantized.byte_size());
+      }
+      break;
+    } catch (const util::ResourceExhausted&) {
+      const int next = bits == 16 ? 8 : bits == 8 ? 4 : 0;
+      if (!recovery_.allow_degradation || next == 0) throw;
+      ++stats_.degradations;
+      bits = next;
+    }
   }
   entries_[name] = std::move(entry);
 }
@@ -67,6 +134,11 @@ std::size_t OffloadManager::stored_bytes(const std::string& name) const {
                                    : entry.plain.byte_size();
 }
 
+std::size_t OffloadManager::payload_bytes(const Entry& entry) const {
+  return entry.quantized.defined() ? entry.quantized.byte_size()
+                                   : entry.plain.byte_size();
+}
+
 tensor::Tensor OffloadManager::materialize(const Entry& entry) {
   // Host → device transfer of the stored payload. Entries are immutable
   // after registration, so this runs without the manager lock; stats are
@@ -75,6 +147,39 @@ tensor::Tensor OffloadManager::materialize(const Entry& entry) {
     return tensor::dequantize(entry.quantized);
   }
   return entry.plain.cast(tensor::DType::kF32);
+}
+
+tensor::Tensor OffloadManager::transfer_with_retries(const Entry& entry,
+                                                     const char* site) {
+  auto& injector = util::FaultInjector::instance();
+  double backoff = recovery_.retry_backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    if (injector.enabled()) {
+      sleep_seconds(injector.injected_delay(site));  // bandwidth spike
+      if (injector.should_fail(site)) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (attempt >= recovery_.max_transfer_attempts) {
+          ++stats_.transfer_failures;
+          throw util::TransferError(
+              std::string("transient transfer failure at ") + site +
+              ", retry budget exhausted after " + std::to_string(attempt) +
+              " attempts");
+        }
+        ++stats_.transfer_retries;
+        lock.unlock();
+        sleep_seconds(backoff);
+        backoff *= 2.0;
+        continue;
+      }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    tensor::Tensor value = materialize(entry);
+    if (entry.quantized.defined()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.dequantize_seconds += seconds_since(start);
+    }
+    return value;
+  }
 }
 
 tensor::Tensor OffloadManager::fetch(const std::string& name) {
@@ -90,25 +195,42 @@ tensor::Tensor OffloadManager::fetch(const std::string& name) {
       return entry->plain;  // already f32, shared storage
     }
     // An in-flight prefetch of this tensor will stage it shortly; waiting
-    // is cheaper than a duplicate transfer.
-    staged_cv_.wait(lock, [&] { return in_flight_.count(name) == 0; });
+    // is cheaper than a duplicate transfer — but only up to the watchdog:
+    // a hung prefetch must not stall decode forever.
+    bool fallback = false;
+    if (in_flight_.count(name) != 0) {
+      const auto ready = [&] { return in_flight_.count(name) == 0; };
+      if (recovery_.prefetch_wait_seconds > 0.0) {
+        if (!staged_cv_.wait_for(
+                lock,
+                std::chrono::duration<double>(recovery_.prefetch_wait_seconds),
+                ready)) {
+          ++stats_.prefetch_timeouts;
+          abandoned_.insert(name);  // late result will be discarded
+          fallback = true;
+        }
+      } else {
+        staged_cv_.wait(lock, ready);
+      }
+    }
     auto staged = staged_.find(name);
     if (staged != staged_.end()) {
-      tensor::Tensor value = std::move(staged->second);
-      staged_.erase(staged);
+      tensor::Tensor value = std::move(staged->second.value);
+      staged_.erase(staged);  // releases the device-side staging charge
       ++stats_.staging_hits;
       return value;
     }
-    const std::size_t payload = entry->quantized.defined()
-                                    ? entry->quantized.byte_size()
-                                    : entry->plain.byte_size();
-    stats_.bytes_host_to_device += static_cast<double>(payload);
+    if (failed_.erase(name) != 0) fallback = true;
+    if (fallback) ++stats_.sync_fallbacks;
   }
-  const auto start = std::chrono::steady_clock::now();
-  tensor::Tensor value = materialize(*entry);
-  if (entry->quantized.defined()) {
+  // Synchronous transfer (cold fetch, or recovery after a failed / hung
+  // prefetch). Bytes are charged only once the transfer succeeds.
+  tensor::Tensor value = transfer_with_retries(*entry, kFetchSite);
+  {
     std::lock_guard<std::mutex> lock(mutex_);
-    stats_.dequantize_seconds += seconds_since(start);
+    stats_.bytes_host_to_device +=
+        static_cast<double>(payload_bytes(*entry));
+    ++stats_.host_transfers;
   }
   return value;
 }
@@ -131,28 +253,66 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
       return future;
     }
     in_flight_.insert(name);
-    const std::size_t payload = entry->quantized.defined()
-                                    ? entry->quantized.byte_size()
-                                    : entry->plain.byte_size();
-    stats_.bytes_host_to_device += static_cast<double>(payload);
   }
   pool.submit([this, name, entry, promise] {
     try {
-      const auto start = std::chrono::steady_clock::now();
-      tensor::Tensor value = materialize(*entry);
+      tensor::Tensor value = transfer_with_retries(*entry, kPrefetchSite);
       {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (entry->quantized.defined()) {
-          stats_.dequantize_seconds += seconds_since(start);
+        // The payload moved over the bus whether or not anyone still wants
+        // it; account the traffic at transfer success, exactly once.
+        stats_.bytes_host_to_device +=
+            static_cast<double>(payload_bytes(*entry));
+        ++stats_.host_transfers;
+        if (abandoned_.erase(name) != 0) {
+          // A fetch timed out waiting for us and already recovered
+          // synchronously; drop the late result.
+          ++stats_.prefetch_discards;
+        } else {
+          StagedEntry staged;
+          staged.value = std::move(value);
+          const std::size_t bytes = staged.value.byte_size();
+          bool charged = false;
+          try {
+            staged.charge = PoolCharge(device_pool_, bytes);
+            charged = true;
+          } catch (const util::ResourceExhausted&) {
+            // Staging buffers are reclaimable: evict and retry once.
+            stats_.staged_evictions += evict_staged_locked();
+            try {
+              staged.charge = PoolCharge(device_pool_, bytes);
+              charged = true;
+            } catch (const util::ResourceExhausted&) {
+            }
+          }
+          if (charged) {
+            failed_.erase(name);
+            staged_.emplace(name, std::move(staged));
+          } else {
+            ++stats_.prefetch_failures;
+            failed_.insert(name);  // next fetch falls back synchronously
+          }
         }
-        staged_.emplace(name, std::move(value));
+        in_flight_.erase(name);
+      }
+      staged_cv_.notify_all();
+      promise->set_value();
+    } catch (const util::TransferError&) {
+      // Retry budget exhausted: recover by falling back, not by failing
+      // the pipeline — the next fetch() transfers synchronously.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (abandoned_.erase(name) == 0) failed_.insert(name);
+        ++stats_.prefetch_failures;
         in_flight_.erase(name);
       }
       staged_cv_.notify_all();
       promise->set_value();
     } catch (...) {
+      // Contract violations keep the seed's fail-fast semantics.
       {
         std::lock_guard<std::mutex> lock(mutex_);
+        abandoned_.erase(name);
         in_flight_.erase(name);
       }
       staged_cv_.notify_all();

@@ -4,6 +4,14 @@
 // asynchronous prefetch on a thread pool (the runtime's analogue of
 // Algorithm 1's load_weight task). Byte counters record the traffic the
 // paper's Table 1 accounts.
+//
+// Robustness (see docs/robustness.md): transfers pass through the fault
+// injector at sites "offload.fetch.transfer" / "offload.prefetch.transfer".
+// Transient failures are retried with bounded exponential backoff; a failed
+// or hung prefetch makes the next fetch fall back to a synchronous
+// transfer (a watchdog bounds the wait); pool exhaustion at registration
+// walks a degradation ladder (evict staged entries, re-quantize 16→8→4)
+// before giving up. OffloadStats accounts every recovery action exactly.
 #pragma once
 
 #include <condition_variable>
@@ -28,9 +36,39 @@ struct OffloadStats {
   std::uint64_t fetches = 0;
   std::uint64_t device_hits = 0;       ///< fetch served from device tier
   std::uint64_t staging_hits = 0;      ///< fetch served by a prior prefetch
+  std::uint64_t host_transfers = 0;    ///< successful host→device transfers
   double bytes_host_to_device = 0.0;   ///< payload actually moved
   double quantize_seconds = 0.0;       ///< one-time compression at register
   double dequantize_seconds = 0.0;     ///< per-fetch expansion
+
+  // Recovery accounting. Each counter matches the corresponding injector /
+  // ladder event exactly (asserted by the chaos tests).
+  std::uint64_t transfer_retries = 0;   ///< failed attempts that were retried
+  std::uint64_t transfer_failures = 0;  ///< retry budget exhausted (thrown)
+  std::uint64_t prefetch_failures = 0;  ///< async loads that gave up
+  std::uint64_t prefetch_timeouts = 0;  ///< fetch watchdog expiries
+  std::uint64_t sync_fallbacks = 0;     ///< fetches recovered synchronously
+  std::uint64_t prefetch_discards = 0;  ///< late results of abandoned loads
+  std::uint64_t degradations = 0;       ///< ladder re-quantize / demote steps
+  std::uint64_t staged_evictions = 0;   ///< staging slots evicted by ladder
+};
+
+/// Knobs for the recovery machinery. The defaults keep fault-free behavior
+/// identical to the fail-fast seed (no fault → no retry, no timeout, no
+/// degradation ever triggers).
+struct RecoveryConfig {
+  /// Total transfer attempts (1 initial + up to N-1 retries).
+  int max_transfer_attempts = 4;
+  /// First retry backoff; doubles per further retry.
+  double retry_backoff_seconds = 50e-6;
+  /// Watchdog on fetch() waiting for an in-flight prefetch; past this the
+  /// prefetch is abandoned and the fetch transfers synchronously.
+  /// <= 0 waits forever (the seed behavior).
+  double prefetch_wait_seconds = 2.0;
+  /// Walk the pool-exhaustion degradation ladder instead of throwing.
+  bool allow_degradation = true;
+
+  void validate() const;
 };
 
 class OffloadManager {
@@ -42,7 +80,9 @@ class OffloadManager {
 
   /// Register a tensor under `name` with home `tier`. Device-tier tensors
   /// stay in f32 (compute precision); host-tier tensors are stored fp16 or
-  /// quantized. Charges the matching pool.
+  /// quantized. Charges the matching pool; on exhaustion walks the
+  /// degradation ladder (device: evict staged, demote to host; host:
+  /// re-quantize 16→8→4) before surfacing ResourceExhausted.
   void register_tensor(const std::string& name, tensor::Tensor value,
                        Tier tier);
 
@@ -51,18 +91,29 @@ class OffloadManager {
   std::size_t stored_bytes(const std::string& name) const;
 
   /// Fetch for compute: returns an f32 tensor. Host-tier tensors are
-  /// "transferred" (counted) and dequantized/upcast on the way.
+  /// "transferred" (counted) and dequantized/upcast on the way. Transient
+  /// transfer failures are retried; only an exhausted retry budget throws
+  /// TransferError.
   tensor::Tensor fetch(const std::string& name);
 
   /// Asynchronous prefetch on `pool`: materializes the tensor off-thread
   /// and parks it in a staging slot that the next fetch() of the same name
   /// consumes without re-transferring — the runtime analogue of Algorithm
-  /// 1 overlapping load_weight with compute.
+  /// 1 overlapping load_weight with compute. A prefetch that fails after
+  /// retries completes its future *normally* and marks the name so the
+  /// next fetch falls back to a synchronous transfer; only contract
+  /// violations propagate through the future.
   std::future<void> prefetch(const std::string& name,
                              parallel::ThreadPool& pool);
 
   const OffloadStats& stats() const { return stats_; }
   int quant_bits() const { return quant_bits_; }
+
+  void set_recovery(const RecoveryConfig& recovery);
+  const RecoveryConfig& recovery() const { return recovery_; }
+
+  /// Staging slots currently occupied (prefetched, not yet consumed).
+  std::size_t staged_count() const;
 
  private:
   struct Entry {
@@ -73,17 +124,31 @@ class OffloadManager {
     PoolCharge charge;
   };
 
+  struct StagedEntry {
+    tensor::Tensor value;
+    PoolCharge charge;  ///< device-side staging buffer
+  };
+
   tensor::Tensor materialize(const Entry& entry);
+  /// One transfer with injected faults, bounded-backoff retries and stats
+  /// accounting. Called without the manager lock.
+  tensor::Tensor transfer_with_retries(const Entry& entry, const char* site);
+  std::size_t payload_bytes(const Entry& entry) const;
+  /// Drop every staging slot (ladder rung); returns freed charge count.
+  std::size_t evict_staged_locked();
 
   MemoryPool& device_pool_;
   MemoryPool& host_pool_;
   int quant_bits_;
   std::int64_t group_size_;
+  RecoveryConfig recovery_;
   std::map<std::string, Entry> entries_;
-  std::map<std::string, tensor::Tensor> staged_;
-  std::set<std::string> in_flight_;  ///< prefetches not yet staged
+  std::map<std::string, StagedEntry> staged_;
+  std::set<std::string> in_flight_;   ///< prefetches not yet staged
+  std::set<std::string> failed_;      ///< prefetches that gave up
+  std::set<std::string> abandoned_;   ///< timed-out prefetches to discard
   std::condition_variable staged_cv_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   OffloadStats stats_;
 };
 

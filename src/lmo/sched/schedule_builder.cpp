@@ -165,6 +165,10 @@ class Builder {
     }
   }
 
+  void set_fault_model(const sim::FaultModel& model) {
+    engine_.set_fault_model(model);
+  }
+
   SimulationReport finish(const std::string& framework) {
     SimulationReport report;
     report.framework = framework;
@@ -597,6 +601,8 @@ SimulationReport simulate(const ModelSpec& spec, const Workload& workload,
   } else {
     emit_step(options.single_step);
   }
+
+  if (options.fault_model) builder.set_fault_model(*options.fault_model);
 
   SimulationReport report = builder.finish(framework);
   report.init_seconds = est.t_init;

@@ -12,6 +12,8 @@
 // emits transfer tasks, so traffic accounting and timing always agree.
 #pragma once
 
+#include <optional>
+
 #include "lmo/hw/platform.hpp"
 #include "lmo/model/llm_config.hpp"
 #include "lmo/model/memory.hpp"
@@ -48,6 +50,10 @@ struct BuildOptions {
   /// traffic matches the smeared mode up to rounding; the schedule gets
   /// burstier.
   bool per_layer_weights = false;
+  /// Degrade the run with the DES fault model (task failures +
+  /// re-executions), so the performance model predicts recovery overhead;
+  /// see bench_robustness. Empty = clean execution.
+  std::optional<sim::FaultModel> fault_model;
 };
 
 /// Simulate `spec` × `workload` under `policy` on `platform`. Computes the

@@ -12,6 +12,15 @@ namespace lmo::serve {
 void ServeConfig::validate() const {
   LMO_CHECK_GE(max_batch, 1);
   LMO_CHECK_GE(prefill_chunk, 0);
+  LMO_CHECK_GE(deadline_seconds, 0.0);
+  LMO_CHECK_GE(max_retries, 0);
+  LMO_CHECK_MSG(max_retries == 0 || deadline_seconds > 0.0,
+                "max_retries only makes sense with a deadline");
+  for (const FaultWindow& w : fault_windows) {
+    LMO_CHECK_GT(w.end, w.begin);
+    LMO_CHECK_GT(w.bandwidth_factor, 0.0);
+    LMO_CHECK_LE(w.bandwidth_factor, 1.0);
+  }
 }
 
 namespace {
@@ -21,8 +30,17 @@ struct Active {
   std::int64_t prefilled = 0;  ///< prompt tokens processed so far
   std::int64_t generated = 0;
   double first_token_time = -1.0;
+  double submit = 0.0;  ///< this attempt's submission time (deadline base)
+  int attempt = 1;      ///< 1 + re-admissions consumed so far
 
   bool decoding() const { return prefilled >= request.prompt_len; }
+};
+
+/// A queued attempt: the original request plus retry bookkeeping.
+struct Queued {
+  const Request* request = nullptr;
+  double submit = 0.0;
+  int attempt = 1;
 };
 
 /// Duration of one engine step for the current batch composition: a decode
@@ -119,7 +137,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
                  requests[i - 1].arrival_seconds);
   }
 
-  std::deque<const Request*> queue;
+  std::deque<Queued> queue;
   std::size_t next_arrival = 0;
   std::vector<Active> active;
   double clock = 0.0;
@@ -129,10 +147,23 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   ServeMetrics metrics;
   metrics.outcomes.resize(requests.size());
 
+  // Smallest bandwidth factor among fault windows containing `now`; step
+  // durations divide by this, stretching work inside degraded intervals.
+  const auto bandwidth_factor = [&](double now) {
+    double factor = 1.0;
+    for (const FaultWindow& w : config.fault_windows) {
+      if (now >= w.begin && now < w.end) {
+        factor = std::min(factor, w.bandwidth_factor);
+      }
+    }
+    return factor;
+  };
+
   const auto pull_arrivals = [&](double now) {
     while (next_arrival < requests.size() &&
            requests[next_arrival].arrival_seconds <= now) {
-      queue.push_back(&requests[next_arrival]);
+      queue.push_back(Queued{&requests[next_arrival],
+                             requests[next_arrival].arrival_seconds, 1});
       ++next_arrival;
     }
   };
@@ -141,10 +172,10 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     std::vector<const Request*> admitted;
     while (!queue.empty() &&
            static_cast<std::int64_t>(active.size()) < config.max_batch) {
-      const Request* r = queue.front();
+      const Queued q = queue.front();
       queue.pop_front();
-      active.push_back(Active{*r, 0, 0, -1.0});
-      admitted.push_back(r);
+      active.push_back(Active{*q.request, 0, 0, -1.0, q.submit, q.attempt});
+      admitted.push_back(q.request);
     }
     return admitted;
   };
@@ -168,7 +199,8 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     if (config.prefill_chunk == 0) {
       // Monolithic prefill on admission: newcomers stall the engine.
       if (!admitted.empty()) {
-        clock += prefill_seconds(spec, policy, platform, admitted);
+        clock += prefill_seconds(spec, policy, platform, admitted) /
+                 bandwidth_factor(clock);
         for (auto& a : active) {
           if (!a.decoding()) a.prefilled = a.request.prompt_len;
         }
@@ -196,7 +228,8 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     std::int64_t decoding = 0;
     for (const auto& a : active) decoding += a.decoding();
     const double step =
-        decode_step_seconds(spec, policy, platform, active) + prefill_cost;
+        (decode_step_seconds(spec, policy, platform, active) + prefill_cost) /
+        bandwidth_factor(clock);
     LMO_CHECK_GT(step, 0.0);
     occupancy_integral += static_cast<double>(active.size()) * step;
     clock += step;
@@ -216,10 +249,47 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
         outcome.ttft = it->first_token_time - it->request.arrival_seconds;
         outcome.latency = clock - it->request.arrival_seconds;
         outcome.tokens = it->generated;
+        outcome.attempts = it->attempt;
+        outcome.completed = true;
+        outcome.met_deadline = config.deadline_seconds <= 0.0 ||
+                               clock - it->submit <= config.deadline_seconds;
         ++metrics.completed;
         it = active.erase(it);
       } else {
         ++it;
+      }
+    }
+
+    // Deadline enforcement at step boundaries: abort overdue attempts;
+    // the client resubmits (fresh attempt clock) while retries remain,
+    // otherwise the request fails for good.
+    if (config.deadline_seconds > 0.0) {
+      for (auto it = active.begin(); it != active.end();) {
+        if (clock - it->submit <= config.deadline_seconds) {
+          ++it;
+          continue;
+        }
+        ++metrics.deadline_misses;
+        if (it->attempt <= config.max_retries) {
+          ++metrics.retries;
+          queue.push_back(Queued{&requests[static_cast<std::size_t>(
+                                     it->request.id)],
+                                 clock, it->attempt + 1});
+        } else {
+          auto& outcome =
+              metrics.outcomes[static_cast<std::size_t>(it->request.id)];
+          outcome.id = it->request.id;
+          outcome.ttft = it->first_token_time >= 0.0
+                             ? it->first_token_time -
+                                   it->request.arrival_seconds
+                             : 0.0;
+          outcome.latency = clock - it->request.arrival_seconds;
+          outcome.tokens = it->generated;
+          outcome.attempts = it->attempt;
+          outcome.completed = false;
+          outcome.met_deadline = false;
+        }
+        it = active.erase(it);
       }
     }
   }
@@ -232,16 +302,31 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
       static_cast<double>(metrics.completed) / metrics.duration;
   metrics.mean_batch_occupancy = occupancy_integral / metrics.duration;
 
+  // Goodput and SLO attainment: only tokens of requests that completed
+  // within their deadline count as useful work.
+  std::int64_t good_tokens = 0;
+  std::size_t slo_met = 0;
   util::SampleSet ttft;
   util::SampleSet latency;
   for (const auto& outcome : metrics.outcomes) {
-    ttft.add(outcome.ttft);
-    latency.add(outcome.latency);
+    if (outcome.completed && outcome.met_deadline) {
+      good_tokens += outcome.tokens;
+      ++slo_met;
+    }
+    if (outcome.completed) {
+      ttft.add(outcome.ttft);
+      latency.add(outcome.latency);
+    }
   }
-  metrics.ttft_p50 = ttft.quantile(0.5);
-  metrics.ttft_p95 = ttft.quantile(0.95);
-  metrics.latency_p50 = latency.quantile(0.5);
-  metrics.latency_p95 = latency.quantile(0.95);
+  metrics.goodput = static_cast<double>(good_tokens) / metrics.duration;
+  metrics.slo_attainment = static_cast<double>(slo_met) /
+                           static_cast<double>(metrics.outcomes.size());
+  if (!ttft.empty()) {
+    metrics.ttft_p50 = ttft.quantile(0.5);
+    metrics.ttft_p95 = ttft.quantile(0.95);
+    metrics.latency_p50 = latency.quantile(0.5);
+    metrics.latency_p95 = latency.quantile(0.95);
+  }
   return metrics;
 }
 

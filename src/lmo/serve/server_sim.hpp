@@ -26,6 +26,15 @@ namespace lmo::serve {
 
 enum class Batching { kStatic, kContinuous };
 
+/// A bandwidth-degradation interval: while the engine clock is inside
+/// [begin, end), step durations are stretched by 1 / bandwidth_factor —
+/// the cost-model analogue of a contended or flapping PCIe link.
+struct FaultWindow {
+  double begin = 0.0;
+  double end = 0.0;
+  double bandwidth_factor = 1.0;  ///< fraction of nominal speed, in (0, 1]
+};
+
 struct ServeConfig {
   std::int64_t max_batch = 32;  ///< engine capacity, sequences
   Batching batching = Batching::kContinuous;
@@ -36,26 +45,42 @@ struct ServeConfig {
   /// tokens while newcomers warm up.
   std::int64_t prefill_chunk = 0;
 
+  /// Per-attempt SLO: a request whose attempt has been in the system
+  /// longer than this is aborted (and possibly retried). 0 disables.
+  double deadline_seconds = 0.0;
+  /// Re-admissions allowed after a deadline abort (client-resubmit model;
+  /// each retry restarts the attempt clock at the abort time).
+  int max_retries = 0;
+  /// Bandwidth-degradation intervals applied to the step cost model.
+  std::vector<FaultWindow> fault_windows;
+
   void validate() const;
 };
 
 struct RequestOutcome {
   std::int64_t id = 0;
-  double ttft = 0.0;     ///< first token emitted − arrival
-  double latency = 0.0;  ///< last token emitted − arrival
+  double ttft = 0.0;     ///< first token emitted − arrival (0 if none)
+  double latency = 0.0;  ///< last token / abort − original arrival
   std::int64_t tokens = 0;
+  int attempts = 1;          ///< 1 + re-admissions consumed
+  bool completed = true;     ///< produced its full gen_len
+  bool met_deadline = true;  ///< completed within the SLO (true when no SLO)
 };
 
 struct ServeMetrics {
   double duration = 0.0;            ///< makespan of the whole trace
   double token_throughput = 0.0;    ///< generated tokens / duration
   double request_throughput = 0.0;  ///< completed requests / duration
+  double goodput = 0.0;             ///< tokens of SLO-met requests / duration
+  double slo_attainment = 1.0;      ///< SLO-met completions / requests
   double ttft_p50 = 0.0;
   double ttft_p95 = 0.0;
   double latency_p50 = 0.0;
   double latency_p95 = 0.0;
   double mean_batch_occupancy = 0.0;  ///< time-averaged in-flight sequences
   std::size_t completed = 0;
+  std::size_t deadline_misses = 0;  ///< aborted attempts
+  std::size_t retries = 0;          ///< re-admissions after aborts
   std::vector<RequestOutcome> outcomes;  ///< per request, by id order
 };
 

@@ -1,12 +1,30 @@
 #include "lmo/sim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <queue>
 
 #include "lmo/util/check.hpp"
+#include "lmo/util/rng.hpp"
 
 namespace lmo::sim {
+
+void FaultModel::validate() const {
+  LMO_CHECK_GE(fail_probability, 0.0);
+  LMO_CHECK_LT(fail_probability, 1.0);
+  LMO_CHECK_GE(retry_penalty, 0.0);
+  LMO_CHECK_GE(max_attempts, 1);
+}
+
+double FaultModel::expected_inflation() const {
+  const double p = fail_probability;
+  if (p <= 0.0 || max_attempts <= 1) return 1.0;
+  // E[extra attempts] = Σ_{k=1..m-1} p^k = p (1 - p^{m-1}) / (1 - p).
+  const double extra =
+      p * (1.0 - std::pow(p, max_attempts - 1)) / (1.0 - p);
+  return 1.0 + retry_penalty * extra;
+}
 
 double RunResult::category_busy(const std::string& category) const {
   for (const auto& c : categories) {
@@ -48,9 +66,16 @@ TaskId Engine::add_task(std::string name, std::string category,
   return id;
 }
 
+void Engine::set_fault_model(const FaultModel& model) {
+  LMO_CHECK_MSG(!ran_, "set_fault_model must precede run()");
+  model.validate();
+  fault_model_ = model;
+}
+
 RunResult Engine::run() {
   LMO_CHECK_MSG(!ran_, "Engine::run may be called only once");
   ran_ = true;
+  util::Xoshiro256 fault_rng(fault_model_ ? fault_model_->seed : 0);
 
   const std::size_t n = tasks_.size();
   std::vector<std::vector<TaskId>> successors(n);
@@ -88,18 +113,38 @@ RunResult Engine::run() {
     ready.pop();
     const auto& t = tasks_[static_cast<std::size_t>(id)];
 
+    // Fault model: draw re-execution attempts in deterministic schedule
+    // order; a failed attempt re-occupies the resource for
+    // retry_penalty × duration before the task completes.
+    int attempts = 1;
+    double effective = t.duration;
+    if (fault_model_ && t.duration > 0.0 &&
+        (fault_model_->category.empty() ||
+         fault_model_->category == t.category)) {
+      while (attempts < fault_model_->max_attempts &&
+             fault_rng.uniform() < fault_model_->fail_probability) {
+        ++attempts;
+      }
+      const double extra =
+          t.duration * fault_model_->retry_penalty * (attempts - 1);
+      effective += extra;
+      result.task_failures += attempts - 1;
+      result.recovery_seconds += extra;
+    }
+
     auto& lanes = lane_free[static_cast<std::size_t>(t.resource)];
     const double lane_available = lanes.top();
     lanes.pop();
     const double start = std::max(rtime, lane_available);
-    const double finish = start + t.duration;
+    const double finish = start + effective;
     lanes.push(finish);
 
     auto& rec = result.tasks[static_cast<std::size_t>(id)];
     rec.name = t.name;
     rec.category = t.category;
     rec.resource = t.resource;
-    rec.duration = t.duration;
+    rec.duration = effective;
+    rec.attempts = attempts;
     rec.start = start;
     rec.finish = finish;
     result.makespan = std::max(result.makespan, finish);

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,9 +29,29 @@ struct TaskRecord {
   std::string name;      ///< instance label, e.g. "load_weight[t=3,l=7]"
   std::string category;  ///< aggregation key, e.g. "load_weight"
   ResourceId resource = 0;
-  double duration = 0.0;
+  double duration = 0.0;  ///< effective duration (includes re-executions)
   double start = 0.0;
   double finish = 0.0;
+  int attempts = 1;       ///< 1 = clean; > 1 = re-executed under faults
+};
+
+/// Deterministic task-failure model: each matching task fails each attempt
+/// with `fail_probability` and is re-executed (occupying its resource for
+/// `retry_penalty` × duration per extra attempt) up to `max_attempts`.
+/// Lets the performance model *predict* recovery overhead under faults —
+/// validated against measurements by bench_robustness.
+struct FaultModel {
+  double fail_probability = 0.0;
+  double retry_penalty = 1.0;  ///< re-execution cost, fraction of duration
+  int max_attempts = 4;
+  std::uint64_t seed = 1;
+  std::string category;  ///< restrict to one category; empty = every task
+
+  void validate() const;
+  /// Expected effective-duration inflation factor for a matching task:
+  /// 1 + retry_penalty · Σ_{k=1..m-1} p^k (the closed form of the
+  /// bounded-retry geometric series).
+  double expected_inflation() const;
 };
 
 struct ResourceStats {
@@ -51,6 +72,8 @@ struct RunResult {
   std::vector<TaskRecord> tasks;          ///< indexed by TaskId
   std::vector<ResourceStats> resources;   ///< indexed by ResourceId
   std::vector<CategoryStats> categories;  ///< sorted by category name
+  std::int64_t task_failures = 0;         ///< injected failures (re-executions)
+  double recovery_seconds = 0.0;          ///< extra busy time re-executing
 
   /// Busy seconds of a category; 0 when absent.
   double category_busy(const std::string& category) const;
@@ -70,6 +93,11 @@ class Engine {
   std::size_t task_count() const { return tasks_.size(); }
   std::size_t resource_count() const { return resources_.size(); }
 
+  /// Install a fault model; must be called before run(). Failures draw
+  /// from a seeded stream in deterministic schedule order, so a given
+  /// (schedule, model) pair always degrades identically.
+  void set_fault_model(const FaultModel& model);
+
   /// Execute the schedule. May be called once per engine.
   RunResult run();
 
@@ -88,6 +116,7 @@ class Engine {
 
   std::vector<PendingTask> tasks_;
   std::vector<Resource> resources_;
+  std::optional<FaultModel> fault_model_;
   bool ran_ = false;
 };
 

@@ -1,0 +1,158 @@
+#include "lmo/util/fault.hpp"
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::util {
+namespace {
+
+/// FNV-1a, to derive a per-site seed from the global seed and site name.
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void FaultSpec::validate() const {
+  LMO_CHECK_GE(fail_probability, 0.0);
+  LMO_CHECK_LE(fail_probability, 1.0);
+  LMO_CHECK_GE(latency_probability, 0.0);
+  LMO_CHECK_LE(latency_probability, 1.0);
+  LMO_CHECK_GE(latency_seconds, 0.0);
+  LMO_CHECK_GE(max_failures, -1);
+  LMO_CHECK_GE(alloc_failures, 0);
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kLatency:
+      return "latency";
+    case FaultKind::kAllocFailure:
+      return "alloc-failure";
+  }
+  LMO_UNREACHABLE("bad FaultKind");
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::enable(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LMO_CHECK_MSG(!enabled_.load(), "fault injection is already enabled "
+                                  "(nested ScopedFaultInjection?)");
+  seed_ = seed;
+  sites_.clear();
+  events_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  sites_.clear();
+  events_.clear();
+}
+
+void FaultInjector::arm(const std::string& site, const FaultSpec& spec) {
+  spec.validate();
+  std::lock_guard<std::mutex> lock(mutex_);
+  LMO_CHECK_MSG(enabled_.load(), "arm() requires an enabled injector");
+  Site state;
+  state.spec = spec;
+  // Independent stream per (seed, site): interleavings of *other* sites
+  // cannot shift this site's outcome sequence.
+  state.rng = Xoshiro256(seed_ ^ hash_name(site));
+  sites_[site] = std::move(state);
+}
+
+FaultInjector::Site* FaultInjector::find_site_locked(const std::string& site) {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? nullptr : &it->second;
+}
+
+bool FaultInjector::should_fail(const std::string& site) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site* s = find_site_locked(site);
+  if (s == nullptr) return false;
+  const std::int64_t op = s->ops++;
+  if (s->spec.fail_probability <= 0.0) return false;
+  if (s->spec.max_failures >= 0 && s->failures >= s->spec.max_failures) {
+    return false;
+  }
+  if (s->rng.uniform() >= s->spec.fail_probability) return false;
+  ++s->failures;
+  events_.push_back(FaultEvent{site, FaultKind::kTransient,
+                               static_cast<std::uint64_t>(op)});
+  return true;
+}
+
+double FaultInjector::injected_delay(const std::string& site) {
+  if (!enabled()) return 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site* s = find_site_locked(site);
+  if (s == nullptr || s->spec.latency_seconds <= 0.0) return 0.0;
+  // The op index of the operation this delay belongs to is the *next*
+  // should_fail() call; injected_delay must precede it (see header).
+  const std::int64_t op = s->ops;
+  bool spike = s->spec.window_end > s->spec.window_begin &&
+               op >= s->spec.window_begin && op < s->spec.window_end;
+  if (!spike && s->spec.latency_probability > 0.0) {
+    spike = s->rng.uniform() < s->spec.latency_probability;
+  }
+  if (!spike) return 0.0;
+  events_.push_back(FaultEvent{site, FaultKind::kLatency,
+                               static_cast<std::uint64_t>(op)});
+  return s->spec.latency_seconds;
+}
+
+bool FaultInjector::should_fail_alloc(const std::string& site) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site* s = find_site_locked(site);
+  if (s == nullptr || s->allocs_denied >= s->spec.alloc_failures) {
+    return false;
+  }
+  const std::int64_t op = s->allocs_denied++;
+  events_.push_back(FaultEvent{site, FaultKind::kAllocFailure,
+                               static_cast<std::uint64_t>(op)});
+  return true;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::uint64_t FaultInjector::count(const std::string& site,
+                                   FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const FaultEvent& e : events_) {
+    if (e.site == site && e.kind == kind) ++n;
+  }
+  return n;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(std::uint64_t seed) {
+  FaultInjector::instance().enable(seed);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  FaultInjector::instance().disable();
+}
+
+void ScopedFaultInjection::arm(const std::string& site,
+                               const FaultSpec& spec) {
+  FaultInjector::instance().arm(site, spec);
+}
+
+}  // namespace lmo::util

@@ -1,0 +1,144 @@
+// Deterministic, seeded fault-injection framework.
+//
+// Instrumented code declares *injection sites* by name (e.g.
+// "offload.fetch.transfer") and asks the process-wide injector whether the
+// current operation should fail, stall, or be denied an allocation. With no
+// active injection every query is a cheap atomic load returning "no fault",
+// so production paths are behaviorally unchanged.
+//
+// Tests and the chaos tooling arm sites through ScopedFaultInjection, which
+// enables the injector for its lifetime and disarms it on scope exit so
+// suites stay hermetic. Each site draws from its own xoshiro256** stream
+// seeded from (global seed, site name), so one site's outcome sequence is
+// independent of how calls to *other* sites interleave — the basis of the
+// chaos determinism guarantee.
+//
+// Every fired fault is appended to a trigger log; recovery code is expected
+// to account for faults exactly (stats == log), which the robustness tests
+// assert.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lmo/util/rng.hpp"
+
+namespace lmo::util {
+
+/// Per-site fault configuration. All fields compose: an operation may both
+/// stall (latency spike) and fail (transient error).
+struct FaultSpec {
+  /// Probability that an operation at this site raises a transient failure.
+  double fail_probability = 0.0;
+  /// Cap on injected transient failures; -1 = unlimited.
+  std::int64_t max_failures = -1;
+
+  /// Probability that an operation stalls for `latency_seconds`.
+  double latency_probability = 0.0;
+  /// Operation-index window [window_begin, window_end) during which every
+  /// operation stalls — a deterministic bandwidth-degradation interval.
+  /// Disabled when window_end <= window_begin.
+  std::int64_t window_begin = -1;
+  std::int64_t window_end = -1;
+  /// Injected stall duration when a latency spike fires.
+  double latency_seconds = 0.0;
+
+  /// The next `alloc_failures` allocation checks at this site are denied.
+  std::int64_t alloc_failures = 0;
+
+  void validate() const;
+};
+
+enum class FaultKind { kTransient, kLatency, kAllocFailure };
+
+const char* to_string(FaultKind kind);
+
+/// One fired fault, in global firing order.
+struct FaultEvent {
+  std::string site;
+  FaultKind kind = FaultKind::kTransient;
+  std::uint64_t site_op = 0;  ///< per-site operation index that fired
+};
+
+class FaultInjector {
+ public:
+  /// Process-wide injector consulted by instrumented code.
+  static FaultInjector& instance();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Should the current operation at `site` raise a transient failure?
+  /// Counts one operation against the site; logs the event when it fires.
+  bool should_fail(const std::string& site);
+
+  /// Seconds the current operation at `site` should stall (0 = none).
+  /// Call immediately *before* should_fail for the same operation: the
+  /// delay is attributed to the op index the next should_fail consumes,
+  /// which is also how window_begin/window_end are interpreted.
+  double injected_delay(const std::string& site);
+
+  /// Should the current allocation at `site` be denied?
+  bool should_fail_alloc(const std::string& site);
+
+  /// Trigger log (copy; ordered by firing time).
+  std::vector<FaultEvent> events() const;
+  /// Number of logged events at `site` of `kind`.
+  std::uint64_t count(const std::string& site, FaultKind kind) const;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  friend class ScopedFaultInjection;
+
+  FaultInjector() = default;
+
+  void enable(std::uint64_t seed);
+  void disable();
+  void arm(const std::string& site, const FaultSpec& spec);
+
+  struct Site {
+    FaultSpec spec;
+    Xoshiro256 rng;
+    std::int64_t ops = 0;       ///< operations observed (should_fail calls)
+    std::int64_t failures = 0;  ///< transient failures injected
+    std::int64_t allocs_denied = 0;
+  };
+
+  Site* find_site_locked(const std::string& site);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::uint64_t seed_ = 0;
+  std::map<std::string, Site> sites_;
+  std::vector<FaultEvent> events_;
+};
+
+/// RAII enablement: arms sites on a freshly-seeded injector and disarms
+/// everything on destruction, so tests never leak fault state.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(std::uint64_t seed);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  /// Install `spec` at `site` (replaces any earlier spec for the site).
+  void arm(const std::string& site, const FaultSpec& spec);
+
+  std::vector<FaultEvent> events() const {
+    return FaultInjector::instance().events();
+  }
+  std::uint64_t count(const std::string& site, FaultKind kind) const {
+    return FaultInjector::instance().count(site, kind);
+  }
+};
+
+}  // namespace lmo::util

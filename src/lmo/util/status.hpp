@@ -1,0 +1,43 @@
+// Typed error taxonomy for the offloading runtime.
+//
+// The seed code threw CheckError for everything; that conflates three very
+// different situations which demand different reactions:
+//
+//   * CheckError        — a contract violation (caller bug). Never retried.
+//   * TransferError     — a *transient* host↔device transfer failure (the
+//                         PCIe path is the fragile, contended resource).
+//                         Retryable with backoff; recoverable by falling
+//                         back to a synchronous transfer.
+//   * ResourceExhausted — a memory pool ran out of capacity. Recoverable by
+//                         degradation (evict staged entries, re-quantize)
+//                         rather than by retrying.
+//
+// ResourceExhausted derives from CheckError so code (and tests) written
+// against the seed's fail-fast behavior keeps working, while new recovery
+// paths can catch the precise type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::util {
+
+/// A transient host↔device transfer failure. Retry with backoff; if the
+/// budget is exhausted the error propagates to the caller.
+class TransferError : public std::runtime_error {
+ public:
+  explicit TransferError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A capacity-enforcing pool refused an allocation. Recoverable through the
+/// degradation ladder (see docs/robustness.md); still a CheckError subtype
+/// so fail-fast callers observe the seed behavior.
+class ResourceExhausted : public CheckError {
+ public:
+  explicit ResourceExhausted(const std::string& what) : CheckError(what) {}
+};
+
+}  // namespace lmo::util

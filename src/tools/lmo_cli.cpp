@@ -4,6 +4,7 @@
 //   lmo compare  --model opt-30b --len 32        (FlexGen/ZeRO/LM-Offload)
 //   lmo sweep    --model opt-30b                 (all Table-3 lengths)
 //   lmo trace    --model opt-30b --len 8 --out trace.json
+//   lmo chaos    --profile flaky-pcie            (generation under faults)
 //   lmo models                                    (list presets)
 //
 // --platform takes either a preset name (a100-single, v100-quad) or a path
@@ -20,6 +21,7 @@
 #include "lmo/core/lm_offload.hpp"
 #include "lmo/core/plan_io.hpp"
 #include "lmo/hw/platform_config.hpp"
+#include "lmo/runtime/generator.hpp"
 #include "lmo/sched/flexgen.hpp"
 #include "lmo/sched/zero_inference.hpp"
 #include "lmo/perfmodel/calibration.hpp"
@@ -27,6 +29,7 @@
 #include "lmo/serve/workload_gen.hpp"
 #include "lmo/sim/trace_export.hpp"
 #include "lmo/util/check.hpp"
+#include "lmo/util/fault.hpp"
 #include "lmo/util/csv.hpp"
 #include "lmo/util/table.hpp"
 #include "lmo/util/units.hpp"
@@ -302,6 +305,123 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+int cmd_chaos(const Args& args) {
+  // Run real generation under a named fault profile and report how the
+  // recovery machinery absorbed it. The robustness contract: faults perturb
+  // timing, never tokens (except `oom`, whose degradation ladder lowers
+  // weight precision by design).
+  const std::string profile = args.get("profile", "flaky-pcie");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  const std::int64_t gen_len = args.get_int("len", 12);
+
+  runtime::RuntimeConfig config;
+  config.spec = model::ModelSpec::tiny(4, 64, 4, 128);
+  config.weight_bits = 8;
+  config.quant_group = 32;
+  config.device_layers = 0;
+  config.prefetch_threads = 0;
+  config.recovery.retry_backoff_seconds = 1e-5;
+  const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
+
+  constexpr const char* kFetchSite = "offload.fetch.transfer";
+  constexpr const char* kPrefetchSite = "offload.prefetch.transfer";
+  struct Armed {
+    std::string site;
+    util::FaultSpec spec;
+  };
+  std::vector<Armed> arms;
+  bool tokens_must_match = true;
+  if (profile == "flaky-pcie") {
+    // Transient transfer failures on every host->device path.
+    util::FaultSpec spec;
+    spec.fail_probability = std::stod(args.get("rate", "0.05"));
+    arms.push_back({kFetchSite, spec});
+    arms.push_back({kPrefetchSite, spec});
+  } else if (profile == "congested") {
+    // Latency spikes plus one hard bandwidth-degradation window.
+    util::FaultSpec spec;
+    spec.latency_probability = 0.2;
+    spec.latency_seconds = 2e-4;
+    spec.window_begin = 8;
+    spec.window_end = 24;
+    arms.push_back({kFetchSite, spec});
+  } else if (profile == "dead-prefetch") {
+    // Async loads always die; fetches must fall back synchronously.
+    config.prefetch_threads = 2;
+    util::FaultSpec spec;
+    spec.fail_probability = 1.0;
+    arms.push_back({kPrefetchSite, spec});
+  } else if (profile == "oom") {
+    // Host pool denies the first allocations: registration re-quantizes.
+    // Start at fp16 so the ladder has two rungs (8-bit, 4-bit) to absorb
+    // the denials with.
+    config.weight_bits = 16;
+    util::FaultSpec spec;
+    spec.alloc_failures = args.get_int("denials", 2);
+    arms.push_back({"pool.host.charge", spec});
+    tokens_must_match = false;  // lower precision changes the tokens
+  } else {
+    std::fprintf(stderr,
+                 "unknown chaos profile: %s\n"
+                 "profiles: flaky-pcie [--rate P], congested, "
+                 "dead-prefetch, oom [--denials N]\n",
+                 profile.c_str());
+    return 2;
+  }
+
+  runtime::Generator clean_gen(config);
+  const auto clean = clean_gen.generate(prompts, gen_len);
+
+  util::ScopedFaultInjection chaos(seed);
+  for (const auto& a : arms) chaos.arm(a.site, a.spec);
+  runtime::Generator chaos_gen(config);
+  const auto faulted = chaos_gen.generate(prompts, gen_len);
+
+  std::printf("chaos profile '%s' (seed %llu) on %s, %lld tokens\n\n",
+              profile.c_str(), static_cast<unsigned long long>(seed),
+              config.spec.name.c_str(),
+              static_cast<long long>(gen_len));
+
+  util::Table injected({"site", "kind", "fired"});
+  for (const auto& a : arms) {
+    for (auto kind : {util::FaultKind::kTransient, util::FaultKind::kLatency,
+                      util::FaultKind::kAllocFailure}) {
+      const auto n = chaos.count(a.site, kind);
+      if (n > 0) {
+        injected.add_row({a.site, util::to_string(kind), std::to_string(n)});
+      }
+    }
+  }
+  injected.print(std::cout);
+
+  const auto& s = faulted.offload;
+  util::Table report({"recovery action", "count"});
+  report.add_row({"transfer retries", std::to_string(s.transfer_retries)});
+  report.add_row({"transfer failures (budget exhausted)",
+                  std::to_string(s.transfer_failures)});
+  report.add_row({"prefetch failures", std::to_string(s.prefetch_failures)});
+  report.add_row({"prefetch timeouts", std::to_string(s.prefetch_timeouts)});
+  report.add_row({"sync fallbacks", std::to_string(s.sync_fallbacks)});
+  report.add_row({"prefetch discards", std::to_string(s.prefetch_discards)});
+  report.add_row({"degradations", std::to_string(s.degradations)});
+  report.add_row({"staged evictions", std::to_string(s.staged_evictions)});
+  std::printf("\n");
+  report.print(std::cout);
+
+  std::printf("\nthroughput: %.1f tok/s clean -> %.1f tok/s under chaos\n",
+              clean.tokens_per_second, faulted.tokens_per_second);
+  const bool identical = faulted.tokens == clean.tokens;
+  if (tokens_must_match) {
+    std::printf("tokens identical to fault-free run: %s\n",
+                identical ? "yes" : "NO — robustness bug");
+    return identical ? 0 : 1;
+  }
+  std::printf("tokens %s fault-free run (degradation ladder re-quantized "
+              "weights; divergence is expected)\n",
+              identical ? "identical to" : "diverge from");
+  return 0;
+}
+
 int cmd_graph(const Args& args) {
   // Emit the attention compute-task op graph (paper Fig. 6) as DOT.
   const auto spec = model::ModelSpec::by_name(args.get("model", "opt-30b"));
@@ -385,12 +505,15 @@ int cmd_trace(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: lmo <plan|compare|sweep|decide|calibrate|graph|serve|trace|\n            models> "
+               "usage: lmo <plan|compare|sweep|decide|calibrate|graph|serve|chaos|\n            trace|models> "
                "[--model M] [--len N] [--prompt N] [--batch N] "
                "[--batches N] [--bls N] [--platform preset-or-file] "
                "[--wg PCT] [--attn cpu|gpu] [--bits 4|8] [--out FILE]\n"
                "platform presets: a100-single, v100-quad, h100-single, "
-               "rtx4090-desktop\n");
+               "rtx4090-desktop\n"
+               "chaos: run generation under a fault profile "
+               "(--profile flaky-pcie|congested|dead-prefetch|oom "
+               "[--rate P] [--denials N] [--seed S])\n");
   return 2;
 }
 
@@ -407,6 +530,7 @@ int main(int argc, char** argv) {
     if (args.command == "calibrate") return cmd_calibrate(args);
     if (args.command == "graph") return cmd_graph(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "chaos") return cmd_chaos(args);
     if (args.command == "trace") return cmd_trace(args);
     return usage();
   } catch (const std::exception& e) {

@@ -1,0 +1,200 @@
+// Tests for the deterministic fault-injection framework and the typed
+// error taxonomy it feeds.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "lmo/util/check.hpp"
+#include "lmo/util/fault.hpp"
+#include "lmo/util/status.hpp"
+
+namespace lmo::util {
+namespace {
+
+TEST(FaultInjector, DisabledIsInert) {
+  auto& injector = FaultInjector::instance();
+  ASSERT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.should_fail("any.site"));
+  EXPECT_EQ(injector.injected_delay("any.site"), 0.0);
+  EXPECT_FALSE(injector.should_fail_alloc("any.site"));
+  EXPECT_TRUE(injector.events().empty());
+}
+
+TEST(FaultInjector, UnarmedSiteNeverFires) {
+  ScopedFaultInjection chaos(1);
+  FaultSpec spec;
+  spec.fail_probability = 1.0;
+  chaos.arm("armed", spec);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(FaultInjector::instance().should_fail("other"));
+  }
+  EXPECT_EQ(chaos.count("other", FaultKind::kTransient), 0u);
+}
+
+TEST(FaultInjector, SameSeedSameOutcomeSequence) {
+  FaultSpec spec;
+  spec.fail_probability = 0.3;
+  std::vector<bool> first;
+  {
+    ScopedFaultInjection chaos(99);
+    chaos.arm("s", spec);
+    for (int i = 0; i < 64; ++i) {
+      first.push_back(FaultInjector::instance().should_fail("s"));
+    }
+  }
+  {
+    ScopedFaultInjection chaos(99);
+    chaos.arm("s", spec);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(FaultInjector::instance().should_fail("s"), first[i]);
+    }
+  }
+  // A different seed produces a different sequence (with overwhelming
+  // probability for 64 draws at p=0.3).
+  {
+    ScopedFaultInjection chaos(100);
+    chaos.arm("s", spec);
+    std::vector<bool> other;
+    for (int i = 0; i < 64; ++i) {
+      other.push_back(FaultInjector::instance().should_fail("s"));
+    }
+    EXPECT_NE(first, other);
+  }
+}
+
+TEST(FaultInjector, SiteStreamsAreIndependent) {
+  // Site "a"'s outcome sequence must not shift when calls to site "b" are
+  // interleaved — the per-site-stream property the chaos determinism
+  // guarantee rests on.
+  FaultSpec spec;
+  spec.fail_probability = 0.4;
+  std::vector<bool> alone;
+  {
+    ScopedFaultInjection chaos(7);
+    chaos.arm("a", spec);
+    for (int i = 0; i < 32; ++i) {
+      alone.push_back(FaultInjector::instance().should_fail("a"));
+    }
+  }
+  {
+    ScopedFaultInjection chaos(7);
+    chaos.arm("a", spec);
+    chaos.arm("b", spec);
+    for (int i = 0; i < 32; ++i) {
+      (void)FaultInjector::instance().should_fail("b");
+      EXPECT_EQ(FaultInjector::instance().should_fail("a"), alone[i]);
+      (void)FaultInjector::instance().should_fail("b");
+    }
+  }
+}
+
+TEST(FaultInjector, MaxFailuresCapsInjection) {
+  ScopedFaultInjection chaos(3);
+  FaultSpec spec;
+  spec.fail_probability = 1.0;
+  spec.max_failures = 2;
+  chaos.arm("s", spec);
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) {
+    fired += FaultInjector::instance().should_fail("s");
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(chaos.count("s", FaultKind::kTransient), 2u);
+}
+
+TEST(FaultInjector, LatencyWindowStallsExactlyTheWindowedOps) {
+  ScopedFaultInjection chaos(5);
+  FaultSpec spec;
+  spec.window_begin = 2;
+  spec.window_end = 5;
+  spec.latency_seconds = 0.25;
+  chaos.arm("s", spec);
+  auto& injector = FaultInjector::instance();
+  for (int op = 0; op < 8; ++op) {
+    const double delay = injector.injected_delay("s");
+    (void)injector.should_fail("s");  // consumes op index `op`
+    if (op >= 2 && op < 5) {
+      EXPECT_EQ(delay, 0.25) << "op " << op;
+    } else {
+      EXPECT_EQ(delay, 0.0) << "op " << op;
+    }
+  }
+  EXPECT_EQ(chaos.count("s", FaultKind::kLatency), 3u);
+}
+
+TEST(FaultInjector, AllocFailuresDenyExactlyN) {
+  ScopedFaultInjection chaos(11);
+  FaultSpec spec;
+  spec.alloc_failures = 3;
+  chaos.arm("pool.gpu.charge", spec);
+  auto& injector = FaultInjector::instance();
+  int denied = 0;
+  for (int i = 0; i < 10; ++i) {
+    denied += injector.should_fail_alloc("pool.gpu.charge");
+  }
+  EXPECT_EQ(denied, 3);
+  EXPECT_EQ(chaos.count("pool.gpu.charge", FaultKind::kAllocFailure), 3u);
+}
+
+TEST(FaultInjector, EventLogRecordsSiteKindAndOpIndex) {
+  ScopedFaultInjection chaos(17);
+  FaultSpec spec;
+  spec.fail_probability = 1.0;
+  spec.max_failures = 1;
+  chaos.arm("s", spec);
+  (void)FaultInjector::instance().should_fail("s");  // op 0 fires
+  (void)FaultInjector::instance().should_fail("s");  // capped, no event
+  const auto events = chaos.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].site, "s");
+  EXPECT_EQ(events[0].kind, FaultKind::kTransient);
+  EXPECT_EQ(events[0].site_op, 0u);
+  EXPECT_STREQ(to_string(events[0].kind), "transient");
+}
+
+TEST(FaultInjector, ScopeExitDisarmsEverything) {
+  {
+    ScopedFaultInjection chaos(23);
+    FaultSpec spec;
+    spec.fail_probability = 1.0;
+    chaos.arm("s", spec);
+    EXPECT_TRUE(FaultInjector::instance().should_fail("s"));
+  }
+  EXPECT_FALSE(FaultInjector::instance().enabled());
+  EXPECT_FALSE(FaultInjector::instance().should_fail("s"));
+  EXPECT_TRUE(FaultInjector::instance().events().empty());
+}
+
+TEST(FaultInjector, RejectsNestedScopesAndBadSpecs) {
+  ScopedFaultInjection chaos(1);
+  EXPECT_THROW(ScopedFaultInjection{2}, CheckError);
+
+  FaultSpec bad;
+  bad.fail_probability = 1.5;
+  EXPECT_THROW(chaos.arm("s", bad), CheckError);
+  bad = FaultSpec{};
+  bad.latency_seconds = -1.0;
+  EXPECT_THROW(chaos.arm("s", bad), CheckError);
+  bad = FaultSpec{};
+  bad.max_failures = -2;
+  EXPECT_THROW(chaos.arm("s", bad), CheckError);
+}
+
+TEST(ErrorTaxonomy, TypesAreDistinguishable) {
+  // TransferError is transient (not a contract violation): it must NOT be
+  // a CheckError, so fail-fast handlers don't swallow it.
+  static_assert(!std::is_base_of_v<CheckError, TransferError>);
+  static_assert(std::is_base_of_v<std::runtime_error, TransferError>);
+  static_assert(std::is_base_of_v<CheckError, ResourceExhausted>);
+
+  // ResourceExhausted keeps the seed's fail-fast contract (it IS a
+  // CheckError) while being precisely catchable for degradation.
+  try {
+    throw ResourceExhausted("pool 'gpu' exhausted");
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("exhausted"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace lmo::util

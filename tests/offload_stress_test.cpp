@@ -1,0 +1,129 @@
+// Concurrency stress for the OffloadManager recovery machinery: many
+// threads race fetch() and prefetch() over overlapping tensor names while
+// the fault injector fires transient failures and latency spikes on both
+// transfer sites. The interleaving is nondeterministic; the *accounting
+// invariants* must hold exactly anyway, and the test completing at all is
+// the no-deadlock assertion (fetch's watchdog wait on staged_cv_ must
+// always be woken or time out).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "lmo/parallel/threadpool.hpp"
+#include "lmo/runtime/mempool.hpp"
+#include "lmo/runtime/offload_manager.hpp"
+#include "lmo/util/fault.hpp"
+#include "lmo/util/rng.hpp"
+#include "lmo/util/status.hpp"
+
+namespace lmo::runtime {
+namespace {
+
+using util::FaultKind;
+using util::FaultSpec;
+using util::ScopedFaultInjection;
+
+constexpr const char* kFetchSite = "offload.fetch.transfer";
+constexpr const char* kPrefetchSite = "offload.prefetch.transfer";
+
+TEST(OffloadStress, RacingFetchesAndPrefetchesUnderFaults) {
+  MemoryPool device("d", 64u << 20);
+  MemoryPool host("h", 64u << 20);
+  OffloadManager mgr(device, host, /*quant_bits=*/8, /*group_size=*/16);
+  RecoveryConfig recovery;
+  recovery.max_transfer_attempts = 4;
+  recovery.retry_backoff_seconds = 1e-6;
+  recovery.prefetch_wait_seconds = 0.2;
+  mgr.set_recovery(recovery);
+
+  constexpr int kTensors = 8;
+  util::Xoshiro256 rng(1);
+  std::vector<std::string> names;
+  for (int i = 0; i < kTensors; ++i) {
+    names.push_back("w" + std::to_string(i));
+    mgr.register_tensor(names.back(), tensor::Tensor::uniform({16, 16}, rng),
+                        Tier::kHost);
+  }
+  const std::size_t payload = mgr.stored_bytes(names[0]);
+  for (const auto& name : names) {
+    ASSERT_EQ(mgr.stored_bytes(name), payload);
+  }
+
+  ScopedFaultInjection chaos(1234);
+  FaultSpec spec;
+  spec.fail_probability = 0.2;
+  spec.latency_probability = 0.05;
+  spec.latency_seconds = 1e-4;
+  chaos.arm(kFetchSite, spec);
+  chaos.arm(kPrefetchSite, spec);
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 150;
+  parallel::ThreadPool prefetch_pool(4);
+  std::atomic<std::uint64_t> fetch_calls{0};
+  std::atomic<std::uint64_t> fetch_giveups{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 pick(static_cast<std::uint64_t>(t) + 99);
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const std::string& name =
+            names[static_cast<std::size_t>(pick.uniform() * kTensors) %
+                  kTensors];
+        if (i % 3 == 0) {
+          futures.push_back(mgr.prefetch(name, prefetch_pool));
+        } else {
+          ++fetch_calls;
+          try {
+            const tensor::Tensor value = mgr.fetch(name);
+            EXPECT_EQ(value.numel(), 256);
+          } catch (const util::TransferError&) {
+            ++fetch_giveups;  // budget exhausted: legal, and accounted
+          }
+        }
+      }
+      for (auto& f : futures) f.get();  // recovery never poisons futures
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const OffloadStats& s = mgr.stats();
+
+  // Every injected transient failure was consumed by exactly one retry or
+  // one budget exhaustion — nothing lost, nothing double-counted.
+  EXPECT_EQ(s.transfer_retries + s.transfer_failures,
+            chaos.count(kFetchSite, FaultKind::kTransient) +
+                chaos.count(kPrefetchSite, FaultKind::kTransient));
+
+  // Traffic accounting: bytes move exactly once per successful transfer.
+  EXPECT_EQ(s.bytes_host_to_device,
+            static_cast<double>(s.host_transfers) *
+                static_cast<double>(payload));
+
+  // Every fetch() call was counted; none was served from the device tier.
+  EXPECT_EQ(s.fetches, fetch_calls.load());
+  EXPECT_EQ(s.device_hits, 0u);
+  // Budget exhaustions split exactly between fetch callers (surfaced as
+  // TransferError) and prefetch tasks (absorbed as prefetch_failures; the
+  // device pool is huge, so no staging-charge failures contribute).
+  EXPECT_EQ(s.prefetch_failures + fetch_giveups.load(), s.transfer_failures);
+
+  // A late result can only be discarded for a prefetch someone abandoned.
+  EXPECT_LE(s.prefetch_discards, s.prefetch_timeouts);
+
+  // Whatever is still staged is exactly what the device pool holds
+  // (16x16 f32 staging buffers; nothing else charges the device pool).
+  EXPECT_EQ(device.used(), mgr.staged_count() * 16u * 16u * 4u);
+
+  // The chaos profile actually exercised the recovery paths.
+  EXPECT_GT(s.transfer_retries, 0u);
+  EXPECT_GT(s.staging_hits + s.sync_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace lmo::runtime

@@ -2,6 +2,7 @@
 // step-level serving simulation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "lmo/serve/server_sim.hpp"
@@ -214,6 +215,180 @@ TEST(ServeSim, ChunkedPrefillValidated) {
   ServeConfig config;
   config.prefill_chunk = -1;
   EXPECT_THROW(config.validate(), CheckError);
+}
+
+TEST(ServeSim, ValidatesRobustnessConfig) {
+  ServeConfig config;
+  config.deadline_seconds = -1.0;
+  EXPECT_THROW(config.validate(), CheckError);
+
+  config = ServeConfig{};
+  config.max_retries = -1;
+  EXPECT_THROW(config.validate(), CheckError);
+
+  // Retries without a deadline are meaningless: nothing ever aborts.
+  config = ServeConfig{};
+  config.max_retries = 2;
+  EXPECT_THROW(config.validate(), CheckError);
+  config.deadline_seconds = 10.0;
+  EXPECT_NO_THROW(config.validate());
+
+  config = ServeConfig{};
+  config.fault_windows.push_back(FaultWindow{5.0, 5.0, 0.5});  // empty
+  EXPECT_THROW(config.validate(), CheckError);
+  config.fault_windows = {FaultWindow{0.0, 5.0, 0.0}};  // zero bandwidth
+  EXPECT_THROW(config.validate(), CheckError);
+  config.fault_windows = {FaultWindow{0.0, 5.0, 1.5}};  // faster than nominal
+  EXPECT_THROW(config.validate(), CheckError);
+  config.fault_windows = {FaultWindow{0.0, 5.0, 0.5}};
+  EXPECT_NO_THROW(config.validate());
+}
+
+// ------------------------------------------------------- fault windows ---
+
+TEST(ServeSim, DefaultRobustnessConfigLeavesMetricsUnchanged) {
+  // deadline 0, no windows: byte-identical behavior to the seed simulator,
+  // with goodput == token throughput and full SLO attainment.
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(), 30, 5);
+  ServeConfig config;
+  config.max_batch = 8;
+  const auto metrics = simulate_serving(spec, serving_policy(),
+                                        hw::Platform::a100_single(),
+                                        requests, config);
+  EXPECT_EQ(metrics.completed, 30u);
+  EXPECT_EQ(metrics.deadline_misses, 0u);
+  EXPECT_EQ(metrics.retries, 0u);
+  EXPECT_DOUBLE_EQ(metrics.slo_attainment, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.goodput, metrics.token_throughput);
+  for (const auto& outcome : metrics.outcomes) {
+    EXPECT_TRUE(outcome.completed);
+    EXPECT_TRUE(outcome.met_deadline);
+    EXPECT_EQ(outcome.attempts, 1);
+  }
+}
+
+TEST(ServeSim, FaultWindowStretchesWorkInsideIt) {
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(3.0), 40, 9);
+  ServeConfig clean;
+  clean.max_batch = 8;
+  ServeConfig degraded = clean;
+  // Halve the bandwidth for a long stretch of the trace.
+  degraded.fault_windows.push_back(FaultWindow{0.0, 1e9, 0.5});
+
+  const auto platform = hw::Platform::a100_single();
+  const auto m_clean =
+      simulate_serving(spec, serving_policy(), platform, requests, clean);
+  const auto m_degraded =
+      simulate_serving(spec, serving_policy(), platform, requests, degraded);
+  EXPECT_EQ(m_degraded.completed, m_clean.completed);
+  EXPECT_GT(m_degraded.duration, m_clean.duration);
+  EXPECT_LT(m_degraded.token_throughput, m_clean.token_throughput);
+  // A window covering the whole trace doubles every step exactly, so the
+  // makespan lands within the arrival-dominated slack of 2x.
+  EXPECT_LE(m_degraded.duration, 2.0 * m_clean.duration + 1e-6);
+
+  // A window strictly *after* the makespan changes nothing.
+  ServeConfig late = clean;
+  late.fault_windows.push_back(
+      FaultWindow{m_clean.duration + 1.0, m_clean.duration + 2.0, 0.1});
+  const auto m_late =
+      simulate_serving(spec, serving_policy(), platform, requests, late);
+  EXPECT_DOUBLE_EQ(m_late.duration, m_clean.duration);
+  EXPECT_DOUBLE_EQ(m_late.token_throughput, m_clean.token_throughput);
+}
+
+// --------------------------------------------------- deadlines / goodput --
+
+TEST(ServeSim, ImpossibleDeadlineAbortsEveryRequest) {
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(), 10, 5);
+  ServeConfig config;
+  config.max_batch = 4;
+  config.deadline_seconds = 1e-6;  // no step fits
+  const auto metrics = simulate_serving(spec, serving_policy(),
+                                        hw::Platform::a100_single(),
+                                        requests, config);
+  EXPECT_EQ(metrics.completed, 0u);
+  EXPECT_EQ(metrics.deadline_misses, 10u);
+  EXPECT_EQ(metrics.retries, 0u);
+  EXPECT_DOUBLE_EQ(metrics.slo_attainment, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.goodput, 0.0);
+  for (const auto& outcome : metrics.outcomes) {
+    EXPECT_FALSE(outcome.completed);
+    EXPECT_FALSE(outcome.met_deadline);
+    EXPECT_EQ(outcome.attempts, 1);
+  }
+}
+
+TEST(ServeSim, RetriesReAdmitAbortedAttempts) {
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(), 10, 5);
+  ServeConfig config;
+  config.max_batch = 4;
+  config.deadline_seconds = 1e-6;
+  config.max_retries = 2;
+  const auto metrics = simulate_serving(spec, serving_policy(),
+                                        hw::Platform::a100_single(),
+                                        requests, config);
+  // Every request burns its full attempt budget: 1 original + 2 retries,
+  // all aborted.
+  EXPECT_EQ(metrics.completed, 0u);
+  EXPECT_EQ(metrics.retries, 20u);
+  EXPECT_EQ(metrics.deadline_misses, 30u);
+  for (const auto& outcome : metrics.outcomes) {
+    EXPECT_EQ(outcome.attempts, 3);
+    EXPECT_FALSE(outcome.completed);
+  }
+}
+
+TEST(ServeSim, GenerousDeadlineKeepsGoodputEqualToThroughput) {
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(), 20, 5);
+  ServeConfig config;
+  config.max_batch = 8;
+  config.deadline_seconds = 1e9;
+  const auto metrics = simulate_serving(spec, serving_policy(),
+                                        hw::Platform::a100_single(),
+                                        requests, config);
+  EXPECT_EQ(metrics.completed, 20u);
+  EXPECT_EQ(metrics.deadline_misses, 0u);
+  EXPECT_DOUBLE_EQ(metrics.slo_attainment, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.goodput, metrics.token_throughput);
+}
+
+TEST(ServeSim, DegradedWindowCostsGoodputUnderTightDeadlines) {
+  // The robustness story in one test: with a tight-but-feasible SLO, a
+  // bandwidth-degradation window turns completions into misses — goodput
+  // and SLO attainment drop even though the engine keeps producing tokens.
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(2.0), 40, 7);
+  ServeConfig config;
+  config.max_batch = 8;
+
+  // Calibrate a deadline every request meets on clean hardware: the worst
+  // clean-run latency plus slack.
+  const auto platform = hw::Platform::a100_single();
+  const auto clean =
+      simulate_serving(spec, serving_policy(), platform, requests, config);
+  double worst = 0.0;
+  for (const auto& outcome : clean.outcomes) {
+    worst = std::max(worst, outcome.latency);
+  }
+  config.deadline_seconds = worst * 1.05;
+  const auto with_slo =
+      simulate_serving(spec, serving_policy(), platform, requests, config);
+  EXPECT_DOUBLE_EQ(with_slo.slo_attainment, 1.0);
+
+  // Now degrade the middle of the trace hard.
+  config.fault_windows.push_back(
+      FaultWindow{0.0, clean.duration, 0.25});
+  const auto degraded =
+      simulate_serving(spec, serving_policy(), platform, requests, config);
+  EXPECT_GT(degraded.deadline_misses, 0u);
+  EXPECT_LT(degraded.slo_attainment, 1.0);
+  EXPECT_LT(degraded.goodput, with_slo.goodput);
 }
 
 TEST(ServeSim, ValidatesInputs) {
