@@ -10,10 +10,18 @@
 
 #include "lmo/model/llm_config.hpp"
 #include "lmo/model/memory.hpp"
+#include "lmo/telemetry/percentile.hpp"
 #include "lmo/util/table.hpp"
 #include "lmo/util/units.hpp"
 
 namespace lmo::bench {
+
+/// Percentile over bench repetitions — the shared guarded implementation
+/// (empty set → NaN), so bench tables quote the same p50/p95 definition as
+/// every other surface.
+inline double percentile(const std::vector<double>& samples, double q) {
+  return telemetry::percentile(samples, q);
+}
 
 inline constexpr std::int64_t kPromptLen = 64;  ///< paper-wide prompt length
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "lmo/telemetry/trace.hpp"
 #include "lmo/tensor/ops.hpp"
 #include "lmo/util/check.hpp"
 
@@ -162,25 +163,32 @@ GenerationResult Generator::generate(
 
   parallel::ThreadPool* prefetch = prefetch_pool_.get();
 
+  auto& trace = telemetry::TraceRecorder::global();
+
   // ---- prefill: all prompt tokens at once, layer-outer over the batch.
   auto start = Clock::now();
-  std::vector<tensor::Tensor> states;
-  states.reserve(prompts.size());
-  for (const auto& prompt : prompts) {
-    states.push_back(transformer_->embed(prompt));
-  }
-  transformer_->forward(states, cache_ptrs, prefetch);
   std::vector<std::int64_t> next(prompts.size());
-  for (std::size_t s = 0; s < prompts.size(); ++s) {
-    next[s] = sample_token(transformer_->logits(states[s]),
-                           config_.sampling, sampling_rng_);
-    result.tokens[s].push_back(next[s]);
+  {
+    telemetry::ScopedSpan prefill_span(trace, "prefill", "generate");
+    std::vector<tensor::Tensor> states;
+    states.reserve(prompts.size());
+    for (const auto& prompt : prompts) {
+      states.push_back(transformer_->embed(prompt));
+    }
+    transformer_->forward(states, cache_ptrs, prefetch);
+    telemetry::ScopedSpan out_span(trace, "store_activation", "decode");
+    for (std::size_t s = 0; s < prompts.size(); ++s) {
+      next[s] = sample_token(transformer_->logits(states[s]),
+                             config_.sampling, sampling_rng_);
+      result.tokens[s].push_back(next[s]);
+    }
   }
   result.prefill_seconds = seconds_since(start);
 
   // ---- decode: one token per sequence per step.
   start = Clock::now();
   for (std::int64_t t = 1; t < gen_len; ++t) {
+    telemetry::ScopedSpan step_span(trace, "decode_step", "generate");
     std::vector<tensor::Tensor> step_states;
     step_states.reserve(prompts.size());
     for (std::size_t s = 0; s < prompts.size(); ++s) {
@@ -188,6 +196,7 @@ GenerationResult Generator::generate(
       step_states.push_back(transformer_->embed(token));
     }
     transformer_->forward(step_states, cache_ptrs, prefetch);
+    telemetry::ScopedSpan out_span(trace, "store_activation", "decode");
     for (std::size_t s = 0; s < prompts.size(); ++s) {
       next[s] = sample_token(transformer_->logits(step_states[s]),
                              config_.sampling, sampling_rng_);

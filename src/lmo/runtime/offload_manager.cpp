@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "lmo/telemetry/trace.hpp"
 #include "lmo/util/check.hpp"
 #include "lmo/util/fault.hpp"
 #include "lmo/util/status.hpp"
@@ -39,6 +40,44 @@ OffloadManager::OffloadManager(MemoryPool& device_pool, MemoryPool& host_pool,
       quant_bits_(quant_bits),
       group_size_(group_size) {
   LMO_CHECK(quant_bits == 16 || quant_bits == 8 || quant_bits == 4);
+  // Pre-register every mapped metric so stats() always finds a full set,
+  // even before the first fetch.
+  for (const OffloadStatsField& field : kOffloadStatsFields) {
+    if (field.u64 != nullptr) {
+      metrics_.counter(field.metric);
+    } else {
+      metrics_.gauge(field.metric);
+    }
+  }
+  fetches_ = &metrics_.counter("offload.fetch.total");
+  device_hits_ = &metrics_.counter("offload.fetch.device_hits");
+  staging_hits_ = &metrics_.counter("offload.fetch.staging_hits");
+  host_transfers_ = &metrics_.counter("offload.transfer.total");
+  bytes_host_to_device_ =
+      &metrics_.gauge("offload.transfer.bytes_host_to_device");
+  quantize_seconds_ = &metrics_.gauge("offload.quantize.seconds");
+  dequantize_seconds_ = &metrics_.gauge("offload.dequantize.seconds");
+  transfer_retries_ = &metrics_.counter("offload.transfer.retries");
+  transfer_failures_ = &metrics_.counter("offload.transfer.failures");
+  prefetch_failures_ = &metrics_.counter("offload.prefetch.failures");
+  prefetch_timeouts_ = &metrics_.counter("offload.prefetch.timeouts");
+  sync_fallbacks_ = &metrics_.counter("offload.fetch.sync_fallbacks");
+  prefetch_discards_ = &metrics_.counter("offload.prefetch.discards");
+  degradations_ = &metrics_.counter("offload.degrade.steps");
+  staged_evictions_ = &metrics_.counter("offload.degrade.staged_evictions");
+}
+
+OffloadStats OffloadManager::stats() const {
+  const telemetry::MetricsSnapshot snap = metrics_.snapshot();
+  OffloadStats out;
+  for (const OffloadStatsField& field : kOffloadStatsFields) {
+    if (field.u64 != nullptr) {
+      out.*(field.u64) = snap.counter(field.metric);
+    } else {
+      out.*(field.f64) = snap.gauge(field.metric);
+    }
+  }
+  return out;
 }
 
 void OffloadManager::set_recovery(const RecoveryConfig& recovery) {
@@ -76,7 +115,7 @@ void OffloadManager::register_tensor(const std::string& name,
     } catch (const util::ResourceExhausted&) {
       if (!recovery_.allow_degradation) throw;
       // Ladder rung 1: reclaim device-side staging buffers and retry.
-      stats_.staged_evictions += evict_staged_locked();
+      staged_evictions_->add(evict_staged_locked());
     }
     try {
       entry.charge = PoolCharge(device_pool_, entry.plain.byte_size());
@@ -84,7 +123,7 @@ void OffloadManager::register_tensor(const std::string& name,
       return;
     } catch (const util::ResourceExhausted&) {
       // Ladder rung 2: demote to the host tier (streamed on fetch).
-      ++stats_.degradations;
+      degradations_->add();
       entry.plain = tensor::Tensor();
       entry.tier = Tier::kHost;
     }
@@ -98,10 +137,12 @@ void OffloadManager::register_tensor(const std::string& name,
         entry.plain = value.cast(tensor::DType::kF16);
         entry.charge = PoolCharge(host_pool_, entry.plain.byte_size());
       } else {
+        telemetry::ScopedSpan span(telemetry::TraceRecorder::global(),
+                                   "quantize", "offload");
         const auto start = std::chrono::steady_clock::now();
         entry.quantized =
             tensor::quantize(value, tensor::QuantConfig{bits, group_size_});
-        stats_.quantize_seconds += seconds_since(start);
+        quantize_seconds_->add(seconds_since(start));
         entry.plain = tensor::Tensor();
         entry.charge = PoolCharge(host_pool_, entry.quantized.byte_size());
       }
@@ -109,7 +150,7 @@ void OffloadManager::register_tensor(const std::string& name,
     } catch (const util::ResourceExhausted&) {
       const int next = bits == 16 ? 8 : bits == 8 ? 4 : 0;
       if (!recovery_.allow_degradation || next == 0) throw;
-      ++stats_.degradations;
+      degradations_->add();
       bits = next;
     }
   }
@@ -151,32 +192,42 @@ tensor::Tensor OffloadManager::materialize(const Entry& entry) {
 
 tensor::Tensor OffloadManager::transfer_with_retries(const Entry& entry,
                                                      const char* site) {
+  // The runtime analogue of Algorithm 1's load_weight task; the span makes
+  // prefetch/compute overlap visible in chrome://tracing.
+  telemetry::ScopedSpan span(telemetry::TraceRecorder::global(), "load_weight",
+                             site);
   auto& injector = util::FaultInjector::instance();
   double backoff = recovery_.retry_backoff_seconds;
   for (int attempt = 1;; ++attempt) {
     if (injector.enabled()) {
       sleep_seconds(injector.injected_delay(site));  // bandwidth spike
       if (injector.should_fail(site)) {
-        std::unique_lock<std::mutex> lock(mutex_);
         if (attempt >= recovery_.max_transfer_attempts) {
-          ++stats_.transfer_failures;
+          transfer_failures_->add();
           throw util::TransferError(
               std::string("transient transfer failure at ") + site +
               ", retry budget exhausted after " + std::to_string(attempt) +
               " attempts");
         }
-        ++stats_.transfer_retries;
-        lock.unlock();
-        sleep_seconds(backoff);
+        transfer_retries_->add();
+        {
+          telemetry::ScopedSpan retry_span(telemetry::TraceRecorder::global(),
+                                           "retry_backoff", site);
+          sleep_seconds(backoff);
+        }
         backoff *= 2.0;
         continue;
       }
     }
     const auto start = std::chrono::steady_clock::now();
-    tensor::Tensor value = materialize(entry);
+    tensor::Tensor value;
     if (entry.quantized.defined()) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      stats_.dequantize_seconds += seconds_since(start);
+      telemetry::ScopedSpan dq_span(telemetry::TraceRecorder::global(),
+                                    "dequantize", site);
+      value = materialize(entry);
+      dequantize_seconds_->add(seconds_since(start));
+    } else {
+      value = materialize(entry);
     }
     return value;
   }
@@ -188,10 +239,10 @@ tensor::Tensor OffloadManager::fetch(const std::string& name) {
     std::unique_lock<std::mutex> lock(mutex_);
     auto it = entries_.find(name);
     LMO_CHECK_MSG(it != entries_.end(), "unknown tensor: " + name);
-    ++stats_.fetches;
+    fetches_->add();
     entry = &it->second;
     if (entry->tier == Tier::kDevice) {
-      ++stats_.device_hits;
+      device_hits_->add();
       return entry->plain;  // already f32, shared storage
     }
     // An in-flight prefetch of this tensor will stage it shortly; waiting
@@ -205,7 +256,7 @@ tensor::Tensor OffloadManager::fetch(const std::string& name) {
                 lock,
                 std::chrono::duration<double>(recovery_.prefetch_wait_seconds),
                 ready)) {
-          ++stats_.prefetch_timeouts;
+          prefetch_timeouts_->add();
           abandoned_.insert(name);  // late result will be discarded
           fallback = true;
         }
@@ -217,21 +268,17 @@ tensor::Tensor OffloadManager::fetch(const std::string& name) {
     if (staged != staged_.end()) {
       tensor::Tensor value = std::move(staged->second.value);
       staged_.erase(staged);  // releases the device-side staging charge
-      ++stats_.staging_hits;
+      staging_hits_->add();
       return value;
     }
     if (failed_.erase(name) != 0) fallback = true;
-    if (fallback) ++stats_.sync_fallbacks;
+    if (fallback) sync_fallbacks_->add();
   }
   // Synchronous transfer (cold fetch, or recovery after a failed / hung
   // prefetch). Bytes are charged only once the transfer succeeds.
   tensor::Tensor value = transfer_with_retries(*entry, kFetchSite);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.bytes_host_to_device +=
-        static_cast<double>(payload_bytes(*entry));
-    ++stats_.host_transfers;
-  }
+  bytes_host_to_device_->add(static_cast<double>(payload_bytes(*entry)));
+  host_transfers_->add();
   return value;
 }
 
@@ -261,13 +308,12 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
         std::lock_guard<std::mutex> lock(mutex_);
         // The payload moved over the bus whether or not anyone still wants
         // it; account the traffic at transfer success, exactly once.
-        stats_.bytes_host_to_device +=
-            static_cast<double>(payload_bytes(*entry));
-        ++stats_.host_transfers;
+        bytes_host_to_device_->add(static_cast<double>(payload_bytes(*entry)));
+        host_transfers_->add();
         if (abandoned_.erase(name) != 0) {
           // A fetch timed out waiting for us and already recovered
           // synchronously; drop the late result.
-          ++stats_.prefetch_discards;
+          prefetch_discards_->add();
         } else {
           StagedEntry staged;
           staged.value = std::move(value);
@@ -278,7 +324,7 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
             charged = true;
           } catch (const util::ResourceExhausted&) {
             // Staging buffers are reclaimable: evict and retry once.
-            stats_.staged_evictions += evict_staged_locked();
+            staged_evictions_->add(evict_staged_locked());
             try {
               staged.charge = PoolCharge(device_pool_, bytes);
               charged = true;
@@ -289,7 +335,7 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
             failed_.erase(name);
             staged_.emplace(name, std::move(staged));
           } else {
-            ++stats_.prefetch_failures;
+            prefetch_failures_->add();
             failed_.insert(name);  // next fetch falls back synchronously
           }
         }
@@ -303,7 +349,7 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
       {
         std::lock_guard<std::mutex> lock(mutex_);
         if (abandoned_.erase(name) == 0) failed_.insert(name);
-        ++stats_.prefetch_failures;
+        prefetch_failures_->add();
         in_flight_.erase(name);
       }
       staged_cv_.notify_all();

@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <optional>
@@ -25,6 +26,7 @@
 
 #include "lmo/parallel/threadpool.hpp"
 #include "lmo/runtime/mempool.hpp"
+#include "lmo/telemetry/metrics.hpp"
 #include "lmo/tensor/quantize.hpp"
 #include "lmo/tensor/tensor.hpp"
 
@@ -32,6 +34,10 @@ namespace lmo::runtime {
 
 enum class Tier { kDevice, kHost };
 
+/// Snapshot view of the manager's telemetry registry (see
+/// kOffloadStatsFields for the field↔metric mapping). Materialized by
+/// OffloadManager::stats(); the registry is the source of truth — do not
+/// accumulate into these fields directly.
 struct OffloadStats {
   std::uint64_t fetches = 0;
   std::uint64_t device_hits = 0;       ///< fetch served from device tier
@@ -52,6 +58,47 @@ struct OffloadStats {
   std::uint64_t degradations = 0;       ///< ladder re-quantize / demote steps
   std::uint64_t staged_evictions = 0;   ///< staging slots evicted by ladder
 };
+
+/// One row of the OffloadStats↔registry mapping: exactly one of the two
+/// member pointers is set, matching the metric's registry type.
+struct OffloadStatsField {
+  const char* metric;
+  std::uint64_t OffloadStats::*u64;
+  double OffloadStats::*f64;
+};
+
+/// The single source of truth tying every OffloadStats field to its metric
+/// name. stats() materializes the struct by walking this table, and the
+/// telemetry tests walk it to prove registry and legacy view agree
+/// field-for-field.
+inline constexpr OffloadStatsField kOffloadStatsFields[] = {
+    {"offload.fetch.total", &OffloadStats::fetches, nullptr},
+    {"offload.fetch.device_hits", &OffloadStats::device_hits, nullptr},
+    {"offload.fetch.staging_hits", &OffloadStats::staging_hits, nullptr},
+    {"offload.transfer.total", &OffloadStats::host_transfers, nullptr},
+    {"offload.transfer.bytes_host_to_device", nullptr,
+     &OffloadStats::bytes_host_to_device},
+    {"offload.quantize.seconds", nullptr, &OffloadStats::quantize_seconds},
+    {"offload.dequantize.seconds", nullptr,
+     &OffloadStats::dequantize_seconds},
+    {"offload.transfer.retries", &OffloadStats::transfer_retries, nullptr},
+    {"offload.transfer.failures", &OffloadStats::transfer_failures, nullptr},
+    {"offload.prefetch.failures", &OffloadStats::prefetch_failures, nullptr},
+    {"offload.prefetch.timeouts", &OffloadStats::prefetch_timeouts, nullptr},
+    {"offload.fetch.sync_fallbacks", &OffloadStats::sync_fallbacks, nullptr},
+    {"offload.prefetch.discards", &OffloadStats::prefetch_discards, nullptr},
+    {"offload.degrade.steps", &OffloadStats::degradations, nullptr},
+    {"offload.degrade.staged_evictions", &OffloadStats::staged_evictions,
+     nullptr},
+};
+
+// Every OffloadStats field is 8 bytes (uint64_t or double), so a new field
+// changes sizeof and breaks this assert until kOffloadStatsFields gains the
+// matching metric row — counters cannot silently diverge from the registry.
+static_assert(sizeof(OffloadStats) ==
+                  std::size(kOffloadStatsFields) * sizeof(std::uint64_t),
+              "OffloadStats and kOffloadStatsFields are out of sync: add the "
+              "new field's metric mapping");
 
 /// Knobs for the recovery machinery. The defaults keep fault-free behavior
 /// identical to the fail-fast seed (no fault → no retry, no timeout, no
@@ -106,7 +153,16 @@ class OffloadManager {
   std::future<void> prefetch(const std::string& name,
                              parallel::ThreadPool& pool);
 
-  const OffloadStats& stats() const { return stats_; }
+  /// Legacy stats view, materialized from the telemetry registry via
+  /// kOffloadStatsFields. Returns by value: a consistent snapshot, safe to
+  /// hold while other threads keep recording.
+  OffloadStats stats() const;
+
+  /// The manager's own metrics registry ("offload.*" namespace). Owned per
+  /// instance so two managers in one process never mix counters.
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+
   int quant_bits() const { return quant_bits_; }
 
   void set_recovery(const RecoveryConfig& recovery);
@@ -149,7 +205,26 @@ class OffloadManager {
   std::set<std::string> abandoned_;   ///< timed-out prefetches to discard
   std::condition_variable staged_cv_;
   mutable std::mutex mutex_;
-  OffloadStats stats_;
+
+  telemetry::MetricsRegistry metrics_;
+  // Hot-path handles into metrics_, resolved once in the constructor
+  // (registry lookups take a map find under a mutex; these are lock-free
+  // atomic bumps).
+  telemetry::Counter* fetches_;
+  telemetry::Counter* device_hits_;
+  telemetry::Counter* staging_hits_;
+  telemetry::Counter* host_transfers_;
+  telemetry::Gauge* bytes_host_to_device_;
+  telemetry::Gauge* quantize_seconds_;
+  telemetry::Gauge* dequantize_seconds_;
+  telemetry::Counter* transfer_retries_;
+  telemetry::Counter* transfer_failures_;
+  telemetry::Counter* prefetch_failures_;
+  telemetry::Counter* prefetch_timeouts_;
+  telemetry::Counter* sync_fallbacks_;
+  telemetry::Counter* prefetch_discards_;
+  telemetry::Counter* degradations_;
+  telemetry::Counter* staged_evictions_;
 };
 
 }  // namespace lmo::runtime

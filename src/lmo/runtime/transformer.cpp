@@ -3,12 +3,27 @@
 #include <cmath>
 #include <cstring>
 
+#include "lmo/telemetry/trace.hpp"
 #include "lmo/tensor/ops.hpp"
 #include "lmo/util/check.hpp"
 
 namespace lmo::runtime {
 
 using tensor::Tensor;
+
+namespace {
+
+// Spans carry the six Algorithm-1 task names so a runtime trace lines up
+// with the simulator's predicted timeline (see docs/observability.md for
+// the exact operation ↔ task mapping).
+constexpr const char* kSpanCategory = "decode";
+
+telemetry::ScopedSpan task_span(const char* name) {
+  return telemetry::ScopedSpan(telemetry::TraceRecorder::global(), name,
+                               kSpanCategory);
+}
+
+}  // namespace
 
 std::string Transformer::weight_name(std::int64_t layer,
                                      const std::string& kind) {
@@ -69,6 +84,7 @@ SequenceCache Transformer::make_cache(int kv_bits, std::int64_t group_size,
 
 Tensor Transformer::embed(std::span<const std::int64_t> tokens) {
   LMO_CHECK(!tokens.empty());
+  const auto span = task_span("load_activation");
   const std::int64_t h = spec_.hidden;
   Tensor out = Tensor::zeros({static_cast<std::int64_t>(tokens.size()), h});
   auto dst = out.f32();
@@ -106,19 +122,31 @@ Tensor Transformer::attention(const LayerWeights& w, const Tensor& x,
   const std::int64_t heads = spec_.num_heads;
   const std::int64_t hd = spec_.head_dim();
 
-  const Tensor q = tensor::matmul_nt_blocked(x, w.wq);
-  const Tensor k = tensor::matmul_nt_blocked(x, w.wk);
-  const Tensor v = tensor::matmul_nt_blocked(x, w.wv);
-
-  // Append the new positions to the cache (quantized at rest if enabled).
-  for (std::int64_t i = 0; i < t_new; ++i) {
-    cache.append(tensor::slice_rows(k, i, i + 1).reshaped({h}),
-                 tensor::slice_rows(v, i, i + 1).reshaped({h}));
+  Tensor q, k, v;
+  {
+    const auto span = task_span("compute");
+    q = tensor::matmul_nt_blocked(x, w.wq);
+    k = tensor::matmul_nt_blocked(x, w.wk);
+    v = tensor::matmul_nt_blocked(x, w.wv);
   }
 
-  const Tensor keys = cache.keys();      // [prior + t_new, h]
-  const Tensor values = cache.values();
-  const std::int64_t total = cache.length();
+  // Append the new positions to the cache (quantized at rest if enabled).
+  {
+    const auto span = task_span("store_cache");
+    for (std::int64_t i = 0; i < t_new; ++i) {
+      cache.append(tensor::slice_rows(k, i, i + 1).reshaped({h}),
+                   tensor::slice_rows(v, i, i + 1).reshaped({h}));
+    }
+  }
+
+  Tensor keys, values;
+  std::int64_t total = 0;
+  {
+    const auto span = task_span("load_cache");
+    keys = cache.keys();  // [prior + t_new, h]
+    values = cache.values();
+    total = cache.length();
+  }
   const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
 
   Tensor out = Tensor::zeros({t_new, h});
@@ -167,6 +195,7 @@ Tensor Transformer::attention(const LayerWeights& w, const Tensor& x,
     }
   };
 
+  const auto attn_span = task_span("compute");
   if (compute_pool_ == nullptr || compute_pool_->size() <= 1 || heads == 1) {
     head_range(0, heads);
   } else {
@@ -192,6 +221,7 @@ Tensor Transformer::layer_forward(const LayerWeights& w, const Tensor& x,
   const Tensor mid = tensor::add(x, attn);
 
   // Pre-LN MLP block with the model family's non-linearity.
+  const auto mlp_span = task_span("compute");
   const Tensor normed2 = tensor::layer_norm(mid, w.ln2_gamma, w.ln2_beta);
   const Tensor pre = tensor::matmul_nt_blocked(normed2, w.w1);
   Tensor up;

@@ -1,11 +1,11 @@
 #include "lmo/serve/server_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 
 #include "lmo/perfmodel/estimator.hpp"
 #include "lmo/util/check.hpp"
-#include "lmo/util/stats.hpp"
 
 namespace lmo::serve {
 
@@ -127,7 +127,9 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
                               const perfmodel::Policy& policy,
                               const hw::Platform& platform,
                               const std::vector<Request>& requests,
-                              const ServeConfig& config) {
+                              const ServeConfig& config,
+                              telemetry::MetricsRegistry* metrics_out,
+                              telemetry::TraceRecorder* trace) {
   spec.validate();
   policy.validate();
   config.validate();
@@ -137,15 +139,60 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
                  requests[i - 1].arrival_seconds);
   }
 
+  // The run's single source of truth: every count below lands in the
+  // registry first and ServeMetrics is materialized from it at the end.
+  telemetry::MetricsRegistry local_registry;
+  telemetry::MetricsRegistry& reg =
+      metrics_out != nullptr ? *metrics_out : local_registry;
+  telemetry::Counter& m_tokens = reg.counter("serve.tokens.generated");
+  telemetry::Counter& m_completed = reg.counter("serve.requests.completed");
+  telemetry::Counter& m_misses = reg.counter("serve.requests.deadline_misses");
+  telemetry::Counter& m_retries = reg.counter("serve.requests.retries");
+  telemetry::Histogram& m_ttft = reg.histogram("serve.request.ttft_seconds");
+  telemetry::Histogram& m_latency =
+      reg.histogram("serve.request.latency_seconds");
+  LMO_CHECK_MSG(m_tokens.value() == 0 && m_completed.value() == 0 &&
+                    m_ttft.count() == 0,
+                "simulate_serving needs a fresh registry: 'serve.*' metrics "
+                "already hold data");
+
+  if (trace != nullptr) {
+    trace->set_process_name(kServeTracePid, "serve-engine");
+    for (std::size_t i = 0; i < config.fault_windows.size(); ++i) {
+      const FaultWindow& w = config.fault_windows[i];
+      trace->complete("fault_window", "serve.fault", kServeTracePid, 0,
+                      w.begin * 1e6, (w.end - w.begin) * 1e6);
+    }
+  }
+
   std::deque<Queued> queue;
   std::size_t next_arrival = 0;
   std::vector<Active> active;
   double clock = 0.0;
   double occupancy_integral = 0.0;
-  std::int64_t tokens_generated = 0;
 
   ServeMetrics metrics;
   metrics.outcomes.resize(requests.size());
+
+  // Per-request lifecycle on the engine timeline: one trace row per
+  // request id, wait-for-first-token then decode (or a single aborted
+  // span). Virtual timestamps in microseconds, matching the simulator's
+  // predicted-timeline export.
+  const auto trace_outcome = [&](const RequestOutcome& outcome,
+                                 double arrival) {
+    if (trace == nullptr) return;
+    const int tid = static_cast<int>(outcome.id) + 1;
+    if (!outcome.completed) {
+      trace->complete("aborted", "serve.request", kServeTracePid, tid,
+                      arrival * 1e6, outcome.latency * 1e6);
+      return;
+    }
+    trace->complete("wait_first_token", "serve.request", kServeTracePid, tid,
+                    arrival * 1e6, outcome.ttft * 1e6);
+    trace->complete("decode", "serve.request", kServeTracePid, tid,
+                    (arrival + outcome.ttft) * 1e6,
+                    (outcome.latency - outcome.ttft) * 1e6);
+  };
 
   // Smallest bandwidth factor among fault windows containing `now`; step
   // durations divide by this, stretching work inside degraded intervals.
@@ -233,7 +280,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     LMO_CHECK_GT(step, 0.0);
     occupancy_integral += static_cast<double>(active.size()) * step;
     clock += step;
-    tokens_generated += decoding;
+    m_tokens.add(static_cast<std::uint64_t>(decoding));
 
     for (auto it = active.begin(); it != active.end();) {
       if (!it->decoding()) {
@@ -253,7 +300,10 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
         outcome.completed = true;
         outcome.met_deadline = config.deadline_seconds <= 0.0 ||
                                clock - it->submit <= config.deadline_seconds;
-        ++metrics.completed;
+        m_completed.add();
+        m_ttft.record(outcome.ttft);
+        m_latency.record(outcome.latency);
+        trace_outcome(outcome, it->request.arrival_seconds);
         it = active.erase(it);
       } else {
         ++it;
@@ -269,9 +319,9 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
           ++it;
           continue;
         }
-        ++metrics.deadline_misses;
+        m_misses.add();
         if (it->attempt <= config.max_retries) {
-          ++metrics.retries;
+          m_retries.add();
           queue.push_back(Queued{&requests[static_cast<std::size_t>(
                                      it->request.id)],
                                  clock, it->attempt + 1});
@@ -288,44 +338,57 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
           outcome.attempts = it->attempt;
           outcome.completed = false;
           outcome.met_deadline = false;
+          trace_outcome(outcome, it->request.arrival_seconds);
         }
         it = active.erase(it);
       }
     }
   }
 
-  metrics.duration = clock;
-  LMO_CHECK_GT(metrics.duration, 0.0);
-  metrics.token_throughput =
-      static_cast<double>(tokens_generated) / metrics.duration;
-  metrics.request_throughput =
-      static_cast<double>(metrics.completed) / metrics.duration;
-  metrics.mean_batch_occupancy = occupancy_integral / metrics.duration;
+  LMO_CHECK_GT(clock, 0.0);
 
   // Goodput and SLO attainment: only tokens of requests that completed
-  // within their deadline count as useful work.
+  // within their deadline count as useful work. completed == 0 means no
+  // request ever met its SLO (attainment 0, not a fabricated 1).
   std::int64_t good_tokens = 0;
   std::size_t slo_met = 0;
-  util::SampleSet ttft;
-  util::SampleSet latency;
   for (const auto& outcome : metrics.outcomes) {
     if (outcome.completed && outcome.met_deadline) {
       good_tokens += outcome.tokens;
       ++slo_met;
     }
-    if (outcome.completed) {
-      ttft.add(outcome.ttft);
-      latency.add(outcome.latency);
-    }
   }
-  metrics.goodput = static_cast<double>(good_tokens) / metrics.duration;
-  metrics.slo_attainment = static_cast<double>(slo_met) /
-                           static_cast<double>(metrics.outcomes.size());
-  if (!ttft.empty()) {
-    metrics.ttft_p50 = ttft.quantile(0.5);
-    metrics.ttft_p95 = ttft.quantile(0.95);
-    metrics.latency_p50 = latency.quantile(0.5);
-    metrics.latency_p95 = latency.quantile(0.95);
+  reg.gauge("serve.time.duration_seconds").set(clock);
+  reg.gauge("serve.throughput.tokens_per_second")
+      .set(static_cast<double>(m_tokens.value()) / clock);
+  reg.gauge("serve.throughput.requests_per_second")
+      .set(static_cast<double>(m_completed.value()) / clock);
+  reg.gauge("serve.goodput.tokens_per_second")
+      .set(static_cast<double>(good_tokens) / clock);
+  reg.gauge("serve.slo.attainment")
+      .set(static_cast<double>(slo_met) /
+           static_cast<double>(metrics.outcomes.size()));
+  reg.gauge("serve.batch.mean_occupancy").set(occupancy_integral / clock);
+
+  // Materialize the legacy view from the registry — the compatibility
+  // surface callers keep, backed by the one telemetry vocabulary.
+  metrics.duration = reg.gauge("serve.time.duration_seconds").value();
+  metrics.token_throughput =
+      reg.gauge("serve.throughput.tokens_per_second").value();
+  metrics.request_throughput =
+      reg.gauge("serve.throughput.requests_per_second").value();
+  metrics.goodput = reg.gauge("serve.goodput.tokens_per_second").value();
+  metrics.slo_attainment = reg.gauge("serve.slo.attainment").value();
+  metrics.mean_batch_occupancy =
+      reg.gauge("serve.batch.mean_occupancy").value();
+  metrics.completed = m_completed.value();
+  metrics.deadline_misses = m_misses.value();
+  metrics.retries = m_retries.value();
+  if (m_ttft.count() > 0) {
+    metrics.ttft_p50 = m_ttft.percentile(0.5);
+    metrics.ttft_p95 = m_ttft.percentile(0.95);
+    metrics.latency_p50 = m_latency.percentile(0.5);
+    metrics.latency_p95 = m_latency.percentile(0.95);
   }
   return metrics;
 }

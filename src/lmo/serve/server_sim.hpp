@@ -15,12 +15,15 @@
 // first token (TTFT) and end-to-end request latency percentiles.
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "lmo/hw/platform.hpp"
 #include "lmo/model/llm_config.hpp"
 #include "lmo/perfmodel/policy.hpp"
 #include "lmo/serve/workload_gen.hpp"
+#include "lmo/telemetry/metrics.hpp"
+#include "lmo/telemetry/trace.hpp"
 
 namespace lmo::serve {
 
@@ -67,12 +70,18 @@ struct RequestOutcome {
   bool met_deadline = true;  ///< completed within the SLO (true when no SLO)
 };
 
+/// Snapshot view of the serving run's "serve.*" telemetry (see
+/// docs/observability.md for the field ↔ metric mapping). A
+/// default-constructed ServeMetrics describes *no trace*, so ratio fields
+/// are NaN — a zero-request run must read as "no data", never as a perfect
+/// 100% SLO.
 struct ServeMetrics {
   double duration = 0.0;            ///< makespan of the whole trace
   double token_throughput = 0.0;    ///< generated tokens / duration
   double request_throughput = 0.0;  ///< completed requests / duration
   double goodput = 0.0;             ///< tokens of SLO-met requests / duration
-  double slo_attainment = 1.0;      ///< SLO-met completions / requests
+  /// SLO-met completions / requests; NaN until a request was observed.
+  double slo_attainment = std::numeric_limits<double>::quiet_NaN();
   double ttft_p50 = 0.0;
   double ttft_p95 = 0.0;
   double latency_p50 = 0.0;
@@ -86,10 +95,22 @@ struct ServeMetrics {
 
 /// Simulate serving `requests` (sorted by arrival) on one engine running
 /// `policy` on `platform`. Deterministic.
+///
+/// Telemetry: the run records into a "serve.*" metrics namespace and the
+/// returned ServeMetrics is materialized from those registry reads. Pass
+/// `metrics_out` (must be fresh — no prior "serve.*" entries) to keep the
+/// registry for export; pass `trace` (enabled) to capture per-request
+/// lifecycle spans and fault windows on the engine timeline (pid
+/// kServeTracePid, tid = request id + 1).
 ServeMetrics simulate_serving(const model::ModelSpec& spec,
                               const perfmodel::Policy& policy,
                               const hw::Platform& platform,
                               const std::vector<Request>& requests,
-                              const ServeConfig& config);
+                              const ServeConfig& config,
+                              telemetry::MetricsRegistry* metrics_out = nullptr,
+                              telemetry::TraceRecorder* trace = nullptr);
+
+/// Trace "process" id the serving engine emits events under.
+inline constexpr int kServeTracePid = 1;
 
 }  // namespace lmo::serve

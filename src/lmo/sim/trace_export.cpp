@@ -1,75 +1,31 @@
 #include "lmo/sim/trace_export.hpp"
 
 #include <fstream>
-#include <sstream>
 
+#include "lmo/telemetry/metrics.hpp"
+#include "lmo/telemetry/trace.hpp"
 #include "lmo/util/check.hpp"
 
 namespace lmo::sim {
-namespace {
-
-void append_escaped(std::ostringstream& os, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-}
-
-}  // namespace
 
 std::string to_chrome_trace(const RunResult& result,
                             const TraceExportOptions& options) {
   LMO_CHECK_GT(options.time_scale, 0.0);
-  std::ostringstream os;
-  os << "[";
-  bool first = true;
-  auto emit = [&](const std::string& json) {
-    if (!first) os << ",\n";
-    first = false;
-    os << json;
-  };
-
-  // Resource (process) name metadata.
+  // Delegate to the shared telemetry recorder so the predicted timeline
+  // uses the exact schema the runtime's measured traces use — the two load
+  // side by side in Perfetto and diff visually.
+  telemetry::TraceRecorder recorder;
+  recorder.enable();
   for (std::size_t r = 0; r < result.resources.size(); ++r) {
-    std::ostringstream ev;
-    ev << R"({"name":"process_name","ph":"M","pid":)" << r
-       << R"(,"tid":0,"args":{"name":")";
-    append_escaped(ev, result.resources[r].name);
-    ev << "\"}}";
-    emit(ev.str());
+    recorder.set_process_name(static_cast<int>(r), result.resources[r].name);
   }
-
   for (const auto& task : result.tasks) {
     if (task.duration < options.min_duration) continue;
-    std::ostringstream ev;
-    ev << R"({"name":")";
-    append_escaped(ev, task.name);
-    ev << R"(","cat":")";
-    append_escaped(ev, task.category);
-    ev << R"(","ph":"X","pid":)" << task.resource << R"(,"tid":0,"ts":)"
-       << task.start * options.time_scale << R"(,"dur":)"
-       << task.duration * options.time_scale << "}";
-    emit(ev.str());
+    recorder.complete(task.name, task.category, task.resource, 0,
+                      task.start * options.time_scale,
+                      task.duration * options.time_scale);
   }
-  os << "]\n";
-  return os.str();
+  return recorder.to_json();
 }
 
 void save_chrome_trace(const RunResult& result, const std::string& path,
@@ -78,6 +34,28 @@ void save_chrome_trace(const RunResult& result, const std::string& path,
   LMO_CHECK_MSG(out.good(), "cannot open trace output file: " + path);
   out << to_chrome_trace(result, options);
   LMO_CHECK_MSG(out.good(), "write failed for trace file: " + path);
+}
+
+void export_metrics(const RunResult& result,
+                    telemetry::MetricsRegistry& registry) {
+  registry.gauge("sim.makespan_seconds").set(result.makespan);
+  registry.counter("sim.task.total").add(result.tasks.size());
+  registry.counter("sim.task.failures")
+      .add(static_cast<std::uint64_t>(result.task_failures));
+  registry.gauge("sim.recovery_seconds").set(result.recovery_seconds);
+  for (const auto& res : result.resources) {
+    const std::string base =
+        "sim.resource." + telemetry::sanitize_component(res.name);
+    registry.gauge(base + ".busy_seconds").set(res.busy);
+    registry.gauge(base + ".utilization").set(res.utilization);
+  }
+  for (const auto& cat : result.categories) {
+    const std::string base =
+        "sim.category." + telemetry::sanitize_component(cat.category);
+    registry.gauge(base + ".busy_seconds").set(cat.busy);
+    registry.counter(base + ".count")
+        .add(static_cast<std::uint64_t>(cat.count));
+  }
 }
 
 }  // namespace lmo::sim

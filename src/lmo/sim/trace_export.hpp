@@ -7,6 +7,7 @@
 #include <string>
 
 #include "lmo/sim/engine.hpp"
+#include "lmo/telemetry/metrics.hpp"
 
 namespace lmo::sim {
 
@@ -26,5 +27,13 @@ std::string to_chrome_trace(const RunResult& result,
 /// Write to a file; throws CheckError on I/O failure.
 void save_chrome_trace(const RunResult& result, const std::string& path,
                        const TraceExportOptions& options = {});
+
+/// Record the run's aggregates into `registry` under "sim.*" (makespan,
+/// per-resource busy/utilization, per-category busy/count, fault
+/// recovery) so predicted metrics export through the same `--metrics-out`
+/// path as measured ones. Resource/category labels are sanitized into
+/// metric-name components.
+void export_metrics(const RunResult& result,
+                    telemetry::MetricsRegistry& registry);
 
 }  // namespace lmo::sim

@@ -1,0 +1,49 @@
+// Internal JSON-emission helpers shared by the metrics snapshot and the
+// Chrome-trace writer. Emission only — the telemetry module never parses.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace lmo::telemetry::json {
+
+/// Append `s` to `os` with JSON string escaping (quotes, backslashes,
+/// control characters).
+inline void append_escaped(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Append a double as a JSON value. JSON has no NaN/Inf literal, so
+/// non-finite values (e.g. SLO attainment of a zero-request trace) emit
+/// `null` rather than corrupting the document.
+inline void append_number(std::ostringstream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+  } else {
+    os << value;
+  }
+}
+
+}  // namespace lmo::telemetry::json

@@ -1,0 +1,48 @@
+// The one percentile implementation for the whole codebase. Every surface
+// that reports a quantile — util::SampleSet, telemetry::Histogram, the
+// serving simulator, the benches — funnels through these two functions, so
+// p50/p95 always mean the same thing: linear interpolation between closest
+// ranks, the guarded variant of PR 1's SampleSet::quantile.
+//
+// Header-only on purpose: lower layers (lmo::util) may delegate here
+// without creating a library-level dependency cycle.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::telemetry {
+
+/// Linear-interpolated percentile of an already-sorted sample set; q in
+/// [0, 1]. Empty-set safe: returns NaN instead of indexing past the end,
+/// so zero-request traces read as "no data", never as a fabricated 0.
+inline double percentile_sorted(std::span<const double> sorted, double q) {
+  LMO_CHECK_GE(q, 0.0);
+  LMO_CHECK_LE(q, 1.0);
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+/// Same over unsorted samples (copies and sorts; fine for the small sample
+/// counts telemetry retains).
+inline double percentile(std::span<const double> samples, double q) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
+inline double percentile(const std::vector<double>& samples, double q) {
+  return percentile(std::span<const double>(samples), q);
+}
+
+}  // namespace lmo::telemetry

@@ -1,0 +1,168 @@
+#include "lmo/telemetry/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "lmo/telemetry/json_util.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::telemetry {
+
+namespace {
+
+std::atomic<int> next_tid{0};
+
+void append_event(std::ostringstream& os, const TraceEvent& ev) {
+  os << R"({"name":")";
+  json::append_escaped(os, ev.name);
+  os << "\"";
+  if (ev.phase == 'M') {
+    os << R"(,"ph":"M","pid":)" << ev.pid << R"(,"tid":)" << ev.tid
+       << R"(,"args":{"name":")";
+    json::append_escaped(os, ev.metadata_arg);
+    os << "\"}}";
+    return;
+  }
+  os << R"(,"cat":")";
+  json::append_escaped(os, ev.category);
+  os << R"(","ph":")" << ev.phase << R"(","pid":)" << ev.pid << R"(,"tid":)"
+     << ev.tid << R"(,"ts":)" << ev.ts_us;
+  if (ev.phase == 'X') os << R"(,"dur":)" << ev.dur_us;
+  os << "}";
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+int TraceRecorder::current_tid() {
+  thread_local int tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void TraceRecorder::enable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::push(TraceEvent&& ev) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::set_process_name(int pid, const std::string& name) {
+  TraceEvent ev;
+  ev.name = "process_name";
+  ev.phase = 'M';
+  ev.pid = pid;
+  ev.tid = 0;
+  ev.metadata_arg = name;
+  std::lock_guard<std::mutex> lock(mutex_);
+  metadata_.push_back(std::move(ev));
+}
+
+void TraceRecorder::set_thread_name(int pid, int tid,
+                                    const std::string& name) {
+  TraceEvent ev;
+  ev.name = "thread_name";
+  ev.phase = 'M';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.metadata_arg = name;
+  std::lock_guard<std::mutex> lock(mutex_);
+  metadata_.push_back(std::move(ev));
+}
+
+void TraceRecorder::begin(const std::string& name, const std::string& category,
+                          int pid) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 'B';
+  ev.pid = pid;
+  ev.tid = current_tid();
+  ev.ts_us = now_us();
+  push(std::move(ev));
+}
+
+void TraceRecorder::end(const std::string& name, const std::string& category,
+                        int pid) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 'E';
+  ev.pid = pid;
+  ev.tid = current_tid();
+  ev.ts_us = now_us();
+  push(std::move(ev));
+}
+
+void TraceRecorder::complete(const std::string& name,
+                             const std::string& category, int pid, int tid,
+                             double ts_us, double dur_us) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 'X';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  push(std::move(ev));
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metadata_.size() + events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> all = metadata_;
+  all.insert(all.end(), events_.begin(), events_.end());
+  return all;
+}
+
+std::string TraceRecorder::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  auto emit = [&](const TraceEvent& ev) {
+    if (!first) os << ",\n";
+    first = false;
+    append_event(os, ev);
+  };
+  for (const TraceEvent& ev : metadata_) emit(ev);
+  for (const TraceEvent& ev : events_) emit(ev);
+  os << "]\n";
+  return os.str();
+}
+
+void TraceRecorder::save(const std::string& path) const {
+  std::ofstream out(path);
+  LMO_CHECK_MSG(out.good(), "cannot open trace output file: " + path);
+  out << to_json();
+  LMO_CHECK_MSG(out.good(), "write failed for trace file: " + path);
+}
+
+}  // namespace lmo::telemetry

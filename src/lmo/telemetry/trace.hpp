@@ -1,0 +1,122 @@
+// Chrome trace_event recorder: the one timeline format for measured
+// execution (runtime spans) and predicted execution (simulator exports),
+// so the two can be diffed visually in Perfetto / chrome://tracing.
+//
+// Events use the Trace Event JSON array format: duration events ("B"/"E")
+// for live RAII spans, complete events ("X") for intervals with known
+// duration, metadata ("M") for process/thread names. pid maps to a device
+// or simulated resource, tid to a worker thread.
+//
+// Cost model: recording is a mutex push onto a vector — fine for span
+// granularity (layers, transfers, requests), not for per-element loops.
+// When disabled (the default), begin()/end() return after one relaxed
+// atomic load and ScopedSpan holds a null recorder, so instrumented hot
+// paths pay approximately nothing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lmo::telemetry {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';  ///< 'B', 'E', 'X', or 'M'
+  int pid = 0;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;       ///< complete events only
+  std::string metadata_arg;  ///< 'M' events: args:{"name": <this>}
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Process-wide recorder the runtime instruments against. Off until a
+  /// tool (e.g. `lmo trace`) enables it.
+  static TraceRecorder& global();
+
+  /// Start a capture: clears prior events and restarts the clock at 0 us.
+  void enable();
+  /// Stop recording; captured events remain readable.
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Stable small id for the calling thread (0, 1, 2... in first-use
+  /// order). Used as tid for begin()/end().
+  static int current_tid();
+
+  /// Metadata naming for trace viewers; recorded even while disabled so
+  /// callers can label rows before/after a capture window.
+  void set_process_name(int pid, const std::string& name);
+  void set_thread_name(int pid, int tid, const std::string& name);
+
+  /// Open/close a duration span on the calling thread, timestamped from
+  /// the enable() epoch. No-ops while disabled. Every begin() must be
+  /// closed by an end() with the same name on the same thread — use
+  /// ScopedSpan instead of calling these directly.
+  void begin(const std::string& name, const std::string& category,
+             int pid = 0);
+  void end(const std::string& name, const std::string& category, int pid = 0);
+
+  /// Complete event with caller-supplied timestamps (microseconds). The
+  /// simulator uses this to emit predicted timelines on a virtual clock.
+  /// No-ops while disabled.
+  void complete(const std::string& name, const std::string& category, int pid,
+                int tid, double ts_us, double dur_us);
+
+  std::size_t event_count() const;
+  std::vector<TraceEvent> events() const;
+
+  /// Serialize to a Trace Event JSON array (metadata events first, then
+  /// spans in record order — per-thread record order is program order).
+  std::string to_json() const;
+  /// Write to_json() to a file; throws CheckError on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  double now_us() const;
+  void push(TraceEvent&& ev);
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> metadata_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII duration span. Binds to the recorder only if it is enabled at
+/// construction, so a disabled recorder costs one atomic load and two
+/// pointer writes per span.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder& recorder, const char* name, const char* category,
+             int pid = 0)
+      : recorder_(recorder.enabled() ? &recorder : nullptr),
+        name_(name),
+        category_(category),
+        pid_(pid) {
+    if (recorder_) recorder_->begin(name_, category_, pid_);
+  }
+  ~ScopedSpan() {
+    if (recorder_) recorder_->end(name_, category_, pid_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  int pid_;
+};
+
+}  // namespace lmo::telemetry

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
+#include "lmo/telemetry/percentile.hpp"
 #include "lmo/util/check.hpp"
 
 namespace lmo::util {
@@ -73,15 +75,11 @@ double SampleSet::mean() const {
 }
 
 double SampleSet::quantile(double q) const {
+  // Non-empty stays a contract here (callers get a throw, not NaN); the
+  // math itself lives in the one shared percentile implementation.
   LMO_CHECK(!samples_.empty());
-  LMO_CHECK(q >= 0.0 && q <= 1.0);
   ensure_sorted();
-  if (samples_.size() == 1) return samples_[0];
-  const double pos = q * static_cast<double>(samples_.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
-  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  return telemetry::percentile_sorted(std::span<const double>(samples_), q);
 }
 
 double SampleSet::min() const {

@@ -4,8 +4,13 @@
 //   lmo compare  --model opt-30b --len 32        (FlexGen/ZeRO/LM-Offload)
 //   lmo sweep    --model opt-30b                 (all Table-3 lengths)
 //   lmo trace    --model opt-30b --len 8 --out trace.json
+//   lmo trace    --runtime 1 --out trace.json    (measured Generator spans)
 //   lmo chaos    --profile flaky-pcie            (generation under faults)
 //   lmo models                                    (list presets)
+//
+// trace/serve/chaos accept --metrics-out FILE to export the run's telemetry
+// registry as JSON; serve also accepts --trace-out FILE for request
+// lifecycle spans. See docs/observability.md.
 //
 // --platform takes either a preset name (a100-single, v100-quad) or a path
 // to a key=value platform config (see lmo/hw/platform_config.hpp).
@@ -28,6 +33,8 @@
 #include "lmo/serve/server_sim.hpp"
 #include "lmo/serve/workload_gen.hpp"
 #include "lmo/sim/trace_export.hpp"
+#include "lmo/telemetry/metrics.hpp"
+#include "lmo/telemetry/trace.hpp"
 #include "lmo/util/check.hpp"
 #include "lmo/util/fault.hpp"
 #include "lmo/util/csv.hpp"
@@ -287,8 +294,13 @@ int cmd_serve(const Args& args) {
                         ? serve::Batching::kStatic
                         : serve::Batching::kContinuous;
 
-  const auto m =
-      serve::simulate_serving(spec, policy, platform, requests, config);
+  telemetry::MetricsRegistry registry;
+  telemetry::TraceRecorder trace_recorder;
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) trace_recorder.enable();
+  const auto m = serve::simulate_serving(
+      spec, policy, platform, requests, config, &registry,
+      trace_out.empty() ? nullptr : &trace_recorder);
   std::printf("served %zu requests on %s (%s batching%s)\n", m.completed,
               spec.name.c_str(),
               config.batching == serve::Batching::kStatic ? "static"
@@ -302,6 +314,16 @@ int cmd_serve(const Args& args) {
   std::printf("TTFT p50/p95: %.2f / %.2f s | latency p50/p95: %.2f / "
               "%.2f s\n",
               m.ttft_p50, m.ttft_p95, m.latency_p50, m.latency_p95);
+
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    registry.snapshot().save(metrics_out);
+    std::printf("wrote serve metrics to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    trace_recorder.save(trace_out);
+    std::printf("wrote request-lifecycle trace to %s\n", trace_out.c_str());
+  }
   return 0;
 }
 
@@ -410,6 +432,14 @@ int cmd_chaos(const Args& args) {
 
   std::printf("\nthroughput: %.1f tok/s clean -> %.1f tok/s under chaos\n",
               clean.tokens_per_second, faulted.tokens_per_second);
+
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    chaos_gen.manager().metrics().snapshot().save(metrics_out);
+    std::printf("wrote chaos-run offload metrics to %s\n",
+                metrics_out.c_str());
+  }
+
   const bool identical = faulted.tokens == clean.tokens;
   if (tokens_must_match) {
     std::printf("tokens identical to fault-free run: %s\n",
@@ -489,7 +519,48 @@ int cmd_calibrate(const Args& args) {
   return 0;
 }
 
+/// `lmo trace --runtime 1`: capture a *measured* timeline from a real tiny
+/// Generator run — the six Algorithm-1 task spans (load_weight on prefetch
+/// worker rows overlapping compute on the main row), diffable against the
+/// simulator's predicted timeline from the default mode.
+int cmd_trace_runtime(const Args& args) {
+  const std::string out = args.get("out", "lmo_trace.json");
+  const std::int64_t gen_len = args.get_int("len", 12);
+
+  runtime::RuntimeConfig config;
+  config.spec = model::ModelSpec::tiny(4, 64, 4, 128);
+  config.weight_bits = 8;
+  config.quant_group = 32;
+  config.device_layers = 0;       // every layer streams: load_weight spans
+  config.prefetch_threads = 2;    // worker rows that overlap the main row
+  const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
+
+  auto& trace = telemetry::TraceRecorder::global();
+  trace.set_process_name(0, "lmo-runtime");
+  trace.enable();
+  runtime::Generator generator(config);
+  const auto result = generator.generate(prompts, gen_len);
+  trace.disable();
+  trace.save(out);
+
+  std::printf("wrote %zu span events to %s (open in chrome://tracing or "
+              "https://ui.perfetto.dev)\n",
+              trace.event_count(), out.c_str());
+  std::printf("run: %.1f tok/s, %llu fetches, %llu staging hits\n",
+              result.tokens_per_second,
+              static_cast<unsigned long long>(result.offload.fetches),
+              static_cast<unsigned long long>(result.offload.staging_hits));
+
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    generator.manager().metrics().snapshot().save(metrics_out);
+    std::printf("wrote offload metrics to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
 int cmd_trace(const Args& args) {
+  if (args.get_int("runtime", 0) != 0) return cmd_trace_runtime(args);
   const auto spec = model::ModelSpec::by_name(args.get("model", "opt-30b"));
   model::Workload workload = load_workload(args);
   workload.gen_len = std::min<std::int64_t>(workload.gen_len, 8);
@@ -500,6 +571,14 @@ int cmd_trace(const Args& args) {
   sim::save_chrome_trace(report.run, out);
   std::printf("wrote %zu tasks to %s (open in chrome://tracing)\n",
               report.run.tasks.size(), out.c_str());
+
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    telemetry::MetricsRegistry registry;
+    sim::export_metrics(report.run, registry);
+    registry.snapshot().save(metrics_out);
+    std::printf("wrote predicted-run metrics to %s\n", metrics_out.c_str());
+  }
   return 0;
 }
 
@@ -513,7 +592,12 @@ int usage() {
                "rtx4090-desktop\n"
                "chaos: run generation under a fault profile "
                "(--profile flaky-pcie|congested|dead-prefetch|oom "
-               "[--rate P] [--denials N] [--seed S])\n");
+               "[--rate P] [--denials N] [--seed S])\n"
+               "trace: predicted timeline by default; --runtime 1 records a "
+               "real Generator run's spans\n"
+               "telemetry: --metrics-out FILE on trace/serve/chaos exports "
+               "the metrics registry as JSON;\n           --trace-out FILE "
+               "on serve captures request-lifecycle spans\n");
   return 2;
 }
 

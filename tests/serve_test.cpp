@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <set>
 
 #include "lmo/serve/server_sim.hpp"
 #include "lmo/serve/workload_gen.hpp"
@@ -389,6 +391,85 @@ TEST(ServeSim, DegradedWindowCostsGoodputUnderTightDeadlines) {
   EXPECT_GT(degraded.deadline_misses, 0u);
   EXPECT_LT(degraded.slo_attainment, 1.0);
   EXPECT_LT(degraded.goodput, with_slo.goodput);
+}
+
+// ----------------------------------------------------------- telemetry ---
+
+TEST(ServeSim, DefaultMetricsDescribeNoTraceNotPerfectSlo) {
+  // A zero-request ServeMetrics must read as "no data": ratio fields are
+  // NaN, never a flattering 1.0 SLO attainment.
+  const ServeMetrics metrics;
+  EXPECT_TRUE(std::isnan(metrics.slo_attainment));
+  EXPECT_EQ(metrics.completed, 0u);
+  EXPECT_TRUE(metrics.outcomes.empty());
+}
+
+TEST(ServeSim, RegistrySnapshotAgreesWithReturnedMetrics) {
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(), 25, 5);
+  ServeConfig config;
+  config.max_batch = 8;
+  config.deadline_seconds = 1e9;  // generous: everything completes and meets
+
+  telemetry::MetricsRegistry registry;
+  telemetry::TraceRecorder trace;
+  trace.enable();
+  const auto metrics =
+      simulate_serving(spec, serving_policy(), hw::Platform::a100_single(),
+                       requests, config, &registry, &trace);
+  trace.disable();
+
+  // The struct is a materialized view of the registry: every field must
+  // equal the corresponding metric read (the docs/observability.md map).
+  const auto snap = registry.snapshot();
+  std::uint64_t tokens = 0;
+  for (const auto& outcome : metrics.outcomes) {
+    tokens += static_cast<std::uint64_t>(outcome.tokens);
+  }
+  EXPECT_EQ(snap.counter("serve.tokens.generated"), tokens);
+  EXPECT_EQ(snap.counter("serve.requests.completed"), metrics.completed);
+  EXPECT_EQ(snap.counter("serve.requests.deadline_misses"),
+            metrics.deadline_misses);
+  EXPECT_EQ(snap.counter("serve.requests.retries"), metrics.retries);
+  EXPECT_DOUBLE_EQ(snap.gauge("serve.time.duration_seconds"),
+                   metrics.duration);
+  EXPECT_DOUBLE_EQ(snap.gauge("serve.throughput.tokens_per_second"),
+                   metrics.token_throughput);
+  EXPECT_DOUBLE_EQ(snap.gauge("serve.throughput.requests_per_second"),
+                   metrics.request_throughput);
+  EXPECT_DOUBLE_EQ(snap.gauge("serve.goodput.tokens_per_second"),
+                   metrics.goodput);
+  EXPECT_DOUBLE_EQ(snap.gauge("serve.slo.attainment"),
+                   metrics.slo_attainment);
+  EXPECT_DOUBLE_EQ(snap.gauge("serve.batch.mean_occupancy"),
+                   metrics.mean_batch_occupancy);
+  const auto* ttft = snap.find("serve.request.ttft_seconds");
+  ASSERT_NE(ttft, nullptr);
+  EXPECT_EQ(ttft->count, metrics.completed);
+  EXPECT_DOUBLE_EQ(ttft->p50, metrics.ttft_p50);
+  EXPECT_DOUBLE_EQ(ttft->p95, metrics.ttft_p95);
+  const auto* latency = snap.find("serve.request.latency_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->p50, metrics.latency_p50);
+  EXPECT_DOUBLE_EQ(latency->p95, metrics.latency_p95);
+
+  // Request-lifecycle spans land on the engine pid, one tid per request.
+  std::size_t decode_spans = 0;
+  std::set<int> tids;
+  for (const auto& ev : trace.events()) {
+    if (ev.phase != 'X') continue;
+    EXPECT_EQ(ev.pid, kServeTracePid);
+    tids.insert(ev.tid);
+    if (ev.name == "decode") ++decode_spans;
+  }
+  EXPECT_EQ(decode_spans, metrics.completed);
+  EXPECT_EQ(tids.size(), requests.size());
+
+  // A reused (non-fresh) registry is a caller bug, not silent mixing.
+  EXPECT_THROW(
+      simulate_serving(spec, serving_policy(), hw::Platform::a100_single(),
+                       requests, config, &registry),
+      CheckError);
 }
 
 TEST(ServeSim, ValidatesInputs) {

@@ -1,0 +1,278 @@
+// Tests for the unified telemetry layer: the shared percentile helper, the
+// typed metrics registry with its JSON/plaintext exports, the Chrome-trace
+// span recorder, and the OffloadStats ↔ registry field mapping that keeps
+// the legacy snapshot view honest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "lmo/runtime/generator.hpp"
+#include "lmo/runtime/offload_manager.hpp"
+#include "lmo/telemetry/metrics.hpp"
+#include "lmo/telemetry/percentile.hpp"
+#include "lmo/telemetry/trace.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::telemetry {
+namespace {
+
+using util::CheckError;
+
+// -------------------------------------------------------- percentile -----
+
+TEST(Percentile, EmptySetIsNaNNotCrash) {
+  EXPECT_TRUE(std::isnan(percentile(std::span<const double>{}, 0.5)));
+  EXPECT_TRUE(std::isnan(percentile(std::vector<double>{}, 0.95)));
+}
+
+TEST(Percentile, RejectsOutOfRangeQuantile) {
+  const std::vector<double> samples = {1.0, 2.0};
+  EXPECT_THROW(percentile(samples, -0.1), CheckError);
+  EXPECT_THROW(percentile(samples, 1.1), CheckError);
+}
+
+TEST(Percentile, SingleSampleIsThatSample) {
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 42.0);
+}
+
+TEST(Percentile, LinearInterpolationOnUnsortedInput) {
+  const std::vector<double> samples = {30.0, 10.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.5), 25.0);   // between 20 and 30
+  EXPECT_DOUBLE_EQ(percentile(samples, 1.0 / 3.0), 20.0);
+}
+
+TEST(Percentile, SortedSpanVariantMatchesCopyingVariant) {
+  std::vector<double> sorted = {1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, q), percentile(sorted, q));
+  }
+}
+
+// --------------------------------------------------------- registry ------
+
+TEST(MetricsRegistry, CountersGaugesHistogramsRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("a.count").add(3);
+  registry.counter("a.count").add(2);
+  registry.gauge("a.level").set(1.5);
+  registry.gauge("a.level").add(0.25);
+  registry.histogram("a.latency").record(1.0);
+  registry.histogram("a.latency").record(3.0);
+
+  EXPECT_EQ(registry.counter("a.count").value(), 5u);
+  EXPECT_DOUBLE_EQ(registry.gauge("a.level").value(), 1.75);
+  EXPECT_EQ(registry.histogram("a.latency").count(), 2u);
+  EXPECT_DOUBLE_EQ(registry.histogram("a.latency").sum(), 4.0);
+  EXPECT_DOUBLE_EQ(registry.histogram("a.latency").percentile(0.5), 2.0);
+  EXPECT_EQ(registry.size(), 3u);
+
+  registry.reset();
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(MetricsRegistry, ReferencesStayStableAcrossInserts) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("stable.first");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("churn.c" + std::to_string(i));
+  }
+  first.add(7);
+  EXPECT_EQ(registry.counter("stable.first").value(), 7u);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("x.y");
+  EXPECT_THROW(registry.gauge("x.y"), CheckError);
+  EXPECT_THROW(registry.histogram("x.y"), CheckError);
+  registry.gauge("g.h");
+  EXPECT_THROW(registry.counter("g.h"), CheckError);
+}
+
+TEST(MetricsRegistry, RejectsIllFormedNames) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter(""), CheckError);
+  EXPECT_THROW(registry.counter(".leading"), CheckError);
+  EXPECT_THROW(registry.counter("trailing."), CheckError);
+  EXPECT_THROW(registry.counter("double..dot"), CheckError);
+  EXPECT_THROW(registry.counter("Upper.case"), CheckError);
+  EXPECT_THROW(registry.counter("space bar"), CheckError);
+  EXPECT_NO_THROW(registry.counter("ok.p2p0-1.busy_seconds"));
+}
+
+TEST(MetricsRegistry, SanitizeComponentMakesLabelsLegal) {
+  EXPECT_EQ(sanitize_component("GPU0"), "gpu0");
+  EXPECT_EQ(sanitize_component("p2p:0->1"), "p2p_0-_1");
+  EXPECT_EQ(sanitize_component(""), "_");
+  MetricsRegistry registry;
+  EXPECT_NO_THROW(
+      registry.gauge("sim.resource." + sanitize_component("PCIe Link #0")));
+}
+
+TEST(MetricsSnapshot, SortedTypedReadsAndMissingNames) {
+  MetricsRegistry registry;
+  registry.gauge("z.gauge").set(2.0);
+  registry.counter("a.counter").add(9);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.samples.size(), 2u);
+  EXPECT_EQ(snap.samples[0].name, "a.counter");  // name-sorted
+  EXPECT_EQ(snap.samples[1].name, "z.gauge");
+
+  EXPECT_EQ(snap.counter("a.counter"), 9u);
+  EXPECT_DOUBLE_EQ(snap.gauge("z.gauge"), 2.0);
+  EXPECT_EQ(snap.find("missing.name"), nullptr);
+  EXPECT_THROW(snap.counter("missing.name"), CheckError);
+  EXPECT_THROW(snap.counter("z.gauge"), CheckError);  // type mismatch
+  EXPECT_THROW(snap.gauge("a.counter"), CheckError);
+}
+
+TEST(MetricsSnapshot, JsonAndTextExports) {
+  MetricsRegistry registry;
+  registry.counter("export.count").add(4);
+  registry.gauge("export.value").set(0.5);
+  registry.histogram("export.empty_hist");  // no samples: NaN summary
+  const MetricsSnapshot snap = registry.snapshot();
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"name\":\"export.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  // Non-finite values must serialize as null, never bare NaN tokens.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);
+
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("export.count"), std::string::npos);
+  EXPECT_NE(text.find("export.value"), std::string::npos);
+
+  const char* path = "telemetry_test_snapshot.json";
+  snap.save(path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), json + "\n");
+  std::remove(path);
+  EXPECT_THROW(snap.save("/nonexistent_dir/x.json"), CheckError);
+}
+
+TEST(Histogram, EmptySummaryIsNaN) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.percentile(0.5)));
+}
+
+// ----------------------------------------------------------- tracing -----
+
+TEST(TraceRecorder, DisabledRecorderRecordsNothing) {
+  TraceRecorder recorder;
+  EXPECT_FALSE(recorder.enabled());
+  recorder.begin("a", "cat");
+  recorder.end("a", "cat");
+  recorder.complete("b", "cat", 0, 0, 1.0, 2.0);
+  { ScopedSpan span(recorder, "c", "cat"); }
+  EXPECT_EQ(recorder.event_count(), 0u);
+  // Metadata is kept even while disabled so rows can be labeled up front.
+  recorder.set_process_name(3, "dev3");
+  const std::string json = recorder.to_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"dev3\""), std::string::npos);
+}
+
+TEST(TraceRecorder, ScopedSpansEmitPairedBeginEnd) {
+  TraceRecorder recorder;
+  recorder.enable();
+  {
+    ScopedSpan outer(recorder, "outer", "test");
+    ScopedSpan inner(recorder, "inner", "test");
+  }
+  recorder.disable();
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].phase, 'B');
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].phase, 'E');
+  EXPECT_EQ(events[2].name, "inner");  // LIFO close order
+  EXPECT_EQ(events[3].phase, 'E');
+  EXPECT_EQ(events[3].name, "outer");
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.ts_us, 0.0);
+    EXPECT_EQ(ev.tid, TraceRecorder::current_tid());
+  }
+  // Spans bound while disabled stay inert even if the recorder re-enables
+  // before they close.
+  EXPECT_EQ(recorder.event_count(), 4u);
+  {
+    ScopedSpan dormant(recorder, "dormant", "test");
+    recorder.enable();
+  }
+  recorder.disable();
+  EXPECT_EQ(recorder.event_count(), 0u);  // enable() restarted the capture
+}
+
+TEST(TraceRecorder, EnableRestartsClockAndClearsEvents) {
+  TraceRecorder recorder;
+  recorder.enable();
+  recorder.complete("first", "test", 0, 0, 5.0, 1.0);
+  EXPECT_EQ(recorder.event_count(), 1u);
+  recorder.enable();
+  EXPECT_EQ(recorder.event_count(), 0u);
+  recorder.set_thread_name(0, 2, "worker");
+  recorder.complete("second", "test", 0, 0, 5.0, 1.0);
+  const std::string json = recorder.to_json();
+  EXPECT_EQ(json.find("first"), std::string::npos);
+  EXPECT_NE(json.find("second"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+// ---------------------------------- OffloadStats ↔ registry mapping ------
+
+// The compatibility contract of the stats() snapshot view: after a real
+// generation run, every legacy OffloadStats field equals the registry
+// metric the kOffloadStatsFields table maps it to. (The static_assert in
+// offload_manager.hpp already pins the field *count*; this pins values.)
+TEST(OffloadStatsView, FieldsAgreeWithRegistryAfterRun) {
+  runtime::RuntimeConfig config;
+  config.spec = model::ModelSpec::tiny(2, 32, 4, 64);
+  config.weight_bits = 8;
+  config.quant_group = 16;
+  config.device_layers = 0;
+  config.prefetch_threads = 2;
+  runtime::Generator generator(config);
+  const auto result = generator.generate({{1, 2, 3, 4}}, 6);
+  EXPECT_GT(result.offload.fetches, 0u);
+
+  const runtime::OffloadStats stats = generator.manager().stats();
+  const MetricsSnapshot snap = generator.manager().metrics().snapshot();
+  for (const auto& field : runtime::kOffloadStatsFields) {
+    if (field.u64 != nullptr) {
+      EXPECT_EQ(stats.*(field.u64), snap.counter(field.metric))
+          << "counter mismatch for " << field.metric;
+    } else {
+      EXPECT_DOUBLE_EQ(stats.*(field.f64), snap.gauge(field.metric))
+          << "gauge mismatch for " << field.metric;
+    }
+  }
+  // The GenerationResult carries the same snapshot.
+  EXPECT_EQ(result.offload.fetches, stats.fetches);
+  EXPECT_EQ(result.offload.host_transfers, stats.host_transfers);
+}
+
+}  // namespace
+}  // namespace lmo::telemetry
