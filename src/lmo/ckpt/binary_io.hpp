@@ -1,0 +1,73 @@
+// Bounds-checked little-endian binary serialization for checkpoint files.
+//
+// ByteWriter appends primitives to a growable buffer; ByteReader consumes
+// them back, throwing util::CheckpointTruncated the moment a read would run
+// past the end — a cut-off file surfaces as one typed error, never as UB or
+// a silently short restore. Multi-byte values are written byte-by-byte in
+// little-endian order so checkpoints are portable across hosts regardless
+// of native endianness or struct layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lmo::ckpt {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention) over `data`.
+std::uint32_t crc32(std::span<const std::byte> data);
+std::uint32_t crc32(const std::vector<std::byte>& data);
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value);
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void i64(std::int64_t value);
+  void f32(float value);   ///< IEEE bits via u32
+  void f64(double value);  ///< IEEE bits via u64
+  /// Length-prefixed (u64) byte string.
+  void bytes(std::span<const std::byte> value);
+  void string(const std::string& value);
+  /// Length-prefixed (u64) packed array of f32 bit patterns.
+  void f32_array(std::span<const float> values);
+
+  const std::vector<std::byte>& buffer() const { return buffer_; }
+  std::vector<std::byte> take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Reads back what ByteWriter wrote, in the same order. Does not own the
+/// buffer; the caller keeps it alive for the reader's lifetime.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  float f32();
+  double f64();
+  std::vector<std::byte> bytes();
+  std::string string();
+  std::vector<float> f32_array();
+
+  std::size_t remaining() const { return data_.size() - cursor_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  /// Advance past `count` bytes; throws util::CheckpointTruncated when
+  /// fewer remain.
+  std::span<const std::byte> take(std::size_t count);
+
+  std::span<const std::byte> data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace lmo::ckpt

@@ -1,0 +1,45 @@
+// Checkpoint file envelope: a fixed header followed by an opaque payload
+// and a CRC-32 trailer.
+//
+//   offset  size  field
+//   0       8     magic "LMOCKPT\0"
+//   8       4     format version (u32, little-endian)
+//   12      4     payload kind (u32) — what the payload serializes
+//   16      8     payload length in bytes (u64)
+//   24      N     payload
+//   24+N    4     CRC-32 of the payload
+//
+// Every failure mode maps to one typed util/status error, checked in this
+// order: unreadable file / short header → CheckpointTruncated, bad magic →
+// CheckpointCorrupt, wrong version → CheckpointVersionMismatch, wrong kind
+// → CheckpointMismatch, short payload → CheckpointTruncated, CRC mismatch
+// → CheckpointCorrupt. A reader never sees a partially-validated payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lmo::ckpt {
+
+inline constexpr std::uint64_t kMagic = 0x0054504B434F4D4CULL;  // "LMOCKPT\0"
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// What a checkpoint payload contains. Stored in the header so `lmo resume`
+/// can reject, say, a future scheduler snapshot with a clear error instead
+/// of a decode failure deep inside the generator codec.
+enum class PayloadKind : std::uint32_t {
+  kGeneratorState = 1,
+};
+
+/// Atomically-ish write `payload` under the envelope: the file is written
+/// to `path` in one stream and flushed; throws CheckError on I/O failure.
+void write_checkpoint_file(const std::string& path, PayloadKind kind,
+                           const std::vector<std::byte>& payload);
+
+/// Read and fully validate the envelope at `path`; returns the payload.
+/// Throws the typed CheckpointError taxonomy described above.
+std::vector<std::byte> read_checkpoint_file(const std::string& path,
+                                            PayloadKind expected_kind);
+
+}  // namespace lmo::ckpt

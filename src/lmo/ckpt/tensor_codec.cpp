@@ -1,0 +1,100 @@
+#include "lmo/ckpt/tensor_codec.hpp"
+
+#include <cstring>
+
+#include "lmo/util/check.hpp"
+#include "lmo/util/status.hpp"
+
+namespace lmo::ckpt {
+
+void encode_shape(ByteWriter& writer, const tensor::Shape& shape) {
+  writer.u8(static_cast<std::uint8_t>(shape.rank()));
+  for (std::size_t axis = 0; axis < shape.rank(); ++axis) {
+    writer.i64(shape.dim(axis));
+  }
+}
+
+tensor::Shape decode_shape(ByteReader& reader) {
+  const std::uint8_t rank = reader.u8();
+  if (rank > tensor::Shape::kMaxRank) {
+    throw util::CheckpointCorrupt("checkpoint shape rank " +
+                                  std::to_string(rank) + " exceeds max rank " +
+                                  std::to_string(tensor::Shape::kMaxRank));
+  }
+  tensor::Shape shape;
+  for (std::uint8_t axis = 0; axis < rank; ++axis) {
+    const std::int64_t extent = reader.i64();
+    if (extent < 0) {
+      throw util::CheckpointCorrupt("checkpoint shape has negative extent " +
+                                    std::to_string(extent));
+    }
+    shape = shape.appended(extent);
+  }
+  return shape;
+}
+
+void encode_tensor(ByteWriter& writer, const tensor::Tensor& value) {
+  LMO_CHECK_MSG(value.defined(), "cannot encode an undefined tensor");
+  encode_shape(writer, value.shape());
+  writer.u8(static_cast<std::uint8_t>(value.dtype()));
+  writer.bytes(value.raw());
+}
+
+tensor::Tensor decode_tensor(ByteReader& reader) {
+  const tensor::Shape shape = decode_shape(reader);
+  const std::uint8_t dtype_tag = reader.u8();
+  if (dtype_tag > static_cast<std::uint8_t>(tensor::DType::kI4)) {
+    throw util::CheckpointCorrupt("checkpoint tensor has unknown dtype tag " +
+                                  std::to_string(dtype_tag));
+  }
+  const auto dtype = static_cast<tensor::DType>(dtype_tag);
+  const std::vector<std::byte> raw = reader.bytes();
+  tensor::Tensor out(shape, dtype);
+  if (raw.size() != out.byte_size()) {
+    throw util::CheckpointCorrupt(
+        "checkpoint tensor " + shape.to_string() + " dtype " +
+        tensor::to_string(dtype) + " carries " + std::to_string(raw.size()) +
+        " storage bytes, expected " + std::to_string(out.byte_size()));
+  }
+  std::memcpy(out.raw().data(), raw.data(), raw.size());
+  return out;
+}
+
+void encode_quantized(ByteWriter& writer,
+                      const tensor::QuantizedTensor& value) {
+  LMO_CHECK_MSG(value.defined(), "cannot encode an undefined quantized tensor");
+  encode_shape(writer, value.original_shape());
+  writer.u8(static_cast<std::uint8_t>(value.bits()));
+  writer.i64(value.group_size());
+  writer.i64(value.padded_numel());
+  writer.bytes(std::as_bytes(std::span<const std::uint8_t>(
+      value.payload().data(), value.payload().size())));
+  writer.f32_array(value.group_min());
+  writer.f32_array(value.group_scale());
+}
+
+tensor::QuantizedTensor decode_quantized(ByteReader& reader) {
+  const tensor::Shape shape = decode_shape(reader);
+  tensor::QuantConfig config;
+  config.bits = reader.u8();
+  config.group_size = reader.i64();
+  const std::int64_t padded_numel = reader.i64();
+  const std::vector<std::byte> raw_payload = reader.bytes();
+  std::vector<std::uint8_t> payload(raw_payload.size());
+  std::memcpy(payload.data(), raw_payload.data(), raw_payload.size());
+  std::vector<float> group_min = reader.f32_array();
+  std::vector<float> group_scale = reader.f32_array();
+  try {
+    return tensor::QuantizedTensor::from_parts(
+        shape, config, padded_numel, std::move(payload), std::move(group_min),
+        std::move(group_scale));
+  } catch (const util::CheckError& e) {
+    // from_parts validates internal consistency; in a decode context an
+    // inconsistency means the file lied, so re-surface it as corruption.
+    throw util::CheckpointCorrupt(std::string("checkpoint quantized tensor "
+                                              "is inconsistent: ") +
+                                  e.what());
+  }
+}
+
+}  // namespace lmo::ckpt

@@ -1,0 +1,27 @@
+// Checkpoint codecs for tensor payloads. Encoding is bit-exact: raw storage
+// bytes for dense tensors, payload + per-group metadata verbatim for
+// quantized tensors (restored through QuantizedTensor::from_parts, so a
+// round trip introduces zero re-quantization drift). Decoders validate
+// every size they read and surface problems as the typed checkpoint error
+// taxonomy (truncation via ByteReader, inconsistency via CheckError).
+#pragma once
+
+#include "lmo/ckpt/binary_io.hpp"
+#include "lmo/tensor/quantize.hpp"
+#include "lmo/tensor/tensor.hpp"
+
+namespace lmo::ckpt {
+
+void encode_shape(ByteWriter& writer, const tensor::Shape& shape);
+tensor::Shape decode_shape(ByteReader& reader);
+
+/// Dense tensor: shape, dtype tag, raw storage bytes.
+void encode_tensor(ByteWriter& writer, const tensor::Tensor& value);
+tensor::Tensor decode_tensor(ByteReader& reader);
+
+/// Quantized tensor: shape, quant config, payload + group metadata.
+void encode_quantized(ByteWriter& writer,
+                      const tensor::QuantizedTensor& value);
+tensor::QuantizedTensor decode_quantized(ByteReader& reader);
+
+}  // namespace lmo::ckpt

@@ -1,13 +1,52 @@
 #include "lmo/core/plan_io.hpp"
 
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 
 #include "lmo/util/check.hpp"
 #include "lmo/util/string_util.hpp"
 
 namespace lmo::core {
+
+namespace {
+
+// Typed numeric parsing: a malformed or out-of-range value in a plan file
+// must surface as a CheckError naming the key, not leak std::invalid_argument
+// out of std::stoll. The whole token must be consumed — "12abc" is garbage,
+// not 12.
+std::int64_t parse_i64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t parsed = std::stoll(value, &consumed);
+    LMO_CHECK_MSG(consumed == value.size(),
+                  "trailing garbage in integer for " + key + ": " + value);
+    return parsed;
+  } catch (const util::CheckError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw util::CheckError("bad integer for plan key " + key + ": " + value);
+  }
+}
+
+double parse_f64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    LMO_CHECK_MSG(consumed == value.size(),
+                  "trailing garbage in number for " + key + ": " + value);
+    return parsed;
+  } catch (const util::CheckError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw util::CheckError("bad number for plan key " + key + ": " + value);
+  }
+}
+
+}  // namespace
 
 bool SavedPlan::operator==(const SavedPlan& other) const {
   return model == other.model &&
@@ -20,6 +59,9 @@ bool SavedPlan::operator==(const SavedPlan& other) const {
 
 std::string plan_to_string(const SavedPlan& plan) {
   std::ostringstream os;
+  // max_digits10 so fractional placements survive the text round-trip
+  // bit-exactly (a truncated weights_on_gpu would silently shift the plan).
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "# lm-offload plan\n";
   os << "model = " << plan.model << "\n";
   os << "workload.prompt_len = " << plan.workload.prompt_len << "\n";
@@ -68,25 +110,29 @@ SavedPlan plan_from_string(const std::string& text) {
     kv.erase(it);
     return value;
   };
+  const auto take_i64 = [&](const char* key) {
+    return parse_i64(key, take(key));
+  };
+  const auto take_f64 = [&](const char* key) {
+    return parse_f64(key, take(key));
+  };
   plan.model = take("model");
-  plan.workload.prompt_len = std::stoll(take("workload.prompt_len"));
-  plan.workload.gen_len = std::stoll(take("workload.gen_len"));
-  plan.workload.gpu_batch = std::stoll(take("workload.gpu_batch"));
-  plan.workload.num_batches = std::stoll(take("workload.num_batches"));
-  plan.policy.weights_on_gpu = std::stod(take("policy.weights_on_gpu"));
-  plan.policy.cache_on_gpu = std::stod(take("policy.cache_on_gpu"));
-  plan.policy.activations_on_gpu =
-      std::stod(take("policy.activations_on_gpu"));
-  plan.policy.weights_on_disk = std::stod(take("policy.weights_on_disk"));
-  plan.policy.attention_on_cpu =
-      std::stoll(take("policy.attention_on_cpu")) != 0;
+  plan.workload.prompt_len = take_i64("workload.prompt_len");
+  plan.workload.gen_len = take_i64("workload.gen_len");
+  plan.workload.gpu_batch = take_i64("workload.gpu_batch");
+  plan.workload.num_batches = take_i64("workload.num_batches");
+  plan.policy.weights_on_gpu = take_f64("policy.weights_on_gpu");
+  plan.policy.cache_on_gpu = take_f64("policy.cache_on_gpu");
+  plan.policy.activations_on_gpu = take_f64("policy.activations_on_gpu");
+  plan.policy.weights_on_disk = take_f64("policy.weights_on_disk");
+  plan.policy.attention_on_cpu = take_i64("policy.attention_on_cpu") != 0;
   plan.policy.weight_bits =
-      static_cast<int>(std::stoll(take("policy.weight_bits")));
-  plan.policy.kv_bits = static_cast<int>(std::stoll(take("policy.kv_bits")));
+      static_cast<int>(take_i64("policy.weight_bits"));
+  plan.policy.kv_bits = static_cast<int>(take_i64("policy.kv_bits"));
   plan.policy.resident_weights_compressed =
-      std::stoll(take("policy.resident_weights_compressed")) != 0;
+      take_i64("policy.resident_weights_compressed") != 0;
   plan.policy.parallelism_control =
-      std::stoll(take("policy.parallelism_control")) != 0;
+      take_i64("policy.parallelism_control") != 0;
   for (const auto& [key, value] : kv) {
     LMO_CHECK_MSG(false, "unknown plan key: " + key);
   }

@@ -1,0 +1,492 @@
+#include "lmo/runtime/checkpoint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "lmo/ckpt/format.hpp"
+#include "lmo/ckpt/tensor_codec.hpp"
+#include "lmo/runtime/window_kv.hpp"
+#include "lmo/telemetry/trace.hpp"
+#include "lmo/util/check.hpp"
+#include "lmo/util/fault.hpp"
+#include "lmo/util/status.hpp"
+
+namespace lmo::runtime {
+namespace {
+
+void encode_i64_vec(ckpt::ByteWriter& writer,
+                    const std::vector<std::int64_t>& values) {
+  writer.u64(values.size());
+  for (std::int64_t v : values) writer.i64(v);
+}
+
+std::vector<std::int64_t> decode_i64_vec(ckpt::ByteReader& reader) {
+  const std::uint64_t count = reader.u64();
+  std::vector<std::int64_t> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) values.push_back(reader.i64());
+  return values;
+}
+
+// KV flavor tags in the cache codec. Distinct from KVFlavor so the wire
+// format stays frozen even if the enum is reordered.
+constexpr std::uint8_t kDenseTag = 1;
+constexpr std::uint8_t kPagedTag = 2;
+constexpr std::uint8_t kWindowTag = 3;
+
+void encode_dense(ckpt::ByteWriter& writer, const KVCache& cache) {
+  writer.u8(kDenseTag);
+  writer.i64(cache.hidden());
+  writer.u8(static_cast<std::uint8_t>(cache.bits()));
+  writer.i64(cache.group_size());
+  writer.u64(static_cast<std::uint64_t>(cache.length()));
+  const auto encode_rows = [&](const std::vector<KVCache::Row>& rows) {
+    for (const KVCache::Row& row : rows) {
+      if (cache.bits() == 16) {
+        ckpt::encode_tensor(writer, row.plain);
+      } else {
+        ckpt::encode_quantized(writer, row.quantized);
+      }
+    }
+  };
+  encode_rows(cache.k_rows());
+  encode_rows(cache.v_rows());
+}
+
+std::unique_ptr<KVCacheBase> decode_dense(ckpt::ByteReader& reader,
+                                          const KVRestoreContext& context) {
+  LMO_CHECK_MSG(context.pool != nullptr,
+                "dense KV restore needs a memory pool");
+  const std::int64_t hidden = reader.i64();
+  const int bits = reader.u8();
+  const std::int64_t group = reader.i64();
+  const std::uint64_t length = reader.u64();
+  if (bits != 16 && bits != 8 && bits != 4) {
+    throw util::CheckpointCorrupt("dense KV checkpoint has invalid bits " +
+                                  std::to_string(bits));
+  }
+  auto cache = std::make_unique<KVCache>(hidden, bits, group, *context.pool);
+  const auto decode_rows = [&] {
+    std::vector<KVCache::Row> rows;
+    rows.reserve(static_cast<std::size_t>(length));
+    for (std::uint64_t i = 0; i < length; ++i) {
+      KVCache::Row row;
+      if (bits == 16) {
+        row.plain = ckpt::decode_tensor(reader);
+      } else {
+        row.quantized = ckpt::decode_quantized(reader);
+      }
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  };
+  std::vector<KVCache::Row> k = decode_rows();
+  std::vector<KVCache::Row> v = decode_rows();
+  try {
+    cache->restore_rows(std::move(k), std::move(v));
+  } catch (const util::CheckError& e) {
+    throw util::CheckpointCorrupt(
+        std::string("dense KV checkpoint is inconsistent: ") + e.what());
+  }
+  return cache;
+}
+
+void encode_paged(ckpt::ByteWriter& writer, const PagedKVCache& cache) {
+  writer.u8(kPagedTag);
+  writer.i64(cache.length());
+  if (cache.length() > 0) {
+    // Gathered [length, hidden] matrices; the page structure is a pure
+    // function of length so re-appending on restore rebuilds the same
+    // block table.
+    writer.f32_array(cache.keys().f32());
+    writer.f32_array(cache.values().f32());
+  }
+}
+
+std::unique_ptr<KVCacheBase> decode_paged(ckpt::ByteReader& reader,
+                                          const KVRestoreContext& context) {
+  LMO_CHECK_MSG(context.page_pool != nullptr,
+                "paged KV restore needs a page pool");
+  const std::int64_t length = reader.i64();
+  auto cache = std::make_unique<PagedKVCache>(*context.page_pool);
+  if (length < 0) {
+    throw util::CheckpointCorrupt("paged KV checkpoint has negative length");
+  }
+  if (length == 0) return cache;
+  const std::int64_t hidden = context.page_pool->hidden();
+  const std::vector<float> k = reader.f32_array();
+  const std::vector<float> v = reader.f32_array();
+  const std::size_t expected =
+      static_cast<std::size_t>(length) * static_cast<std::size_t>(hidden);
+  if (k.size() != expected || v.size() != expected) {
+    throw util::CheckpointCorrupt(
+        "paged KV checkpoint payload does not match length " +
+        std::to_string(length) + " x hidden " + std::to_string(hidden));
+  }
+  for (std::int64_t t = 0; t < length; ++t) {
+    const auto row = [&](const std::vector<float>& src) {
+      const auto* base = src.data() + t * hidden;
+      return tensor::Tensor::from_values(
+          {hidden}, std::vector<float>(base, base + hidden));
+    };
+    cache->append(row(k), row(v));
+  }
+  return cache;
+}
+
+void encode_window(ckpt::ByteWriter& writer, const WindowKVCache& cache) {
+  writer.u8(kWindowTag);
+  const std::int64_t hidden =
+      static_cast<std::int64_t>(cache.k_ring().size()) / cache.window();
+  writer.i64(hidden);
+  writer.i64(cache.window());
+  writer.i64(cache.appended());
+  writer.i64(cache.length());
+  writer.f32_array(cache.k_ring());
+  writer.f32_array(cache.v_ring());
+}
+
+std::unique_ptr<KVCacheBase> decode_window(ckpt::ByteReader& reader,
+                                           const KVRestoreContext& context) {
+  LMO_CHECK_MSG(context.pool != nullptr,
+                "window KV restore needs a memory pool");
+  const std::int64_t hidden = reader.i64();
+  const std::int64_t window = reader.i64();
+  const std::int64_t appended = reader.i64();
+  const std::int64_t visible = reader.i64();
+  std::vector<float> k_ring = reader.f32_array();
+  std::vector<float> v_ring = reader.f32_array();
+  if (hidden <= 0 || window <= 0) {
+    throw util::CheckpointCorrupt("window KV checkpoint has invalid geometry");
+  }
+  auto cache = std::make_unique<WindowKVCache>(hidden, window, *context.pool);
+  try {
+    cache->restore(appended, visible, std::move(k_ring), std::move(v_ring));
+  } catch (const util::CheckError& e) {
+    throw util::CheckpointCorrupt(
+        std::string("window KV checkpoint is inconsistent: ") + e.what());
+  }
+  return cache;
+}
+
+void encode_fault_states(ckpt::ByteWriter& writer) {
+  const std::vector<util::FaultSiteState> states =
+      util::FaultInjector::instance().site_states();
+  writer.u64(states.size());
+  for (const util::FaultSiteState& s : states) {
+    writer.string(s.site);
+    writer.i64(s.ops);
+    writer.i64(s.failures);
+    writer.i64(s.allocs_denied);
+    writer.u64(s.draws);
+  }
+}
+
+std::vector<util::FaultSiteState> decode_fault_states(
+    ckpt::ByteReader& reader) {
+  const std::uint64_t count = reader.u64();
+  std::vector<util::FaultSiteState> states;
+  states.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    util::FaultSiteState s;
+    s.site = reader.string();
+    s.ops = reader.i64();
+    s.failures = reader.i64();
+    s.allocs_denied = reader.i64();
+    s.draws = reader.u64();
+    states.push_back(std::move(s));
+  }
+  return states;
+}
+
+/// Restore whatever saved sites are still armed; saved sites the current
+/// process has not armed are skipped (the caller chose a different chaos
+/// profile — that is their prerogative, not corruption).
+void apply_fault_states(const std::vector<util::FaultSiteState>& states) {
+  auto& injector = util::FaultInjector::instance();
+  if (!injector.enabled()) return;
+  std::set<std::string> armed;
+  for (const auto& s : injector.site_states()) armed.insert(s.site);
+  for (const auto& s : states) {
+    if (armed.count(s.site) != 0) injector.restore_site_state(s);
+  }
+}
+
+}  // namespace
+
+void encode_runtime_config(ckpt::ByteWriter& writer,
+                           const RuntimeConfig& config) {
+  const model::ModelSpec& spec = config.spec;
+  writer.string(spec.name);
+  writer.i64(spec.num_layers);
+  writer.i64(spec.hidden);
+  writer.i64(spec.mlp_hidden);
+  writer.i64(spec.num_heads);
+  writer.i64(spec.vocab);
+  writer.u8(static_cast<std::uint8_t>(spec.mlp_matrices));
+  writer.u8(static_cast<std::uint8_t>(spec.activation));
+
+  writer.i64(config.device_layers);
+  writer.u8(static_cast<std::uint8_t>(config.weight_bits));
+  writer.u8(static_cast<std::uint8_t>(config.kv_bits));
+  writer.i64(config.quant_group);
+  writer.u64(config.device_capacity);
+  writer.u64(config.host_capacity);
+  writer.u8(static_cast<std::uint8_t>(config.kv_flavor));
+  writer.i64(config.page_tokens);
+  writer.i64(config.window_tokens);
+  writer.i64(config.prefetch_threads);
+  writer.i64(config.recovery.max_transfer_attempts);
+  writer.f64(config.recovery.retry_backoff_seconds);
+  writer.f64(config.recovery.prefetch_wait_seconds);
+  writer.u8(config.recovery.allow_degradation ? 1 : 0);
+  writer.i64(config.compute_threads);
+  writer.u64(config.seed);
+  writer.f64(config.sampling.temperature);
+  writer.i64(config.sampling.top_k);
+  writer.f64(config.sampling.top_p);
+  writer.u64(config.sampling.seed);
+}
+
+RuntimeConfig decode_runtime_config(ckpt::ByteReader& reader) {
+  RuntimeConfig config;
+  model::ModelSpec& spec = config.spec;
+  spec.name = reader.string();
+  spec.num_layers = reader.i64();
+  spec.hidden = reader.i64();
+  spec.mlp_hidden = reader.i64();
+  spec.num_heads = reader.i64();
+  spec.vocab = reader.i64();
+  spec.mlp_matrices = reader.u8();
+  const std::uint8_t activation = reader.u8();
+  if (activation > static_cast<std::uint8_t>(model::Activation::kSilu)) {
+    throw util::CheckpointCorrupt("checkpoint has unknown activation tag " +
+                                  std::to_string(activation));
+  }
+  spec.activation = static_cast<model::Activation>(activation);
+
+  config.device_layers = reader.i64();
+  config.weight_bits = reader.u8();
+  config.kv_bits = reader.u8();
+  config.quant_group = reader.i64();
+  config.device_capacity = static_cast<std::size_t>(reader.u64());
+  config.host_capacity = static_cast<std::size_t>(reader.u64());
+  const std::uint8_t flavor = reader.u8();
+  if (flavor > static_cast<std::uint8_t>(KVFlavor::kWindow)) {
+    throw util::CheckpointCorrupt("checkpoint has unknown KV flavor tag " +
+                                  std::to_string(flavor));
+  }
+  config.kv_flavor = static_cast<KVFlavor>(flavor);
+  config.paged_kv = config.kv_flavor == KVFlavor::kPaged;
+  config.page_tokens = reader.i64();
+  config.window_tokens = reader.i64();
+  config.prefetch_threads = static_cast<int>(reader.i64());
+  config.recovery.max_transfer_attempts = static_cast<int>(reader.i64());
+  config.recovery.retry_backoff_seconds = reader.f64();
+  config.recovery.prefetch_wait_seconds = reader.f64();
+  config.recovery.allow_degradation = reader.u8() != 0;
+  config.compute_threads = static_cast<int>(reader.i64());
+  config.seed = reader.u64();
+  config.sampling.temperature = reader.f64();
+  config.sampling.top_k = static_cast<int>(reader.i64());
+  config.sampling.top_p = reader.f64();
+  config.sampling.seed = reader.u64();
+  return config;
+}
+
+bool runtime_config_equal(const RuntimeConfig& a, const RuntimeConfig& b) {
+  return a.spec.name == b.spec.name &&
+         a.spec.num_layers == b.spec.num_layers &&
+         a.spec.hidden == b.spec.hidden &&
+         a.spec.mlp_hidden == b.spec.mlp_hidden &&
+         a.spec.num_heads == b.spec.num_heads &&
+         a.spec.vocab == b.spec.vocab &&
+         a.spec.mlp_matrices == b.spec.mlp_matrices &&
+         a.spec.activation == b.spec.activation &&
+         a.device_layers == b.device_layers &&
+         a.weight_bits == b.weight_bits && a.kv_bits == b.kv_bits &&
+         a.quant_group == b.quant_group &&
+         a.device_capacity == b.device_capacity &&
+         a.host_capacity == b.host_capacity && a.kv_flavor == b.kv_flavor &&
+         a.page_tokens == b.page_tokens &&
+         a.window_tokens == b.window_tokens &&
+         a.prefetch_threads == b.prefetch_threads &&
+         a.recovery.max_transfer_attempts ==
+             b.recovery.max_transfer_attempts &&
+         a.recovery.retry_backoff_seconds ==
+             b.recovery.retry_backoff_seconds &&
+         a.recovery.prefetch_wait_seconds ==
+             b.recovery.prefetch_wait_seconds &&
+         a.recovery.allow_degradation == b.recovery.allow_degradation &&
+         a.compute_threads == b.compute_threads && a.seed == b.seed &&
+         a.sampling.temperature == b.sampling.temperature &&
+         a.sampling.top_k == b.sampling.top_k &&
+         a.sampling.top_p == b.sampling.top_p &&
+         a.sampling.seed == b.sampling.seed;
+}
+
+void encode_kv_cache(ckpt::ByteWriter& writer, const KVCacheBase& cache) {
+  if (const auto* dense = dynamic_cast<const KVCache*>(&cache)) {
+    encode_dense(writer, *dense);
+  } else if (const auto* paged = dynamic_cast<const PagedKVCache*>(&cache)) {
+    encode_paged(writer, *paged);
+  } else if (const auto* window =
+                 dynamic_cast<const WindowKVCache*>(&cache)) {
+    encode_window(writer, *window);
+  } else {
+    LMO_UNREACHABLE("unknown KV cache flavor in checkpoint encoder");
+  }
+}
+
+std::unique_ptr<KVCacheBase> decode_kv_cache(ckpt::ByteReader& reader,
+                                             const KVRestoreContext& context) {
+  const std::uint8_t tag = reader.u8();
+  switch (tag) {
+    case kDenseTag:
+      return decode_dense(reader, context);
+    case kPagedTag:
+      return decode_paged(reader, context);
+    case kWindowTag:
+      return decode_window(reader, context);
+    default:
+      throw util::CheckpointCorrupt("unknown KV cache flavor tag " +
+                                    std::to_string(tag));
+  }
+}
+
+CheckpointMeta read_checkpoint_meta(const std::string& path) {
+  const std::vector<std::byte> payload =
+      ckpt::read_checkpoint_file(path, ckpt::PayloadKind::kGeneratorState);
+  ckpt::ByteReader reader(payload);
+  CheckpointMeta meta;
+  meta.config = decode_runtime_config(reader);
+  meta.num_sequences = static_cast<std::size_t>(reader.u64());
+  meta.gen_len = reader.i64();
+  meta.produced = reader.i64();
+  return meta;
+}
+
+std::size_t Generator::snapshot(const std::string& path) {
+  LMO_CHECK_MSG(session_ != nullptr, "no active session to snapshot");
+  auto& trace = telemetry::TraceRecorder::global();
+  telemetry::ScopedSpan span(trace, "ckpt.snapshot", "checkpoint");
+
+  // Barrier: no prefetch may be mid-transfer while we serialize, or the
+  // staging set captured implicitly by the fault-site draw counts would
+  // not match what the resumed process rebuilds.
+  const std::size_t waited = manager_->quiesce();
+
+  const Session& session = *session_;
+  ckpt::ByteWriter writer;
+  encode_runtime_config(writer, config_);
+  writer.u64(session.prompts.size());
+  writer.i64(session.gen_len);
+  writer.i64(session.produced);
+  writer.f64(session.prefill_seconds);
+  writer.f64(session.decode_seconds);
+  for (std::size_t s = 0; s < session.prompts.size(); ++s) {
+    encode_i64_vec(writer, session.prompts[s]);
+    encode_i64_vec(writer, session.tokens[s]);
+    writer.i64(session.next[s]);
+  }
+  const auto rng_state = sampling_rng_.state();
+  for (std::uint64_t word : rng_state) writer.u64(word);
+  encode_fault_states(writer);
+  for (const SequenceCache& cache : session.caches) {
+    for (const auto& layer_cache : cache) {
+      encode_kv_cache(writer, *layer_cache);
+    }
+  }
+
+  const std::vector<std::byte> payload = writer.take();
+  ckpt::write_checkpoint_file(path, ckpt::PayloadKind::kGeneratorState,
+                              payload);
+
+  auto& metrics = manager_->metrics();
+  metrics.counter("ckpt.snapshot.total").add();
+  metrics.gauge("ckpt.snapshot.bytes").add(static_cast<double>(payload.size()));
+  metrics.counter("ckpt.quiesce.waited_transfers")
+      .add(static_cast<std::uint64_t>(waited));
+  return payload.size();
+}
+
+void Generator::resume(const std::string& path) {
+  LMO_CHECK_MSG(session_ == nullptr,
+                "cannot resume while a session is active");
+  auto& trace = telemetry::TraceRecorder::global();
+  telemetry::ScopedSpan span(trace, "ckpt.restore", "checkpoint");
+
+  const std::vector<std::byte> payload =
+      ckpt::read_checkpoint_file(path, ckpt::PayloadKind::kGeneratorState);
+  ckpt::ByteReader reader(payload);
+
+  const RuntimeConfig saved = decode_runtime_config(reader);
+  if (!runtime_config_equal(saved, config_)) {
+    throw util::CheckpointMismatch(
+        path + ": checkpoint config fingerprint does not match this "
+               "generator (model/quantization/KV/seed settings differ)");
+  }
+
+  auto session = std::make_unique<Session>();
+  const std::uint64_t num_sequences = reader.u64();
+  if (num_sequences == 0) {
+    throw util::CheckpointCorrupt(path + ": checkpoint has zero sequences");
+  }
+  session->gen_len = reader.i64();
+  session->produced = reader.i64();
+  session->prefill_seconds = reader.f64();
+  session->decode_seconds = reader.f64();
+  if (session->gen_len <= 0 || session->produced <= 0 ||
+      session->produced > session->gen_len) {
+    throw util::CheckpointCorrupt(path +
+                                  ": checkpoint progress is inconsistent");
+  }
+  for (std::uint64_t s = 0; s < num_sequences; ++s) {
+    session->prompts.push_back(decode_i64_vec(reader));
+    session->tokens.push_back(decode_i64_vec(reader));
+    session->next.push_back(reader.i64());
+    if (session->prompts.back().empty() ||
+        static_cast<std::int64_t>(session->tokens.back().size()) !=
+            session->produced) {
+      throw util::CheckpointCorrupt(
+          path + ": sequence " + std::to_string(s) +
+          " token progress does not match the produced counter");
+    }
+  }
+
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = reader.u64();
+  const std::vector<util::FaultSiteState> fault_states =
+      decode_fault_states(reader);
+
+  KVRestoreContext context;
+  context.pool = host_pool_.get();
+  context.page_pool = page_pool_.get();
+  for (std::uint64_t s = 0; s < num_sequences; ++s) {
+    SequenceCache cache;
+    for (std::int64_t layer = 0; layer < config_.spec.num_layers; ++layer) {
+      cache.push_back(decode_kv_cache(reader, context));
+    }
+    session->caches.push_back(std::move(cache));
+  }
+  if (!reader.exhausted()) {
+    throw util::CheckpointCorrupt(
+        path + ": " + std::to_string(reader.remaining()) +
+        " trailing bytes after the generator state");
+  }
+
+  // All-or-nothing: mutate the generator only after the full payload
+  // decoded cleanly, so a corrupt file never leaves a half-restored
+  // session behind.
+  sampling_rng_.set_state(rng_state);
+  apply_fault_states(fault_states);
+  for (auto& c : session->caches) session->cache_ptrs.push_back(&c);
+  session_ = std::move(session);
+
+  auto& metrics = manager_->metrics();
+  metrics.counter("ckpt.restore.total").add();
+  metrics.gauge("ckpt.restore.bytes").add(static_cast<double>(payload.size()));
+}
+
+}  // namespace lmo::runtime

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "lmo/runtime/window_kv.hpp"
 #include "lmo/telemetry/trace.hpp"
 #include "lmo/tensor/ops.hpp"
 #include "lmo/util/check.hpp"
@@ -19,6 +20,18 @@ double seconds_since(Clock::time_point start) {
 }
 
 }  // namespace
+
+const char* to_string(KVFlavor flavor) {
+  switch (flavor) {
+    case KVFlavor::kDense:
+      return "dense";
+    case KVFlavor::kPaged:
+      return "paged";
+    case KVFlavor::kWindow:
+      return "window";
+  }
+  return "unknown";
+}
 
 void SamplingConfig::validate() const {
   LMO_CHECK_GE(temperature, 0.0);
@@ -121,53 +134,76 @@ Generator::Generator(const RuntimeConfig& config)
         std::make_unique<parallel::ThreadPool>(config.compute_threads);
     transformer_->set_compute_pool(compute_pool_.get());
   }
-  if (config.paged_kv) {
-    LMO_CHECK_MSG(config.kv_bits == 16,
+  // Canonicalize the legacy paged_kv bool and the flavor enum so the rest
+  // of the runtime (and the checkpoint fingerprint) sees one field.
+  if (config_.paged_kv) config_.kv_flavor = KVFlavor::kPaged;
+  config_.paged_kv = config_.kv_flavor == KVFlavor::kPaged;
+  if (config_.kv_flavor == KVFlavor::kPaged) {
+    LMO_CHECK_MSG(config_.kv_bits == 16,
                   "paged KV pages store f32 rows; kv_bits must be 16");
-    page_pool_ = std::make_unique<PagePool>(config.spec.hidden,
-                                            config.page_tokens, *host_pool_);
+    page_pool_ = std::make_unique<PagePool>(config_.spec.hidden,
+                                            config_.page_tokens, *host_pool_);
+  }
+  if (config_.kv_flavor == KVFlavor::kWindow) {
+    LMO_CHECK_MSG(config_.kv_bits == 16,
+                  "window KV rings store f32 rows; kv_bits must be 16");
+    LMO_CHECK_GT(config_.window_tokens, 0);
   }
 }
 
 Generator::~Generator() = default;
 
-GenerationResult Generator::generate(
-    const std::vector<std::vector<std::int64_t>>& prompts,
-    std::int64_t gen_len) {
-  LMO_CHECK(!prompts.empty());
-  LMO_CHECK_GT(gen_len, 0);
-
-  GenerationResult result;
-  result.tokens.resize(prompts.size());
-
-  // Per-sequence caches (charged to the host pool, where offloaded caches
-  // live in the paper's design).
-  std::vector<SequenceCache> caches;
-  caches.reserve(prompts.size());
-  for (std::size_t s = 0; s < prompts.size(); ++s) {
-    LMO_CHECK(!prompts[s].empty());
-    if (config_.paged_kv) {
+SequenceCache Generator::make_sequence_cache() {
+  switch (config_.kv_flavor) {
+    case KVFlavor::kPaged: {
       SequenceCache paged;
       for (std::int64_t layer = 0; layer < config_.spec.num_layers;
            ++layer) {
         paged.push_back(std::make_unique<PagedKVCache>(*page_pool_));
       }
-      caches.push_back(std::move(paged));
-    } else {
-      caches.push_back(transformer_->make_cache(
-          config_.kv_bits, config_.quant_group, *host_pool_));
+      return paged;
     }
+    case KVFlavor::kWindow: {
+      SequenceCache window;
+      for (std::int64_t layer = 0; layer < config_.spec.num_layers;
+           ++layer) {
+        window.push_back(std::make_unique<WindowKVCache>(
+            config_.spec.hidden, config_.window_tokens, *host_pool_));
+      }
+      return window;
+    }
+    case KVFlavor::kDense:
+      break;
   }
-  std::vector<SequenceCache*> cache_ptrs;
-  for (auto& c : caches) cache_ptrs.push_back(&c);
+  return transformer_->make_cache(config_.kv_bits, config_.quant_group,
+                                  *host_pool_);
+}
 
-  parallel::ThreadPool* prefetch = prefetch_pool_.get();
+void Generator::begin(const std::vector<std::vector<std::int64_t>>& prompts,
+                      std::int64_t gen_len) {
+  LMO_CHECK_MSG(session_ == nullptr, "a generation session is already active");
+  LMO_CHECK(!prompts.empty());
+  LMO_CHECK_GT(gen_len, 0);
+
+  auto session = std::make_unique<Session>();
+  session->prompts = prompts;
+  session->gen_len = gen_len;
+  session->tokens.resize(prompts.size());
+  session->next.resize(prompts.size());
+
+  // Per-sequence caches (charged to the host pool, where offloaded caches
+  // live in the paper's design).
+  session->caches.reserve(prompts.size());
+  for (std::size_t s = 0; s < prompts.size(); ++s) {
+    LMO_CHECK(!prompts[s].empty());
+    session->caches.push_back(make_sequence_cache());
+  }
+  for (auto& c : session->caches) session->cache_ptrs.push_back(&c);
 
   auto& trace = telemetry::TraceRecorder::global();
 
   // ---- prefill: all prompt tokens at once, layer-outer over the batch.
-  auto start = Clock::now();
-  std::vector<std::int64_t> next(prompts.size());
+  const auto start = Clock::now();
   {
     telemetry::ScopedSpan prefill_span(trace, "prefill", "generate");
     std::vector<tensor::Tensor> states;
@@ -175,42 +211,72 @@ GenerationResult Generator::generate(
     for (const auto& prompt : prompts) {
       states.push_back(transformer_->embed(prompt));
     }
-    transformer_->forward(states, cache_ptrs, prefetch);
+    transformer_->forward(states, session->cache_ptrs, prefetch_pool_.get());
     telemetry::ScopedSpan out_span(trace, "store_activation", "decode");
     for (std::size_t s = 0; s < prompts.size(); ++s) {
-      next[s] = sample_token(transformer_->logits(states[s]),
-                             config_.sampling, sampling_rng_);
-      result.tokens[s].push_back(next[s]);
+      session->next[s] = sample_token(transformer_->logits(states[s]),
+                                      config_.sampling, sampling_rng_);
+      session->tokens[s].push_back(session->next[s]);
     }
   }
-  result.prefill_seconds = seconds_since(start);
+  session->prefill_seconds = seconds_since(start);
+  session->produced = 1;
+  session_ = std::move(session);
+}
 
-  // ---- decode: one token per sequence per step.
-  start = Clock::now();
-  for (std::int64_t t = 1; t < gen_len; ++t) {
+std::int64_t Generator::step_index() const {
+  LMO_CHECK_MSG(session_ != nullptr, "no active generation session");
+  return session_->produced;
+}
+
+bool Generator::done() const {
+  LMO_CHECK_MSG(session_ != nullptr, "no active generation session");
+  return session_->produced >= session_->gen_len;
+}
+
+void Generator::step() {
+  LMO_CHECK_MSG(session_ != nullptr, "no active generation session");
+  LMO_CHECK_MSG(!done(), "session already produced gen_len tokens");
+  Session& session = *session_;
+
+  auto& trace = telemetry::TraceRecorder::global();
+  const auto start = Clock::now();
+  {
     telemetry::ScopedSpan step_span(trace, "decode_step", "generate");
     std::vector<tensor::Tensor> step_states;
-    step_states.reserve(prompts.size());
-    for (std::size_t s = 0; s < prompts.size(); ++s) {
-      const std::int64_t token[] = {next[s]};
+    step_states.reserve(session.prompts.size());
+    for (std::size_t s = 0; s < session.prompts.size(); ++s) {
+      const std::int64_t token[] = {session.next[s]};
       step_states.push_back(transformer_->embed(token));
     }
-    transformer_->forward(step_states, cache_ptrs, prefetch);
+    transformer_->forward(step_states, session.cache_ptrs,
+                          prefetch_pool_.get());
     telemetry::ScopedSpan out_span(trace, "store_activation", "decode");
-    for (std::size_t s = 0; s < prompts.size(); ++s) {
-      next[s] = sample_token(transformer_->logits(step_states[s]),
-                             config_.sampling, sampling_rng_);
-      result.tokens[s].push_back(next[s]);
+    for (std::size_t s = 0; s < session.prompts.size(); ++s) {
+      session.next[s] = sample_token(transformer_->logits(step_states[s]),
+                                     config_.sampling, sampling_rng_);
+      session.tokens[s].push_back(session.next[s]);
     }
   }
-  result.decode_seconds = seconds_since(start);
+  session.decode_seconds += seconds_since(start);
+  ++session.produced;
+}
 
+GenerationResult Generator::finish() {
+  LMO_CHECK_MSG(session_ != nullptr, "no active generation session");
+  LMO_CHECK_MSG(done(), "finish() requires a completed session");
+  Session& session = *session_;
+
+  GenerationResult result;
+  result.tokens = std::move(session.tokens);
+  result.prefill_seconds = session.prefill_seconds;
+  result.decode_seconds = session.decode_seconds;
   const double total = result.prefill_seconds + result.decode_seconds;
-  result.tokens_per_second =
-      static_cast<double>(gen_len) * static_cast<double>(prompts.size()) /
-      total;
+  result.tokens_per_second = static_cast<double>(session.gen_len) *
+                             static_cast<double>(session.prompts.size()) /
+                             total;
   result.offload = manager_->stats();
-  for (const auto& cache : caches) {
+  for (const auto& cache : session.caches) {
     for (const auto& layer_cache : cache) {
       if (const auto* flat = dynamic_cast<const KVCache*>(layer_cache.get())) {
         result.kv_quantize_seconds += flat->quantize_seconds();
@@ -220,12 +286,27 @@ GenerationResult Generator::generate(
                      dynamic_cast<const PagedKVCache*>(layer_cache.get())) {
         result.kv_stored_bytes +=
             paged->block_table().size() * page_pool_->page_bytes();
+      } else if (const auto* window = dynamic_cast<const WindowKVCache*>(
+                     layer_cache.get())) {
+        result.kv_stored_bytes += 2 *
+                                  static_cast<std::size_t>(window->window() *
+                                                           config_.spec.hidden) *
+                                  sizeof(float);
       }
     }
   }
   result.device_peak_bytes = device_pool_->peak();
   result.host_peak_bytes = host_pool_->peak();
+  session_.reset();
   return result;
+}
+
+GenerationResult Generator::generate(
+    const std::vector<std::vector<std::int64_t>>& prompts,
+    std::int64_t gen_len) {
+  begin(prompts, gen_len);
+  while (!done()) step();
+  return finish();
 }
 
 }  // namespace lmo::runtime

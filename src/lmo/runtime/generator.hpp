@@ -28,6 +28,15 @@ struct SamplingConfig {
   void validate() const;
 };
 
+/// Which KV-cache backend the Generator builds per sequence.
+enum class KVFlavor : std::uint8_t {
+  kDense = 0,   ///< contiguous KVCache, optionally quantized at rest
+  kPaged = 1,   ///< vLLM-style PagedKVCache over a shared PagePool
+  kWindow = 2,  ///< sliding-window ring (WindowKVCache)
+};
+
+const char* to_string(KVFlavor flavor);
+
 struct RuntimeConfig {
   model::ModelSpec spec = model::ModelSpec::tiny();
   /// Transformer layers whose weights stay device-resident; the rest are
@@ -38,10 +47,14 @@ struct RuntimeConfig {
   std::int64_t quant_group = 32;
   std::size_t device_capacity = 256u << 20;  ///< logical "GPU" pool
   std::size_t host_capacity = 2048ull << 20;
-  /// vLLM-style paged KV allocation (f32 pages from a shared pool)
-  /// instead of per-sequence contiguous buffers; requires kv_bits == 16.
+  /// KV backend. kPaged and kWindow store f32 rows and require
+  /// kv_bits == 16.
+  KVFlavor kv_flavor = KVFlavor::kDense;
+  /// Legacy spelling of kv_flavor == kPaged; when set it wins over
+  /// kv_flavor (the Generator constructor canonicalizes both fields).
   bool paged_kv = false;
-  std::int64_t page_tokens = 16;  ///< token slots per page
+  std::int64_t page_tokens = 16;    ///< token slots per page (kPaged)
+  std::int64_t window_tokens = 32;  ///< ring capacity in tokens (kWindow)
   int prefetch_threads = 2;  ///< 0 disables async weight prefetch
   /// Transfer-retry / watchdog / degradation knobs (see OffloadManager).
   RecoveryConfig recovery;
@@ -83,12 +96,64 @@ class Generator {
   MemoryPool& device_pool() { return *device_pool_; }
   MemoryPool& host_pool() { return *host_pool_; }
 
-  /// Generate `gen_len` tokens for each prompt.
+  /// Generate `gen_len` tokens for each prompt. Equivalent to
+  /// begin() + step() until done() + finish().
   GenerationResult generate(
       const std::vector<std::vector<std::int64_t>>& prompts,
       std::int64_t gen_len);
 
+  // -- incremental session API --------------------------------------------
+  // A session is the unit of checkpointing: begin() runs prefill and
+  // samples the first token of every sequence, each step() decodes exactly
+  // one more token per sequence, and between steps the session can be
+  // snapshot to disk and later resumed — on this Generator or on a freshly
+  // constructed one with an identical RuntimeConfig.
+
+  /// Start a session: prefill `prompts` and sample the first token each.
+  /// Throws CheckError if a session is already active.
+  void begin(const std::vector<std::vector<std::int64_t>>& prompts,
+             std::int64_t gen_len);
+  bool active() const { return session_ != nullptr; }
+  /// Tokens produced so far per sequence (1 after begin()).
+  std::int64_t step_index() const;
+  bool done() const;
+  /// Decode one token for every sequence. Requires an active, not-done
+  /// session.
+  void step();
+  /// Close the session and return the accumulated result + accounting.
+  /// Requires done().
+  GenerationResult finish();
+
+  // -- checkpoint / restore (implemented in checkpoint.cpp) ---------------
+
+  /// Serialize the active session (progress, RNG state, fault-injection
+  /// schedule positions, and every KV cache) to `path` after quiescing
+  /// in-flight prefetches. Returns the payload size in bytes.
+  std::size_t snapshot(const std::string& path);
+  /// Rebuild a session from a checkpoint written by snapshot(). The
+  /// checkpoint's config fingerprint must match this Generator's config
+  /// (else CheckpointMismatch); corrupt or truncated files surface the
+  /// typed errors in util/status.hpp. Throws CheckError if a session is
+  /// already active.
+  void resume(const std::string& path);
+
  private:
+  /// In-flight generation state — everything a checkpoint must capture
+  /// besides the (reconstructible) weights and the RNG/fault streams.
+  struct Session {
+    std::vector<std::vector<std::int64_t>> prompts;
+    std::int64_t gen_len = 0;
+    std::vector<std::vector<std::int64_t>> tokens;  ///< produced so far
+    std::vector<std::int64_t> next;  ///< last sampled token per sequence
+    std::int64_t produced = 0;       ///< tokens per sequence so far
+    double prefill_seconds = 0.0;
+    double decode_seconds = 0.0;
+    std::vector<SequenceCache> caches;
+    std::vector<SequenceCache*> cache_ptrs;
+  };
+
+  SequenceCache make_sequence_cache();
+
   RuntimeConfig config_;
   util::Xoshiro256 sampling_rng_;
   std::unique_ptr<MemoryPool> device_pool_;
@@ -97,7 +162,8 @@ class Generator {
   std::unique_ptr<Transformer> transformer_;
   std::unique_ptr<parallel::ThreadPool> prefetch_pool_;
   std::unique_ptr<parallel::ThreadPool> compute_pool_;
-  std::unique_ptr<PagePool> page_pool_;  ///< when paged_kv
+  std::unique_ptr<PagePool> page_pool_;  ///< when kv_flavor == kPaged
+  std::unique_ptr<Session> session_;
 };
 
 }  // namespace lmo::runtime

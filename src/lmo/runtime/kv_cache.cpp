@@ -101,6 +101,33 @@ tensor::Tensor KVCache::values() const { return materialize(v_rows_); }
 
 double KVCache::dequantize_seconds() const { return dequantize_seconds_; }
 
+void KVCache::restore_rows(std::vector<Row> k, std::vector<Row> v) {
+  LMO_CHECK_MSG(length_ == 0, "restore_rows requires an empty cache");
+  LMO_CHECK_EQ(k.size(), v.size());
+  std::size_t bytes = 0;
+  for (const auto* rows : {&k, &v}) {
+    for (const Row& row : *rows) {
+      if (bits_ == 16) {
+        LMO_CHECK_MSG(row.plain.defined() && !row.quantized.defined(),
+                      "restored row compression does not match bits=16 cache");
+        LMO_CHECK_EQ(row.plain.shape().rank(), 1u);
+        LMO_CHECK_EQ(row.plain.shape()[0], hidden_);
+      } else {
+        LMO_CHECK_MSG(row.quantized.defined() && !row.plain.defined(),
+                      "restored row compression does not match quantized cache");
+        LMO_CHECK_EQ(row.quantized.bits(), bits_);
+        LMO_CHECK_EQ(row.quantized.original_shape().numel(), hidden_);
+      }
+      bytes += row_bytes(row);
+    }
+  }
+  pool_->charge(bytes);
+  stored_bytes_ += bytes;
+  length_ = static_cast<std::int64_t>(k.size());
+  k_rows_ = std::move(k);
+  v_rows_ = std::move(v);
+}
+
 std::unique_ptr<KVCacheBase> KVCache::clone() const {
   auto copy = std::make_unique<KVCache>(hidden_, bits_, group_size_, *pool_);
   // Rows hold shared-immutable payloads; copying the row vectors is a deep

@@ -52,6 +52,7 @@ class KVCache : public KVCacheBase {
   std::int64_t length() const override { return length_; }
   std::int64_t hidden() const { return hidden_; }
   int bits() const { return bits_; }
+  std::int64_t group_size() const { return group_size_; }
 
   /// Materialize the full K (or V) matrix [length, hidden] in f32,
   /// dequantizing stored rows as needed.
@@ -67,12 +68,24 @@ class KVCache : public KVCacheBase {
   double quantize_seconds() const { return quantize_seconds_; }
   double dequantize_seconds() const;
 
- private:
+  /// One stored token row: exactly one of the members is defined.
   struct Row {
     tensor::Tensor plain;               ///< f32 when bits == 16
     tensor::QuantizedTensor quantized;  ///< otherwise
   };
 
+  /// Stored rows in append order — checkpoint serialization reads these
+  /// directly so quantized rows round-trip bit-exactly (re-quantizing a
+  /// dequantized row would drift).
+  const std::vector<Row>& k_rows() const { return k_rows_; }
+  const std::vector<Row>& v_rows() const { return v_rows_; }
+
+  /// Adopt restored rows verbatim into an empty cache, charging the pool
+  /// for their residency. Rows must match this cache's hidden size and
+  /// compression mode; throws CheckError otherwise.
+  void restore_rows(std::vector<Row> k, std::vector<Row> v);
+
+ private:
   tensor::Tensor materialize(const std::vector<Row>& rows) const;
   Row make_row(const tensor::Tensor& row);
   std::size_t row_bytes(const Row& row) const;

@@ -91,6 +91,13 @@ std::size_t OffloadManager::staged_count() const {
   return staged_.size();
 }
 
+std::size_t OffloadManager::quiesce() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::size_t waited = in_flight_.size();
+  staged_cv_.wait(lock, [&] { return in_flight_.empty(); });
+  return waited;
+}
+
 std::size_t OffloadManager::evict_staged_locked() {
   const std::size_t n = staged_.size();
   staged_.clear();  // StagedEntry charges release their device-pool bytes

@@ -171,6 +171,11 @@ class OffloadManager {
   /// Staging slots currently occupied (prefetched, not yet consumed).
   std::size_t staged_count() const;
 
+  /// Barrier: block until no prefetch is in flight, so a checkpoint never
+  /// races a transfer that is still mutating staging state. Returns the
+  /// number of in-flight transfers that were waited out.
+  std::size_t quiesce();
+
  private:
   struct Entry {
     Tier tier = Tier::kHost;

@@ -79,6 +79,24 @@ void WindowKVCache::truncate(std::int64_t new_length) {
   visible_ = new_length;
 }
 
+void WindowKVCache::restore(std::int64_t appended, std::int64_t visible,
+                            std::vector<float> k_ring,
+                            std::vector<float> v_ring) {
+  LMO_CHECK_MSG(appended_ == 0, "restore requires a fresh window cache");
+  LMO_CHECK_GE(appended, 0);
+  LMO_CHECK_GE(visible, 0);
+  LMO_CHECK_LE(visible, std::min(appended, window_));
+  const std::size_t ring_elems = static_cast<std::size_t>(window_ * hidden_);
+  LMO_CHECK_EQ(k_ring.size(), ring_elems);
+  LMO_CHECK_EQ(v_ring.size(), ring_elems);
+  // No pool charge: the constructor already charged the full fixed-size
+  // ring, which is this cache's entire residency.
+  k_ring_ = std::move(k_ring);
+  v_ring_ = std::move(v_ring);
+  appended_ = appended;
+  visible_ = visible;
+}
+
 std::unique_ptr<KVCacheBase> WindowKVCache::clone() const {
   auto copy = std::make_unique<WindowKVCache>(hidden_, window_, *pool_);
   copy->k_ring_ = k_ring_;

@@ -43,6 +43,18 @@ class WindowKVCache : public KVCacheBase {
   /// Tokens forgotten so far (= appended − length).
   std::int64_t evicted() const { return appended_ - length(); }
 
+  /// Raw ring contents ([window × hidden], physical slot order) for
+  /// checkpoint serialization. Captured together with appended()/length(),
+  /// they are the cache's complete state.
+  const std::vector<float>& k_ring() const { return k_ring_; }
+  const std::vector<float>& v_ring() const { return v_ring_; }
+
+  /// Restore the exact physical ring state (an append-based replay would
+  /// lose the ring phase: slot = appended % window). Requires a fresh
+  /// cache and matching ring sizes; throws CheckError otherwise.
+  void restore(std::int64_t appended, std::int64_t visible,
+               std::vector<float> k_ring, std::vector<float> v_ring);
+
  private:
   tensor::Tensor gather(const std::vector<float>& ring) const;
 

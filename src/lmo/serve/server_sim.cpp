@@ -16,6 +16,11 @@ void ServeConfig::validate() const {
   LMO_CHECK_GE(max_retries, 0);
   LMO_CHECK_MSG(max_retries == 0 || deadline_seconds > 0.0,
                 "max_retries only makes sense with a deadline");
+  LMO_CHECK_GE(preempt_wait_seconds, 0.0);
+  LMO_CHECK_GE(max_preemptions_per_request, 0);
+  LMO_CHECK_MSG(!preempt || batching == Batching::kContinuous,
+                "preemption requires continuous batching: static batches "
+                "drain fully before the queue is consulted");
   for (const FaultWindow& w : fault_windows) {
     LMO_CHECK_GT(w.end, w.begin);
     LMO_CHECK_GT(w.bandwidth_factor, 0.0);
@@ -32,8 +37,12 @@ struct Active {
   double first_token_time = -1.0;
   double submit = 0.0;  ///< this attempt's submission time (deadline base)
   int attempt = 1;      ///< 1 + re-admissions consumed so far
+  int preemptions = 0;  ///< swap-outs suffered so far
 
   bool decoding() const { return prefilled >= request.prompt_len; }
+  std::int64_t remaining() const { return request.gen_len - generated; }
+  /// Tokens resident in this sequence's KV cache (prompt + generated).
+  std::int64_t kv_tokens() const { return prefilled + generated; }
 };
 
 /// A queued attempt: the original request plus retry bookkeeping.
@@ -94,6 +103,17 @@ double chunk_prefill_seconds(const model::ModelSpec& spec,
   return std::max(compute, weights) * static_cast<double>(spec.num_layers);
 }
 
+/// Seconds to move one sequence's KV cache across the PCIe link in one
+/// direction (`bw` = device→host or host→device bandwidth). The volume is
+/// the at-rest cache: kv_tokens × (K + V) × hidden × kv_bits.
+double kv_swap_seconds(const model::ModelSpec& spec, int kv_bits,
+                       std::int64_t kv_tokens, double bw) {
+  const double bytes = static_cast<double>(kv_tokens) * 2.0 *
+                       static_cast<double>(spec.hidden) *
+                       (static_cast<double>(kv_bits) / 8.0);
+  return bytes / bw;
+}
+
 /// Prefill cost for newly admitted sequences (their prompts, batched).
 double prefill_seconds(const model::ModelSpec& spec,
                        const perfmodel::Policy& policy,
@@ -148,6 +168,8 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   telemetry::Counter& m_completed = reg.counter("serve.requests.completed");
   telemetry::Counter& m_misses = reg.counter("serve.requests.deadline_misses");
   telemetry::Counter& m_retries = reg.counter("serve.requests.retries");
+  telemetry::Counter& m_preempts = reg.counter("serve.preempt.total");
+  telemetry::Counter& m_resumes = reg.counter("serve.preempt.resumes");
   telemetry::Histogram& m_ttft = reg.histogram("serve.request.ttft_seconds");
   telemetry::Histogram& m_latency =
       reg.histogram("serve.request.latency_seconds");
@@ -168,8 +190,10 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   std::deque<Queued> queue;
   std::size_t next_arrival = 0;
   std::vector<Active> active;
+  std::deque<Active> suspended;  ///< swapped-out, awaiting re-admission
   double clock = 0.0;
   double occupancy_integral = 0.0;
+  double swap_seconds = 0.0;
 
   ServeMetrics metrics;
   metrics.outcomes.resize(requests.size());
@@ -215,30 +239,87 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     }
   };
 
+  // Fresh queue entries first (they are what preemption freed the slot
+  // for), then swapped-out victims — which re-enter mid-decode with their
+  // KV restored at host→device cost, never re-prefilled.
   const auto admit = [&]() {
     std::vector<const Request*> admitted;
     while (!queue.empty() &&
            static_cast<std::int64_t>(active.size()) < config.max_batch) {
       const Queued q = queue.front();
       queue.pop_front();
-      active.push_back(Active{*q.request, 0, 0, -1.0, q.submit, q.attempt});
+      active.push_back(Active{*q.request, 0, 0, -1.0, q.submit, q.attempt, 0});
       admitted.push_back(q.request);
+    }
+    while (!suspended.empty() &&
+           static_cast<std::int64_t>(active.size()) < config.max_batch) {
+      Active back = std::move(suspended.front());
+      suspended.pop_front();
+      const double cost = kv_swap_seconds(spec, policy.kv_bits,
+                                          back.kv_tokens(), platform.h2d_bw()) /
+                          bandwidth_factor(clock);
+      clock += cost;
+      swap_seconds += cost;
+      m_resumes.add();
+      if (trace != nullptr) {
+        trace->complete("swap_in", "serve.preempt", kServeTracePid,
+                        static_cast<int>(back.request.id) + 1,
+                        (clock - cost) * 1e6, cost * 1e6);
+      }
+      active.push_back(std::move(back));
     }
     return admitted;
   };
 
+  // Swap out the decoding request with the most remaining work to unblock
+  // a queue head that has waited past the preemption threshold. The freed
+  // slot is taken by the waiter in the admit() that follows.
+  const auto preempt_for_waiters = [&]() {
+    while (!queue.empty() &&
+           static_cast<std::int64_t>(active.size()) >= config.max_batch &&
+           clock - queue.front().submit >= config.preempt_wait_seconds) {
+      auto victim = active.end();
+      for (auto it = active.begin(); it != active.end(); ++it) {
+        if (!it->decoding() ||
+            it->preemptions >= config.max_preemptions_per_request) {
+          continue;
+        }
+        if (victim == active.end() || it->remaining() > victim->remaining()) {
+          victim = it;
+        }
+      }
+      if (victim == active.end()) return;  // nobody left to preempt
+      const double cost =
+          kv_swap_seconds(spec, policy.kv_bits, victim->kv_tokens(),
+                          platform.d2h_bw()) /
+          bandwidth_factor(clock);
+      clock += cost;
+      swap_seconds += cost;
+      ++victim->preemptions;
+      m_preempts.add();
+      if (trace != nullptr) {
+        trace->complete("swap_out", "serve.preempt", kServeTracePid,
+                        static_cast<int>(victim->request.id) + 1,
+                        (clock - cost) * 1e6, cost * 1e6);
+      }
+      suspended.push_back(std::move(*victim));
+      active.erase(victim);
+    }
+  };
+
   while (next_arrival < requests.size() || !queue.empty() ||
-         !active.empty()) {
+         !active.empty() || !suspended.empty()) {
     pull_arrivals(clock);
 
-    if (active.empty() && queue.empty()) {
+    if (active.empty() && queue.empty() && suspended.empty()) {
       // Idle: jump to the next arrival.
       LMO_CHECK_LT(next_arrival, requests.size());
       clock = requests[next_arrival].arrival_seconds;
       pull_arrivals(clock);
     }
 
-    // Admission.
+    // Preemption, then admission.
+    if (config.preempt) preempt_for_waiters();
     std::vector<const Request*> admitted;
     if (config.batching == Batching::kContinuous || active.empty()) {
       admitted = admit();
@@ -297,6 +378,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
         outcome.latency = clock - it->request.arrival_seconds;
         outcome.tokens = it->generated;
         outcome.attempts = it->attempt;
+        outcome.preemptions = it->preemptions;
         outcome.completed = true;
         outcome.met_deadline = config.deadline_seconds <= 0.0 ||
                                clock - it->submit <= config.deadline_seconds;
@@ -336,6 +418,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
           outcome.latency = clock - it->request.arrival_seconds;
           outcome.tokens = it->generated;
           outcome.attempts = it->attempt;
+          outcome.preemptions = it->preemptions;
           outcome.completed = false;
           outcome.met_deadline = false;
           trace_outcome(outcome, it->request.arrival_seconds);
@@ -369,6 +452,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
       .set(static_cast<double>(slo_met) /
            static_cast<double>(metrics.outcomes.size()));
   reg.gauge("serve.batch.mean_occupancy").set(occupancy_integral / clock);
+  reg.gauge("serve.preempt.swap_seconds").set(swap_seconds);
 
   // Materialize the legacy view from the registry — the compatibility
   // surface callers keep, backed by the one telemetry vocabulary.
@@ -384,6 +468,10 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   metrics.completed = m_completed.value();
   metrics.deadline_misses = m_misses.value();
   metrics.retries = m_retries.value();
+  metrics.preemptions = m_preempts.value();
+  metrics.preempt_resumes = m_resumes.value();
+  metrics.preempt_swap_seconds =
+      reg.gauge("serve.preempt.swap_seconds").value();
   if (m_ttft.count() > 0) {
     metrics.ttft_p50 = m_ttft.percentile(0.5);
     metrics.ttft_p95 = m_ttft.percentile(0.95);

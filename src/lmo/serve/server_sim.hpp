@@ -57,6 +57,18 @@ struct ServeConfig {
   /// Bandwidth-degradation intervals applied to the step cost model.
   std::vector<FaultWindow> fault_windows;
 
+  /// Swap-based preemption (continuous batching only). With the engine
+  /// full and the head of the queue waiting longer than
+  /// preempt_wait_seconds, the decoding request with the most remaining
+  /// work is swapped out: its KV cache is checkpointed to host memory at
+  /// device→host bandwidth cost, the slot goes to the waiter, and the
+  /// victim is re-admitted later (KV restored at host→device cost),
+  /// resuming exactly where it stopped — never aborted, never recomputed.
+  bool preempt = false;
+  double preempt_wait_seconds = 0.0;
+  /// Swap-out ceiling per request, bounding ping-pong thrash.
+  int max_preemptions_per_request = 2;
+
   void validate() const;
 };
 
@@ -66,6 +78,7 @@ struct RequestOutcome {
   double latency = 0.0;  ///< last token / abort − original arrival
   std::int64_t tokens = 0;
   int attempts = 1;          ///< 1 + re-admissions consumed
+  int preemptions = 0;       ///< swap-outs suffered (always resumed)
   bool completed = true;     ///< produced its full gen_len
   bool met_deadline = true;  ///< completed within the SLO (true when no SLO)
 };
@@ -90,6 +103,9 @@ struct ServeMetrics {
   std::size_t completed = 0;
   std::size_t deadline_misses = 0;  ///< aborted attempts
   std::size_t retries = 0;          ///< re-admissions after aborts
+  std::size_t preemptions = 0;      ///< swap-outs across all requests
+  std::size_t preempt_resumes = 0;  ///< swap-ins (== preemptions at drain)
+  double preempt_swap_seconds = 0.0;  ///< engine time spent swapping KV
   std::vector<RequestOutcome> outcomes;  ///< per request, by id order
 };
 

@@ -39,6 +39,35 @@ double QuantizedTensor::compression_ratio_vs_f16() const {
   return original / static_cast<double>(byte_size());
 }
 
+QuantizedTensor QuantizedTensor::from_parts(Shape original_shape,
+                                            QuantConfig config,
+                                            std::int64_t padded_numel,
+                                            std::vector<std::uint8_t> payload,
+                                            std::vector<float> group_min,
+                                            std::vector<float> group_scale) {
+  config.validate();
+  LMO_CHECK_GT(padded_numel, 0);
+  LMO_CHECK_EQ(padded_numel % config.group_size, 0);
+  LMO_CHECK_GE(padded_numel, original_shape.numel());
+  LMO_CHECK_LT(padded_numel - config.group_size, original_shape.numel());
+  const std::size_t groups =
+      static_cast<std::size_t>(padded_numel / config.group_size);
+  LMO_CHECK_EQ(group_min.size(), groups);
+  LMO_CHECK_EQ(group_scale.size(), groups);
+  const std::size_t expected_payload = static_cast<std::size_t>(
+      config.bits == 4 ? padded_numel / 2 : padded_numel);
+  LMO_CHECK_EQ(payload.size(), expected_payload);
+
+  QuantizedTensor out;
+  out.original_shape_ = std::move(original_shape);
+  out.config_ = config;
+  out.padded_numel_ = padded_numel;
+  out.payload_ = std::move(payload);
+  out.group_min_ = std::move(group_min);
+  out.group_scale_ = std::move(group_scale);
+  return out;
+}
+
 QuantizedTensor quantize(const Tensor& input, const QuantConfig& config) {
   return quantize_profiled(input, config, nullptr);
 }

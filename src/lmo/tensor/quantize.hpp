@@ -57,6 +57,17 @@ class QuantizedTensor {
 
   bool defined() const { return padded_numel_ > 0; }
 
+  /// Reassemble a quantized tensor from its serialized parts (checkpoint
+  /// restore). Bit-exact: the payload and per-group metadata are adopted
+  /// verbatim, so a round-tripped tensor dequantizes to the same values as
+  /// the original — no re-quantization drift. Throws CheckError when the
+  /// part sizes are mutually inconsistent.
+  static QuantizedTensor from_parts(Shape original_shape, QuantConfig config,
+                                    std::int64_t padded_numel,
+                                    std::vector<std::uint8_t> payload,
+                                    std::vector<float> group_min,
+                                    std::vector<float> group_scale);
+
  private:
   friend QuantizedTensor quantize(const Tensor&, const QuantConfig&);
   friend struct QuantPhaseTimes;

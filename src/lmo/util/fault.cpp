@@ -88,7 +88,7 @@ bool FaultInjector::should_fail(const std::string& site) {
   if (s->spec.max_failures >= 0 && s->failures >= s->spec.max_failures) {
     return false;
   }
-  if (s->rng.uniform() >= s->spec.fail_probability) return false;
+  if (s->draw() >= s->spec.fail_probability) return false;
   ++s->failures;
   events_.push_back(FaultEvent{site, FaultKind::kTransient,
                                static_cast<std::uint64_t>(op)});
@@ -106,7 +106,7 @@ double FaultInjector::injected_delay(const std::string& site) {
   bool spike = s->spec.window_end > s->spec.window_begin &&
                op >= s->spec.window_begin && op < s->spec.window_end;
   if (!spike && s->spec.latency_probability > 0.0) {
-    spike = s->rng.uniform() < s->spec.latency_probability;
+    spike = s->draw() < s->spec.latency_probability;
   }
   if (!spike) return 0.0;
   events_.push_back(FaultEvent{site, FaultKind::kLatency,
@@ -130,6 +130,38 @@ bool FaultInjector::should_fail_alloc(const std::string& site) {
 std::vector<FaultEvent> FaultInjector::events() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_;
+}
+
+std::vector<FaultSiteState> FaultInjector::site_states() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FaultSiteState> states;
+  states.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    states.push_back(FaultSiteState{name, site.ops, site.failures,
+                                    site.allocs_denied, site.draws});
+  }
+  return states;
+}
+
+void FaultInjector::restore_site_state(const FaultSiteState& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LMO_CHECK_MSG(enabled_.load(),
+                "restore_site_state() requires an enabled injector");
+  Site* s = find_site_locked(state.site);
+  LMO_CHECK_MSG(s != nullptr,
+                "restore_site_state: site not armed: " + state.site);
+  LMO_CHECK_GE(state.ops, 0);
+  LMO_CHECK_GE(state.failures, 0);
+  LMO_CHECK_GE(state.allocs_denied, 0);
+  // Rebuild the stream position from scratch: a site's outcome sequence is
+  // a pure function of (seed, site name, draws consumed), so replaying the
+  // saved draw count re-arms the exact next outcome.
+  s->rng = Xoshiro256(seed_ ^ hash_name(state.site));
+  for (std::uint64_t i = 0; i < state.draws; ++i) s->rng.uniform();
+  s->draws = state.draws;
+  s->ops = state.ops;
+  s->failures = state.failures;
+  s->allocs_denied = state.allocs_denied;
 }
 
 std::uint64_t FaultInjector::count(const std::string& site,

@@ -64,6 +64,21 @@ struct FaultEvent {
   std::uint64_t site_op = 0;  ///< per-site operation index that fired
 };
 
+/// Resumable position of one injection site's deterministic schedule:
+/// the operation counters plus the number of RNG draws consumed. Draws are
+/// tracked separately from ops — an op only consumes a draw when the armed
+/// spec actually needs randomness — so replaying exactly `draws` uniforms
+/// on a freshly re-seeded stream lands the site on the precise next
+/// outcome. Persisted in checkpoints (see lmo/ckpt/) so chaos schedules
+/// continue identically across a kill-resume boundary.
+struct FaultSiteState {
+  std::string site;
+  std::int64_t ops = 0;
+  std::int64_t failures = 0;
+  std::int64_t allocs_denied = 0;
+  std::uint64_t draws = 0;  ///< rng.uniform() calls consumed so far
+};
+
 class FaultInjector {
  public:
   /// Process-wide injector consulted by instrumented code.
@@ -91,6 +106,16 @@ class FaultInjector {
   /// Number of logged events at `site` of `kind`.
   std::uint64_t count(const std::string& site, FaultKind kind) const;
 
+  /// Snapshot of every armed site's schedule position (empty when
+  /// disabled), in site-name order.
+  std::vector<FaultSiteState> site_states() const;
+  /// Re-arm `state.site`'s schedule position: re-seeds the site stream
+  /// from (seed, site name) and fast-forwards exactly `state.draws`
+  /// uniforms, then restores the operation counters. The site must be
+  /// armed (a spec installed) on an enabled injector; sites present in a
+  /// checkpoint but not re-armed are the caller's choice to skip.
+  void restore_site_state(const FaultSiteState& state);
+
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
@@ -109,6 +134,13 @@ class FaultInjector {
     std::int64_t ops = 0;       ///< operations observed (should_fail calls)
     std::int64_t failures = 0;  ///< transient failures injected
     std::int64_t allocs_denied = 0;
+    std::uint64_t draws = 0;    ///< rng.uniform() calls consumed
+
+    /// Every consumption goes through here so `draws` is exact.
+    double draw() {
+      ++draws;
+      return rng.uniform();
+    }
   };
 
   Site* find_site_locked(const std::string& site);
@@ -138,6 +170,12 @@ class ScopedFaultInjection {
   }
   std::uint64_t count(const std::string& site, FaultKind kind) const {
     return FaultInjector::instance().count(site, kind);
+  }
+  std::vector<FaultSiteState> site_states() const {
+    return FaultInjector::instance().site_states();
+  }
+  void restore_site_state(const FaultSiteState& state) {
+    FaultInjector::instance().restore_site_state(state);
   }
 };
 

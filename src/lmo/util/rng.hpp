@@ -2,6 +2,7 @@
 // workload generation so every experiment is reproducible bit-for-bit.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace lmo::util {
@@ -60,6 +61,15 @@ class Xoshiro256 {
     // implement with builtins to keep this header light.
     return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
            __builtin_cos(two_pi * u2);
+  }
+
+  /// Raw generator state, for checkpointing. A restored state continues
+  /// the exact output sequence the saved generator would have produced.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[i];
   }
 
  private:

@@ -40,4 +40,45 @@ class ResourceExhausted : public CheckError {
   explicit ResourceExhausted(const std::string& what) : CheckError(what) {}
 };
 
+/// Base class for checkpoint load failures (see lmo/ckpt/). A checkpoint is
+/// external input, not a caller contract, so these are runtime_errors:
+/// rejecting a bad file must never look like a bug in the caller, and a
+/// server can catch the base type and fall back to a cold start.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// The file ends before the declared payload does (killed mid-write,
+/// partial copy). Retryable against a replica; never partially applied.
+class CheckpointTruncated : public CheckpointError {
+ public:
+  explicit CheckpointTruncated(const std::string& what)
+      : CheckpointError(what) {}
+};
+
+/// Bad magic or a CRC32 mismatch: the bytes are not (or are no longer) a
+/// valid checkpoint. Not retryable against the same file.
+class CheckpointCorrupt : public CheckpointError {
+ public:
+  explicit CheckpointCorrupt(const std::string& what)
+      : CheckpointError(what) {}
+};
+
+/// Structurally valid file written by an incompatible format version.
+class CheckpointVersionMismatch : public CheckpointError {
+ public:
+  explicit CheckpointVersionMismatch(const std::string& what)
+      : CheckpointError(what) {}
+};
+
+/// Valid checkpoint, wrong target: the restoring runtime's configuration
+/// (model dims, KV flavor, quantization) differs from the snapshot's.
+class CheckpointMismatch : public CheckpointError {
+ public:
+  explicit CheckpointMismatch(const std::string& what)
+      : CheckpointError(what) {}
+};
+
 }  // namespace lmo::util

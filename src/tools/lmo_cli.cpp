@@ -6,6 +6,9 @@
 //   lmo trace    --model opt-30b --len 8 --out trace.json
 //   lmo trace    --runtime 1 --out trace.json    (measured Generator spans)
 //   lmo chaos    --profile flaky-pcie            (generation under faults)
+//   lmo chaos    --profile kill-resume           (crash-recovery determinism)
+//   lmo checkpoint --out gen.ckpt                (snapshot mid-generation)
+//   lmo resume     --from gen.ckpt               (finish from the snapshot)
 //   lmo models                                    (list presets)
 //
 // trace/serve/chaos accept --metrics-out FILE to export the run's telemetry
@@ -26,6 +29,7 @@
 #include "lmo/core/lm_offload.hpp"
 #include "lmo/core/plan_io.hpp"
 #include "lmo/hw/platform_config.hpp"
+#include "lmo/runtime/checkpoint.hpp"
 #include "lmo/runtime/generator.hpp"
 #include "lmo/sched/flexgen.hpp"
 #include "lmo/sched/zero_inference.hpp"
@@ -327,15 +331,18 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
-int cmd_chaos(const Args& args) {
-  // Run real generation under a named fault profile and report how the
-  // recovery machinery absorbed it. The robustness contract: faults perturb
-  // timing, never tokens (except `oom`, whose degradation ladder lowers
-  // weight precision by design).
-  const std::string profile = args.get("profile", "flaky-pcie");
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
-  const std::int64_t gen_len = args.get_int("len", 12);
+runtime::KVFlavor kv_flavor_from_arg(const std::string& name) {
+  if (name == "dense") return runtime::KVFlavor::kDense;
+  if (name == "paged") return runtime::KVFlavor::kPaged;
+  if (name == "window") return runtime::KVFlavor::kWindow;
+  throw util::CheckError("unknown --kv flavor: " + name +
+                         " (expected dense|paged|window)");
+}
 
+/// The tiny streamed-weights runtime setup shared by the generation-level
+/// verbs (chaos, checkpoint, resume): every layer offloaded so transfer
+/// fault sites are actually exercised, 8-bit weights to keep it quick.
+runtime::RuntimeConfig tiny_runtime_config(const Args& args) {
   runtime::RuntimeConfig config;
   config.spec = model::ModelSpec::tiny(4, 64, 4, 128);
   config.weight_bits = 8;
@@ -343,6 +350,166 @@ int cmd_chaos(const Args& args) {
   config.device_layers = 0;
   config.prefetch_threads = 0;
   config.recovery.retry_backoff_seconds = 1e-5;
+  config.kv_flavor = kv_flavor_from_arg(args.get("kv", "dense"));
+  if (config.kv_flavor == runtime::KVFlavor::kWindow) {
+    config.window_tokens = args.get_int("window", 8);
+  }
+  return config;
+}
+
+/// `lmo chaos --profile kill-resume`: the crash-recovery determinism drill.
+/// Reference run generates end-to-end under transient transfer faults; the
+/// second run is killed mid-decode (snapshot, then the Generator and the
+/// fault injector are destroyed), and a fresh process-equivalent resumes
+/// from the checkpoint file. Byte-identical tokens prove the checkpoint
+/// captures everything: KV state, RNG, and the per-site fault-stream
+/// positions.
+int cmd_chaos_kill_resume(const Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  const std::int64_t gen_len = args.get_int("len", 12);
+  const std::string path = args.get("out", "lmo_kill_resume.ckpt");
+  const auto config = tiny_runtime_config(args);
+  const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
+
+  util::FaultSpec spec;
+  spec.fail_probability = std::stod(args.get("rate", "0.05"));
+  constexpr const char* kFetchSite = "offload.fetch.transfer";
+  constexpr const char* kPrefetchSite = "offload.prefetch.transfer";
+
+  // Reference: one uninterrupted generation under chaos.
+  std::vector<std::vector<std::int64_t>> reference;
+  {
+    util::ScopedFaultInjection chaos(seed);
+    chaos.arm(kFetchSite, spec);
+    chaos.arm(kPrefetchSite, spec);
+    runtime::Generator gen(config);
+    reference = gen.generate(prompts, gen_len).tokens;
+  }
+
+  // "Crash": same chaos schedule, but the process dies halfway — snapshot,
+  // then everything in scope (Generator, injector state) is destroyed.
+  const std::int64_t kill_at = std::max<std::int64_t>(1, gen_len / 2);
+  std::size_t payload_bytes = 0;
+  {
+    util::ScopedFaultInjection chaos(seed);
+    chaos.arm(kFetchSite, spec);
+    chaos.arm(kPrefetchSite, spec);
+    runtime::Generator gen(config);
+    gen.begin(prompts, gen_len);
+    while (gen.step_index() < kill_at && !gen.done()) gen.step();
+    payload_bytes = gen.snapshot(path);
+  }
+
+  // Recovery: a fresh injector (same seed and arms — the checkpoint
+  // fast-forwards each site's draw stream) and a fresh Generator resume
+  // from the file and run to completion.
+  std::vector<std::vector<std::int64_t>> resumed;
+  std::int64_t resumed_from = 0;
+  {
+    util::ScopedFaultInjection chaos(seed);
+    chaos.arm(kFetchSite, spec);
+    chaos.arm(kPrefetchSite, spec);
+    runtime::Generator gen(config);
+    gen.resume(path);
+    resumed_from = gen.step_index();
+    while (!gen.done()) gen.step();
+    resumed = gen.finish().tokens;
+  }
+
+  std::printf("chaos profile 'kill-resume' (seed %llu, fault rate %.0f%%) "
+              "on %s, %s KV\n",
+              static_cast<unsigned long long>(seed),
+              spec.fail_probability * 100.0, config.spec.name.c_str(),
+              runtime::to_string(config.kv_flavor));
+  std::printf("killed at token %lld/%lld; checkpoint %s (%zu payload "
+              "bytes); resumed at token %lld\n",
+              static_cast<long long>(kill_at),
+              static_cast<long long>(gen_len), path.c_str(), payload_bytes,
+              static_cast<long long>(resumed_from));
+
+  const bool identical = resumed == reference;
+  std::printf("tokens identical to uninterrupted run: %s\n",
+              identical ? "yes" : "NO — checkpoint determinism bug");
+  return identical ? 0 : 1;
+}
+
+/// `lmo checkpoint`: run the tiny generator partway and snapshot its state
+/// to a file `lmo resume` can pick up — the smallest end-to-end exercise of
+/// the crash-resume path.
+int cmd_checkpoint(const Args& args) {
+  const std::string out = args.get("out", "lmo_generation.ckpt");
+  const std::int64_t gen_len = args.get_int("len", 12);
+  const std::int64_t at =
+      std::max<std::int64_t>(1, args.get_int("at", gen_len / 2));
+  const auto config = tiny_runtime_config(args);
+  const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
+
+  runtime::Generator gen(config);
+  gen.begin(prompts, gen_len);
+  while (gen.step_index() < at && !gen.done()) gen.step();
+  const std::size_t payload_bytes = gen.snapshot(out);
+
+  std::printf("checkpointed %lld/%lld tokens (%s, %s KV) to %s "
+              "(%zu payload bytes)\n",
+              static_cast<long long>(gen.step_index()),
+              static_cast<long long>(gen_len), config.spec.name.c_str(),
+              runtime::to_string(config.kv_flavor), out.c_str(),
+              payload_bytes);
+  std::printf("continue with: lmo resume --from %s\n", out.c_str());
+  return 0;
+}
+
+/// `lmo resume`: reconstruct a Generator from a checkpoint file and run the
+/// interrupted generation to completion. The runtime configuration comes
+/// from the checkpoint itself (read_checkpoint_meta), so no flags beyond
+/// --from are needed — and none can silently mismatch.
+int cmd_resume(const Args& args) {
+  const std::string from = args.get("from", "lmo_generation.ckpt");
+  const auto meta = runtime::read_checkpoint_meta(from);
+  std::printf("checkpoint %s: %s, %s KV, %zu sequence(s) at token "
+              "%lld/%lld\n",
+              from.c_str(), meta.config.spec.name.c_str(),
+              runtime::to_string(meta.config.kv_flavor), meta.num_sequences,
+              static_cast<long long>(meta.produced),
+              static_cast<long long>(meta.gen_len));
+
+  runtime::Generator gen(meta.config);
+  gen.resume(from);
+  while (!gen.done()) gen.step();
+  const auto result = gen.finish();
+
+  for (std::size_t i = 0; i < result.tokens.size(); ++i) {
+    std::printf("sequence %zu tokens:", i);
+    for (std::int64_t tok : result.tokens[i]) {
+      std::printf(" %lld", static_cast<long long>(tok));
+    }
+    std::printf("\n");
+  }
+  std::printf("resumed run: %.1f tok/s (%lld tokens finished after "
+              "restore)\n",
+              result.tokens_per_second,
+              static_cast<long long>(meta.gen_len - meta.produced));
+
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    gen.manager().metrics().snapshot().save(metrics_out);
+    std::printf("wrote resume-run offload metrics to %s\n",
+                metrics_out.c_str());
+  }
+  return 0;
+}
+
+int cmd_chaos(const Args& args) {
+  // Run real generation under a named fault profile and report how the
+  // recovery machinery absorbed it. The robustness contract: faults perturb
+  // timing, never tokens (except `oom`, whose degradation ladder lowers
+  // weight precision by design).
+  const std::string profile = args.get("profile", "flaky-pcie");
+  if (profile == "kill-resume") return cmd_chaos_kill_resume(args);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  const std::int64_t gen_len = args.get_int("len", 12);
+
+  runtime::RuntimeConfig config = tiny_runtime_config(args);
   const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
 
   constexpr const char* kFetchSite = "offload.fetch.transfer";
@@ -386,7 +553,8 @@ int cmd_chaos(const Args& args) {
     std::fprintf(stderr,
                  "unknown chaos profile: %s\n"
                  "profiles: flaky-pcie [--rate P], congested, "
-                 "dead-prefetch, oom [--denials N]\n",
+                 "dead-prefetch, oom [--denials N], "
+                 "kill-resume [--rate P] [--kv dense|paged|window]\n",
                  profile.c_str());
     return 2;
   }
@@ -584,15 +752,19 @@ int cmd_trace(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: lmo <plan|compare|sweep|decide|calibrate|graph|serve|chaos|\n            trace|models> "
+               "usage: lmo <plan|compare|sweep|decide|calibrate|graph|serve|chaos|\n            trace|checkpoint|resume|models> "
                "[--model M] [--len N] [--prompt N] [--batch N] "
                "[--batches N] [--bls N] [--platform preset-or-file] "
                "[--wg PCT] [--attn cpu|gpu] [--bits 4|8] [--out FILE]\n"
                "platform presets: a100-single, v100-quad, h100-single, "
                "rtx4090-desktop\n"
                "chaos: run generation under a fault profile "
-               "(--profile flaky-pcie|congested|dead-prefetch|oom "
-               "[--rate P] [--denials N] [--seed S])\n"
+               "(--profile flaky-pcie|congested|dead-prefetch|oom|"
+               "kill-resume [--rate P] [--denials N] [--seed S] "
+               "[--kv dense|paged|window])\n"
+               "checkpoint: snapshot a generation mid-decode "
+               "([--at N] [--len N] [--kv dense|paged|window] [--out FILE]);"
+               "\nresume: finish it from the file (--from FILE)\n"
                "trace: predicted timeline by default; --runtime 1 records a "
                "real Generator run's spans\n"
                "telemetry: --metrics-out FILE on trace/serve/chaos exports "
@@ -615,6 +787,8 @@ int main(int argc, char** argv) {
     if (args.command == "graph") return cmd_graph(args);
     if (args.command == "serve") return cmd_serve(args);
     if (args.command == "chaos") return cmd_chaos(args);
+    if (args.command == "checkpoint") return cmd_checkpoint(args);
+    if (args.command == "resume") return cmd_resume(args);
     if (args.command == "trace") return cmd_trace(args);
     return usage();
   } catch (const std::exception& e) {

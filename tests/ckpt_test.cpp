@@ -1,0 +1,506 @@
+// Tests for the checkpoint subsystem: envelope validation (every corruption
+// mode maps to one typed error), tensor/KV codec bit-exactness, and the
+// headline robustness contract — a generation killed mid-decode and resumed
+// from its snapshot produces byte-identical tokens, for all three KV cache
+// flavors, even with a transient-fault chaos schedule active across the
+// kill.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lmo/ckpt/binary_io.hpp"
+#include "lmo/ckpt/format.hpp"
+#include "lmo/ckpt/tensor_codec.hpp"
+#include "lmo/runtime/checkpoint.hpp"
+#include "lmo/runtime/generator.hpp"
+#include "lmo/runtime/window_kv.hpp"
+#include "lmo/util/check.hpp"
+#include "lmo/util/fault.hpp"
+#include "lmo/util/status.hpp"
+
+namespace lmo {
+namespace {
+
+using util::CheckError;
+using util::CheckpointCorrupt;
+using util::CheckpointMismatch;
+using util::CheckpointTruncated;
+using util::CheckpointVersionMismatch;
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// RAII temp file so failing tests don't leak artifacts into the build dir.
+struct TempFile {
+  explicit TempFile(std::string name) : path(std::move(name)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+// ---------------------------------------------------------- binary io --
+
+TEST(CkptBinaryIo, PrimitivesRoundTrip) {
+  ckpt::ByteWriter writer;
+  writer.u8(7);
+  writer.u32(0xdeadbeefu);
+  writer.u64(0x0123456789abcdefull);
+  writer.i64(-42);
+  writer.f32(1.5f);
+  writer.f64(-2.25);
+  writer.string("checkpoint");
+  writer.f32_array(std::vector<float>{1.0f, -0.5f, 3.25f});
+
+  ckpt::ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.u8(), 7);
+  EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(reader.i64(), -42);
+  EXPECT_EQ(reader.f32(), 1.5f);
+  EXPECT_EQ(reader.f64(), -2.25);
+  EXPECT_EQ(reader.string(), "checkpoint");
+  EXPECT_EQ(reader.f32_array(), (std::vector<float>{1.0f, -0.5f, 3.25f}));
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(CkptBinaryIo, ReadPastEndIsTruncated) {
+  ckpt::ByteWriter writer;
+  writer.u32(1);
+  ckpt::ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.u32(), 1u);
+  EXPECT_THROW(reader.u8(), CheckpointTruncated);
+  // A length prefix larger than the remaining bytes is truncation too.
+  ckpt::ByteWriter lying;
+  lying.u64(1000);  // claims a 1000-byte string follows
+  ckpt::ByteReader reader2(lying.buffer());
+  EXPECT_THROW(reader2.string(), CheckpointTruncated);
+}
+
+// ----------------------------------------------------------- envelope --
+
+TEST(CkptEnvelope, RoundTripsPayload) {
+  TempFile file("ckpt_test_envelope.bin");
+  std::vector<std::byte> payload;
+  for (int i = 0; i < 100; ++i) payload.push_back(std::byte(i));
+  ckpt::write_checkpoint_file(file.path, ckpt::PayloadKind::kGeneratorState,
+                              payload);
+  const auto loaded = ckpt::read_checkpoint_file(
+      file.path, ckpt::PayloadKind::kGeneratorState);
+  EXPECT_EQ(loaded, payload);
+}
+
+TEST(CkptEnvelope, MissingFileIsTruncated) {
+  EXPECT_THROW(ckpt::read_checkpoint_file(
+                   "/nonexistent/ckpt_test.bin",
+                   ckpt::PayloadKind::kGeneratorState),
+               CheckpointTruncated);
+}
+
+TEST(CkptEnvelope, TruncationAtEveryBoundaryIsTyped) {
+  TempFile file("ckpt_test_truncated.bin");
+  std::vector<std::byte> payload(64, std::byte{0x5a});
+  ckpt::write_checkpoint_file(file.path, ckpt::PayloadKind::kGeneratorState,
+                              payload);
+  const auto bytes = read_file(file.path);
+  // Cut inside the header, inside the payload, and inside the CRC trailer:
+  // all must surface as CheckpointTruncated, never as UB or a short read.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{10}, std::size_t{24}, std::size_t{50},
+        bytes.size() - 2}) {
+    write_file(file.path,
+               std::vector<char>(bytes.begin(),
+                                 bytes.begin() + static_cast<long>(keep)));
+    EXPECT_THROW(ckpt::read_checkpoint_file(
+                     file.path, ckpt::PayloadKind::kGeneratorState),
+                 CheckpointTruncated)
+        << "keep=" << keep;
+  }
+}
+
+TEST(CkptEnvelope, BadMagicIsCorrupt) {
+  TempFile file("ckpt_test_magic.bin");
+  ckpt::write_checkpoint_file(file.path, ckpt::PayloadKind::kGeneratorState,
+                              std::vector<std::byte>(16, std::byte{1}));
+  auto bytes = read_file(file.path);
+  bytes[0] ^= 0x7f;
+  write_file(file.path, bytes);
+  EXPECT_THROW(ckpt::read_checkpoint_file(
+                   file.path, ckpt::PayloadKind::kGeneratorState),
+               CheckpointCorrupt);
+}
+
+TEST(CkptEnvelope, PayloadBitFlipIsCorrupt) {
+  TempFile file("ckpt_test_crc.bin");
+  ckpt::write_checkpoint_file(file.path, ckpt::PayloadKind::kGeneratorState,
+                              std::vector<std::byte>(32, std::byte{0xaa}));
+  auto bytes = read_file(file.path);
+  bytes[30] ^= 0x01;  // one bit inside the payload
+  write_file(file.path, bytes);
+  EXPECT_THROW(ckpt::read_checkpoint_file(
+                   file.path, ckpt::PayloadKind::kGeneratorState),
+               CheckpointCorrupt);
+}
+
+TEST(CkptEnvelope, VersionSkewIsTyped) {
+  TempFile file("ckpt_test_version.bin");
+  ckpt::write_checkpoint_file(file.path, ckpt::PayloadKind::kGeneratorState,
+                              std::vector<std::byte>(8, std::byte{2}));
+  auto bytes = read_file(file.path);
+  bytes[8] = static_cast<char>(ckpt::kFormatVersion + 1);  // version field
+  write_file(file.path, bytes);
+  EXPECT_THROW(ckpt::read_checkpoint_file(
+                   file.path, ckpt::PayloadKind::kGeneratorState),
+               CheckpointVersionMismatch);
+}
+
+TEST(CkptEnvelope, WrongPayloadKindIsMismatch) {
+  TempFile file("ckpt_test_kind.bin");
+  ckpt::write_checkpoint_file(file.path, ckpt::PayloadKind::kGeneratorState,
+                              std::vector<std::byte>(8, std::byte{3}));
+  auto bytes = read_file(file.path);
+  bytes[12] = 99;  // payload-kind field
+  write_file(file.path, bytes);
+  EXPECT_THROW(ckpt::read_checkpoint_file(
+                   file.path, ckpt::PayloadKind::kGeneratorState),
+               CheckpointMismatch);
+}
+
+// -------------------------------------------------------- tensor codec --
+
+TEST(CkptTensorCodec, DenseTensorRoundTripsBitExactly) {
+  util::Xoshiro256 rng(7);
+  const auto original = tensor::Tensor::uniform({3, 5}, rng);
+  ckpt::ByteWriter writer;
+  ckpt::encode_tensor(writer, original);
+  ckpt::ByteReader reader(writer.buffer());
+  const auto restored = ckpt::decode_tensor(reader);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(restored.shape(), original.shape());
+  EXPECT_EQ(restored.max_abs_diff(original), 0.0f);
+}
+
+TEST(CkptTensorCodec, QuantizedTensorRoundTripsBitExactly) {
+  util::Xoshiro256 rng(8);
+  for (const int bits : {4, 8}) {
+    const auto source = tensor::Tensor::uniform({4, 32}, rng);
+    const auto original =
+        tensor::quantize(source, tensor::QuantConfig{bits, 16});
+    ckpt::ByteWriter writer;
+    ckpt::encode_quantized(writer, original);
+    ckpt::ByteReader reader(writer.buffer());
+    const auto restored = ckpt::decode_quantized(reader);
+    EXPECT_TRUE(reader.exhausted());
+    // Bit-exact payload adoption: dequantizing both gives identical floats
+    // (a re-quantization round trip would drift).
+    EXPECT_EQ(tensor::dequantize(restored).max_abs_diff(
+                  tensor::dequantize(original)),
+              0.0f)
+        << bits << "-bit";
+  }
+}
+
+TEST(CkptTensorCodec, GarbageShapeIsCorrupt) {
+  ckpt::ByteWriter writer;
+  writer.u8(200);  // rank far beyond kMaxRank
+  ckpt::ByteReader reader(writer.buffer());
+  EXPECT_THROW(ckpt::decode_shape(reader), CheckpointCorrupt);
+
+  ckpt::ByteWriter negative;
+  negative.u8(1);
+  negative.i64(-4);  // negative extent
+  ckpt::ByteReader reader2(negative.buffer());
+  EXPECT_THROW(ckpt::decode_shape(reader2), CheckpointCorrupt);
+}
+
+// ------------------------------------------------------------ kv codec --
+
+runtime::KVRestoreContext context_for(runtime::MemoryPool& pool,
+                                      runtime::PagePool* pages = nullptr) {
+  runtime::KVRestoreContext context;
+  context.pool = &pool;
+  context.page_pool = pages;
+  return context;
+}
+
+void expect_same_contents(const runtime::KVCacheBase& restored,
+                          const runtime::KVCacheBase& original) {
+  ASSERT_EQ(restored.length(), original.length());
+  if (original.length() == 0) return;
+  EXPECT_EQ(restored.keys().max_abs_diff(original.keys()), 0.0f);
+  EXPECT_EQ(restored.values().max_abs_diff(original.values()), 0.0f);
+}
+
+TEST(CkptKVCodec, DenseRoundTripsPlainAndQuantized) {
+  util::Xoshiro256 rng(11);
+  for (const int bits : {16, 8, 4}) {
+    runtime::MemoryPool pool("h", 1 << 20);
+    runtime::KVCache cache(32, bits, 16, pool);
+    for (int i = 0; i < 5; ++i) {
+      cache.append(tensor::Tensor::uniform({32}, rng),
+                   tensor::Tensor::uniform({32}, rng));
+    }
+    ckpt::ByteWriter writer;
+    runtime::encode_kv_cache(writer, cache);
+    ckpt::ByteReader reader(writer.buffer());
+    const auto restored =
+        runtime::decode_kv_cache(reader, context_for(pool));
+    EXPECT_TRUE(reader.exhausted());
+    expect_same_contents(*restored, cache);
+  }
+}
+
+TEST(CkptKVCodec, EmptyDenseCacheRoundTrips) {
+  runtime::MemoryPool pool("h", 1 << 20);
+  runtime::KVCache cache(16, 16, 16, pool);
+  ckpt::ByteWriter writer;
+  runtime::encode_kv_cache(writer, cache);
+  ckpt::ByteReader reader(writer.buffer());
+  const auto restored = runtime::decode_kv_cache(reader, context_for(pool));
+  EXPECT_EQ(restored->length(), 0);
+}
+
+TEST(CkptKVCodec, UnknownFlavorTagIsCorrupt) {
+  runtime::MemoryPool pool("h", 1 << 20);
+  ckpt::ByteWriter writer;
+  writer.u8(77);  // no such flavor
+  ckpt::ByteReader reader(writer.buffer());
+  EXPECT_THROW(runtime::decode_kv_cache(reader, context_for(pool)),
+               CheckpointCorrupt);
+}
+
+// --------------------------------------------- generator kill-resume --
+
+runtime::RuntimeConfig tiny_config(runtime::KVFlavor flavor) {
+  runtime::RuntimeConfig config;
+  config.spec = model::ModelSpec::tiny(2, 32, 4, 64);
+  config.weight_bits = 8;
+  config.quant_group = 32;
+  config.device_layers = 0;
+  config.prefetch_threads = 0;
+  config.recovery.retry_backoff_seconds = 1e-6;
+  config.kv_flavor = flavor;
+  config.window_tokens = 6;  // small enough that gen_len wraps the ring
+  // Temperature sampling so the checkpointed RNG state is load-bearing:
+  // a restore that failed to reproduce the xoshiro words would diverge.
+  config.sampling.temperature = 0.9;
+  config.sampling.top_k = 8;
+  return config;
+}
+
+constexpr const char* kFetchSite = "offload.fetch.transfer";
+const std::vector<std::vector<std::int64_t>> kPrompts = {{1, 2, 3, 4},
+                                                         {9, 8, 7}};
+constexpr std::int64_t kGenLen = 10;
+
+util::FaultSpec transient_5pct() {
+  util::FaultSpec spec;
+  spec.fail_probability = 0.05;
+  return spec;
+}
+
+/// The crash-recovery drill the chaos CLI ships: an uninterrupted chaos run
+/// vs a run killed at `kill_at` and resumed by a fresh Generator + fresh
+/// injector. Both must produce the same tokens.
+void expect_kill_resume_deterministic(const runtime::RuntimeConfig& config) {
+  TempFile file("ckpt_test_kill_resume.ckpt");
+
+  std::vector<std::vector<std::int64_t>> reference;
+  {
+    util::ScopedFaultInjection chaos(2024);
+    chaos.arm(kFetchSite, transient_5pct());
+    runtime::Generator gen(config);
+    reference = gen.generate(kPrompts, kGenLen).tokens;
+  }
+
+  {
+    util::ScopedFaultInjection chaos(2024);
+    chaos.arm(kFetchSite, transient_5pct());
+    runtime::Generator gen(config);
+    gen.begin(kPrompts, kGenLen);
+    while (gen.step_index() < kGenLen / 2) gen.step();
+    EXPECT_GT(gen.snapshot(file.path), 0u);
+  }  // the "crash": generator and fault-injector state die with the scope
+
+  {
+    util::ScopedFaultInjection chaos(2024);
+    chaos.arm(kFetchSite, transient_5pct());
+    runtime::Generator gen(config);
+    gen.resume(file.path);
+    EXPECT_EQ(gen.step_index(), kGenLen / 2);
+    while (!gen.done()) gen.step();
+    EXPECT_EQ(gen.finish().tokens, reference);
+  }
+}
+
+TEST(GeneratorCkpt, KillResumeIsDeterministicDense) {
+  expect_kill_resume_deterministic(tiny_config(runtime::KVFlavor::kDense));
+}
+
+TEST(GeneratorCkpt, KillResumeIsDeterministicDenseQuantizedKV) {
+  auto config = tiny_config(runtime::KVFlavor::kDense);
+  config.kv_bits = 4;
+  expect_kill_resume_deterministic(config);
+}
+
+TEST(GeneratorCkpt, KillResumeIsDeterministicPaged) {
+  expect_kill_resume_deterministic(tiny_config(runtime::KVFlavor::kPaged));
+}
+
+TEST(GeneratorCkpt, KillResumeIsDeterministicWindow) {
+  expect_kill_resume_deterministic(tiny_config(runtime::KVFlavor::kWindow));
+}
+
+TEST(GeneratorCkpt, SnapshotQuiescesActivePrefetchWorkers) {
+  // With async prefetch on, snapshot() must drain in-flight transfers
+  // (OffloadManager::quiesce) before serializing — this is the
+  // ThreadSanitizer target path. The resumed run must still match an
+  // uninterrupted one.
+  auto config = tiny_config(runtime::KVFlavor::kDense);
+  config.prefetch_threads = 2;
+  runtime::Generator reference(config);
+  const auto expected = reference.generate(kPrompts, kGenLen).tokens;
+
+  TempFile file("ckpt_test_quiesce.ckpt");
+  {
+    runtime::Generator gen(config);
+    gen.begin(kPrompts, kGenLen);
+    gen.step();  // leaves prefetches for upcoming layers in flight
+    gen.snapshot(file.path);
+  }
+  runtime::Generator gen(config);
+  gen.resume(file.path);
+  while (!gen.done()) gen.step();
+  EXPECT_EQ(gen.finish().tokens, expected);
+}
+
+TEST(GeneratorCkpt, SessionApiMatchesGenerate) {
+  // No faults, no checkpoint: the incremental session API alone must
+  // reproduce the one-shot generate() path.
+  const auto config = tiny_config(runtime::KVFlavor::kDense);
+  runtime::Generator one_shot(config);
+  const auto expected = one_shot.generate(kPrompts, kGenLen);
+  runtime::Generator stepped(config);
+  stepped.begin(kPrompts, kGenLen);
+  EXPECT_TRUE(stepped.active());
+  EXPECT_EQ(stepped.step_index(), 1);
+  while (!stepped.done()) stepped.step();
+  const auto result = stepped.finish();
+  EXPECT_FALSE(stepped.active());
+  EXPECT_EQ(result.tokens, expected.tokens);
+}
+
+TEST(GeneratorCkpt, SessionContractViolationsAreCheckErrors) {
+  const auto config = tiny_config(runtime::KVFlavor::kDense);
+  runtime::Generator gen(config);
+  EXPECT_THROW(gen.step(), CheckError);            // no session
+  EXPECT_THROW(gen.finish(), CheckError);          // no session
+  EXPECT_THROW(gen.snapshot("x.ckpt"), CheckError);  // nothing to snapshot
+  gen.begin(kPrompts, 2);
+  EXPECT_THROW(gen.begin(kPrompts, 2), CheckError);  // already active
+  TempFile file("ckpt_test_active.ckpt");
+  gen.snapshot(file.path);
+  EXPECT_THROW(gen.resume(file.path), CheckError);  // resume over a session
+}
+
+TEST(GeneratorCkpt, ConfigDriftIsMismatch) {
+  const auto config = tiny_config(runtime::KVFlavor::kDense);
+  TempFile file("ckpt_test_drift.ckpt");
+  {
+    runtime::Generator gen(config);
+    gen.begin(kPrompts, kGenLen);
+    gen.snapshot(file.path);
+  }
+  // Same model, different quantization / flavor / pool: every drift that
+  // would change the schedule must be rejected, not silently absorbed.
+  for (const auto& mutate :
+       std::vector<void (*)(runtime::RuntimeConfig&)>{
+           [](runtime::RuntimeConfig& c) { c.weight_bits = 4; },
+           [](runtime::RuntimeConfig& c) {
+             c.kv_flavor = runtime::KVFlavor::kPaged;
+           },
+           [](runtime::RuntimeConfig& c) { c.host_capacity /= 2; },
+           [](runtime::RuntimeConfig& c) { c.sampling.temperature = 0.0; },
+       }) {
+    auto drifted = config;
+    mutate(drifted);
+    runtime::Generator gen(drifted);
+    EXPECT_THROW(gen.resume(file.path), CheckpointMismatch);
+    EXPECT_FALSE(gen.active());  // rejection leaves no half-restored state
+  }
+}
+
+TEST(GeneratorCkpt, CorruptCheckpointLeavesGeneratorUsable) {
+  const auto config = tiny_config(runtime::KVFlavor::kDense);
+  TempFile file("ckpt_test_corrupt.ckpt");
+  {
+    runtime::Generator gen(config);
+    gen.begin(kPrompts, kGenLen);
+    gen.snapshot(file.path);
+  }
+  auto bytes = read_file(file.path);
+  bytes[bytes.size() / 2] ^= 0x10;  // flip a payload bit
+  write_file(file.path, bytes);
+
+  runtime::Generator gen(config);
+  EXPECT_THROW(gen.resume(file.path), CheckpointCorrupt);
+  EXPECT_FALSE(gen.active());
+  // All-or-nothing: the failed restore must not have touched the RNG or
+  // fault streams — a fresh generation still works and is deterministic.
+  const auto after = gen.generate(kPrompts, 3).tokens;
+  runtime::Generator witness(config);
+  EXPECT_EQ(after, witness.generate(kPrompts, 3).tokens);
+}
+
+TEST(GeneratorCkpt, ReadCheckpointMetaProbesWithoutPools) {
+  auto config = tiny_config(runtime::KVFlavor::kWindow);
+  TempFile file("ckpt_test_meta.ckpt");
+  {
+    runtime::Generator gen(config);
+    gen.begin(kPrompts, kGenLen);
+    gen.step();
+    gen.step();
+    gen.snapshot(file.path);
+  }
+  const auto meta = runtime::read_checkpoint_meta(file.path);
+  EXPECT_EQ(meta.num_sequences, kPrompts.size());
+  EXPECT_EQ(meta.gen_len, kGenLen);
+  EXPECT_EQ(meta.produced, 3);  // begin() + two steps
+  EXPECT_TRUE(runtime::runtime_config_equal(meta.config, config));
+  // The meta is enough to rebuild the Generator and finish the run.
+  runtime::Generator gen(meta.config);
+  gen.resume(file.path);
+  while (!gen.done()) gen.step();
+  EXPECT_EQ(gen.finish().tokens[0].size(),
+            static_cast<std::size_t>(kGenLen));
+}
+
+TEST(GeneratorCkpt, RuntimeConfigCodecRoundTrips) {
+  auto config = tiny_config(runtime::KVFlavor::kPaged);
+  config.kv_bits = 16;
+  config.compute_threads = 3;
+  config.recovery.max_transfer_attempts = 7;
+  ckpt::ByteWriter writer;
+  runtime::encode_runtime_config(writer, config);
+  ckpt::ByteReader reader(writer.buffer());
+  const auto decoded = runtime::decode_runtime_config(reader);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_TRUE(runtime::runtime_config_equal(decoded, config));
+  auto other = config;
+  other.page_tokens += 1;
+  EXPECT_FALSE(runtime::runtime_config_equal(decoded, other));
+}
+
+}  // namespace
+}  // namespace lmo

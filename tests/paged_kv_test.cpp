@@ -2,6 +2,7 @@
 // memory pools).
 #include <gtest/gtest.h>
 
+#include "lmo/runtime/checkpoint.hpp"
 #include "lmo/runtime/kv_cache.hpp"
 #include "lmo/runtime/generator.hpp"
 #include "lmo/runtime/paged_kv.hpp"
@@ -132,6 +133,34 @@ TEST(PagedKVCache, GeneratorRejectsQuantizedPages) {
   config.paged_kv = true;
   config.kv_bits = 4;  // pages are f32-only
   EXPECT_THROW(Generator g(config), CheckError);
+}
+
+TEST(PagedKVCache, CheckpointRoundTripsAtPageBoundaries) {
+  // Snapshot exactly at a page boundary, one short of it, and one past it:
+  // the restored cache must reproduce contents, block-table length and tail
+  // fragmentation (page structure is a pure function of length).
+  util::Xoshiro256 rng(17);
+  for (const int tokens : {7, 8, 9}) {  // 4-token pages: -1 / exact / +1
+    MemoryPool mem("p", 1 << 20);
+    PagePool pool(16, 4, mem);
+    PagedKVCache original(pool);
+    for (int i = 0; i < tokens; ++i) {
+      original.append(Tensor::uniform({16}, rng),
+                      Tensor::uniform({16}, rng));
+    }
+    ckpt::ByteWriter writer;
+    encode_kv_cache(writer, original);
+    ckpt::ByteReader reader(writer.buffer());
+    KVRestoreContext context;
+    context.page_pool = &pool;
+    const auto restored = decode_kv_cache(reader, context);
+    ASSERT_EQ(restored->length(), tokens);
+    EXPECT_EQ(restored->keys().max_abs_diff(original.keys()), 0.0f);
+    EXPECT_EQ(restored->values().max_abs_diff(original.values()), 0.0f);
+    auto& paged = dynamic_cast<PagedKVCache&>(*restored);
+    EXPECT_EQ(paged.block_table().size(), original.block_table().size());
+    EXPECT_EQ(paged.wasted_slots(), original.wasted_slots());
+  }
 }
 
 TEST(PagingUtilization, QuantifiesSavings) {

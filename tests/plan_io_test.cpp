@@ -1,11 +1,13 @@
 // Tests for plan persistence and the joint block-size + policy search.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "lmo/core/plan_io.hpp"
 #include "lmo/sched/policy_search.hpp"
 #include "lmo/util/check.hpp"
+#include "lmo/util/rng.hpp"
 
 namespace lmo {
 namespace {
@@ -61,6 +63,66 @@ TEST(PlanIo, RejectsMalformedInput) {
 
 TEST(PlanIo, MissingFileThrows) {
   EXPECT_THROW(core::load_plan("/nonexistent/x.plan"), CheckError);
+}
+
+TEST(PlanIo, RandomizedPlansRoundTripExactly) {
+  // Property: any valid SavedPlan survives the text round trip bit-exactly
+  // — including fractional placements with no short decimal form, which is
+  // what max_digits10 serialization is for.
+  util::Xoshiro256 rng(99);
+  const int bit_choices[] = {4, 8, 16};
+  for (int trial = 0; trial < 50; ++trial) {
+    core::SavedPlan plan;
+    plan.model = trial % 2 == 0 ? "opt-30b" : "opt-13b";
+    plan.workload.prompt_len = 1 + static_cast<std::int64_t>(rng.uniform() * 512);
+    plan.workload.gen_len = 1 + static_cast<std::int64_t>(rng.uniform() * 128);
+    plan.workload.gpu_batch = 1 + static_cast<std::int64_t>(rng.uniform() * 64);
+    plan.workload.num_batches = 1 + static_cast<std::int64_t>(rng.uniform() * 16);
+    plan.policy.weights_on_gpu = rng.uniform();
+    plan.policy.cache_on_gpu = rng.uniform();
+    plan.policy.activations_on_gpu = rng.uniform();
+    plan.policy.weights_on_disk =
+        std::min(rng.uniform(), 1.0 - plan.policy.weights_on_gpu);
+    plan.policy.attention_on_cpu = rng.uniform() < 0.5;
+    plan.policy.weight_bits = bit_choices[trial % 3];
+    plan.policy.kv_bits = bit_choices[(trial + 1) % 3];
+    plan.policy.resident_weights_compressed = rng.uniform() < 0.5;
+    plan.policy.parallelism_control = rng.uniform() < 0.5;
+    const auto parsed = core::plan_from_string(core::plan_to_string(plan));
+    EXPECT_TRUE(parsed == plan) << "trial " << trial;
+    // operator== compares doubles exactly, but spell the property out for
+    // the field the old %g-precision serialization used to truncate.
+    EXPECT_EQ(parsed.policy.weights_on_gpu, plan.policy.weights_on_gpu);
+  }
+}
+
+TEST(PlanIo, RejectsGarbageNumericsWithTypedError) {
+  // Malformed numbers must surface as CheckError naming the key — never
+  // leak std::invalid_argument from stoll/stod, never half-parse "12abc".
+  const std::string good = core::plan_to_string(sample_plan());
+  // Replace one key's whole line with `line` and expect a typed rejection.
+  const auto corrupt = [&](const std::string& key, const std::string& line) {
+    std::string text = good;
+    const auto pos = text.find(key);
+    ASSERT_NE(pos, std::string::npos) << key;
+    const auto eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    text.replace(pos, eol - pos, line);
+    try {
+      core::plan_from_string(text);
+      FAIL() << "accepted garbage: " << line;
+    } catch (const CheckError&) {
+      // expected: the typed parse error
+    } catch (const std::exception& e) {
+      FAIL() << "wrong exception type for '" << line << "': " << e.what();
+    }
+  };
+  corrupt("workload.gen_len", "workload.gen_len = banana");
+  corrupt("workload.gen_len", "workload.gen_len = 32abc");
+  corrupt("policy.weights_on_gpu", "policy.weights_on_gpu = 0.5x5");
+  corrupt("policy.weights_on_gpu", "policy.weights_on_gpu = ");
+  corrupt("workload.gpu_batch",
+          "workload.gpu_batch = 999999999999999999999999999");  // overflow
 }
 
 // -------------------------------------------------------- block search --

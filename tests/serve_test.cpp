@@ -472,6 +472,125 @@ TEST(ServeSim, RegistrySnapshotAgreesWithReturnedMetrics) {
       CheckError);
 }
 
+// ------------------------------------------------------------ preemption --
+
+/// Load that forces preemption decisions: a tiny engine and bursty
+/// arrivals, so the queue head routinely out-waits preempt_wait_seconds.
+ServeConfig preempting_config() {
+  ServeConfig config;
+  config.max_batch = 2;
+  config.preempt = true;
+  config.preempt_wait_seconds = 0.5;
+  config.max_preemptions_per_request = 2;
+  return config;
+}
+
+TEST(ServeSim, PreemptionSwapsButCompletesEveryRequest) {
+  // The contract that distinguishes swap-based preemption from abort+retry:
+  // a victim's KV is checkpointed and restored, so every preempted request
+  // still finishes with its full token count — no recompute, no loss.
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(20.0), 40, 11);
+  const auto metrics =
+      simulate_serving(spec, serving_policy(), hw::Platform::a100_single(),
+                       requests, preempting_config());
+  EXPECT_EQ(metrics.completed, 40u);
+  EXPECT_GT(metrics.preemptions, 0u);  // the load actually triggered swaps
+  // At drain every swap-out has been paired with a swap-in.
+  EXPECT_EQ(metrics.preempt_resumes, metrics.preemptions);
+  EXPECT_GT(metrics.preempt_swap_seconds, 0.0);
+
+  std::size_t preempted_requests = 0;
+  std::size_t outcome_preemptions = 0;
+  for (const auto& outcome : metrics.outcomes) {
+    EXPECT_TRUE(outcome.completed);
+    EXPECT_GT(outcome.tokens, 0);
+    EXPECT_LE(outcome.preemptions, 2);  // the per-request cap
+    if (outcome.preemptions > 0) {
+      ++preempted_requests;
+      outcome_preemptions += static_cast<std::size_t>(outcome.preemptions);
+    }
+  }
+  EXPECT_GT(preempted_requests, 0u);
+  EXPECT_EQ(outcome_preemptions, metrics.preemptions);
+}
+
+TEST(ServeSim, PreemptionIsDeterministicAndOffWhenDisabled) {
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(20.0), 30, 11);
+  const auto a =
+      simulate_serving(spec, serving_policy(), hw::Platform::a100_single(),
+                       requests, preempting_config());
+  const auto b =
+      simulate_serving(spec, serving_policy(), hw::Platform::a100_single(),
+                       requests, preempting_config());
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.duration, b.duration);
+
+  ServeConfig off = preempting_config();
+  off.preempt = false;
+  const auto without =
+      simulate_serving(spec, serving_policy(), hw::Platform::a100_single(),
+                       requests, off);
+  EXPECT_EQ(without.preemptions, 0u);
+  EXPECT_EQ(without.preempt_resumes, 0u);
+  EXPECT_EQ(without.preempt_swap_seconds, 0.0);
+  for (const auto& outcome : without.outcomes) {
+    EXPECT_EQ(outcome.preemptions, 0);
+  }
+}
+
+TEST(ServeSim, PreemptionMetricsFlowThroughRegistry) {
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(20.0), 40, 11);
+  telemetry::MetricsRegistry registry;
+  telemetry::TraceRecorder trace;
+  trace.enable();
+  const auto metrics =
+      simulate_serving(spec, serving_policy(), hw::Platform::a100_single(),
+                       requests, preempting_config(), &registry, &trace);
+  trace.disable();
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("serve.preempt.total"), metrics.preemptions);
+  EXPECT_EQ(snap.counter("serve.preempt.resumes"), metrics.preempt_resumes);
+  EXPECT_DOUBLE_EQ(snap.gauge("serve.preempt.swap_seconds"),
+                   metrics.preempt_swap_seconds);
+
+  // The swap traffic shows up on the request timelines.
+  std::size_t swap_out = 0;
+  std::size_t swap_in = 0;
+  for (const auto& ev : trace.events()) {
+    if (ev.name == "swap_out") ++swap_out;
+    if (ev.name == "swap_in") ++swap_in;
+  }
+  EXPECT_EQ(swap_out, metrics.preemptions);
+  EXPECT_EQ(swap_in, metrics.preempt_resumes);
+}
+
+TEST(ServeSim, ValidatesPreemptConfig) {
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(), 5, 1);
+  ServeConfig config = preempting_config();
+  config.batching = Batching::kStatic;  // swap needs step-level admission
+  EXPECT_THROW(simulate_serving(spec, serving_policy(),
+                                hw::Platform::a100_single(), requests,
+                                config),
+               CheckError);
+  config = preempting_config();
+  config.preempt_wait_seconds = -1.0;
+  EXPECT_THROW(simulate_serving(spec, serving_policy(),
+                                hw::Platform::a100_single(), requests,
+                                config),
+               CheckError);
+  config = preempting_config();
+  config.max_preemptions_per_request = -1;
+  EXPECT_THROW(simulate_serving(spec, serving_policy(),
+                                hw::Platform::a100_single(), requests,
+                                config),
+               CheckError);
+}
+
 TEST(ServeSim, ValidatesInputs) {
   const auto spec = model::ModelSpec::opt_13b();
   ServeConfig config;

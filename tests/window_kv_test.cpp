@@ -2,6 +2,7 @@
 // attention context) and its accuracy trade-off through the transformer.
 #include <gtest/gtest.h>
 
+#include "lmo/runtime/checkpoint.hpp"
 #include "lmo/runtime/generator.hpp"
 #include "lmo/runtime/window_kv.hpp"
 #include "lmo/tensor/ops.hpp"
@@ -115,6 +116,63 @@ TEST(WindowKV, TransformerRunsWithBoundedContext) {
   // A tight window still generates (approximately), without growth.
   const auto windowed = run_with_window(4);
   EXPECT_EQ(windowed.size(), static_cast<std::size_t>(gen_len));
+}
+
+TEST(WindowKV, CheckpointRoundTripsAcrossTheWrap) {
+  // Snapshot before the window fills, exactly at the fill point, and after
+  // the ring has wrapped: restore is physical (rings + cursors), so the
+  // wrap phase — slot = appended % window — must survive, which an
+  // append-replay restore would lose. Continued appends after restore must
+  // overwrite the same slots the original would have.
+  util::Xoshiro256 rng(23);
+  for (const int appends : {3, 5, 9}) {  // window 5: partial / full / wrapped
+    MemoryPool mem_a("a", 1 << 20);
+    MemoryPool mem_b("b", 1 << 20);
+    WindowKVCache original(8, 5, mem_a);
+    for (int i = 0; i < appends; ++i) {
+      original.append(Tensor::uniform({8}, rng), Tensor::uniform({8}, rng));
+    }
+    ckpt::ByteWriter writer;
+    encode_kv_cache(writer, original);
+    ckpt::ByteReader reader(writer.buffer());
+    KVRestoreContext context;
+    context.pool = &mem_b;
+    const auto decoded = decode_kv_cache(reader, context);
+    auto& restored = dynamic_cast<WindowKVCache&>(*decoded);
+    EXPECT_EQ(restored.length(), original.length());
+    EXPECT_EQ(restored.appended(), original.appended());
+    EXPECT_EQ(restored.evicted(), original.evicted());
+    if (original.length() > 0) {
+      EXPECT_EQ(restored.keys().max_abs_diff(original.keys()), 0.0f);
+      EXPECT_EQ(restored.values().max_abs_diff(original.values()), 0.0f);
+    }
+    // Both caches continue identically past the restore point.
+    for (int i = 0; i < 4; ++i) {
+      const Tensor k = Tensor::full({8}, static_cast<float>(100 + i));
+      const Tensor v = Tensor::full({8}, static_cast<float>(-100 - i));
+      original.append(k, v);
+      restored.append(k, v);
+      EXPECT_EQ(restored.keys().max_abs_diff(original.keys()), 0.0f);
+    }
+  }
+}
+
+TEST(WindowKV, RestoreValidatesShapeAndFreshness) {
+  MemoryPool pool("h", 1 << 20);
+  WindowKVCache cache(4, 3, pool);
+  // Ring size mismatch.
+  EXPECT_THROW(cache.restore(2, 2, std::vector<float>(5, 0.0f),
+                             std::vector<float>(12, 0.0f)),
+               CheckError);
+  // visible > min(appended, window).
+  EXPECT_THROW(cache.restore(2, 3, std::vector<float>(12, 0.0f),
+                             std::vector<float>(12, 0.0f)),
+               CheckError);
+  // Restoring over a non-fresh cache.
+  cache.append(Tensor::zeros({4}), Tensor::zeros({4}));
+  EXPECT_THROW(cache.restore(1, 1, std::vector<float>(12, 0.0f),
+                             std::vector<float>(12, 0.0f)),
+               CheckError);
 }
 
 TEST(WindowKV, ValidatesInputs) {
