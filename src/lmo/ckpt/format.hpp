@@ -23,7 +23,9 @@
 namespace lmo::ckpt {
 
 inline constexpr std::uint64_t kMagic = 0x0054504B434F4D4CULL;  // "LMOCKPT\0"
-inline constexpr std::uint32_t kFormatVersion = 1;
+// Version 2: RuntimeConfig gained prefix_share / kv_block_tokens and the
+// KV codec gained the shared-chain tag (kvshare).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// What a checkpoint payload contains. Stored in the header so `lmo resume`
 /// can reject, say, a future scheduler snapshot with a clear error instead

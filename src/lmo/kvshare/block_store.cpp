@@ -1,0 +1,89 @@
+#include "lmo/kvshare/block_store.hpp"
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::kvshare {
+
+void BlockStoreConfig::validate() const {
+  LMO_CHECK_GT(block_tokens, 0);
+  LMO_CHECK_GT(bytes_per_block, 0u);
+}
+
+BlockStore::BlockStore(const BlockStoreConfig& config,
+                       runtime::MemoryPool* pool)
+    : config_(config), pool_(pool) {
+  config_.validate();
+}
+
+BlockStore::~BlockStore() {
+  // Blocks still live at teardown (leases released after the cache — a
+  // usage error guarded elsewhere — or normal shutdown) return their bytes.
+  if (pool_ != nullptr && live_ > 0) {
+    pool_->release(live_ * config_.bytes_per_block);
+  }
+}
+
+BlockStore::Block& BlockStore::slot(std::int64_t id) {
+  LMO_CHECK_GE(id, 0);
+  LMO_CHECK_LT(id, static_cast<std::int64_t>(blocks_.size()));
+  Block& b = *blocks_[static_cast<std::size_t>(id)];
+  LMO_CHECK_MSG(b.live, "kvshare block id refers to a freed block");
+  return b;
+}
+
+const BlockStore::Block& BlockStore::slot(std::int64_t id) const {
+  return const_cast<BlockStore*>(this)->slot(id);
+}
+
+std::int64_t BlockStore::try_allocate() {
+  if (config_.capacity_bytes > 0 &&
+      bytes_in_use() + config_.bytes_per_block > config_.capacity_bytes) {
+    return -1;
+  }
+  if (pool_ != nullptr && !pool_->try_charge(config_.bytes_per_block)) {
+    return -1;
+  }
+  std::int64_t id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    id = static_cast<std::int64_t>(blocks_.size());
+    blocks_.push_back(std::make_unique<Block>());
+  }
+  Block& b = *blocks_[static_cast<std::size_t>(id)];
+  b.data.assign(config_.payload_floats, 0.0f);
+  b.refs = 1;
+  b.live = true;
+  ++live_;
+  return id;
+}
+
+void BlockStore::ref(std::int64_t id) { ++slot(id).refs; }
+
+void BlockStore::unref(std::int64_t id) {
+  Block& b = slot(id);
+  LMO_CHECK_GT(b.refs, 0);
+  if (--b.refs == 0) {
+    b.live = false;
+    b.data.clear();
+    b.data.shrink_to_fit();
+    free_.push_back(id);
+    LMO_CHECK_GT(live_, 0u);
+    --live_;
+    if (pool_ != nullptr) pool_->release(config_.bytes_per_block);
+  }
+}
+
+float* BlockStore::payload(std::int64_t id) {
+  Block& b = slot(id);
+  return b.data.empty() ? nullptr : b.data.data();
+}
+
+const float* BlockStore::payload(std::int64_t id) const {
+  return const_cast<BlockStore*>(this)->payload(id);
+}
+
+int BlockStore::refcount(std::int64_t id) const { return slot(id).refs; }
+
+}  // namespace lmo::kvshare

@@ -1,0 +1,81 @@
+// Ref-counted store of fixed-size KV blocks — the storage layer under the
+// cross-request prefix cache. A block holds `block_tokens` tokens' worth of
+// K/V rows for every layer of the model, laid out so one block serves the
+// whole forward pass:
+//
+//   payload[((layer * 2 + kv) * block_tokens + slot) * hidden + d]
+//
+// with kv = 0 for keys and 1 for values. Blocks are charged to the
+// runtime's MemoryPool (so prefix-cache residency competes with every other
+// host allocation and fault-injected pool denials apply), or — when
+// constructed without a pool — to an internal byte budget, which is how the
+// serving simulator models a prefix cache without materializing floats.
+//
+// The store is not internally synchronized; PrefixCache serializes access.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lmo/runtime/mempool.hpp"
+
+namespace lmo::kvshare {
+
+struct BlockStoreConfig {
+  std::int64_t block_tokens = 16;
+  /// Floats materialized per block (0 = accounting-only blocks with no
+  /// payload, used by the serving simulator).
+  std::size_t payload_floats = 0;
+  /// Bytes charged per block (to the pool or the internal budget).
+  std::size_t bytes_per_block = 0;
+  /// Hard byte budget for the store; 0 = bounded only by the pool.
+  std::size_t capacity_bytes = 0;
+
+  void validate() const;
+};
+
+class BlockStore {
+ public:
+  BlockStore(const BlockStoreConfig& config, runtime::MemoryPool* pool);
+  ~BlockStore();
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+
+  /// Allocate a block with refcount 1. Returns -1 when the capacity budget
+  /// is exhausted or the pool declines the charge (including via fault
+  /// injection) — callers evict and retry.
+  std::int64_t try_allocate();
+  void ref(std::int64_t id);
+  /// Drop one reference; at zero the block is freed and its bytes released.
+  void unref(std::int64_t id);
+
+  /// Payload base pointer; stable for the lifetime of the block. nullptr in
+  /// accounting-only mode.
+  float* payload(std::int64_t id);
+  const float* payload(std::int64_t id) const;
+  int refcount(std::int64_t id) const;
+
+  std::size_t live_blocks() const { return live_; }
+  std::size_t bytes_in_use() const { return live_ * config_.bytes_per_block; }
+  const BlockStoreConfig& config() const { return config_; }
+
+ private:
+  struct Block {
+    std::vector<float> data;
+    int refs = 0;
+    bool live = false;
+  };
+
+  Block& slot(std::int64_t id);
+  const Block& slot(std::int64_t id) const;
+
+  BlockStoreConfig config_;
+  runtime::MemoryPool* pool_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::vector<std::int64_t> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace lmo::kvshare

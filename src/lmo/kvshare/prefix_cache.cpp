@@ -1,0 +1,198 @@
+#include "lmo/kvshare/prefix_cache.hpp"
+
+#include <algorithm>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::kvshare {
+
+void PrefixCacheConfig::validate() const {
+  LMO_CHECK_GT(block_tokens, 0);
+  if (materialize) {
+    LMO_CHECK_GT(hidden, 0);
+    LMO_CHECK_GT(num_layers, 0);
+  } else {
+    LMO_CHECK_GT(bytes_per_token, 0u);
+  }
+}
+
+std::size_t PrefixCacheConfig::payload_floats() const {
+  if (!materialize) return 0;
+  return static_cast<std::size_t>(num_layers) * 2u *
+         static_cast<std::size_t>(block_tokens) *
+         static_cast<std::size_t>(hidden);
+}
+
+std::size_t PrefixCacheConfig::token_bytes() const {
+  if (materialize) {
+    return static_cast<std::size_t>(num_layers) * 2u *
+           static_cast<std::size_t>(hidden) * sizeof(float);
+  }
+  return bytes_per_token;
+}
+
+std::size_t PrefixCacheConfig::block_bytes() const {
+  return token_bytes() * static_cast<std::size_t>(block_tokens);
+}
+
+// ---------------------------------------------------------------- lease --
+
+PrefixLease::~PrefixLease() {
+  if (cache_ != nullptr) cache_->release(*this);
+}
+
+const float* PrefixLease::k_plane(std::size_t index,
+                                  std::int64_t layer) const {
+  const float* base = payloads_[index];
+  if (base == nullptr) return nullptr;
+  return base + static_cast<std::size_t>(layer * 2) *
+                    static_cast<std::size_t>(block_tokens_ * hidden_);
+}
+
+const float* PrefixLease::v_plane(std::size_t index,
+                                  std::int64_t layer) const {
+  const float* base = payloads_[index];
+  if (base == nullptr) return nullptr;
+  return base + static_cast<std::size_t>(layer * 2 + 1) *
+                    static_cast<std::size_t>(block_tokens_ * hidden_);
+}
+
+// ---------------------------------------------------------------- cache --
+
+PrefixCache::PrefixCache(const PrefixCacheConfig& config,
+                         runtime::MemoryPool* pool,
+                         telemetry::MetricsRegistry* metrics)
+    : config_(config),
+      store_([&] {
+        config.validate();
+        BlockStoreConfig sc;
+        sc.block_tokens = config.block_tokens;
+        sc.payload_floats = config.payload_floats();
+        sc.bytes_per_block = config.block_bytes();
+        sc.capacity_bytes = config.capacity_bytes;
+        return sc;
+      }(), pool),
+      tree_(config.block_tokens),
+      metrics_(metrics) {}
+
+PrefixCache::~PrefixCache() = default;
+
+void PrefixCache::count(const char* name, std::uint64_t n) {
+  if (metrics_ != nullptr && n > 0) metrics_->counter(name).add(n);
+}
+
+void PrefixCache::update_gauges() {
+  if (metrics_ == nullptr) return;
+  metrics_->gauge("kvshare.blocks_in_use")
+      .set(static_cast<double>(store_.live_blocks()));
+  metrics_->gauge("kvshare.bytes_in_use")
+      .set(static_cast<double>(store_.bytes_in_use()));
+}
+
+std::shared_ptr<PrefixLease> PrefixCache::make_lease(
+    const std::vector<RadixTree::Node*>& chain) {
+  if (chain.empty()) return nullptr;
+  auto lease = std::shared_ptr<PrefixLease>(new PrefixLease());
+  lease->cache_ = this;
+  lease->node_ = chain.back();
+  lease->block_tokens_ = config_.block_tokens;
+  lease->hidden_ = config_.hidden;
+  lease->blocks_.reserve(chain.size());
+  lease->payloads_.reserve(chain.size());
+  for (RadixTree::Node* node : chain) {
+    lease->blocks_.push_back(node->block);
+    lease->payloads_.push_back(store_.payload(node->block));
+  }
+  tree_.pin(lease->node_);
+  return lease;
+}
+
+std::shared_ptr<PrefixLease> PrefixCache::match(
+    std::span<const std::int64_t> tokens) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto chain = tree_.lookup(tokens);
+  // Cap the match below the prompt length: the session must still prefill
+  // at least one token to produce the logits row it samples from.
+  while (!chain.empty() &&
+         static_cast<std::size_t>(static_cast<std::int64_t>(chain.size()) *
+                                  config_.block_tokens) >= tokens.size()) {
+    chain.pop_back();
+  }
+  auto lease = make_lease(chain);
+  const std::uint64_t hit =
+      lease == nullptr ? 0
+                       : static_cast<std::uint64_t>(lease->matched_tokens());
+  lock.unlock();
+  count("kvshare.hit_tokens", hit);
+  count("kvshare.miss_tokens", static_cast<std::uint64_t>(tokens.size()) - hit);
+  count("kvshare.bytes_saved", hit * config_.token_bytes());
+  return lease;
+}
+
+std::int64_t PrefixCache::allocate_with_eviction() {
+  std::int64_t id = store_.try_allocate();
+  while (id < 0) {
+    const std::int64_t victim = tree_.evict_lru();
+    if (victim < 0) return -1;  // everything pinned: give up gracefully
+    store_.unref(victim);
+    count("kvshare.evicted_blocks", 1);
+    id = store_.try_allocate();
+  }
+  return id;
+}
+
+std::shared_ptr<PrefixLease> PrefixCache::insert(
+    std::span<const std::int64_t> tokens, const BlockWriter& fill) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t fresh = 0;
+  auto chain = tree_.insert(tokens, [&](std::int64_t token_offset) {
+    const std::int64_t id = allocate_with_eviction();
+    if (id < 0) return id;
+    ++fresh;
+    if (fill) fill(token_offset, store_.payload(id));
+    return id;
+  });
+  auto lease = make_lease(chain);
+  update_gauges();
+  lock.unlock();
+  count("kvshare.inserted_blocks", fresh);
+  return lease;
+}
+
+std::size_t PrefixCache::evict(std::size_t max_blocks) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::size_t evicted = 0;
+  while (evicted < max_blocks) {
+    const std::int64_t victim = tree_.evict_lru();
+    if (victim < 0) break;
+    store_.unref(victim);
+    ++evicted;
+  }
+  update_gauges();
+  lock.unlock();
+  count("kvshare.evicted_blocks", evicted);
+  return evicted;
+}
+
+void PrefixCache::release(PrefixLease& lease) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tree_.unpin(lease.node_);
+  lease.cache_ = nullptr;
+}
+
+std::size_t PrefixCache::blocks_in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_.live_blocks();
+}
+
+std::size_t PrefixCache::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_.bytes_in_use();
+}
+
+std::size_t PrefixCache::node_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tree_.node_count();
+}
+
+}  // namespace lmo::kvshare

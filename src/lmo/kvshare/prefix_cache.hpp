@@ -1,0 +1,145 @@
+// Cross-request KV prefix cache: the facade tying the radix tree to the
+// block store, with pinning leases, pool-pressure-driven LRU eviction and
+// kvshare.* metrics. Two modes share one implementation:
+//
+//  * materialized (Generator): blocks hold real f32 K/V planes for every
+//    layer; a matched lease hands the transformer bit-exact cached rows so
+//    prefill runs only over the unmatched prompt suffix.
+//  * accounting-only (server_sim): blocks carry no payload, only modelled
+//    bytes — the simulator asks "how many prompt tokens would hit?" and
+//    charges the cost model for the remainder.
+//
+// All public methods are mutex-serialized, so concurrent generator /
+// prefetch threads may match, insert and release leases freely (the TSan
+// shard exercises exactly that). Lease payload pointers remain valid
+// without the lock because blocks are immutable once filled and pinned
+// chains are never evicted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "lmo/kvshare/block_store.hpp"
+#include "lmo/kvshare/radix_tree.hpp"
+#include "lmo/telemetry/metrics.hpp"
+
+namespace lmo::kvshare {
+
+struct PrefixCacheConfig {
+  std::int64_t block_tokens = 16;
+  /// Materialized mode: per-layer hidden width and layer count.
+  std::int64_t hidden = 0;
+  std::int64_t num_layers = 0;
+  bool materialize = true;
+  /// Accounting mode: modelled KV bytes per cached token.
+  std::size_t bytes_per_token = 0;
+  /// Hard byte budget; 0 = bounded only by the pool.
+  std::size_t capacity_bytes = 0;
+
+  void validate() const;
+  /// Floats per materialized block: layers × {K,V} × block_tokens × hidden.
+  std::size_t payload_floats() const;
+  std::size_t block_bytes() const;
+  std::size_t token_bytes() const;
+};
+
+class PrefixCache;
+
+/// A pin on a cached block chain. While alive, the chain cannot be evicted
+/// and its payload planes stay valid. Created by PrefixCache::match() /
+/// insert(); released on destruction. The PrefixCache must outlive every
+/// lease it hands out.
+class PrefixLease {
+ public:
+  ~PrefixLease();
+  PrefixLease(const PrefixLease&) = delete;
+  PrefixLease& operator=(const PrefixLease&) = delete;
+
+  std::int64_t matched_tokens() const {
+    return static_cast<std::int64_t>(blocks_.size()) * block_tokens_;
+  }
+  std::size_t blocks() const { return blocks_.size(); }
+
+  /// K (or V) plane of chain block `index` for `layer`:
+  /// [block_tokens × hidden] f32. nullptr in accounting-only mode.
+  const float* k_plane(std::size_t index, std::int64_t layer) const;
+  const float* v_plane(std::size_t index, std::int64_t layer) const;
+
+ private:
+  friend class PrefixCache;
+  PrefixLease() = default;
+
+  PrefixCache* cache_ = nullptr;
+  RadixTree::Node* node_ = nullptr;  ///< deepest pinned node
+  std::int64_t block_tokens_ = 0;
+  std::int64_t hidden_ = 0;
+  std::vector<std::int64_t> blocks_;       ///< chain, root-first
+  std::vector<const float*> payloads_;     ///< base payload per block
+};
+
+class PrefixCache {
+ public:
+  /// `pool` (nullable) is charged per block; `metrics` (nullable) receives
+  /// the kvshare.* counters and gauges.
+  PrefixCache(const PrefixCacheConfig& config, runtime::MemoryPool* pool,
+              telemetry::MetricsRegistry* metrics);
+  ~PrefixCache();
+  PrefixCache(const PrefixCache&) = delete;
+  PrefixCache& operator=(const PrefixCache&) = delete;
+
+  /// Fills a freshly allocated block: `token_offset` is the block's first
+  /// token position in the prompt, `payload` its float base (layout per
+  /// block_store.hpp). Null in accounting-only mode.
+  using BlockWriter =
+      std::function<void(std::int64_t token_offset, float* payload)>;
+
+  /// Longest-prefix match. The matched length is a whole number of blocks,
+  /// capped below tokens.size() so a fully cached prompt still prefills at
+  /// least one token (the logits row). Returns nullptr on a total miss.
+  /// Records kvshare.hit_tokens / miss_tokens / bytes_saved.
+  std::shared_ptr<PrefixLease> match(std::span<const std::int64_t> tokens);
+
+  /// Cache every whole block of `tokens`, filling only blocks not already
+  /// present. Under allocation pressure, evicts LRU leaves; if pressure
+  /// persists the chain is cut short (graceful degradation, never an
+  /// error). Returns a lease over the resulting chain, or nullptr when no
+  /// block could be cached.
+  std::shared_ptr<PrefixLease> insert(std::span<const std::int64_t> tokens,
+                                      const BlockWriter& fill);
+
+  /// Evict up to `max_blocks` LRU leaves (pool-pressure relief, tests).
+  /// Returns the number actually evicted.
+  std::size_t evict(std::size_t max_blocks);
+
+  const PrefixCacheConfig& config() const { return config_; }
+  std::int64_t block_tokens() const { return config_.block_tokens; }
+
+  std::size_t blocks_in_use() const;
+  std::size_t bytes_in_use() const;
+  std::size_t node_count() const;
+
+ private:
+  friend class PrefixLease;
+  void release(PrefixLease& lease);
+  std::int64_t allocate_with_eviction();
+  std::shared_ptr<PrefixLease> make_lease(
+      const std::vector<RadixTree::Node*>& chain);
+  void update_gauges();
+
+  void count(const char* name, std::uint64_t n);
+
+  PrefixCacheConfig config_;
+  mutable std::mutex mutex_;
+  BlockStore store_;
+  RadixTree tree_;
+  /// Looked up by name per operation (match/insert granularity), so a
+  /// registry reset() between runs never leaves dangling metric pointers.
+  telemetry::MetricsRegistry* metrics_;
+};
+
+}  // namespace lmo::kvshare

@@ -6,6 +6,7 @@
 
 #include "lmo/ckpt/format.hpp"
 #include "lmo/ckpt/tensor_codec.hpp"
+#include "lmo/kvshare/shared_kv_cache.hpp"
 #include "lmo/runtime/window_kv.hpp"
 #include "lmo/telemetry/trace.hpp"
 #include "lmo/util/check.hpp"
@@ -34,6 +35,7 @@ std::vector<std::int64_t> decode_i64_vec(ckpt::ByteReader& reader) {
 constexpr std::uint8_t kDenseTag = 1;
 constexpr std::uint8_t kPagedTag = 2;
 constexpr std::uint8_t kWindowTag = 3;
+constexpr std::uint8_t kSharedTag = 4;
 
 void encode_dense(ckpt::ByteWriter& writer, const KVCache& cache) {
   writer.u8(kDenseTag);
@@ -170,6 +172,53 @@ std::unique_ptr<KVCacheBase> decode_window(ckpt::ByteReader& reader,
   return cache;
 }
 
+void encode_shared(ckpt::ByteWriter& writer,
+                   const kvshare::SharedKVCache& cache) {
+  // Materialize the full chain: shared blocks belong to the prefix cache
+  // of the process being snapshot, so the checkpoint carries the gathered
+  // rows verbatim (bit-exact f32) and restores a detached, private-only
+  // cache — lossless, and independent of what the resuming process has in
+  // its own radix tree.
+  writer.u8(kSharedTag);
+  writer.i64(cache.hidden());
+  writer.i64(cache.length());
+  if (cache.length() > 0) {
+    writer.f32_array(cache.keys().f32());
+    writer.f32_array(cache.values().f32());
+  }
+}
+
+std::unique_ptr<KVCacheBase> decode_shared(ckpt::ByteReader& reader,
+                                           const KVRestoreContext& context) {
+  LMO_CHECK_MSG(context.pool != nullptr,
+                "shared KV restore needs a memory pool");
+  const std::int64_t hidden = reader.i64();
+  const std::int64_t length = reader.i64();
+  if (hidden <= 0 || length < 0) {
+    throw util::CheckpointCorrupt("shared KV checkpoint has invalid geometry");
+  }
+  auto cache = std::make_unique<kvshare::SharedKVCache>(hidden, *context.pool);
+  if (length == 0) return cache;
+  const std::vector<float> k = reader.f32_array();
+  const std::vector<float> v = reader.f32_array();
+  const std::size_t expected =
+      static_cast<std::size_t>(length) * static_cast<std::size_t>(hidden);
+  if (k.size() != expected || v.size() != expected) {
+    throw util::CheckpointCorrupt(
+        "shared KV checkpoint payload does not match length " +
+        std::to_string(length) + " x hidden " + std::to_string(hidden));
+  }
+  for (std::int64_t t = 0; t < length; ++t) {
+    const auto row = [&](const std::vector<float>& src) {
+      const auto* base = src.data() + t * hidden;
+      return tensor::Tensor::from_values(
+          {hidden}, std::vector<float>(base, base + hidden));
+    };
+    cache->append(row(k), row(v));
+  }
+  return cache;
+}
+
 void encode_fault_states(ckpt::ByteWriter& writer) {
   const std::vector<util::FaultSiteState> states =
       util::FaultInjector::instance().site_states();
@@ -236,6 +285,8 @@ void encode_runtime_config(ckpt::ByteWriter& writer,
   writer.u8(static_cast<std::uint8_t>(config.kv_flavor));
   writer.i64(config.page_tokens);
   writer.i64(config.window_tokens);
+  writer.u8(config.prefix_share ? 1 : 0);
+  writer.i64(config.kv_block_tokens);
   writer.i64(config.prefetch_threads);
   writer.i64(config.recovery.max_transfer_attempts);
   writer.f64(config.recovery.retry_backoff_seconds);
@@ -281,6 +332,8 @@ RuntimeConfig decode_runtime_config(ckpt::ByteReader& reader) {
   config.paged_kv = config.kv_flavor == KVFlavor::kPaged;
   config.page_tokens = reader.i64();
   config.window_tokens = reader.i64();
+  config.prefix_share = reader.u8() != 0;
+  config.kv_block_tokens = reader.i64();
   config.prefetch_threads = static_cast<int>(reader.i64());
   config.recovery.max_transfer_attempts = static_cast<int>(reader.i64());
   config.recovery.retry_backoff_seconds = reader.f64();
@@ -311,6 +364,8 @@ bool runtime_config_equal(const RuntimeConfig& a, const RuntimeConfig& b) {
          a.host_capacity == b.host_capacity && a.kv_flavor == b.kv_flavor &&
          a.page_tokens == b.page_tokens &&
          a.window_tokens == b.window_tokens &&
+         a.prefix_share == b.prefix_share &&
+         a.kv_block_tokens == b.kv_block_tokens &&
          a.prefetch_threads == b.prefetch_threads &&
          a.recovery.max_transfer_attempts ==
              b.recovery.max_transfer_attempts &&
@@ -334,6 +389,9 @@ void encode_kv_cache(ckpt::ByteWriter& writer, const KVCacheBase& cache) {
   } else if (const auto* window =
                  dynamic_cast<const WindowKVCache*>(&cache)) {
     encode_window(writer, *window);
+  } else if (const auto* shared =
+                 dynamic_cast<const kvshare::SharedKVCache*>(&cache)) {
+    encode_shared(writer, *shared);
   } else {
     LMO_UNREACHABLE("unknown KV cache flavor in checkpoint encoder");
   }
@@ -349,6 +407,8 @@ std::unique_ptr<KVCacheBase> decode_kv_cache(ckpt::ByteReader& reader,
       return decode_paged(reader, context);
     case kWindowTag:
       return decode_window(reader, context);
+    case kSharedTag:
+      return decode_shared(reader, context);
     default:
       throw util::CheckpointCorrupt("unknown KV cache flavor tag " +
                                     std::to_string(tag));

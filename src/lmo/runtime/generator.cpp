@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "lmo/kvshare/prefix_cache.hpp"
+#include "lmo/kvshare/shared_kv_cache.hpp"
 #include "lmo/runtime/window_kv.hpp"
 #include "lmo/telemetry/trace.hpp"
 #include "lmo/tensor/ops.hpp"
@@ -149,6 +151,19 @@ Generator::Generator(const RuntimeConfig& config)
                   "window KV rings store f32 rows; kv_bits must be 16");
     LMO_CHECK_GT(config_.window_tokens, 0);
   }
+  if (config_.prefix_share) {
+    LMO_CHECK_MSG(config_.kv_flavor == KVFlavor::kDense,
+                  "prefix sharing layers over the dense KV backend");
+    LMO_CHECK_MSG(config_.kv_bits == 16,
+                  "shared KV blocks store f32 rows; kv_bits must be 16");
+    LMO_CHECK_GT(config_.kv_block_tokens, 0);
+    kvshare::PrefixCacheConfig pc;
+    pc.block_tokens = config_.kv_block_tokens;
+    pc.hidden = config_.spec.hidden;
+    pc.num_layers = config_.spec.num_layers;
+    prefix_cache_ = std::make_unique<kvshare::PrefixCache>(
+        pc, host_pool_.get(), &manager_->metrics());
+  }
 }
 
 Generator::~Generator() = default;
@@ -179,6 +194,45 @@ SequenceCache Generator::make_sequence_cache() {
                                   *host_pool_);
 }
 
+SequenceCache Generator::make_shared_sequence_cache(
+    const std::vector<std::int64_t>& prompt, std::int64_t& matched_out) {
+  auto lease = prefix_cache_->match(prompt);
+  matched_out = lease == nullptr ? 0 : lease->matched_tokens();
+  SequenceCache cache;
+  cache.reserve(static_cast<std::size_t>(config_.spec.num_layers));
+  for (std::int64_t layer = 0; layer < config_.spec.num_layers; ++layer) {
+    if (lease != nullptr) {
+      cache.push_back(std::make_unique<kvshare::SharedKVCache>(
+          config_.spec.hidden, layer, lease, matched_out, *host_pool_));
+    } else {
+      cache.push_back(std::make_unique<kvshare::SharedKVCache>(
+          config_.spec.hidden, *host_pool_));
+    }
+  }
+  return cache;
+}
+
+std::shared_ptr<kvshare::PrefixLease> Generator::publish_prefix(
+    const std::vector<std::int64_t>& prompt, const SequenceCache& cache) {
+  const std::int64_t bt = config_.kv_block_tokens;
+  const std::int64_t hidden = config_.spec.hidden;
+  return prefix_cache_->insert(
+      prompt, [&](std::int64_t token_offset, float* payload) {
+        for (std::int64_t layer = 0; layer < config_.spec.num_layers;
+             ++layer) {
+          const auto* shared = dynamic_cast<const kvshare::SharedKVCache*>(
+              cache[static_cast<std::size_t>(layer)].get());
+          LMO_CHECK(shared != nullptr);
+          for (std::int64_t slot = 0; slot < bt; ++slot) {
+            float* k_dst = payload + ((layer * 2 + 0) * bt + slot) * hidden;
+            float* v_dst = payload + ((layer * 2 + 1) * bt + slot) * hidden;
+            shared->copy_row(true, token_offset + slot, k_dst);
+            shared->copy_row(false, token_offset + slot, v_dst);
+          }
+        }
+      });
+}
+
 void Generator::begin(const std::vector<std::vector<std::int64_t>>& prompts,
                       std::int64_t gen_len) {
   LMO_CHECK_MSG(session_ == nullptr, "a generation session is already active");
@@ -192,24 +246,34 @@ void Generator::begin(const std::vector<std::vector<std::int64_t>>& prompts,
   session->next.resize(prompts.size());
 
   // Per-sequence caches (charged to the host pool, where offloaded caches
-  // live in the paper's design).
+  // live in the paper's design). With prefix sharing on, each prompt is
+  // matched against the radix tree first and its caches come pre-seeded
+  // with the shared chain — prefill then runs only over the suffix.
+  auto& trace = telemetry::TraceRecorder::global();
+  std::vector<std::int64_t> matched(prompts.size(), 0);
   session->caches.reserve(prompts.size());
   for (std::size_t s = 0; s < prompts.size(); ++s) {
     LMO_CHECK(!prompts[s].empty());
-    session->caches.push_back(make_sequence_cache());
+    if (prefix_cache_ != nullptr) {
+      telemetry::ScopedSpan match_span(trace, "prefix_match", "kvshare");
+      session->caches.push_back(
+          make_shared_sequence_cache(prompts[s], matched[s]));
+    } else {
+      session->caches.push_back(make_sequence_cache());
+    }
   }
   for (auto& c : session->caches) session->cache_ptrs.push_back(&c);
 
-  auto& trace = telemetry::TraceRecorder::global();
-
-  // ---- prefill: all prompt tokens at once, layer-outer over the batch.
+  // ---- prefill: all unmatched prompt tokens at once, layer-outer over
+  // the batch.
   const auto start = Clock::now();
   {
     telemetry::ScopedSpan prefill_span(trace, "prefill", "generate");
     std::vector<tensor::Tensor> states;
     states.reserve(prompts.size());
-    for (const auto& prompt : prompts) {
-      states.push_back(transformer_->embed(prompt));
+    for (std::size_t s = 0; s < prompts.size(); ++s) {
+      states.push_back(transformer_->embed(std::span<const std::int64_t>(
+          prompts[s]).subspan(static_cast<std::size_t>(matched[s]))));
     }
     transformer_->forward(states, session->cache_ptrs, prefetch_pool_.get());
     telemetry::ScopedSpan out_span(trace, "store_activation", "decode");
@@ -217,6 +281,17 @@ void Generator::begin(const std::vector<std::vector<std::int64_t>>& prompts,
       session->next[s] = sample_token(transformer_->logits(states[s]),
                                       config_.sampling, sampling_rng_);
       session->tokens[s].push_back(session->next[s]);
+    }
+  }
+  if (prefix_cache_ != nullptr) {
+    // Publish every prompt's full-block KV rows so later requests (and
+    // later sequences in this batch via match-before-publish ordering:
+    // matches happened above, so publication never perturbs this batch)
+    // can skip their shared prefixes.
+    telemetry::ScopedSpan insert_span(trace, "prefix_insert", "kvshare");
+    for (std::size_t s = 0; s < prompts.size(); ++s) {
+      auto lease = publish_prefix(prompts[s], session->caches[s]);
+      if (lease != nullptr) session->leases.push_back(std::move(lease));
     }
   }
   session->prefill_seconds = seconds_since(start);
@@ -286,6 +361,12 @@ GenerationResult Generator::finish() {
                      dynamic_cast<const PagedKVCache*>(layer_cache.get())) {
         result.kv_stored_bytes +=
             paged->block_table().size() * page_pool_->page_bytes();
+      } else if (const auto* shared =
+                     dynamic_cast<const kvshare::SharedKVCache*>(
+                         layer_cache.get())) {
+        // Shared-chain bytes are owned by the prefix cache, not this
+        // session; only the private tail counts against the sequence.
+        result.kv_stored_bytes += shared->stored_bytes();
       } else if (const auto* window = dynamic_cast<const WindowKVCache*>(
                      layer_cache.get())) {
         result.kv_stored_bytes += 2 *

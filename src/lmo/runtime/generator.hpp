@@ -13,6 +13,11 @@
 #include "lmo/runtime/paged_kv.hpp"
 #include "lmo/runtime/transformer.hpp"
 
+namespace lmo::kvshare {
+class PrefixCache;
+class PrefixLease;
+}  // namespace lmo::kvshare
+
 namespace lmo::runtime {
 
 /// Decoding strategy. Greedy (temperature == 0) is deterministic; with
@@ -55,6 +60,12 @@ struct RuntimeConfig {
   bool paged_kv = false;
   std::int64_t page_tokens = 16;    ///< token slots per page (kPaged)
   std::int64_t window_tokens = 32;  ///< ring capacity in tokens (kWindow)
+  /// Cross-request KV prefix sharing (kvshare subsystem): sessions match
+  /// their prompts against a radix tree of cached KV blocks and prefill
+  /// only the unmatched suffix. Requires kv_flavor == kDense and
+  /// kv_bits == 16 (cached rows are f32, so reuse is bit-exact).
+  bool prefix_share = false;
+  std::int64_t kv_block_tokens = 16;  ///< tokens per shared KV block
   int prefetch_threads = 2;  ///< 0 disables async weight prefetch
   /// Transfer-retry / watchdog / degradation knobs (see OffloadManager).
   RecoveryConfig recovery;
@@ -150,9 +161,19 @@ class Generator {
     double decode_seconds = 0.0;
     std::vector<SequenceCache> caches;
     std::vector<SequenceCache*> cache_ptrs;
+    /// Pins on the prefix-cache chains this session published or matched;
+    /// released (not copied) when the session ends or is swapped out.
+    std::vector<std::shared_ptr<kvshare::PrefixLease>> leases;
   };
 
   SequenceCache make_sequence_cache();
+  /// Prefix-share path: match `prompt`, build SharedKVCache layers over the
+  /// lease, and report how many leading tokens prefill may skip.
+  SequenceCache make_shared_sequence_cache(
+      const std::vector<std::int64_t>& prompt, std::int64_t& matched_out);
+  /// Publish a finished prefill's prompt KV rows into the prefix cache.
+  std::shared_ptr<kvshare::PrefixLease> publish_prefix(
+      const std::vector<std::int64_t>& prompt, const SequenceCache& cache);
 
   RuntimeConfig config_;
   util::Xoshiro256 sampling_rng_;
@@ -163,6 +184,8 @@ class Generator {
   std::unique_ptr<parallel::ThreadPool> prefetch_pool_;
   std::unique_ptr<parallel::ThreadPool> compute_pool_;
   std::unique_ptr<PagePool> page_pool_;  ///< when kv_flavor == kPaged
+  /// Outlives session_ (declared first): sessions hold leases into it.
+  std::unique_ptr<kvshare::PrefixCache> prefix_cache_;
   std::unique_ptr<Session> session_;
 };
 

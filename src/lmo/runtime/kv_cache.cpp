@@ -131,12 +131,15 @@ void KVCache::restore_rows(std::vector<Row> k, std::vector<Row> v) {
 std::unique_ptr<KVCacheBase> KVCache::clone() const {
   auto copy = std::make_unique<KVCache>(hidden_, bits_, group_size_, *pool_);
   // Rows hold shared-immutable payloads; copying the row vectors is a deep
-  // logical copy. Charge the pool for the duplicate residency.
+  // logical copy. Charge the pool for the duplicate residency *before*
+  // populating the copy: if the charge throws (pool pressure or fault
+  // injection), the copy must not carry bytes its destructor would release
+  // without ever having charged.
+  pool_->charge(stored_bytes_);
   copy->k_rows_ = k_rows_;
   copy->v_rows_ = v_rows_;
   copy->length_ = length_;
   copy->stored_bytes_ = stored_bytes_;
-  pool_->charge(stored_bytes_);
   return copy;
 }
 

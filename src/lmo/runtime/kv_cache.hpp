@@ -41,7 +41,23 @@ class KVCache : public KVCacheBase {
   KVCache(std::int64_t hidden, int bits, std::int64_t group_size,
           MemoryPool& pool);
   ~KVCache();
-  KVCache(KVCache&&) noexcept = default;
+  /// Moves must null the source's pool handle: a defaulted move would
+  /// leave both objects releasing the same bytes on destruction.
+  KVCache(KVCache&& other) noexcept
+      : hidden_(other.hidden_),
+        bits_(other.bits_),
+        group_size_(other.group_size_),
+        pool_(other.pool_),
+        k_rows_(std::move(other.k_rows_)),
+        v_rows_(std::move(other.v_rows_)),
+        length_(other.length_),
+        stored_bytes_(other.stored_bytes_),
+        quantize_seconds_(other.quantize_seconds_),
+        dequantize_seconds_(other.dequantize_seconds_) {
+    other.pool_ = nullptr;
+    other.stored_bytes_ = 0;
+    other.length_ = 0;
+  }
   KVCache(const KVCache&) = delete;
   KVCache& operator=(const KVCache&) = delete;
 

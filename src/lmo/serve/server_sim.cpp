@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 
+#include "lmo/kvshare/prefix_cache.hpp"
 #include "lmo/perfmodel/estimator.hpp"
 #include "lmo/util/check.hpp"
 
@@ -21,6 +22,7 @@ void ServeConfig::validate() const {
   LMO_CHECK_MSG(!preempt || batching == Batching::kContinuous,
                 "preemption requires continuous batching: static batches "
                 "drain fully before the queue is consulted");
+  LMO_CHECK_GT(kv_block_tokens, 0);
   for (const FaultWindow& w : fault_windows) {
     LMO_CHECK_GT(w.end, w.begin);
     LMO_CHECK_GT(w.bandwidth_factor, 0.0);
@@ -38,11 +40,20 @@ struct Active {
   double submit = 0.0;  ///< this attempt's submission time (deadline base)
   int attempt = 1;      ///< 1 + re-admissions consumed so far
   int preemptions = 0;  ///< swap-outs suffered so far
+  /// Prefix-share state: leading tokens served from shared blocks (they
+  /// count toward `prefilled` but were never pushed through prefill) and
+  /// the pin keeping that chain resident while this request runs.
+  std::int64_t shared = 0;
+  bool published = false;  ///< prompt inserted into the radix tree yet?
+  std::shared_ptr<kvshare::PrefixLease> lease;
 
   bool decoding() const { return prefilled >= request.prompt_len; }
   std::int64_t remaining() const { return request.gen_len - generated; }
   /// Tokens resident in this sequence's KV cache (prompt + generated).
   std::int64_t kv_tokens() const { return prefilled + generated; }
+  /// KV tokens owned privately by this sequence (what a swap must move —
+  /// shared-chain tokens stay in the block store).
+  std::int64_t private_kv_tokens() const { return kv_tokens() - shared; }
 };
 
 /// A queued attempt: the original request plus retry bookkeeping.
@@ -114,22 +125,24 @@ double kv_swap_seconds(const model::ModelSpec& spec, int kv_bits,
   return bytes / bw;
 }
 
-/// Prefill cost for newly admitted sequences (their prompts, batched).
+/// Prefill cost for newly admitted sequences, given the prompt tokens each
+/// actually has to push through the engine (the unmatched suffix when
+/// prefix sharing is on; the whole prompt otherwise).
 double prefill_seconds(const model::ModelSpec& spec,
                        const perfmodel::Policy& policy,
                        const hw::Platform& platform,
-                       const std::vector<const Request*>& admitted) {
-  if (admitted.empty()) return 0.0;
+                       const std::vector<std::int64_t>& prefill_lens) {
+  if (prefill_lens.empty()) return 0.0;
   double prompt_sum = 0.0;
-  for (const Request* r : admitted) {
-    prompt_sum += static_cast<double>(r->prompt_len);
+  for (const std::int64_t len : prefill_lens) {
+    prompt_sum += static_cast<double>(len);
   }
   model::Workload w;
   w.prompt_len = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(prompt_sum /
-                                   static_cast<double>(admitted.size())));
+                                   static_cast<double>(prefill_lens.size())));
   w.gen_len = 2;
-  w.gpu_batch = static_cast<std::int64_t>(admitted.size());
+  w.gpu_batch = static_cast<std::int64_t>(prefill_lens.size());
   w.num_batches = 1;
   // Per-layer prefill: GPU compute over the prompts + weight stream.
   const double compute = model::layer_prefill_flops(spec, w) /
@@ -170,6 +183,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   telemetry::Counter& m_retries = reg.counter("serve.requests.retries");
   telemetry::Counter& m_preempts = reg.counter("serve.preempt.total");
   telemetry::Counter& m_resumes = reg.counter("serve.preempt.resumes");
+  telemetry::Counter& m_prefill_tokens = reg.counter("serve.prefill.tokens");
   telemetry::Histogram& m_ttft = reg.histogram("serve.request.ttft_seconds");
   telemetry::Histogram& m_latency =
       reg.histogram("serve.request.latency_seconds");
@@ -194,6 +208,34 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   double clock = 0.0;
   double occupancy_integral = 0.0;
   double swap_seconds = 0.0;
+  double swap_bytes = 0.0;
+
+  // Accounting-only prefix cache: blocks carry modelled bytes, no floats.
+  // Charged per token with the same volume kv_swap_seconds moves, so hit
+  // savings and swap savings are in one currency.
+  const std::size_t kv_token_bytes = static_cast<std::size_t>(
+      2.0 * static_cast<double>(spec.hidden) *
+      (static_cast<double>(policy.kv_bits) / 8.0));
+  std::unique_ptr<kvshare::PrefixCache> prefix_cache;
+  if (config.prefix_share) {
+    kvshare::PrefixCacheConfig pc;
+    pc.block_tokens = config.kv_block_tokens;
+    pc.materialize = false;
+    pc.bytes_per_token = std::max<std::size_t>(1, kv_token_bytes);
+    pc.capacity_bytes = config.prefix_cache_bytes;
+    prefix_cache = std::make_unique<kvshare::PrefixCache>(pc, nullptr, &reg);
+  }
+
+  // Publish a request's prompt into the radix tree once its prefill is
+  // complete; the returned lease replaces the match-time pin so the full
+  // chain stays resident while the request is in flight.
+  const auto publish = [&](Active& a) {
+    if (prefix_cache == nullptr || a.published) return;
+    a.published = true;
+    if (a.request.prompt_tokens.empty()) return;
+    auto lease = prefix_cache->insert(a.request.prompt_tokens, nullptr);
+    if (lease != nullptr) a.lease = std::move(lease);
+  };
 
   ServeMetrics metrics;
   metrics.outcomes.resize(requests.size());
@@ -243,23 +285,64 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   // for), then swapped-out victims — which re-enter mid-decode with their
   // KV restored at host→device cost, never re-prefilled.
   const auto admit = [&]() {
-    std::vector<const Request*> admitted;
+    std::vector<std::int64_t> prefill_lens;
     while (!queue.empty() &&
            static_cast<std::int64_t>(active.size()) < config.max_batch) {
       const Queued q = queue.front();
       queue.pop_front();
-      active.push_back(Active{*q.request, 0, 0, -1.0, q.submit, q.attempt, 0});
-      admitted.push_back(q.request);
+      Active a{*q.request, 0, 0, -1.0, q.submit, q.attempt, 0};
+      if (prefix_cache != nullptr && !a.request.prompt_tokens.empty()) {
+        // Longest-prefix match at admission: matched tokens enter the
+        // batch as already-prefilled KV served from shared blocks.
+        LMO_CHECK_EQ(static_cast<std::int64_t>(a.request.prompt_tokens.size()),
+                     a.request.prompt_len);
+        a.lease = prefix_cache->match(a.request.prompt_tokens);
+        if (a.lease != nullptr) {
+          a.shared = a.lease->matched_tokens();
+          a.prefilled = a.shared;
+          if (trace != nullptr) {
+            trace->complete("prefix_hit", "serve.kvshare", kServeTracePid,
+                            static_cast<int>(a.request.id) + 1, clock * 1e6,
+                            0.0);
+          }
+        }
+      }
+      prefill_lens.push_back(a.request.prompt_len - a.prefilled);
+      active.push_back(std::move(a));
     }
     while (!suspended.empty() &&
            static_cast<std::int64_t>(active.size()) < config.max_batch) {
       Active back = std::move(suspended.front());
       suspended.pop_front();
-      const double cost = kv_swap_seconds(spec, policy.kv_bits,
-                                          back.kv_tokens(), platform.h2d_bw()) /
-                          bandwidth_factor(clock);
+      if (prefix_cache != nullptr && back.shared > 0) {
+        // Re-pin the shared chain. If eviction shrank it below what this
+        // request was relying on, the lost prefix must be recomputed at
+        // chunked-prefill cost — the shrunk remainder becomes private.
+        back.lease = back.request.prompt_tokens.empty()
+                         ? nullptr
+                         : prefix_cache->match(back.request.prompt_tokens);
+        const std::int64_t still_shared =
+            back.lease == nullptr
+                ? 0
+                : std::min(back.lease->matched_tokens(), back.shared);
+        const std::int64_t lost = back.shared - still_shared;
+        if (lost > 0) {
+          const double recompute =
+              chunk_prefill_seconds(spec, policy, platform, lost) /
+              bandwidth_factor(clock);
+          clock += recompute;
+          m_prefill_tokens.add(static_cast<std::uint64_t>(lost));
+        }
+        back.shared = still_shared;
+      }
+      const double cost =
+          kv_swap_seconds(spec, policy.kv_bits, back.private_kv_tokens(),
+                          platform.h2d_bw()) /
+          bandwidth_factor(clock);
       clock += cost;
       swap_seconds += cost;
+      swap_bytes += static_cast<double>(back.private_kv_tokens()) *
+                    static_cast<double>(kv_token_bytes);
       m_resumes.add();
       if (trace != nullptr) {
         trace->complete("swap_in", "serve.preempt", kServeTracePid,
@@ -268,7 +351,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
       }
       active.push_back(std::move(back));
     }
-    return admitted;
+    return prefill_lens;
   };
 
   // Swap out the decoding request with the most remaining work to unblock
@@ -289,12 +372,17 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
         }
       }
       if (victim == active.end()) return;  // nobody left to preempt
+      // Only the private KV tail crosses the link: shared-chain blocks
+      // stay in the block store and the victim simply drops its pin.
       const double cost =
-          kv_swap_seconds(spec, policy.kv_bits, victim->kv_tokens(),
+          kv_swap_seconds(spec, policy.kv_bits, victim->private_kv_tokens(),
                           platform.d2h_bw()) /
           bandwidth_factor(clock);
       clock += cost;
       swap_seconds += cost;
+      swap_bytes += static_cast<double>(victim->private_kv_tokens()) *
+                    static_cast<double>(kv_token_bytes);
+      victim->lease.reset();
       ++victim->preemptions;
       m_preempts.add();
       if (trace != nullptr) {
@@ -320,17 +408,22 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
 
     // Preemption, then admission.
     if (config.preempt) preempt_for_waiters();
-    std::vector<const Request*> admitted;
+    std::vector<std::int64_t> admitted_lens;
     if (config.batching == Batching::kContinuous || active.empty()) {
-      admitted = admit();
+      admitted_lens = admit();
     }
     if (config.prefill_chunk == 0) {
-      // Monolithic prefill on admission: newcomers stall the engine.
-      if (!admitted.empty()) {
-        clock += prefill_seconds(spec, policy, platform, admitted) /
+      // Monolithic prefill on admission: newcomers stall the engine for
+      // their unmatched prompt tokens (whole prompts with sharing off).
+      if (!admitted_lens.empty()) {
+        clock += prefill_seconds(spec, policy, platform, admitted_lens) /
                  bandwidth_factor(clock);
+        for (const std::int64_t len : admitted_lens) {
+          m_prefill_tokens.add(static_cast<std::uint64_t>(len));
+        }
         for (auto& a : active) {
           if (!a.decoding()) a.prefilled = a.request.prompt_len;
+          publish(a);
         }
       }
     }
@@ -347,7 +440,9 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
             config.prefill_chunk, a.request.prompt_len - a.prefilled);
         a.prefilled += take;
         chunk_tokens += take;
+        if (a.decoding()) publish(a);
       }
+      m_prefill_tokens.add(static_cast<std::uint64_t>(chunk_tokens));
       prefill_cost =
           chunk_prefill_seconds(spec, policy, platform, chunk_tokens);
     }
@@ -453,6 +548,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
            static_cast<double>(metrics.outcomes.size()));
   reg.gauge("serve.batch.mean_occupancy").set(occupancy_integral / clock);
   reg.gauge("serve.preempt.swap_seconds").set(swap_seconds);
+  reg.gauge("serve.kv.swap_bytes").set(swap_bytes);
 
   // Materialize the legacy view from the registry — the compatibility
   // surface callers keep, backed by the one telemetry vocabulary.
@@ -472,6 +568,16 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   metrics.preempt_resumes = m_resumes.value();
   metrics.preempt_swap_seconds =
       reg.gauge("serve.preempt.swap_seconds").value();
+  metrics.prefill_tokens = m_prefill_tokens.value();
+  metrics.kv_swap_bytes = reg.gauge("serve.kv.swap_bytes").value();
+  if (config.prefix_share) {
+    metrics.prefix_hit_tokens = reg.counter("kvshare.hit_tokens").value();
+    metrics.prefix_miss_tokens = reg.counter("kvshare.miss_tokens").value();
+    metrics.prefix_evicted_blocks =
+        reg.counter("kvshare.evicted_blocks").value();
+    metrics.prefix_bytes_saved =
+        static_cast<double>(reg.counter("kvshare.bytes_saved").value());
+  }
   if (m_ttft.count() > 0) {
     metrics.ttft_p50 = m_ttft.percentile(0.5);
     metrics.ttft_p95 = m_ttft.percentile(0.95);

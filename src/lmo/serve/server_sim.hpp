@@ -69,6 +69,19 @@ struct ServeConfig {
   /// Swap-out ceiling per request, bounding ping-pong thrash.
   int max_preemptions_per_request = 2;
 
+  /// Cross-request KV prefix sharing (the kvshare radix tree, in
+  /// accounting-only mode). At admission a request's prompt_tokens are
+  /// matched against previously served prompts: the prefill cost covers
+  /// only the unmatched suffix (TTFT drops on hits), preemption swaps move
+  /// only the private KV tail (shared blocks are reference-dropped, not
+  /// copied), and kvshare.* metrics land in the run's registry. Requests
+  /// without prompt_tokens never match.
+  bool prefix_share = false;
+  std::int64_t kv_block_tokens = 16;  ///< tokens per shared block
+  /// Modelled byte budget of the shared block store (drives LRU eviction);
+  /// 0 = unbounded.
+  std::size_t prefix_cache_bytes = 0;
+
   void validate() const;
 };
 
@@ -106,6 +119,14 @@ struct ServeMetrics {
   std::size_t preemptions = 0;      ///< swap-outs across all requests
   std::size_t preempt_resumes = 0;  ///< swap-ins (== preemptions at drain)
   double preempt_swap_seconds = 0.0;  ///< engine time spent swapping KV
+  /// Prompt tokens actually pushed through prefill (drops on prefix hits).
+  std::uint64_t prefill_tokens = 0;
+  double kv_swap_bytes = 0.0;  ///< KV bytes moved by preemption swaps
+  /// kvshare.* reads (0 unless config.prefix_share).
+  std::uint64_t prefix_hit_tokens = 0;
+  std::uint64_t prefix_miss_tokens = 0;
+  std::uint64_t prefix_evicted_blocks = 0;
+  double prefix_bytes_saved = 0.0;
   std::vector<RequestOutcome> outcomes;  ///< per request, by id order
 };
 

@@ -62,6 +62,69 @@ std::vector<Request> generate_requests(const RequestProfile& profile,
   return requests;
 }
 
+void SharedPrefixProfile::validate() const {
+  base.validate();
+  LMO_CHECK_GT(num_templates, 0);
+  LMO_CHECK_GT(template_tokens, 0);
+  LMO_CHECK_GT(vocab, 1);
+}
+
+std::vector<Request> generate_shared_prefix_requests(
+    const SharedPrefixProfile& profile, std::int64_t count,
+    std::uint64_t seed) {
+  profile.validate();
+  LMO_CHECK_GT(count, 0);
+
+  util::Xoshiro256 rng(seed);
+  const auto draw_token = [&] {
+    const auto token = static_cast<std::int64_t>(
+        rng.uniform() * static_cast<double>(profile.vocab));
+    return std::min(token, profile.vocab - 1);
+  };
+
+  // Templates first, from the same stream: the whole workload (templates
+  // included) is a pure function of the seed.
+  std::vector<std::vector<std::int64_t>> templates(
+      static_cast<std::size_t>(profile.num_templates));
+  for (auto& t : templates) {
+    t.reserve(static_cast<std::size_t>(profile.template_tokens));
+    for (std::int64_t i = 0; i < profile.template_tokens; ++i) {
+      t.push_back(draw_token());
+    }
+  }
+
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  double clock = 0.0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    clock += -std::log(u) / profile.base.arrival_rate;
+    Request request;
+    request.id = i;
+    request.arrival_seconds = clock;
+    const auto pick = std::min<std::size_t>(
+        templates.size() - 1,
+        static_cast<std::size_t>(rng.uniform() *
+                                 static_cast<double>(templates.size())));
+    const std::int64_t suffix_len =
+        draw_length(rng, profile.base.prompt_mean, profile.base.prompt_min,
+                    profile.base.prompt_max);
+    request.prompt_tokens = templates[pick];
+    request.prompt_tokens.reserve(
+        templates[pick].size() + static_cast<std::size_t>(suffix_len));
+    for (std::int64_t s = 0; s < suffix_len; ++s) {
+      request.prompt_tokens.push_back(draw_token());
+    }
+    request.prompt_len =
+        static_cast<std::int64_t>(request.prompt_tokens.size());
+    request.gen_len = draw_length(rng, profile.base.gen_mean,
+                                  profile.base.gen_min, profile.base.gen_max);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
 std::vector<Request> requests_from_csv_text(const std::string& text) {
   const auto csv = util::CsvReader::parse(text);
   std::vector<Request> requests;

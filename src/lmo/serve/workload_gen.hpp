@@ -18,6 +18,11 @@ struct Request {
   double arrival_seconds = 0.0;
   std::int64_t prompt_len = 0;
   std::int64_t gen_len = 0;
+  /// Prompt token ids (size == prompt_len when present). Optional: the
+  /// cost simulation only needs lengths, but cross-request KV prefix
+  /// sharing matches real ids against the radix tree, so workloads that
+  /// want hits must carry them. Empty = never matches.
+  std::vector<std::int64_t> prompt_tokens;
 };
 
 struct RequestProfile {
@@ -37,6 +42,26 @@ struct RequestProfile {
 std::vector<Request> generate_requests(const RequestProfile& profile,
                                        std::int64_t count,
                                        std::uint64_t seed);
+
+/// Shared-prefix workload: every request starts with one of
+/// `num_templates` fixed system-prompt templates (`template_tokens` ids
+/// each) followed by a per-request unique suffix whose length is drawn
+/// from the base profile's prompt_* fields. This is the traffic shape that
+/// makes cross-request prefix sharing pay (system prompts, few-shot
+/// headers), with hit rate controlled by num_templates. Deterministic in
+/// `seed`; token ids are uniform in [0, vocab).
+struct SharedPrefixProfile {
+  RequestProfile base;
+  std::int64_t num_templates = 4;
+  std::int64_t template_tokens = 64;
+  std::int64_t vocab = 32000;
+
+  void validate() const;
+};
+
+std::vector<Request> generate_shared_prefix_requests(
+    const SharedPrefixProfile& profile, std::int64_t count,
+    std::uint64_t seed);
 
 /// Load a recorded request trace from CSV with columns
 /// `arrival_seconds, prompt_len, gen_len` (header required, any order).

@@ -269,8 +269,19 @@ int cmd_serve(const Args& args) {
 
   std::vector<serve::Request> requests;
   const std::string trace = args.get("trace", "");
+  const std::int64_t templates = args.get_int("templates", 0);
   if (!trace.empty()) {
     requests = serve::requests_from_csv(trace);
+  } else if (templates > 0) {
+    // Shared-prefix workload: N templates × unique suffixes, so prefix
+    // sharing has something to hit. Token-level prompts ride along even
+    // with sharing off (they are then simply ignored).
+    serve::SharedPrefixProfile profile;
+    profile.base.arrival_rate = std::stod(args.get("rate", "2.0"));
+    profile.num_templates = templates;
+    profile.template_tokens = args.get_int("template-tokens", 64);
+    requests = serve::generate_shared_prefix_requests(
+        profile, args.get_int("requests", 100), 2024);
   } else {
     serve::RequestProfile profile;
     profile.arrival_rate = std::stod(args.get("rate", "2.0"));
@@ -297,6 +308,8 @@ int cmd_serve(const Args& args) {
   config.batching = args.get("batching", "continuous") == "static"
                         ? serve::Batching::kStatic
                         : serve::Batching::kContinuous;
+  config.prefix_share = args.get_int("prefix-share", 0) != 0;
+  config.kv_block_tokens = args.get_int("kv-block-tokens", 16);
 
   telemetry::MetricsRegistry registry;
   telemetry::TraceRecorder trace_recorder;
@@ -318,6 +331,21 @@ int cmd_serve(const Args& args) {
   std::printf("TTFT p50/p95: %.2f / %.2f s | latency p50/p95: %.2f / "
               "%.2f s\n",
               m.ttft_p50, m.ttft_p95, m.latency_p50, m.latency_p95);
+  if (config.prefix_share) {
+    const auto total = m.prefix_hit_tokens + m.prefix_miss_tokens;
+    std::printf("prefix sharing: %llu/%llu prompt tokens reused (%.0f%%), "
+                "%llu prefilled, %s saved, %llu blocks evicted\n",
+                static_cast<unsigned long long>(m.prefix_hit_tokens),
+                static_cast<unsigned long long>(total),
+                total > 0 ? 100.0 * static_cast<double>(m.prefix_hit_tokens) /
+                                static_cast<double>(total)
+                          : 0.0,
+                static_cast<unsigned long long>(m.prefill_tokens),
+                util::format_bytes(
+                    static_cast<std::size_t>(m.prefix_bytes_saved))
+                    .c_str(),
+                static_cast<unsigned long long>(m.prefix_evicted_blocks));
+  }
 
   const std::string metrics_out = args.get("metrics-out", "");
   if (!metrics_out.empty()) {
@@ -433,6 +461,89 @@ int cmd_chaos_kill_resume(const Args& args) {
   return identical ? 0 : 1;
 }
 
+/// `lmo chaos --profile shared-prefix`: prefix-sharing determinism drill.
+/// Two generation batches whose prompts share long prefixes run twice: a
+/// clean reference with sharing off, and a chaos run with sharing on plus
+/// transient transfer faults. The second batch's prefills hit the radix
+/// cache warmed by the first, so byte-identical tokens prove shared KV
+/// reuse is exact even while the recovery machinery is retrying transfers.
+int cmd_chaos_shared_prefix(const Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  const std::int64_t gen_len = args.get_int("len", 10);
+
+  runtime::RuntimeConfig config = tiny_runtime_config(args);
+  LMO_CHECK_MSG(config.kv_flavor == runtime::KVFlavor::kDense,
+                "shared-prefix profile requires --kv dense");
+  const std::int64_t block_tokens = args.get_int("kv-block-tokens", 8);
+
+  // Batch A warms the cache; batch B shares A's leading tokens and adds
+  // fresh suffixes. Deterministic literal prompts, multi-block prefixes.
+  std::vector<std::int64_t> stem;
+  for (std::int64_t t = 0; t < 4 * block_tokens; ++t) {
+    stem.push_back(1 + (t * 7) % 96);
+  }
+  auto with_suffix = [&stem](std::initializer_list<std::int64_t> tail) {
+    std::vector<std::int64_t> p = stem;
+    p.insert(p.end(), tail);
+    return p;
+  };
+  const std::vector<std::vector<std::int64_t>> batch_a = {
+      with_suffix({101, 102, 103}), with_suffix({44, 45})};
+  const std::vector<std::vector<std::int64_t>> batch_b = {
+      with_suffix({7, 8, 9, 10}), with_suffix({101, 102, 99})};
+
+  util::FaultSpec fault;
+  fault.fail_probability = std::stod(args.get("rate", "0.05"));
+
+  // Clean reference: sharing off, no faults.
+  std::vector<std::vector<std::int64_t>> clean_a, clean_b;
+  {
+    runtime::Generator gen(config);
+    clean_a = gen.generate(batch_a, gen_len).tokens;
+    clean_b = gen.generate(batch_b, gen_len).tokens;
+  }
+
+  // Chaos run: sharing on, transfer faults armed.
+  config.prefix_share = true;
+  config.kv_block_tokens = block_tokens;
+  std::uint64_t hit_tokens = 0;
+  std::uint64_t evicted = 0;
+  std::vector<std::vector<std::int64_t>> shared_a, shared_b;
+  {
+    util::ScopedFaultInjection chaos(seed);
+    chaos.arm("offload.fetch.transfer", fault);
+    chaos.arm("offload.prefetch.transfer", fault);
+    runtime::Generator gen(config);
+    shared_a = gen.generate(batch_a, gen_len).tokens;
+    shared_b = gen.generate(batch_b, gen_len).tokens;
+    const auto snap = gen.manager().metrics().snapshot();
+    if (const auto* c = snap.find("kvshare.hit_tokens")) hit_tokens = c->count;
+    if (const auto* c = snap.find("kvshare.evicted_blocks")) {
+      evicted = c->count;
+    }
+  }
+
+  std::printf("chaos profile 'shared-prefix' (seed %llu, fault rate "
+              "%.0f%%) on %s, block %lld tokens\n",
+              static_cast<unsigned long long>(seed),
+              fault.fail_probability * 100.0, config.spec.name.c_str(),
+              static_cast<long long>(block_tokens));
+  std::printf("batch B reused %llu prompt tokens from batch A's cache "
+              "(%llu blocks evicted)\n",
+              static_cast<unsigned long long>(hit_tokens),
+              static_cast<unsigned long long>(evicted));
+
+  const bool identical = shared_a == clean_a && shared_b == clean_b;
+  const bool reused = hit_tokens > 0;
+  std::printf("tokens identical to sharing-off fault-free run: %s\n",
+              identical ? "yes" : "NO — prefix-sharing determinism bug");
+  if (!reused) {
+    std::printf("WARNING: no prefix hits recorded — drill did not "
+                "exercise sharing\n");
+  }
+  return identical && reused ? 0 : 1;
+}
+
 /// `lmo checkpoint`: run the tiny generator partway and snapshot its state
 /// to a file `lmo resume` can pick up — the smallest end-to-end exercise of
 /// the crash-resume path.
@@ -506,6 +617,7 @@ int cmd_chaos(const Args& args) {
   // weight precision by design).
   const std::string profile = args.get("profile", "flaky-pcie");
   if (profile == "kill-resume") return cmd_chaos_kill_resume(args);
+  if (profile == "shared-prefix") return cmd_chaos_shared_prefix(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
   const std::int64_t gen_len = args.get_int("len", 12);
 
@@ -554,7 +666,8 @@ int cmd_chaos(const Args& args) {
                  "unknown chaos profile: %s\n"
                  "profiles: flaky-pcie [--rate P], congested, "
                  "dead-prefetch, oom [--denials N], "
-                 "kill-resume [--rate P] [--kv dense|paged|window]\n",
+                 "kill-resume [--rate P] [--kv dense|paged|window], "
+                 "shared-prefix [--rate P] [--kv-block-tokens N]\n",
                  profile.c_str());
     return 2;
   }
@@ -760,8 +873,12 @@ int usage() {
                "rtx4090-desktop\n"
                "chaos: run generation under a fault profile "
                "(--profile flaky-pcie|congested|dead-prefetch|oom|"
-               "kill-resume [--rate P] [--denials N] [--seed S] "
-               "[--kv dense|paged|window])\n"
+               "kill-resume|shared-prefix [--rate P] [--denials N] "
+               "[--seed S] [--kv dense|paged|window] "
+               "[--kv-block-tokens N])\n"
+               "serve: --prefix-share 1 shares prompt KV across requests "
+               "(--kv-block-tokens N); --templates N draws a shared-prefix "
+               "workload [--template-tokens T]\n"
                "checkpoint: snapshot a generation mid-decode "
                "([--at N] [--len N] [--kv dense|paged|window] [--out FILE]);"
                "\nresume: finish it from the file (--from FILE)\n"
