@@ -73,9 +73,32 @@ PrefixCache::PrefixCache(const PrefixCacheConfig& config,
         return sc;
       }(), pool),
       tree_(config.block_tokens),
-      metrics_(metrics) {}
+      metrics_(metrics) {
+  if (pool != nullptr) {
+    pool_ = pool;
+    pressure_callback_id_ = pool->add_pressure_callback(
+        [this](overload::PressureLevel, std::size_t bytes_needed) {
+          return relieve_pressure(bytes_needed);
+        });
+  }
+}
 
-PrefixCache::~PrefixCache() = default;
+PrefixCache::~PrefixCache() {
+  if (pool_ != nullptr) {
+    pool_->remove_pressure_callback(pressure_callback_id_);
+  }
+}
+
+std::size_t PrefixCache::relieve_pressure(std::size_t bytes_needed) {
+  if (lock_holder_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
+    return 0;  // re-entrant: the running operation's own eviction handles it
+  }
+  const std::size_t block = config_.block_bytes();
+  if (block == 0 || bytes_needed == 0) return 0;
+  const std::size_t wanted = (bytes_needed + block - 1) / block;
+  return evict(wanted) * block;
+}
 
 void PrefixCache::count(const char* name, std::uint64_t n) {
   if (metrics_ != nullptr && n > 0) metrics_->counter(name).add(n);
@@ -87,6 +110,7 @@ void PrefixCache::update_gauges() {
       .set(static_cast<double>(store_.live_blocks()));
   metrics_->gauge("kvshare.bytes_in_use")
       .set(static_cast<double>(store_.bytes_in_use()));
+  metrics_->gauge("kvshare.pinned").set(static_cast<double>(pinned_));
 }
 
 std::shared_ptr<PrefixLease> PrefixCache::make_lease(
@@ -104,12 +128,13 @@ std::shared_ptr<PrefixLease> PrefixCache::make_lease(
     lease->payloads_.push_back(store_.payload(node->block));
   }
   tree_.pin(lease->node_);
+  ++pinned_;
   return lease;
 }
 
 std::shared_ptr<PrefixLease> PrefixCache::match(
     std::span<const std::int64_t> tokens) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  Guard lock(*this);
   auto chain = tree_.lookup(tokens);
   // Cap the match below the prompt length: the session must still prefill
   // at least one token to produce the logits row it samples from.
@@ -122,6 +147,7 @@ std::shared_ptr<PrefixLease> PrefixCache::match(
   const std::uint64_t hit =
       lease == nullptr ? 0
                        : static_cast<std::uint64_t>(lease->matched_tokens());
+  update_gauges();
   lock.unlock();
   count("kvshare.hit_tokens", hit);
   count("kvshare.miss_tokens", static_cast<std::uint64_t>(tokens.size()) - hit);
@@ -143,7 +169,7 @@ std::int64_t PrefixCache::allocate_with_eviction() {
 
 std::shared_ptr<PrefixLease> PrefixCache::insert(
     std::span<const std::int64_t> tokens, const BlockWriter& fill) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  Guard lock(*this);
   std::uint64_t fresh = 0;
   auto chain = tree_.insert(tokens, [&](std::int64_t token_offset) {
     const std::int64_t id = allocate_with_eviction();
@@ -160,7 +186,7 @@ std::shared_ptr<PrefixLease> PrefixCache::insert(
 }
 
 std::size_t PrefixCache::evict(std::size_t max_blocks) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  Guard lock(*this);
   std::size_t evicted = 0;
   while (evicted < max_blocks) {
     const std::int64_t victim = tree_.evict_lru();
@@ -175,24 +201,32 @@ std::size_t PrefixCache::evict(std::size_t max_blocks) {
 }
 
 void PrefixCache::release(PrefixLease& lease) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  Guard lock(*this);
   tree_.unpin(lease.node_);
   lease.cache_ = nullptr;
+  LMO_CHECK_GT(pinned_, 0u);
+  --pinned_;
+  update_gauges();
 }
 
 std::size_t PrefixCache::blocks_in_use() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  Guard lock(*this);
   return store_.live_blocks();
 }
 
 std::size_t PrefixCache::bytes_in_use() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  Guard lock(*this);
   return store_.bytes_in_use();
 }
 
 std::size_t PrefixCache::node_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  Guard lock(*this);
   return tree_.node_count();
+}
+
+std::size_t PrefixCache::pinned_leases() const {
+  Guard lock(*this);
+  return pinned_;
 }
 
 }  // namespace lmo::kvshare

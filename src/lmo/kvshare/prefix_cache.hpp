@@ -16,12 +16,14 @@
 // chains are never evicted.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "lmo/kvshare/block_store.hpp"
@@ -86,6 +88,14 @@ class PrefixCache {
  public:
   /// `pool` (nullable) is charged per block; `metrics` (nullable) receives
   /// the kvshare.* counters and gauges.
+  ///
+  /// When a pool is given, the cache registers a pressure callback on it:
+  /// under allocation pressure (a watermark crossing or a would-fail
+  /// charge from *any* allocator sharing the pool) it evicts unpinned
+  /// chains to relieve the requested bytes before the pool fails the
+  /// allocation. The callback is removed in the destructor; the cache must
+  /// not be destroyed while other threads can still drive the pool into
+  /// pressure.
   PrefixCache(const PrefixCacheConfig& config, runtime::MemoryPool* pool,
               telemetry::MetricsRegistry* metrics);
   ~PrefixCache();
@@ -122,21 +132,62 @@ class PrefixCache {
   std::size_t blocks_in_use() const;
   std::size_t bytes_in_use() const;
   std::size_t node_count() const;
+  /// Live pin leases (the "kvshare.pinned" gauge): every matched or
+  /// inserted chain still held by a request. Must return to baseline once
+  /// all requests — including aborted ones — drop their leases.
+  std::size_t pinned_leases() const;
 
  private:
   friend class PrefixLease;
+
+  /// Lock holder tracking so the pool pressure callback can detect
+  /// re-entrancy: an insert whose own block charge crosses a watermark
+  /// must not recurse into evict() (self-deadlock); its allocation loop
+  /// already evicts.
+  class Guard {
+   public:
+    explicit Guard(const PrefixCache& cache)
+        : cache_(cache), lock_(cache.mutex_) {
+      cache_.lock_holder_.store(std::this_thread::get_id(),
+                                std::memory_order_relaxed);
+    }
+    ~Guard() {
+      if (lock_.owns_lock()) clear();
+    }
+    void unlock() {
+      clear();
+      lock_.unlock();
+    }
+
+   private:
+    void clear() {
+      cache_.lock_holder_.store(std::thread::id{},
+                                std::memory_order_relaxed);
+    }
+    const PrefixCache& cache_;
+    std::unique_lock<std::mutex> lock_;
+  };
+
   void release(PrefixLease& lease);
   std::int64_t allocate_with_eviction();
   std::shared_ptr<PrefixLease> make_lease(
       const std::vector<RadixTree::Node*>& chain);
   void update_gauges();
+  /// Pool pressure callback target: evict unpinned chains worth up to
+  /// `bytes_needed`; returns bytes released. No-op when called from a
+  /// thread already inside a cache operation.
+  std::size_t relieve_pressure(std::size_t bytes_needed);
 
   void count(const char* name, std::uint64_t n);
 
   PrefixCacheConfig config_;
   mutable std::mutex mutex_;
+  mutable std::atomic<std::thread::id> lock_holder_{};
   BlockStore store_;
   RadixTree tree_;
+  runtime::MemoryPool* pool_ = nullptr;
+  int pressure_callback_id_ = -1;
+  std::size_t pinned_ = 0;
   /// Looked up by name per operation (match/insert granularity), so a
   /// registry reset() between runs never leaves dangling metric pointers.
   telemetry::MetricsRegistry* metrics_;

@@ -1,0 +1,145 @@
+#include "lmo/overload/admission.hpp"
+
+#include <limits>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::overload {
+
+const char* to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kUnbounded:
+      return "unbounded";
+    case AdmissionPolicy::kFifoReject:
+      return "fifo-reject";
+    case AdmissionPolicy::kDeadlineShed:
+      return "deadline-shed";
+    case AdmissionPolicy::kTokenBudget:
+      return "token-budget";
+  }
+  return "?";
+}
+
+AdmissionPolicy admission_policy_from_string(const std::string& name) {
+  if (name == "unbounded") return AdmissionPolicy::kUnbounded;
+  if (name == "fifo-reject") return AdmissionPolicy::kFifoReject;
+  if (name == "deadline-shed") return AdmissionPolicy::kDeadlineShed;
+  if (name == "token-budget") return AdmissionPolicy::kTokenBudget;
+  throw util::CheckError(
+      "unknown admission policy: " + name +
+      " (expected unbounded|fifo-reject|deadline-shed|token-budget)");
+}
+
+void AdmissionConfig::validate() const {
+  LMO_CHECK_GE(deadline_seconds, 0.0);
+  if (policy == AdmissionPolicy::kUnbounded) return;
+  LMO_CHECK_MSG(max_queue > 0,
+                "bounded admission with max_queue == 0 would shed every "
+                "request; use kUnbounded or set a positive bound");
+  if (policy == AdmissionPolicy::kDeadlineShed) {
+    LMO_CHECK_MSG(deadline_seconds > 0.0,
+                  "deadline-shed needs a deadline to judge slack against");
+  }
+}
+
+namespace {
+
+class UnboundedAdmission : public AdmissionController {
+ public:
+  AdmissionDecision decide(const std::vector<AdmissionRequest>&,
+                           const AdmissionRequest&, double,
+                           std::size_t) const override {
+    return {true, -1};
+  }
+};
+
+class FifoRejectAdmission : public AdmissionController {
+ public:
+  explicit FifoRejectAdmission(std::size_t max_queue)
+      : max_queue_(max_queue) {}
+
+  AdmissionDecision decide(const std::vector<AdmissionRequest>& queue,
+                           const AdmissionRequest&, double,
+                           std::size_t) const override {
+    return {queue.size() < max_queue_, -1};
+  }
+
+ private:
+  std::size_t max_queue_;
+};
+
+class DeadlineShedAdmission : public AdmissionController {
+ public:
+  DeadlineShedAdmission(std::size_t max_queue, double deadline_seconds)
+      : max_queue_(max_queue), deadline_seconds_(deadline_seconds) {}
+
+  AdmissionDecision decide(const std::vector<AdmissionRequest>& queue,
+                           const AdmissionRequest& incoming, double now,
+                           std::size_t) const override {
+    if (queue.size() < max_queue_) return {true, -1};
+    // Slack: deadline budget this attempt has left, minus the engine time
+    // it still needs. The most negative slack is the work least likely to
+    // ever meet its SLO — shedding it first costs the least goodput.
+    // Priority breaks exact ties (higher priority survives); queue order
+    // breaks the rest deterministically.
+    const auto slack = [&](const AdmissionRequest& r) {
+      return deadline_seconds_ - (now - r.submit_seconds) -
+             r.predicted_service_seconds;
+    };
+    std::ptrdiff_t victim = -1;  // -1 = the newcomer itself
+    double worst = slack(incoming);
+    int worst_priority = incoming.priority;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      const double s = slack(queue[i]);
+      if (s < worst ||
+          (s == worst && queue[i].priority < worst_priority)) {
+        worst = s;
+        worst_priority = queue[i].priority;
+        victim = static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    if (victim < 0) return {false, -1};  // newcomer is the doomed one
+    return {true, victim};
+  }
+
+ private:
+  std::size_t max_queue_;
+  double deadline_seconds_;
+};
+
+class TokenBudgetAdmission : public AdmissionController {
+ public:
+  explicit TokenBudgetAdmission(std::size_t max_queue)
+      : max_queue_(max_queue) {}
+
+  AdmissionDecision decide(const std::vector<AdmissionRequest>& queue,
+                           const AdmissionRequest& incoming, double,
+                           std::size_t kv_headroom_bytes) const override {
+    if (incoming.predicted_kv_bytes > kv_headroom_bytes) return {false, -1};
+    return {queue.size() < max_queue_, -1};
+  }
+
+ private:
+  std::size_t max_queue_;
+};
+
+}  // namespace
+
+std::unique_ptr<AdmissionController> make_admission_controller(
+    const AdmissionConfig& config) {
+  config.validate();
+  switch (config.policy) {
+    case AdmissionPolicy::kUnbounded:
+      return std::make_unique<UnboundedAdmission>();
+    case AdmissionPolicy::kFifoReject:
+      return std::make_unique<FifoRejectAdmission>(config.max_queue);
+    case AdmissionPolicy::kDeadlineShed:
+      return std::make_unique<DeadlineShedAdmission>(
+          config.max_queue, config.deadline_seconds);
+    case AdmissionPolicy::kTokenBudget:
+      return std::make_unique<TokenBudgetAdmission>(config.max_queue);
+  }
+  LMO_UNREACHABLE("admission policy");
+}
+
+}  // namespace lmo::overload

@@ -1,0 +1,90 @@
+// Bounded admission with load shedding: the policy layer that decides what
+// happens when a request arrives and the wait queue is already full.
+// Controllers are pure decision functions over neutral request descriptors
+// (the server maps its queue into AdmissionRequest and applies the verdict)
+// so policies stay independent of the serving engine and are unit-testable
+// in isolation.
+//
+// Built-in policies:
+//   * fifo-reject   — the queue is sacred, the newcomer bounces. The naive
+//                     baseline: keeps stale, already-doomed work queued.
+//   * deadline-shed — drop whichever queued request (the newcomer included)
+//                     is least likely to meet its SLO, judged by slack =
+//                     deadline budget remaining - predicted service time
+//                     under the calibrated cost model. Doomed work leaves
+//                     the system before it wastes engine steps.
+//   * token-budget  — refuse work whose predicted KV footprint exceeds the
+//                     KV pool's current headroom; queue bound still applies
+//                     (fifo-reject on overflow).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lmo::overload {
+
+enum class AdmissionPolicy {
+  kUnbounded = 0,  ///< legacy: every arrival queues, nothing is refused
+  kFifoReject,
+  kDeadlineShed,
+  kTokenBudget,
+};
+
+const char* to_string(AdmissionPolicy policy);
+/// Parse "unbounded" / "fifo-reject" / "deadline-shed" / "token-budget";
+/// throws util::CheckError on anything else.
+AdmissionPolicy admission_policy_from_string(const std::string& name);
+
+/// Neutral view of one queued (or arriving) request.
+struct AdmissionRequest {
+  std::int64_t id = 0;
+  double submit_seconds = 0.0;  ///< this attempt's deadline base
+  /// Predicted seconds of engine time to finish this request (prefill +
+  /// full decode) under the calibrated cost model.
+  double predicted_service_seconds = 0.0;
+  /// Predicted at-rest KV footprint at completion (prompt + gen tokens).
+  std::size_t predicted_kv_bytes = 0;
+  int priority = 0;  ///< larger = more important
+};
+
+/// Verdict for one arrival. Indices refer to the queue snapshot passed to
+/// decide(); kAdmit with shed_queue_index >= 0 means "queue the newcomer,
+/// but drop that queued entry to make room".
+struct AdmissionDecision {
+  bool admit = true;
+  std::ptrdiff_t shed_queue_index = -1;  ///< queued victim; -1 = none
+};
+
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kUnbounded;
+  /// Queue bound enforced by every policy except kUnbounded. Must be > 0
+  /// for bounded policies (a zero bound with shedding enabled is a config
+  /// error, not "shed everything").
+  std::size_t max_queue = 0;
+  /// Per-attempt SLO used by kDeadlineShed to compute slack.
+  double deadline_seconds = 0.0;
+
+  void validate() const;
+};
+
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+
+  /// Decide the fate of `incoming` at time `now` given the current queue.
+  /// `kv_headroom_bytes` is the KV pool's uncommitted capacity (only
+  /// kTokenBudget consults it).
+  virtual AdmissionDecision decide(
+      const std::vector<AdmissionRequest>& queue,
+      const AdmissionRequest& incoming, double now,
+      std::size_t kv_headroom_bytes) const = 0;
+};
+
+/// Factory for the built-in policies; validates `config`.
+std::unique_ptr<AdmissionController> make_admission_controller(
+    const AdmissionConfig& config);
+
+}  // namespace lmo::overload

@@ -1,0 +1,70 @@
+#include "lmo/overload/ladder.hpp"
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::overload {
+
+const char* to_string(LadderRung rung) {
+  switch (rung) {
+    case LadderRung::kNormal:
+      return "normal";
+    case LadderRung::kShrinkCache:
+      return "shrink-cache";
+    case LadderRung::kDemoteKV:
+      return "demote-kv";
+    case LadderRung::kPreempt:
+      return "preempt";
+    case LadderRung::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+void LadderConfig::validate() const {
+  LMO_CHECK_GE(escalate_steps, 1);
+  LMO_CHECK_GE(deescalate_steps, 1);
+}
+
+DegradationLadder::DegradationLadder(const LadderConfig& config)
+    : config_(config) {
+  config.validate();
+}
+
+std::optional<LadderTransition> DegradationLadder::observe(
+    PressureLevel pressure, double now) {
+  if (pressure >= PressureLevel::kHigh) {
+    cool_streak_ = 0;
+    ++hot_streak_;
+    const bool climb = pressure == PressureLevel::kCritical ||
+                       hot_streak_ >= config_.escalate_steps;
+    if (climb && rung_ < LadderRung::kShed) {
+      hot_streak_ = 0;
+      LadderTransition t{rung_, static_cast<LadderRung>(
+                                    static_cast<int>(rung_) + 1),
+                         now};
+      rung_ = t.to;
+      return t;
+    }
+    return std::nullopt;
+  }
+
+  hot_streak_ = 0;
+  if (pressure == PressureLevel::kNone) {
+    ++cool_streak_;
+    if (cool_streak_ >= config_.deescalate_steps &&
+        rung_ > LadderRung::kNormal) {
+      cool_streak_ = 0;
+      LadderTransition t{rung_, static_cast<LadderRung>(
+                                    static_cast<int>(rung_) - 1),
+                         now};
+      rung_ = t.to;
+      return t;
+    }
+  } else {
+    // Between low and high: hold the current rung (hysteresis band).
+    cool_streak_ = 0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lmo::overload

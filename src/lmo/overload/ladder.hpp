@@ -1,0 +1,74 @@
+// The serving degradation ladder: a deterministic state machine that maps
+// a stream of pool-pressure observations to an escalation rung. Each rung
+// trades a little service quality for headroom, in a fixed order:
+//
+//   kNormal       full service
+//   kShrinkCache  shrink the prefix-cache budget (evict unpinned chains)
+//   kDemoteKV     admit new sessions with quantized (smaller) KV
+//   kPreempt      swap out the lowest-priority in-flight requests
+//   kShed         refuse new work at arrival
+//
+// Escalation is streak-based: `escalate_steps` consecutive observations at
+// or above the high watermark climb one rung (critical pressure climbs
+// immediately). De-escalation is hysteretic: the ladder only steps down
+// after `deescalate_steps` consecutive observations *below the low
+// watermark*, so a pool oscillating around `high` never flaps between
+// rungs. The ladder itself performs no actions — the server applies each
+// rung's remedy and records the typed overload.* metric / trace span for
+// every transition the ladder reports.
+#pragma once
+
+#include <optional>
+
+#include "lmo/overload/watermark.hpp"
+
+namespace lmo::overload {
+
+enum class LadderRung {
+  kNormal = 0,
+  kShrinkCache = 1,
+  kDemoteKV = 2,
+  kPreempt = 3,
+  kShed = 4,
+};
+
+const char* to_string(LadderRung rung);
+
+struct LadderConfig {
+  /// Consecutive observations at >= high pressure before climbing a rung.
+  int escalate_steps = 2;
+  /// Consecutive observations below low pressure before stepping down.
+  int deescalate_steps = 4;
+
+  void validate() const;
+};
+
+/// One reported rung change; `at_seconds` is the observation clock.
+struct LadderTransition {
+  LadderRung from = LadderRung::kNormal;
+  LadderRung to = LadderRung::kNormal;
+  double at_seconds = 0.0;
+
+  bool escalation() const { return to > from; }
+};
+
+class DegradationLadder {
+ public:
+  explicit DegradationLadder(const LadderConfig& config);
+
+  LadderRung rung() const { return rung_; }
+
+  /// Feed one pressure observation at time `now`; returns the transition it
+  /// caused, if any. At most one rung is climbed or descended per call, so
+  /// every level is visited and each remedy gets a chance to relieve
+  /// pressure before the next kicks in.
+  std::optional<LadderTransition> observe(PressureLevel pressure, double now);
+
+ private:
+  LadderConfig config_;
+  LadderRung rung_ = LadderRung::kNormal;
+  int hot_streak_ = 0;
+  int cool_streak_ = 0;
+};
+
+}  // namespace lmo::overload

@@ -1,0 +1,60 @@
+#include "lmo/overload/watermark.hpp"
+
+#include <cmath>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::overload {
+
+const char* to_string(PressureLevel level) {
+  switch (level) {
+    case PressureLevel::kNone:
+      return "none";
+    case PressureLevel::kLow:
+      return "low";
+    case PressureLevel::kHigh:
+      return "high";
+    case PressureLevel::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+void WatermarkConfig::validate() const {
+  LMO_CHECK_GT(low, 0.0);
+  LMO_CHECK_MSG(low < high && high < critical,
+                "watermarks must be strictly ordered: low < high < critical");
+  LMO_CHECK_LE(critical, 1.0);
+}
+
+namespace {
+
+std::size_t threshold_bytes(double fraction, std::size_t capacity) {
+  return static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(capacity)));
+}
+
+}  // namespace
+
+std::size_t WatermarkConfig::low_bytes(std::size_t capacity) const {
+  return threshold_bytes(low, capacity);
+}
+
+std::size_t WatermarkConfig::high_bytes(std::size_t capacity) const {
+  return threshold_bytes(high, capacity);
+}
+
+std::size_t WatermarkConfig::critical_bytes(std::size_t capacity) const {
+  return threshold_bytes(critical, capacity);
+}
+
+PressureLevel WatermarkConfig::level(std::size_t used,
+                                     std::size_t capacity) const {
+  if (capacity == 0) return PressureLevel::kCritical;
+  if (used >= critical_bytes(capacity)) return PressureLevel::kCritical;
+  if (used >= high_bytes(capacity)) return PressureLevel::kHigh;
+  if (used >= low_bytes(capacity)) return PressureLevel::kLow;
+  return PressureLevel::kNone;
+}
+
+}  // namespace lmo::overload

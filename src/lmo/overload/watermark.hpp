@@ -1,0 +1,45 @@
+// Memory-pressure watermarks: the typed vocabulary that turns "the pool is
+// filling up" into a signal subsystems can react to *before* an allocation
+// fails. Three thresholds partition pool occupancy into four pressure
+// levels:
+//
+//   used/capacity <  low       -> kNone     (healthy)
+//   low  <= ratio <  high      -> kLow      (start reclaiming opportunistically)
+//   high <= ratio <  critical  -> kHigh     (sustained: degrade service)
+//   critical <= ratio          -> kCritical (shed load now)
+//
+// runtime::MemoryPool consumes this config (set_watermarks) and fires
+// registered pressure callbacks on upward crossings and on would-fail
+// charges; the serving degradation ladder consumes the resulting
+// PressureLevel stream. See docs/robustness.md ("Overload & degradation").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace lmo::overload {
+
+enum class PressureLevel { kNone = 0, kLow = 1, kHigh = 2, kCritical = 3 };
+
+const char* to_string(PressureLevel level);
+
+/// Occupancy thresholds as fractions of pool capacity. Must be strictly
+/// ordered 0 < low < high < critical <= 1 — equal watermarks would make a
+/// crossing ambiguous and hysteresis impossible.
+struct WatermarkConfig {
+  double low = 0.70;
+  double high = 0.85;
+  double critical = 0.95;
+
+  /// Throws util::CheckError unless 0 < low < high < critical <= 1.
+  void validate() const;
+
+  /// Pressure level for `used` bytes of `capacity`.
+  PressureLevel level(std::size_t used, std::size_t capacity) const;
+  /// Byte positions of each threshold in a pool of `capacity`.
+  std::size_t low_bytes(std::size_t capacity) const;
+  std::size_t high_bytes(std::size_t capacity) const;
+  std::size_t critical_bytes(std::size_t capacity) const;
+};
+
+}  // namespace lmo::overload

@@ -1,5 +1,7 @@
 #include "lmo/runtime/mempool.hpp"
 
+#include <algorithm>
+
 #include "lmo/util/check.hpp"
 #include "lmo/util/fault.hpp"
 #include "lmo/util/status.hpp"
@@ -12,6 +14,54 @@ MemoryPool::MemoryPool(std::string name, std::size_t capacity_bytes)
   LMO_CHECK_GT(capacity_, 0u);
 }
 
+void MemoryPool::set_watermarks(const overload::WatermarkConfig& config) {
+  config.validate();
+  std::lock_guard<std::mutex> lock(mutex_);
+  watermarks_ = config;
+  notified_ = overload::PressureLevel::kNone;
+}
+
+overload::PressureLevel MemoryPool::pressure() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!watermarks_) {
+    return used_ >= capacity_ ? overload::PressureLevel::kCritical
+                              : overload::PressureLevel::kNone;
+  }
+  return watermarks_->level(used_, capacity_);
+}
+
+int MemoryPool::add_pressure_callback(PressureCallback callback) {
+  LMO_CHECK(callback != nullptr);
+  std::lock_guard<std::mutex> lock(callbacks_mutex_);
+  const int id = next_callback_id_++;
+  callbacks_.emplace_back(id, std::move(callback));
+  return id;
+}
+
+void MemoryPool::remove_pressure_callback(int id) {
+  std::lock_guard<std::mutex> lock(callbacks_mutex_);
+  callbacks_.erase(
+      std::remove_if(callbacks_.begin(), callbacks_.end(),
+                     [id](const auto& entry) { return entry.first == id; }),
+      callbacks_.end());
+}
+
+std::size_t MemoryPool::notify_pressure(overload::PressureLevel level,
+                                        std::size_t bytes_needed) {
+  std::vector<PressureCallback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(callbacks_mutex_);
+    callbacks.reserve(callbacks_.size());
+    for (const auto& entry : callbacks_) callbacks.push_back(entry.second);
+  }
+  std::size_t freed = 0;
+  for (const auto& callback : callbacks) {
+    if (freed >= bytes_needed) break;
+    freed += callback(level, bytes_needed - freed);
+  }
+  return freed;
+}
+
 void MemoryPool::charge(std::size_t bytes) {
   auto& injector = util::FaultInjector::instance();
   if (injector.enabled() &&
@@ -19,16 +69,64 @@ void MemoryPool::charge(std::size_t bytes) {
     throw util::ResourceExhausted("pool '" + name_ +
                                   "' allocation denied by fault injection");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (used_ + bytes > capacity_) {
-    throw util::ResourceExhausted(
+  // A request larger than the whole pool can never be satisfied; skip the
+  // pressure callbacks (no amount of eviction helps) and fail typed.
+  const auto exhausted = [&](std::size_t used) -> util::ResourceExhausted {
+    return util::ResourceExhausted(
         "pool '" + name_ + "' exhausted: " +
-        util::format_bytes(static_cast<double>(used_)) + " used + " +
+        util::format_bytes(static_cast<double>(used)) + " used + " +
         util::format_bytes(static_cast<double>(bytes)) + " requested > " +
         util::format_bytes(static_cast<double>(capacity_)) + " capacity");
+  };
+  if (bytes > capacity_) throw exhausted(used());
+
+  // Up to one pressure-relief round trip before the exception-only cliff:
+  // would-fail -> callbacks evict -> retry once.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::size_t deficit = 0;
+    std::size_t reclaim_target = 0;
+    overload::PressureLevel crossed = overload::PressureLevel::kNone;
+    std::size_t over_low = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Overflow-safe: `used_ + bytes > capacity_` can wrap for adversarial
+      // `bytes`; `used_ <= capacity_` is an invariant so the subtraction is
+      // exact.
+      if (bytes <= capacity_ - used_) {
+        used_ += bytes;
+        if (used_ > peak_) peak_ = used_;
+        if (watermarks_) {
+          const auto level = watermarks_->level(used_, capacity_);
+          if (level >= overload::PressureLevel::kHigh && level > notified_) {
+            // Upward crossing: signal once per excursion above `low`.
+            crossed = level;
+            notified_ = level;
+            const std::size_t low = watermarks_->low_bytes(capacity_);
+            over_low = used_ > low ? used_ - low : 0;
+          }
+        }
+      } else {
+        deficit = bytes - (capacity_ - used_);
+        const std::size_t low = watermarks_
+                                    ? watermarks_->low_bytes(capacity_)
+                                    : capacity_;
+        reclaim_target = deficit + (used_ > low ? used_ - low : 0);
+      }
+    }
+    if (deficit == 0) {
+      if (crossed != overload::PressureLevel::kNone) {
+        notify_pressure(crossed, over_low);
+      }
+      return;
+    }
+    if (attempt == 0 &&
+        notify_pressure(overload::PressureLevel::kCritical,
+                        reclaim_target) > 0) {
+      continue;  // something was freed — retry the charge
+    }
+    break;
   }
-  used_ += bytes;
-  if (used_ > peak_) peak_ = used_;
+  throw exhausted(used());
 }
 
 bool MemoryPool::try_charge(std::size_t bytes) {
@@ -44,6 +142,10 @@ void MemoryPool::release(std::size_t bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   LMO_CHECK_LE(bytes, used_);
   used_ -= bytes;
+  if (watermarks_ &&
+      watermarks_->level(used_, capacity_) < overload::PressureLevel::kLow) {
+    notified_ = overload::PressureLevel::kNone;  // re-arm crossing signals
+  }
 }
 
 std::size_t MemoryPool::used() const {

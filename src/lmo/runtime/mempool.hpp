@@ -4,11 +4,24 @@
 // of its *logical* device, and exceeding the configured capacity throws —
 // which is exactly the failure offloading exists to avoid. Benches and
 // tests read the high-water mark.
+//
+// Overload protection: a pool can carry memory-pressure watermarks
+// (overload::WatermarkConfig) and registered pressure callbacks. Crossing
+// a watermark upward, or a charge that would exceed capacity, invokes the
+// callbacks (outside the pool lock) with the pressure level and a byte
+// target; callbacks free what they can (the prefix cache evicts unpinned
+// chains) and the charge is retried before the exception-only cliff is
+// reached. See docs/robustness.md ("Overload & degradation").
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <vector>
+
+#include "lmo/overload/watermark.hpp"
 
 namespace lmo::runtime {
 
@@ -20,8 +33,11 @@ class MemoryPool {
   std::size_t capacity() const { return capacity_; }
 
   /// Charge an allocation; throws util::ResourceExhausted (a CheckError
-  /// subtype) when it would exceed capacity. Consults the fault injector
-  /// at site "pool.<name>.charge", so chaos suites can deny allocations.
+  /// subtype) when it would exceed capacity *after* giving registered
+  /// pressure callbacks a chance to free memory. Consults the fault
+  /// injector at site "pool.<name>.charge", so chaos suites can deny
+  /// allocations (injected denials bypass the callbacks: they model the
+  /// allocator failing, not the pool filling).
   void charge(std::size_t bytes);
   /// Non-throwing charge; returns false when the pool cannot afford it
   /// (or the fault injector denies it).
@@ -33,12 +49,44 @@ class MemoryPool {
   std::size_t peak() const;
   std::size_t available() const;
 
+  /// Arm memory-pressure watermarks (validated). Until set, pressure() is
+  /// kNone below capacity and callbacks only fire on would-fail charges.
+  void set_watermarks(const overload::WatermarkConfig& config);
+  const std::optional<overload::WatermarkConfig>& watermarks() const {
+    return watermarks_;
+  }
+  /// Current occupancy's pressure level under the armed watermarks.
+  overload::PressureLevel pressure() const;
+
+  /// Pressure callback: asked to free up to `bytes_needed` bytes at the
+  /// given level; returns the bytes it actually released. Must be
+  /// thread-safe and must not call charge()/try_charge() on this pool.
+  /// Callbacks fire outside the pool lock (calling release() is fine).
+  using PressureCallback = std::function<std::size_t(
+      overload::PressureLevel level, std::size_t bytes_needed)>;
+  /// Register a callback; returns an id for remove_pressure_callback().
+  int add_pressure_callback(PressureCallback callback);
+  void remove_pressure_callback(int id);
+
  private:
+  /// Fire callbacks asking for `bytes_needed`; returns bytes reported
+  /// freed. Must be called WITHOUT mutex_ held.
+  std::size_t notify_pressure(overload::PressureLevel level,
+                              std::size_t bytes_needed);
+
   std::string name_;
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::size_t used_ = 0;
   std::size_t peak_ = 0;
+  std::optional<overload::WatermarkConfig> watermarks_;
+  /// Highest watermark level already notified (edge-triggered signals);
+  /// reset when occupancy drops below the low watermark.
+  overload::PressureLevel notified_ = overload::PressureLevel::kNone;
+
+  mutable std::mutex callbacks_mutex_;
+  std::vector<std::pair<int, PressureCallback>> callbacks_;
+  int next_callback_id_ = 0;
 };
 
 /// RAII charge.

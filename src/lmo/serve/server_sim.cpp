@@ -3,12 +3,29 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <memory>
+#include <optional>
+#include <string>
 
 #include "lmo/kvshare/prefix_cache.hpp"
 #include "lmo/perfmodel/estimator.hpp"
+#include "lmo/runtime/mempool.hpp"
 #include "lmo/util/check.hpp"
 
 namespace lmo::serve {
+
+void OverloadConfig::validate() const {
+  if (!enabled) return;
+  LMO_CHECK_MSG(kv_pool_bytes > 0,
+                "overload protection needs a KV pool capacity "
+                "(overload.kv_pool_bytes)");
+  watermarks.validate();
+  ladder.validate();
+  LMO_CHECK_GT(demoted_kv_bits, 0);
+  LMO_CHECK_LE(demoted_kv_bits, 16);
+  LMO_CHECK_GT(shrink_cache_fraction, 0.0);
+  LMO_CHECK_LE(shrink_cache_fraction, 1.0);
+}
 
 void ServeConfig::validate() const {
   LMO_CHECK_GE(max_batch, 1);
@@ -28,6 +45,22 @@ void ServeConfig::validate() const {
     LMO_CHECK_GT(w.bandwidth_factor, 0.0);
     LMO_CHECK_LE(w.bandwidth_factor, 1.0);
   }
+  // Bounded admission: the controller config owns the queue-bound and
+  // deadline coupling rules (zero bound with shedding enabled, shedding
+  // without an SLO, ...).
+  overload::AdmissionConfig admission_config;
+  admission_config.policy = admission;
+  admission_config.max_queue = max_queue;
+  admission_config.deadline_seconds = deadline_seconds;
+  admission_config.validate();
+  LMO_CHECK_MSG(
+      admission != overload::AdmissionPolicy::kUnbounded || max_queue == 0,
+      "max_queue has no effect without a bounded admission policy");
+  LMO_CHECK_MSG(admission != overload::AdmissionPolicy::kTokenBudget ||
+                    overload.enabled,
+                "token-budget admission needs the overload KV pool "
+                "(overload.enabled) to price headroom");
+  overload.validate();
 }
 
 namespace {
@@ -40,6 +73,12 @@ struct Active {
   double submit = 0.0;  ///< this attempt's submission time (deadline base)
   int attempt = 1;      ///< 1 + re-admissions consumed so far
   int preemptions = 0;  ///< swap-outs suffered so far
+  /// KV bit-width this session was admitted with (the degradation ladder
+  /// demotes new sessions to the quantized flavor at rung >= demote-kv).
+  int kv_bits = 16;
+  /// Bytes currently charged to the modelled KV pool for this session's
+  /// private KV (0 while suspended or when overload is off).
+  std::size_t charged = 0;
   /// Prefix-share state: leading tokens served from shared blocks (they
   /// count toward `prefilled` but were never pushed through prefill) and
   /// the pin keeping that chain resident while this request runs.
@@ -154,6 +193,26 @@ double prefill_seconds(const model::ModelSpec& spec,
          static_cast<double>(spec.num_layers);
 }
 
+/// Whole-request engine-time estimate under the cost model: monolithic
+/// prefill of the prompt plus gen_len decode steps priced at a full batch
+/// in mid-flight. Admission-control currency only — the run itself prices
+/// every step exactly; the controller just needs a consistent ranking.
+double predicted_service_seconds(const model::ModelSpec& spec,
+                                 const perfmodel::Policy& policy,
+                                 const hw::Platform& platform,
+                                 const Request& r, std::int64_t batch) {
+  model::Workload w;
+  w.prompt_len = std::max<std::int64_t>(1, r.prompt_len);
+  const std::int64_t t = std::max<std::int64_t>(1, r.gen_len / 2);
+  w.gen_len = t + 1;
+  w.gpu_batch = std::max<std::int64_t>(1, batch);
+  w.num_batches = 1;
+  const auto costs = perfmodel::step_costs(spec, w, policy, platform, t);
+  const double step = costs.t_gen * static_cast<double>(spec.num_layers);
+  return prefill_seconds(spec, policy, platform, {r.prompt_len}) +
+         static_cast<double>(r.gen_len) * step;
+}
+
 }  // namespace
 
 ServeMetrics simulate_serving(const model::ModelSpec& spec,
@@ -187,6 +246,14 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   telemetry::Histogram& m_ttft = reg.histogram("serve.request.ttft_seconds");
   telemetry::Histogram& m_latency =
       reg.histogram("serve.request.latency_seconds");
+  // Overload vocabulary (all zero when protection is off — the registry
+  // still carries them so snapshots are schema-stable across configs).
+  telemetry::Counter& m_shed = reg.counter("overload.shed");
+  telemetry::Counter& m_rejected = reg.counter("overload.rejected");
+  telemetry::Counter& m_escalations = reg.counter("overload.escalations");
+  telemetry::Counter& m_deescalations = reg.counter("overload.deescalations");
+  telemetry::Counter& m_demoted = reg.counter("overload.demoted_sessions");
+  telemetry::Counter& m_ovl_preempts = reg.counter("overload.preemptions");
   LMO_CHECK_MSG(m_tokens.value() == 0 && m_completed.value() == 0 &&
                     m_ttft.count() == 0,
                 "simulate_serving needs a fresh registry: 'serve.*' metrics "
@@ -210,9 +277,25 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   double swap_seconds = 0.0;
   double swap_bytes = 0.0;
 
+  // Overload protection: a modelled KV pool with pressure watermarks and
+  // the degradation ladder it drives. Declared before the prefix cache so
+  // the cache's pressure callback is removed before the pool dies.
+  const bool overload_on = config.overload.enabled;
+  std::unique_ptr<runtime::MemoryPool> kv_pool;
+  std::optional<overload::DegradationLadder> ladder;
+  if (overload_on) {
+    kv_pool = std::make_unique<runtime::MemoryPool>(
+        "serve.kv", config.overload.kv_pool_bytes);
+    kv_pool->set_watermarks(config.overload.watermarks);
+    ladder.emplace(config.overload.ladder);
+    reg.gauge("overload.rung").set(0.0);
+  }
+
   // Accounting-only prefix cache: blocks carry modelled bytes, no floats.
   // Charged per token with the same volume kv_swap_seconds moves, so hit
-  // savings and swap savings are in one currency.
+  // savings and swap savings are in one currency. With overload on, the
+  // shared block store charges the KV pool too — and registers the
+  // pressure callback that evicts unpinned chains before a charge fails.
   const std::size_t kv_token_bytes = static_cast<std::size_t>(
       2.0 * static_cast<double>(spec.hidden) *
       (static_cast<double>(policy.kv_bits) / 8.0));
@@ -223,8 +306,45 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     pc.materialize = false;
     pc.bytes_per_token = std::max<std::size_t>(1, kv_token_bytes);
     pc.capacity_bytes = config.prefix_cache_bytes;
-    prefix_cache = std::make_unique<kvshare::PrefixCache>(pc, nullptr, &reg);
+    prefix_cache =
+        std::make_unique<kvshare::PrefixCache>(pc, kv_pool.get(), &reg);
   }
+
+  // Per-session KV accounting against the modelled pool. The pool is only
+  // ever try_charge()d — a refusal degrades (preempt, then shed), it never
+  // escapes as a ResourceExhausted throw.
+  const auto kv_bytes_per_token = [&](int bits) {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(2.0 * static_cast<double>(spec.hidden) *
+                                    (static_cast<double>(bits) / 8.0)));
+  };
+  const auto kv_target_bytes = [&](const Active& a) {
+    return static_cast<std::size_t>(a.private_kv_tokens()) *
+           kv_bytes_per_token(a.kv_bits);
+  };
+  const auto release_kv = [&](Active& a) {
+    if (kv_pool != nullptr && a.charged > 0) {
+      kv_pool->release(a.charged);
+      a.charged = 0;
+    }
+  };
+  // Reconcile a session's pool charge with its current private KV size;
+  // false when the pool cannot cover the growth even after its pressure
+  // callbacks (prefix-cache eviction) ran.
+  const auto reconcile_kv = [&](Active& a) {
+    if (kv_pool == nullptr) return true;
+    const std::size_t target = kv_target_bytes(a);
+    if (target <= a.charged) {
+      kv_pool->release(a.charged - target);
+      a.charged = target;
+      return true;
+    }
+    if (kv_pool->try_charge(target - a.charged)) {
+      a.charged = target;
+      return true;
+    }
+    return false;
+  };
 
   // Publish a request's prompt into the radix tree once its prefill is
   // complete; the returned lease replaces the match-time pin so the full
@@ -272,14 +392,220 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     return factor;
   };
 
+  // ---- overload machinery -----------------------------------------------
+
+  // Admission controller (null = legacy unbounded queueing) and the
+  // predicted-cost descriptors it ranks queue entries by.
+  const std::unique_ptr<overload::AdmissionController> admission_ctl = [&] {
+    if (config.admission == overload::AdmissionPolicy::kUnbounded) {
+      return std::unique_ptr<overload::AdmissionController>();
+    }
+    overload::AdmissionConfig ac;
+    ac.policy = config.admission;
+    ac.max_queue = config.max_queue;
+    ac.deadline_seconds = config.deadline_seconds;
+    return overload::make_admission_controller(ac);
+  }();
+  std::vector<double> predicted_service;
+  if (admission_ctl != nullptr) {
+    predicted_service.reserve(requests.size());
+    for (const Request& r : requests) {
+      predicted_service.push_back(predicted_service_seconds(
+          spec, policy, platform, r, config.max_batch));
+    }
+  }
+  const std::size_t policy_token_bytes = kv_bytes_per_token(policy.kv_bits);
+  const auto describe = [&](const Request& r, double submit) {
+    overload::AdmissionRequest d;
+    d.id = r.id;
+    d.submit_seconds = submit;
+    d.predicted_service_seconds =
+        predicted_service[static_cast<std::size_t>(r.id)];
+    d.predicted_kv_bytes =
+        static_cast<std::size_t>(r.prompt_len + r.gen_len) *
+        policy_token_bytes;
+    d.priority = r.priority;
+    return d;
+  };
+
+  // A request refused at (re-)admission or dropped from the queue.
+  const auto shed_request = [&](const Request& r, int attempt,
+                                bool rejected) {
+    auto& outcome = metrics.outcomes[static_cast<std::size_t>(r.id)];
+    outcome.id = r.id;
+    outcome.ttft = 0.0;
+    outcome.latency = clock - r.arrival_seconds;
+    outcome.tokens = 0;
+    outcome.attempts = attempt;
+    outcome.completed = false;
+    outcome.met_deadline = false;
+    outcome.shed = true;
+    (rejected ? m_rejected : m_shed).add();
+    if (trace != nullptr) {
+      trace->complete(rejected ? "rejected" : "shed", "serve.overload",
+                      kServeTracePid, static_cast<int>(r.id) + 1, clock * 1e6,
+                      0.0);
+    }
+  };
+
+  // An in-flight (or suspended) session the pool can no longer hold.
+  const auto shed_inflight = [&](Active& a) {
+    release_kv(a);
+    a.lease.reset();
+    auto& outcome = metrics.outcomes[static_cast<std::size_t>(a.request.id)];
+    outcome.id = a.request.id;
+    outcome.ttft = a.first_token_time >= 0.0
+                       ? a.first_token_time - a.request.arrival_seconds
+                       : 0.0;
+    outcome.latency = clock - a.request.arrival_seconds;
+    outcome.tokens = a.generated;
+    outcome.attempts = a.attempt;
+    outcome.preemptions = a.preemptions;
+    outcome.completed = false;
+    outcome.met_deadline = false;
+    outcome.shed = true;
+    m_shed.add();
+    if (trace != nullptr) {
+      trace->complete("shed", "serve.overload", kServeTracePid,
+                      static_cast<int>(a.request.id) + 1, clock * 1e6, 0.0);
+    }
+  };
+
+  // Every path into the wait queue — fresh arrivals and deadline-abort
+  // retries alike — goes through overload admission.
+  const auto enqueue = [&](const Request* r, double submit, int attempt) {
+    if (ladder && ladder->rung() == overload::LadderRung::kShed) {
+      shed_request(*r, attempt, false);
+      return;
+    }
+    if (admission_ctl == nullptr) {
+      queue.push_back(Queued{r, submit, attempt});
+      return;
+    }
+    std::vector<overload::AdmissionRequest> snapshot;
+    snapshot.reserve(queue.size());
+    for (const Queued& q : queue) {
+      snapshot.push_back(describe(*q.request, q.submit));
+    }
+    const auto verdict = admission_ctl->decide(
+        snapshot, describe(*r, submit), clock,
+        kv_pool != nullptr ? kv_pool->available()
+                           : std::numeric_limits<std::size_t>::max());
+    if (!verdict.admit) {
+      shed_request(*r, attempt, true);
+      return;
+    }
+    if (verdict.shed_queue_index >= 0) {
+      const auto idx = static_cast<std::size_t>(verdict.shed_queue_index);
+      LMO_CHECK_LT(idx, queue.size());
+      const Queued victim = queue[idx];
+      queue.erase(queue.begin() + verdict.shed_queue_index);
+      shed_request(*victim.request, victim.attempt, false);
+    }
+    queue.push_back(Queued{r, submit, attempt});
+  };
+
   const auto pull_arrivals = [&](double now) {
     while (next_arrival < requests.size() &&
            requests[next_arrival].arrival_seconds <= now) {
-      queue.push_back(Queued{&requests[next_arrival],
-                             requests[next_arrival].arrival_seconds, 1});
+      enqueue(&requests[next_arrival],
+              requests[next_arrival].arrival_seconds, 1);
       ++next_arrival;
     }
   };
+
+  // Swap `active[index]` out to host memory (private KV tail only; shared
+  // blocks just drop their pin). The freed pool bytes are what the caller
+  // was after.
+  const auto swap_out = [&](std::size_t index, bool for_overload) {
+    Active& victim = active[index];
+    const double cost =
+        kv_swap_seconds(spec, victim.kv_bits, victim.private_kv_tokens(),
+                        platform.d2h_bw()) /
+        bandwidth_factor(clock);
+    clock += cost;
+    swap_seconds += cost;
+    swap_bytes += static_cast<double>(victim.private_kv_tokens()) *
+                  static_cast<double>(kv_bytes_per_token(victim.kv_bits));
+    victim.lease.reset();
+    release_kv(victim);
+    ++victim.preemptions;
+    m_preempts.add();
+    if (for_overload) m_ovl_preempts.add();
+    if (trace != nullptr) {
+      trace->complete("swap_out", for_overload ? "serve.overload"
+                                               : "serve.preempt",
+                      kServeTracePid,
+                      static_cast<int>(victim.request.id) + 1,
+                      (clock - cost) * 1e6, cost * 1e6);
+    }
+    suspended.push_back(std::move(victim));
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(index));
+  };
+
+  // Lowest-priority preemptible in-flight session (ties: most remaining
+  // work, matching the wait-queue preemption heuristic); `exclude` guards
+  // against self-preemption. -1 when nobody qualifies.
+  const auto lowest_priority_victim =
+      [&](const Active* exclude) -> std::ptrdiff_t {
+    std::ptrdiff_t victim = -1;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const Active& a = active[i];
+      if (&a == exclude || !a.decoding() ||
+          a.preemptions >= config.max_preemptions_per_request) {
+        continue;
+      }
+      if (victim < 0) {
+        victim = static_cast<std::ptrdiff_t>(i);
+        continue;
+      }
+      const Active& v = active[static_cast<std::size_t>(victim)];
+      if (a.request.priority < v.request.priority ||
+          (a.request.priority == v.request.priority &&
+           a.remaining() > v.remaining())) {
+        victim = static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    return victim;
+  };
+
+  // Rung >= shrink-cache: hold the prefix cache at a fraction of its
+  // budget so session KV gets the headroom back.
+  const std::size_t cache_budget = config.prefix_cache_bytes > 0
+                                       ? config.prefix_cache_bytes
+                                       : config.overload.kv_pool_bytes;
+  const auto shrink_cache = [&] {
+    if (prefix_cache == nullptr) return;
+    const auto target = static_cast<std::size_t>(
+        config.overload.shrink_cache_fraction *
+        static_cast<double>(cache_budget));
+    while (prefix_cache->bytes_in_use() > target) {
+      if (prefix_cache->evict(1) == 0) break;  // the rest is pinned
+    }
+  };
+
+  // Rung >= preempt: while pressure stays high, swap out one
+  // lowest-priority session per engine step (never the last runner).
+  const auto overload_preempt = [&] {
+    if (kv_pool->pressure() < overload::PressureLevel::kHigh) return;
+    if (active.size() <= 1) return;
+    const auto victim = lowest_priority_victim(nullptr);
+    if (victim >= 0) swap_out(static_cast<std::size_t>(victim), true);
+  };
+
+  const auto record_transition = [&](const overload::LadderTransition& t) {
+    (t.escalation() ? m_escalations : m_deescalations).add();
+    reg.gauge("overload.rung").set(static_cast<double>(t.to));
+    if (trace != nullptr) {
+      const std::string name = std::string("ladder:") +
+                               overload::to_string(t.from) + "->" +
+                               overload::to_string(t.to);
+      trace->complete(name, "serve.overload", kServeTracePid, 0,
+                      t.at_seconds * 1e6, 0.0);
+    }
+  };
+
+  // ---- engine ------------------------------------------------------------
 
   // Fresh queue entries first (they are what preemption freed the slot
   // for), then swapped-out victims — which re-enter mid-decode with their
@@ -290,7 +616,16 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
            static_cast<std::int64_t>(active.size()) < config.max_batch) {
       const Queued q = queue.front();
       queue.pop_front();
-      Active a{*q.request, 0, 0, -1.0, q.submit, q.attempt, 0};
+      Active a;
+      a.request = *q.request;
+      a.submit = q.submit;
+      a.attempt = q.attempt;
+      a.kv_bits = policy.kv_bits;
+      if (ladder && ladder->rung() >= overload::LadderRung::kDemoteKV &&
+          config.overload.demoted_kv_bits < policy.kv_bits) {
+        a.kv_bits = config.overload.demoted_kv_bits;
+        m_demoted.add();
+      }
       if (prefix_cache != nullptr && !a.request.prompt_tokens.empty()) {
         // Longest-prefix match at admission: matched tokens enter the
         // batch as already-prefilled KV served from shared blocks.
@@ -314,6 +649,19 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
            static_cast<std::int64_t>(active.size()) < config.max_batch) {
       Active back = std::move(suspended.front());
       suspended.pop_front();
+      // Restore the session's KV charge before paying the swap-in. A
+      // refusal (after the pool's pressure callbacks ran) defers the
+      // resume; if nothing else is running the KV simply cannot fit and
+      // the session is shed — the pool never throws at us.
+      if (kv_pool != nullptr && !kv_pool->try_charge(kv_target_bytes(back))) {
+        if (!active.empty()) {
+          suspended.push_front(std::move(back));
+          break;
+        }
+        shed_inflight(back);
+        continue;
+      }
+      if (kv_pool != nullptr) back.charged = kv_target_bytes(back);
       if (prefix_cache != nullptr && back.shared > 0) {
         // Re-pin the shared chain. If eviction shrank it below what this
         // request was relying on, the lost prefix must be recomputed at
@@ -336,13 +684,13 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
         back.shared = still_shared;
       }
       const double cost =
-          kv_swap_seconds(spec, policy.kv_bits, back.private_kv_tokens(),
+          kv_swap_seconds(spec, back.kv_bits, back.private_kv_tokens(),
                           platform.h2d_bw()) /
           bandwidth_factor(clock);
       clock += cost;
       swap_seconds += cost;
       swap_bytes += static_cast<double>(back.private_kv_tokens()) *
-                    static_cast<double>(kv_token_bytes);
+                    static_cast<double>(kv_bytes_per_token(back.kv_bits));
       m_resumes.add();
       if (trace != nullptr) {
         trace->complete("swap_in", "serve.preempt", kServeTracePid,
@@ -361,37 +709,21 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     while (!queue.empty() &&
            static_cast<std::int64_t>(active.size()) >= config.max_batch &&
            clock - queue.front().submit >= config.preempt_wait_seconds) {
-      auto victim = active.end();
-      for (auto it = active.begin(); it != active.end(); ++it) {
-        if (!it->decoding() ||
-            it->preemptions >= config.max_preemptions_per_request) {
+      std::ptrdiff_t victim = -1;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const Active& a = active[i];
+        if (!a.decoding() ||
+            a.preemptions >= config.max_preemptions_per_request) {
           continue;
         }
-        if (victim == active.end() || it->remaining() > victim->remaining()) {
-          victim = it;
+        if (victim < 0 ||
+            a.remaining() >
+                active[static_cast<std::size_t>(victim)].remaining()) {
+          victim = static_cast<std::ptrdiff_t>(i);
         }
       }
-      if (victim == active.end()) return;  // nobody left to preempt
-      // Only the private KV tail crosses the link: shared-chain blocks
-      // stay in the block store and the victim simply drops its pin.
-      const double cost =
-          kv_swap_seconds(spec, policy.kv_bits, victim->private_kv_tokens(),
-                          platform.d2h_bw()) /
-          bandwidth_factor(clock);
-      clock += cost;
-      swap_seconds += cost;
-      swap_bytes += static_cast<double>(victim->private_kv_tokens()) *
-                    static_cast<double>(kv_token_bytes);
-      victim->lease.reset();
-      ++victim->preemptions;
-      m_preempts.add();
-      if (trace != nullptr) {
-        trace->complete("swap_out", "serve.preempt", kServeTracePid,
-                        static_cast<int>(victim->request.id) + 1,
-                        (clock - cost) * 1e6, cost * 1e6);
-      }
-      suspended.push_back(std::move(*victim));
-      active.erase(victim);
+      if (victim < 0) return;  // nobody left to preempt
+      swap_out(static_cast<std::size_t>(victim), false);
     }
   };
 
@@ -400,10 +732,25 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     pull_arrivals(clock);
 
     if (active.empty() && queue.empty() && suspended.empty()) {
-      // Idle: jump to the next arrival.
-      LMO_CHECK_LT(next_arrival, requests.size());
+      // Idle: jump to the next arrival (if everything left was shed at
+      // enqueue, the trace is over).
+      if (next_arrival >= requests.size()) break;
       clock = requests[next_arrival].arrival_seconds;
       pull_arrivals(clock);
+    }
+
+    // Degradation ladder: one pressure observation per engine iteration;
+    // rungs apply their remedies before admission sees the queue.
+    if (ladder) {
+      if (const auto t = ladder->observe(kv_pool->pressure(), clock)) {
+        record_transition(*t);
+      }
+      if (ladder->rung() >= overload::LadderRung::kShrinkCache) {
+        shrink_cache();
+      }
+      if (ladder->rung() >= overload::LadderRung::kPreempt) {
+        overload_preempt();
+      }
     }
 
     // Preemption, then admission.
@@ -427,7 +774,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
         }
       }
     }
-    LMO_CHECK(!active.empty());
+    if (active.empty()) continue;  // everything pending was shed or deferred
 
     // Chunked prefill: advance warming sequences by up to one chunk each,
     // piggybacked on this step.
@@ -481,6 +828,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
         m_ttft.record(outcome.ttft);
         m_latency.record(outcome.latency);
         trace_outcome(outcome, it->request.arrival_seconds);
+        release_kv(*it);
         it = active.erase(it);
       } else {
         ++it;
@@ -488,8 +836,9 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     }
 
     // Deadline enforcement at step boundaries: abort overdue attempts;
-    // the client resubmits (fresh attempt clock) while retries remain,
-    // otherwise the request fails for good.
+    // the client resubmits (fresh attempt clock) while retries remain —
+    // through admission control, which may refuse the retry — otherwise
+    // the request fails for good.
     if (config.deadline_seconds > 0.0) {
       for (auto it = active.begin(); it != active.end();) {
         if (clock - it->submit <= config.deadline_seconds) {
@@ -497,11 +846,14 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
           continue;
         }
         m_misses.add();
+        release_kv(*it);
         if (it->attempt <= config.max_retries) {
           m_retries.add();
-          queue.push_back(Queued{&requests[static_cast<std::size_t>(
-                                     it->request.id)],
-                                 clock, it->attempt + 1});
+          const int attempt = it->attempt + 1;
+          const Request* original =
+              &requests[static_cast<std::size_t>(it->request.id)];
+          it = active.erase(it);
+          enqueue(original, clock, attempt);
         } else {
           auto& outcome =
               metrics.outcomes[static_cast<std::size_t>(it->request.id)];
@@ -517,8 +869,29 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
           outcome.completed = false;
           outcome.met_deadline = false;
           trace_outcome(outcome, it->request.arrival_seconds);
+          it = active.erase(it);
         }
-        it = active.erase(it);
+      }
+    }
+
+    // Reconcile every surviving session's pool charge with what this step
+    // grew. A session the pool cannot cover preempts the lowest-priority
+    // other runner for room; with nobody left to evict it is shed. The
+    // pool is only ever asked, never allowed to throw.
+    if (kv_pool != nullptr) {
+      for (std::size_t i = 0; i < active.size();) {
+        if (reconcile_kv(active[i])) {
+          ++i;
+          continue;
+        }
+        const auto victim = lowest_priority_victim(&active[i]);
+        if (victim >= 0) {
+          swap_out(static_cast<std::size_t>(victim), true);
+          if (static_cast<std::size_t>(victim) < i) --i;
+          continue;  // retry the same session
+        }
+        shed_inflight(active[i]);
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
       }
     }
   }
@@ -543,12 +916,20 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
       .set(static_cast<double>(m_completed.value()) / clock);
   reg.gauge("serve.goodput.tokens_per_second")
       .set(static_cast<double>(good_tokens) / clock);
+  reg.gauge("serve.goodput.requests_per_second")
+      .set(static_cast<double>(slo_met) / clock);
   reg.gauge("serve.slo.attainment")
       .set(static_cast<double>(slo_met) /
            static_cast<double>(metrics.outcomes.size()));
   reg.gauge("serve.batch.mean_occupancy").set(occupancy_integral / clock);
   reg.gauge("serve.preempt.swap_seconds").set(swap_seconds);
   reg.gauge("serve.kv.swap_bytes").set(swap_bytes);
+  if (kv_pool != nullptr) {
+    reg.gauge("overload.kv_pool.peak_bytes")
+        .set(static_cast<double>(kv_pool->peak()));
+    reg.gauge("overload.kv_pool.capacity_bytes")
+        .set(static_cast<double>(kv_pool->capacity()));
+  }
 
   // Materialize the legacy view from the registry — the compatibility
   // surface callers keep, backed by the one telemetry vocabulary.
@@ -558,6 +939,8 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   metrics.request_throughput =
       reg.gauge("serve.throughput.requests_per_second").value();
   metrics.goodput = reg.gauge("serve.goodput.tokens_per_second").value();
+  metrics.request_goodput =
+      reg.gauge("serve.goodput.requests_per_second").value();
   metrics.slo_attainment = reg.gauge("serve.slo.attainment").value();
   metrics.mean_batch_occupancy =
       reg.gauge("serve.batch.mean_occupancy").value();
@@ -578,6 +961,12 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     metrics.prefix_bytes_saved =
         static_cast<double>(reg.counter("kvshare.bytes_saved").value());
   }
+  metrics.shed = m_shed.value();
+  metrics.rejected = m_rejected.value();
+  metrics.overload_escalations = m_escalations.value();
+  metrics.overload_deescalations = m_deescalations.value();
+  metrics.overload_preemptions = m_ovl_preempts.value();
+  metrics.demoted_sessions = m_demoted.value();
   if (m_ttft.count() > 0) {
     metrics.ttft_p50 = m_ttft.percentile(0.5);
     metrics.ttft_p95 = m_ttft.percentile(0.95);

@@ -15,11 +15,15 @@
 // first token (TTFT) and end-to-end request latency percentiles.
 #pragma once
 
+#include <cstddef>
 #include <limits>
 #include <vector>
 
 #include "lmo/hw/platform.hpp"
 #include "lmo/model/llm_config.hpp"
+#include "lmo/overload/admission.hpp"
+#include "lmo/overload/ladder.hpp"
+#include "lmo/overload/watermark.hpp"
 #include "lmo/perfmodel/policy.hpp"
 #include "lmo/serve/workload_gen.hpp"
 #include "lmo/telemetry/metrics.hpp"
@@ -36,6 +40,32 @@ struct FaultWindow {
   double begin = 0.0;
   double end = 0.0;
   double bandwidth_factor = 1.0;  ///< fraction of nominal speed, in (0, 1]
+};
+
+/// Overload protection for the serving engine: a modelled KV memory pool
+/// with pressure watermarks drives the degradation ladder — under
+/// sustained pressure the server escalates shrink-cache -> demote-kv ->
+/// preempt -> shed, one rung at a time, and de-escalates hysteretically on
+/// recovery. Every transition lands as a typed overload.* metric and a
+/// "serve.overload" trace span. See docs/robustness.md.
+struct OverloadConfig {
+  bool enabled = false;
+  /// Capacity of the modelled KV pool all in-flight private KV (and, with
+  /// prefix sharing on, the shared block store) is charged against.
+  /// Required > 0 when enabled.
+  std::size_t kv_pool_bytes = 0;
+  overload::WatermarkConfig watermarks;
+  overload::LadderConfig ladder;
+  /// Rung >= demote-kv: new sessions are admitted with this KV bit-width
+  /// (accounting model of the quantized KV flavor). Clamped to the
+  /// policy's kv_bits — demotion never *widens* KV.
+  int demoted_kv_bits = 4;
+  /// Rung >= shrink-cache: the prefix cache is evicted down to this
+  /// fraction of its budget (prefix_cache_bytes when set, else the KV
+  /// pool capacity).
+  double shrink_cache_fraction = 0.5;
+
+  void validate() const;
 };
 
 struct ServeConfig {
@@ -82,6 +112,15 @@ struct ServeConfig {
   /// 0 = unbounded.
   std::size_t prefix_cache_bytes = 0;
 
+  /// Bounded admission: wait-queue bound enforced by `admission` (0 only
+  /// with kUnbounded; a zero bound with shedding enabled is a config
+  /// error). Arrivals and deadline-abort retries both pass through the
+  /// admission controller.
+  std::size_t max_queue = 0;
+  overload::AdmissionPolicy admission =
+      overload::AdmissionPolicy::kUnbounded;
+  OverloadConfig overload;
+
   void validate() const;
 };
 
@@ -94,6 +133,9 @@ struct RequestOutcome {
   int preemptions = 0;       ///< swap-outs suffered (always resumed)
   bool completed = true;     ///< produced its full gen_len
   bool met_deadline = true;  ///< completed within the SLO (true when no SLO)
+  /// Refused or dropped by overload protection (bounded admission, the
+  /// shed rung, or an unservable KV footprint) — never completed.
+  bool shed = false;
 };
 
 /// Snapshot view of the serving run's "serve.*" telemetry (see
@@ -106,6 +148,9 @@ struct ServeMetrics {
   double token_throughput = 0.0;    ///< generated tokens / duration
   double request_throughput = 0.0;  ///< completed requests / duration
   double goodput = 0.0;             ///< tokens of SLO-met requests / duration
+  /// SLO-met completions / duration — the goodput currency the overload
+  /// bench compares admission policies in (requests, not tokens).
+  double request_goodput = 0.0;
   /// SLO-met completions / requests; NaN until a request was observed.
   double slo_attainment = std::numeric_limits<double>::quiet_NaN();
   double ttft_p50 = 0.0;
@@ -127,6 +172,14 @@ struct ServeMetrics {
   std::uint64_t prefix_miss_tokens = 0;
   std::uint64_t prefix_evicted_blocks = 0;
   double prefix_bytes_saved = 0.0;
+  /// overload.* reads (0 unless bounded admission / overload enabled).
+  std::size_t shed = 0;      ///< queued or in-flight work dropped
+  std::size_t rejected = 0;  ///< arrivals refused outright at admission
+  std::size_t overload_escalations = 0;
+  std::size_t overload_deescalations = 0;
+  /// Ladder rung-3 swap-outs (counted inside `preemptions` too).
+  std::size_t overload_preemptions = 0;
+  std::size_t demoted_sessions = 0;  ///< admitted with quantized KV
   std::vector<RequestOutcome> outcomes;  ///< per request, by id order
 };
 

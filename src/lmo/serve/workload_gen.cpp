@@ -11,7 +11,8 @@
 namespace lmo::serve {
 
 void RequestProfile::validate() const {
-  LMO_CHECK_GT(arrival_rate, 0.0);
+  LMO_CHECK_MSG(arrival_rate > 0.0 && std::isfinite(arrival_rate),
+                "arrival_rate must be positive and finite");
   LMO_CHECK_GT(prompt_min, 0);
   LMO_CHECK_LE(prompt_min, prompt_mean);
   LMO_CHECK_LE(prompt_mean, prompt_max);
@@ -33,6 +34,18 @@ std::int64_t draw_length(util::Xoshiro256& rng, std::int64_t mean,
   return std::clamp(length, lo, hi);
 }
 
+/// Exponential inter-arrival gap: -ln(U)/λ. Guards both ways the draw can
+/// blow up — a non-positive (or non-finite) rate yields inf/NaN gaps, and
+/// U == 0 an infinite log — so every Poisson consumer shares one safe
+/// implementation regardless of whether its profile was validated.
+double poisson_gap(util::Xoshiro256& rng, double rate) {
+  LMO_CHECK_MSG(rate > 0.0 && std::isfinite(rate),
+                "Poisson arrival rate must be positive and finite");
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  return -std::log(u) / rate;
+}
+
 }  // namespace
 
 std::vector<Request> generate_requests(const RequestProfile& profile,
@@ -46,10 +59,7 @@ std::vector<Request> generate_requests(const RequestProfile& profile,
   requests.reserve(static_cast<std::size_t>(count));
   double clock = 0.0;
   for (std::int64_t i = 0; i < count; ++i) {
-    // Exponential inter-arrival: -ln(U)/λ.
-    double u = rng.uniform();
-    while (u <= 0.0) u = rng.uniform();
-    clock += -std::log(u) / profile.arrival_rate;
+    clock += poisson_gap(rng, profile.arrival_rate);
     Request request;
     request.id = i;
     request.arrival_seconds = clock;
@@ -97,9 +107,7 @@ std::vector<Request> generate_shared_prefix_requests(
   requests.reserve(static_cast<std::size_t>(count));
   double clock = 0.0;
   for (std::int64_t i = 0; i < count; ++i) {
-    double u = rng.uniform();
-    while (u <= 0.0) u = rng.uniform();
-    clock += -std::log(u) / profile.base.arrival_rate;
+    clock += poisson_gap(rng, profile.base.arrival_rate);
     Request request;
     request.id = i;
     request.arrival_seconds = clock;
@@ -121,6 +129,66 @@ std::vector<Request> generate_shared_prefix_requests(
     request.gen_len = draw_length(rng, profile.base.gen_mean,
                                   profile.base.gen_min, profile.base.gen_max);
     requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+void BurstProfile::validate() const {
+  base.validate();
+  LMO_CHECK_MSG(burst_rate > 0.0 && std::isfinite(burst_rate),
+                "burst_rate must be positive and finite");
+  LMO_CHECK_GE(burst_rate, base.arrival_rate);
+  LMO_CHECK_GE(burst_start, 0.0);
+  LMO_CHECK_GT(burst_duration, 0.0);
+  LMO_CHECK_GE(ramp_seconds, 0.0);
+  LMO_CHECK_GT(num_priorities, 0);
+}
+
+double BurstProfile::rate_at(double t) const {
+  const double up_begin = burst_start;
+  const double up_end = burst_start + ramp_seconds;
+  const double down_begin = up_end + burst_duration;
+  const double down_end = down_begin + ramp_seconds;
+  if (t < up_begin || t >= down_end) return base.arrival_rate;
+  if (t < up_end) {
+    const double f = (t - up_begin) / ramp_seconds;
+    return base.arrival_rate + f * (burst_rate - base.arrival_rate);
+  }
+  if (t < down_begin) return burst_rate;
+  const double f = (t - down_begin) / ramp_seconds;
+  return burst_rate - f * (burst_rate - base.arrival_rate);
+}
+
+std::vector<Request> generate_burst_requests(const BurstProfile& profile,
+                                             std::int64_t count,
+                                             std::uint64_t seed) {
+  profile.validate();
+  LMO_CHECK_GT(count, 0);
+
+  util::Xoshiro256 rng(seed);
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  // Lewis–Shedler thinning: candidate arrivals at the peak rate, each kept
+  // with probability rate(t)/peak. One rng stream, one pass — the whole
+  // trace is a pure function of the seed.
+  const double peak = profile.burst_rate;
+  double clock = 0.0;
+  for (std::int64_t i = 0; i < count;) {
+    clock += poisson_gap(rng, peak);
+    if (rng.uniform() * peak >= profile.rate_at(clock)) continue;
+    Request request;
+    request.id = i;
+    request.arrival_seconds = clock;
+    request.prompt_len = draw_length(rng, profile.base.prompt_mean,
+                                     profile.base.prompt_min,
+                                     profile.base.prompt_max);
+    request.gen_len =
+        draw_length(rng, profile.base.gen_mean, profile.base.gen_min,
+                    profile.base.gen_max);
+    request.priority = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(profile.num_priorities)));
+    requests.push_back(std::move(request));
+    ++i;
   }
   return requests;
 }

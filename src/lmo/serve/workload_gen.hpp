@@ -18,11 +18,16 @@ struct Request {
   double arrival_seconds = 0.0;
   std::int64_t prompt_len = 0;
   std::int64_t gen_len = 0;
+  /// Scheduling priority: larger = more important. Overload preemption
+  /// (degradation-ladder rung 3) swaps out the lowest-priority in-flight
+  /// requests first; deadline-aware shedding breaks slack ties in favor of
+  /// higher priorities.
+  int priority = 0;
   /// Prompt token ids (size == prompt_len when present). Optional: the
   /// cost simulation only needs lengths, but cross-request KV prefix
   /// sharing matches real ids against the radix tree, so workloads that
   /// want hits must carry them. Empty = never matches.
-  std::vector<std::int64_t> prompt_tokens;
+  std::vector<std::int64_t> prompt_tokens{};
 };
 
 struct RequestProfile {
@@ -62,6 +67,30 @@ struct SharedPrefixProfile {
 std::vector<Request> generate_shared_prefix_requests(
     const SharedPrefixProfile& profile, std::int64_t count,
     std::uint64_t seed);
+
+/// Burst/ramp workload: steady Poisson arrivals at base.arrival_rate with
+/// one burst window during which the rate climbs to burst_rate — linearly
+/// over ramp_seconds on the way in and back out, so the overload ladder
+/// sees sustained (not instantaneous) pressure build and drain. Drawn by
+/// Lewis–Shedler thinning against the peak rate, so the workload is a pure
+/// function of the seed (seed-pure like SharedPrefixProfile: same seed,
+/// same bytes). Priorities are uniform in [0, num_priorities).
+struct BurstProfile {
+  RequestProfile base;
+  double burst_rate = 20.0;     ///< peak arrivals/second inside the burst
+  double burst_start = 5.0;     ///< seconds; start of the ramp-up
+  double burst_duration = 10.0; ///< seconds at the full burst rate
+  double ramp_seconds = 0.0;    ///< linear ramp into and out of the burst
+  std::int64_t num_priorities = 1;
+
+  void validate() const;
+  /// Instantaneous arrival rate at time `t` (the ramp trapezoid).
+  double rate_at(double t) const;
+};
+
+std::vector<Request> generate_burst_requests(const BurstProfile& profile,
+                                             std::int64_t count,
+                                             std::uint64_t seed);
 
 /// Load a recorded request trace from CSV with columns
 /// `arrival_seconds, prompt_len, gen_len` (header required, any order).

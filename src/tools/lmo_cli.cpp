@@ -311,6 +311,21 @@ int cmd_serve(const Args& args) {
   config.prefix_share = args.get_int("prefix-share", 0) != 0;
   config.kv_block_tokens = args.get_int("kv-block-tokens", 16);
 
+  // Overload protection: bounded admission plus the degradation ladder
+  // over a modelled KV pool (see docs/robustness.md).
+  config.deadline_seconds = std::stod(args.get("deadline", "0"));
+  config.max_retries = static_cast<int>(args.get_int("retries", 0));
+  config.admission =
+      overload::admission_policy_from_string(args.get("admission",
+                                                      "unbounded"));
+  config.max_queue = static_cast<std::size_t>(args.get_int("max-queue", 0));
+  const std::int64_t kv_pool_mb = args.get_int("kv-pool-mb", 0);
+  if (kv_pool_mb > 0) {
+    config.overload.enabled = true;
+    config.overload.kv_pool_bytes =
+        static_cast<std::size_t>(kv_pool_mb) << 20;
+  }
+
   telemetry::MetricsRegistry registry;
   telemetry::TraceRecorder trace_recorder;
   const std::string trace_out = args.get("trace-out", "");
@@ -345,6 +360,17 @@ int cmd_serve(const Args& args) {
                     static_cast<std::size_t>(m.prefix_bytes_saved))
                     .c_str(),
                 static_cast<unsigned long long>(m.prefix_evicted_blocks));
+  }
+
+  if (config.admission != overload::AdmissionPolicy::kUnbounded ||
+      config.overload.enabled) {
+    std::printf("overload (%s): %zu shed, %zu rejected, %zu escalations / "
+                "%zu de-escalations, %zu demoted, %zu preempted | goodput "
+                "%.2f req/s\n",
+                overload::to_string(config.admission), m.shed, m.rejected,
+                m.overload_escalations, m.overload_deescalations,
+                m.demoted_sessions, m.overload_preemptions,
+                m.request_goodput);
   }
 
   const std::string metrics_out = args.get("metrics-out", "");
@@ -544,6 +570,104 @@ int cmd_chaos_shared_prefix(const Args& args) {
   return identical && reused ? 0 : 1;
 }
 
+/// `lmo chaos --profile overload`: the overload-protection determinism
+/// drill. A seeded burst workload slams the serving simulator with the
+/// degradation ladder, a tight KV pool, and deadline-aware shedding armed;
+/// the identical run repeats and the two metrics snapshots and trace JSONs
+/// (which carry every ladder transition and shed/reject span) must match
+/// byte for byte. Exit 0 additionally requires that the drill actually
+/// escalated the ladder and shed work — a drill that never left kNormal
+/// proves nothing.
+int cmd_chaos_overload(const Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  const auto spec = model::ModelSpec::by_name(args.get("model", "opt-13b"));
+  const auto platform = load_platform(args);
+
+  serve::BurstProfile profile;
+  profile.base.arrival_rate = 0.5;
+  profile.base.prompt_mean = 64;
+  profile.base.gen_mean = 48;
+  profile.base.gen_max = 128;
+  profile.burst_rate = std::stod(args.get("burst-rate", "8.0"));
+  profile.burst_start = 10.0;
+  profile.burst_duration = 30.0;
+  profile.ramp_seconds = 5.0;
+  profile.num_priorities = 3;
+  const std::int64_t count = args.get_int("requests", 140);
+
+  // GPU-resident weights: the engine has genuine capacity at the base
+  // rate, so overload comes from the burst — not from a server that was
+  // already drowning.
+  perfmodel::Policy policy;
+  policy.weights_on_gpu = 1.0;
+  policy.attention_on_cpu = false;
+  policy.activations_on_gpu = 1.0;
+  policy.weight_bits = 4;
+  policy.kv_bits = 8;
+  policy.parallelism_control = true;
+
+  serve::ServeConfig config;
+  config.max_batch = 8;
+  config.deadline_seconds = std::stod(args.get("deadline", "30.0"));
+  config.admission = overload::AdmissionPolicy::kDeadlineShed;
+  config.max_queue = static_cast<std::size_t>(args.get_int("max-queue", 24));
+  config.overload.enabled = true;
+  config.overload.kv_pool_bytes =
+      static_cast<std::size_t>(args.get_int("kv-pool-kb", 10240)) << 10;
+  config.overload.ladder.escalate_steps = 2;
+  config.overload.ladder.deescalate_steps = 4;
+
+  const auto requests = serve::generate_burst_requests(profile, count, seed);
+
+  serve::ServeMetrics first_metrics;
+  const auto run = [&](serve::ServeMetrics* out) {
+    telemetry::MetricsRegistry reg;
+    telemetry::TraceRecorder rec;
+    rec.enable();
+    const auto m = serve::simulate_serving(spec, policy, platform, requests,
+                                           config, &reg, &rec);
+    if (out != nullptr) *out = m;
+    return std::pair<std::string, std::string>(reg.snapshot().to_json(),
+                                               rec.to_json());
+  };
+  const auto a = run(&first_metrics);
+  const auto b = run(nullptr);
+
+  const serve::ServeMetrics& m = first_metrics;
+  std::printf("chaos profile 'overload' (seed %llu) on %s: %lld requests, "
+              "burst %.0f req/s, KV pool %s\n",
+              static_cast<unsigned long long>(seed), spec.name.c_str(),
+              static_cast<long long>(count), profile.burst_rate,
+              util::format_bytes(
+                  static_cast<double>(config.overload.kv_pool_bytes))
+                  .c_str());
+  std::printf("ladder: %zu escalations / %zu de-escalations | %zu shed, "
+              "%zu rejected, %zu demoted, %zu preempted\n",
+              m.overload_escalations, m.overload_deescalations, m.shed,
+              m.rejected, m.demoted_sessions, m.overload_preemptions);
+  std::printf("goodput %.2f req/s | SLO attainment %.0f%% | %zu completed\n",
+              m.request_goodput, m.slo_attainment * 100.0, m.completed);
+
+  const bool metrics_identical = a.first == b.first;
+  const bool traces_identical = a.second == b.second;
+  const bool escalated = m.overload_escalations > 0;
+  const bool degraded = m.shed + m.rejected > 0;
+  std::printf("metrics snapshots byte-identical: %s\n",
+              metrics_identical ? "yes" : "NO — overload determinism bug");
+  std::printf("overload traces byte-identical:   %s\n",
+              traces_identical ? "yes" : "NO — overload determinism bug");
+  if (!escalated) {
+    std::printf("WARNING: ladder never escalated — drill did not exercise "
+                "overload\n");
+  }
+  if (!degraded) {
+    std::printf("WARNING: nothing was shed or rejected — drill did not "
+                "exercise load shedding\n");
+  }
+  return metrics_identical && traces_identical && escalated && degraded ? 0
+                                                                        : 1;
+}
+
 /// `lmo checkpoint`: run the tiny generator partway and snapshot its state
 /// to a file `lmo resume` can pick up — the smallest end-to-end exercise of
 /// the crash-resume path.
@@ -618,6 +742,7 @@ int cmd_chaos(const Args& args) {
   const std::string profile = args.get("profile", "flaky-pcie");
   if (profile == "kill-resume") return cmd_chaos_kill_resume(args);
   if (profile == "shared-prefix") return cmd_chaos_shared_prefix(args);
+  if (profile == "overload") return cmd_chaos_overload(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
   const std::int64_t gen_len = args.get_int("len", 12);
 
@@ -667,7 +792,8 @@ int cmd_chaos(const Args& args) {
                  "profiles: flaky-pcie [--rate P], congested, "
                  "dead-prefetch, oom [--denials N], "
                  "kill-resume [--rate P] [--kv dense|paged|window], "
-                 "shared-prefix [--rate P] [--kv-block-tokens N]\n",
+                 "shared-prefix [--rate P] [--kv-block-tokens N], "
+                 "overload [--burst-rate R] [--kv-pool-kb N]\n",
                  profile.c_str());
     return 2;
   }
@@ -873,12 +999,16 @@ int usage() {
                "rtx4090-desktop\n"
                "chaos: run generation under a fault profile "
                "(--profile flaky-pcie|congested|dead-prefetch|oom|"
-               "kill-resume|shared-prefix [--rate P] [--denials N] "
+               "kill-resume|shared-prefix|overload [--rate P] [--denials N] "
                "[--seed S] [--kv dense|paged|window] "
-               "[--kv-block-tokens N])\n"
+               "[--kv-block-tokens N] [--burst-rate R] [--kv-pool-kb N])\n"
                "serve: --prefix-share 1 shares prompt KV across requests "
                "(--kv-block-tokens N); --templates N draws a shared-prefix "
                "workload [--template-tokens T]\n"
+               "serve overload: --admission unbounded|fifo-reject|"
+               "deadline-shed|token-budget --max-queue N --deadline S "
+               "[--retries N] [--kv-pool-mb N arms the degradation "
+               "ladder]\n"
                "checkpoint: snapshot a generation mid-decode "
                "([--at N] [--len N] [--kv dense|paged|window] [--out FILE]);"
                "\nresume: finish it from the file (--from FILE)\n"
