@@ -1,0 +1,327 @@
+#include "lmo/parallel/adaptive_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lmo/sim/engine.hpp"
+#include "lmo/util/check.hpp"
+#include "lmo/util/validate.hpp"
+
+namespace lmo::parallel {
+
+void AdaptiveConfig::validate() const {
+  util::Validate("AdaptiveConfig", [this](util::Validator& v) {
+    v.ge("window_steps", window_steps, 1);
+    v.ge("hysteresis", hysteresis, 0.0);
+    v.lt("hysteresis", hysteresis, 1.0);
+    v.ge("revert_margin", revert_margin, 0.0);
+    v.ge("hold_windows", hold_windows, 0);
+    v.in_unit("ema_alpha", ema_alpha);
+    v.ge("max_threads", max_threads, 0);
+  });
+}
+
+const char* to_string(ReplanAction action) {
+  switch (action) {
+    case ReplanAction::kHold:
+      return "hold";
+    case ReplanAction::kApply:
+      return "apply";
+    case ReplanAction::kRevert:
+      return "revert";
+  }
+  LMO_UNREACHABLE("bad ReplanAction");
+}
+
+AdaptiveController::AdaptiveController(SearchInput believed,
+                                       AdaptiveConfig config,
+                                       telemetry::MetricsRegistry* metrics,
+                                       telemetry::TraceRecorder* trace)
+    : input_(std::move(believed)),
+      config_(config),
+      metrics_(metrics),
+      trace_(trace) {
+  config_.validate();
+  if (config_.max_threads > 0) input_.max_threads = config_.max_threads;
+  current_ = find_optimal_parallelism(input_);
+}
+
+bool AdaptiveController::same_config(const ParallelismPlan& a,
+                                     const ParallelismPlan& b) {
+  return a.intra_op_compute == b.intra_op_compute &&
+         a.inter_op_compute == b.inter_op_compute && a.io_threads == b.io_threads;
+}
+
+void AdaptiveController::calibrate(const WindowSample& sample) {
+  const double alpha = config_.ema_alpha;
+
+  // Copy bandwidth: per I/O task that actually moved bytes, the achieved
+  // rate divided by its thread allocation is a per-thread estimate; the
+  // bytes-weighted mean across tasks feeds the EMA. When the link (not the
+  // threads) was the bottleneck this under-estimates — acceptable, the
+  // search's min(link, threads × bw) clamps either way.
+  double weighted_bw = 0.0;
+  double weight = 0.0;
+  for (std::size_t i = 0; i < kNumIoTasks; ++i) {
+    if (sample.io_bytes[i] <= 0.0 || sample.io_seconds[i] <= 0.0) continue;
+    const double rate = sample.io_bytes[i] / sample.io_seconds[i];
+    const double per_thread =
+        rate / static_cast<double>(std::max(1, current_.io_threads[i]));
+    weighted_bw += per_thread * sample.io_bytes[i];
+    weight += sample.io_bytes[i];
+  }
+  if (weight > 0.0) {
+    const double observed = weighted_bw / weight;
+    input_.per_thread_copy_bw =
+        copy_bw_observed_
+            ? alpha * observed + (1.0 - alpha) * input_.per_thread_copy_bw
+            : observed;
+    copy_bw_observed_ = true;
+  }
+
+  // Compute scaling: ratio of measured per-step compute time to what the
+  // analytic model predicts for the allocation that produced the sample.
+  // Folded into a ProfileDB overlay (scaled_profiles) rather than mutating
+  // the scaling params, so the search consumes it through its normal
+  // profile path.
+  if (sample.compute_seconds > 0.0 && sample.steps > 0) {
+    const ParallelismPlan analytic =
+        evaluate_parallelism(input_, current_.intra_op_compute,
+                             current_.inter_op_compute, current_.io_threads);
+    if (analytic.compute_seconds > 0.0) {
+      const double observed_scale =
+          (sample.compute_seconds / static_cast<double>(sample.steps)) /
+          analytic.compute_seconds;
+      compute_scale_ =
+          alpha * observed_scale + (1.0 - alpha) * compute_scale_;
+    }
+  }
+}
+
+ProfileDB AdaptiveController::scaled_profiles() const {
+  ProfileDB db;
+  if (compute_scale_ == 1.0) return db;  // nothing observed yet
+  const ThreadScalingModel scaling(input_.platform.cpu);
+  const int budget =
+      input_.max_threads > 0 ? input_.max_threads : input_.platform.cpu.cores;
+  // Entries are normalized at the full thread budget: the search's profile
+  // path reconstitutes op time as lookup(op, intra) × contention(total),
+  // and every full Algorithm-3 allocation runs with total == budget (all
+  // free threads go to the I/O tasks). Dividing the budget-pressure time by
+  // the budget contention factor here makes that reconstruction *exact* for
+  // those allocations — a solo-time profile would hide the fair-sharing
+  // cost of oversubscription and bias the search toward it.
+  const double norm = scaling.contention_factor(budget);
+  for (std::size_t i = 0; i < input_.compute_graph.size(); ++i) {
+    const model::OpNode& op =
+        input_.compute_graph.node(static_cast<model::OpId>(i));
+    for (int t = 1; t <= budget; ++t) {
+      if (db.has(op.name, t)) continue;  // ops can repeat across layers
+      db.record(op.name, t,
+                scaling.op_seconds(op, t, budget) / norm * compute_scale_);
+    }
+  }
+  return db;
+}
+
+ReplanDecision AdaptiveController::observe(const WindowSample& sample) {
+  LMO_CHECK_GE(sample.steps, 1);
+  ++windows_;
+  calibrate(sample);
+
+  ReplanDecision decision;
+  double measured =
+      sample.compute_seconds / static_cast<double>(sample.steps);
+  for (std::size_t i = 0; i < kNumIoTasks; ++i) {
+    measured = std::max(
+        measured, sample.io_seconds[i] / static_cast<double>(sample.steps));
+  }
+  decision.measured_t_gen = measured;
+
+  const ProfileDB db = scaled_profiles();
+  const ProfileDB* profiles = db.size() > 0 ? &db : nullptr;
+  const ParallelismPlan current_eval =
+      evaluate_parallelism(input_, current_.intra_op_compute,
+                           current_.inter_op_compute, current_.io_threads,
+                           profiles);
+
+  if (hold_ > 0) {
+    // Settling window after a plan change: observe (the EMAs above still
+    // ran) but never change plans.
+    --hold_;
+    decision.action = ReplanAction::kHold;
+    decision.plan = current_;
+    decision.predicted_t_gen = current_eval.t_gen;
+    publish(decision);
+    return decision;
+  }
+
+  // Revert-on-regression: an applied plan must not run worse than the
+  // measured baseline it was meant to beat.
+  if (previous_.has_value() && baseline_measured_ > 0.0 &&
+      measured > baseline_measured_ * (1.0 + config_.revert_margin)) {
+    current_ = *previous_;
+    previous_.reset();
+    baseline_measured_ = 0.0;
+    hold_ = config_.hold_windows;
+    decision.action = ReplanAction::kRevert;
+    decision.plan = current_;
+    decision.predicted_t_gen =
+        evaluate_parallelism(input_, current_.intra_op_compute,
+                             current_.inter_op_compute, current_.io_threads,
+                             profiles)
+            .t_gen;
+    publish(decision);
+    return decision;
+  }
+  // The applied plan survived a full post-hold window: commit to it.
+  previous_.reset();
+
+  const ParallelismPlan candidate = find_optimal_parallelism(input_, profiles);
+  if (!same_config(candidate, current_) &&
+      candidate.t_gen < current_eval.t_gen * (1.0 - config_.hysteresis)) {
+    previous_ = current_;
+    baseline_measured_ = measured;
+    current_ = candidate;
+    hold_ = config_.hold_windows;
+    decision.action = ReplanAction::kApply;
+    decision.plan = current_;
+    decision.predicted_t_gen = candidate.t_gen;
+  } else {
+    decision.action = ReplanAction::kHold;
+    decision.plan = current_;
+    decision.predicted_t_gen = current_eval.t_gen;
+  }
+  publish(decision);
+  return decision;
+}
+
+void AdaptiveController::publish(const ReplanDecision& decision) {
+  if (metrics_ != nullptr) {
+    metrics_->counter("parallel.replan.attempts").add();
+    switch (decision.action) {
+      case ReplanAction::kApply:
+        metrics_->counter("parallel.replan.applied").add();
+        break;
+      case ReplanAction::kRevert:
+        metrics_->counter("parallel.replan.reverted").add();
+        break;
+      case ReplanAction::kHold:
+        metrics_->counter("parallel.replan.held").add();
+        break;
+    }
+    metrics_->gauge("parallel.threads.intra")
+        .set(static_cast<double>(current_.intra_op_compute));
+    metrics_->gauge("parallel.threads.inter")
+        .set(static_cast<double>(current_.inter_op_compute));
+    int io_total = 0;
+    for (int t : current_.io_threads) io_total += t;
+    metrics_->gauge("parallel.threads.io_total")
+        .set(static_cast<double>(io_total));
+    metrics_->gauge("parallel.replan.predicted_t_gen")
+        .set(decision.predicted_t_gen);
+    metrics_->gauge("parallel.replan.measured_t_gen")
+        .set(decision.measured_t_gen);
+    metrics_->gauge("parallel.calibration.copy_bw")
+        .set(input_.per_thread_copy_bw);
+    metrics_->gauge("parallel.calibration.compute_scale").set(compute_scale_);
+  }
+  if (trace_ != nullptr) {
+    // Virtual timestamp = window index: a pure function of the sample
+    // sequence, so two identical runs trace byte-identically.
+    trace_->complete(std::string("parallel.replan:") + to_string(decision.action),
+                     "parallel.replan", kParallelTracePid, 0,
+                     static_cast<double>(windows_) * 1000.0, 0.0);
+  }
+}
+
+namespace {
+
+/// Schedule one window of `steps` decode blocks under `plan`, with task
+/// durations taken from the ground-truth input, and collect the span
+/// aggregate the runtime would read off its TraceRecorder — here through
+/// Engine::set_task_observer, the DES mirror of that feed.
+WindowSample measure_window(const SearchInput& truth,
+                            const ParallelismPlan& plan, int steps) {
+  const ParallelismPlan actual =
+      evaluate_parallelism(truth, plan.intra_op_compute, plan.inter_op_compute,
+                           plan.io_threads);
+  sim::Engine engine;
+  WindowSample sample;
+  sample.steps = steps;
+  engine.set_task_observer([&sample](const sim::TaskRecord& rec) {
+    if (rec.category == "compute") {
+      sample.compute_seconds += rec.duration;
+      return;
+    }
+    for (std::size_t i = 0; i < kNumIoTasks; ++i) {
+      if (rec.category == kIoTaskNames[i]) {
+        sample.io_seconds[i] += rec.duration;
+        return;
+      }
+    }
+  });
+
+  const auto compute_res = engine.add_resource("compute", 1);
+  std::array<sim::ResourceId, kNumIoTasks> io_res;
+  for (std::size_t i = 0; i < kNumIoTasks; ++i) {
+    io_res[i] = engine.add_resource(kIoTaskNames[i], 1);
+  }
+  for (int s = 0; s < steps; ++s) {
+    engine.add_task("compute[s=" + std::to_string(s) + "]", "compute",
+                    compute_res, actual.compute_seconds);
+    for (std::size_t i = 0; i < kNumIoTasks; ++i) {
+      if (truth.io_bytes[i] <= 0.0) continue;
+      engine.add_task(std::string(kIoTaskNames[i]) +
+                          "[s=" + std::to_string(s) + "]",
+                      kIoTaskNames[i], io_res[i], actual.io_seconds[i]);
+      sample.io_bytes[i] += truth.io_bytes[i];
+    }
+  }
+  engine.run();
+  return sample;
+}
+
+/// Per-step generation time a fixed plan achieves when the platform's true
+/// parameters are `truth`.
+double true_t_gen(const SearchInput& truth, const ParallelismPlan& plan) {
+  return evaluate_parallelism(truth, plan.intra_op_compute,
+                              plan.inter_op_compute, plan.io_threads)
+      .t_gen;
+}
+
+}  // namespace
+
+AdaptiveSimResult simulate_adaptive(const SearchInput& believed,
+                                    const SearchInput& truth,
+                                    const AdaptiveConfig& config, int windows,
+                                    telemetry::MetricsRegistry* metrics,
+                                    telemetry::TraceRecorder* trace) {
+  LMO_CHECK_GE(windows, 1);
+  AdaptiveController controller(believed, config, metrics, trace);
+
+  AdaptiveSimResult result;
+  result.static_plan = controller.plan();
+  result.static_t_gen = true_t_gen(truth, result.static_plan);
+
+  double adaptive_seconds = 0.0;
+  int total_steps = 0;
+  for (int w = 0; w < windows; ++w) {
+    // The window executes under the plan currently in force; the decision
+    // it produces only affects the *next* window (block-boundary apply).
+    const ParallelismPlan in_force = controller.plan();
+    adaptive_seconds += true_t_gen(truth, in_force) * config.window_steps;
+    total_steps += config.window_steps;
+
+    const WindowSample sample =
+        measure_window(truth, in_force, config.window_steps);
+    const ReplanDecision decision = controller.observe(sample);
+    if (decision.action == ReplanAction::kApply) ++result.applied;
+    if (decision.action == ReplanAction::kRevert) ++result.reverted;
+  }
+  result.final_plan = controller.plan();
+  result.adaptive_t_gen = adaptive_seconds / static_cast<double>(total_steps);
+  return result;
+}
+
+}  // namespace lmo::parallel

@@ -1,0 +1,153 @@
+// Online adaptive parallelism control — the closed-loop counterpart of
+// Algorithm 3 (paper §4.2). The offline search runs once at plan time on
+// *believed* inputs (analytic op curves, an assumed per-thread copy
+// bandwidth); when those beliefs are wrong the static ParallelismPlan
+// leaves throughput on the table for the whole run. The controller closes
+// the loop: at block boundaries it folds the measured per-task span
+// durations (the six Algorithm-1 task spans, from telemetry::TraceRecorder
+// in the runtime or from sim::Engine task records in the DES) back into
+// the search inputs — observed per-thread copy bandwidth, observed compute
+// scaling as a ProfileDB overlay — re-runs the Algorithm-3 search, and
+// switches plans only when the re-calibrated model predicts a win past a
+// hysteresis margin. An applied plan is judged against the measured
+// baseline it was supposed to beat and reverted on regression.
+//
+// Determinism: decisions are a pure function of the observed WindowSamples
+// and the initial inputs. Metrics land under "parallel.*" and replan
+// events are traced with *virtual* timestamps (the window index), so two
+// runs fed identical samples produce byte-identical telemetry — the
+// property `lmo chaos --profile adaptive` drills.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "lmo/parallel/parallelism_search.hpp"
+#include "lmo/parallel/profile_db.hpp"
+#include "lmo/telemetry/metrics.hpp"
+#include "lmo/telemetry/trace.hpp"
+
+namespace lmo::parallel {
+
+struct AdaptiveConfig {
+  bool enabled = false;
+  /// Decode steps aggregated into one observation window (≥ 1). The
+  /// controller decides at most once per window.
+  int window_steps = 8;
+  /// Minimum predicted improvement — as a fraction of the current plan's
+  /// re-calibrated t_gen — before a candidate plan is applied.
+  double hysteresis = 0.05;
+  /// Measured per-step regression past the pre-apply baseline that makes
+  /// the controller revert an applied plan.
+  double revert_margin = 0.10;
+  /// Observe-only windows after an apply or revert, letting the new
+  /// allocation settle (and the calibration EMA converge) before it is
+  /// judged or changed again.
+  int hold_windows = 1;
+  /// EMA weight of the newest window in the calibration state, in (0, 1].
+  double ema_alpha = 0.5;
+  /// Thread budget handed to the Algorithm-3 search; 0 = platform cores.
+  int max_threads = 0;
+
+  void validate() const;
+};
+
+enum class ReplanAction { kHold, kApply, kRevert };
+const char* to_string(ReplanAction action);
+
+/// Aggregated task-span measurements for one observation window. Runtime:
+/// summed TraceRecorder span durations for "compute" and the five
+/// kIoTaskNames plus the OffloadManager's byte-counter delta. DES: summed
+/// sim::Engine task durations by category (Engine::set_task_observer).
+struct WindowSample {
+  int steps = 1;  ///< decode steps the window covers
+  double compute_seconds = 0.0;
+  std::array<double, kNumIoTasks> io_seconds{};
+  std::array<double, kNumIoTasks> io_bytes{};  ///< bytes actually moved
+};
+
+struct ReplanDecision {
+  ReplanAction action = ReplanAction::kHold;
+  ParallelismPlan plan;          ///< the plan in force after this decision
+  double measured_t_gen = 0.0;   ///< per-step bottleneck from the sample
+  double predicted_t_gen = 0.0;  ///< re-calibrated model score of `plan`
+};
+
+class AdaptiveController {
+ public:
+  /// `believed` seeds the search inputs (and yields the initial plan via
+  /// find_optimal_parallelism). Metrics/trace sinks are optional; when set
+  /// they receive the parallel.* vocabulary and parallel.replan events.
+  AdaptiveController(SearchInput believed, AdaptiveConfig config,
+                     telemetry::MetricsRegistry* metrics = nullptr,
+                     telemetry::TraceRecorder* trace = nullptr);
+
+  /// The plan currently in force (the believed-input optimum before any
+  /// window was observed).
+  const ParallelismPlan& plan() const { return current_; }
+  const SearchInput& input() const { return input_; }
+  const AdaptiveConfig& config() const { return config_; }
+
+  /// Calibration state: the EMA'd observed per-thread copy bandwidth and
+  /// the measured/predicted compute ratio materialized into the ProfileDB.
+  double calibrated_copy_bw() const { return input_.per_thread_copy_bw; }
+  double compute_scale() const { return compute_scale_; }
+  int windows_observed() const { return windows_; }
+
+  /// Fold one window of measurements: update the calibration EMAs, re-run
+  /// the Algorithm-3 search on the re-calibrated inputs, and decide. At
+  /// most one plan change per call; the caller applies `decision.plan`
+  /// between blocks (never mid-step) when action != kHold.
+  ReplanDecision observe(const WindowSample& sample);
+
+ private:
+  void calibrate(const WindowSample& sample);
+  /// The measured compute scaling folded into ProfileDB form: analytic op
+  /// times at full thread-budget pressure (normalized by the budget's
+  /// contention factor, which the profile path multiplies back) ×
+  /// compute_scale_, for every op and thread count — the search sees the
+  /// observed curve through its normal profile path.
+  ProfileDB scaled_profiles() const;
+  void publish(const ReplanDecision& decision);
+  static bool same_config(const ParallelismPlan& a, const ParallelismPlan& b);
+
+  SearchInput input_;
+  AdaptiveConfig config_;
+  telemetry::MetricsRegistry* metrics_;
+  telemetry::TraceRecorder* trace_;
+
+  ParallelismPlan current_;
+  std::optional<ParallelismPlan> previous_;  ///< revert target
+  double baseline_measured_ = 0.0;  ///< measured t_gen when current_ applied
+  double compute_scale_ = 1.0;      ///< measured / analytic compute time
+  bool copy_bw_observed_ = false;
+  int hold_ = 0;
+  int windows_ = 0;
+};
+
+/// One adaptive-vs-static comparison on the DES: the controller starts
+/// from the (possibly mis-calibrated) `believed` input while every
+/// window's task spans are produced by scheduling the current plan on a
+/// sim::Engine whose durations come from `truth` — collected through
+/// Engine::set_task_observer, mirroring how the runtime collects
+/// TraceRecorder spans. Deterministic: same inputs → byte-identical
+/// metrics and replan trace events.
+struct AdaptiveSimResult {
+  ParallelismPlan static_plan;  ///< Algorithm 3 on the believed input
+  ParallelismPlan final_plan;   ///< in force after the last window
+  double static_t_gen = 0.0;    ///< per-step time of static_plan under truth
+  double adaptive_t_gen = 0.0;  ///< time-averaged per-step time, adaptive
+  int applied = 0;
+  int reverted = 0;
+};
+
+AdaptiveSimResult simulate_adaptive(const SearchInput& believed,
+                                    const SearchInput& truth,
+                                    const AdaptiveConfig& config, int windows,
+                                    telemetry::MetricsRegistry* metrics = nullptr,
+                                    telemetry::TraceRecorder* trace = nullptr);
+
+/// Trace "process" id adaptive replan events are emitted under.
+inline constexpr int kParallelTracePid = 2;
+
+}  // namespace lmo::parallel

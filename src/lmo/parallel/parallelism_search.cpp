@@ -131,14 +131,61 @@ double schedule_compute_graph(
   return engine.run().makespan;
 }
 
+std::function<double(const model::OpNode&)> op_seconds_fn(
+    const SearchInput& input, int intra_threads, int total_active_threads,
+    const ProfileDB* profiles) {
+  return [scaling = ThreadScalingModel(input.platform.cpu), intra_threads,
+          total_active_threads, profiles](const model::OpNode& op) {
+    if (profiles != nullptr && profiles->has(op.name, intra_threads)) {
+      return profiles->lookup(op.name, intra_threads) *
+             scaling.contention_factor(total_active_threads);
+    }
+    return scaling.op_seconds(op, intra_threads, total_active_threads);
+  };
+}
+
+ParallelismPlan evaluate_parallelism(
+    const SearchInput& input, int intra_op, int inter_op,
+    const std::array<int, kNumIoTasks>& io_threads,
+    const ProfileDB* profiles) {
+  LMO_CHECK_GE(intra_op, 1);
+  LMO_CHECK_GE(inter_op, 1);
+  int io_thread_total = 0;
+  for (int t : io_threads) {
+    LMO_CHECK_GE(t, 1);
+    io_thread_total += t;
+  }
+  const int total_active = inter_op * intra_op + io_thread_total;
+  const auto contended =
+      op_seconds_fn(input, intra_op, total_active, profiles);
+
+  ParallelismPlan plan;
+  plan.intra_op_compute = intra_op;
+  plan.inter_op_compute = inter_op;
+  plan.inter_op_total = inter_op + static_cast<int>(kNumIoTasks);
+  plan.io_threads = io_threads;
+  plan.compute_seconds =
+      schedule_compute_graph(input.compute_graph, inter_op, contended);
+  double t_gen = plan.compute_seconds;
+  for (std::size_t i = 0; i < kNumIoTasks; ++i) {
+    const double link = (i == kStoreActivation || i == kStoreCache)
+                            ? input.platform.d2h_bw()
+                            : input.platform.h2d_bw();
+    plan.io_seconds[i] = io_task_seconds(input.io_bytes[i], io_threads[i],
+                                         link, input.per_thread_copy_bw);
+    t_gen = std::max(t_gen, plan.io_seconds[i]);
+  }
+  plan.t_gen = t_gen;
+  plan.valid = true;
+  return plan;
+}
+
 ParallelismPlan find_optimal_parallelism(const SearchInput& input,
                                          const ProfileDB* profiles) {
   const int max_threads =
       input.max_threads > 0 ? input.max_threads : input.platform.cpu.cores;
   LMO_CHECK_GT(max_threads, kReservedIoThreads);
   const ThreadScalingModel scaling(input.platform.cpu);
-  const double link_h2d = input.platform.h2d_bw();
-  const double link_d2h = input.platform.d2h_bw();
 
   ParallelismPlan best;
   double best_t_gen = 0.0;
@@ -154,33 +201,8 @@ ParallelismPlan find_optimal_parallelism(const SearchInput& input,
     if (free_threads < kReservedIoThreads) continue;  // Lines 6-7
 
     const auto io_threads = assign_io_threads(input.io_bytes, free_threads);
-
-    // Machine-wide pressure while the schedule runs.
-    int io_thread_total = 0;
-    for (int t : io_threads) io_thread_total += t;
-    const int total_active = inter * intra + io_thread_total;
-
-    const auto contended =
-        make_op_seconds(scaling, intra, total_active, profiles);
-    const double compute =
-        schedule_compute_graph(input.compute_graph, inter, contended);
-
-    ParallelismPlan plan;
-    plan.intra_op_compute = intra;
-    plan.inter_op_compute = inter;
-    plan.inter_op_total = inter + static_cast<int>(kNumIoTasks);
-    plan.io_threads = io_threads;
-    plan.compute_seconds = compute;
-    double t_gen = compute;
-    for (std::size_t i = 0; i < kNumIoTasks; ++i) {
-      const double link =
-          (i == kStoreActivation || i == kStoreCache) ? link_d2h : link_h2d;
-      plan.io_seconds[i] = io_task_seconds(input.io_bytes[i], io_threads[i],
-                                           link, input.per_thread_copy_bw);
-      t_gen = std::max(t_gen, plan.io_seconds[i]);
-    }
-    plan.t_gen = t_gen;
-    plan.valid = true;
+    const ParallelismPlan plan =
+        evaluate_parallelism(input, intra, inter, io_threads, profiles);
 
     if (!best.valid || plan.t_gen < best_t_gen) {
       best = plan;

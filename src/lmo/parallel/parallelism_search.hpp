@@ -32,6 +32,13 @@ enum IoTask : std::size_t {
 };
 inline constexpr std::size_t kNumIoTasks = 5;
 
+/// Span / category names of the five I/O tasks, in IoTask order — the one
+/// vocabulary shared by Algorithm 1's runtime trace spans, the DES task
+/// categories, and the adaptive controller's window samples.
+inline constexpr std::array<const char*, kNumIoTasks> kIoTaskNames = {
+    "load_weight", "store_activation", "store_cache", "load_cache",
+    "load_activation"};
+
 struct SearchInput {
   model::OpGraph compute_graph;            ///< attention task (Fig. 6)
   std::array<double, kNumIoTasks> io_bytes{};  ///< per-step transfer volumes
@@ -66,6 +73,25 @@ int max_concurrency_timed(
 double schedule_compute_graph(
     const model::OpGraph& graph, int inter_op,
     const std::function<double(const model::OpNode&)>& op_seconds);
+
+/// Per-op duration function the search and the adaptive controller share:
+/// a measured profile entry (corrected by the machine-wide contention
+/// factor) when the ProfileDB has one, else the analytic
+/// ThreadScalingModel curve. The returned function owns its model copy.
+std::function<double(const model::OpNode&)> op_seconds_fn(
+    const SearchInput& input, int intra_threads, int total_active_threads,
+    const ProfileDB* profiles = nullptr);
+
+/// Score one *fixed* thread allocation under `input` (Eq. 2 applied to the
+/// given configuration instead of searching for one). The adaptive
+/// controller re-costs the currently applied plan against re-calibrated
+/// inputs with this, and the benches use it as ground truth for a plan
+/// executed on a platform whose true parameters differ from the believed
+/// ones.
+ParallelismPlan evaluate_parallelism(
+    const SearchInput& input, int intra_op, int inter_op,
+    const std::array<int, kNumIoTasks>& io_threads,
+    const ProfileDB* profiles = nullptr);
 
 /// Algorithm 3. Uses the analytic ThreadScalingModel for op times; pass a
 /// ProfileDB to override specific (op, threads) entries with measured data.

@@ -1,5 +1,7 @@
 #include "lmo/parallel/threadpool.hpp"
 
+#include <algorithm>
+
 #include "lmo/util/check.hpp"
 
 namespace lmo::parallel {
@@ -19,6 +21,11 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+}
+
+int ThreadPool::size() const {
+  std::lock_guard<std::mutex> lock(resize_mutex_);
+  return static_cast<int>(workers_.size());
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -44,13 +51,66 @@ std::size_t ThreadPool::completed() const {
   return completed_;
 }
 
+void ThreadPool::resize(int num_threads) {
+  LMO_CHECK_GE(num_threads, 1);
+  std::lock_guard<std::mutex> resize_lock(resize_mutex_);
+  const int current = static_cast<int>(workers_.size());
+  if (num_threads == current) return;
+
+  if (num_threads > current) {
+    workers_.reserve(static_cast<std::size_t>(num_threads));
+    for (int i = current; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    return;
+  }
+
+  // Shrink: drain every task submitted so far, then mark the excess for
+  // retirement. Tasks racing in after the drain are fine — a woken worker
+  // only retires when the queue is empty, and `num_threads` workers always
+  // survive to serve them.
+  const std::size_t excess = static_cast<std::size_t>(current - num_threads);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    retire_ += excess;
+  }
+  cv_.notify_all();
+
+  std::vector<std::thread::id> exited;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    retire_cv_.wait(lock, [this, excess] { return retired_.size() >= excess; });
+    exited.swap(retired_);
+  }
+  for (const std::thread::id id : exited) {
+    const auto it =
+        std::find_if(workers_.begin(), workers_.end(),
+                     [id](const std::thread& w) { return w.get_id() == id; });
+    LMO_CHECK(it != workers_.end());
+    it->join();
+    workers_.erase(it);
+  }
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      cv_.wait(lock, [this] {
+        return stop_ || retire_ > 0 || !queue_.empty();
+      });
       if (stop_ && queue_.empty()) return;
+      if (queue_.empty()) {
+        if (retire_ > 0) {
+          --retire_;
+          retired_.push_back(std::this_thread::get_id());
+          retire_cv_.notify_all();
+          return;
+        }
+        continue;  // spurious wake
+      }
       task = std::move(queue_.front());
       queue_.pop();
     }

@@ -1,8 +1,10 @@
-// Fixed-size thread pool with a shared FIFO queue. This is the real
+// Resizable thread pool with a shared FIFO queue. This is the real
 // execution substrate for the runtime's asynchronous offload tasks and the
 // inter-op executor; its size is what LM-Offload's parallelism controller
-// decides. Keep it boring and correct: mutex + condvar, no lock-free
-// cleverness — task granularity here is ≥ tens of microseconds.
+// decides — statically at plan time, and online via resize() when the
+// adaptive controller re-runs Algorithm 3 between decode blocks. Keep it
+// boring and correct: mutex + condvar, no lock-free cleverness — task
+// granularity here is ≥ tens of microseconds.
 #pragma once
 
 #include <condition_variable>
@@ -24,7 +26,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int size() const { return static_cast<int>(workers_.size()); }
+  int size() const;
 
   /// Enqueue a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
@@ -35,16 +37,33 @@ class ThreadPool {
   /// Number of tasks executed since construction.
   std::size_t completed() const;
 
+  /// Change the worker count to `num_threads` (≥ 1). Growing spawns the
+  /// extra workers immediately. Shrinking drains first — the call blocks
+  /// until every task submitted so far has run — then retires the excess
+  /// workers; retiring workers still prefer executing any task a racing
+  /// submit() enqueued over exiting, and the surviving workers outnumber
+  /// the retirements, so no task is ever stranded. Safe to call
+  /// concurrently with submit()/wait_idle(); concurrent resize() calls
+  /// serialize against each other.
+  void resize(int num_threads);
+
  private:
   void worker_loop();
 
+  /// Guards workers_ against concurrent resize() and makes size() safe to
+  /// read from any thread. Never held while waiting on cv_/idle_cv_.
+  mutable std::mutex resize_mutex_;
   std::vector<std::thread> workers_;
+
   std::queue<std::packaged_task<void()>> queue_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
+  std::condition_variable retire_cv_;
   std::size_t in_flight_ = 0;
   std::size_t completed_ = 0;
+  std::size_t retire_ = 0;  ///< workers asked to exit by a shrink
+  std::vector<std::thread::id> retired_;  ///< exited, awaiting join
   bool stop_ = false;
 };
 

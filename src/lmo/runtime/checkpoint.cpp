@@ -7,6 +7,7 @@
 #include "lmo/ckpt/format.hpp"
 #include "lmo/ckpt/tensor_codec.hpp"
 #include "lmo/kvshare/shared_kv_cache.hpp"
+#include "lmo/runtime/kv_factory.hpp"
 #include "lmo/runtime/window_kv.hpp"
 #include "lmo/telemetry/trace.hpp"
 #include "lmo/util/check.hpp"
@@ -68,7 +69,14 @@ std::unique_ptr<KVCacheBase> decode_dense(ckpt::ByteReader& reader,
     throw util::CheckpointCorrupt("dense KV checkpoint has invalid bits " +
                                   std::to_string(bits));
   }
-  auto cache = std::make_unique<KVCache>(hidden, bits, group, *context.pool);
+  KvCacheSpec spec;
+  spec.hidden = hidden;
+  spec.num_layers = 1;
+  spec.kv_bits = bits;
+  spec.quant_group = group;
+  spec.pool = context.pool;
+  auto base = MakeLayerKvCache(KVFlavor::kDense, spec);
+  auto* cache = static_cast<KVCache*>(base.get());
   const auto decode_rows = [&] {
     std::vector<KVCache::Row> rows;
     rows.reserve(static_cast<std::size_t>(length));
@@ -91,7 +99,7 @@ std::unique_ptr<KVCacheBase> decode_dense(ckpt::ByteReader& reader,
     throw util::CheckpointCorrupt(
         std::string("dense KV checkpoint is inconsistent: ") + e.what());
   }
-  return cache;
+  return base;
 }
 
 void encode_paged(ckpt::ByteWriter& writer, const PagedKVCache& cache) {
@@ -111,11 +119,15 @@ std::unique_ptr<KVCacheBase> decode_paged(ckpt::ByteReader& reader,
   LMO_CHECK_MSG(context.page_pool != nullptr,
                 "paged KV restore needs a page pool");
   const std::int64_t length = reader.i64();
-  auto cache = std::make_unique<PagedKVCache>(*context.page_pool);
+  KvCacheSpec spec;
+  spec.num_layers = 1;
+  spec.page_pool = context.page_pool;
+  auto owned = MakeLayerKvCache(KVFlavor::kPaged, spec);
+  auto* cache = static_cast<PagedKVCache*>(owned.get());
   if (length < 0) {
     throw util::CheckpointCorrupt("paged KV checkpoint has negative length");
   }
-  if (length == 0) return cache;
+  if (length == 0) return owned;
   const std::int64_t hidden = context.page_pool->hidden();
   const std::vector<float> k = reader.f32_array();
   const std::vector<float> v = reader.f32_array();
@@ -134,7 +146,7 @@ std::unique_ptr<KVCacheBase> decode_paged(ckpt::ByteReader& reader,
     };
     cache->append(row(k), row(v));
   }
-  return cache;
+  return owned;
 }
 
 void encode_window(ckpt::ByteWriter& writer, const WindowKVCache& cache) {
@@ -162,14 +174,20 @@ std::unique_ptr<KVCacheBase> decode_window(ckpt::ByteReader& reader,
   if (hidden <= 0 || window <= 0) {
     throw util::CheckpointCorrupt("window KV checkpoint has invalid geometry");
   }
-  auto cache = std::make_unique<WindowKVCache>(hidden, window, *context.pool);
+  KvCacheSpec spec;
+  spec.hidden = hidden;
+  spec.num_layers = 1;
+  spec.window_tokens = window;
+  spec.pool = context.pool;
+  auto base = MakeLayerKvCache(KVFlavor::kWindow, spec);
+  auto* cache = static_cast<WindowKVCache*>(base.get());
   try {
     cache->restore(appended, visible, std::move(k_ring), std::move(v_ring));
   } catch (const util::CheckError& e) {
     throw util::CheckpointCorrupt(
         std::string("window KV checkpoint is inconsistent: ") + e.what());
   }
-  return cache;
+  return base;
 }
 
 void encode_shared(ckpt::ByteWriter& writer,

@@ -3,14 +3,19 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <map>
+#include <thread>
 #include <vector>
 
 #include "lmo/kvshare/prefix_cache.hpp"
 #include "lmo/kvshare/shared_kv_cache.hpp"
+#include "lmo/model/memory.hpp"
+#include "lmo/parallel/bundling.hpp"
 #include "lmo/runtime/window_kv.hpp"
 #include "lmo/telemetry/trace.hpp"
 #include "lmo/tensor/ops.hpp"
 #include "lmo/util/check.hpp"
+#include "lmo/util/validate.hpp"
 
 namespace lmo::runtime {
 namespace {
@@ -22,18 +27,6 @@ double seconds_since(Clock::time_point start) {
 }
 
 }  // namespace
-
-const char* to_string(KVFlavor flavor) {
-  switch (flavor) {
-    case KVFlavor::kDense:
-      return "dense";
-    case KVFlavor::kPaged:
-      return "paged";
-    case KVFlavor::kWindow:
-      return "window";
-  }
-  return "unknown";
-}
 
 void SamplingConfig::validate() const {
   LMO_CHECK_GE(temperature, 0.0);
@@ -115,10 +108,53 @@ std::int64_t sample_token(const tensor::Tensor& logits,
   return static_cast<std::int64_t>(candidates.back());
 }
 
+void RuntimeConfig::validate() const {
+  spec.validate();
+  sampling.validate();
+  recovery.validate();
+  adaptive.validate();
+  // Note: callers passing the legacy paged_kv bool are validated after the
+  // Generator constructor canonicalizes it into kv_flavor.
+  util::Validate("RuntimeConfig", [this](util::Validator& v) {
+    v.ge("device_layers", device_layers, 0)
+        .le("device_layers", device_layers, spec.num_layers);
+    v.require("weight_bits",
+              weight_bits == 16 || weight_bits == 8 || weight_bits == 4,
+              "must be 16, 8 or 4");
+    v.require("kv_bits", kv_bits == 16 || kv_bits == 8 || kv_bits == 4,
+              "must be 16, 8 or 4");
+    v.gt("quant_group", quant_group, 0);
+    v.gt("device_capacity", device_capacity, 0);
+    v.gt("host_capacity", host_capacity, 0);
+    v.gt("page_tokens", page_tokens, 0);
+    v.gt("window_tokens", window_tokens, 0);
+    v.gt("kv_block_tokens", kv_block_tokens, 0);
+    v.ge("prefetch_threads", prefetch_threads, 0);
+    v.ge("compute_threads", compute_threads, 0);
+    if (kv_flavor == KVFlavor::kPaged) {
+      v.require("kv_bits", kv_bits == 16,
+                "paged KV pages store f32 rows; kv_bits must be 16");
+    }
+    if (kv_flavor == KVFlavor::kWindow) {
+      v.require("kv_bits", kv_bits == 16,
+                "window KV rings store f32 rows; kv_bits must be 16");
+    }
+    if (prefix_share) {
+      v.require("kv_flavor", kv_flavor == KVFlavor::kDense,
+                "prefix sharing layers over the dense KV backend");
+      v.require("kv_bits", kv_bits == 16,
+                "shared KV blocks store f32 rows; kv_bits must be 16");
+    }
+  });
+}
+
 Generator::Generator(const RuntimeConfig& config)
     : config_(config), sampling_rng_(config.sampling.seed) {
-  config_.spec.validate();
-  config_.sampling.validate();
+  // Canonicalize the legacy paged_kv bool and the flavor enum so the rest
+  // of the runtime (and the checkpoint fingerprint) sees one field.
+  if (config_.paged_kv) config_.kv_flavor = KVFlavor::kPaged;
+  config_.paged_kv = config_.kv_flavor == KVFlavor::kPaged;
+  config_.validate();
   device_pool_ =
       std::make_unique<MemoryPool>("device", config.device_capacity);
   host_pool_ = std::make_unique<MemoryPool>("host", config.host_capacity);
@@ -136,27 +172,11 @@ Generator::Generator(const RuntimeConfig& config)
         std::make_unique<parallel::ThreadPool>(config.compute_threads);
     transformer_->set_compute_pool(compute_pool_.get());
   }
-  // Canonicalize the legacy paged_kv bool and the flavor enum so the rest
-  // of the runtime (and the checkpoint fingerprint) sees one field.
-  if (config_.paged_kv) config_.kv_flavor = KVFlavor::kPaged;
-  config_.paged_kv = config_.kv_flavor == KVFlavor::kPaged;
   if (config_.kv_flavor == KVFlavor::kPaged) {
-    LMO_CHECK_MSG(config_.kv_bits == 16,
-                  "paged KV pages store f32 rows; kv_bits must be 16");
     page_pool_ = std::make_unique<PagePool>(config_.spec.hidden,
                                             config_.page_tokens, *host_pool_);
   }
-  if (config_.kv_flavor == KVFlavor::kWindow) {
-    LMO_CHECK_MSG(config_.kv_bits == 16,
-                  "window KV rings store f32 rows; kv_bits must be 16");
-    LMO_CHECK_GT(config_.window_tokens, 0);
-  }
   if (config_.prefix_share) {
-    LMO_CHECK_MSG(config_.kv_flavor == KVFlavor::kDense,
-                  "prefix sharing layers over the dense KV backend");
-    LMO_CHECK_MSG(config_.kv_bits == 16,
-                  "shared KV blocks store f32 rows; kv_bits must be 16");
-    LMO_CHECK_GT(config_.kv_block_tokens, 0);
     kvshare::PrefixCacheConfig pc;
     pc.block_tokens = config_.kv_block_tokens;
     pc.hidden = config_.spec.hidden;
@@ -169,29 +189,15 @@ Generator::Generator(const RuntimeConfig& config)
 Generator::~Generator() = default;
 
 SequenceCache Generator::make_sequence_cache() {
-  switch (config_.kv_flavor) {
-    case KVFlavor::kPaged: {
-      SequenceCache paged;
-      for (std::int64_t layer = 0; layer < config_.spec.num_layers;
-           ++layer) {
-        paged.push_back(std::make_unique<PagedKVCache>(*page_pool_));
-      }
-      return paged;
-    }
-    case KVFlavor::kWindow: {
-      SequenceCache window;
-      for (std::int64_t layer = 0; layer < config_.spec.num_layers;
-           ++layer) {
-        window.push_back(std::make_unique<WindowKVCache>(
-            config_.spec.hidden, config_.window_tokens, *host_pool_));
-      }
-      return window;
-    }
-    case KVFlavor::kDense:
-      break;
-  }
-  return transformer_->make_cache(config_.kv_bits, config_.quant_group,
-                                  *host_pool_);
+  KvCacheSpec kv;
+  kv.hidden = config_.spec.hidden;
+  kv.num_layers = config_.spec.num_layers;
+  kv.kv_bits = config_.kv_bits;
+  kv.quant_group = config_.quant_group;
+  kv.window_tokens = config_.window_tokens;
+  kv.pool = host_pool_.get();
+  kv.page_pool = page_pool_.get();
+  return MakeKvCache(config_.kv_flavor, kv);
 }
 
 SequenceCache Generator::make_shared_sequence_cache(
@@ -231,6 +237,127 @@ std::shared_ptr<kvshare::PrefixLease> Generator::publish_prefix(
           }
         }
       });
+}
+
+void Generator::start_adaptive(std::size_t batch, std::int64_t prompt_len,
+                               std::int64_t gen_len) {
+  auto& trace = telemetry::TraceRecorder::global();
+  if (!trace.enabled()) {
+    trace.enable();
+    adaptive_owns_trace_ = true;
+  }
+  trace_events_seen_ = trace.event_count();
+  adaptive_h2d_seen_ = manager_->stats().bytes_host_to_device;
+  adaptive_steps_ = 0;
+
+  // Believed Algorithm-3 inputs at this model's scale, mirroring
+  // core::LMOffload::compute_graph / io_volumes. The controller calibrates
+  // the copy bandwidth and compute scaling from measurements, so these
+  // only have to be plausible, not right.
+  parallel::SearchInput input;
+  model::AttentionGraphParams gp;
+  gp.hidden = config_.spec.hidden;
+  gp.seq_len = prompt_len + gen_len / 2;
+  gp.batch = static_cast<std::int64_t>(batch);
+  gp.num_batches = 1;
+  gp.kv_bits = config_.kv_bits;
+  input.compute_graph = model::build_attention_graph(gp);
+  parallel::bundle_small_ops(input.compute_graph);
+
+  const double host_layers = static_cast<double>(
+      config_.spec.num_layers - config_.device_layers);
+  input.io_bytes[parallel::kLoadWeight] =
+      model::layer_weight_bytes(config_.spec, config_.weight_bits) *
+      host_layers;
+  const double act_bytes = static_cast<double>(batch) *
+                           static_cast<double>(config_.spec.hidden) *
+                           sizeof(float);
+  input.io_bytes[parallel::kStoreActivation] = act_bytes;
+  input.io_bytes[parallel::kLoadActivation] = act_bytes;
+  input.io_bytes[parallel::kStoreCache] =
+      static_cast<double>(batch) *
+      static_cast<double>(config_.spec.num_layers) * 2.0 *
+      static_cast<double>(config_.spec.hidden) *
+      (static_cast<double>(config_.kv_bits) / 8.0);
+
+  input.platform = hw::Platform::rtx4090_desktop();
+  const int cores = std::max(
+      8, static_cast<int>(std::thread::hardware_concurrency()));
+  input.platform.cpu.cores = cores;
+  input.platform.cpu.hw_threads = 2 * cores;
+  input.max_threads = cores;
+
+  adaptive_ = std::make_unique<parallel::AdaptiveController>(
+      std::move(input), config_.adaptive, &manager_->metrics(), &trace);
+}
+
+void Generator::fold_adaptive_window() {
+  auto& trace = telemetry::TraceRecorder::global();
+  const std::vector<telemetry::TraceEvent> events = trace.events();
+
+  parallel::WindowSample sample;
+  sample.steps = adaptive_steps_;
+  // Pair B/E spans per (tid, name) from the cursor on; a per-key stack
+  // handles nested same-name spans (layer loops re-enter "compute").
+  std::map<std::pair<int, std::string>, std::vector<double>> open;
+  const auto fold = [&sample](const std::string& name, double dur_us) {
+    if (name == "compute") {
+      sample.compute_seconds += dur_us * 1e-6;
+      return;
+    }
+    for (std::size_t i = 0; i < parallel::kNumIoTasks; ++i) {
+      if (name == parallel::kIoTaskNames[i]) {
+        sample.io_seconds[i] += dur_us * 1e-6;
+        return;
+      }
+    }
+  };
+  for (std::size_t e = trace_events_seen_; e < events.size(); ++e) {
+    const telemetry::TraceEvent& ev = events[e];
+    if (ev.phase == 'B') {
+      open[{ev.tid, ev.name}].push_back(ev.ts_us);
+    } else if (ev.phase == 'E') {
+      auto it = open.find({ev.tid, ev.name});
+      if (it == open.end() || it->second.empty()) continue;
+      fold(ev.name, ev.ts_us - it->second.back());
+      it->second.pop_back();
+    } else if (ev.phase == 'X') {
+      fold(ev.name, ev.dur_us);
+    }
+  }
+  trace_events_seen_ = events.size();
+
+  // Only the weight stream has measured bytes (the OffloadManager's H2D
+  // counter); the other tasks keep zero bytes so they feed the measured
+  // t_gen but not the bandwidth calibration.
+  const double h2d = manager_->stats().bytes_host_to_device;
+  sample.io_bytes[parallel::kLoadWeight] =
+      std::max(0.0, h2d - adaptive_h2d_seen_);
+  adaptive_h2d_seen_ = h2d;
+
+  const parallel::ReplanDecision decision = adaptive_->observe(sample);
+  adaptive_steps_ = 0;
+  if (decision.action == parallel::ReplanAction::kHold) return;
+
+  // Apply between steps only: no forward pass is in flight, so the
+  // shrink-side drain inside resize() returns immediately and token
+  // numerics are untouched (attention is bit-identical at any pool size).
+  if (compute_pool_ != nullptr) {
+    compute_pool_->resize(std::max(1, decision.plan.intra_op_compute));
+  }
+  if (prefetch_pool_ != nullptr) {
+    prefetch_pool_->resize(
+        std::max(1, decision.plan.io_threads[parallel::kLoadWeight]));
+  }
+}
+
+void Generator::stop_adaptive() {
+  adaptive_.reset();
+  adaptive_steps_ = 0;
+  if (adaptive_owns_trace_) {
+    telemetry::TraceRecorder::global().disable();
+    adaptive_owns_trace_ = false;
+  }
 }
 
 void Generator::begin(const std::vector<std::vector<std::int64_t>>& prompts,
@@ -297,6 +424,14 @@ void Generator::begin(const std::vector<std::vector<std::int64_t>>& prompts,
   session->prefill_seconds = seconds_since(start);
   session->produced = 1;
   session_ = std::move(session);
+  if (config_.adaptive.enabled) {
+    std::size_t prompt_len = 0;
+    for (const auto& p : prompts) {
+      prompt_len = std::max(prompt_len, p.size());
+    }
+    start_adaptive(prompts.size(), static_cast<std::int64_t>(prompt_len),
+                   gen_len);
+  }
 }
 
 std::int64_t Generator::step_index() const {
@@ -335,6 +470,10 @@ void Generator::step() {
   }
   session.decode_seconds += seconds_since(start);
   ++session.produced;
+  if (adaptive_ != nullptr &&
+      ++adaptive_steps_ >= config_.adaptive.window_steps) {
+    fold_adaptive_window();
+  }
 }
 
 GenerationResult Generator::finish() {
@@ -379,6 +518,7 @@ GenerationResult Generator::finish() {
   result.device_peak_bytes = device_pool_->peak();
   result.host_peak_bytes = host_pool_->peak();
   session_.reset();
+  stop_adaptive();
   return result;
 }
 

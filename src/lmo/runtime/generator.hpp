@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "lmo/model/llm_config.hpp"
+#include "lmo/parallel/adaptive_controller.hpp"
+#include "lmo/runtime/kv_factory.hpp"
 #include "lmo/runtime/paged_kv.hpp"
 #include "lmo/runtime/transformer.hpp"
 
@@ -32,15 +34,6 @@ struct SamplingConfig {
   bool greedy() const { return temperature <= 0.0; }
   void validate() const;
 };
-
-/// Which KV-cache backend the Generator builds per sequence.
-enum class KVFlavor : std::uint8_t {
-  kDense = 0,   ///< contiguous KVCache, optionally quantized at rest
-  kPaged = 1,   ///< vLLM-style PagedKVCache over a shared PagePool
-  kWindow = 2,  ///< sliding-window ring (WindowKVCache)
-};
-
-const char* to_string(KVFlavor flavor);
 
 struct RuntimeConfig {
   model::ModelSpec spec = model::ModelSpec::tiny();
@@ -74,6 +67,16 @@ struct RuntimeConfig {
   int compute_threads = 0;
   std::uint64_t seed = 42;
   SamplingConfig sampling;   ///< greedy by default
+  /// Online adaptive parallelism control: at window boundaries the
+  /// Generator folds the measured decode-task spans into the Algorithm-3
+  /// search and resizes its thread pools to the winning plan. Token
+  /// outputs are unaffected (attention is bit-identical at any pool
+  /// size); only thread allocation changes. Not part of the checkpoint
+  /// fingerprint — resuming with a different controller setting is legal.
+  parallel::AdaptiveConfig adaptive;
+
+  /// Field-named validation (util::Validator); the constructor calls it.
+  void validate() const;
 };
 
 /// Draw one token from `logits` (rank-1, [vocab]) under `config`. Exposed
@@ -106,6 +109,10 @@ class Generator {
   OffloadManager& manager() { return *manager_; }
   MemoryPool& device_pool() { return *device_pool_; }
   MemoryPool& host_pool() { return *host_pool_; }
+  /// Live while an adaptive session is active; nullptr otherwise.
+  const parallel::AdaptiveController* adaptive_controller() const {
+    return adaptive_.get();
+  }
 
   /// Generate `gen_len` tokens for each prompt. Equivalent to
   /// begin() + step() until done() + finish().
@@ -166,6 +173,18 @@ class Generator {
     std::vector<std::shared_ptr<kvshare::PrefixLease>> leases;
   };
 
+  // -- adaptive parallelism control ---------------------------------------
+  // begin() seeds the controller with the believed Algorithm-3 inputs and
+  // (if needed) enables the global TraceRecorder the decode spans feed;
+  // every window_steps step()s fold_adaptive_window() aggregates the new
+  // spans into a WindowSample, asks the controller, and applies a changed
+  // plan by resizing the compute / prefetch pools between steps — never
+  // mid-step, so the resize's drain cannot strand a forward pass.
+  void start_adaptive(std::size_t batch, std::int64_t prompt_len,
+                      std::int64_t gen_len);
+  void fold_adaptive_window();
+  void stop_adaptive();
+
   SequenceCache make_sequence_cache();
   /// Prefix-share path: match `prompt`, build SharedKVCache layers over the
   /// lease, and report how many leading tokens prefill may skip.
@@ -187,6 +206,12 @@ class Generator {
   /// Outlives session_ (declared first): sessions hold leases into it.
   std::unique_ptr<kvshare::PrefixCache> prefix_cache_;
   std::unique_ptr<Session> session_;
+
+  std::unique_ptr<parallel::AdaptiveController> adaptive_;
+  int adaptive_steps_ = 0;            ///< steps since the last window fold
+  std::size_t trace_events_seen_ = 0; ///< global-trace cursor per window
+  double adaptive_h2d_seen_ = 0.0;    ///< manager H2D bytes already folded
+  bool adaptive_owns_trace_ = false;  ///< we enabled the global recorder
 };
 
 }  // namespace lmo::runtime

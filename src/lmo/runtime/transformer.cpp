@@ -73,13 +73,13 @@ Transformer::Transformer(const model::ModelSpec& spec,
 
 SequenceCache Transformer::make_cache(int kv_bits, std::int64_t group_size,
                                       MemoryPool& pool) const {
-  SequenceCache cache;
-  cache.reserve(static_cast<std::size_t>(spec_.num_layers));
-  for (std::int64_t layer = 0; layer < spec_.num_layers; ++layer) {
-    cache.push_back(std::make_unique<KVCache>(spec_.hidden, kv_bits,
-                                              group_size, pool));
-  }
-  return cache;
+  KvCacheSpec kv;
+  kv.hidden = spec_.hidden;
+  kv.num_layers = spec_.num_layers;
+  kv.kv_bits = kv_bits;
+  kv.quant_group = group_size;
+  kv.pool = &pool;
+  return MakeKvCache(KVFlavor::kDense, kv);
 }
 
 Tensor Transformer::embed(std::span<const std::int64_t> tokens) {

@@ -19,14 +19,12 @@
 #include "lmo/model/llm_config.hpp"
 #include "lmo/parallel/threadpool.hpp"
 #include "lmo/runtime/kv_cache.hpp"
+#include "lmo/runtime/kv_factory.hpp"
 #include "lmo/runtime/offload_manager.hpp"
 #include "lmo/tensor/tensor.hpp"
 #include "lmo/util/rng.hpp"
 
 namespace lmo::runtime {
-
-/// All KV caches for one sequence (one per layer), backend-polymorphic.
-using SequenceCache = std::vector<std::unique_ptr<KVCacheBase>>;
 
 class Transformer {
  public:
@@ -38,7 +36,8 @@ class Transformer {
 
   const model::ModelSpec& spec() const { return spec_; }
 
-  /// Fresh per-sequence caches (`spec.num_layers` of them).
+  /// Fresh dense per-sequence caches (`spec.num_layers` of them) — a
+  /// convenience over runtime::MakeKvCache with this model's dimensions.
   SequenceCache make_cache(int kv_bits, std::int64_t group_size,
                            MemoryPool& pool) const;
 

@@ -7,44 +7,59 @@
 #include <optional>
 #include <string>
 
+#include "lmo/core/lm_offload.hpp"
 #include "lmo/kvshare/prefix_cache.hpp"
+#include "lmo/parallel/adaptive_controller.hpp"
 #include "lmo/perfmodel/estimator.hpp"
+#include "lmo/runtime/kv_factory.hpp"
 #include "lmo/runtime/mempool.hpp"
 #include "lmo/util/check.hpp"
+#include "lmo/util/validate.hpp"
 
 namespace lmo::serve {
 
 void OverloadConfig::validate() const {
   if (!enabled) return;
-  LMO_CHECK_MSG(kv_pool_bytes > 0,
-                "overload protection needs a KV pool capacity "
-                "(overload.kv_pool_bytes)");
   watermarks.validate();
   ladder.validate();
-  LMO_CHECK_GT(demoted_kv_bits, 0);
-  LMO_CHECK_LE(demoted_kv_bits, 16);
-  LMO_CHECK_GT(shrink_cache_fraction, 0.0);
-  LMO_CHECK_LE(shrink_cache_fraction, 1.0);
+  util::Validate("OverloadConfig", [this](util::Validator& v) {
+    v.require("kv_pool_bytes", kv_pool_bytes > 0,
+              "overload protection needs a KV pool capacity");
+    v.gt("demoted_kv_bits", demoted_kv_bits, 0)
+        .le("demoted_kv_bits", demoted_kv_bits, 16);
+    v.in_unit("shrink_cache_fraction", shrink_cache_fraction);
+  });
 }
 
 void ServeConfig::validate() const {
-  LMO_CHECK_GE(max_batch, 1);
-  LMO_CHECK_GE(prefill_chunk, 0);
-  LMO_CHECK_GE(deadline_seconds, 0.0);
-  LMO_CHECK_GE(max_retries, 0);
-  LMO_CHECK_MSG(max_retries == 0 || deadline_seconds > 0.0,
-                "max_retries only makes sense with a deadline");
-  LMO_CHECK_GE(preempt_wait_seconds, 0.0);
-  LMO_CHECK_GE(max_preemptions_per_request, 0);
-  LMO_CHECK_MSG(!preempt || batching == Batching::kContinuous,
-                "preemption requires continuous batching: static batches "
-                "drain fully before the queue is consulted");
-  LMO_CHECK_GT(kv_block_tokens, 0);
-  for (const FaultWindow& w : fault_windows) {
-    LMO_CHECK_GT(w.end, w.begin);
-    LMO_CHECK_GT(w.bandwidth_factor, 0.0);
-    LMO_CHECK_LE(w.bandwidth_factor, 1.0);
-  }
+  util::Validate("ServeConfig", [this](util::Validator& v) {
+    v.ge("max_batch", max_batch, 1);
+    v.ge("prefill_chunk", prefill_chunk, 0);
+    v.ge("deadline_seconds", deadline_seconds, 0.0);
+    v.ge("max_retries", max_retries, 0);
+    v.require("max_retries", max_retries == 0 || deadline_seconds > 0.0,
+              "only makes sense with a deadline");
+    v.ge("preempt_wait_seconds", preempt_wait_seconds, 0.0);
+    v.ge("max_preemptions_per_request", max_preemptions_per_request, 0);
+    v.require("preempt", !preempt || batching == Batching::kContinuous,
+              "preemption requires continuous batching: static batches "
+              "drain fully before the queue is consulted");
+    v.gt("kv_block_tokens", kv_block_tokens, 0);
+    for (const FaultWindow& w : fault_windows) {
+      v.require("fault_windows", w.end > w.begin,
+                "window end must exceed its begin");
+      v.in_unit("fault_windows.bandwidth_factor", w.bandwidth_factor);
+    }
+    v.require(
+        "max_queue",
+        admission != overload::AdmissionPolicy::kUnbounded || max_queue == 0,
+        "has no effect without a bounded admission policy");
+    v.require("admission",
+              admission != overload::AdmissionPolicy::kTokenBudget ||
+                  overload.enabled,
+              "token-budget admission needs the overload KV pool "
+              "(overload.enabled) to price headroom");
+  });
   // Bounded admission: the controller config owns the queue-bound and
   // deadline coupling rules (zero bound with shedding enabled, shedding
   // without an SLO, ...).
@@ -53,14 +68,8 @@ void ServeConfig::validate() const {
   admission_config.max_queue = max_queue;
   admission_config.deadline_seconds = deadline_seconds;
   admission_config.validate();
-  LMO_CHECK_MSG(
-      admission != overload::AdmissionPolicy::kUnbounded || max_queue == 0,
-      "max_queue has no effect without a bounded admission policy");
-  LMO_CHECK_MSG(admission != overload::AdmissionPolicy::kTokenBudget ||
-                    overload.enabled,
-                "token-budget admission needs the overload KV pool "
-                "(overload.enabled) to price headroom");
   overload.validate();
+  adaptive.validate();
 }
 
 namespace {
@@ -296,9 +305,8 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   // savings and swap savings are in one currency. With overload on, the
   // shared block store charges the KV pool too — and registers the
   // pressure callback that evicts unpinned chains before a charge fails.
-  const std::size_t kv_token_bytes = static_cast<std::size_t>(
-      2.0 * static_cast<double>(spec.hidden) *
-      (static_cast<double>(policy.kv_bits) / 8.0));
+  const std::size_t kv_token_bytes =
+      runtime::kv_bytes_per_token(spec.hidden, policy.kv_bits);
   std::unique_ptr<kvshare::PrefixCache> prefix_cache;
   if (config.prefix_share) {
     kvshare::PrefixCacheConfig pc;
@@ -314,9 +322,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   // ever try_charge()d — a refusal degrades (preempt, then shed), it never
   // escapes as a ResourceExhausted throw.
   const auto kv_bytes_per_token = [&](int bits) {
-    return std::max<std::size_t>(
-        1, static_cast<std::size_t>(2.0 * static_cast<double>(spec.hidden) *
-                                    (static_cast<double>(bits) / 8.0)));
+    return runtime::kv_bytes_per_token(spec.hidden, bits);
   };
   const auto kv_target_bytes = [&](const Active& a) {
     return static_cast<std::size_t>(a.private_kv_tokens()) *
@@ -390,6 +396,76 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
       }
     }
     return factor;
+  };
+
+  // ---- adaptive parallelism control -------------------------------------
+  // The serving mirror of the Generator's closed loop, entirely in model
+  // time (deterministic). The controller is seeded with the believed
+  // Algorithm-3 inputs for the trace's mean workload; each window's task
+  // spans come from costing the in-force plan under the *effective* link
+  // (fault windows shrink the observed copy bandwidth). Step durations
+  // then scale by how the re-planned allocation compares to the static
+  // one under the same conditions — ≤ 1 when replanning helped, exactly 1
+  // when the believed plan was already right (controller on/off changes
+  // nothing on a well-calibrated run).
+  std::unique_ptr<parallel::AdaptiveController> adaptive_ctl;
+  parallel::SearchInput adaptive_believed;
+  parallel::ParallelismPlan adaptive_static_plan;
+  double adaptive_factor = 1.0;
+  int adaptive_window = 0;
+  if (config.adaptive.enabled) {
+    double prompt_sum = 0.0;
+    double gen_sum = 0.0;
+    for (const Request& r : requests) {
+      prompt_sum += static_cast<double>(r.prompt_len);
+      gen_sum += static_cast<double>(r.gen_len);
+    }
+    const double n = static_cast<double>(std::max<std::size_t>(
+        1, requests.size()));
+    model::Workload w;
+    w.prompt_len = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(prompt_sum / n));
+    w.gen_len = std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(gen_sum / n));
+    w.gpu_batch = config.max_batch;
+    w.num_batches = 1;
+    adaptive_believed.compute_graph =
+        core::LMOffload::compute_graph(spec, w, policy);
+    adaptive_believed.io_bytes = core::LMOffload::io_volumes(spec, w, policy);
+    adaptive_believed.platform = platform;
+    adaptive_ctl = std::make_unique<parallel::AdaptiveController>(
+        adaptive_believed, config.adaptive, &reg, trace);
+    adaptive_static_plan = adaptive_ctl->plan();
+  }
+  const auto adaptive_t_gen = [](const parallel::SearchInput& input,
+                                 const parallel::ParallelismPlan& plan) {
+    return parallel::evaluate_parallelism(input, plan.intra_op_compute,
+                                          plan.inter_op_compute,
+                                          plan.io_threads)
+        .t_gen;
+  };
+  const auto fold_adaptive_window = [&](double now) {
+    parallel::SearchInput truth = adaptive_believed;
+    truth.per_thread_copy_bw *= bandwidth_factor(now);
+    const parallel::ParallelismPlan& cur = adaptive_ctl->plan();
+    const parallel::ParallelismPlan observed = parallel::evaluate_parallelism(
+        truth, cur.intra_op_compute, cur.inter_op_compute, cur.io_threads);
+    parallel::WindowSample sample;
+    sample.steps = adaptive_window;
+    const double steps = static_cast<double>(adaptive_window);
+    sample.compute_seconds = observed.compute_seconds * steps;
+    for (std::size_t i = 0; i < parallel::kNumIoTasks; ++i) {
+      sample.io_seconds[i] = observed.io_seconds[i] * steps;
+      sample.io_bytes[i] = truth.io_bytes[i] * steps;
+    }
+    adaptive_ctl->observe(sample);
+    const double static_t = adaptive_t_gen(truth, adaptive_static_plan);
+    const double current_t = adaptive_t_gen(truth, adaptive_ctl->plan());
+    adaptive_factor = (static_t > 0.0 && current_t > 0.0)
+                          ? std::min(1.0, current_t / static_t)
+                          : 1.0;
+    reg.gauge("parallel.adaptive.step_factor").set(adaptive_factor);
+    adaptive_window = 0;
   };
 
   // ---- overload machinery -----------------------------------------------
@@ -797,13 +873,18 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     // One decode step for every fully-prefilled sequence.
     std::int64_t decoding = 0;
     for (const auto& a : active) decoding += a.decoding();
-    const double step =
+    double step =
         (decode_step_seconds(spec, policy, platform, active) + prefill_cost) /
         bandwidth_factor(clock);
+    if (adaptive_ctl != nullptr) step *= adaptive_factor;
     LMO_CHECK_GT(step, 0.0);
     occupancy_integral += static_cast<double>(active.size()) * step;
     clock += step;
     m_tokens.add(static_cast<std::uint64_t>(decoding));
+    if (adaptive_ctl != nullptr &&
+        ++adaptive_window >= config.adaptive.window_steps) {
+      fold_adaptive_window(clock);
+    }
 
     for (auto it = active.begin(); it != active.end();) {
       if (!it->decoding()) {

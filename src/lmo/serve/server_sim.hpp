@@ -22,6 +22,7 @@
 #include "lmo/hw/platform.hpp"
 #include "lmo/model/llm_config.hpp"
 #include "lmo/overload/admission.hpp"
+#include "lmo/parallel/adaptive_controller.hpp"
 #include "lmo/overload/ladder.hpp"
 #include "lmo/overload/watermark.hpp"
 #include "lmo/perfmodel/policy.hpp"
@@ -120,6 +121,16 @@ struct ServeConfig {
   overload::AdmissionPolicy admission =
       overload::AdmissionPolicy::kUnbounded;
   OverloadConfig overload;
+
+  /// Online adaptive parallelism control (paper Algorithm 3, closed-loop):
+  /// the engine seeds an AdaptiveController with the policy's believed
+  /// thread allocation, observes each window's simulated task spans under
+  /// the *effective* link bandwidth (fault windows included), and scales
+  /// step durations by how close the re-planned allocation gets to the
+  /// believed optimum. Deterministic: decisions depend only on the
+  /// modelled spans. parallel.* metrics/spans land in the run's registry
+  /// and trace.
+  parallel::AdaptiveConfig adaptive;
 
   void validate() const;
 };

@@ -72,6 +72,11 @@ void Engine::set_fault_model(const FaultModel& model) {
   fault_model_ = model;
 }
 
+void Engine::set_task_observer(std::function<void(const TaskRecord&)> observer) {
+  LMO_CHECK_MSG(!ran_, "set_task_observer must precede run()");
+  observer_ = std::move(observer);
+}
+
 RunResult Engine::run() {
   LMO_CHECK_MSG(!ran_, "Engine::run may be called only once");
   ran_ = true;
@@ -149,6 +154,7 @@ RunResult Engine::run() {
     rec.finish = finish;
     result.makespan = std::max(result.makespan, finish);
     ++scheduled;
+    if (observer_) observer_(rec);
 
     for (TaskId succ : successors[static_cast<std::size_t>(id)]) {
       auto& rt = ready_time[static_cast<std::size_t>(succ)];

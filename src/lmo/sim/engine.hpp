@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <string>
@@ -98,6 +99,13 @@ class Engine {
   /// (schedule, model) pair always degrades identically.
   void set_fault_model(const FaultModel& model);
 
+  /// Observer invoked for each task as it is scheduled during run(), in
+  /// deterministic schedule order, with its record fully filled in. The
+  /// DES mirror of the runtime's TraceRecorder span feed: the adaptive
+  /// parallelism controller folds these records into its WindowSamples so
+  /// simulated benches exercise the same feedback loop as live runs.
+  void set_task_observer(std::function<void(const TaskRecord&)> observer);
+
   /// Execute the schedule. May be called once per engine.
   RunResult run();
 
@@ -117,6 +125,7 @@ class Engine {
   std::vector<PendingTask> tasks_;
   std::vector<Resource> resources_;
   std::optional<FaultModel> fault_model_;
+  std::function<void(const TaskRecord&)> observer_;
   bool ran_ = false;
 };
 

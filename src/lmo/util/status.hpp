@@ -24,6 +24,15 @@
 
 namespace lmo::util {
 
+/// An invalid configuration, reported with field-named messages (see
+/// util/validate.hpp). A CheckError subtype: configs are caller input, and
+/// every validate() predates the typed taxonomy, so fail-fast callers and
+/// tests written against CheckError keep working.
+class ConfigError : public CheckError {
+ public:
+  explicit ConfigError(const std::string& what) : CheckError(what) {}
+};
+
 /// A transient host↔device transfer failure. Retry with backoff; if the
 /// budget is exhausted the error propagates to the caller.
 class TransferError : public std::runtime_error {

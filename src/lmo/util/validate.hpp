@@ -1,0 +1,104 @@
+// One config-validation idiom for every *Config struct (ServeConfig,
+// RuntimeConfig, OverloadConfig, AdaptiveConfig, ...). Before this helper
+// each validate() was a wall of LMO_CHECK macros whose failures read as
+// anonymous contract violations; a Validator names the config and the
+// field in every message and collects *all* violations before throwing,
+// so a CLI user fixing a flag file sees the whole list at once:
+//
+//   void OverloadConfig::validate() const {
+//     util::Validator v("OverloadConfig");
+//     v.gt("kv_pool_bytes", kv_pool_bytes, std::size_t{0});
+//     v.in_unit("shrink_cache_fraction", shrink_cache_fraction);
+//     v.require("demoted_kv_bits", demoted_kv_bits <= 16,
+//               "must be a storable bit width (<= 16)");
+//     v.done();  // throws ConfigError listing every failure
+//   }
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lmo/util/status.hpp"
+
+namespace lmo::util {
+
+class Validator {
+ public:
+  /// `config_name` prefixes every message ("ServeConfig.max_batch: ...").
+  explicit Validator(std::string config_name)
+      : config_(std::move(config_name)) {}
+
+  template <typename T, typename U>
+  Validator& ge(const char* field, const T& value, const U& bound) {
+    if (!(value >= static_cast<T>(bound))) fail(field, value, ">=", bound);
+    return *this;
+  }
+  template <typename T, typename U>
+  Validator& gt(const char* field, const T& value, const U& bound) {
+    if (!(value > static_cast<T>(bound))) fail(field, value, ">", bound);
+    return *this;
+  }
+  template <typename T, typename U>
+  Validator& le(const char* field, const T& value, const U& bound) {
+    if (!(value <= static_cast<T>(bound))) fail(field, value, "<=", bound);
+    return *this;
+  }
+  template <typename T, typename U>
+  Validator& lt(const char* field, const T& value, const U& bound) {
+    if (!(value < static_cast<T>(bound))) fail(field, value, "<", bound);
+    return *this;
+  }
+  /// Half-open unit interval (0, 1] — the shape of every fraction knob.
+  template <typename T>
+  Validator& in_unit(const char* field, const T& value) {
+    gt(field, value, 0.0);
+    return le(field, value, 1.0);
+  }
+  /// Arbitrary predicate with a caller-phrased reason.
+  Validator& require(const char* field, bool ok, const std::string& reason) {
+    if (!ok) {
+      errors_.push_back(config_ + "." + field + ": " + reason);
+    }
+    return *this;
+  }
+
+  bool ok() const { return errors_.empty(); }
+  /// Every collected violation, one per line.
+  std::string message() const {
+    std::string all;
+    for (const std::string& e : errors_) {
+      if (!all.empty()) all += "\n";
+      all += e;
+    }
+    return all;
+  }
+  /// Throw ConfigError with the full violation list; no-op when clean.
+  void done() const {
+    if (!errors_.empty()) throw ConfigError(message());
+  }
+
+ private:
+  template <typename T, typename U>
+  void fail(const char* field, const T& value, const char* op,
+            const U& bound) {
+    std::ostringstream os;
+    os << config_ << "." << field << ": must be " << op << " " << bound
+       << " (got " << value << ")";
+    errors_.push_back(os.str());
+  }
+
+  std::string config_;
+  std::vector<std::string> errors_;
+};
+
+/// Run `body` against a fresh Validator and throw the collected errors —
+/// the one-expression spelling for validate() methods.
+template <typename Body>
+void Validate(const std::string& config_name, Body&& body) {
+  Validator v(config_name);
+  body(v);
+  v.done();
+}
+
+}  // namespace lmo::util

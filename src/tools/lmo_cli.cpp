@@ -29,6 +29,7 @@
 #include "lmo/core/lm_offload.hpp"
 #include "lmo/core/plan_io.hpp"
 #include "lmo/hw/platform_config.hpp"
+#include "lmo/parallel/adaptive_controller.hpp"
 #include "lmo/runtime/checkpoint.hpp"
 #include "lmo/runtime/generator.hpp"
 #include "lmo/sched/flexgen.hpp"
@@ -326,6 +327,12 @@ int cmd_serve(const Args& args) {
         static_cast<std::size_t>(kv_pool_mb) << 20;
   }
 
+  // Online adaptive parallelism control: the engine closes the loop from
+  // observed task spans back into the Algorithm-3 thread allocation.
+  config.adaptive.enabled = args.get_int("adaptive", 0) != 0;
+  config.adaptive.window_steps =
+      static_cast<int>(args.get_int("window-steps", 8));
+
   telemetry::MetricsRegistry registry;
   telemetry::TraceRecorder trace_recorder;
   const std::string trace_out = args.get("trace-out", "");
@@ -373,6 +380,24 @@ int cmd_serve(const Args& args) {
                 m.request_goodput);
   }
 
+  if (config.adaptive.enabled) {
+    std::printf("adaptive parallelism: %llu attempts, %llu applied, %llu "
+                "reverted, %llu held | threads %g/%g/%g "
+                "(intra/inter/io) | step factor %.3f\n",
+                static_cast<unsigned long long>(
+                    registry.counter("parallel.replan.attempts").value()),
+                static_cast<unsigned long long>(
+                    registry.counter("parallel.replan.applied").value()),
+                static_cast<unsigned long long>(
+                    registry.counter("parallel.replan.reverted").value()),
+                static_cast<unsigned long long>(
+                    registry.counter("parallel.replan.held").value()),
+                registry.gauge("parallel.threads.intra").value(),
+                registry.gauge("parallel.threads.inter").value(),
+                registry.gauge("parallel.threads.io_total").value(),
+                registry.gauge("parallel.adaptive.step_factor").value());
+  }
+
   const std::string metrics_out = args.get("metrics-out", "");
   if (!metrics_out.empty()) {
     registry.snapshot().save(metrics_out);
@@ -383,14 +408,6 @@ int cmd_serve(const Args& args) {
     std::printf("wrote request-lifecycle trace to %s\n", trace_out.c_str());
   }
   return 0;
-}
-
-runtime::KVFlavor kv_flavor_from_arg(const std::string& name) {
-  if (name == "dense") return runtime::KVFlavor::kDense;
-  if (name == "paged") return runtime::KVFlavor::kPaged;
-  if (name == "window") return runtime::KVFlavor::kWindow;
-  throw util::CheckError("unknown --kv flavor: " + name +
-                         " (expected dense|paged|window)");
 }
 
 /// The tiny streamed-weights runtime setup shared by the generation-level
@@ -404,7 +421,7 @@ runtime::RuntimeConfig tiny_runtime_config(const Args& args) {
   config.device_layers = 0;
   config.prefetch_threads = 0;
   config.recovery.retry_backoff_seconds = 1e-5;
-  config.kv_flavor = kv_flavor_from_arg(args.get("kv", "dense"));
+  config.kv_flavor = runtime::kv_flavor_from_string(args.get("kv", "dense"));
   if (config.kv_flavor == runtime::KVFlavor::kWindow) {
     config.window_tokens = args.get_int("window", 8);
   }
@@ -668,6 +685,112 @@ int cmd_chaos_overload(const Args& args) {
                                                                         : 1;
 }
 
+/// `lmo chaos --profile adaptive`: the adaptive-parallelism determinism
+/// drill, in two parts. (1) Two seeded closed-loop simulations on a
+/// miscalibrated believed input (copy bandwidth 4x too optimistic) must
+/// produce byte-identical metrics snapshots and replan traces, and the
+/// controller must actually re-plan to at least match the static plan.
+/// (2) Real tiny-Generator runs: adaptive twice must agree token-for-token,
+/// and adaptive vs. control-off must too — the controller moves threads,
+/// never tokens.
+int cmd_chaos_adaptive(const Args& args) {
+  const auto spec = model::ModelSpec::by_name(args.get("model", "opt-13b"));
+  // Default to the desktop preset: 16 cores and a PCIe 4 link make the
+  // believed plan I/O-bound once the true copy bandwidth is 4x lower, so
+  // the drill genuinely forces a re-plan (the datacenter presets stay
+  // compute-bound and would hold forever).
+  const auto platform = hw::platform_by_name(
+      args.get("platform", "rtx4090-desktop"));
+  const int windows = static_cast<int>(args.get_int("windows", 6));
+
+  model::Workload w;
+  w.prompt_len = 512;
+  w.gen_len = 32;
+  w.gpu_batch = 8;
+  w.num_batches = 1;
+  perfmodel::Policy policy;
+  policy.weights_on_gpu = 0.5;
+  policy.attention_on_cpu = false;
+  policy.activations_on_gpu = 1.0;
+  policy.weight_bits = 4;
+  policy.kv_bits = 4;
+  policy.parallelism_control = true;
+
+  parallel::SearchInput believed;
+  believed.compute_graph = core::LMOffload::compute_graph(spec, w, policy);
+  believed.io_bytes = core::LMOffload::io_volumes(spec, w, policy);
+  believed.platform = platform;
+  parallel::SearchInput truth = believed;
+  truth.per_thread_copy_bw = believed.per_thread_copy_bw / 4.0;
+
+  parallel::AdaptiveConfig aconfig;
+  aconfig.enabled = true;
+
+  parallel::AdaptiveSimResult sim_result;
+  const auto run = [&](parallel::AdaptiveSimResult* out) {
+    telemetry::MetricsRegistry reg;
+    telemetry::TraceRecorder rec;
+    rec.enable();
+    const auto r = parallel::simulate_adaptive(believed, truth, aconfig,
+                                               windows, &reg, &rec);
+    if (out != nullptr) *out = r;
+    return std::pair<std::string, std::string>(reg.snapshot().to_json(),
+                                               rec.to_json());
+  };
+  const auto a = run(&sim_result);
+  const auto b = run(nullptr);
+  const bool metrics_identical = a.first == b.first;
+  const bool traces_identical = a.second == b.second;
+  const bool replanned = sim_result.applied > 0;
+  const bool no_regression =
+      sim_result.adaptive_t_gen <= sim_result.static_t_gen * 1.0001;
+
+  std::printf("chaos profile 'adaptive' on %s: believed copy bw %.1f "
+              "GB/s/thread, true %.1f\n",
+              spec.name.c_str(), believed.per_thread_copy_bw / 1e9,
+              truth.per_thread_copy_bw / 1e9);
+  std::printf("closed loop over %d windows: t_gen %.3f s static -> %.3f s "
+              "adaptive (%d applied, %d reverted)\n",
+              windows, sim_result.static_t_gen, sim_result.adaptive_t_gen,
+              sim_result.applied, sim_result.reverted);
+  std::printf("metrics snapshots byte-identical: %s\n",
+              metrics_identical ? "yes" : "NO — adaptive determinism bug");
+  std::printf("replan traces byte-identical:     %s\n",
+              traces_identical ? "yes" : "NO — adaptive determinism bug");
+
+  // Part 2: the real runtime. Same prompts, controller on/on/off.
+  runtime::RuntimeConfig rconfig = tiny_runtime_config(args);
+  const std::int64_t gen_len = args.get_int("len", 12);
+  rconfig.adaptive.enabled = true;
+  rconfig.adaptive.window_steps = 3;
+  const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
+  const auto generate = [&](const runtime::RuntimeConfig& c) {
+    runtime::Generator gen(c);
+    return gen.generate(prompts, gen_len).tokens;
+  };
+  const auto adaptive_1 = generate(rconfig);
+  const auto adaptive_2 = generate(rconfig);
+  rconfig.adaptive.enabled = false;
+  const auto control_off = generate(rconfig);
+  const bool runs_identical = adaptive_1 == adaptive_2;
+  const bool tokens_unaffected = adaptive_1 == control_off;
+  std::printf("runtime tokens identical across adaptive runs: %s\n",
+              runs_identical ? "yes" : "NO — adaptive determinism bug");
+  std::printf("runtime tokens identical with controller off: %s\n",
+              tokens_unaffected ? "yes" : "NO — controller perturbed tokens");
+  if (!replanned) {
+    std::printf("WARNING: controller never applied a re-plan — drill did "
+                "not exercise adaptation\n");
+  }
+  if (!no_regression) {
+    std::printf("WARNING: adaptive t_gen regressed past the static plan\n");
+  }
+  return metrics_identical && traces_identical && replanned &&
+                 no_regression && runs_identical && tokens_unaffected
+             ? 0
+             : 1;
+}
+
 /// `lmo checkpoint`: run the tiny generator partway and snapshot its state
 /// to a file `lmo resume` can pick up — the smallest end-to-end exercise of
 /// the crash-resume path.
@@ -743,6 +866,7 @@ int cmd_chaos(const Args& args) {
   if (profile == "kill-resume") return cmd_chaos_kill_resume(args);
   if (profile == "shared-prefix") return cmd_chaos_shared_prefix(args);
   if (profile == "overload") return cmd_chaos_overload(args);
+  if (profile == "adaptive") return cmd_chaos_adaptive(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
   const std::int64_t gen_len = args.get_int("len", 12);
 
@@ -793,7 +917,8 @@ int cmd_chaos(const Args& args) {
                  "dead-prefetch, oom [--denials N], "
                  "kill-resume [--rate P] [--kv dense|paged|window], "
                  "shared-prefix [--rate P] [--kv-block-tokens N], "
-                 "overload [--burst-rate R] [--kv-pool-kb N]\n",
+                 "overload [--burst-rate R] [--kv-pool-kb N], "
+                 "adaptive [--windows N]\n",
                  profile.c_str());
     return 2;
   }
@@ -940,10 +1065,18 @@ int cmd_trace_runtime(const Args& args) {
   config.quant_group = 32;
   config.device_layers = 0;       // every layer streams: load_weight spans
   config.prefetch_threads = 2;    // worker rows that overlap the main row
+  // --adaptive 1: close the loop — the controller folds this run's own
+  // measured spans back into Algorithm 3 and re-plans between windows.
+  // Token outputs are unaffected; replan decisions land as
+  // "parallel.replan:*" spans on pid 2 of the same timeline.
+  config.adaptive.enabled = args.get_int("adaptive", 0) != 0;
+  config.adaptive.window_steps =
+      static_cast<int>(args.get_int("window-steps", 4));
   const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
 
   auto& trace = telemetry::TraceRecorder::global();
   trace.set_process_name(0, "lmo-runtime");
+  trace.set_process_name(parallel::kParallelTracePid, "lmo-adaptive");
   trace.enable();
   runtime::Generator generator(config);
   const auto result = generator.generate(prompts, gen_len);
@@ -957,6 +1090,20 @@ int cmd_trace_runtime(const Args& args) {
               result.tokens_per_second,
               static_cast<unsigned long long>(result.offload.fetches),
               static_cast<unsigned long long>(result.offload.staging_hits));
+  if (config.adaptive.enabled) {
+    auto& reg = generator.manager().metrics();
+    std::printf("adaptive parallelism: %llu attempts, %llu applied, %llu "
+                "reverted, %llu held | calibrated copy bw %.2f GB/s/thread\n",
+                static_cast<unsigned long long>(
+                    reg.counter("parallel.replan.attempts").value()),
+                static_cast<unsigned long long>(
+                    reg.counter("parallel.replan.applied").value()),
+                static_cast<unsigned long long>(
+                    reg.counter("parallel.replan.reverted").value()),
+                static_cast<unsigned long long>(
+                    reg.counter("parallel.replan.held").value()),
+                reg.gauge("parallel.calibration.copy_bw").value() / 1e9);
+  }
 
   const std::string metrics_out = args.get("metrics-out", "");
   if (!metrics_out.empty()) {
@@ -999,9 +1146,10 @@ int usage() {
                "rtx4090-desktop\n"
                "chaos: run generation under a fault profile "
                "(--profile flaky-pcie|congested|dead-prefetch|oom|"
-               "kill-resume|shared-prefix|overload [--rate P] [--denials N] "
-               "[--seed S] [--kv dense|paged|window] "
-               "[--kv-block-tokens N] [--burst-rate R] [--kv-pool-kb N])\n"
+               "kill-resume|shared-prefix|overload|adaptive [--rate P] "
+               "[--denials N] [--seed S] [--kv dense|paged|window] "
+               "[--kv-block-tokens N] [--burst-rate R] [--kv-pool-kb N] "
+               "[--windows N])\n"
                "serve: --prefix-share 1 shares prompt KV across requests "
                "(--kv-block-tokens N); --templates N draws a shared-prefix "
                "workload [--template-tokens T]\n"
@@ -1013,7 +1161,10 @@ int usage() {
                "([--at N] [--len N] [--kv dense|paged|window] [--out FILE]);"
                "\nresume: finish it from the file (--from FILE)\n"
                "trace: predicted timeline by default; --runtime 1 records a "
-               "real Generator run's spans\n"
+               "real Generator run's spans (--adaptive 1 closes the "
+               "parallelism loop on those spans)\n"
+               "serve adaptive: --adaptive 1 [--window-steps N] re-plans "
+               "the Algorithm-3 thread allocation online\n"
                "telemetry: --metrics-out FILE on trace/serve/chaos exports "
                "the metrics registry as JSON;\n           --trace-out FILE "
                "on serve captures request-lifecycle spans\n");
