@@ -1,0 +1,156 @@
+#include "lmo/integrity/integrity.hpp"
+
+#include "lmo/telemetry/trace.hpp"
+#include "lmo/util/check.hpp"
+#include "lmo/util/checksum.hpp"
+#include "lmo/util/validate.hpp"
+
+namespace lmo::integrity {
+
+const char* to_string(VerifyPolicy policy) {
+  switch (policy) {
+    case VerifyPolicy::kOff:
+      return "off";
+    case VerifyPolicy::kSample:
+      return "sample";
+    case VerifyPolicy::kAlways:
+      return "always";
+  }
+  LMO_UNREACHABLE("bad VerifyPolicy");
+}
+
+VerifyPolicy verify_policy_from_string(const std::string& name) {
+  if (name == "off") return VerifyPolicy::kOff;
+  if (name == "sample") return VerifyPolicy::kSample;
+  if (name == "always") return VerifyPolicy::kAlways;
+  throw util::CheckError("unknown verify policy: \"" + name +
+                         "\" (expected off|sample|always)");
+}
+
+const char* to_string(RepairKind kind) {
+  switch (kind) {
+    case RepairKind::kRefetch:
+      return "refetch";
+    case RepairKind::kRecompute:
+      return "recompute";
+    case RepairKind::kQuarantine:
+      return "quarantine";
+  }
+  LMO_UNREACHABLE("bad RepairKind");
+}
+
+void IntegrityConfig::validate() const {
+  util::Validate("IntegrityConfig", [&](util::Validator& v) {
+    v.gt("sample_period", sample_period, 0);
+    v.ge("max_repair_attempts", max_repair_attempts, 0);
+    v.gt("checksum_gbps", checksum_gbps, 0.0);
+  });
+}
+
+ChecksumRegistry::ChecksumRegistry(const IntegrityConfig& config,
+                                   telemetry::MetricsRegistry* metrics)
+    : config_(config) {
+  config_.validate();
+  if (metrics == nullptr) return;
+  // Pre-register the whole integrity.* schema so snapshots are stable
+  // (zeros when the policy never fires) and hot paths touch atomics only.
+  verify_total_ = &metrics->counter("integrity.verify.total");
+  verify_failures_ = &metrics->counter("integrity.verify.failures");
+  verify_bytes_ = &metrics->gauge("integrity.verify.bytes");
+  repair_refetch_ = &metrics->counter("integrity.repair.refetch");
+  repair_recompute_ = &metrics->counter("integrity.repair.recompute");
+  repair_quarantine_ = &metrics->counter("integrity.repair.quarantine");
+  quarantined_blocks_ = &metrics->counter("integrity.quarantine.blocks");
+  unrepairable_ = &metrics->counter("integrity.unrepairable");
+  regions_gauge_ = &metrics->gauge("integrity.regions");
+}
+
+void ChecksumRegistry::record(const std::string& region, std::uint32_t crc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  regions_[region] = Region{crc, 0};
+  if (regions_gauge_ != nullptr) {
+    regions_gauge_->set(static_cast<double>(regions_.size()));
+  }
+}
+
+void ChecksumRegistry::forget(const std::string& region) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  regions_.erase(region);
+  if (regions_gauge_ != nullptr) {
+    regions_gauge_->set(static_cast<double>(regions_.size()));
+  }
+}
+
+std::size_t ChecksumRegistry::region_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return regions_.size();
+}
+
+bool ChecksumRegistry::should_verify(const std::string& region) {
+  if (!config_.enabled()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(region);
+  if (it == regions_.end()) return false;
+  return config_.should_verify(it->second.loads++);
+}
+
+bool ChecksumRegistry::verify_bytes_locked_free(
+    std::span<const std::byte> data, std::uint32_t expected) {
+  telemetry::ScopedSpan span(telemetry::TraceRecorder::global(), "verify",
+                             "integrity");
+  const bool ok = util::crc32(data) == expected;
+  if (verify_total_ != nullptr) {
+    verify_total_->add();
+    verify_bytes_->add(static_cast<double>(data.size()));
+    if (!ok) verify_failures_->add();
+  }
+  return ok;
+}
+
+bool ChecksumRegistry::verify(const std::string& region,
+                              std::span<const std::byte> data) {
+  std::uint32_t expected = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = regions_.find(region);
+    if (it == regions_.end()) return true;
+    expected = it->second.crc;
+  }
+  return verify_bytes_locked_free(data, expected);
+}
+
+bool ChecksumRegistry::verify_value(std::span<const std::byte> data,
+                                    std::uint32_t expected) {
+  return verify_bytes_locked_free(data, expected);
+}
+
+bool ChecksumRegistry::verify_value(std::span<const float> data,
+                                    std::uint32_t expected) {
+  return verify_bytes_locked_free(std::as_bytes(data), expected);
+}
+
+void ChecksumRegistry::note_repair(RepairKind kind) {
+  telemetry::Counter* c = nullptr;
+  switch (kind) {
+    case RepairKind::kRefetch:
+      c = repair_refetch_;
+      break;
+    case RepairKind::kRecompute:
+      c = repair_recompute_;
+      break;
+    case RepairKind::kQuarantine:
+      c = repair_quarantine_;
+      break;
+  }
+  if (c != nullptr) c->add();
+}
+
+void ChecksumRegistry::note_quarantined_blocks(std::uint64_t n) {
+  if (quarantined_blocks_ != nullptr && n > 0) quarantined_blocks_->add(n);
+}
+
+void ChecksumRegistry::note_unrepairable() {
+  if (unrepairable_ != nullptr) unrepairable_->add();
+}
+
+}  // namespace lmo::integrity

@@ -1,0 +1,155 @@
+// End-to-end integrity for the offload path: silent-corruption detection
+// and repair.
+//
+// Every byte the runtime parks off-GPU — host weight shards, demoted or
+// quantized KV rows, shared prefix blocks — crosses a link (PCIe, NVMe,
+// DRAM) that can flip bits without raising an error. The integrity layer
+// fingerprints each region with the shared CRC-32 (util/checksum) at
+// write/offload time and re-checks on load under a configurable policy:
+//
+//   off     zero-cost: no fingerprints consulted, corruption propagates
+//   sample  every Nth load of a region is verified (cheap steady-state)
+//   always  every load is verified (bounded overhead, full coverage)
+//
+// A detected mismatch enters a *typed repair ladder* keyed on what the
+// region is (see docs/robustness.md):
+//
+//   weights  re-fetch from the pristine host/disk source (OffloadManager)
+//   KV rows  recompute by re-running prefill over the token history
+//            (Generator catches DataCorruption and rebuilds the session)
+//   prefix   quarantine: detach the block's subtree from the radix tree so
+//   blocks   no new request can match it; private copies proceed
+//
+// When the ladder is exhausted the region owner throws util::DataCorruption
+// — servers roll the session back to its last checkpoint instead of
+// crashing. Verification gating is a pure function of a per-region load
+// ordinal so outcomes are deterministic under any thread interleaving; the
+// seeded bit-flip fault class (util/fault, FaultKind::kBitFlip) exercises
+// the whole path reproducibly (`lmo chaos --profile bitflip`).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "lmo/telemetry/metrics.hpp"
+
+namespace lmo::integrity {
+
+/// When to re-check a region's fingerprint on load.
+enum class VerifyPolicy { kOff, kSample, kAlways };
+
+const char* to_string(VerifyPolicy policy);
+/// Parses "off" / "sample" / "always"; throws CheckError otherwise.
+VerifyPolicy verify_policy_from_string(const std::string& name);
+
+struct IntegrityConfig {
+  VerifyPolicy policy = VerifyPolicy::kOff;
+  /// Under kSample, verify load ordinals 0, N, 2N, ... of each region.
+  std::int64_t sample_period = 16;
+  /// Repair-ladder retries per detected corruption before the owner gives
+  /// up and throws DataCorruption.
+  std::int64_t max_repair_attempts = 2;
+  /// Modeled checksum throughput (GB/s) for the estimator / serving
+  /// simulator's verification-bandwidth term. Has no effect on the real
+  /// runtime path.
+  double checksum_gbps = 5.0;
+
+  bool enabled() const { return policy != VerifyPolicy::kOff; }
+
+  /// Pure policy gate: should the load with this per-region ordinal be
+  /// verified? Deterministic under any thread interleaving because the
+  /// caller owns the ordinal (load count, row index, block index).
+  bool should_verify(std::uint64_t ordinal) const {
+    switch (policy) {
+      case VerifyPolicy::kOff:
+        return false;
+      case VerifyPolicy::kSample:
+        return ordinal % static_cast<std::uint64_t>(sample_period) == 0;
+      case VerifyPolicy::kAlways:
+        return true;
+    }
+    return false;
+  }
+
+  void validate() const;
+};
+
+/// Which rung of the repair ladder handled a detected corruption.
+enum class RepairKind { kRefetch, kRecompute, kQuarantine };
+
+const char* to_string(RepairKind kind);
+
+/// Fingerprint store plus the one place integrity.* accounting lives.
+/// Thread-safe; owners (Generator, OffloadManager, PrefixCache, KVCache)
+/// share a single instance so counters aggregate across surfaces.
+///
+/// Two verification shapes: named regions (weight shards — registered once,
+/// loaded many times, ordinal tracked here) and caller-held fingerprints
+/// (KV rows and prefix blocks keep their own CRC tables; verify_value only
+/// does the compare-and-count).
+class ChecksumRegistry {
+ public:
+  /// `metrics` may be null (no accounting); the config is copied.
+  ChecksumRegistry(const IntegrityConfig& config,
+                   telemetry::MetricsRegistry* metrics);
+
+  const IntegrityConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  /// Record (or overwrite) `region`'s fingerprint and reset its load
+  /// ordinal.
+  void record(const std::string& region, std::uint32_t crc);
+  void forget(const std::string& region);
+  std::size_t region_count() const;
+
+  /// Policy gate for the next load of `region`; consumes one load ordinal.
+  /// False when the policy is off or the region was never recorded.
+  bool should_verify(const std::string& region);
+
+  /// Compare `data` against `region`'s recorded fingerprint; true = intact
+  /// (or region unknown). Counts integrity.verify.* and records a "verify"
+  /// span when tracing is on.
+  bool verify(const std::string& region, std::span<const std::byte> data);
+
+  /// Compare `data` against a caller-held fingerprint, with the same
+  /// accounting as the named-region path.
+  bool verify_value(std::span<const std::byte> data, std::uint32_t expected);
+  bool verify_value(std::span<const float> data, std::uint32_t expected);
+
+  /// Repair-ladder accounting: one call per repair action taken.
+  void note_repair(RepairKind kind);
+  /// `n` shared prefix blocks left reachable-only-by-existing-leases.
+  void note_quarantined_blocks(std::uint64_t n);
+  /// The ladder gave up; the owner is about to throw DataCorruption.
+  void note_unrepairable();
+
+ private:
+  bool verify_bytes_locked_free(std::span<const std::byte> data,
+                                std::uint32_t expected);
+
+  struct Region {
+    std::uint32_t crc = 0;
+    std::uint64_t loads = 0;  ///< ordinal consumed by should_verify
+  };
+
+  const IntegrityConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Region> regions_;
+
+  // Cached metric handles (null when no registry was supplied).
+  telemetry::Counter* verify_total_ = nullptr;
+  telemetry::Counter* verify_failures_ = nullptr;
+  telemetry::Gauge* verify_bytes_ = nullptr;
+  telemetry::Counter* repair_refetch_ = nullptr;
+  telemetry::Counter* repair_recompute_ = nullptr;
+  telemetry::Counter* repair_quarantine_ = nullptr;
+  telemetry::Counter* quarantined_blocks_ = nullptr;
+  telemetry::Counter* unrepairable_ = nullptr;
+  telemetry::Gauge* regions_gauge_ = nullptr;
+};
+
+}  // namespace lmo::integrity

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "lmo/telemetry/trace.hpp"
 #include "lmo/util/check.hpp"
+#include "lmo/util/checksum.hpp"
+#include "lmo/util/fault.hpp"
 
 namespace lmo::kvshare {
+namespace {
+
+// Bit-flip injection on shared prefix blocks as a match reads them back.
+// Under chaos the flip lands in the at-rest payload (real bit rot); the
+// "blocks are immutable once filled" invariant is suspended exactly like
+// real rot would suspend it, which is what quarantine exists to contain.
+constexpr const char* kKvshareFlipSite = "integrity.kvshare.flip";
+
+}  // namespace
 
 void PrefixCacheConfig::validate() const {
   LMO_CHECK_GT(block_tokens, 0);
@@ -61,7 +73,8 @@ const float* PrefixLease::v_plane(std::size_t index,
 
 PrefixCache::PrefixCache(const PrefixCacheConfig& config,
                          runtime::MemoryPool* pool,
-                         telemetry::MetricsRegistry* metrics)
+                         telemetry::MetricsRegistry* metrics,
+                         integrity::ChecksumRegistry* integrity)
     : config_(config),
       store_([&] {
         config.validate();
@@ -73,6 +86,7 @@ PrefixCache::PrefixCache(const PrefixCacheConfig& config,
         return sc;
       }(), pool),
       tree_(config.block_tokens),
+      integrity_(integrity),
       metrics_(metrics) {
   if (pool != nullptr) {
     pool_ = pool;
@@ -132,6 +146,97 @@ std::shared_ptr<PrefixLease> PrefixCache::make_lease(
   return lease;
 }
 
+void PrefixCache::quarantine_locked(RadixTree::Node* node) {
+  telemetry::ScopedSpan span(telemetry::TraceRecorder::global(),
+                             "repair.quarantine", "integrity");
+  Quarantined q;
+  q.subtree = tree_.detach(node);
+  // Collect the subtree's blocks and drop their fingerprints: a corrupt
+  // block must never be matched again, so its CRC has no further use.
+  int pins = 0;
+  std::vector<const RadixTree::Node*> stack{q.subtree.get()};
+  while (!stack.empty()) {
+    const RadixTree::Node* n = stack.back();
+    stack.pop_back();
+    q.blocks.push_back(n->block);
+    block_crcs_.erase(n->block);
+    pins += n->pins;
+    for (const auto& [key, child] : n->children) stack.push_back(child.get());
+  }
+  if (integrity_ != nullptr) {
+    integrity_->note_repair(integrity::RepairKind::kQuarantine);
+    integrity_->note_quarantined_blocks(q.blocks.size());
+  }
+  if (pins == 0) {
+    // No live lease reads these blocks; free them immediately.
+    for (const std::int64_t block : q.blocks) store_.unref(block);
+    return;
+  }
+  // Existing leases still pin nodes in the subtree and hold raw payload
+  // pointers: keep the blocks referenced until the last pin drops (see
+  // reap_quarantined_locked).
+  quarantined_.push_back(std::move(q));
+}
+
+void PrefixCache::reap_quarantined_locked() {
+  for (auto it = quarantined_.begin(); it != quarantined_.end();) {
+    int pins = 0;
+    std::vector<const RadixTree::Node*> stack{it->subtree.get()};
+    while (!stack.empty()) {
+      const RadixTree::Node* n = stack.back();
+      stack.pop_back();
+      pins += n->pins;
+      for (const auto& [key, child] : n->children) {
+        stack.push_back(child.get());
+      }
+    }
+    if (pins > 0) {
+      ++it;
+      continue;
+    }
+    for (const std::int64_t block : it->blocks) store_.unref(block);
+    it = quarantined_.erase(it);
+  }
+}
+
+void PrefixCache::verify_chain_locked(std::vector<RadixTree::Node*>& chain) {
+  auto& injector = util::FaultInjector::instance();
+  const bool inject = injector.enabled();
+  const bool check = integrity_ != nullptr && integrity_->enabled();
+  if ((!inject && !check) || !config_.materialize) return;
+  const std::size_t floats = config_.payload_floats();
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    float* payload = store_.payload(chain[i]->block);
+    if (payload == nullptr) continue;
+    if (inject) {
+      const std::int64_t flip = injector.corrupt_bit(
+          kKvshareFlipSite,
+          static_cast<std::uint64_t>(floats) * sizeof(float) * 8);
+      if (flip >= 0) {
+        // At-rest rot: flip the stored byte itself. Whether anyone notices
+        // depends entirely on the verify policy below.
+        reinterpret_cast<std::uint8_t*>(payload)[flip / 8] ^=
+            static_cast<std::uint8_t>(1u << (flip % 8));
+      }
+    }
+    if (!check) continue;
+    auto print = block_crcs_.find(chain[i]->block);
+    if (print == block_crcs_.end()) continue;
+    if (!integrity_->config().should_verify(print->second.loads++)) continue;
+    if (integrity_->verify_value(
+            std::span<const float>(payload, floats), print->second.crc)) {
+      continue;
+    }
+    // Corrupt shared state: truncate the match at the bad block and detach
+    // its subtree so no later request can reuse it. The session proceeds
+    // with the shorter (verified) prefix and recomputes the rest privately.
+    RadixTree::Node* bad = chain[i];
+    chain.resize(i);
+    quarantine_locked(bad);
+    return;
+  }
+}
+
 std::shared_ptr<PrefixLease> PrefixCache::match(
     std::span<const std::int64_t> tokens) {
   Guard lock(*this);
@@ -143,6 +248,7 @@ std::shared_ptr<PrefixLease> PrefixCache::match(
                                   config_.block_tokens) >= tokens.size()) {
     chain.pop_back();
   }
+  verify_chain_locked(chain);
   auto lease = make_lease(chain);
   const std::uint64_t hit =
       lease == nullptr ? 0
@@ -161,6 +267,7 @@ std::int64_t PrefixCache::allocate_with_eviction() {
     const std::int64_t victim = tree_.evict_lru();
     if (victim < 0) return -1;  // everything pinned: give up gracefully
     store_.unref(victim);
+    block_crcs_.erase(victim);
     count("kvshare.evicted_blocks", 1);
     id = store_.try_allocate();
   }
@@ -175,7 +282,16 @@ std::shared_ptr<PrefixLease> PrefixCache::insert(
     const std::int64_t id = allocate_with_eviction();
     if (id < 0) return id;
     ++fresh;
-    if (fill) fill(token_offset, store_.payload(id));
+    float* payload = store_.payload(id);
+    if (fill) fill(token_offset, payload);
+    // Fingerprint the block the moment it is sealed; matches re-check it
+    // per the integrity policy.
+    if (integrity_ != nullptr && integrity_->enabled() && payload != nullptr) {
+      block_crcs_[id] = BlockPrint{
+          util::crc32(std::span<const float>(payload,
+                                             config_.payload_floats())),
+          0};
+    }
     return id;
   });
   auto lease = make_lease(chain);
@@ -192,6 +308,7 @@ std::size_t PrefixCache::evict(std::size_t max_blocks) {
     const std::int64_t victim = tree_.evict_lru();
     if (victim < 0) break;
     store_.unref(victim);
+    block_crcs_.erase(victim);
     ++evicted;
   }
   update_gauges();
@@ -206,7 +323,16 @@ void PrefixCache::release(PrefixLease& lease) {
   lease.cache_ = nullptr;
   LMO_CHECK_GT(pinned_, 0u);
   --pinned_;
+  // This may have been the last pin on a quarantined subtree.
+  if (!quarantined_.empty()) reap_quarantined_locked();
   update_gauges();
+}
+
+std::size_t PrefixCache::quarantined_blocks() const {
+  Guard lock(*this);
+  std::size_t n = 0;
+  for (const Quarantined& q : quarantined_) n += q.blocks.size();
+  return n;
 }
 
 std::size_t PrefixCache::blocks_in_use() const {

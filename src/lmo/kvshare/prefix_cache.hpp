@@ -20,12 +20,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "lmo/integrity/integrity.hpp"
 #include "lmo/kvshare/block_store.hpp"
 #include "lmo/kvshare/radix_tree.hpp"
 #include "lmo/telemetry/metrics.hpp"
@@ -96,8 +98,16 @@ class PrefixCache {
   /// allocation. The callback is removed in the destructor; the cache must
   /// not be destroyed while other threads can still drive the pool into
   /// pressure.
+  /// `integrity` (nullable, caller-owned) fingerprints each block at
+  /// insert-fill time and re-checks matched chains per its policy. A block
+  /// that fails verification is *quarantined*: its subtree is detached from
+  /// the radix tree so no new request can match it, the match is truncated
+  /// at the corrupt block, and existing leases keep reading their pinned
+  /// (still-referenced) payloads until the last pin drops, at which point
+  /// the blocks are freed.
   PrefixCache(const PrefixCacheConfig& config, runtime::MemoryPool* pool,
-              telemetry::MetricsRegistry* metrics);
+              telemetry::MetricsRegistry* metrics,
+              integrity::ChecksumRegistry* integrity = nullptr);
   ~PrefixCache();
   PrefixCache(const PrefixCache&) = delete;
   PrefixCache& operator=(const PrefixCache&) = delete;
@@ -137,6 +147,11 @@ class PrefixCache {
   /// all requests — including aborted ones — drop their leases.
   std::size_t pinned_leases() const;
 
+  /// Blocks detached by quarantine but not yet freed (a lease created
+  /// before the corruption was detected still pins their subtree). Returns
+  /// to 0 once those leases release.
+  std::size_t quarantined_blocks() const;
+
  private:
   friend class PrefixLease;
 
@@ -173,6 +188,13 @@ class PrefixCache {
   std::shared_ptr<PrefixLease> make_lease(
       const std::vector<RadixTree::Node*>& chain);
   void update_gauges();
+  /// Inject/verify the matched chain's block payloads; on a detected
+  /// corruption truncates `chain` at the corrupt block and quarantines its
+  /// subtree. Materialized mode only.
+  void verify_chain_locked(std::vector<RadixTree::Node*>& chain);
+  void quarantine_locked(RadixTree::Node* node);
+  /// Free quarantined subtrees whose last pin has dropped.
+  void reap_quarantined_locked();
   /// Pool pressure callback target: evict unpinned chains worth up to
   /// `bytes_needed`; returns bytes released. No-op when called from a
   /// thread already inside a cache operation.
@@ -188,6 +210,20 @@ class PrefixCache {
   runtime::MemoryPool* pool_ = nullptr;
   int pressure_callback_id_ = -1;
   std::size_t pinned_ = 0;
+  integrity::ChecksumRegistry* integrity_ = nullptr;
+  /// Per-block fingerprint and verification ordinal, recorded when the
+  /// block is filled at insert.
+  struct BlockPrint {
+    std::uint32_t crc = 0;
+    std::uint64_t loads = 0;
+  };
+  std::map<std::int64_t, BlockPrint> block_crcs_;
+  /// Detached-but-still-pinned subtrees awaiting their last release.
+  struct Quarantined {
+    std::unique_ptr<RadixTree::Node> subtree;
+    std::vector<std::int64_t> blocks;
+  };
+  std::vector<Quarantined> quarantined_;
   /// Looked up by name per operation (match/insert granularity), so a
   /// registry reset() between runs never leaves dangling metric pointers.
   telemetry::MetricsRegistry* metrics_;

@@ -80,6 +80,33 @@ void RadixTree::unpin(Node* node) {
   --node->pins;
 }
 
+std::unique_ptr<RadixTree::Node> RadixTree::detach(Node* node) {
+  LMO_CHECK(node != nullptr);
+  LMO_CHECK_MSG(node != &root_, "cannot detach the radix-tree root");
+  Node* parent = node->parent;
+  LMO_CHECK_MSG(parent != nullptr, "node is already detached");
+  auto it = parent->children.find(node->tokens);
+  LMO_CHECK_MSG(it != parent->children.end() && it->second.get() == node,
+                "node is not a child of its recorded parent");
+  std::unique_ptr<Node> owned = std::move(it->second);
+  // Safe to erase by iterator: ownership already moved to `owned`, and the
+  // map key is an independent copy of the token span made at insert.
+  parent->children.erase(it);
+  owned->parent = nullptr;
+  // The whole subtree leaves the tree's accounting.
+  std::size_t removed = 0;
+  std::vector<const Node*> stack{owned.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    ++removed;
+    for (const auto& [key, child] : n->children) stack.push_back(child.get());
+  }
+  LMO_CHECK_GE(node_count_, removed);
+  node_count_ -= removed;
+  return owned;
+}
+
 std::int64_t RadixTree::evict_lru() {
   // Depth-first scan for the LRU childless unpinned node. The tree is
   // bounded by the block budget, so the walk stays small; determinism

@@ -62,6 +62,13 @@ class RadixTree {
   /// block id, or -1 when every node is pinned or covered by children.
   std::int64_t evict_lru();
 
+  /// Detach `node` and its whole subtree from the tree, transferring
+  /// ownership to the caller (the quarantine rung of the integrity repair
+  /// ladder). lookup/insert/evict_lru can no longer reach any detached
+  /// node, but pins held on them stay valid for as long as the returned
+  /// owner lives — existing leases read their blocks out undisturbed.
+  std::unique_ptr<Node> detach(Node* node);
+
   std::size_t node_count() const { return node_count_; }
 
  private:

@@ -167,6 +167,20 @@ StepCosts step_costs(const ModelSpec& spec, const Workload& w,
                                   platform.gpu_mem_bw());
   }
 
+  // ---- integrity verification (optional): every byte this step fetches
+  // from host-side storage — the streamed weight shard and the at-rest KV
+  // the attention scan reads — is re-checksummed on the CPU before use.
+  if (options.verify_gbps > 0.0) {
+    const double kv_at_rest =
+        model::kv_cache_bytes_at(spec, w, t, policy.kv_bits);
+    const double verified_bytes =
+        weight_stream_bytes +
+        kv_at_rest *
+            (policy.attention_on_cpu ? 1.0 : cache_stream_fraction);
+    costs.verify_time = verified_bytes / (options.verify_gbps * 1e9);
+    costs.compute_cpu += costs.verify_time;
+  }
+
   // ---- Eq. 2, resource-aware: tasks sharing a link/device serialize.
   const double h2d = costs.load_weight + costs.load_cache +
                      costs.load_activation;
@@ -318,6 +332,8 @@ Estimate estimate(const ModelSpec& spec, const Workload& w,
         mid_costs.store_cache * static_cast<double>(steps) * l;
     est.total_compute += (mid_costs.compute_gpu + mid_costs.compute_cpu) *
                          static_cast<double>(steps) * l;
+    est.total_verify_time +=
+        mid_costs.verify_time * static_cast<double>(steps) * l;
   } else {
     for (std::int64_t t = 1; t < w.gen_len; ++t) {
       const StepCosts sc = step_costs(spec, w, policy, platform, t, options);
@@ -328,6 +344,7 @@ Estimate estimate(const ModelSpec& spec, const Workload& w,
       est.total_load_cache += sc.load_cache * l;
       est.total_store_cache += sc.store_cache * l;
       est.total_compute += (sc.compute_gpu + sc.compute_cpu) * l;
+      est.total_verify_time += sc.verify_time * l;
       if (t == w.gen_len / 2) est.mid_step = sc;
     }
     if (w.gen_len == 1) {

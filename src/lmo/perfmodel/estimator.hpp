@@ -40,6 +40,11 @@ struct StepCosts {
   double quant_time = 0.0;
   double dequant_time = 0.0;
 
+  /// Integrity-verification time (checksumming fetched bytes on the CPU);
+  /// zero unless EstimatorOptions::verify_gbps is set. Folded into
+  /// compute_cpu, mirrored here for accounting.
+  double verify_time = 0.0;
+
   /// Resource-aware Eq. 2: max(H2D link, D2H link, GPU, CPU) + overhead.
   double t_gen = 0.0;
 };
@@ -67,6 +72,7 @@ struct Estimate {
   double total_load_cache = 0.0;
   double total_store_cache = 0.0;
   double total_compute = 0.0;
+  double total_verify_time = 0.0;  ///< integrity checksum verification
 };
 
 struct EstimatorOptions {
@@ -77,6 +83,11 @@ struct EstimatorOptions {
   /// the (over-optimistic) cost model the paper attributes to FlexGen's LP,
   /// used by the FlexGen baseline's policy search.
   bool flexgen_style = false;
+  /// Modeled checksum throughput (GB/s) of the integrity layer's verify
+  /// pass over every byte fetched from host storage (IntegrityConfig::
+  /// checksum_gbps under verify=always). 0 disables the term entirely, so
+  /// legacy estimates are reproduced bit-for-bit.
+  double verify_gbps = 0.0;
 };
 
 /// Per-layer step costs at decode step t.

@@ -77,6 +77,9 @@ std::unique_ptr<KVCacheBase> decode_dense(ckpt::ByteReader& reader,
   spec.pool = context.pool;
   auto base = MakeLayerKvCache(KVFlavor::kDense, spec);
   auto* cache = static_cast<KVCache*>(base.get());
+  if (context.integrity != nullptr) {
+    cache->set_integrity(context.integrity, context.kv_region);
+  }
   const auto decode_rows = [&] {
     std::vector<KVCache::Row> rows;
     rows.reserve(static_cast<std::size_t>(length));
@@ -541,9 +544,12 @@ void Generator::resume(const std::string& path) {
   KVRestoreContext context;
   context.pool = host_pool_.get();
   context.page_pool = page_pool_.get();
+  context.integrity =
+      config_.integrity.enabled() ? integrity_.get() : nullptr;
   for (std::uint64_t s = 0; s < num_sequences; ++s) {
     SequenceCache cache;
     for (std::int64_t layer = 0; layer < config_.spec.num_layers; ++layer) {
+      context.kv_region = "kv.layer" + std::to_string(layer);
       cache.push_back(decode_kv_cache(reader, context));
     }
     session->caches.push_back(std::move(cache));

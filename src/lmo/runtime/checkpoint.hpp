@@ -41,10 +41,14 @@ bool runtime_config_equal(const RuntimeConfig& a, const RuntimeConfig& b);
 
 /// Pools a KV-cache decode allocates from: `pool` backs dense and window
 /// caches, `page_pool` backs paged caches. Only the member matching the
-/// encoded flavor is touched.
+/// encoded flavor is touched. When `integrity` is set, restored dense
+/// caches are attached to it (label `kv_region`) and re-fingerprint their
+/// rows, so verification continues seamlessly across a resume.
 struct KVRestoreContext {
   MemoryPool* pool = nullptr;
   PagePool* page_pool = nullptr;
+  integrity::ChecksumRegistry* integrity = nullptr;
+  std::string kv_region;
 };
 
 /// Serialize one KV cache, dispatching on its dynamic flavor. Dense caches

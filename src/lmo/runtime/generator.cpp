@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "lmo/telemetry/trace.hpp"
 #include "lmo/tensor/ops.hpp"
 #include "lmo/util/check.hpp"
+#include "lmo/util/status.hpp"
 #include "lmo/util/validate.hpp"
 
 namespace lmo::runtime {
@@ -113,6 +115,7 @@ void RuntimeConfig::validate() const {
   sampling.validate();
   recovery.validate();
   adaptive.validate();
+  integrity.validate();
   // Note: callers passing the legacy paged_kv bool are validated after the
   // Generator constructor canonicalizes it into kv_flavor.
   util::Validate("RuntimeConfig", [this](util::Validator& v) {
@@ -161,6 +164,11 @@ Generator::Generator(const RuntimeConfig& config)
   manager_ = std::make_unique<OffloadManager>(
       *device_pool_, *host_pool_, config.weight_bits, config.quant_group);
   manager_->set_recovery(config.recovery);
+  integrity_ = std::make_unique<integrity::ChecksumRegistry>(
+      config_.integrity, &manager_->metrics());
+  // Weights fingerprint at registration time, so the registry must be
+  // wired before the transformer constructs (and registers) its tensors.
+  manager_->set_integrity(integrity_.get());
   transformer_ = std::make_unique<Transformer>(
       config.spec, *manager_, config.device_layers, config.seed);
   if (config.prefetch_threads > 0) {
@@ -182,7 +190,7 @@ Generator::Generator(const RuntimeConfig& config)
     pc.hidden = config_.spec.hidden;
     pc.num_layers = config_.spec.num_layers;
     prefix_cache_ = std::make_unique<kvshare::PrefixCache>(
-        pc, host_pool_.get(), &manager_->metrics());
+        pc, host_pool_.get(), &manager_->metrics(), integrity_.get());
   }
 }
 
@@ -197,7 +205,19 @@ SequenceCache Generator::make_sequence_cache() {
   kv.window_tokens = config_.window_tokens;
   kv.pool = host_pool_.get();
   kv.page_pool = page_pool_.get();
-  return MakeKvCache(config_.kv_flavor, kv);
+  SequenceCache cache = MakeKvCache(config_.kv_flavor, kv);
+  if (config_.integrity.enabled()) {
+    // Only the dense backend stores rows at rest (possibly quantized);
+    // paged/window caches hold live f32 rings the integrity layer does not
+    // model.
+    for (std::size_t layer = 0; layer < cache.size(); ++layer) {
+      if (auto* dense = dynamic_cast<KVCache*>(cache[layer].get())) {
+        dense->set_integrity(integrity_.get(),
+                             "kv.layer" + std::to_string(layer));
+      }
+    }
+  }
+  return cache;
 }
 
 SequenceCache Generator::make_shared_sequence_cache(
@@ -216,6 +236,62 @@ SequenceCache Generator::make_shared_sequence_cache(
     }
   }
   return cache;
+}
+
+void Generator::build_session_caches(Session& session,
+                                     std::vector<std::int64_t>& matched) {
+  auto& trace = telemetry::TraceRecorder::global();
+  session.cache_ptrs.clear();
+  session.leases.clear();
+  session.caches.clear();
+  matched.assign(session.prompts.size(), 0);
+  session.caches.reserve(session.prompts.size());
+  for (std::size_t s = 0; s < session.prompts.size(); ++s) {
+    LMO_CHECK(!session.prompts[s].empty());
+    if (prefix_cache_ != nullptr) {
+      telemetry::ScopedSpan match_span(trace, "prefix_match", "kvshare");
+      session.caches.push_back(
+          make_shared_sequence_cache(session.prompts[s], matched[s]));
+    } else {
+      session.caches.push_back(make_sequence_cache());
+    }
+  }
+  for (auto& c : session.caches) session.cache_ptrs.push_back(&c);
+}
+
+void Generator::repair_session_caches() {
+  LMO_CHECK(session_ != nullptr);
+  Session& session = *session_;
+  integrity_->note_repair(integrity::RepairKind::kRecompute);
+  auto& trace = telemetry::TraceRecorder::global();
+  telemetry::ScopedSpan span(trace, "repair.recompute", "integrity");
+
+  // Drop every (possibly corrupt) cache and lease, then recompute the KV
+  // state from the token history. The prefix re-match may now skip fewer
+  // blocks than the original (quarantine detaches corrupt chains); the
+  // replay covers whatever the match no longer does.
+  std::vector<std::int64_t> matched;
+  build_session_caches(session, matched);
+
+  std::vector<tensor::Tensor> states;
+  states.reserve(session.prompts.size());
+  for (std::size_t s = 0; s < session.prompts.size(); ++s) {
+    std::vector<std::int64_t> replay(
+        session.prompts[s].begin() +
+            static_cast<std::ptrdiff_t>(matched[s]),
+        session.prompts[s].end());
+    // All produced tokens except the pending `next` are already embedded
+    // in a healthy cache; re-prefilling them is bit-identical to the
+    // incremental decode that built them (same kernels, same quantizer).
+    const std::vector<std::int64_t>& produced = session.tokens[s];
+    if (!produced.empty()) {
+      replay.insert(replay.end(), produced.begin(), produced.end() - 1);
+    }
+    states.push_back(transformer_->embed(replay));
+  }
+  transformer_->forward(states, session.cache_ptrs, prefetch_pool_.get());
+  // The replay's logits are discarded: their tokens were already sampled,
+  // and drawing again would advance the sampling RNG off the clean path.
 }
 
 std::shared_ptr<kvshare::PrefixLease> Generator::publish_prefix(
@@ -377,37 +453,45 @@ void Generator::begin(const std::vector<std::vector<std::int64_t>>& prompts,
   // matched against the radix tree first and its caches come pre-seeded
   // with the shared chain — prefill then runs only over the suffix.
   auto& trace = telemetry::TraceRecorder::global();
-  std::vector<std::int64_t> matched(prompts.size(), 0);
-  session->caches.reserve(prompts.size());
-  for (std::size_t s = 0; s < prompts.size(); ++s) {
-    LMO_CHECK(!prompts[s].empty());
-    if (prefix_cache_ != nullptr) {
-      telemetry::ScopedSpan match_span(trace, "prefix_match", "kvshare");
-      session->caches.push_back(
-          make_shared_sequence_cache(prompts[s], matched[s]));
-    } else {
-      session->caches.push_back(make_sequence_cache());
-    }
-  }
-  for (auto& c : session->caches) session->cache_ptrs.push_back(&c);
+  std::vector<std::int64_t> matched;
+  build_session_caches(*session, matched);
 
   // ---- prefill: all unmatched prompt tokens at once, layer-outer over
-  // the batch.
+  // the batch. A DataCorruption (weights refetch exhausted, KV row or
+  // shared block failed verification) discards the partial caches and
+  // re-runs prefill from scratch, up to the configured repair budget.
+  // Sampling happens only on the successful attempt, so the RNG stream
+  // matches a clean run.
   const auto start = Clock::now();
-  {
-    telemetry::ScopedSpan prefill_span(trace, "prefill", "generate");
-    std::vector<tensor::Tensor> states;
-    states.reserve(prompts.size());
-    for (std::size_t s = 0; s < prompts.size(); ++s) {
-      states.push_back(transformer_->embed(std::span<const std::int64_t>(
-          prompts[s]).subspan(static_cast<std::size_t>(matched[s]))));
-    }
-    transformer_->forward(states, session->cache_ptrs, prefetch_pool_.get());
-    telemetry::ScopedSpan out_span(trace, "store_activation", "decode");
-    for (std::size_t s = 0; s < prompts.size(); ++s) {
-      session->next[s] = sample_token(transformer_->logits(states[s]),
-                                      config_.sampling, sampling_rng_);
-      session->tokens[s].push_back(session->next[s]);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (attempt > 0) {
+        integrity_->note_repair(integrity::RepairKind::kRecompute);
+        telemetry::ScopedSpan repair_span(trace, "repair.recompute",
+                                          "integrity");
+        build_session_caches(*session, matched);
+      }
+      telemetry::ScopedSpan prefill_span(trace, "prefill", "generate");
+      std::vector<tensor::Tensor> states;
+      states.reserve(prompts.size());
+      for (std::size_t s = 0; s < prompts.size(); ++s) {
+        states.push_back(transformer_->embed(std::span<const std::int64_t>(
+            prompts[s]).subspan(static_cast<std::size_t>(matched[s]))));
+      }
+      transformer_->forward(states, session->cache_ptrs,
+                            prefetch_pool_.get());
+      telemetry::ScopedSpan out_span(trace, "store_activation", "decode");
+      for (std::size_t s = 0; s < prompts.size(); ++s) {
+        session->next[s] = sample_token(transformer_->logits(states[s]),
+                                        config_.sampling, sampling_rng_);
+        session->tokens[s].push_back(session->next[s]);
+      }
+      break;
+    } catch (const util::DataCorruption&) {
+      if (!config_.integrity.enabled() ||
+          attempt >= config_.integrity.max_repair_attempts) {
+        throw;
+      }
     }
   }
   if (prefix_cache_ != nullptr) {
@@ -451,21 +535,33 @@ void Generator::step() {
 
   auto& trace = telemetry::TraceRecorder::global();
   const auto start = Clock::now();
-  {
-    telemetry::ScopedSpan step_span(trace, "decode_step", "generate");
-    std::vector<tensor::Tensor> step_states;
-    step_states.reserve(session.prompts.size());
-    for (std::size_t s = 0; s < session.prompts.size(); ++s) {
-      const std::int64_t token[] = {session.next[s]};
-      step_states.push_back(transformer_->embed(token));
-    }
-    transformer_->forward(step_states, session.cache_ptrs,
-                          prefetch_pool_.get());
-    telemetry::ScopedSpan out_span(trace, "store_activation", "decode");
-    for (std::size_t s = 0; s < session.prompts.size(); ++s) {
-      session.next[s] = sample_token(transformer_->logits(step_states[s]),
-                                     config_.sampling, sampling_rng_);
-      session.tokens[s].push_back(session.next[s]);
+  // Decode one token, with the recompute rung of the repair ladder around
+  // it: a DataCorruption rebuilds the session caches from token history
+  // (no RNG advance) and retries the step, up to the repair budget.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (attempt > 0) repair_session_caches();
+      telemetry::ScopedSpan step_span(trace, "decode_step", "generate");
+      std::vector<tensor::Tensor> step_states;
+      step_states.reserve(session.prompts.size());
+      for (std::size_t s = 0; s < session.prompts.size(); ++s) {
+        const std::int64_t token[] = {session.next[s]};
+        step_states.push_back(transformer_->embed(token));
+      }
+      transformer_->forward(step_states, session.cache_ptrs,
+                            prefetch_pool_.get());
+      telemetry::ScopedSpan out_span(trace, "store_activation", "decode");
+      for (std::size_t s = 0; s < session.prompts.size(); ++s) {
+        session.next[s] = sample_token(transformer_->logits(step_states[s]),
+                                       config_.sampling, sampling_rng_);
+        session.tokens[s].push_back(session.next[s]);
+      }
+      break;
+    } catch (const util::DataCorruption&) {
+      if (!config_.integrity.enabled() ||
+          attempt >= config_.integrity.max_repair_attempts) {
+        throw;
+      }
     }
   }
   session.decode_seconds += seconds_since(start);

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "lmo/integrity/integrity.hpp"
 #include "lmo/model/llm_config.hpp"
 #include "lmo/parallel/adaptive_controller.hpp"
 #include "lmo/runtime/kv_factory.hpp"
@@ -74,6 +75,13 @@ struct RuntimeConfig {
   /// size); only thread allocation changes. Not part of the checkpoint
   /// fingerprint — resuming with a different controller setting is legal.
   parallel::AdaptiveConfig adaptive;
+  /// Offload-path integrity checking: fingerprint host weight shards,
+  /// quantized KV rows and shared prefix blocks at write time and re-check
+  /// them per policy on load. A detected mismatch triggers the typed repair
+  /// ladder (refetch / recompute / quarantine) before surfacing a
+  /// DataCorruption. Like `adaptive`, not part of the checkpoint
+  /// fingerprint — resuming under a different verify policy is legal.
+  integrity::IntegrityConfig integrity;
 
   /// Field-named validation (util::Validator); the constructor calls it.
   void validate() const;
@@ -190,6 +198,18 @@ class Generator {
   /// lease, and report how many leading tokens prefill may skip.
   SequenceCache make_shared_sequence_cache(
       const std::vector<std::int64_t>& prompt, std::int64_t& matched_out);
+  /// (Re)create every sequence cache for `session` from scratch, matching
+  /// prompts against the prefix cache when sharing is on. `matched` is
+  /// resized to one skip count per prompt. Used by begin() and by the
+  /// integrity recompute rung.
+  void build_session_caches(Session& session,
+                            std::vector<std::int64_t>& matched);
+  /// Recompute rung of the repair ladder: drop all (possibly corrupt)
+  /// session caches and rebuild them bit-exactly by re-prefilling the
+  /// prompt suffix plus every already-embedded generated token. Never
+  /// samples, so the sampling RNG stream is untouched and the retried step
+  /// reproduces the clean run's tokens.
+  void repair_session_caches();
   /// Publish a finished prefill's prompt KV rows into the prefix cache.
   std::shared_ptr<kvshare::PrefixLease> publish_prefix(
       const std::vector<std::int64_t>& prompt, const SequenceCache& cache);
@@ -199,6 +219,11 @@ class Generator {
   std::unique_ptr<MemoryPool> device_pool_;
   std::unique_ptr<MemoryPool> host_pool_;
   std::unique_ptr<OffloadManager> manager_;
+  /// Checksum registry for the offload path. Declared after manager_ (its
+  /// metrics live there) and before everything that holds a raw pointer
+  /// into it: the manager wiring, the transformer's registered weights,
+  /// the prefix cache and every session KV cache.
+  std::unique_ptr<integrity::ChecksumRegistry> integrity_;
   std::unique_ptr<Transformer> transformer_;
   std::unique_ptr<parallel::ThreadPool> prefetch_pool_;
   std::unique_ptr<parallel::ThreadPool> compute_pool_;

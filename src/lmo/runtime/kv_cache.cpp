@@ -2,16 +2,55 @@
 
 #include <chrono>
 #include <cstring>
+#include <span>
 
 #include "lmo/util/check.hpp"
+#include "lmo/util/checksum.hpp"
+#include "lmo/util/fault.hpp"
+#include "lmo/util/status.hpp"
 
 namespace lmo::runtime {
 namespace {
+
+// Bit-flip injection on KV rows as they are read back for attention.
+constexpr const char* kKvFlipSite = "integrity.kv.flip";
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+/// The stored payload bytes a row's fingerprint covers.
+std::span<const std::byte> row_payload(const KVCache::Row& row) {
+  if (row.quantized.defined()) {
+    const std::vector<std::uint8_t>& payload = row.quantized.payload();
+    return std::as_bytes(
+        std::span<const std::uint8_t>(payload.data(), payload.size()));
+  }
+  return row.plain.raw();
+}
+
+/// A deep copy of `row` with bit `flip` of its payload inverted — the
+/// "wire" copy a bit-rot fault would deliver. The stored row (whose payload
+/// clones share) is never mutated.
+KVCache::Row flip_row(const KVCache::Row& row, std::int64_t flip) {
+  KVCache::Row out;
+  const auto byte_index = static_cast<std::size_t>(flip / 8);
+  const auto mask = static_cast<std::uint8_t>(1u << (flip % 8));
+  if (row.quantized.defined()) {
+    std::vector<std::uint8_t> payload = row.quantized.payload();
+    payload[byte_index] ^= mask;
+    out.quantized = tensor::QuantizedTensor::from_parts(
+        row.quantized.original_shape(),
+        tensor::QuantConfig{row.quantized.bits(), row.quantized.group_size()},
+        row.quantized.padded_numel(), std::move(payload),
+        row.quantized.group_min(), row.quantized.group_scale());
+  } else {
+    out.plain = row.plain.clone();
+    out.plain.raw()[byte_index] ^= static_cast<std::byte>(mask);
+  }
+  return out;
 }
 
 }  // namespace
@@ -57,23 +96,70 @@ void KVCache::append(const tensor::Tensor& k_row,
   const std::size_t bytes = row_bytes(k) + row_bytes(v);
   pool_->charge(bytes);
   stored_bytes_ += bytes;
+  if (integrity_ != nullptr && integrity_->enabled()) {
+    k_crcs_.push_back(util::crc32(row_payload(k)));
+    v_crcs_.push_back(util::crc32(row_payload(v)));
+  }
   k_rows_.push_back(std::move(k));
   v_rows_.push_back(std::move(v));
   ++length_;
 }
 
-tensor::Tensor KVCache::materialize(const std::vector<Row>& rows) const {
+void KVCache::set_integrity(integrity::ChecksumRegistry* registry,
+                            std::string region) {
+  LMO_CHECK_MSG(length_ == 0,
+                "set_integrity must precede appends so every row gets a "
+                "fingerprint");
+  integrity_ = registry;
+  region_ = std::move(region);
+}
+
+tensor::Tensor KVCache::materialize(
+    const std::vector<Row>& rows,
+    const std::vector<std::uint32_t>& crcs) const {
   LMO_CHECK(!rows.empty());
+  auto& injector = util::FaultInjector::instance();
+  const bool inject = injector.enabled();
+  const bool check =
+      integrity_ != nullptr && integrity_->enabled() && !crcs.empty();
   tensor::Tensor out = tensor::Tensor::zeros({length_, hidden_});
   auto dst = out.f32();
   for (std::int64_t i = 0; i < length_; ++i) {
+    const Row& stored = rows[static_cast<std::size_t>(i)];
+    const Row* src = &stored;
+    Row wire;
+    if (inject) {
+      // The read-back crosses the same fragile path the write took; model
+      // bit rot on a copy — clones share the stored payload, which must
+      // stay pristine.
+      // The flip domain is the fingerprinted payload span — byte_size()
+      // also counts quantization metadata the wire copy does not carry.
+      const std::int64_t flip = injector.corrupt_bit(
+          kKvFlipSite,
+          8 * static_cast<std::uint64_t>(row_payload(stored).size()));
+      if (flip >= 0) {
+        wire = flip_row(stored, flip);
+        src = &wire;
+      }
+    }
+    if (check &&
+        integrity_->config().should_verify(static_cast<std::uint64_t>(i)) &&
+        !integrity_->verify_value(row_payload(*src),
+                                  crcs[static_cast<std::size_t>(i)])) {
+      // The stored row itself may be rot (not just the wire copy), so
+      // re-reading cannot repair it; the Generator recomputes the cache
+      // from the token history.
+      throw util::DataCorruption("KV row " + std::to_string(i) + " of " +
+                                 (region_.empty() ? "<unnamed>" : region_) +
+                                 " failed verification");
+    }
     tensor::Tensor row;
-    if (rows[static_cast<std::size_t>(i)].quantized.defined()) {
+    if (src->quantized.defined()) {
       const auto start = std::chrono::steady_clock::now();
-      row = tensor::dequantize(rows[static_cast<std::size_t>(i)].quantized);
+      row = tensor::dequantize(src->quantized);
       dequantize_seconds_ += seconds_since(start);
     } else {
-      row = rows[static_cast<std::size_t>(i)].plain;
+      row = src->plain;
     }
     std::memcpy(dst.data() + i * hidden_, row.f32().data(),
                 static_cast<std::size_t>(hidden_) * sizeof(float));
@@ -89,15 +175,21 @@ void KVCache::truncate(std::int64_t new_length) {
         row_bytes(k_rows_.back()) + row_bytes(v_rows_.back());
     k_rows_.pop_back();
     v_rows_.pop_back();
+    if (!k_crcs_.empty()) {
+      k_crcs_.pop_back();
+      v_crcs_.pop_back();
+    }
     pool_->release(bytes);
     stored_bytes_ -= bytes;
     --length_;
   }
 }
 
-tensor::Tensor KVCache::keys() const { return materialize(k_rows_); }
+tensor::Tensor KVCache::keys() const { return materialize(k_rows_, k_crcs_); }
 
-tensor::Tensor KVCache::values() const { return materialize(v_rows_); }
+tensor::Tensor KVCache::values() const {
+  return materialize(v_rows_, v_crcs_);
+}
 
 double KVCache::dequantize_seconds() const { return dequantize_seconds_; }
 
@@ -126,6 +218,14 @@ void KVCache::restore_rows(std::vector<Row> k, std::vector<Row> v) {
   length_ = static_cast<std::int64_t>(k.size());
   k_rows_ = std::move(k);
   v_rows_ = std::move(v);
+  if (integrity_ != nullptr && integrity_->enabled()) {
+    // Restored rows arrive CRC-protected by the checkpoint envelope;
+    // re-fingerprint them so at-rest verification resumes seamlessly.
+    k_crcs_.clear();
+    v_crcs_.clear();
+    for (const Row& row : k_rows_) k_crcs_.push_back(util::crc32(row_payload(row)));
+    for (const Row& row : v_rows_) v_crcs_.push_back(util::crc32(row_payload(row)));
+  }
 }
 
 std::unique_ptr<KVCacheBase> KVCache::clone() const {
@@ -140,6 +240,10 @@ std::unique_ptr<KVCacheBase> KVCache::clone() const {
   copy->v_rows_ = v_rows_;
   copy->length_ = length_;
   copy->stored_bytes_ = stored_bytes_;
+  copy->integrity_ = integrity_;
+  copy->region_ = region_;
+  copy->k_crcs_ = k_crcs_;
+  copy->v_crcs_ = v_crcs_;
   return copy;
 }
 

@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "lmo/integrity/integrity.hpp"
 #include "lmo/runtime/mempool.hpp"
 #include "lmo/tensor/quantize.hpp"
 #include "lmo/tensor/tensor.hpp"
@@ -53,7 +55,11 @@ class KVCache : public KVCacheBase {
         length_(other.length_),
         stored_bytes_(other.stored_bytes_),
         quantize_seconds_(other.quantize_seconds_),
-        dequantize_seconds_(other.dequantize_seconds_) {
+        dequantize_seconds_(other.dequantize_seconds_),
+        integrity_(other.integrity_),
+        region_(std::move(other.region_)),
+        k_crcs_(std::move(other.k_crcs_)),
+        v_crcs_(std::move(other.v_crcs_)) {
     other.pool_ = nullptr;
     other.stored_bytes_ = 0;
     other.length_ = 0;
@@ -101,8 +107,18 @@ class KVCache : public KVCacheBase {
   /// compression mode; throws CheckError otherwise.
   void restore_rows(std::vector<Row> k, std::vector<Row> v);
 
+  /// Attach the integrity layer (owned by the caller; may be null). Each
+  /// appended row's stored payload is fingerprinted; materialize() re-checks
+  /// rows per the registry's policy (ordinal = row index) and throws
+  /// DataCorruption on mismatch — the Generator repairs by recomputing the
+  /// cache from the token history. `region` labels this cache in errors
+  /// (e.g. "kv.seq0.layer3"). Must be called while the cache is empty.
+  void set_integrity(integrity::ChecksumRegistry* registry,
+                     std::string region);
+
  private:
-  tensor::Tensor materialize(const std::vector<Row>& rows) const;
+  tensor::Tensor materialize(const std::vector<Row>& rows,
+                             const std::vector<std::uint32_t>& crcs) const;
   Row make_row(const tensor::Tensor& row);
   std::size_t row_bytes(const Row& row) const;
 
@@ -116,6 +132,11 @@ class KVCache : public KVCacheBase {
   std::size_t stored_bytes_ = 0;
   double quantize_seconds_ = 0.0;
   mutable double dequantize_seconds_ = 0.0;
+  integrity::ChecksumRegistry* integrity_ = nullptr;
+  std::string region_;
+  /// Per-row fingerprints of the stored payload bytes, recorded at append
+  /// (empty when no integrity layer is attached).
+  std::vector<std::uint32_t> k_crcs_, v_crcs_;
 };
 
 }  // namespace lmo::runtime

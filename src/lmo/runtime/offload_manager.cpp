@@ -1,10 +1,14 @@
 #include "lmo/runtime/offload_manager.hpp"
 
 #include <chrono>
+#include <cstring>
+#include <span>
 #include <thread>
+#include <vector>
 
 #include "lmo/telemetry/trace.hpp"
 #include "lmo/util/check.hpp"
+#include "lmo/util/checksum.hpp"
 #include "lmo/util/fault.hpp"
 #include "lmo/util/status.hpp"
 
@@ -13,6 +17,23 @@ namespace {
 
 constexpr const char* kFetchSite = "offload.fetch.transfer";
 constexpr const char* kPrefetchSite = "offload.prefetch.transfer";
+// Bit-flip injection on transferred weight payloads. A dedicated site so
+// arming flips never perturbs the transient/latency schedules above.
+constexpr const char* kWeightsFlipSite = "integrity.weights.flip";
+
+std::string weights_region(const std::string& name) {
+  return "weights." + name;
+}
+
+std::span<const std::byte> stored_payload_bytes(
+    const tensor::Tensor& plain, const tensor::QuantizedTensor& quantized) {
+  if (quantized.defined()) {
+    const std::vector<std::uint8_t>& payload = quantized.payload();
+    return std::as_bytes(
+        std::span<const std::uint8_t>(payload.data(), payload.size()));
+  }
+  return plain.raw();
+}
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -84,6 +105,14 @@ void OffloadManager::set_recovery(const RecoveryConfig& recovery) {
   recovery.validate();
   std::lock_guard<std::mutex> lock(mutex_);
   recovery_ = recovery;
+}
+
+void OffloadManager::set_integrity(integrity::ChecksumRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LMO_CHECK_MSG(entries_.empty(),
+                "set_integrity must precede weight registration so every "
+                "host shard gets a fingerprint");
+  integrity_ = registry;
 }
 
 std::size_t OffloadManager::staged_count() const {
@@ -161,6 +190,14 @@ void OffloadManager::register_tensor(const std::string& name,
       bits = next;
     }
   }
+  // Fingerprint the stored payload at offload time; fetches re-check it
+  // per the integrity policy. Device-tier entries (early returns above)
+  // never cross the bus, so only host shards are recorded.
+  if (integrity_ != nullptr && integrity_->enabled()) {
+    integrity_->record(weights_region(name),
+                       util::crc32(stored_payload_bytes(entry.plain,
+                                                        entry.quantized)));
+  }
   entries_[name] = std::move(entry);
 }
 
@@ -198,6 +235,7 @@ tensor::Tensor OffloadManager::materialize(const Entry& entry) {
 }
 
 tensor::Tensor OffloadManager::transfer_with_retries(const Entry& entry,
+                                                     const std::string& name,
                                                      const char* site) {
   // The runtime analogue of Algorithm 1's load_weight task; the span makes
   // prefetch/compute overlap visible in chrome://tracing.
@@ -205,6 +243,7 @@ tensor::Tensor OffloadManager::transfer_with_retries(const Entry& entry,
                              site);
   auto& injector = util::FaultInjector::instance();
   double backoff = recovery_.retry_backoff_seconds;
+  std::int64_t repairs = 0;
   for (int attempt = 1;; ++attempt) {
     if (injector.enabled()) {
       sleep_seconds(injector.injected_delay(site));  // bandwidth spike
@@ -225,6 +264,87 @@ tensor::Tensor OffloadManager::transfer_with_retries(const Entry& entry,
         backoff *= 2.0;
         continue;
       }
+    }
+    // The payload has "arrived". Under chaos the wire may silently flip a
+    // bit; under an integrity policy the arrival is fingerprint-checked.
+    // Both off (the common case) falls through to the seed's exact path.
+    // The flip domain is the fingerprinted payload span — payload_bytes()
+    // also counts quantization metadata the wire copy does not carry.
+    const std::int64_t flip =
+        injector.enabled()
+            ? injector.corrupt_bit(
+                  kWeightsFlipSite,
+                  8 * static_cast<std::uint64_t>(
+                          stored_payload_bytes(entry.plain, entry.quantized)
+                              .size()))
+            : -1;
+    const bool check = integrity_ != nullptr && integrity_->enabled() &&
+                       integrity_->should_verify(weights_region(name));
+    if (check) {
+      // Verify the bytes as transferred (flipped copy when a flip fired,
+      // the pristine stored payload otherwise).
+      bool intact;
+      if (flip >= 0) {
+        // Realize the corrupted wire copy only on this rare path.
+        std::vector<std::uint8_t> wire;
+        if (entry.quantized.defined()) {
+          wire = entry.quantized.payload();
+        } else {
+          const auto raw = entry.plain.raw();
+          wire.resize(raw.size());
+          std::memcpy(wire.data(), raw.data(), raw.size());
+        }
+        wire[static_cast<std::size_t>(flip / 8)] ^=
+            static_cast<std::uint8_t>(1u << (flip % 8));
+        intact = integrity_->verify(
+            weights_region(name),
+            std::as_bytes(std::span<const std::uint8_t>(wire.data(),
+                                                        wire.size())));
+      } else {
+        intact = integrity_->verify(
+            weights_region(name),
+            stored_payload_bytes(entry.plain, entry.quantized));
+      }
+      if (!intact) {
+        // Weights rung of the repair ladder: the stored entry is the
+        // pristine source, so a re-fetch (another trip around the loop)
+        // delivers clean bytes unless the injector corrupts again.
+        if (repairs++ >= integrity_->config().max_repair_attempts) {
+          integrity_->note_unrepairable();
+          throw util::DataCorruption(
+              "weight shard \"" + name + "\" failed verification after " +
+              std::to_string(repairs) + " re-fetch attempts at " + site);
+        }
+        integrity_->note_repair(integrity::RepairKind::kRefetch);
+        telemetry::ScopedSpan repair_span(telemetry::TraceRecorder::global(),
+                                          "repair.refetch", "integrity");
+        continue;
+      }
+    } else if (flip >= 0) {
+      // Unverified flip: the corruption must propagate silently, exactly
+      // like real bit rot under verify=off (or an unsampled load).
+      if (entry.quantized.defined()) {
+        std::vector<std::uint8_t> wire = entry.quantized.payload();
+        wire[static_cast<std::size_t>(flip / 8)] ^=
+            static_cast<std::uint8_t>(1u << (flip % 8));
+        tensor::QuantizedTensor corrupted = tensor::QuantizedTensor::from_parts(
+            entry.quantized.original_shape(),
+            tensor::QuantConfig{entry.quantized.bits(),
+                                entry.quantized.group_size()},
+            entry.quantized.padded_numel(), std::move(wire),
+            entry.quantized.group_min(), entry.quantized.group_scale());
+        const auto start = std::chrono::steady_clock::now();
+        telemetry::ScopedSpan dq_span(telemetry::TraceRecorder::global(),
+                                      "dequantize", site);
+        tensor::Tensor value = tensor::dequantize(corrupted);
+        dequantize_seconds_->add(seconds_since(start));
+        return value;
+      }
+      tensor::Tensor wire = entry.plain.clone();
+      const auto raw = wire.raw();
+      raw[static_cast<std::size_t>(flip / 8)] ^=
+          static_cast<std::byte>(1u << (flip % 8));
+      return wire.cast(tensor::DType::kF32);
     }
     const auto start = std::chrono::steady_clock::now();
     tensor::Tensor value;
@@ -283,7 +403,7 @@ tensor::Tensor OffloadManager::fetch(const std::string& name) {
   }
   // Synchronous transfer (cold fetch, or recovery after a failed / hung
   // prefetch). Bytes are charged only once the transfer succeeds.
-  tensor::Tensor value = transfer_with_retries(*entry, kFetchSite);
+  tensor::Tensor value = transfer_with_retries(*entry, name, kFetchSite);
   bytes_host_to_device_->add(static_cast<double>(payload_bytes(*entry)));
   host_transfers_->add();
   return value;
@@ -310,7 +430,7 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
   }
   pool.submit([this, name, entry, promise] {
     try {
-      tensor::Tensor value = transfer_with_retries(*entry, kPrefetchSite);
+      tensor::Tensor value = transfer_with_retries(*entry, name, kPrefetchSite);
       {
         std::lock_guard<std::mutex> lock(mutex_);
         // The payload moved over the bus whether or not anyone still wants
@@ -346,6 +466,18 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
             failed_.insert(name);  // next fetch falls back synchronously
           }
         }
+        in_flight_.erase(name);
+      }
+      staged_cv_.notify_all();
+      promise->set_value();
+    } catch (const util::DataCorruption&) {
+      // Unrepairable arrival on the *prefetch* path still has a recovery
+      // rung: the next fetch() transfers synchronously with its own repair
+      // budget. Only a sync fetch's corruption propagates to the caller.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (abandoned_.erase(name) == 0) failed_.insert(name);
+        prefetch_failures_->add();
         in_flight_.erase(name);
       }
       staged_cv_.notify_all();

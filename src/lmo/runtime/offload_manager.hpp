@@ -24,6 +24,7 @@
 #include <set>
 #include <string>
 
+#include "lmo/integrity/integrity.hpp"
 #include "lmo/parallel/threadpool.hpp"
 #include "lmo/runtime/mempool.hpp"
 #include "lmo/telemetry/metrics.hpp"
@@ -168,6 +169,13 @@ class OffloadManager {
   void set_recovery(const RecoveryConfig& recovery);
   const RecoveryConfig& recovery() const { return recovery_; }
 
+  /// Attach the integrity layer (owned by the caller, typically the
+  /// Generator; may be null = no verification). Must be set before weights
+  /// are registered so their fingerprints are recorded; host-tier tensors
+  /// registered while attached are verified on fetch per the registry's
+  /// policy and repaired by re-reading the pristine stored entry.
+  void set_integrity(integrity::ChecksumRegistry* registry);
+
   /// Staging slots currently occupied (prefetched, not yet consumed).
   std::size_t staged_count() const;
 
@@ -192,8 +200,14 @@ class OffloadManager {
 
   tensor::Tensor materialize(const Entry& entry);
   /// One transfer with injected faults, bounded-backoff retries and stats
-  /// accounting. Called without the manager lock.
-  tensor::Tensor transfer_with_retries(const Entry& entry, const char* site);
+  /// accounting. Called without the manager lock. `name` keys the entry's
+  /// integrity fingerprint: arrivals may be bit-flipped by the injector and
+  /// are CRC-verified per policy, with corrupt arrivals repaired by
+  /// re-reading the pristine stored entry (the weights rung of the repair
+  /// ladder) before DataCorruption is thrown.
+  tensor::Tensor transfer_with_retries(const Entry& entry,
+                                       const std::string& name,
+                                       const char* site);
   std::size_t payload_bytes(const Entry& entry) const;
   /// Drop every staging slot (ladder rung); returns freed charge count.
   std::size_t evict_staged_locked();
@@ -203,6 +217,7 @@ class OffloadManager {
   int quant_bits_;
   std::int64_t group_size_;
   RecoveryConfig recovery_;
+  integrity::ChecksumRegistry* integrity_ = nullptr;
   std::map<std::string, Entry> entries_;
   std::map<std::string, StagedEntry> staged_;
   std::set<std::string> in_flight_;   ///< prefetches not yet staged

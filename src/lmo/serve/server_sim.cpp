@@ -59,6 +59,12 @@ void ServeConfig::validate() const {
                   overload.enabled,
               "token-budget admission needs the overload KV pool "
               "(overload.enabled) to price headroom");
+    v.gt("ckpt_interval_tokens", ckpt_interval_tokens, 0);
+    for (const CorruptionEvent& c : corruptions) {
+      v.ge("corruptions.at_seconds", c.at_seconds, 0.0);
+      v.require("corruptions.request_id", c.request_id >= 0,
+                "must name a request id");
+    }
   });
   // Bounded admission: the controller config owns the queue-bound and
   // deadline coupling rules (zero bound with shedding enabled, shedding
@@ -70,6 +76,7 @@ void ServeConfig::validate() const {
   admission_config.validate();
   overload.validate();
   adaptive.validate();
+  integrity.validate();
 }
 
 namespace {
@@ -263,6 +270,20 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   telemetry::Counter& m_deescalations = reg.counter("overload.deescalations");
   telemetry::Counter& m_demoted = reg.counter("overload.demoted_sessions");
   telemetry::Counter& m_ovl_preempts = reg.counter("overload.preemptions");
+  // Integrity vocabulary: the registry wrapper pre-registers the shared
+  // integrity.* schema (stable zeros when verification is off); the
+  // serving-specific event counters sit next to it.
+  integrity::ChecksumRegistry integrity_reg(config.integrity, &reg);
+  telemetry::Counter& m_corrupt_detected =
+      reg.counter("integrity.corruption.detected");
+  telemetry::Counter& m_corrupt_undetected =
+      reg.counter("integrity.corruption.undetected");
+  telemetry::Counter& m_rollback_tokens =
+      reg.counter("integrity.rollback.tokens");
+  telemetry::Counter& m_verify_total = reg.counter("integrity.verify.total");
+  telemetry::Gauge& m_verify_bytes = reg.gauge("integrity.verify.bytes");
+  telemetry::Gauge& m_verify_seconds =
+      reg.gauge("integrity.verify.seconds");
   LMO_CHECK_MSG(m_tokens.value() == 0 && m_completed.value() == 0 &&
                     m_ttft.count() == 0,
                 "simulate_serving needs a fresh registry: 'serve.*' metrics "
@@ -396,6 +417,77 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
       }
     }
     return factor;
+  };
+
+  // ---- integrity: verify-bandwidth charge and injected corruption -------
+  // Fraction of fetched bytes the verify policy actually checksums; the
+  // per-step charge multiplies the verified volume by it, so verify=off
+  // costs exactly zero and verify=sample amortizes by the period.
+  const double verify_fraction =
+      !config.integrity.enabled()
+          ? 0.0
+          : (config.integrity.policy == integrity::VerifyPolicy::kAlways
+                 ? 1.0
+                 : 1.0 / static_cast<double>(config.integrity.sample_period));
+  // Offloaded weight bytes every decode step streams across all layers.
+  const double verify_weight_bytes =
+      model::layer_weight_bytes(spec, policy.weight_bits) *
+      (1.0 - policy.weights_on_gpu) * static_cast<double>(spec.num_layers);
+  double verify_seconds_total = 0.0;
+  std::vector<CorruptionEvent> corruptions = config.corruptions;
+  std::sort(corruptions.begin(), corruptions.end(),
+            [](const CorruptionEvent& a, const CorruptionEvent& b) {
+              return a.at_seconds < b.at_seconds;
+            });
+  std::size_t next_corruption = 0;
+  const auto rollback = [&](Active& a) {
+    const std::int64_t keep = (a.generated / config.ckpt_interval_tokens) *
+                              config.ckpt_interval_tokens;
+    m_rollback_tokens.add(static_cast<std::uint64_t>(a.generated - keep));
+    a.generated = keep;
+    integrity_reg.note_repair(integrity::RepairKind::kRecompute);
+    m_corrupt_detected.add();
+    if (trace != nullptr) {
+      trace->complete("corruption", "integrity", kServeTracePid,
+                      static_cast<int>(a.request.id) + 1, clock * 1e6, 0.0);
+    }
+  };
+  const auto process_corruptions = [&] {
+    while (next_corruption < corruptions.size() &&
+           corruptions[next_corruption].at_seconds <= clock) {
+      const CorruptionEvent ev = corruptions[next_corruption++];
+      if (!config.integrity.enabled()) {
+        // Nothing checks the bytes: in a real serving stack this is the
+        // silent token divergence the integrity layer exists to stop.
+        m_corrupt_undetected.add();
+        continue;
+      }
+      bool handled = false;
+      for (std::size_t i = 0; i < active.size() && !handled; ++i) {
+        if (active[i].request.id != ev.request_id) continue;
+        Active victim = std::move(active[i]);
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+        rollback(victim);
+        // Checkpoint-rollback re-admission: the corrupt KV charge is
+        // dropped and the session re-enters through the swap-in path,
+        // restoring its checkpointed KV at link cost before re-decoding
+        // the rolled-back tail. Not counted as a preemption — the slot
+        // was lost to repair, not to a waiter.
+        victim.lease.reset();
+        release_kv(victim);
+        suspended.push_back(std::move(victim));
+        handled = true;
+      }
+      if (handled) continue;
+      for (Active& s : suspended) {
+        if (s.request.id != ev.request_id) continue;
+        // Already swapped out: roll the checkpoint cursor back in place;
+        // the regular swap-in restores from there.
+        rollback(s);
+        break;
+      }
+      // Events naming a queued or finished request are inert.
+    }
   };
 
   // ---- adaptive parallelism control -------------------------------------
@@ -814,6 +906,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
       clock = requests[next_arrival].arrival_seconds;
       pull_arrivals(clock);
     }
+    process_corruptions();
 
     // Degradation ladder: one pressure observation per engine iteration;
     // rungs apply their remedies before admission sees the queue.
@@ -873,8 +966,25 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
     // One decode step for every fully-prefilled sequence.
     std::int64_t decoding = 0;
     for (const auto& a : active) decoding += a.decoding();
+    // Integrity verification re-checksums the step's fetched bytes (the
+    // offloaded weight stream plus every decoding sequence's at-rest KV).
+    double verify_cost = 0.0;
+    if (verify_fraction > 0.0 && decoding > 0) {
+      double verified = verify_weight_bytes;
+      for (const auto& a : active) {
+        if (!a.decoding()) continue;
+        verified += static_cast<double>(a.kv_tokens()) *
+                    static_cast<double>(kv_bytes_per_token(a.kv_bits));
+      }
+      verified *= verify_fraction;
+      verify_cost = verified / (config.integrity.checksum_gbps * 1e9);
+      verify_seconds_total += verify_cost;
+      m_verify_total.add(static_cast<std::uint64_t>(decoding) + 1);
+      m_verify_bytes.add(verified);
+    }
     double step =
-        (decode_step_seconds(spec, policy, platform, active) + prefill_cost) /
+        (decode_step_seconds(spec, policy, platform, active) + prefill_cost +
+         verify_cost) /
         bandwidth_factor(clock);
     if (adaptive_ctl != nullptr) step *= adaptive_factor;
     LMO_CHECK_GT(step, 0.0);
@@ -1005,6 +1115,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   reg.gauge("serve.batch.mean_occupancy").set(occupancy_integral / clock);
   reg.gauge("serve.preempt.swap_seconds").set(swap_seconds);
   reg.gauge("serve.kv.swap_bytes").set(swap_bytes);
+  m_verify_seconds.set(verify_seconds_total);
   if (kv_pool != nullptr) {
     reg.gauge("overload.kv_pool.peak_bytes")
         .set(static_cast<double>(kv_pool->peak()));
@@ -1048,6 +1159,10 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   metrics.overload_deescalations = m_deescalations.value();
   metrics.overload_preemptions = m_ovl_preempts.value();
   metrics.demoted_sessions = m_demoted.value();
+  metrics.corruption_detected = m_corrupt_detected.value();
+  metrics.corruption_undetected = m_corrupt_undetected.value();
+  metrics.rollback_tokens = m_rollback_tokens.value();
+  metrics.verify_seconds = m_verify_seconds.value();
   if (m_ttft.count() > 0) {
     metrics.ttft_p50 = m_ttft.percentile(0.5);
     metrics.ttft_p95 = m_ttft.percentile(0.95);

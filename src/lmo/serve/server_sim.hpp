@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "lmo/hw/platform.hpp"
+#include "lmo/integrity/integrity.hpp"
 #include "lmo/model/llm_config.hpp"
 #include "lmo/overload/admission.hpp"
 #include "lmo/parallel/adaptive_controller.hpp"
@@ -41,6 +42,18 @@ struct FaultWindow {
   double begin = 0.0;
   double end = 0.0;
   double bandwidth_factor = 1.0;  ///< fraction of nominal speed, in (0, 1]
+};
+
+/// An injected silent-corruption event: when the engine clock passes
+/// `at_seconds`, the in-flight (or suspended) request `request_id` has an
+/// offloaded KV region rot. With verification on the engine detects it and
+/// runs checkpoint-rollback re-admission (see ServeConfig::integrity);
+/// with verification off the event is counted as undetected — the
+/// accounting analogue of silent token divergence. Events naming a
+/// request that already finished (or never started) are inert.
+struct CorruptionEvent {
+  double at_seconds = 0.0;
+  std::int64_t request_id = -1;
 };
 
 /// Overload protection for the serving engine: a modelled KV memory pool
@@ -132,6 +145,21 @@ struct ServeConfig {
   /// and trace.
   parallel::AdaptiveConfig adaptive;
 
+  /// End-to-end integrity on the serving path (accounting model). With
+  /// verification on, every decode step is charged the checksum time for
+  /// the bytes it fetches from host storage (offloaded weight stream +
+  /// at-rest KV of decoding sequences) at integrity.checksum_gbps, scaled
+  /// by the policy's sampling fraction — verify=off charges exactly zero.
+  /// Detected corruption repairs by checkpoint rollback: the session's
+  /// generated count rolls back to the last ckpt_interval_tokens multiple,
+  /// its (corrupt) KV charge is dropped, and it re-enters through the
+  /// swap-in path — restoring checkpointed KV at link cost — then re-
+  /// decodes the lost tail. integrity.* counters account every event.
+  integrity::IntegrityConfig integrity;
+  std::vector<CorruptionEvent> corruptions;
+  /// Checkpoint cadence the rollback rounds down to, in generated tokens.
+  std::int64_t ckpt_interval_tokens = 32;
+
   void validate() const;
 };
 
@@ -191,6 +219,11 @@ struct ServeMetrics {
   /// Ladder rung-3 swap-outs (counted inside `preemptions` too).
   std::size_t overload_preemptions = 0;
   std::size_t demoted_sessions = 0;  ///< admitted with quantized KV
+  /// integrity.* reads (0 unless config.integrity / corruption events).
+  std::size_t corruption_detected = 0;    ///< events caught by verification
+  std::size_t corruption_undetected = 0;  ///< events missed (verify off)
+  std::uint64_t rollback_tokens = 0;  ///< re-decoded after ckpt rollback
+  double verify_seconds = 0.0;        ///< engine time spent checksumming
   std::vector<RequestOutcome> outcomes;  ///< per request, by id order
 };
 

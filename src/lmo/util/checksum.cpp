@@ -1,0 +1,41 @@
+#include "lmo/util/checksum.hpp"
+
+namespace lmo::util {
+namespace {
+
+/// Table-driven CRC-32, generated once for the reflected IEEE polynomial.
+const std::uint32_t* crc_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  const std::uint32_t* table = crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::byte b : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(b)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::uint32_t crc32(const std::vector<std::byte>& data) {
+  return crc32(std::span<const std::byte>(data.data(), data.size()));
+}
+
+std::uint32_t crc32(std::span<const float> data) {
+  return crc32(std::as_bytes(data));
+}
+
+}  // namespace lmo::util

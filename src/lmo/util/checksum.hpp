@@ -1,0 +1,25 @@
+// Shared CRC-32 used by every integrity surface in the tree.
+//
+// One implementation serves both the checkpoint envelope (lmo/ckpt) and the
+// offload-path integrity layer (lmo/integrity): the reflected IEEE 802.3
+// polynomial with 0xffffffff init/xorout — the zlib convention — so
+// fingerprints are comparable across subsystems and checkpoint files written
+// before the extraction verify unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lmo::util {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention) over `data`.
+std::uint32_t crc32(std::span<const std::byte> data);
+std::uint32_t crc32(const std::vector<std::byte>& data);
+
+/// Convenience overload for float payloads (KV rows, prefix blocks):
+/// fingerprints the IEEE bit patterns in native layout.
+std::uint32_t crc32(std::span<const float> data);
+
+}  // namespace lmo::util

@@ -25,6 +25,8 @@ void FaultSpec::validate() const {
   LMO_CHECK_GE(latency_seconds, 0.0);
   LMO_CHECK_GE(max_failures, -1);
   LMO_CHECK_GE(alloc_failures, 0);
+  LMO_CHECK_GE(flip_probability, 0.0);
+  LMO_CHECK_LE(flip_probability, 1.0);
 }
 
 const char* to_string(FaultKind kind) {
@@ -35,6 +37,8 @@ const char* to_string(FaultKind kind) {
       return "latency";
     case FaultKind::kAllocFailure:
       return "alloc-failure";
+    case FaultKind::kBitFlip:
+      return "bit-flip";
   }
   LMO_UNREACHABLE("bad FaultKind");
 }
@@ -125,6 +129,24 @@ bool FaultInjector::should_fail_alloc(const std::string& site) {
   events_.push_back(FaultEvent{site, FaultKind::kAllocFailure,
                                static_cast<std::uint64_t>(op)});
   return true;
+}
+
+std::int64_t FaultInjector::corrupt_bit(const std::string& site,
+                                        std::uint64_t num_bits) {
+  if (!enabled() || num_bits == 0) return -1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site* s = find_site_locked(site);
+  if (s == nullptr) return -1;
+  const std::int64_t op = s->ops++;
+  if (s->spec.flip_probability <= 0.0) return -1;
+  if (s->draw() >= s->spec.flip_probability) return -1;
+  // Second draw picks the victim bit, consumed only when the flip fires so
+  // a non-firing schedule matches a flip-free one draw-for-draw.
+  const auto bit = static_cast<std::uint64_t>(
+      s->draw() * static_cast<double>(num_bits));
+  events_.push_back(FaultEvent{site, FaultKind::kBitFlip,
+                               static_cast<std::uint64_t>(op)});
+  return static_cast<std::int64_t>(bit >= num_bits ? num_bits - 1 : bit);
 }
 
 std::vector<FaultEvent> FaultInjector::events() const {

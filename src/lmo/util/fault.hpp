@@ -50,10 +50,15 @@ struct FaultSpec {
   /// The next `alloc_failures` allocation checks at this site are denied.
   std::int64_t alloc_failures = 0;
 
+  /// Probability that an operation at this site silently flips one bit of
+  /// the data it moves (see FaultInjector::corrupt_bit). Models hardware
+  /// bit rot on the offload path; detected only by the integrity layer.
+  double flip_probability = 0.0;
+
   void validate() const;
 };
 
-enum class FaultKind { kTransient, kLatency, kAllocFailure };
+enum class FaultKind { kTransient, kLatency, kAllocFailure, kBitFlip };
 
 const char* to_string(FaultKind kind);
 
@@ -100,6 +105,14 @@ class FaultInjector {
 
   /// Should the current allocation at `site` be denied?
   bool should_fail_alloc(const std::string& site);
+
+  /// Should the current operation at `site` silently corrupt the payload it
+  /// moves? Counts one operation against the site. Returns the index of the
+  /// bit to flip in [0, num_bits), or -1 for "no flip". Consumes zero draws
+  /// when the armed spec has flip_probability == 0 (or the site is unarmed),
+  /// so arming flips never perturbs a site's other outcome sequences and
+  /// existing chaos schedules stay byte-identical.
+  std::int64_t corrupt_bit(const std::string& site, std::uint64_t num_bits);
 
   /// Trigger log (copy; ordered by firing time).
   std::vector<FaultEvent> events() const;

@@ -49,6 +49,17 @@ class ResourceExhausted : public CheckError {
   explicit ResourceExhausted(const std::string& what) : CheckError(what) {}
 };
 
+/// A verified region (host weight shard, KV row, shared prefix block)
+/// failed its checksum and the repair ladder could not restore it (see
+/// lmo/integrity/). A runtime_error, not a CheckError: corruption is an
+/// environmental fault, never a caller bug, and servers recover by rolling
+/// the session back to its last checkpoint rather than crashing.
+class DataCorruption : public std::runtime_error {
+ public:
+  explicit DataCorruption(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// Base class for checkpoint load failures (see lmo/ckpt/). A checkpoint is
 /// external input, not a caller contract, so these are runtime_errors:
 /// rejecting a bad file must never look like a bug in the caller, and a

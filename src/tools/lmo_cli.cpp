@@ -7,7 +7,9 @@
 //   lmo trace    --runtime 1 --out trace.json    (measured Generator spans)
 //   lmo chaos    --profile flaky-pcie            (generation under faults)
 //   lmo chaos    --profile kill-resume           (crash-recovery determinism)
+//   lmo chaos    --profile bitflip               (silent-corruption repair)
 //   lmo checkpoint --out gen.ckpt                (snapshot mid-generation)
+//   lmo checkpoint --verify gen.ckpt             (validate without restoring)
 //   lmo resume     --from gen.ckpt               (finish from the snapshot)
 //   lmo models                                    (list presets)
 //
@@ -25,10 +27,12 @@
 #include <string>
 #include <vector>
 
+#include "lmo/ckpt/format.hpp"
 #include "lmo/core/decisions.hpp"
 #include "lmo/core/lm_offload.hpp"
 #include "lmo/core/plan_io.hpp"
 #include "lmo/hw/platform_config.hpp"
+#include "lmo/integrity/integrity.hpp"
 #include "lmo/parallel/adaptive_controller.hpp"
 #include "lmo/runtime/checkpoint.hpp"
 #include "lmo/runtime/generator.hpp"
@@ -42,6 +46,7 @@
 #include "lmo/telemetry/trace.hpp"
 #include "lmo/util/check.hpp"
 #include "lmo/util/fault.hpp"
+#include "lmo/util/status.hpp"
 #include "lmo/util/csv.hpp"
 #include "lmo/util/table.hpp"
 #include "lmo/util/units.hpp"
@@ -333,6 +338,31 @@ int cmd_serve(const Args& args) {
   config.adaptive.window_steps =
       static_cast<int>(args.get_int("window-steps", 8));
 
+  // End-to-end integrity accounting (see docs/robustness.md): --verify
+  // off|sample|always charges each step the checksum time for its host
+  // fetches; --corrupt "T:ID[,T:ID...]" injects silent-corruption events
+  // the engine repairs by checkpoint rollback (or, under verify=off,
+  // counts as undetected).
+  config.integrity.policy =
+      integrity::verify_policy_from_string(args.get("verify", "off"));
+  config.integrity.sample_period = args.get_int("verify-sample", 16);
+  config.ckpt_interval_tokens = args.get_int("ckpt-interval", 32);
+  const std::string corrupt = args.get("corrupt", "");
+  for (std::size_t pos = 0; pos < corrupt.size();) {
+    const auto comma = corrupt.find(',', pos);
+    const std::string item = corrupt.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const auto colon = item.find(':');
+    LMO_CHECK_MSG(colon != std::string::npos,
+                  "--corrupt wants T:ID[,T:ID...], got: " + item);
+    serve::CorruptionEvent event;
+    event.at_seconds = std::stod(item.substr(0, colon));
+    event.request_id = std::stoll(item.substr(colon + 1));
+    config.corruptions.push_back(event);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
   telemetry::MetricsRegistry registry;
   telemetry::TraceRecorder trace_recorder;
   const std::string trace_out = args.get("trace-out", "");
@@ -378,6 +408,16 @@ int cmd_serve(const Args& args) {
                 m.overload_escalations, m.overload_deescalations,
                 m.demoted_sessions, m.overload_preemptions,
                 m.request_goodput);
+  }
+
+  if (config.integrity.enabled() || !config.corruptions.empty()) {
+    std::printf("integrity (verify=%s): %zu corruption(s) detected, %zu "
+                "undetected | %llu tokens re-decoded after rollback | "
+                "%.2f s verifying\n",
+                integrity::to_string(config.integrity.policy),
+                m.corruption_detected, m.corruption_undetected,
+                static_cast<unsigned long long>(m.rollback_tokens),
+                m.verify_seconds);
   }
 
   if (config.adaptive.enabled) {
@@ -587,6 +627,133 @@ int cmd_chaos_shared_prefix(const Args& args) {
   return identical && reused ? 0 : 1;
 }
 
+/// `lmo chaos --profile bitflip`: the silent-corruption determinism drill.
+/// A clean reference generation (verification on, no faults) is compared
+/// against two identically-seeded runs with the bit-flip fault class armed
+/// on the weight-fetch and KV read-back wires under verify=always. Exit 0
+/// requires all of:
+///   * chaos tokens byte-identical to the clean run — every flip was
+///     detected and repaired, zero silent divergence;
+///   * the two seeded runs agree on tokens *and* integrity.* counters —
+///     detection and repair are deterministic;
+///   * every fired flip was detected (verify.failures == flips fired) and
+///     repaired on the right ladder rung (refetch + recompute == failures,
+///     nothing unrepairable).
+/// Single-threaded on purpose: the per-site flip draw order is the one
+/// thread-sensitive part of the path, and the drill pins it down.
+int cmd_chaos_bitflip(const Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  const std::int64_t gen_len = args.get_int("len", 12);
+
+  runtime::RuntimeConfig config = tiny_runtime_config(args);
+  config.prefetch_threads = 0;  // deterministic draw order
+  config.compute_threads = 0;
+  config.integrity.policy = integrity::VerifyPolicy::kAlways;
+  config.integrity.max_repair_attempts = args.get_int("repair-attempts", 8);
+  const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
+
+  // Per-draw flip probabilities. The KV site draws once per row *read*
+  // (hundreds per step, and every repair re-prefill re-reads them all), so
+  // its rate must sit well below the weight site's once-per-fetch rate or
+  // repairs re-corrupt faster than the ladder converges.
+  util::FaultSpec weights_fault;
+  weights_fault.flip_probability = std::stod(args.get("rate", "0.05"));
+  util::FaultSpec kv_fault;
+  kv_fault.flip_probability = std::stod(args.get("kv-rate", "0.005"));
+  constexpr const char* kWeightsFlip = "integrity.weights.flip";
+  constexpr const char* kKvFlip = "integrity.kv.flip";
+
+  // Clean reference: same config (verification armed), no injector.
+  std::vector<std::vector<std::int64_t>> clean;
+  {
+    runtime::Generator gen(config);
+    clean = gen.generate(prompts, gen_len).tokens;
+  }
+
+  struct DrillRun {
+    std::vector<std::vector<std::int64_t>> tokens;
+    std::uint64_t fired_weights = 0;
+    std::uint64_t fired_kv = 0;
+    std::uint64_t verified = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t refetch = 0;
+    std::uint64_t recompute = 0;
+    std::uint64_t unrepairable = 0;
+
+    bool operator==(const DrillRun& other) const {
+      return tokens == other.tokens &&
+             fired_weights == other.fired_weights &&
+             fired_kv == other.fired_kv && verified == other.verified &&
+             failures == other.failures && refetch == other.refetch &&
+             recompute == other.recompute &&
+             unrepairable == other.unrepairable;
+    }
+  };
+  const auto run_chaos = [&]() {
+    DrillRun r;
+    util::ScopedFaultInjection chaos(seed);
+    chaos.arm(kWeightsFlip, weights_fault);
+    chaos.arm(kKvFlip, kv_fault);
+    runtime::Generator gen(config);
+    r.tokens = gen.generate(prompts, gen_len).tokens;
+    r.fired_weights = chaos.count(kWeightsFlip, util::FaultKind::kBitFlip);
+    r.fired_kv = chaos.count(kKvFlip, util::FaultKind::kBitFlip);
+    const auto snap = gen.manager().metrics().snapshot();
+    const auto counter = [&snap](const char* name) -> std::uint64_t {
+      const auto* c = snap.find(name);
+      return c != nullptr ? c->count : 0;
+    };
+    r.verified = counter("integrity.verify.total");
+    r.failures = counter("integrity.verify.failures");
+    r.refetch = counter("integrity.repair.refetch");
+    r.recompute = counter("integrity.repair.recompute");
+    r.unrepairable = counter("integrity.unrepairable");
+    return r;
+  };
+  const auto a = run_chaos();
+  const auto b = run_chaos();
+
+  std::printf("chaos profile 'bitflip' (seed %llu, flip rate %.1f%% per "
+              "fetch / %.2f%% per KV row) on %s, %s KV, verify=always\n",
+              static_cast<unsigned long long>(seed),
+              weights_fault.flip_probability * 100.0,
+              kv_fault.flip_probability * 100.0, config.spec.name.c_str(),
+              runtime::to_string(config.kv_flavor));
+  std::printf("flips fired: %llu on weight fetches, %llu on KV read-backs "
+              "| %llu loads verified\n",
+              static_cast<unsigned long long>(a.fired_weights),
+              static_cast<unsigned long long>(a.fired_kv),
+              static_cast<unsigned long long>(a.verified));
+  std::printf("repair ladder: %llu detected -> %llu weight re-fetches + "
+              "%llu KV re-prefills, %llu unrepairable\n",
+              static_cast<unsigned long long>(a.failures),
+              static_cast<unsigned long long>(a.refetch),
+              static_cast<unsigned long long>(a.recompute),
+              static_cast<unsigned long long>(a.unrepairable));
+
+  const std::uint64_t fired = a.fired_weights + a.fired_kv;
+  const bool identical = a.tokens == clean;
+  const bool reproducible = a == b;
+  const bool detected_all = a.failures == fired;
+  const bool accounted =
+      a.refetch + a.recompute == a.failures && a.unrepairable == 0;
+  std::printf("tokens identical to fault-free run: %s\n",
+              identical ? "yes" : "NO — silent corruption leaked");
+  std::printf("seeded runs identical (tokens + integrity counters): %s\n",
+              reproducible ? "yes" : "NO — integrity determinism bug");
+  std::printf("every fired flip detected: %s | repairs account for every "
+              "detection: %s\n",
+              detected_all ? "yes" : "NO — a verified region missed a flip",
+              accounted ? "yes" : "NO — repair accounting mismatch");
+  if (fired == 0) {
+    std::printf("WARNING: no bit flips fired — drill did not exercise the "
+                "integrity path\n");
+  }
+  return identical && reproducible && detected_all && accounted && fired > 0
+             ? 0
+             : 1;
+}
+
 /// `lmo chaos --profile overload`: the overload-protection determinism
 /// drill. A seeded burst workload slams the serving simulator with the
 /// degradation ladder, a tight KV pool, and deadline-aware shedding armed;
@@ -791,10 +958,67 @@ int cmd_chaos_adaptive(const Args& args) {
              : 1;
 }
 
+/// `lmo checkpoint --verify FILE`: validate a checkpoint without restoring
+/// it. Two passes, each reporting a typed verdict: the envelope (magic,
+/// format version, payload kind, length, CRC-32 trailer — see
+/// ckpt/format.hpp for the error taxonomy and check order), then the
+/// payload's section ordering (config fingerprint + progress decode, the
+/// same probe `lmo resume` runs). No pools are touched and no Generator is
+/// built, so a corrupt file can be triaged on a machine that could never
+/// host the model.
+int cmd_checkpoint_verify(const Args& args) {
+  const std::string path = args.get("verify", "");
+  std::printf("verifying checkpoint %s\n", path.c_str());
+
+  std::size_t payload_bytes = 0;
+  try {
+    payload_bytes =
+        ckpt::read_checkpoint_file(path, ckpt::PayloadKind::kGeneratorState)
+            .size();
+  } catch (const util::CheckpointTruncated& e) {
+    std::printf("envelope: TRUNCATED — %s\n", e.what());
+    return 1;
+  } catch (const util::CheckpointVersionMismatch& e) {
+    std::printf("envelope: VERSION MISMATCH — %s\n", e.what());
+    return 1;
+  } catch (const util::CheckpointMismatch& e) {
+    std::printf("envelope: WRONG PAYLOAD KIND — %s\n", e.what());
+    return 1;
+  } catch (const util::CheckpointCorrupt& e) {
+    std::printf("envelope: CORRUPT — %s\n", e.what());
+    return 1;
+  }
+  std::printf("envelope: ok — magic, format v%u, generator-state payload "
+              "(%zu bytes), CRC-32 intact\n",
+              ckpt::kFormatVersion, payload_bytes);
+
+  try {
+    const auto meta = runtime::read_checkpoint_meta(path);
+    std::printf("sections: ok — config fingerprint and progress decode "
+                "in order\n");
+    std::printf("contents: %s, %s KV, %zu sequence(s) at token %lld/%lld\n",
+                meta.config.spec.name.c_str(),
+                runtime::to_string(meta.config.kv_flavor),
+                meta.num_sequences, static_cast<long long>(meta.produced),
+                static_cast<long long>(meta.gen_len));
+  } catch (const util::CheckpointError& e) {
+    std::printf("sections: INVALID — %s\n", e.what());
+    return 1;
+  } catch (const util::CheckError& e) {
+    std::printf("sections: INVALID — %s\n", e.what());
+    return 1;
+  }
+  std::printf("checkpoint is valid; restore with: lmo resume --from %s\n",
+              path.c_str());
+  return 0;
+}
+
 /// `lmo checkpoint`: run the tiny generator partway and snapshot its state
 /// to a file `lmo resume` can pick up — the smallest end-to-end exercise of
-/// the crash-resume path.
+/// the crash-resume path. With --verify FILE, validate an existing
+/// checkpoint instead (no generation, no restore).
 int cmd_checkpoint(const Args& args) {
+  if (!args.get("verify", "").empty()) return cmd_checkpoint_verify(args);
   const std::string out = args.get("out", "lmo_generation.ckpt");
   const std::int64_t gen_len = args.get_int("len", 12);
   const std::int64_t at =
@@ -865,6 +1089,7 @@ int cmd_chaos(const Args& args) {
   const std::string profile = args.get("profile", "flaky-pcie");
   if (profile == "kill-resume") return cmd_chaos_kill_resume(args);
   if (profile == "shared-prefix") return cmd_chaos_shared_prefix(args);
+  if (profile == "bitflip") return cmd_chaos_bitflip(args);
   if (profile == "overload") return cmd_chaos_overload(args);
   if (profile == "adaptive") return cmd_chaos_adaptive(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
@@ -915,6 +1140,7 @@ int cmd_chaos(const Args& args) {
                  "unknown chaos profile: %s\n"
                  "profiles: flaky-pcie [--rate P], congested, "
                  "dead-prefetch, oom [--denials N], "
+                 "bitflip [--rate P] [--repair-attempts N], "
                  "kill-resume [--rate P] [--kv dense|paged|window], "
                  "shared-prefix [--rate P] [--kv-block-tokens N], "
                  "overload [--burst-rate R] [--kv-pool-kb N], "
@@ -1158,8 +1384,13 @@ int usage() {
                "[--retries N] [--kv-pool-mb N arms the degradation "
                "ladder]\n"
                "checkpoint: snapshot a generation mid-decode "
-               "([--at N] [--len N] [--kv dense|paged|window] [--out FILE]);"
+               "([--at N] [--len N] [--kv dense|paged|window] [--out FILE]) "
+               "or validate one without restoring (--verify FILE);"
                "\nresume: finish it from the file (--from FILE)\n"
+               "serve integrity: --verify off|sample|always "
+               "[--verify-sample N] [--ckpt-interval N] "
+               "[--corrupt T:ID[,T:ID...]] charges checksum time and "
+               "repairs injected corruption by checkpoint rollback\n"
                "trace: predicted timeline by default; --runtime 1 records a "
                "real Generator run's spans (--adaptive 1 closes the "
                "parallelism loop on those spans)\n"

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "lmo/integrity/integrity.hpp"
 #include "lmo/kvshare/block_store.hpp"
 #include "lmo/kvshare/prefix_cache.hpp"
 #include "lmo/kvshare/radix_tree.hpp"
@@ -609,6 +610,130 @@ TEST(PrefixCacheConcurrency, ParallelMatchInsertEvictStaysConsistent) {
   cache.evict(1u << 20);
   EXPECT_EQ(cache.blocks_in_use(), 0u);
   EXPECT_EQ(pool.used(), 0u);  // refcounts balanced across all threads
+}
+
+// -- integrity quarantine --------------------------------------------------
+
+TEST(PrefixCacheIntegrity, CorruptBlockIsQuarantinedAndExcludedFromMatch) {
+  MemoryPool pool("host", 1 << 20);
+  const auto config = small_cache_config();
+  integrity::IntegrityConfig iconfig;
+  iconfig.policy = integrity::VerifyPolicy::kAlways;
+  telemetry::MetricsRegistry metrics;
+  integrity::ChecksumRegistry registry(iconfig, &metrics);
+  PrefixCache cache(config, &pool, &metrics, &registry);
+
+  cache.insert(seq(12), offset_writer(config));
+  ASSERT_NE(cache.match(seq(12)), nullptr);  // clean chain matches
+  ASSERT_EQ(cache.blocks_in_use(), 3u);
+
+  {
+    util::ScopedFaultInjection chaos(1);
+    util::FaultSpec spec;
+    spec.flip_probability = 1.0;  // the first verified block rots at rest
+    chaos.arm("integrity.kvshare.flip", spec);
+    // The match truncates at the corrupt root block: a total miss.
+    EXPECT_EQ(cache.match(seq(12)), nullptr);
+  }
+  // Nothing pinned the subtree, so quarantine freed it immediately.
+  EXPECT_EQ(cache.quarantined_blocks(), 0u);
+  EXPECT_EQ(cache.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.used(), 0u);
+  EXPECT_EQ(metrics.counter("integrity.repair.quarantine").value(), 1u);
+  EXPECT_EQ(metrics.counter("integrity.quarantine.blocks").value(), 3u);
+  EXPECT_GE(metrics.counter("integrity.verify.failures").value(), 1u);
+
+  // The quarantined prefix stays unmatchable; a fresh insert of the same
+  // tokens rebuilds clean blocks that match again.
+  EXPECT_EQ(cache.match(seq(12)), nullptr);
+  cache.insert(seq(12), offset_writer(config));
+  EXPECT_NE(cache.match(seq(12)), nullptr);
+}
+
+TEST(PrefixCacheIntegrity, LiveLeaseDefersQuarantineFreeUntilRelease) {
+  MemoryPool pool("host", 1 << 20);
+  const auto config = small_cache_config();
+  integrity::IntegrityConfig iconfig;
+  iconfig.policy = integrity::VerifyPolicy::kAlways;
+  telemetry::MetricsRegistry metrics;
+  integrity::ChecksumRegistry registry(iconfig, &metrics);
+  PrefixCache cache(config, &pool, &metrics, &registry);
+
+  cache.insert(seq(12), offset_writer(config));
+  auto lease = cache.match(seq(12));  // pins the chain before the rot
+  ASSERT_NE(lease, nullptr);
+  const float* plane = lease->k_plane(0, 0);
+  ASSERT_NE(plane, nullptr);
+
+  {
+    util::ScopedFaultInjection chaos(1);
+    util::FaultSpec spec;
+    spec.flip_probability = 1.0;
+    chaos.arm("integrity.kvshare.flip", spec);
+    EXPECT_EQ(cache.match(seq(12)), nullptr);
+  }
+  // The subtree is detached from matching but the live lease still pins
+  // it: its payload pointers stay mapped (ASan guards this read).
+  EXPECT_EQ(cache.quarantined_blocks(), 3u);
+  EXPECT_EQ(cache.pinned_leases(), 1u);
+  volatile float still_mapped = plane[0];
+  (void)still_mapped;
+
+  lease.reset();  // the aborted request drops its pin
+  EXPECT_EQ(cache.quarantined_blocks(), 0u);
+  EXPECT_EQ(cache.pinned_leases(), 0u);
+  EXPECT_EQ(cache.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.used(), 0u);
+  EXPECT_EQ(metrics.gauge("kvshare.pinned").value(), 0.0);
+}
+
+TEST(PrefixCacheIntegrity, AbortStormUnderConcurrentChaosLeaksNothing) {
+  MemoryPool pool("host", 1 << 22);
+  PrefixCacheConfig config;
+  config.block_tokens = 4;
+  config.hidden = 4;
+  config.num_layers = 1;
+  integrity::IntegrityConfig iconfig;
+  iconfig.policy = integrity::VerifyPolicy::kAlways;
+  telemetry::MetricsRegistry metrics;
+  integrity::ChecksumRegistry registry(iconfig, &metrics);
+  PrefixCache cache(config, &pool, &metrics, &registry);
+
+  util::ScopedFaultInjection chaos(17);
+  util::FaultSpec spec;
+  spec.flip_probability = 0.02;  // occasional at-rest rot mid-storm
+  chaos.arm("integrity.kvshare.flip", spec);
+
+  const auto worker = [&](std::int64_t base) {
+    for (int i = 0; i < 150; ++i) {
+      const auto tokens = seq(8 + (i % 3) * 4, base + (i % 5) * 1000);
+      auto inserted =
+          cache.insert(tokens, [&](std::int64_t offset, float* payload) {
+            for (std::size_t f = 0; f < config.payload_floats(); ++f) {
+              payload[f] = static_cast<float>(offset);
+            }
+          });
+      auto matched = cache.match(tokens);
+      if (i % 16 == 0) cache.evict(1);
+      // Aborted request: both leases drop unconsumed at scope end.
+    }
+  };
+  std::vector<std::thread> threads;
+  for (std::int64_t t = 0; t < 4; ++t) {
+    threads.emplace_back(worker, t * 100);
+  }
+  for (auto& t : threads) t.join();
+
+  // Every abort released its pin and reaped its quarantines: the pinned
+  // gauge and the quarantine backlog both return to zero, and the pool
+  // balances once the surviving clean blocks are evicted.
+  EXPECT_EQ(cache.pinned_leases(), 0u);
+  EXPECT_EQ(metrics.gauge("kvshare.pinned").value(), 0.0);
+  EXPECT_EQ(cache.quarantined_blocks(), 0u);
+  cache.evict(1u << 20);
+  EXPECT_EQ(cache.blocks_in_use(), 0u);
+  EXPECT_EQ(pool.used(), 0u);
+  EXPECT_GT(metrics.counter("integrity.repair.quarantine").value(), 0u);
 }
 
 }  // namespace
