@@ -12,7 +12,8 @@
 #include "lmo/parallel/parallelism_search.hpp"
 #include "lmo/parallel/scaling.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_ablation_bundling");
   using namespace lmo;
   using bench::fmt;
 

@@ -9,7 +9,8 @@
 #include "lmo/sched/schedule_builder.hpp"
 #include "lmo/util/check.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_ablation_disk_spill");
   using namespace lmo;
   using bench::fmt;
 

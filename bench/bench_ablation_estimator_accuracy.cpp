@@ -11,7 +11,8 @@
 #include "lmo/sched/schedule_builder.hpp"
 #include "lmo/util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_ablation_estimator_accuracy");
   using namespace lmo;
   using bench::fmt;
 

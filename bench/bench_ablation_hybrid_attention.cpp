@@ -9,7 +9,8 @@
 #include "lmo/sched/schedule_builder.hpp"
 #include "lmo/util/check.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_ablation_hybrid_attention");
   using namespace lmo;
   using bench::fmt;
 

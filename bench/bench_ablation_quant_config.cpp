@@ -9,7 +9,8 @@
 #include "lmo/tensor/quantize.hpp"
 #include "lmo/util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_ablation_quant_config");
   using namespace lmo;
   using bench::fmt;
 

@@ -10,7 +10,8 @@
 #include "lmo/sched/flexgen.hpp"
 #include "lmo/sched/zero_inference.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_ablation_sensitivity");
   using namespace lmo;
   using bench::fmt;
 

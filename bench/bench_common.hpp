@@ -3,9 +3,11 @@
 // length), workload construction, and small formatting utilities.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lmo/model/llm_config.hpp"
@@ -112,5 +114,70 @@ inline std::string gb(double bytes) {
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
 }
+
+/// Uniform CLI shared by every bench binary:
+///   --quick      smaller grids / fewer reps (CI smoke)
+///   --json OUT   machine-readable summary of the named metrics
+/// Construction strips the flags it consumes from argv (so binaries that
+/// forward the remainder — e.g. to google-benchmark — see a clean line);
+/// destruction writes OUT as a flat {"bench", "quick", "metrics": {...}}
+/// document. Hand-rolled writer on purpose: no JSON dependency.
+class Session {
+ public:
+  Session(int& argc, char** argv, std::string name) : name_(std::move(name)) {
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        quick_ = true;
+      } else if (arg == "--json" && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  ~Session() {
+    if (json_path_.empty()) return;
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write --json file %s\n",
+                   json_path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"quick\": %s,\n"
+                    "  \"metrics\": {",
+                 name_.c_str(), quick_ ? "true" : "false");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (std::isfinite(metrics_[i].second)) {
+        std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
+                     metrics_[i].first.c_str(), metrics_[i].second);
+      } else {
+        std::fprintf(f, "%s\n    \"%s\": null", i == 0 ? "" : ",",
+                     metrics_[i].first.c_str());
+      }
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+  }
+
+  bool quick() const { return quick_; }
+
+  /// Record one numeric result under `key` in the JSON summary.
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+ private:
+  std::string name_;
+  bool quick_ = false;
+  std::string json_path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace lmo::bench

@@ -10,7 +10,8 @@
 #include "lmo/sched/zero_inference.hpp"
 #include "lmo/sim/energy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_ext_energy");
   using namespace lmo;
   using bench::fmt;
 

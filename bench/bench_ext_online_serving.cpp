@@ -28,7 +28,8 @@ double ttft_percentile(const lmo::serve::ServeMetrics& metrics, double q) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_ext_online_serving");
   using namespace lmo;
   using bench::fmt;
 

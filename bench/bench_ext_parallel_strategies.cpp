@@ -9,7 +9,8 @@
 #include "lmo/multigpu/pipeline.hpp"
 #include "lmo/multigpu/tensor_parallel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_ext_parallel_strategies");
   using namespace lmo;
   using bench::fmt;
 

@@ -9,7 +9,8 @@
 #include "bench_common.hpp"
 #include "lmo/runtime/speculative.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_ext_speculative");
   using namespace lmo;
   using bench::fmt;
 

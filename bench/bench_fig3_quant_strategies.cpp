@@ -13,7 +13,8 @@
 #include "lmo/sched/flexgen.hpp"
 #include "lmo/sched/schedule_builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_fig3_quant_strategies");
   using namespace lmo;
   using bench::fmt;
 

@@ -9,7 +9,8 @@
 #include "bench_common.hpp"
 #include "lmo/sched/schedule_builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_fig4_breakdown");
   using namespace lmo;
   using bench::fmt;
 

@@ -11,7 +11,8 @@
 #include "lmo/sched/flexgen.hpp"
 #include "lmo/util/check.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_fig7_effective_quantization");
   using namespace lmo;
   using bench::fmt;
 

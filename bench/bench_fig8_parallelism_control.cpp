@@ -109,10 +109,8 @@ int main(int argc, char** argv) {
   using namespace lmo;
   using bench::fmt;
 
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
+  bench::Session session(argc, argv, "bench_fig8_parallelism_control");
+  const bool quick = session.quick();
 
   const auto spec = model::ModelSpec::opt_30b();
   model::Workload w{.prompt_len = 64, .gen_len = 8, .gpu_batch = 64,

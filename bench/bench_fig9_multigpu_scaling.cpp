@@ -12,7 +12,8 @@
 #include "lmo/multigpu/pipeline.hpp"
 #include "lmo/sched/flexgen.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_fig9_multigpu_scaling");
   using namespace lmo;
   using bench::fmt;
 

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "lmo/tensor/quantize.hpp"
 #include "lmo/util/rng.hpp"
 
@@ -91,6 +92,9 @@ void print_phase_breakdown() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the repo-wide --quick/--json flags before google-benchmark sees
+  // the command line (it rejects flags it does not know).
+  lmo::bench::Session session(argc, argv, "bench_quant_kernel");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

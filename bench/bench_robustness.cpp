@@ -11,6 +11,12 @@
 //   3. Real runtime under chaos — the actual Generator with 5% injected
 //      transient transfer failures: throughput, retries and fallbacks, and
 //      (the robustness contract) identical tokens to the fault-free run.
+//   4. Integrity verification cost in the serving simulator.
+//   5. Three-tier offload — the real block store's staging bandwidth is
+//      calibrated once, then a disk-spilled Generator run's measured
+//      staging time is compared against the estimator-style per-transfer
+//      Link prediction (acceptance: within 15%).
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -20,9 +26,15 @@
 #include "lmo/sched/schedule_builder.hpp"
 #include "lmo/serve/server_sim.hpp"
 #include "lmo/sim/engine.hpp"
+#include "lmo/store/block_store.hpp"
+#include "lmo/store/storage_backend.hpp"
 #include "lmo/util/fault.hpp"
+#include "lmo/util/rng.hpp"
+#include "lmo/util/tempdir.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_robustness");
+  const bool quick = session.quick();
   using namespace lmo;
   using bench::fmt;
 
@@ -34,8 +46,11 @@ int main() {
     util::Table table({"fail prob", "clean (s)", "degraded (s)",
                        "measured inflation", "predicted", "pred/meas",
                        "failures"});
-    const int n = 4000;
-    for (double p : {0.01, 0.05, 0.1, 0.2, 0.4}) {
+    const int n = quick ? 800 : 4000;
+    const std::vector<double> probs =
+        quick ? std::vector<double>{0.05, 0.2}
+              : std::vector<double>{0.01, 0.05, 0.1, 0.2, 0.4};
+    for (double p : probs) {
       sim::Engine clean;
       sim::Engine faulty;
       const auto io_c = clean.add_resource("pcie");
@@ -86,7 +101,10 @@ int main() {
                        "failures", "predicted slowdown"});
     table.add_row({"0 (clean)", fmt(clean.throughput, 1), "1.00", "0", "0",
                    "1.00"});
-    for (double p : {0.02, 0.05, 0.1, 0.2}) {
+    const std::vector<double> probs =
+        quick ? std::vector<double>{0.05, 0.2}
+              : std::vector<double>{0.02, 0.05, 0.1, 0.2};
+    for (double p : probs) {
       sim::FaultModel model;
       model.fail_probability = p;
       model.category = "load_weight";
@@ -127,7 +145,7 @@ int main() {
     config.prefetch_threads = 0;
     config.recovery.retry_backoff_seconds = 1e-5;
     const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
-    const std::int64_t gen_len = 16;
+    const std::int64_t gen_len = quick ? 12 : 16;
 
     runtime::Generator clean(config);
     const auto r_clean = clean.generate(prompts, gen_len);
@@ -152,6 +170,11 @@ int main() {
     table.print(std::cout);
     std::cout << "\ntokens identical to fault-free run: "
               << (r.tokens == r_clean.tokens ? "yes" : "NO — BUG") << "\n";
+    session.metric("chaos.clean_tokens_per_second",
+                   r_clean.tokens_per_second);
+    session.metric("chaos.faulted_tokens_per_second", r.tokens_per_second);
+    session.metric("chaos.tokens_identical",
+                   r.tokens == r_clean.tokens ? 1.0 : 0.0);
   }
 
   // ---- 4. what does end-to-end verification cost?
@@ -162,7 +185,7 @@ int main() {
     const auto spec = model::ModelSpec::opt_13b();
     const auto platform = hw::Platform::a100_single();
     std::vector<serve::Request> requests;
-    for (int i = 0; i < 24; ++i) {
+    for (int i = 0; i < (quick ? 12 : 24); ++i) {
       serve::Request r;
       r.id = i;
       r.arrival_seconds = 0.25 * i;
@@ -217,6 +240,107 @@ int main() {
                  "overhead within the <10% acceptance bound: "
               << (always_overhead < 0.10 ? "yes" : "NO — OVER BUDGET")
               << "\n";
+  }
+
+  // ---- 5. three-tier offload: measured vs predicted disk staging.
+  bench::print_header(
+      "Three-tier offload — real file-backed block store: calibrated "
+      "staging bandwidth vs a disk-spilled Generator run");
+  {
+    util::TempDir dir("lmo_bench");
+    constexpr std::uint64_t kBlock = 64u << 10;
+
+    // Calibrate the per-transfer Link model (latency + bandwidth) from two
+    // payload sizes through the real store: t(bytes) = lat + bytes/bw.
+    const auto calibrate = [&](std::uint64_t bytes, int reps) {
+      store::StoreConfig sc;
+      sc.block_bytes = kBlock;
+      store::BlockStore calib(
+          std::make_unique<store::FileBackend>(
+              dir.file("calib_" + std::to_string(bytes) + ".blocks"), kBlock),
+          sc, nullptr);
+      std::vector<std::byte> payload(bytes);
+      util::Xoshiro256 rng(99);
+      for (auto& b : payload) {
+        b = static_cast<std::byte>(rng() & 0xff);
+      }
+      auto handle = calib.put(payload);
+      (void)calib.get(handle);  // warm the page cache
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) (void)calib.get(handle);
+      const double total = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      return total / reps;
+    };
+    const int reps = quick ? 100 : 400;
+    const std::uint64_t small_bytes = 32u << 10;
+    const std::uint64_t large_bytes = 256u << 10;
+    const double t_small = calibrate(small_bytes, reps);
+    const double t_large = calibrate(large_bytes, reps);
+    hw::Link staging_link;
+    staging_link.bandwidth =
+        static_cast<double>(large_bytes - small_bytes) /
+        std::max(t_large - t_small, 1e-12);
+    staging_link.latency = std::max(
+        t_small - static_cast<double>(small_bytes) / staging_link.bandwidth,
+        0.0);
+
+    // A model whose back half lives on the disk tier, spilled to a real
+    // file through the same store machinery. Synchronous fetches so the
+    // store.read.seconds gauge is exactly the staging time on the path.
+    runtime::RuntimeConfig config;
+    config.spec = model::ModelSpec::tiny(4, 128, 4, 256);
+    config.weight_bits = 16;
+    config.device_layers = 0;
+    config.disk_layers = 2;
+    config.disk_capacity = 64u << 20;
+    config.spill_path = dir.file("spill.blocks");
+    config.spill_block_bytes = kBlock;
+    config.prefetch_threads = 0;
+    const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
+    const std::int64_t gen_len = quick ? 12 : 24;
+
+    runtime::Generator gen(config);
+    const auto result = gen.generate(prompts, gen_len);
+    const auto snap = gen.manager().metrics().snapshot();
+    const double measured =
+        snap.find("store.read.seconds") != nullptr
+            ? snap.find("store.read.seconds")->value
+            : 0.0;
+    const double staged_bytes =
+        snap.find("store.read.bytes") != nullptr
+            ? snap.find("store.read.bytes")->value
+            : 0.0;
+    const double fetches =
+        static_cast<double>(result.offload.disk_transfers);
+
+    // Estimator-style prediction: every disk fetch is one Link transfer.
+    const double predicted =
+        fetches * staging_link.latency + staged_bytes / staging_link.bandwidth;
+    const double ratio = predicted / std::max(measured, 1e-12);
+    const bool within = ratio > 0.85 && ratio < 1.15;
+
+    util::Table table({"metric", "value"});
+    table.add_row({"calibrated bandwidth (GB/s)",
+                   fmt(staging_link.bandwidth / 1e9, 2)});
+    table.add_row({"calibrated latency (us)",
+                   fmt(staging_link.latency * 1e6, 2)});
+    table.add_row({"disk fetches", fmt(fetches, 0)});
+    table.add_row({"bytes staged (MB)", fmt(staged_bytes / 1e6, 2)});
+    table.add_row({"measured staging (ms)", fmt(measured * 1e3, 2)});
+    table.add_row({"predicted staging (ms)", fmt(predicted * 1e3, 2)});
+    table.add_row({"predicted / measured", fmt(ratio, 3)});
+    table.print(std::cout);
+    std::cout << "\npredicted disk staging within the 15% acceptance bound: "
+              << (within ? "yes" : "NO — model drift") << "\n";
+
+    session.metric("disk.calibrated_gbps", staging_link.bandwidth / 1e9);
+    session.metric("disk.staged_bytes", staged_bytes);
+    session.metric("disk.measured_seconds", measured);
+    session.metric("disk.predicted_seconds", predicted);
+    session.metric("disk.predicted_over_measured", ratio);
+    session.metric("disk.within_15pct", within ? 1.0 : 0.0);
   }
   return 0;
 }

@@ -10,7 +10,8 @@
 #include "lmo/runtime/generator.hpp"
 #include "lmo/util/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_runtime_real");
   using namespace lmo;
   using bench::fmt;
 

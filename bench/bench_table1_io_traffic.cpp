@@ -10,7 +10,8 @@
 #include "bench_common.hpp"
 #include "lmo/sched/schedule_builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_table1_io_traffic");
   using namespace lmo;
   using bench::gb;
 

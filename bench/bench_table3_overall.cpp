@@ -15,7 +15,8 @@
 #include "lmo/util/check.hpp"
 #include "lmo/util/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_table3_overall");
   using namespace lmo;
   using bench::fmt;
   using bench::gb;

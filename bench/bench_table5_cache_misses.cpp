@@ -8,7 +8,8 @@
 #include "bench_common.hpp"
 #include "lmo/parallel/cache_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lmo::bench::Session session(argc, argv, "bench_table5_cache_misses");
   using namespace lmo;
   using bench::fmt;
 

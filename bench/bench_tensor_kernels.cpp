@@ -3,6 +3,7 @@
 // activation throughput.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "lmo/tensor/ops.hpp"
 #include "lmo/util/rng.hpp"
 
@@ -84,4 +85,13 @@ BENCHMARK(BM_Activations)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip the repo-wide --quick/--json flags before google-benchmark sees
+  // the command line (it rejects flags it does not know).
+  lmo::bench::Session session(argc, argv, "bench_tensor_kernels");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -65,17 +65,18 @@ Plan LMOffload::plan(const model::ModelSpec& spec,
   plan.search = sched::search_policy(spec, workload, platform, space);
   plan.compute_graph = compute_graph(spec, workload, plan.policy());
 
+  parallel::SearchInput input;
+  input.compute_graph = plan.compute_graph;
+  input.io_bytes = io_volumes(spec, workload, plan.policy());
+  input.platform = platform;
+  // Disk-resident weight shards cross disk→CPU every step; size the
+  // disk-load staging task for that stream (three-tier offload).
+  input.disk_bytes =
+      model::layer_weight_bytes(spec, plan.policy().weight_bits) *
+      plan.policy().weights_on_disk;
   if (options.parallelism_control) {
-    parallel::SearchInput input;
-    input.compute_graph = plan.compute_graph;
-    input.io_bytes = io_volumes(spec, workload, plan.policy());
-    input.platform = platform;
     plan.parallelism = parallel::find_optimal_parallelism(input);
   } else {
-    parallel::SearchInput input;
-    input.compute_graph = plan.compute_graph;
-    input.io_bytes = io_volumes(spec, workload, plan.policy());
-    input.platform = platform;
     plan.parallelism = parallel::default_parallelism(input);
   }
   return plan;

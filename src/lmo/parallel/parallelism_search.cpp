@@ -28,6 +28,23 @@ std::function<double(const model::OpNode&)> make_op_seconds(
   };
 }
 
+double disk_bw(const SearchInput& input) {
+  return input.disk_gbps > 0.0 ? input.disk_gbps * 1e9
+                               : input.platform.disk_to_cpu.bandwidth;
+}
+
+/// Staging threads for the disk-load task: enough that their aggregate
+/// copy bandwidth covers the disk link (disk reads land in host buffers
+/// through the same per-thread memcpy path as the PCIe stages), capped at
+/// 4 so a slow link cannot starve the compute tasks. Zero without a disk
+/// tier, so legacy searches are bit-for-bit unchanged.
+int disk_threads_needed(const SearchInput& input) {
+  if (input.disk_bytes <= 0.0) return 0;
+  const double per_thread = std::max(input.per_thread_copy_bw, 1.0);
+  const int need = static_cast<int>(std::ceil(disk_bw(input) / per_thread));
+  return std::clamp(need, 1, 4);
+}
+
 double io_task_seconds(double bytes, int threads, double link_bw,
                        double per_thread_copy_bw) {
   if (bytes <= 0.0) return 0.0;
@@ -155,15 +172,19 @@ ParallelismPlan evaluate_parallelism(
     LMO_CHECK_GE(t, 1);
     io_thread_total += t;
   }
-  const int total_active = inter_op * intra_op + io_thread_total;
+  const int disk_threads = disk_threads_needed(input);
+  const int total_active = inter_op * intra_op + io_thread_total +
+                           disk_threads;
   const auto contended =
       op_seconds_fn(input, intra_op, total_active, profiles);
 
   ParallelismPlan plan;
   plan.intra_op_compute = intra_op;
   plan.inter_op_compute = inter_op;
-  plan.inter_op_total = inter_op + static_cast<int>(kNumIoTasks);
+  plan.inter_op_total = inter_op + static_cast<int>(kNumIoTasks) +
+                        (disk_threads > 0 ? 1 : 0);
   plan.io_threads = io_threads;
+  plan.disk_threads = disk_threads;
   plan.compute_seconds =
       schedule_compute_graph(input.compute_graph, inter_op, contended);
   double t_gen = plan.compute_seconds;
@@ -175,6 +196,12 @@ ParallelismPlan evaluate_parallelism(
                                          link, input.per_thread_copy_bw);
     t_gen = std::max(t_gen, plan.io_seconds[i]);
   }
+  if (disk_threads > 0) {
+    plan.disk_seconds = io_task_seconds(input.disk_bytes, disk_threads,
+                                        disk_bw(input),
+                                        input.per_thread_copy_bw);
+    t_gen = std::max(t_gen, plan.disk_seconds);
+  }
   plan.t_gen = t_gen;
   plan.valid = true;
   return plan;
@@ -184,20 +211,24 @@ ParallelismPlan find_optimal_parallelism(const SearchInput& input,
                                          const ProfileDB* profiles) {
   const int max_threads =
       input.max_threads > 0 ? input.max_threads : input.platform.cpu.cores;
-  LMO_CHECK_GT(max_threads, kReservedIoThreads);
+  // With a disk tier the staging threads are reserved on top of Algorithm
+  // 3's five I/O threads — the disk-load task runs concurrently with the
+  // PCIe stages and must not steal their lanes.
+  const int reserved = kReservedIoThreads + disk_threads_needed(input);
+  LMO_CHECK_GT(max_threads, reserved);
   const ThreadScalingModel scaling(input.platform.cpu);
 
   ParallelismPlan best;
   double best_t_gen = 0.0;
 
-  for (int intra = 1; intra <= max_threads - kReservedIoThreads; ++intra) {
+  for (int intra = 1; intra <= max_threads - reserved; ++intra) {
     // Line 4: inter-op from the graph's max concurrency level, bounded by
     // the budget that must leave five threads for the I/O tasks.
     const auto solo = make_op_seconds(scaling, intra, intra, profiles);
     int inter = max_concurrency_timed(input.compute_graph, solo);
-    inter = std::max(1, std::min(inter, (max_threads - kReservedIoThreads) /
-                                            intra));
-    const int free_threads = max_threads - inter * intra;
+    inter = std::max(1, std::min(inter, (max_threads - reserved) / intra));
+    const int free_threads =
+        max_threads - inter * intra - disk_threads_needed(input);
     if (free_threads < kReservedIoThreads) continue;  // Lines 6-7
 
     const auto io_threads = assign_io_threads(input.io_bytes, free_threads);
@@ -246,6 +277,14 @@ ParallelismPlan default_parallelism(const SearchInput& input) {
     plan.io_seconds[i] =
         io_task_seconds(input.io_bytes[i], 1, link, input.per_thread_copy_bw);
     t_gen = std::max(t_gen, plan.io_seconds[i]);
+  }
+  if (input.disk_bytes > 0.0) {
+    // Uncontrolled frameworks give the disk reader a single thread too.
+    plan.disk_threads = 1;
+    plan.inter_op_total += 1;
+    plan.disk_seconds = io_task_seconds(input.disk_bytes, 1, disk_bw(input),
+                                        input.per_thread_copy_bw);
+    t_gen = std::max(t_gen, plan.disk_seconds);
   }
   plan.t_gen = t_gen;
   plan.valid = true;

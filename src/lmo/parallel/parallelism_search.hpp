@@ -47,6 +47,12 @@ struct SearchInput {
   int max_threads = 0;
   /// Copy bandwidth one thread sustains when staging an I/O task.
   double per_thread_copy_bw = 6e9;
+  /// Disk-tier staging (three-tier offload): per-step disk→CPU volume for
+  /// disk-resident weight shards. 0 = no disk tier — the search then
+  /// reserves no disk threads and reproduces legacy plans exactly.
+  double disk_bytes = 0.0;
+  /// Measured disk bandwidth (GB/s); 0 → platform.disk_to_cpu.bandwidth.
+  double disk_gbps = 0.0;
 };
 
 struct ParallelismPlan {
@@ -57,6 +63,11 @@ struct ParallelismPlan {
   std::array<int, kNumIoTasks> io_threads{};
   double compute_seconds = 0.0;  ///< scheduled compute-task makespan
   std::array<double, kNumIoTasks> io_seconds{};
+  /// Disk-load staging task (three-tier offload): threads sized so their
+  /// aggregate copy bandwidth covers the disk link (≤ 4), and the
+  /// resulting disk→CPU read time. Both zero without disk bytes.
+  int disk_threads = 0;
+  double disk_seconds = 0.0;
   double t_gen = 0.0;            ///< max over tasks (Eq. 2)
   bool valid = false;
 };

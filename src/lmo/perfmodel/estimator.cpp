@@ -28,6 +28,15 @@ double layer_overhead(const Workload& w, const hw::Platform& platform,
   return per_task * static_cast<double>(w.num_batches);
 }
 
+/// The disk→CPU link, with EstimatorOptions::disk_gbps (a measured staging
+/// bandwidth) overriding the platform's nominal figure when set.
+hw::Link disk_link(const hw::Platform& platform,
+                   const EstimatorOptions& options) {
+  hw::Link link = platform.disk_to_cpu;
+  if (options.disk_gbps > 0.0) link.bandwidth = options.disk_gbps * 1e9;
+  return link;
+}
+
 }  // namespace
 
 StepCosts step_costs(const ModelSpec& spec, const Workload& w,
@@ -52,7 +61,7 @@ StepCosts step_costs(const ModelSpec& spec, const Workload& w,
         model::layer_weight_bytes(spec, policy.weight_bits) *
         policy.weights_on_disk;
     costs.load_weight_disk =
-        platform.disk_to_cpu.transfer_seconds(disk_bytes);
+        disk_link(platform, options).transfer_seconds(disk_bytes);
   }
   if (quant_terms && policy.weights_quantized()) {
     const double dequant =
@@ -272,7 +281,7 @@ Estimate estimate(const ModelSpec& spec, const Workload& w,
 
   // ---- T_init (Eq. 3): weights disk→CPU/GPU (the disk-resident share
   // stays put), plus one-time CPU quantization of the offloaded share.
-  est.t_init = platform.disk_to_cpu.transfer_seconds(
+  est.t_init = disk_link(platform, options).transfer_seconds(
       model::total_weight_bytes(spec, 16) * (1.0 - policy.weights_on_disk));
   if (quant_terms && policy.weights_quantized()) {
     est.t_init += quan_pf_wgt_seconds(spec, 1.0 - policy.weights_on_gpu,
@@ -286,7 +295,7 @@ Estimate estimate(const ModelSpec& spec, const Workload& w,
     const double weight_stream =
         model::layer_weight_bytes(spec, policy.weight_bits) *
         (1.0 - policy.weights_on_gpu) / platform.h2d_bw();
-    const double disk_stream = platform.disk_to_cpu.transfer_seconds(
+    const double disk_stream = disk_link(platform, options).transfer_seconds(
         model::layer_weight_bytes(spec, policy.weight_bits) *
         policy.weights_on_disk);
     const double compute = model::layer_prefill_flops(spec, w) /

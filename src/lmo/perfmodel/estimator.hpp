@@ -88,6 +88,11 @@ struct EstimatorOptions {
   /// checksum_gbps under verify=always). 0 disables the term entirely, so
   /// legacy estimates are reproduced bit-for-bit.
   double verify_gbps = 0.0;
+  /// Measured disk→CPU staging bandwidth (GB/s) overriding the platform's
+  /// nominal disk_to_cpu link — typically calibrated against the real
+  /// block store (see bench_robustness). 0 keeps the platform link, so
+  /// legacy estimates are reproduced bit-for-bit.
+  double disk_gbps = 0.0;
 };
 
 /// Per-layer step costs at decode step t.

@@ -12,6 +12,7 @@
 #include "lmo/kvshare/shared_kv_cache.hpp"
 #include "lmo/model/memory.hpp"
 #include "lmo/parallel/bundling.hpp"
+#include "lmo/perfmodel/policy.hpp"
 #include "lmo/runtime/window_kv.hpp"
 #include "lmo/telemetry/trace.hpp"
 #include "lmo/tensor/ops.hpp"
@@ -121,6 +122,15 @@ void RuntimeConfig::validate() const {
   util::Validate("RuntimeConfig", [this](util::Validator& v) {
     v.ge("device_layers", device_layers, 0)
         .le("device_layers", device_layers, spec.num_layers);
+    v.ge("disk_layers", disk_layers, 0)
+        .le("disk_layers", disk_layers, spec.num_layers);
+    v.require("disk_layers", device_layers + disk_layers <= spec.num_layers,
+              "device_layers + disk_layers must not exceed num_layers");
+    if (disk_layers > 0) {
+      v.require("disk_capacity", disk_capacity > 0,
+                "disk layers need a spill store (set disk_capacity)");
+    }
+    v.gt("spill_block_bytes", spill_block_bytes, 0);
     v.require("weight_bits",
               weight_bits == 16 || weight_bits == 8 || weight_bits == 4,
               "must be 16, 8 or 4");
@@ -151,6 +161,16 @@ void RuntimeConfig::validate() const {
   });
 }
 
+void RuntimeConfig::apply_policy(const perfmodel::Policy& policy) {
+  const double layers = static_cast<double>(spec.num_layers);
+  device_layers = static_cast<std::int64_t>(policy.weights_on_gpu * layers);
+  disk_layers = std::min<std::int64_t>(
+      spec.num_layers - device_layers,
+      static_cast<std::int64_t>(
+          std::ceil(policy.weights_on_disk * layers - 1e-9)));
+  weight_bits = policy.weight_bits;
+}
+
 Generator::Generator(const RuntimeConfig& config)
     : config_(config), sampling_rng_(config.sampling.seed) {
   // Canonicalize the legacy paged_kv bool and the flavor enum so the rest
@@ -169,12 +189,33 @@ Generator::Generator(const RuntimeConfig& config)
   // Weights fingerprint at registration time, so the registry must be
   // wired before the transformer constructs (and registers) its tensors.
   manager_->set_integrity(integrity_.get());
-  transformer_ = std::make_unique<Transformer>(
-      config.spec, *manager_, config.device_layers, config.seed);
+  if (config_.disk_capacity > 0) {
+    store::StoreConfig sc;
+    sc.block_bytes = config_.spill_block_bytes;
+    sc.capacity_bytes = config_.disk_capacity;
+    std::unique_ptr<store::StorageBackend> backend;
+    if (config_.spill_path.empty()) {
+      backend = std::make_unique<store::MemoryBackend>(sc.block_bytes);
+    } else {
+      backend = std::make_unique<store::FileBackend>(config_.spill_path,
+                                                     sc.block_bytes);
+    }
+    spill_store_ = std::make_unique<store::BlockStore>(std::move(backend), sc,
+                                                       &manager_->metrics());
+  }
   if (config.prefetch_threads > 0) {
     prefetch_pool_ =
         std::make_unique<parallel::ThreadPool>(config.prefetch_threads);
   }
+  if (spill_store_ != nullptr) {
+    // Attach before the transformer registers weights: kDisk registrations
+    // and degradation-ladder spills need the store, and the staging
+    // pipeline wants the prefetch pool (created above for that reason).
+    manager_->attach_store(spill_store_.get(), prefetch_pool_.get());
+  }
+  transformer_ = std::make_unique<Transformer>(config.spec, *manager_,
+                                               config.device_layers,
+                                               config.seed, config.disk_layers);
   if (config.compute_threads > 1) {
     compute_pool_ =
         std::make_unique<parallel::ThreadPool>(config.compute_threads);
@@ -192,9 +233,24 @@ Generator::Generator(const RuntimeConfig& config)
     prefix_cache_ = std::make_unique<kvshare::PrefixCache>(
         pc, host_pool_.get(), &manager_->metrics(), integrity_.get());
   }
+  if (spill_store_ != nullptr) {
+    // Host-pressure relief, registered after the prefix cache so the
+    // cheaper citizen fires first: evicting unpinned shared KV (merely
+    // recomputable) is preferred over demoting weight shards to disk
+    // (every later fetch pays the disk read).
+    host_relief_id_ = host_pool_->add_pressure_callback(
+        [m = manager_.get()](overload::PressureLevel,
+                             std::size_t bytes_needed) {
+          return m->demote_host_to_disk(bytes_needed);
+        });
+  }
 }
 
-Generator::~Generator() = default;
+Generator::~Generator() {
+  if (host_relief_id_ >= 0) {
+    host_pool_->remove_pressure_callback(host_relief_id_);
+  }
+}
 
 SequenceCache Generator::make_sequence_cache() {
   KvCacheSpec kv;
@@ -345,6 +401,11 @@ void Generator::start_adaptive(std::size_t batch, std::int64_t prompt_len,
   input.io_bytes[parallel::kLoadWeight] =
       model::layer_weight_bytes(config_.spec, config_.weight_bits) *
       host_layers;
+  // Disk-tier layers additionally cross disk→CPU before the H2D hop, so
+  // the search reserves staging threads for the disk-load task.
+  input.disk_bytes =
+      model::layer_weight_bytes(config_.spec, config_.weight_bits) *
+      static_cast<double>(config_.disk_layers);
   const double act_bytes = static_cast<double>(batch) *
                            static_cast<double>(config_.spec.hidden) *
                            sizeof(float);

@@ -15,11 +15,16 @@
 #include "lmo/runtime/kv_factory.hpp"
 #include "lmo/runtime/paged_kv.hpp"
 #include "lmo/runtime/transformer.hpp"
+#include "lmo/store/block_store.hpp"
 
 namespace lmo::kvshare {
 class PrefixCache;
 class PrefixLease;
 }  // namespace lmo::kvshare
+
+namespace lmo::perfmodel {
+struct Policy;
+}  // namespace lmo::perfmodel
 
 namespace lmo::runtime {
 
@@ -46,6 +51,19 @@ struct RuntimeConfig {
   std::int64_t quant_group = 32;
   std::size_t device_capacity = 256u << 20;  ///< logical "GPU" pool
   std::size_t host_capacity = 2048ull << 20;
+  /// Disk spill tier (three-tier offload). `disk_layers` is the runtime's
+  /// "wd": that many of the model's coldest (back) layers register on
+  /// Tier::kDisk and stream through the block store per fetch.
+  /// `disk_capacity` caps the spill store; 0 disables the tier entirely
+  /// (no store is attached — host exhaustion degrades or throws exactly
+  /// as before). When enabled the store also absorbs degradation-ladder
+  /// spills and host-pressure demotions.
+  std::int64_t disk_layers = 0;
+  std::size_t disk_capacity = 0;
+  /// Backing file for the spill store (created/truncated on
+  /// construction); empty = in-memory backend (tests, drills).
+  std::string spill_path;
+  std::size_t spill_block_bytes = 256u << 10;  ///< store block size
   /// KV backend. kPaged and kWindow store f32 rows and require
   /// kv_bits == 16.
   KVFlavor kv_flavor = KVFlavor::kDense;
@@ -82,6 +100,13 @@ struct RuntimeConfig {
   /// DataCorruption. Like `adaptive`, not part of the checkpoint
   /// fingerprint — resuming under a different verify policy is legal.
   integrity::IntegrityConfig integrity;
+
+  /// Map a policy-search placement onto the runtime knobs:
+  /// weights_on_gpu → device_layers (rounded down, so the fixed device
+  /// pool never overcommits), weights_on_disk → disk_layers (rounded up,
+  /// relieving the host at the cost of disk traffic), weight_bits
+  /// verbatim. The caller still chooses disk_capacity / spill_path.
+  void apply_policy(const perfmodel::Policy& policy);
 
   /// Field-named validation (util::Validator); the constructor calls it.
   void validate() const;
@@ -218,6 +243,10 @@ class Generator {
   util::Xoshiro256 sampling_rng_;
   std::unique_ptr<MemoryPool> device_pool_;
   std::unique_ptr<MemoryPool> host_pool_;
+  /// Disk-tier backing (nullptr when disk_capacity == 0). Declared before
+  /// manager_: entries and the staging pipeline hold block handles into
+  /// it, so it must outlive the manager.
+  std::unique_ptr<store::BlockStore> spill_store_;
   std::unique_ptr<OffloadManager> manager_;
   /// Checksum registry for the offload path. Declared after manager_ (its
   /// metrics live there) and before everything that holds a raw pointer
@@ -231,6 +260,10 @@ class Generator {
   /// Outlives session_ (declared first): sessions hold leases into it.
   std::unique_ptr<kvshare::PrefixCache> prefix_cache_;
   std::unique_ptr<Session> session_;
+
+  /// Host-pool pressure-callback registration for host→disk demotion;
+  /// removed in the destructor. -1 when the disk tier is off.
+  int host_relief_id_ = -1;
 
   std::unique_ptr<parallel::AdaptiveController> adaptive_;
   int adaptive_steps_ = 0;            ///< steps since the last window fold

@@ -86,6 +86,20 @@ OffloadManager::OffloadManager(MemoryPool& device_pool, MemoryPool& host_pool,
   prefetch_discards_ = &metrics_.counter("offload.prefetch.discards");
   degradations_ = &metrics_.counter("offload.degrade.steps");
   staged_evictions_ = &metrics_.counter("offload.degrade.staged_evictions");
+  disk_transfers_ = &metrics_.counter("offload.transfer.disk_total");
+  bytes_disk_to_host_ = &metrics_.gauge("offload.transfer.bytes_disk_to_host");
+  disk_spills_ = &metrics_.counter("offload.degrade.disk_spills");
+}
+
+void OffloadManager::attach_store(store::BlockStore* store,
+                                  parallel::ThreadPool* pool) {
+  LMO_CHECK_MSG(store != nullptr, "attach_store: null store");
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_ = store;
+  pipeline_ = pool == nullptr
+                  ? nullptr
+                  : std::make_unique<store::StagingPipeline>(
+                        store, pool, /*depth=*/2, &metrics_);
 }
 
 OffloadStats OffloadManager::stats() const {
@@ -133,12 +147,70 @@ std::size_t OffloadManager::evict_staged_locked() {
   return n;
 }
 
+void OffloadManager::insert_entry(const std::string& name, Entry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entry.last_use = use_clock_++;
+  const bool inserted = entries_.emplace(name, std::move(entry)).second;
+  LMO_CHECK_MSG(inserted, "duplicate tensor name: " + name);
+}
+
+void OffloadManager::spill_value_to_disk(const std::string& name,
+                                         Entry& entry,
+                                         const tensor::Tensor& value) {
+  LMO_CHECK_MSG(store_ != nullptr,
+                "disk tier for \"" + name + "\" requires attach_store()");
+  DiskMeta meta;
+  std::span<const std::byte> payload;
+  tensor::Tensor f16;
+  tensor::QuantizedTensor quantized;
+  if (quant_bits_ == 16) {
+    f16 = value.cast(tensor::DType::kF16);
+    meta.is_quantized = false;
+    meta.shape = value.shape();
+    payload = f16.raw();
+  } else {
+    telemetry::ScopedSpan span(telemetry::TraceRecorder::global(),
+                               "quantize", "offload");
+    const auto start = std::chrono::steady_clock::now();
+    quantized =
+        tensor::quantize(value, tensor::QuantConfig{quant_bits_, group_size_});
+    quantize_seconds_->add(seconds_since(start));
+    meta.is_quantized = true;
+    meta.shape = quantized.original_shape();
+    meta.bits = quantized.bits();
+    meta.group_size = quantized.group_size();
+    meta.padded_numel = quantized.padded_numel();
+    meta.group_min = quantized.group_min();
+    meta.group_scale = quantized.group_scale();
+    const std::vector<std::uint8_t>& bytes = quantized.payload();
+    payload = std::as_bytes(
+        std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  }
+  meta.handle = store_->put(payload);
+  // Fingerprint the *stored* payload: the store returns these exact bytes,
+  // so the normal host→device arrival verification applies unchanged.
+  if (integrity_ != nullptr && integrity_->enabled()) {
+    integrity_->record(weights_region(name), util::crc32(payload));
+  }
+  entry.plain = tensor::Tensor();
+  entry.quantized = tensor::QuantizedTensor();
+  entry.charge = PoolCharge();
+  entry.disk = std::move(meta);
+  entry.tier = Tier::kDisk;
+}
+
 void OffloadManager::register_tensor(const std::string& name,
                                      tensor::Tensor value, Tier tier) {
   LMO_CHECK(value.defined());
   LMO_CHECK(value.dtype() == tensor::DType::kF32);
-  std::lock_guard<std::mutex> lock(mutex_);
-  LMO_CHECK_MSG(entries_.count(name) == 0, "duplicate tensor name: " + name);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    LMO_CHECK_MSG(entries_.count(name) == 0,
+                  "duplicate tensor name: " + name);
+  }
+  // Pool charges run *without* the manager lock: charging may fire the
+  // pool's pressure callbacks, and those may re-enter the manager (the
+  // Generator registers demote_host_to_disk as host-pool relief).
 
   Entry entry;
   entry.tier = tier;
@@ -146,16 +218,17 @@ void OffloadManager::register_tensor(const std::string& name,
     entry.plain = value;
     try {
       entry.charge = PoolCharge(device_pool_, entry.plain.byte_size());
-      entries_[name] = std::move(entry);
+      insert_entry(name, std::move(entry));
       return;
     } catch (const util::ResourceExhausted&) {
       if (!recovery_.allow_degradation) throw;
       // Ladder rung 1: reclaim device-side staging buffers and retry.
+      std::lock_guard<std::mutex> lock(mutex_);
       staged_evictions_->add(evict_staged_locked());
     }
     try {
       entry.charge = PoolCharge(device_pool_, entry.plain.byte_size());
-      entries_[name] = std::move(entry);
+      insert_entry(name, std::move(entry));
       return;
     } catch (const util::ResourceExhausted&) {
       // Ladder rung 2: demote to the host tier (streamed on fetch).
@@ -165,7 +238,14 @@ void OffloadManager::register_tensor(const std::string& name,
     }
   }
 
-  // Host tier (possibly after demotion): fp16 → 8-bit → 4-bit ladder.
+  if (entry.tier == Tier::kDisk) {
+    spill_value_to_disk(name, entry, value);
+    insert_entry(name, std::move(entry));
+    return;
+  }
+
+  // Host tier (possibly after demotion): fp16 → 8-bit → 4-bit ladder, then
+  // spill to the disk tier when a store is attached.
   int bits = quant_bits_;
   for (;;) {
     try {
@@ -185,9 +265,22 @@ void OffloadManager::register_tensor(const std::string& name,
       break;
     } catch (const util::ResourceExhausted&) {
       const int next = bits == 16 ? 8 : bits == 8 ? 4 : 0;
-      if (!recovery_.allow_degradation || next == 0) throw;
-      degradations_->add();
-      bits = next;
+      if (recovery_.allow_degradation && next != 0) {
+        degradations_->add();
+        bits = next;
+        continue;
+      }
+      if (recovery_.allow_degradation && store_ != nullptr) {
+        // Final rung: the host pool cannot hold this shard at any
+        // precision — spill it to the disk tier instead of throwing.
+        degradations_->add();
+        disk_spills_->add();
+        entry.quantized = tensor::QuantizedTensor();
+        spill_value_to_disk(name, entry, value);
+        insert_entry(name, std::move(entry));
+        return;
+      }
+      throw;
     }
   }
   // Fingerprint the stored payload at offload time; fetches re-check it
@@ -198,28 +291,32 @@ void OffloadManager::register_tensor(const std::string& name,
                        util::crc32(stored_payload_bytes(entry.plain,
                                                         entry.quantized)));
   }
-  entries_[name] = std::move(entry);
+  insert_entry(name, std::move(entry));
 }
 
 bool OffloadManager::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return entries_.count(name) != 0;
 }
 
 Tier OffloadManager::tier_of(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
   LMO_CHECK_MSG(it != entries_.end(), "unknown tensor: " + name);
   return it->second.tier;
 }
 
 std::size_t OffloadManager::stored_bytes(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
   LMO_CHECK_MSG(it != entries_.end(), "unknown tensor: " + name);
-  const Entry& entry = it->second;
-  return entry.quantized.defined() ? entry.quantized.byte_size()
-                                   : entry.plain.byte_size();
+  return payload_bytes(it->second);
 }
 
 std::size_t OffloadManager::payload_bytes(const Entry& entry) const {
+  if (entry.disk.has_value()) {
+    return static_cast<std::size_t>(entry.disk->handle.bytes);
+  }
   return entry.quantized.defined() ? entry.quantized.byte_size()
                                    : entry.plain.byte_size();
 }
@@ -360,13 +457,124 @@ tensor::Tensor OffloadManager::transfer_with_retries(const Entry& entry,
   }
 }
 
+tensor::Tensor OffloadManager::fetch_from_disk(const std::string& name,
+                                               const DiskMeta& meta,
+                                               const char* site) {
+  std::vector<std::byte> bytes;
+  {
+    // The disk leg of the staging pipeline, the runtime analogue of the
+    // estimator's load_weight_disk task.
+    telemetry::ScopedSpan span(telemetry::TraceRecorder::global(),
+                               "load_weight_disk", site);
+    bytes = pipeline_ != nullptr ? pipeline_->fetch(name, meta.handle)
+                                 : store_->get(meta.handle);
+  }
+  disk_transfers_->add();
+  bytes_disk_to_host_->add(static_cast<double>(bytes.size()));
+  // Rebuild the stored representation bit-exactly, then ride the normal
+  // verified host→device transfer: injected transients, bit flips and the
+  // integrity repair ladder behave exactly as for a host-tier shard.
+  Entry temp;
+  temp.tier = Tier::kHost;
+  if (meta.is_quantized) {
+    std::vector<std::uint8_t> payload(bytes.size());
+    std::memcpy(payload.data(), bytes.data(), bytes.size());
+    temp.quantized = tensor::QuantizedTensor::from_parts(
+        meta.shape, tensor::QuantConfig{meta.bits, meta.group_size},
+        meta.padded_numel, std::move(payload), meta.group_min,
+        meta.group_scale);
+  } else {
+    tensor::Tensor f16(meta.shape, tensor::DType::kF16);
+    LMO_CHECK_EQ(f16.raw().size(), bytes.size());
+    std::memcpy(f16.raw().data(), bytes.data(), bytes.size());
+    temp.plain = std::move(f16);
+  }
+  return transfer_with_retries(temp, name, site);
+}
+
+std::size_t OffloadManager::demote_host_to_disk(std::size_t bytes_needed) {
+  if (store_ == nullptr || bytes_needed == 0) return 0;
+  std::size_t freed = 0;
+  while (freed < bytes_needed) {
+    // Pick the coldest host-tier shard nobody is currently reading.
+    std::string victim;
+    Entry* entry = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::uint64_t coldest = UINT64_MAX;
+      for (auto& [name, e] : entries_) {
+        if (e.tier != Tier::kHost) continue;
+        if (busy_.count(name) != 0 || in_flight_.count(name) != 0) continue;
+        if (e.last_use < coldest) {
+          coldest = e.last_use;
+          victim = name;
+          entry = &e;
+        }
+      }
+      if (entry == nullptr) break;  // nothing demotable left
+      ++busy_[victim];  // pin: other demoters skip it while we write
+    }
+    // Write the stored representation to disk as-is (no requantization:
+    // the payload — and its integrity fingerprint — stay bit-identical).
+    // Concurrent fetches of the victim may still read it; they see the
+    // host tier until the flip below, which is fine — reads are const.
+    store::BlockHandle handle;
+    bool stored = false;
+    try {
+      handle = store_->put(
+          stored_payload_bytes(entry->plain, entry->quantized));
+      stored = true;
+    } catch (const util::ResourceExhausted&) {
+      // Store at capacity: demotion cannot help any further.
+    } catch (const util::StorageError&) {
+      // Unwritable block after retries: keep the shard host-resident.
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool contended = busy_[victim] > 1;
+    if (--busy_[victim] == 0) busy_.erase(victim);
+    if (!stored) break;
+    if (contended) {
+      // A fetch/prefetch began reading the victim mid-write; its Entry
+      // must not change under it. Undo and try another candidate.
+      store_->release(handle);
+      continue;
+    }
+    DiskMeta meta;
+    if (entry->quantized.defined()) {
+      meta.is_quantized = true;
+      meta.shape = entry->quantized.original_shape();
+      meta.bits = entry->quantized.bits();
+      meta.group_size = entry->quantized.group_size();
+      meta.padded_numel = entry->quantized.padded_numel();
+      meta.group_min = entry->quantized.group_min();
+      meta.group_scale = entry->quantized.group_scale();
+    } else {
+      meta.is_quantized = false;
+      meta.shape = entry->plain.shape();
+    }
+    meta.handle = std::move(handle);
+    const std::size_t released = entry->charge.bytes();
+    entry->plain = tensor::Tensor();
+    entry->quantized = tensor::QuantizedTensor();
+    entry->disk = std::move(meta);
+    entry->charge = PoolCharge();  // releases the host-pool bytes
+    entry->tier = Tier::kDisk;
+    freed += released;
+    disk_spills_->add();
+    degradations_->add();
+  }
+  return freed;
+}
+
 tensor::Tensor OffloadManager::fetch(const std::string& name) {
   const Entry* entry = nullptr;
+  std::optional<DiskMeta> disk;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     auto it = entries_.find(name);
     LMO_CHECK_MSG(it != entries_.end(), "unknown tensor: " + name);
     fetches_->add();
+    it->second.last_use = use_clock_++;
     entry = &it->second;
     if (entry->tier == Tier::kDevice) {
       device_hits_->add();
@@ -400,11 +608,36 @@ tensor::Tensor OffloadManager::fetch(const std::string& name) {
     }
     if (failed_.erase(name) != 0) fallback = true;
     if (fallback) sync_fallbacks_->add();
+    // Decide the transfer path under the lock: the tier may have changed
+    // (host→disk demotion) while we waited on the condition variable.
+    if (it->second.tier == Tier::kDisk) {
+      disk = *it->second.disk;  // copy: the handle/meta stay stable
+    } else {
+      ++busy_[name];  // pin the entry against demotion while we read it
+    }
+  }
+  if (disk.has_value()) {
+    tensor::Tensor value = fetch_from_disk(name, *disk, kFetchSite);
+    bytes_host_to_device_->add(static_cast<double>(disk->handle.bytes));
+    host_transfers_->add();
+    return value;
   }
   // Synchronous transfer (cold fetch, or recovery after a failed / hung
   // prefetch). Bytes are charged only once the transfer succeeds.
-  tensor::Tensor value = transfer_with_retries(*entry, name, kFetchSite);
-  bytes_host_to_device_->add(static_cast<double>(payload_bytes(*entry)));
+  tensor::Tensor value;
+  try {
+    value = transfer_with_retries(*entry, name, kFetchSite);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--busy_[name] == 0) busy_.erase(name);
+    throw;
+  }
+  const auto moved = static_cast<double>(payload_bytes(*entry));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--busy_[name] == 0) busy_.erase(name);
+  }
+  bytes_host_to_device_->add(moved);
   host_transfers_->add();
   return value;
 }
@@ -416,6 +649,7 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
   // Claim the in-flight slot at submit time so a concurrent fetch() of the
   // same name waits for this load instead of duplicating the transfer.
   const Entry* entry = nullptr;
+  std::optional<DiskMeta> disk;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(name);
@@ -426,16 +660,34 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
       promise->set_value();
       return future;
     }
+    it->second.last_use = use_clock_++;
+    if (it->second.tier == Tier::kDisk) disk = *it->second.disk;
     in_flight_.insert(name);
+    ++busy_[name];  // pin against demotion for the task's lifetime
   }
-  pool.submit([this, name, entry, promise] {
+  // Kick the disk→host read ahead of the H2D continuation: the store read
+  // runs on the pipeline while the pool thread is still busy, which is the
+  // double-buffering that hides the slow link.
+  if (disk.has_value() && pipeline_ != nullptr) {
+    pipeline_->prefetch(name, disk->handle);
+  }
+  const auto unpin_locked = [this](const std::string& n) {
+    auto b = busy_.find(n);
+    if (b != busy_.end() && --b->second == 0) busy_.erase(b);
+  };
+  pool.submit([this, name, entry, disk, promise, unpin_locked] {
     try {
-      tensor::Tensor value = transfer_with_retries(*entry, name, kPrefetchSite);
+      tensor::Tensor value =
+          disk.has_value()
+              ? fetch_from_disk(name, *disk, kPrefetchSite)
+              : transfer_with_retries(*entry, name, kPrefetchSite);
+      const auto moved = static_cast<double>(
+          disk.has_value() ? disk->handle.bytes : payload_bytes(*entry));
       {
         std::lock_guard<std::mutex> lock(mutex_);
         // The payload moved over the bus whether or not anyone still wants
         // it; account the traffic at transfer success, exactly once.
-        bytes_host_to_device_->add(static_cast<double>(payload_bytes(*entry)));
+        bytes_host_to_device_->add(moved);
         host_transfers_->add();
         if (abandoned_.erase(name) != 0) {
           // A fetch timed out waiting for us and already recovered
@@ -467,6 +719,7 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
           }
         }
         in_flight_.erase(name);
+        unpin_locked(name);
       }
       staged_cv_.notify_all();
       promise->set_value();
@@ -479,6 +732,7 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
         if (abandoned_.erase(name) == 0) failed_.insert(name);
         prefetch_failures_->add();
         in_flight_.erase(name);
+        unpin_locked(name);
       }
       staged_cv_.notify_all();
       promise->set_value();
@@ -490,6 +744,7 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
         if (abandoned_.erase(name) == 0) failed_.insert(name);
         prefetch_failures_->add();
         in_flight_.erase(name);
+        unpin_locked(name);
       }
       staged_cv_.notify_all();
       promise->set_value();
@@ -499,6 +754,7 @@ std::future<void> OffloadManager::prefetch(const std::string& name,
         std::lock_guard<std::mutex> lock(mutex_);
         abandoned_.erase(name);
         in_flight_.erase(name);
+        unpin_locked(name);
       }
       staged_cv_.notify_all();
       promise->set_exception(std::current_exception());

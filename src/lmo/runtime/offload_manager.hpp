@@ -27,13 +27,19 @@
 #include "lmo/integrity/integrity.hpp"
 #include "lmo/parallel/threadpool.hpp"
 #include "lmo/runtime/mempool.hpp"
+#include "lmo/store/block_store.hpp"
+#include "lmo/store/staging_pipeline.hpp"
 #include "lmo/telemetry/metrics.hpp"
 #include "lmo/tensor/quantize.hpp"
 #include "lmo/tensor/tensor.hpp"
 
 namespace lmo::runtime {
 
-enum class Tier { kDevice, kHost };
+/// Weight home tiers, fastest to slowest. kDisk requires attach_store();
+/// disk-resident shards keep only their quantization metadata in host
+/// memory — the payload lives in the block store and is staged
+/// disk→host→device on fetch.
+enum class Tier { kDevice, kHost, kDisk };
 
 /// Snapshot view of the manager's telemetry registry (see
 /// kOffloadStatsFields for the field↔metric mapping). Materialized by
@@ -58,6 +64,11 @@ struct OffloadStats {
   std::uint64_t prefetch_discards = 0;  ///< late results of abandoned loads
   std::uint64_t degradations = 0;       ///< ladder re-quantize / demote steps
   std::uint64_t staged_evictions = 0;   ///< staging slots evicted by ladder
+
+  // Disk tier (see docs/offload_tiers.md).
+  std::uint64_t disk_transfers = 0;     ///< disk→host payload stagings
+  double bytes_disk_to_host = 0.0;      ///< payload bytes read off the store
+  std::uint64_t disk_spills = 0;        ///< shards demoted host→disk
 };
 
 /// One row of the OffloadStats↔registry mapping: exactly one of the two
@@ -91,6 +102,10 @@ inline constexpr OffloadStatsField kOffloadStatsFields[] = {
     {"offload.degrade.steps", &OffloadStats::degradations, nullptr},
     {"offload.degrade.staged_evictions", &OffloadStats::staged_evictions,
      nullptr},
+    {"offload.transfer.disk_total", &OffloadStats::disk_transfers, nullptr},
+    {"offload.transfer.bytes_disk_to_host", nullptr,
+     &OffloadStats::bytes_disk_to_host},
+    {"offload.degrade.disk_spills", &OffloadStats::disk_spills, nullptr},
 };
 
 // Every OffloadStats field is 8 bytes (uint64_t or double), so a new field
@@ -126,13 +141,30 @@ class OffloadManager {
   OffloadManager(MemoryPool& device_pool, MemoryPool& host_pool,
                  int quant_bits = 16, std::int64_t group_size = 64);
 
+  /// Attach the disk tier: a block store for spilled payloads plus an
+  /// optional thread pool for the async disk→host staging pipeline (null =
+  /// synchronous disk reads). Both are owned by the caller and must
+  /// outlive the manager; call before registering kDisk tensors or
+  /// enabling host→disk demotion.
+  void attach_store(store::BlockStore* store, parallel::ThreadPool* pool);
+
   /// Register a tensor under `name` with home `tier`. Device-tier tensors
   /// stay in f32 (compute precision); host-tier tensors are stored fp16 or
-  /// quantized. Charges the matching pool; on exhaustion walks the
-  /// degradation ladder (device: evict staged, demote to host; host:
-  /// re-quantize 16→8→4) before surfacing ResourceExhausted.
+  /// quantized; disk-tier tensors are quantized the same way and spilled
+  /// to the attached store. Charges the matching pool; on exhaustion walks
+  /// the degradation ladder (device: evict staged, demote to host; host:
+  /// re-quantize 16→8→4, then spill to disk when a store is attached)
+  /// before surfacing ResourceExhausted.
   void register_tensor(const std::string& name, tensor::Tensor value,
                        Tier tier);
+
+  /// Spill the coldest host-tier shards to the attached store until at
+  /// least `bytes_needed` host-pool bytes are released (or no cold shard
+  /// remains). Shards referenced by an in-flight fetch or prefetch are
+  /// skipped. Returns the bytes actually freed. This is the manager's half
+  /// of the MemoryPool pressure-callback contract: it never charges the
+  /// host pool, only releases.
+  std::size_t demote_host_to_disk(std::size_t bytes_needed);
 
   bool contains(const std::string& name) const;
   Tier tier_of(const std::string& name) const;
@@ -185,12 +217,30 @@ class OffloadManager {
   std::size_t quiesce();
 
  private:
+  /// Host-resident metadata for a disk-tier entry: everything needed to
+  /// rebuild the stored representation bit-exactly from the block store's
+  /// payload bytes. Group min/scale stay host-resident (they are
+  /// 1/group_size of the payload) so a staged read needs exactly one store
+  /// round-trip.
+  struct DiskMeta {
+    bool is_quantized = false;
+    tensor::Shape shape;            ///< original (f32) shape
+    int bits = 16;
+    std::int64_t group_size = 0;
+    std::int64_t padded_numel = 0;
+    std::vector<float> group_min;
+    std::vector<float> group_scale;
+    store::BlockHandle handle;
+  };
+
   struct Entry {
     Tier tier = Tier::kHost;
-    // Exactly one of these holds the payload.
+    // Exactly one of these holds the payload (disk: only metadata here).
     tensor::Tensor plain;                   ///< f32 (device) or f16 (host)
     tensor::QuantizedTensor quantized;      ///< host, compressed
+    std::optional<DiskMeta> disk;           ///< disk, spilled
     PoolCharge charge;
+    std::uint64_t last_use = 0;  ///< recency for coldest-first demotion
   };
 
   struct StagedEntry {
@@ -211,6 +261,20 @@ class OffloadManager {
   std::size_t payload_bytes(const Entry& entry) const;
   /// Drop every staging slot (ladder rung); returns freed charge count.
   std::size_t evict_staged_locked();
+  /// Insert the finished entry under the manager lock.
+  void insert_entry(const std::string& name, Entry entry);
+  /// Quantize `value` per quant_bits_, write the payload to the store and
+  /// turn `entry` into a disk-tier entry (recording the integrity
+  /// fingerprint). Called without the manager lock.
+  void spill_value_to_disk(const std::string& name, Entry& entry,
+                           const tensor::Tensor& value);
+  /// Stage a disk payload (pipeline when attached, else a synchronous
+  /// store read), rebuild the stored representation and run it through the
+  /// normal verified host→device transfer. Called without the manager
+  /// lock; disk metrics are counted here, host→device accounting stays
+  /// with the caller.
+  tensor::Tensor fetch_from_disk(const std::string& name,
+                                 const DiskMeta& meta, const char* site);
 
   MemoryPool& device_pool_;
   MemoryPool& host_pool_;
@@ -218,8 +282,14 @@ class OffloadManager {
   std::int64_t group_size_;
   RecoveryConfig recovery_;
   integrity::ChecksumRegistry* integrity_ = nullptr;
+  store::BlockStore* store_ = nullptr;              ///< disk tier; optional
+  std::unique_ptr<store::StagingPipeline> pipeline_;  ///< null = sync reads
+  std::uint64_t use_clock_ = 0;  ///< advances on fetch/prefetch (recency)
   std::map<std::string, Entry> entries_;
   std::map<std::string, StagedEntry> staged_;
+  /// Names whose Entry is being read outside the lock (sync fetch, prefetch
+  /// task, in-progress demotion). Demotion must not mutate such an entry.
+  std::map<std::string, int> busy_;
   std::set<std::string> in_flight_;   ///< prefetches not yet staged
   std::set<std::string> failed_;      ///< prefetches that gave up
   std::set<std::string> abandoned_;   ///< timed-out prefetches to discard
@@ -245,6 +315,9 @@ class OffloadManager {
   telemetry::Counter* prefetch_discards_;
   telemetry::Counter* degradations_;
   telemetry::Counter* staged_evictions_;
+  telemetry::Counter* disk_transfers_;
+  telemetry::Gauge* bytes_disk_to_host_;
+  telemetry::Counter* disk_spills_;
 };
 
 }  // namespace lmo::runtime

@@ -32,11 +32,12 @@ std::string Transformer::weight_name(std::int64_t layer,
 
 Transformer::Transformer(const model::ModelSpec& spec,
                          OffloadManager& manager, std::int64_t device_layers,
-                         std::uint64_t seed)
+                         std::uint64_t seed, std::int64_t disk_layers)
     : spec_(spec), manager_(manager) {
   spec.validate();
   LMO_CHECK_GE(device_layers, 0);
-  LMO_CHECK_LE(device_layers, spec.num_layers);
+  LMO_CHECK_GE(disk_layers, 0);
+  LMO_CHECK_LE(device_layers + disk_layers, spec.num_layers);
 
   util::Xoshiro256 rng(seed);
   const std::int64_t h = spec.hidden;
@@ -53,7 +54,12 @@ Transformer::Transformer(const model::ModelSpec& spec,
   lnf_beta_ = Tensor::zeros({h});
 
   for (std::int64_t layer = 0; layer < spec.num_layers; ++layer) {
-    const Tier tier = layer < device_layers ? Tier::kDevice : Tier::kHost;
+    // Hottest layers on the device, coldest at the back of the model on
+    // disk — mirroring the policy search's weights_on_gpu/_on_disk split.
+    const Tier tier = layer < device_layers ? Tier::kDevice
+                      : layer >= spec.num_layers - disk_layers
+                          ? Tier::kDisk
+                          : Tier::kHost;
     auto reg = [&](const std::string& kind, Tensor value) {
       manager_.register_tensor(weight_name(layer, kind), std::move(value),
                                tier);

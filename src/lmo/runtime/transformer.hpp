@@ -30,9 +30,12 @@ class Transformer {
  public:
   /// Creates synthetic weights (normal, seeded) and registers them with
   /// `manager`: the first `device_layers` layers live on the device tier,
-  /// the rest on the host tier (streamed on fetch).
+  /// the last `disk_layers` layers on the disk tier (requires
+  /// manager.attach_store()), everything between on the host tier
+  /// (streamed on fetch).
   Transformer(const model::ModelSpec& spec, OffloadManager& manager,
-              std::int64_t device_layers, std::uint64_t seed);
+              std::int64_t device_layers, std::uint64_t seed,
+              std::int64_t disk_layers = 0);
 
   const model::ModelSpec& spec() const { return spec_; }
 

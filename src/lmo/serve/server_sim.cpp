@@ -166,7 +166,13 @@ double chunk_prefill_seconds(const model::ModelSpec& spec,
   const double weights =
       model::layer_weight_bytes(spec, policy.weight_bits) *
       (1.0 - policy.weights_on_gpu) / platform.h2d_bw();
-  return std::max(compute, weights) * static_cast<double>(spec.num_layers);
+  // Disk-tier weight shards stream disk→CPU before the H2D hop; at
+  // prefill the slower of the two pipes bounds the layer.
+  const double disk = platform.disk_to_cpu.transfer_seconds(
+      model::layer_weight_bytes(spec, policy.weight_bits) *
+      policy.weights_on_disk);
+  return std::max({compute, weights, disk}) *
+         static_cast<double>(spec.num_layers);
 }
 
 /// Seconds to move one sequence's KV cache across the PCIe link in one
@@ -205,7 +211,11 @@ double prefill_seconds(const model::ModelSpec& spec,
   const double weights =
       model::layer_weight_bytes(spec, policy.weight_bits) *
       (1.0 - policy.weights_on_gpu) / platform.h2d_bw();
-  return std::max(compute, weights) *
+  // Disk-tier shards ride disk→CPU first (see chunk_prefill_seconds).
+  const double disk = platform.disk_to_cpu.transfer_seconds(
+      model::layer_weight_bytes(spec, policy.weight_bits) *
+      policy.weights_on_disk);
+  return std::max({compute, weights, disk}) *
          static_cast<double>(spec.num_layers);
 }
 

@@ -1,0 +1,141 @@
+#include "lmo/store/staging_pipeline.hpp"
+
+#include "lmo/parallel/threadpool.hpp"
+#include "lmo/telemetry/metrics.hpp"
+#include "lmo/telemetry/trace.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::store {
+
+StagingPipeline::StagingPipeline(BlockStore* store,
+                                 parallel::ThreadPool* pool, int depth,
+                                 telemetry::MetricsRegistry* metrics)
+    : store_(store), pool_(pool), depth_(static_cast<std::size_t>(depth)) {
+  LMO_CHECK_MSG(store_ != nullptr, "StagingPipeline: null store");
+  LMO_CHECK_MSG(pool_ != nullptr, "StagingPipeline: null pool");
+  LMO_CHECK_GE(depth, 1);
+  if (metrics != nullptr) {
+    hits_ = &metrics->counter("store.prefetch.hits");
+    misses_ = &metrics->counter("store.prefetch.misses");
+    drops_ = &metrics->counter("store.prefetch.drops");
+    steals_ = &metrics->counter("store.prefetch.steals");
+  }
+}
+
+bool StagingPipeline::prefetch(const std::string& key,
+                               const BlockHandle& handle) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (slots_.count(key) != 0) return true;  // already staging / staged
+    if (slots_.size() >= depth_) {
+      if (drops_ != nullptr) drops_->add();
+      return false;
+    }
+    Slot slot;
+    slot.state = SlotState::kQueued;
+    slot.handle = handle;
+    slots_.emplace(key, std::move(slot));
+  }
+  pool_->submit([this, key] { run_read(key); });
+  return true;
+}
+
+void StagingPipeline::run_read(const std::string& key) {
+  BlockHandle handle;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slots_.find(key);
+    // Gone (stolen or discarded) or already handled: nothing to do.
+    if (it == slots_.end() || it->second.state != SlotState::kQueued) return;
+    it->second.state = SlotState::kReading;
+    handle = it->second.handle;
+  }
+  std::vector<std::byte> bytes;
+  bool ok = true;
+  try {
+    telemetry::ScopedSpan span(telemetry::TraceRecorder::global(),
+                               "store_prefetch", "store");
+    bytes = store_->get(handle);
+  } catch (...) {
+    // Swallow: the consumer's fetch() will miss the slot and read
+    // synchronously, surfacing the same (deterministic) error with a
+    // caller able to handle it.
+    ok = false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return;  // discarded while reading
+  if (ok) {
+    it->second.state = SlotState::kStaged;
+    it->second.bytes = std::move(bytes);
+  } else {
+    slots_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::byte> StagingPipeline::fetch(const std::string& key,
+                                              const BlockHandle& handle) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      if (misses_ != nullptr) misses_->add();
+      lock.unlock();
+      return store_->get(handle);
+    }
+    switch (it->second.state) {
+      case SlotState::kStaged: {
+        if (hits_ != nullptr) hits_->add();
+        std::vector<std::byte> bytes = std::move(it->second.bytes);
+        slots_.erase(it);
+        cv_.notify_all();
+        return bytes;
+      }
+      case SlotState::kQueued: {
+        // Steal: consume the slot before the read task gets scheduled; the
+        // task will find it gone and exit.
+        if (steals_ != nullptr) steals_->add();
+        slots_.erase(it);
+        cv_.notify_all();
+        lock.unlock();
+        return store_->get(handle);
+      }
+      case SlotState::kReading:
+        cv_.wait(lock);  // reader will stage or erase, then notify
+        break;
+    }
+  }
+}
+
+void StagingPipeline::discard(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = slots_.find(key);
+    if (it == slots_.end()) return;
+    if (it->second.state == SlotState::kReading) {
+      cv_.wait(lock);
+      continue;
+    }
+    slots_.erase(it);
+    cv_.notify_all();
+    return;
+  }
+}
+
+void StagingPipeline::quiesce() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] {
+    for (const auto& [key, slot] : slots_) {
+      if (slot.state != SlotState::kStaged) return false;
+    }
+    return true;
+  });
+}
+
+std::size_t StagingPipeline::staged() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+}  // namespace lmo::store

@@ -1,0 +1,87 @@
+// Async disk→host staging with double-buffering.
+//
+// The disk link is the slowest rung of the offload hierarchy, so its reads
+// must overlap compute exactly like the host→device prefetches do. The
+// pipeline runs block-store reads on the runtime's existing prefetch
+// ThreadPool and keeps at most `depth` payloads staged in host memory
+// (depth=2 — classic double buffering: one payload being consumed, one
+// being read ahead), bounding the host-RAM cost of staging to
+// depth × payload size.
+//
+// Slot life-cycle: prefetch() enqueues a kQueued slot and submits a read
+// task; the task flips it kQueued→kReading→kStaged. fetch() consumes
+// kStaged bytes, *steals* a kQueued slot (reads it synchronously before
+// the task gets scheduled — the task then finds the slot gone and exits),
+// and waits out a kReading slot. A fetch for a key that was never
+// prefetched (or whose prefetch was dropped at the depth limit) falls back
+// to a synchronous store read. Every outcome is counted under
+// store.prefetch.*.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lmo/store/block_store.hpp"
+
+namespace lmo::parallel {
+class ThreadPool;
+}
+
+namespace lmo::store {
+
+class StagingPipeline {
+ public:
+  /// `store` and `pool` must outlive the pipeline. `metrics` may be null.
+  StagingPipeline(BlockStore* store, parallel::ThreadPool* pool,
+                  int depth = 2, telemetry::MetricsRegistry* metrics = nullptr);
+
+  /// Begin staging `handle` under `key`. Returns false when the slot table
+  /// is at depth (the request is dropped, not queued — the caller's fetch
+  /// will read synchronously). Idempotent for a key already in flight.
+  bool prefetch(const std::string& key, const BlockHandle& handle);
+
+  /// Obtain the payload for `key`: staged bytes if the prefetch finished,
+  /// a stolen or synchronous read otherwise. Always returns fresh bytes —
+  /// the slot is consumed.
+  std::vector<std::byte> fetch(const std::string& key,
+                               const BlockHandle& handle);
+
+  /// Discard any slot for `key` (e.g. the entry was demoted or released).
+  /// Waits out an in-progress read; the staged bytes are dropped.
+  void discard(const std::string& key);
+
+  /// Block until no read task is queued or running. Staged-but-unconsumed
+  /// payloads remain staged.
+  void quiesce();
+
+  std::size_t staged() const;  ///< slots currently in any state
+
+ private:
+  enum class SlotState { kQueued, kReading, kStaged };
+  struct Slot {
+    SlotState state = SlotState::kQueued;
+    BlockHandle handle;
+    std::vector<std::byte> bytes;
+  };
+
+  void run_read(const std::string& key);
+
+  BlockStore* store_;
+  parallel::ThreadPool* pool_;
+  std::size_t depth_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, Slot> slots_;
+
+  telemetry::Counter* hits_ = nullptr;
+  telemetry::Counter* misses_ = nullptr;
+  telemetry::Counter* drops_ = nullptr;
+  telemetry::Counter* steals_ = nullptr;
+};
+
+}  // namespace lmo::store

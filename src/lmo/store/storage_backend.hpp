@@ -1,0 +1,89 @@
+// Block-granular storage backends for the disk spill tier.
+//
+// The spill store speaks one primitive: read or write exactly one
+// fixed-size block at an index. That is the shape O_DIRECT I/O wants —
+// every transfer is a whole, naturally-aligned block (offset is always
+// index * block_bytes) — so the file backend stays direct-I/O friendly
+// while using plain buffered pread/pwrite for portability. The in-memory
+// backend gives tests and the CLI the same semantics with no filesystem,
+// which keeps the fault-injection drills hermetic and fast.
+//
+// Backends are internally synchronized: concurrent reads and writes to
+// *different* blocks proceed in parallel (positioned I/O), and the file
+// grows under a lock. Callers (BlockStore) guarantee a block is never read
+// and written concurrently — a block is published to readers only after
+// its write completes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lmo::store {
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Persist one whole block. `block.size() == block_bytes()`.
+  virtual void write_block(std::uint64_t index,
+                           std::span<const std::byte> block) = 0;
+  /// Read one whole block previously written. `out.size() == block_bytes()`.
+  virtual void read_block(std::uint64_t index, std::span<std::byte> out) = 0;
+
+  std::uint64_t block_bytes() const { return block_bytes_; }
+  /// Human-readable identity for logs ("memory", "file:/path").
+  virtual std::string describe() const = 0;
+
+ protected:
+  explicit StorageBackend(std::uint64_t block_bytes);
+
+  std::uint64_t block_bytes_;
+};
+
+/// Heap-backed blocks. Test and fallback backend; also what the CLI chaos
+/// drills use so they exercise the exact store logic without touching the
+/// filesystem.
+class MemoryBackend final : public StorageBackend {
+ public:
+  explicit MemoryBackend(std::uint64_t block_bytes);
+
+  void write_block(std::uint64_t index,
+                   std::span<const std::byte> block) override;
+  void read_block(std::uint64_t index, std::span<std::byte> out) override;
+  std::string describe() const override;
+
+ private:
+  std::mutex mutex_;
+  std::map<std::uint64_t, std::vector<std::byte>> blocks_;
+};
+
+/// One flat file of fixed-size blocks, accessed with positioned I/O
+/// (pread/pwrite), grown with ftruncate as the high-water block index
+/// rises. Block offsets are always index * block_bytes, so every transfer
+/// is block-aligned.
+class FileBackend final : public StorageBackend {
+ public:
+  /// Creates (or truncates) `path`. Throws CheckError if it cannot open.
+  FileBackend(const std::string& path, std::uint64_t block_bytes);
+  ~FileBackend() override;
+
+  void write_block(std::uint64_t index,
+                   std::span<const std::byte> block) override;
+  void read_block(std::uint64_t index, std::span<std::byte> out) override;
+  std::string describe() const override;
+
+ private:
+  void ensure_capacity(std::uint64_t blocks);
+
+  std::string path_;
+  int fd_ = -1;
+  std::mutex grow_mutex_;
+  std::uint64_t file_blocks_ = 0;  ///< current size in blocks
+};
+
+}  // namespace lmo::store

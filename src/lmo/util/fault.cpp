@@ -27,6 +27,10 @@ void FaultSpec::validate() const {
   LMO_CHECK_GE(alloc_failures, 0);
   LMO_CHECK_GE(flip_probability, 0.0);
   LMO_CHECK_LE(flip_probability, 1.0);
+  LMO_CHECK_GE(torn_write_probability, 0.0);
+  LMO_CHECK_LE(torn_write_probability, 1.0);
+  LMO_CHECK_GE(read_error_probability, 0.0);
+  LMO_CHECK_LE(read_error_probability, 1.0);
 }
 
 const char* to_string(FaultKind kind) {
@@ -39,6 +43,10 @@ const char* to_string(FaultKind kind) {
       return "alloc-failure";
     case FaultKind::kBitFlip:
       return "bit-flip";
+    case FaultKind::kTornWrite:
+      return "torn-write";
+    case FaultKind::kReadError:
+      return "read-error";
   }
   LMO_UNREACHABLE("bad FaultKind");
 }
@@ -147,6 +155,36 @@ std::int64_t FaultInjector::corrupt_bit(const std::string& site,
   events_.push_back(FaultEvent{site, FaultKind::kBitFlip,
                                static_cast<std::uint64_t>(op)});
   return static_cast<std::int64_t>(bit >= num_bits ? num_bits - 1 : bit);
+}
+
+bool FaultInjector::should_tear_write(const std::string& site) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site* s = find_site_locked(site);
+  if (s == nullptr) return false;
+  const std::int64_t op = s->ops++;
+  if (s->spec.torn_write_probability <= 0.0) return false;
+  if (s->draw() >= s->spec.torn_write_probability) return false;
+  events_.push_back(FaultEvent{site, FaultKind::kTornWrite,
+                               static_cast<std::uint64_t>(op)});
+  return true;
+}
+
+bool FaultInjector::should_fail_read(const std::string& site) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Site* s = find_site_locked(site);
+  if (s == nullptr) return false;
+  const std::int64_t op = s->ops++;
+  if (s->spec.read_error_probability <= 0.0) return false;
+  if (s->spec.max_failures >= 0 && s->failures >= s->spec.max_failures) {
+    return false;
+  }
+  if (s->draw() >= s->spec.read_error_probability) return false;
+  ++s->failures;
+  events_.push_back(FaultEvent{site, FaultKind::kReadError,
+                               static_cast<std::uint64_t>(op)});
+  return true;
 }
 
 std::vector<FaultEvent> FaultInjector::events() const {

@@ -55,10 +55,27 @@ struct FaultSpec {
   /// bit rot on the offload path; detected only by the integrity layer.
   double flip_probability = 0.0;
 
+  /// Probability that a block write at this site is torn: only a prefix of
+  /// the block reaches stable storage (power loss / volatile write cache).
+  /// Detected by the store's write-verify read-back, never surfaced as an
+  /// error by the device itself.
+  double torn_write_probability = 0.0;
+  /// Probability that a block read at this site fails with a device-level
+  /// I/O error (media error, cable reset). Honors max_failures like
+  /// transient transfer faults.
+  double read_error_probability = 0.0;
+
   void validate() const;
 };
 
-enum class FaultKind { kTransient, kLatency, kAllocFailure, kBitFlip };
+enum class FaultKind {
+  kTransient,
+  kLatency,
+  kAllocFailure,
+  kBitFlip,
+  kTornWrite,
+  kReadError,
+};
 
 const char* to_string(FaultKind kind);
 
@@ -113,6 +130,18 @@ class FaultInjector {
   /// so arming flips never perturbs a site's other outcome sequences and
   /// existing chaos schedules stay byte-identical.
   std::int64_t corrupt_bit(const std::string& site, std::uint64_t num_bits);
+
+  /// Should the current block write at `site` be torn (a prefix persisted,
+  /// the tail lost)? Counts one operation against the site. Consumes zero
+  /// draws when torn_write_probability == 0 so arming the I/O fault class
+  /// never perturbs a site's other outcome sequences.
+  bool should_tear_write(const std::string& site);
+
+  /// Should the current block read at `site` fail with a device I/O error?
+  /// Counts one operation against the site; honors max_failures (shared
+  /// with the transient budget) so retry loops provably terminate. Consumes
+  /// zero draws when read_error_probability == 0.
+  bool should_fail_read(const std::string& site);
 
   /// Trigger log (copy; ordered by firing time).
   std::vector<FaultEvent> events() const;

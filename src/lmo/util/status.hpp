@@ -49,6 +49,16 @@ class ResourceExhausted : public CheckError {
   explicit ResourceExhausted(const std::string& what) : CheckError(what) {}
 };
 
+/// A disk-tier block store operation failed after its bounded retry budget
+/// (device read errors, short writes that read-back verification could not
+/// repair). A TransferError subtype: the disk link is just the slowest rung
+/// of the same fragile transfer hierarchy, so existing prefetch fallback
+/// paths (catch TransferError → synchronous retry) handle it unchanged.
+class StorageError : public TransferError {
+ public:
+  explicit StorageError(const std::string& what) : TransferError(what) {}
+};
+
 /// A verified region (host weight shard, KV row, shared prefix block)
 /// failed its checksum and the repair ladder could not restore it (see
 /// lmo/integrity/). A runtime_error, not a CheckError: corruption is an

@@ -1,0 +1,35 @@
+#include "lmo/util/tempdir.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include "lmo/util/check.hpp"
+
+namespace lmo::util {
+
+TempDir::TempDir(const std::string& prefix) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path root = fs::temp_directory_path(ec);
+  if (ec) root = "/tmp";
+  const std::string pattern = (root / (prefix + ".XXXXXX")).string();
+  // mkdtemp mutates its argument in place, so hand it a writable copy.
+  std::vector<char> buf(pattern.begin(), pattern.end());
+  buf.push_back('\0');
+  LMO_CHECK_MSG(::mkdtemp(buf.data()) != nullptr,
+                "TempDir: mkdtemp failed for " + pattern);
+  path_ = buf.data();
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+}
+
+std::string TempDir::file(const std::string& name) const {
+  return path_ + "/" + name;
+}
+
+}  // namespace lmo::util

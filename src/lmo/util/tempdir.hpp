@@ -1,0 +1,36 @@
+// RAII unique temporary directory.
+//
+// TempDir creates a fresh, uniquely-named directory under the system temp
+// root on construction and recursively removes it (and everything written
+// inside) on destruction. Tests that need real files — the disk-tier block
+// store, checkpoint envelopes — use it instead of hand-rolled fixed paths,
+// which leak on assertion failure and collide when suites run in parallel.
+#pragma once
+
+#include <string>
+
+namespace lmo::util {
+
+class TempDir {
+ public:
+  /// Creates `<system-tmp>/<prefix>.XXXXXX` (mkdtemp semantics: the suffix
+  /// is unique per call). Throws CheckError if creation fails.
+  explicit TempDir(const std::string& prefix = "lmo");
+  /// Recursively removes the directory. Removal errors are swallowed —
+  /// destructors run during exception unwinding and a leaked temp dir is
+  /// strictly better than std::terminate.
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  /// Absolute path of the directory (no trailing separator).
+  const std::string& path() const { return path_; }
+  /// `path()/name` — convenience join for files inside the directory.
+  std::string file(const std::string& name) const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace lmo::util

@@ -8,6 +8,7 @@
 //   lmo chaos    --profile flaky-pcie            (generation under faults)
 //   lmo chaos    --profile kill-resume           (crash-recovery determinism)
 //   lmo chaos    --profile bitflip               (silent-corruption repair)
+//   lmo chaos    --profile diskfault             (disk-tier read-fault drill)
 //   lmo checkpoint --out gen.ckpt                (snapshot mid-generation)
 //   lmo checkpoint --verify gen.ckpt             (validate without restoring)
 //   lmo resume     --from gen.ckpt               (finish from the snapshot)
@@ -42,6 +43,7 @@
 #include "lmo/serve/server_sim.hpp"
 #include "lmo/serve/workload_gen.hpp"
 #include "lmo/sim/trace_export.hpp"
+#include "lmo/store/block_store.hpp"
 #include "lmo/telemetry/metrics.hpp"
 #include "lmo/telemetry/trace.hpp"
 #include "lmo/util/check.hpp"
@@ -754,6 +756,120 @@ int cmd_chaos_bitflip(const Args& args) {
              : 1;
 }
 
+/// `lmo chaos --profile diskfault`: the three-tier determinism drill.
+/// The coldest layers live on the disk tier (in-memory backend, so the
+/// drill is hermetic — the fault sites and CRC path are identical to a
+/// file backend). A fault-free disk-off run is the reference; a fault-free
+/// disk-on run proves the tier is transparent; two identically-seeded runs
+/// with torn writes armed on the spill path and read errors on the staging
+/// path prove the store's bounded retries absorb both classes without
+/// perturbing a single token. Single-threaded so the per-site draw order
+/// is pinned.
+int cmd_chaos_diskfault(const Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  const std::int64_t gen_len = args.get_int("len", 12);
+
+  runtime::RuntimeConfig config = tiny_runtime_config(args);
+  config.prefetch_threads = 0;  // deterministic draw order
+  config.compute_threads = 0;
+  const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
+
+  // Reference: the whole model on the device+host tiers.
+  std::vector<std::vector<std::int64_t>> reference;
+  {
+    runtime::Generator gen(config);
+    reference = gen.generate(prompts, gen_len).tokens;
+  }
+
+  // Disk tier on: the back half of the model spills to the block store.
+  config.disk_layers = std::max<std::int64_t>(1, config.spec.num_layers / 2);
+  config.disk_capacity = 64u << 20;
+
+  std::vector<std::vector<std::int64_t>> spilled;
+  {
+    runtime::Generator gen(config);
+    spilled = gen.generate(prompts, gen_len).tokens;
+  }
+
+  // Spill writes happen once per shard at registration (a few dozen), so
+  // the torn-write rate sits well above the per-read error rate or the
+  // drill never exercises the write-verify path.
+  util::FaultSpec write_fault;
+  write_fault.torn_write_probability = std::stod(args.get("rate", "0.2"));
+  util::FaultSpec read_fault;
+  read_fault.read_error_probability =
+      std::stod(args.get("read-rate", "0.05"));
+
+  struct DrillRun {
+    std::vector<std::vector<std::int64_t>> tokens;
+    std::uint64_t torn = 0;
+    std::uint64_t read_errors = 0;
+    std::uint64_t write_retries = 0;
+    std::uint64_t read_retries = 0;
+
+    bool operator==(const DrillRun& other) const {
+      return tokens == other.tokens && torn == other.torn &&
+             read_errors == other.read_errors &&
+             write_retries == other.write_retries &&
+             read_retries == other.read_retries;
+    }
+  };
+  const auto run_chaos = [&]() {
+    DrillRun r;
+    util::ScopedFaultInjection chaos(seed);
+    chaos.arm(store::BlockStore::kWriteSite, write_fault);
+    chaos.arm(store::BlockStore::kReadSite, read_fault);
+    runtime::Generator gen(config);
+    r.tokens = gen.generate(prompts, gen_len).tokens;
+    r.torn = chaos.count(store::BlockStore::kWriteSite,
+                         util::FaultKind::kTornWrite);
+    r.read_errors = chaos.count(store::BlockStore::kReadSite,
+                                util::FaultKind::kReadError);
+    const auto snap = gen.manager().metrics().snapshot();
+    const auto counter = [&snap](const char* name) -> std::uint64_t {
+      const auto* c = snap.find(name);
+      return c != nullptr ? c->count : 0;
+    };
+    r.write_retries = counter("store.write.retries");
+    r.read_retries = counter("store.read.retries");
+    return r;
+  };
+  const auto a = run_chaos();
+  const auto b = run_chaos();
+
+  std::printf("chaos profile 'diskfault' (seed %llu, torn-write rate "
+              "%.0f%% / read-error rate %.0f%%) on %s, %lld of %lld "
+              "layers on disk\n",
+              static_cast<unsigned long long>(seed),
+              write_fault.torn_write_probability * 100.0,
+              read_fault.read_error_probability * 100.0,
+              config.spec.name.c_str(),
+              static_cast<long long>(config.disk_layers),
+              static_cast<long long>(config.spec.num_layers));
+  std::printf("faults fired: %llu torn writes, %llu read errors | "
+              "retries: %llu write, %llu read\n",
+              static_cast<unsigned long long>(a.torn),
+              static_cast<unsigned long long>(a.read_errors),
+              static_cast<unsigned long long>(a.write_retries),
+              static_cast<unsigned long long>(a.read_retries));
+
+  const bool transparent = spilled == reference;
+  const bool identical = a.tokens == reference;
+  const bool reproducible = a == b;
+  const std::uint64_t fired = a.torn + a.read_errors;
+  std::printf("disk-on tokens identical to disk-off run: %s\n",
+              transparent ? "yes" : "NO — spill changed the output");
+  std::printf("tokens identical under disk faults: %s\n",
+              identical ? "yes" : "NO — a fault leaked into the output");
+  std::printf("seeded runs identical (tokens + store counters): %s\n",
+              reproducible ? "yes" : "NO — store determinism bug");
+  if (fired == 0) {
+    std::printf("WARNING: no disk faults fired — drill did not exercise "
+                "the store's retry path\n");
+  }
+  return transparent && identical && reproducible && fired > 0 ? 0 : 1;
+}
+
 /// `lmo chaos --profile overload`: the overload-protection determinism
 /// drill. A seeded burst workload slams the serving simulator with the
 /// degradation ladder, a tight KV pool, and deadline-aware shedding armed;
@@ -1090,6 +1206,7 @@ int cmd_chaos(const Args& args) {
   if (profile == "kill-resume") return cmd_chaos_kill_resume(args);
   if (profile == "shared-prefix") return cmd_chaos_shared_prefix(args);
   if (profile == "bitflip") return cmd_chaos_bitflip(args);
+  if (profile == "diskfault") return cmd_chaos_diskfault(args);
   if (profile == "overload") return cmd_chaos_overload(args);
   if (profile == "adaptive") return cmd_chaos_adaptive(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));

@@ -21,6 +21,7 @@
 #include "lmo/util/check.hpp"
 #include "lmo/util/fault.hpp"
 #include "lmo/util/status.hpp"
+#include "lmo/util/tempdir.hpp"
 
 namespace lmo {
 namespace {
@@ -43,10 +44,13 @@ void write_file(const std::string& path, const std::vector<char>& bytes) {
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
-/// RAII temp file so failing tests don't leak artifacts into the build dir.
+/// A named file inside its own util::TempDir: unique per test even when
+/// suites run in parallel, and removed with the directory no matter how the
+/// test exits.
 struct TempFile {
-  explicit TempFile(std::string name) : path(std::move(name)) {}
-  ~TempFile() { std::remove(path.c_str()); }
+  explicit TempFile(const std::string& name)
+      : dir("ckpt_test"), path(dir.file(name)) {}
+  util::TempDir dir;
   std::string path;
 };
 

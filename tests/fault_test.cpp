@@ -102,6 +102,59 @@ TEST(FaultInjector, MaxFailuresCapsInjection) {
   EXPECT_EQ(chaos.count("s", FaultKind::kTransient), 2u);
 }
 
+TEST(FaultInjector, TornWritesFireAndLog) {
+  ScopedFaultInjection chaos(11);
+  FaultSpec spec;
+  spec.torn_write_probability = 1.0;
+  chaos.arm("io", spec);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(FaultInjector::instance().should_tear_write("io"));
+  }
+  EXPECT_FALSE(FaultInjector::instance().should_tear_write("other"));
+  EXPECT_EQ(chaos.count("io", FaultKind::kTornWrite), 5u);
+  // Torn writes are device-silent: they must not count as transient fails.
+  EXPECT_EQ(chaos.count("io", FaultKind::kTransient), 0u);
+}
+
+TEST(FaultInjector, ReadErrorsHonorTheSharedFailureBudget) {
+  ScopedFaultInjection chaos(12);
+  FaultSpec spec;
+  spec.read_error_probability = 1.0;
+  spec.max_failures = 3;
+  chaos.arm("io", spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    fired += FaultInjector::instance().should_fail_read("io");
+  }
+  EXPECT_EQ(fired, 3);  // budget caps the run, so retry loops terminate
+  EXPECT_EQ(chaos.count("io", FaultKind::kReadError), 3u);
+}
+
+TEST(FaultInjector, ArmingIoFaultsPreservesOtherSchedules) {
+  // should_tear_write / should_fail_read consume zero draws when their
+  // probability is 0, so arming the I/O fault class must not shift a
+  // site's transient-fault outcome sequence.
+  FaultSpec transient_only;
+  transient_only.fail_probability = 0.4;
+  std::vector<bool> baseline;
+  {
+    ScopedFaultInjection chaos(13);
+    chaos.arm("s", transient_only);
+    for (int i = 0; i < 32; ++i) {
+      baseline.push_back(FaultInjector::instance().should_fail("s"));
+    }
+  }
+  {
+    ScopedFaultInjection chaos(13);
+    chaos.arm("s", transient_only);  // tear/read probs are 0
+    for (int i = 0; i < 32; ++i) {
+      (void)FaultInjector::instance().should_tear_write("s");
+      (void)FaultInjector::instance().should_fail_read("s");
+      EXPECT_EQ(FaultInjector::instance().should_fail("s"), baseline[i]);
+    }
+  }
+}
+
 TEST(FaultInjector, LatencyWindowStallsExactlyTheWindowedOps) {
   ScopedFaultInjection chaos(5);
   FaultSpec spec;

@@ -326,6 +326,59 @@ TEST(Algorithm3, DefaultUsesAllCoresIntraOp) {
   EXPECT_TRUE(plan.valid);
 }
 
+TEST(Algorithm3, DiskTaskReservesThreadsAndJoinsCriticalPath) {
+  auto input = paper_search_input();
+  input.disk_bytes = 4e9;
+  input.disk_gbps = 2.0;
+  const auto plan = find_optimal_parallelism(input);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_GE(plan.disk_threads, 1);
+  EXPECT_LE(plan.disk_threads, 4);
+  EXPECT_GT(plan.disk_seconds, 0.0);
+  EXPECT_GE(plan.t_gen, plan.disk_seconds);  // t_gen is a max over tasks
+  // Inter-op total now includes the disk-load task alongside the five
+  // host I/O tasks.
+  EXPECT_EQ(plan.inter_op_total, plan.inter_op_compute + 5 + 1);
+  // Line 7's reservation grows by the disk staging threads.
+  const int budget = input.platform.cpu.cores;
+  EXPECT_GE(budget - plan.inter_op_compute * plan.intra_op_compute,
+            5 + plan.disk_threads);
+}
+
+TEST(Algorithm3, SlowerDiskExtendsDiskTask) {
+  auto fast = paper_search_input();
+  fast.disk_bytes = 4e9;
+  fast.disk_gbps = 4.0;
+  auto slow = fast;
+  slow.disk_gbps = 1.0;
+  EXPECT_GT(find_optimal_parallelism(slow).disk_seconds,
+            find_optimal_parallelism(fast).disk_seconds);
+}
+
+TEST(Algorithm3, NoDiskBytesKeepsLegacyPlanBitForBit) {
+  const auto base = find_optimal_parallelism(paper_search_input());
+  auto input = paper_search_input();
+  input.disk_gbps = 3.0;  // bandwidth alone (no bytes) must change nothing
+  const auto plan = find_optimal_parallelism(input);
+  EXPECT_EQ(plan.disk_threads, 0);
+  EXPECT_EQ(plan.disk_seconds, 0.0);
+  EXPECT_EQ(plan.inter_op_compute, base.inter_op_compute);
+  EXPECT_EQ(plan.intra_op_compute, base.intra_op_compute);
+  EXPECT_EQ(plan.inter_op_total, base.inter_op_total);
+  EXPECT_EQ(plan.io_threads, base.io_threads);
+  EXPECT_EQ(plan.t_gen, base.t_gen);
+}
+
+TEST(Algorithm3, DefaultPlanGivesDiskTaskOneThread) {
+  auto input = paper_search_input();
+  input.disk_bytes = 2e9;
+  input.disk_gbps = 2.0;
+  const auto plan = default_parallelism(input);
+  EXPECT_EQ(plan.disk_threads, 1);
+  EXPECT_GT(plan.disk_seconds, 0.0);
+  EXPECT_EQ(plan.inter_op_total, plan.inter_op_compute + 5 + 1);
+}
+
 TEST(Algorithm3, MaxConcurrencyTimedMatchesStructure) {
   const auto g = diamond();
   const auto uniform = [](const model::OpNode&) { return 1.0; };

@@ -290,6 +290,52 @@ TEST(Estimator, ZeroStyleResidentCompressionFitsAndPaysDequant) {
   EXPECT_FALSE(estimate(spec, w, z16, platform).fits);  // 60 GB fp16 > 40
 }
 
+TEST(Estimator, DiskGbpsOverrideChargesTheDiskLink) {
+  // A disk-resident weight share pays a disk→CPU stream; a calibrated
+  // disk_gbps override (slower than the platform's nominal link) must make
+  // that stream — and only that stream — more expensive.
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  Policy p = flexgen_like();
+  p.weights_on_gpu = 0.2;
+  p.weights_on_disk = 0.3;
+
+  const StepCosts nominal = step_costs(spec, w, p, platform, 64);
+  EXPECT_GT(nominal.load_weight_disk, 0.0);
+
+  EstimatorOptions slow;
+  slow.disk_gbps = platform.disk_to_cpu.bandwidth / 1e9 / 4.0;
+  const StepCosts degraded = step_costs(spec, w, p, platform, 64, slow);
+  // transfer = latency + bytes/bw: only the bandwidth term quadruples.
+  const double lat = platform.disk_to_cpu.latency;
+  EXPECT_NEAR(degraded.load_weight_disk,
+              lat + (nominal.load_weight_disk - lat) * 4.0,
+              nominal.load_weight_disk * 1e-6);
+  EXPECT_EQ(degraded.load_weight, nominal.load_weight);  // PCIe untouched
+
+  // Options with disk_gbps = 0 are the nominal platform, bit-for-bit.
+  const auto base = estimate(spec, w, p, platform);
+  const auto with_default = estimate(spec, w, p, platform, EstimatorOptions{});
+  EXPECT_EQ(base.throughput, with_default.throughput);
+  EXPECT_EQ(base.t_init, with_default.t_init);
+}
+
+TEST(Estimator, NoDiskShareIgnoresDiskBandwidth) {
+  const auto spec = ModelSpec::opt_30b();
+  const auto w = paper_workload();
+  const auto platform = hw::Platform::a100_single();
+  const Policy p = flexgen_like();  // weights_on_disk = 0
+  EstimatorOptions slow;
+  slow.disk_gbps = 0.1;
+  const StepCosts sc = step_costs(spec, w, p, platform, 64, slow);
+  EXPECT_EQ(sc.load_weight_disk, 0.0);
+  // Decode throughput is disk-free; only t_init (the one-time weight load
+  // from disk) may move with the override.
+  EXPECT_EQ(estimate(spec, w, p, platform, slow).t_decode,
+            estimate(spec, w, p, platform).t_decode);
+}
+
 TEST(Estimator, ThroughputCountsAllGeneratedTokens) {
   const auto spec = ModelSpec::tiny();
   Workload w{.prompt_len = 8, .gen_len = 4, .gpu_batch = 2,
