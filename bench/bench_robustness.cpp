@@ -16,12 +16,24 @@
 //      calibrated once, then a disk-spilled Generator run's measured
 //      staging time is compared against the estimator-style per-transfer
 //      Link prediction (acceptance: within 15%).
+//   6. Crash recovery — a supervised run is abandoned mid-generation
+//      (child process exits without destructors, as a kill would) and
+//      recovered byte-identically; then journal replay time is swept
+//      across spill-store sizes and gated against a linear prediction
+//      charged at the replay bandwidth calibrated on the smallest store.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "lmo/recover/recovery_manager.hpp"
+#include "lmo/recover/wal.hpp"
 #include "lmo/runtime/generator.hpp"
 #include "lmo/sched/schedule_builder.hpp"
 #include "lmo/serve/server_sim.hpp"
@@ -341,6 +353,184 @@ int main(int argc, char** argv) {
     session.metric("disk.predicted_seconds", predicted);
     session.metric("disk.predicted_over_measured", ratio);
     session.metric("disk.within_15pct", within ? 1.0 : 0.0);
+  }
+
+  // ---- 6a. end-to-end crash recovery latency on a real run.
+  bench::print_header(
+      "Crash recovery — supervised run abandoned mid-generation (child "
+      "exits without destructors), recovered from durable state alone");
+  {
+    runtime::RuntimeConfig config;
+    config.spec = model::ModelSpec::tiny(2, 32, 4, 64);
+    config.weight_bits = 8;
+    config.device_layers = 0;
+    config.disk_layers = 1;
+    config.disk_capacity = 4u << 20;
+    config.spill_block_bytes = 4096;
+    config.prefetch_threads = 0;  // fork safety: the child must be thread-free
+    config.compute_threads = 0;
+    const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
+    const std::int64_t gen_len = 8;
+    constexpr int kCkptInterval = 2;
+
+    // Reference: the same supervised run, uninterrupted.
+    util::TempDir ref_dir("lmo_bench_recover");
+    std::vector<std::vector<std::int64_t>> reference;
+    {
+      recover::RecoveryManager manager({ref_dir.path(), kCkptInterval});
+      auto gen = manager.start(config);
+      gen->begin(prompts, gen_len);
+      while (!gen->done()) {
+        gen->step();
+        manager.note_step(*gen);
+      }
+      reference = gen->finish().tokens;
+    }
+
+    // The "crash": a forked child runs five steps under supervision and
+    // _exit()s — no destructors, no journal shutdown, exactly what SIGKILL
+    // leaves behind.
+    util::TempDir dir("lmo_bench_recover");
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      recover::RecoveryManager manager({dir.path(), kCkptInterval});
+      auto gen = manager.start(config);
+      gen->begin(prompts, gen_len);
+      for (int i = 0; i < 5 && !gen->done(); ++i) {
+        gen->step();
+        manager.note_step(*gen);
+      }
+      ::_exit(0);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    recover::RecoveryManager manager({dir.path(), kCkptInterval});
+    recover::RecoveredSession sess = manager.recover(&config);
+    const double recover_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    runtime::Generator& gen = *sess.generator;
+    if (!sess.resumed) gen.begin(prompts, gen_len);
+    while (!gen.done()) {
+      gen.step();
+      manager.note_step(gen);
+    }
+    const bool identical = gen.finish().tokens == reference;
+
+    util::Table table({"metric", "value"});
+    table.add_row({"resumed from checkpoint", sess.resumed ? "yes" : "no"});
+    table.add_row({"recovery epoch", std::to_string(sess.epoch)});
+    table.add_row({"journal records replayed",
+                   std::to_string(sess.replay_records)});
+    table.add_row({"orphan blocks freed", std::to_string(sess.orphan_blocks)});
+    table.add_row({"stale payloads swept",
+                   std::to_string(sess.stale_payloads)});
+    table.add_row({"journal replay (ms)", fmt(sess.replay_seconds * 1e3, 3)});
+    table.add_row({"total recover (ms)", fmt(recover_seconds * 1e3, 3)});
+    table.print(std::cout);
+    std::cout << "\ntokens identical to the uninterrupted run: "
+              << (identical ? "yes" : "NO — BUG") << "\n";
+    session.metric("recover.e2e_seconds", recover_seconds);
+    session.metric("recover.tokens_identical", identical ? 1.0 : 0.0);
+  }
+
+  // ---- 6b. journal replay time vs spill-store size, measured vs predicted.
+  bench::print_header(
+      "Crash recovery — journal replay time vs spill-store size: replay "
+      "bandwidth calibrated on the smallest store predicts the rest");
+  {
+    util::TempDir dir("lmo_bench_recover");
+    constexpr std::uint64_t kBlock = 4096;
+
+    struct Point {
+      int entries = 0;
+      std::uint64_t wal_bytes = 0;
+      std::uint64_t spill_bytes = 0;
+      double seconds = 0.0;
+      std::uint64_t records = 0;
+    };
+    // Build a journaled store with `entries` one-block keyed payloads,
+    // abandon it (destructors close fds but free nothing durable), then
+    // time a pure replay of the surviving journal. Min-of-reps absorbs
+    // scheduler noise; replay_wal never mutates an intact file.
+    const auto measure = [&](int entries, int reps) {
+      Point point;
+      point.entries = entries;
+      const std::string tag = "scale_" + std::to_string(entries);
+      const std::string wal = dir.file(tag + ".wal");
+      {
+        store::StoreConfig sc;
+        sc.block_bytes = kBlock;
+        store::BlockStore s(
+            std::make_unique<store::FileBackend>(dir.file(tag + ".blocks"),
+                                                 kBlock),
+            sc, nullptr);
+        s.set_journal(std::make_unique<recover::WalManifest>(
+            wal, recover::WalManifest::OpenMode::kTruncate));
+        std::vector<std::byte> payload(kBlock);
+        util::Xoshiro256 rng(42);
+        for (auto& b : payload) b = static_cast<std::byte>(rng() & 0xff);
+        for (int i = 0; i < entries; ++i) {
+          s.put(payload, "w" + std::to_string(i));
+        }
+        point.spill_bytes = s.bytes_in_use();
+      }
+      {
+        std::ifstream in(wal, std::ios::binary | std::ios::ate);
+        point.wal_bytes = static_cast<std::uint64_t>(in.tellg());
+      }
+      point.seconds = 1e30;
+      for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto replay = recover::replay_wal(wal);
+        const double t = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        point.seconds = std::min(point.seconds, t);
+        point.records = replay.records;
+      }
+      return point;
+    };
+
+    const int reps = quick ? 3 : 5;
+    const std::vector<int> sizes = quick ? std::vector<int>{512, 2048}
+                                         : std::vector<int>{1024, 4096, 16384};
+    std::vector<Point> points;
+    for (int n : sizes) points.push_back(measure(n, reps));
+
+    // Charge replay at the bandwidth the smallest store exhibits; the gate
+    // checks that replay stays linear in journal size as the store grows.
+    const double replay_gbps =
+        static_cast<double>(points.front().wal_bytes) /
+        std::max(points.front().seconds, 1e-12) / 1e9;
+    util::Table table({"entries", "spill (MB)", "journal (KB)", "records",
+                       "replay (ms)", "predicted (ms)", "pred/meas"});
+    double worst_ratio = 1.0;
+    for (const Point& p : points) {
+      const double predicted =
+          static_cast<double>(p.wal_bytes) / (replay_gbps * 1e9);
+      const double ratio = predicted / std::max(p.seconds, 1e-12);
+      if (std::abs(ratio - 1.0) > std::abs(worst_ratio - 1.0)) {
+        worst_ratio = ratio;
+      }
+      table.add_row({std::to_string(p.entries), fmt(p.spill_bytes / 1e6, 2),
+                     fmt(p.wal_bytes / 1e3, 1), std::to_string(p.records),
+                     fmt(p.seconds * 1e3, 3), fmt(predicted * 1e3, 3),
+                     fmt(ratio, 3)});
+    }
+    table.print(std::cout);
+    const bool within = worst_ratio > 1.0 / 1.5 && worst_ratio < 1.5;
+    std::cout << "\ncalibrated replay bandwidth " << fmt(replay_gbps, 2)
+              << " GB/s; worst predicted/measured " << fmt(worst_ratio, 3)
+              << " within the 1.5x acceptance bound: "
+              << (within ? "yes" : "NO — replay is superlinear") << "\n";
+    session.metric("recover.replay_gbps", replay_gbps);
+    session.metric("recover.predicted_over_measured", worst_ratio);
+    session.metric("recover.within_bound", within ? 1.0 : 0.0);
   }
   return 0;
 }

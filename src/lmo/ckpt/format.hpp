@@ -25,17 +25,28 @@ namespace lmo::ckpt {
 inline constexpr std::uint64_t kMagic = 0x0054504B434F4D4CULL;  // "LMOCKPT\0"
 // Version 2: RuntimeConfig gained prefix_share / kv_block_tokens and the
 // KV codec gained the shared-chain tag (kvshare).
-inline constexpr std::uint32_t kFormatVersion = 2;
+// Version 3: RuntimeConfig gained the disk-tier fingerprint fields
+// (disk_layers, disk_capacity, spill_block_bytes) and kRecoveryMeta joined
+// the payload kinds.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// What a checkpoint payload contains. Stored in the header so `lmo resume`
 /// can reject, say, a future scheduler snapshot with a clear error instead
 /// of a decode failure deep inside the generator codec.
 enum class PayloadKind : std::uint32_t {
   kGeneratorState = 1,
+  kRecoveryMeta = 2,  ///< RecoveryManager epoch record (see lmo/recover/)
 };
 
-/// Atomically-ish write `payload` under the envelope: the file is written
-/// to `path` in one stream and flushed; throws CheckError on I/O failure.
+/// Crash-point fault site (util::FaultInjector::maybe_crash) checked twice
+/// inside write_checkpoint_file: before the temp file is written and after
+/// fsync, immediately before the rename publishes it.
+inline constexpr const char* kPublishSite = "ckpt.publish";
+
+/// Atomically write `payload` under the envelope: the bytes land in
+/// `path`.tmp, are fsynced, and only then renamed over `path` — a crash at
+/// any instruction leaves either the previous checkpoint or the new one,
+/// never a torn file. Throws CheckError on I/O failure.
 void write_checkpoint_file(const std::string& path, PayloadKind kind,
                            const std::vector<std::byte>& payload);
 

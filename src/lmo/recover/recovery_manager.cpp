@@ -1,0 +1,212 @@
+#include "lmo/recover/recovery_manager.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "lmo/ckpt/binary_io.hpp"
+#include "lmo/ckpt/format.hpp"
+#include "lmo/recover/wal.hpp"
+#include "lmo/runtime/checkpoint.hpp"
+#include "lmo/telemetry/metrics.hpp"
+#include "lmo/telemetry/trace.hpp"
+#include "lmo/util/check.hpp"
+
+namespace lmo::recover {
+namespace {
+
+void ensure_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return;
+  LMO_CHECK_MSG(false, "RecoveryManager: mkdir(" + dir + ") failed: " +
+                           std::strerror(errno));
+}
+
+void remove_if_exists(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return;
+  LMO_CHECK_MSG(false, "RecoveryManager: unlink(" + path + ") failed: " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(Options options)
+    : options_(std::move(options)) {
+  LMO_CHECK_MSG(!options_.dir.empty(), "RecoveryManager: dir must be set");
+  LMO_CHECK_GE(options_.checkpoint_interval_steps, 1);
+}
+
+std::unique_ptr<runtime::Generator> RecoveryManager::start(
+    runtime::RuntimeConfig config) {
+  ensure_dir(options_.dir);
+  // A fresh run owns the directory outright: durable state from a previous
+  // incarnation must never leak into (or be "recovered" over) this one.
+  remove_if_exists(ckpt_path());
+  remove_if_exists(meta_path());
+  config.spill_path = blocks_path();
+  const std::string blocks = blocks_path();
+  const std::string wal = wal_path();
+  runtime::Generator::SpillStoreFactory factory =
+      [blocks, wal](const store::StoreConfig& store_config,
+                    telemetry::MetricsRegistry& metrics) {
+        auto backend = std::make_unique<store::FileBackend>(
+            blocks, store_config.block_bytes,
+            store::FileBackend::OpenMode::kTruncate);
+        auto block_store = std::make_unique<store::BlockStore>(
+            std::move(backend), store_config, &metrics);
+        block_store->set_journal(
+            std::make_unique<WalManifest>(wal, WalManifest::OpenMode::kTruncate));
+        return block_store;
+      };
+  auto generator = std::make_unique<runtime::Generator>(config, factory);
+  epoch_ = 0;
+  steps_since_checkpoint_ = 0;
+  return generator;
+}
+
+RecoveredSession RecoveryManager::recover(
+    const runtime::RuntimeConfig* fallback) {
+  telemetry::ScopedSpan recover_span(telemetry::TraceRecorder::global(),
+                                     "recover", "recover");
+  RecoveredSession session;
+
+  // The config fingerprint comes from the durable checkpoint when one is
+  // readable; a crash before the first checkpoint leaves only the caller's
+  // fallback (and possibly spill blocks worth adopting).
+  runtime::RuntimeConfig config;
+  bool have_checkpoint = false;
+  try {
+    config = runtime::read_checkpoint_meta(ckpt_path()).config;
+    have_checkpoint = true;
+  } catch (const std::exception&) {
+    LMO_CHECK_MSG(fallback != nullptr,
+                  "RecoveryManager: no resumable checkpoint in " +
+                      options_.dir + " and no fallback config");
+    config = *fallback;
+  }
+  config.spill_path = blocks_path();
+
+  // The published epoch survives even when the spill tier is disabled (no
+  // WAL to carry it); the WAL's epoch is always >= the published one.
+  std::uint64_t meta_epoch = 0;
+  try {
+    const std::vector<std::byte> payload = ckpt::read_checkpoint_file(
+        meta_path(), ckpt::PayloadKind::kRecoveryMeta);
+    ckpt::ByteReader reader(payload);
+    meta_epoch = reader.u64();
+  } catch (const std::exception&) {
+    // Unreadable or absent meta: the crash beat the first publish.
+  }
+
+  WalReplayResult replay;
+  double replay_seconds = 0.0;
+  const std::string blocks = blocks_path();
+  const std::string wal = wal_path();
+  runtime::Generator::SpillStoreFactory factory =
+      [&](const store::StoreConfig& store_config,
+          telemetry::MetricsRegistry& metrics) {
+        const auto t0 = std::chrono::steady_clock::now();
+        replay = replay_wal(wal, &metrics);
+        // Compact before reopening for append so orphan records from the
+        // dead process do not accrete across repeated crashes.
+        compact_wal(wal, replay.state, replay.epoch);
+        auto backend = std::make_unique<store::FileBackend>(
+            blocks, store_config.block_bytes,
+            store::FileBackend::OpenMode::kPreserve);
+        auto block_store = std::make_unique<store::BlockStore>(
+            std::move(backend), store_config, &metrics);
+        block_store->set_journal(
+            std::make_unique<WalManifest>(wal, WalManifest::OpenMode::kAppend));
+        block_store->adopt_state(std::move(replay.state));
+        replay_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        return block_store;
+      };
+
+  // Constructing the Generator re-registers every weight; disk-tier spills
+  // adopt() their surviving blocks by key instead of rewriting them.
+  auto generator = std::make_unique<runtime::Generator>(config, factory);
+  telemetry::MetricsRegistry& metrics = generator->manager().metrics();
+
+  if (generator->spill_store() != nullptr) {
+    // Entries the dead process spilled but this incarnation keeps in RAM
+    // (or rewrote under a changed policy) are swept back to the free list.
+    session.stale_payloads = generator->spill_store()->release_unclaimed();
+    if (session.stale_payloads > 0) {
+      metrics.counter("recover.stale.payloads").add(session.stale_payloads);
+    }
+  }
+
+  if (have_checkpoint) {
+    telemetry::ScopedSpan restore_span(telemetry::TraceRecorder::global(),
+                                       "recover.restore", "recover");
+    generator->resume(ckpt_path());
+    metrics.counter("recover.resumes").add();
+    session.resumed = true;
+  }
+
+  epoch_ = std::max(replay.epoch, meta_epoch);
+  steps_since_checkpoint_ = 0;
+  metrics.counter("recover.recoveries").add();
+  metrics.gauge("recover.epoch").set(static_cast<double>(epoch_));
+  metrics.gauge("recover.replay.seconds").set(replay_seconds);
+
+  session.generator = std::move(generator);
+  session.epoch = epoch_;
+  session.replay_records = replay.records;
+  session.orphan_blocks = replay.orphan_blocks;
+  session.truncated_bytes = replay.truncated_bytes;
+  session.replay_seconds = replay_seconds;
+  return session;
+}
+
+void RecoveryManager::note_step(runtime::Generator& generator) {
+  if (++steps_since_checkpoint_ < options_.checkpoint_interval_steps) return;
+  checkpoint(generator);
+}
+
+void RecoveryManager::checkpoint(runtime::Generator& generator) {
+  telemetry::ScopedSpan span(telemetry::TraceRecorder::global(),
+                             "recover.checkpoint", "recover");
+  ++epoch_;
+  // Epoch into the WAL first (barrier): after a crash the WAL's epoch tells
+  // recovery how far the published checkpoint could possibly have advanced.
+  store::BlockStore* spill = generator.spill_store();
+  if (spill != nullptr && spill->journaled()) {
+    if (auto* wal = dynamic_cast<WalManifest*>(spill->journal())) {
+      wal->record_epoch(epoch_);
+    }
+  }
+  // Atomic snapshot (tmp + fsync + rename), then the equally atomic meta
+  // publish. A crash between the two leaves meta one epoch behind the
+  // checkpoint — recovery takes the max, so nothing is lost.
+  generator.snapshot(ckpt_path());
+  ckpt::ByteWriter meta;
+  meta.u64(epoch_);
+  meta.u64(static_cast<std::uint64_t>(generator.step_index()));
+  ckpt::write_checkpoint_file(meta_path(), ckpt::PayloadKind::kRecoveryMeta,
+                              meta.buffer());
+  steps_since_checkpoint_ = 0;
+  telemetry::MetricsRegistry& metrics = generator.manager().metrics();
+  metrics.counter("recover.checkpoints").add();
+  metrics.gauge("recover.epoch").set(static_cast<double>(epoch_));
+}
+
+}  // namespace lmo::recover
+
+namespace lmo::runtime {
+
+std::unique_ptr<Generator> Generator::recover(const std::string& dir) {
+  recover::RecoveryManager manager({dir});
+  recover::RecoveredSession session = manager.recover();
+  LMO_CHECK_MSG(session.resumed,
+                "Generator::recover: " + dir + " holds no resumable session");
+  return std::move(session.generator);
+}
+
+}  // namespace lmo::runtime

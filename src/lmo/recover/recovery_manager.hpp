@@ -1,0 +1,90 @@
+// Crash-recovery supervisor: ties the journaled spill store (wal.hpp) to
+// the checkpoint subsystem so a kill -9 at any instruction loses at most
+// one checkpoint interval of work — and nothing of what was durable.
+//
+// Lifecycle of a supervised run:
+//
+//   RecoveryManager mgr({dir});
+//   auto gen = mgr.start(config);       // journaled store, epoch 0
+//   gen->begin(prompts, gen_len);
+//   while (!gen->done()) { gen->step(); mgr.note_step(*gen); }
+//
+// note_step() auto-checkpoints every checkpoint_interval_steps: it stamps
+// the next recovery epoch into the WAL (barrier), snapshots the session via
+// the atomic checkpoint writer, then publishes the epoch in recover.meta.
+// Every step of that sequence is individually crash-safe, so the epoch
+// recorded in the WAL is always >= the one any readable checkpoint claims.
+//
+// After a crash, a fresh process calls recover() (or the
+// Generator::recover(dir) convenience): the WAL is replayed and compacted,
+// surviving blocks are re-adopted by key instead of rewritten, the last
+// durable checkpoint is restored, and generation resumes byte-identically —
+// sampling RNG, fault-injection schedules and KV caches included.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "lmo/runtime/generator.hpp"
+
+namespace lmo::recover {
+
+/// What recover() reassembled, with the accounting the crash drills (and
+/// the recover.* metrics) assert against.
+struct RecoveredSession {
+  std::unique_ptr<runtime::Generator> generator;
+  bool resumed = false;  ///< a durable checkpoint was restored
+  std::uint64_t epoch = 0;
+  std::uint64_t replay_records = 0;
+  std::uint64_t orphan_blocks = 0;    ///< allocated-never-committed, freed
+  std::uint64_t truncated_bytes = 0;  ///< torn WAL tail removed
+  std::uint64_t stale_payloads = 0;   ///< recovered entries never re-adopted
+  double replay_seconds = 0.0;        ///< WAL scan + compaction wall time
+};
+
+class RecoveryManager {
+ public:
+  struct Options {
+    /// Recovery directory; created on start(). Holds spill.blocks (the
+    /// block file), spill.wal (the manifest), ckpt.bin (generator state)
+    /// and recover.meta (the published epoch).
+    std::string dir;
+    /// Auto-checkpoint cadence for note_step(); must be >= 1.
+    int checkpoint_interval_steps = 4;
+  };
+
+  explicit RecoveryManager(Options options);
+
+  /// Fresh supervised run: truncates any previous state in the directory
+  /// and builds a Generator whose spill store journals every mutation.
+  std::unique_ptr<runtime::Generator> start(runtime::RuntimeConfig config);
+
+  /// Rebuild after a crash. The RuntimeConfig is taken from the durable
+  /// checkpoint when one is readable; otherwise `fallback` is used (the
+  /// crash preceded the first checkpoint — resumed stays false and the
+  /// caller begin()s from scratch, with surviving spill blocks adopted).
+  /// Throws CheckError when there is neither a checkpoint nor a fallback.
+  RecoveredSession recover(const runtime::RuntimeConfig* fallback = nullptr);
+
+  /// Call after every Generator::step(); checkpoints each
+  /// checkpoint_interval_steps.
+  void note_step(runtime::Generator& generator);
+  /// Force a checkpoint now: WAL epoch record -> atomic snapshot -> meta
+  /// publish. Requires an active session.
+  void checkpoint(runtime::Generator& generator);
+
+  std::uint64_t epoch() const { return epoch_; }
+
+  std::string blocks_path() const { return options_.dir + "/spill.blocks"; }
+  std::string wal_path() const { return options_.dir + "/spill.wal"; }
+  std::string ckpt_path() const { return options_.dir + "/ckpt.bin"; }
+  std::string meta_path() const { return options_.dir + "/recover.meta"; }
+
+ private:
+  Options options_;
+  std::uint64_t epoch_ = 0;
+  int steps_since_checkpoint_ = 0;
+};
+
+}  // namespace lmo::recover

@@ -303,6 +303,13 @@ void encode_runtime_config(ckpt::ByteWriter& writer,
   writer.i64(config.quant_group);
   writer.u64(config.device_capacity);
   writer.u64(config.host_capacity);
+  // Disk-tier fingerprint (format v3): disk_layers and capacity change the
+  // transfer schedule and fault-site draw order, so resuming under a
+  // different disk shape must be a CheckpointMismatch. spill_path stays
+  // out — it names *where* the store lives, not how generation behaves.
+  writer.i64(config.disk_layers);
+  writer.u64(config.disk_capacity);
+  writer.u64(config.spill_block_bytes);
   writer.u8(static_cast<std::uint8_t>(config.kv_flavor));
   writer.i64(config.page_tokens);
   writer.i64(config.window_tokens);
@@ -344,6 +351,9 @@ RuntimeConfig decode_runtime_config(ckpt::ByteReader& reader) {
   config.quant_group = reader.i64();
   config.device_capacity = static_cast<std::size_t>(reader.u64());
   config.host_capacity = static_cast<std::size_t>(reader.u64());
+  config.disk_layers = reader.i64();
+  config.disk_capacity = static_cast<std::size_t>(reader.u64());
+  config.spill_block_bytes = static_cast<std::size_t>(reader.u64());
   const std::uint8_t flavor = reader.u8();
   if (flavor > static_cast<std::uint8_t>(KVFlavor::kWindow)) {
     throw util::CheckpointCorrupt("checkpoint has unknown KV flavor tag " +
@@ -382,7 +392,11 @@ bool runtime_config_equal(const RuntimeConfig& a, const RuntimeConfig& b) {
          a.weight_bits == b.weight_bits && a.kv_bits == b.kv_bits &&
          a.quant_group == b.quant_group &&
          a.device_capacity == b.device_capacity &&
-         a.host_capacity == b.host_capacity && a.kv_flavor == b.kv_flavor &&
+         a.host_capacity == b.host_capacity &&
+         a.disk_layers == b.disk_layers &&
+         a.disk_capacity == b.disk_capacity &&
+         a.spill_block_bytes == b.spill_block_bytes &&
+         a.kv_flavor == b.kv_flavor &&
          a.page_tokens == b.page_tokens &&
          a.window_tokens == b.window_tokens &&
          a.prefix_share == b.prefix_share &&

@@ -172,6 +172,10 @@ void RuntimeConfig::apply_policy(const perfmodel::Policy& policy) {
 }
 
 Generator::Generator(const RuntimeConfig& config)
+    : Generator(config, SpillStoreFactory{}) {}
+
+Generator::Generator(const RuntimeConfig& config,
+                     SpillStoreFactory spill_factory)
     : config_(config), sampling_rng_(config.sampling.seed) {
   // Canonicalize the legacy paged_kv bool and the flavor enum so the rest
   // of the runtime (and the checkpoint fingerprint) sees one field.
@@ -193,15 +197,25 @@ Generator::Generator(const RuntimeConfig& config)
     store::StoreConfig sc;
     sc.block_bytes = config_.spill_block_bytes;
     sc.capacity_bytes = config_.disk_capacity;
-    std::unique_ptr<store::StorageBackend> backend;
-    if (config_.spill_path.empty()) {
-      backend = std::make_unique<store::MemoryBackend>(sc.block_bytes);
+    if (spill_factory) {
+      // The recovery supervisor builds the store: journaled backend,
+      // replayed free list, recovered keyed entries. Metrics still land in
+      // this generator's registry.
+      spill_store_ = spill_factory(sc, manager_->metrics());
+      LMO_CHECK_MSG(spill_store_ != nullptr,
+                    "spill-store factory returned null");
+      LMO_CHECK_EQ(spill_store_->config().block_bytes, sc.block_bytes);
     } else {
-      backend = std::make_unique<store::FileBackend>(config_.spill_path,
-                                                     sc.block_bytes);
+      std::unique_ptr<store::StorageBackend> backend;
+      if (config_.spill_path.empty()) {
+        backend = std::make_unique<store::MemoryBackend>(sc.block_bytes);
+      } else {
+        backend = std::make_unique<store::FileBackend>(config_.spill_path,
+                                                       sc.block_bytes);
+      }
+      spill_store_ = std::make_unique<store::BlockStore>(
+          std::move(backend), sc, &manager_->metrics());
     }
-    spill_store_ = std::make_unique<store::BlockStore>(std::move(backend), sc,
-                                                       &manager_->metrics());
   }
   if (config.prefetch_threads > 0) {
     prefetch_pool_ =

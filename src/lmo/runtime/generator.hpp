@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "lmo/integrity/integrity.hpp"
@@ -134,14 +136,31 @@ struct GenerationResult {
 
 class Generator {
  public:
+  /// Builds the disk spill store when config.disk_capacity > 0. The
+  /// recovery supervisor injects a factory that attaches a write-ahead
+  /// journal (and possibly a recovered free list) before the store sees
+  /// its first put; the default factory builds a plain, unjournaled store.
+  using SpillStoreFactory = std::function<std::unique_ptr<store::BlockStore>(
+      const store::StoreConfig&, telemetry::MetricsRegistry&)>;
+
   explicit Generator(const RuntimeConfig& config);
+  Generator(const RuntimeConfig& config, SpillStoreFactory spill_factory);
   ~Generator();
+
+  /// Restore the last durable state from a recovery directory produced by
+  /// recover::RecoveryManager: replay the spill-store journal, adopt the
+  /// surviving blocks, and resume the auto-checkpointed session. Defined
+  /// in the lmo_recover library (link it to use this entry point); throws
+  /// CheckError when the directory holds no resumable checkpoint.
+  static std::unique_ptr<Generator> recover(const std::string& dir);
 
   const RuntimeConfig& config() const { return config_; }
   Transformer& transformer() { return *transformer_; }
   OffloadManager& manager() { return *manager_; }
   MemoryPool& device_pool() { return *device_pool_; }
   MemoryPool& host_pool() { return *host_pool_; }
+  /// Disk spill store; nullptr when config.disk_capacity == 0.
+  store::BlockStore* spill_store() { return spill_store_.get(); }
   /// Live while an adaptive session is active; nullptr otherwise.
   const parallel::AdaptiveController* adaptive_controller() const {
     return adaptive_.get();

@@ -186,11 +186,22 @@ void OffloadManager::spill_value_to_disk(const std::string& name,
     payload = std::as_bytes(
         std::span<const std::uint8_t>(bytes.data(), bytes.size()));
   }
-  meta.handle = store_->put(payload);
+  // Crash recovery: when a journaled store survived a kill with this exact
+  // payload already committed under our key, adopt the surviving blocks
+  // instead of rewriting them — the spill becomes free and the journal
+  // stays compact. (Deterministic re-registration makes hits the common
+  // case: the recovered process quantizes identical bytes.)
+  const std::uint32_t payload_crc = util::crc32(payload);
+  if (auto adopted = store_->adopt(name, payload_crc, payload.size())) {
+    meta.handle = *adopted;
+    metrics_.counter("recover.adopted.payloads").add();
+  } else {
+    meta.handle = store_->put(payload, name);
+  }
   // Fingerprint the *stored* payload: the store returns these exact bytes,
   // so the normal host→device arrival verification applies unchanged.
   if (integrity_ != nullptr && integrity_->enabled()) {
-    integrity_->record(weights_region(name), util::crc32(payload));
+    integrity_->record(weights_region(name), payload_crc);
   }
   entry.plain = tensor::Tensor();
   entry.quantized = tensor::QuantizedTensor();

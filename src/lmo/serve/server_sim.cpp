@@ -65,6 +65,12 @@ void ServeConfig::validate() const {
       v.require("corruptions.request_id", c.request_id >= 0,
                 "must name a request id");
     }
+    for (const CrashEvent& c : crashes) {
+      v.ge("crashes.at_seconds", c.at_seconds, 0.0);
+    }
+    v.require("recover_disk_gbps",
+              crashes.empty() || recover_disk_gbps > 0.0,
+              "crash recovery needs a positive replay bandwidth");
   });
   // Bounded admission: the controller config owns the queue-bound and
   // deadline coupling rules (zero bound with shedding enabled, shedding
@@ -294,6 +300,12 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   telemetry::Gauge& m_verify_bytes = reg.gauge("integrity.verify.bytes");
   telemetry::Gauge& m_verify_seconds =
       reg.gauge("integrity.verify.seconds");
+  // Engine crash/recover accounting (see CrashEvent and lmo/recover/).
+  telemetry::Counter& m_crashes = reg.counter("serve.crash.total");
+  telemetry::Counter& m_crash_rollback =
+      reg.counter("serve.crash.rollback.tokens");
+  telemetry::Gauge& m_crash_recovery =
+      reg.gauge("serve.crash.recovery_seconds");
   LMO_CHECK_MSG(m_tokens.value() == 0 && m_completed.value() == 0 &&
                     m_ttft.count() == 0,
                 "simulate_serving needs a fresh registry: 'serve.*' metrics "
@@ -497,6 +509,52 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
         break;
       }
       // Events naming a queued or finished request are inert.
+    }
+  };
+
+  std::vector<CrashEvent> crashes = config.crashes;
+  std::sort(crashes.begin(), crashes.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              return a.at_seconds < b.at_seconds;
+            });
+  std::size_t next_crash = 0;
+  const auto process_crashes = [&] {
+    while (next_crash < crashes.size() &&
+           crashes[next_crash].at_seconds <= clock) {
+      ++next_crash;
+      m_crashes.add();
+      // Recovery stall: a fresh engine replays the spill-store journal and
+      // restores the last durable checkpoint before serving resumes —
+      // recover_spill_bytes at recover_disk_gbps, the same charge the
+      // bench's measured-vs-predicted gate uses.
+      const double stall = static_cast<double>(config.recover_spill_bytes) /
+                           (config.recover_disk_gbps * 1e9);
+      if (trace != nullptr) {
+        trace->complete("crash_recover", "serve.crash", kServeTracePid, 0,
+                        clock * 1e6, stall * 1e6);
+      }
+      clock += stall;
+      m_crash_recovery.add(stall);
+      // The whole engine dies: every in-flight session loses its device KV
+      // and rolls back to its last checkpoint boundary, then re-enters
+      // through the swap-in path (restoring KV at link cost) exactly like
+      // a preemption victim. Already-suspended sessions roll their cursor
+      // back in place — their next swap-in restores from the checkpoint.
+      const auto crash_rollback = [&](Active& a) {
+        const std::int64_t keep = (a.generated / config.ckpt_interval_tokens) *
+                                  config.ckpt_interval_tokens;
+        m_crash_rollback.add(static_cast<std::uint64_t>(a.generated - keep));
+        a.generated = keep;
+      };
+      while (!active.empty()) {
+        Active victim = std::move(active.back());
+        active.pop_back();
+        crash_rollback(victim);
+        victim.lease.reset();
+        release_kv(victim);
+        suspended.push_back(std::move(victim));
+      }
+      for (Active& s : suspended) crash_rollback(s);
     }
   };
 
@@ -917,6 +975,7 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
       pull_arrivals(clock);
     }
     process_corruptions();
+    process_crashes();
 
     // Degradation ladder: one pressure observation per engine iteration;
     // rungs apply their remedies before admission sees the queue.
@@ -1173,6 +1232,9 @@ ServeMetrics simulate_serving(const model::ModelSpec& spec,
   metrics.corruption_undetected = m_corrupt_undetected.value();
   metrics.rollback_tokens = m_rollback_tokens.value();
   metrics.verify_seconds = m_verify_seconds.value();
+  metrics.crashes = m_crashes.value();
+  metrics.crash_recovery_seconds = m_crash_recovery.value();
+  metrics.crash_rollback_tokens = m_crash_rollback.value();
   if (m_ttft.count() > 0) {
     metrics.ttft_p50 = m_ttft.percentile(0.5);
     metrics.ttft_p95 = m_ttft.percentile(0.95);

@@ -56,6 +56,17 @@ struct CorruptionEvent {
   std::int64_t request_id = -1;
 };
 
+/// An injected engine crash (the serving analogue of the kill -9 drills in
+/// lmo/recover): when the clock passes `at_seconds` the whole engine dies
+/// and restarts from its last durable state. Every in-flight request rolls
+/// back to its last ckpt_interval_tokens boundary, drops its device KV,
+/// and re-enters through the swap-in path after the recovery stall —
+/// spill-store replay plus checkpoint restore, charged at
+/// recover_disk_gbps over recover_spill_bytes.
+struct CrashEvent {
+  double at_seconds = 0.0;
+};
+
 /// Overload protection for the serving engine: a modelled KV memory pool
 /// with pressure watermarks drives the degradation ladder — under
 /// sustained pressure the server escalates shrink-cache -> demote-kv ->
@@ -160,6 +171,13 @@ struct ServeConfig {
   /// Checkpoint cadence the rollback rounds down to, in generated tokens.
   std::int64_t ckpt_interval_tokens = 32;
 
+  /// Engine crash/recovery events (see CrashEvent). The recovery stall
+  /// models WAL replay + checkpoint restore of `recover_spill_bytes` at
+  /// `recover_disk_gbps` (GB/s, > 0 when crashes are scheduled).
+  std::vector<CrashEvent> crashes;
+  double recover_disk_gbps = 1.0;
+  std::size_t recover_spill_bytes = 0;
+
   void validate() const;
 };
 
@@ -224,6 +242,10 @@ struct ServeMetrics {
   std::size_t corruption_undetected = 0;  ///< events missed (verify off)
   std::uint64_t rollback_tokens = 0;  ///< re-decoded after ckpt rollback
   double verify_seconds = 0.0;        ///< engine time spent checksumming
+  /// serve.crash.* reads (0 unless config.crashes).
+  std::size_t crashes = 0;                 ///< engine crash/recover cycles
+  double crash_recovery_seconds = 0.0;     ///< stall paid replaying/restoring
+  std::uint64_t crash_rollback_tokens = 0; ///< re-decoded after crashes
   std::vector<RequestOutcome> outcomes;  ///< per request, by id order
 };
 

@@ -91,6 +91,10 @@ std::vector<std::uint32_t> BlockStore::allocate_blocks(std::size_t count) {
 }
 
 void BlockStore::free_blocks(const std::vector<std::uint32_t>& blocks) {
+  // Write-ahead: the free record hits the journal (with its fsync barrier)
+  // before the in-memory free list changes, so a crash straddling the two
+  // can only lose the in-memory half — which dies with the process anyway.
+  if (journal_ != nullptr) journal_->record_free(blocks);
   std::lock_guard<std::mutex> lock(mutex_);
   free_.insert(free_.end(), blocks.begin(), blocks.end());
   LMO_CHECK_GE(in_use_, blocks.size());
@@ -98,10 +102,80 @@ void BlockStore::free_blocks(const std::vector<std::uint32_t>& blocks) {
   update_usage_gauge();
 }
 
+void BlockStore::set_journal(std::unique_ptr<BlockJournal> journal) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LMO_CHECK_MSG(next_block_ == 0 && in_use_ == 0,
+                "BlockStore::set_journal after writes");
+  journal_ = std::move(journal);
+}
+
+void BlockStore::adopt_state(RecoveredState&& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LMO_CHECK_MSG(next_block_ == 0 && in_use_ == 0,
+                "BlockStore::adopt_state on a non-fresh store");
+  next_block_ = state.next_block;
+  free_ = std::move(state.free_blocks);
+  block_crc_ = std::move(state.block_crc);
+  block_crc_.resize(next_block_, 0);
+  LMO_CHECK_GE(static_cast<std::uint64_t>(next_block_), free_.size());
+  in_use_ = next_block_ - free_.size();
+  keyed_.clear();
+  for (auto& [key, handle] : state.entries) {
+    keyed_.emplace(key, KeyedEntry{handle, /*claimed=*/false});
+  }
+  update_usage_gauge();
+}
+
+std::optional<BlockHandle> BlockStore::adopt(const std::string& key,
+                                             std::uint32_t crc,
+                                             std::uint64_t bytes) {
+  BlockHandle stale;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = keyed_.find(key);
+    if (it == keyed_.end()) return std::nullopt;
+    if (it->second.handle.crc == crc && it->second.handle.bytes == bytes) {
+      it->second.claimed = true;
+      return it->second.handle;
+    }
+    // Same key, different content: the surviving payload is stale. Drop it
+    // (outside the lock — free_blocks locks) and let the caller rewrite.
+    stale = it->second.handle;
+    keyed_.erase(it);
+  }
+  free_blocks(stale.blocks);
+  return std::nullopt;
+}
+
+std::size_t BlockStore::release_unclaimed() {
+  std::vector<BlockHandle> sweep;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = keyed_.begin(); it != keyed_.end();) {
+      if (!it->second.claimed) {
+        sweep.push_back(it->second.handle);
+        it = keyed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& handle : sweep) free_blocks(handle.blocks);
+  return sweep.size();
+}
+
+std::optional<BlockHandle> BlockStore::lookup(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = keyed_.find(key);
+  if (it == keyed_.end()) return std::nullopt;
+  return it->second.handle;
+}
+
 void BlockStore::write_block_checked(std::uint32_t index,
                                      std::span<const std::byte> block,
                                      std::uint32_t crc) {
   auto& injector = util::FaultInjector::instance();
+  injector.maybe_crash(kWriteSite);
   std::vector<std::byte> scratch;
   for (int attempt = 1;; ++attempt) {
     if (injector.should_tear_write(kWriteSite)) {
@@ -163,7 +237,8 @@ void BlockStore::read_block_checked(std::uint32_t index,
       backend_->describe() + ")");
 }
 
-BlockHandle BlockStore::put(std::span<const std::byte> payload) {
+BlockHandle BlockStore::put(std::span<const std::byte> payload,
+                            const std::string& key) {
   LMO_CHECK_GT(payload.size(), 0u);
   telemetry::ScopedSpan span(telemetry::TraceRecorder::global(),
                              "store_write", "store");
@@ -174,6 +249,10 @@ BlockHandle BlockStore::put(std::span<const std::byte> payload) {
   handle.blocks = allocate_blocks(count);
   handle.bytes = payload.size();
   handle.crc = util::crc32(payload);
+  // Write-ahead: journal the allocation before any data lands, so a crash
+  // anywhere in the loop below leaves blocks the recovery scan can GC as
+  // orphans (allocated, never committed).
+  if (journal_ != nullptr) journal_->record_alloc(handle.blocks);
   std::vector<std::byte> scratch(bb);
   try {
     for (std::size_t i = 0; i < count; ++i) {
@@ -194,11 +273,24 @@ BlockHandle BlockStore::put(std::span<const std::byte> payload) {
         std::lock_guard<std::mutex> lock(mutex_);
         block_crc_[handle.blocks[i]] = crc;
       }
+      if (journal_ != nullptr) journal_->record_write(handle.blocks[i], crc);
       if (write_blocks_ != nullptr) write_blocks_->add();
+    }
+    if (journal_ != nullptr && !key.empty()) {
+      // Durability barrier ordering: block data reaches the medium first,
+      // then the commit record (which fsyncs the journal). A crash between
+      // the two leaves an uncommitted — hence GC-able — payload, never a
+      // committed record pointing at unsynced data.
+      backend_->sync();
+      journal_->record_commit(key, handle);
     }
   } catch (...) {
     free_blocks(handle.blocks);
     throw;
+  }
+  if (!key.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    keyed_[key] = KeyedEntry{handle, /*claimed=*/true};
   }
   if (write_bytes_ != nullptr) {
     write_bytes_->add(static_cast<double>(payload.size()));
@@ -237,6 +329,18 @@ std::vector<std::byte> BlockStore::get(const BlockHandle& handle) {
 
 void BlockStore::release(BlockHandle& handle) {
   if (!handle.valid()) return;
+  {
+    // Drop any keyed entry naming these blocks so a later recovery scan
+    // and the in-memory table agree (the journal's free record already
+    // invalidates the commit on replay).
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = keyed_.begin(); it != keyed_.end(); ++it) {
+      if (it->second.handle.blocks == handle.blocks) {
+        keyed_.erase(it);
+        break;
+      }
+    }
+  }
   free_blocks(handle.blocks);
   handle.blocks.clear();
   handle.bytes = 0;

@@ -27,8 +27,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -70,6 +72,35 @@ struct BlockHandle {
   bool valid() const { return !blocks.empty(); }
 };
 
+/// Write-ahead manifest hook. The store notifies the journal *before*
+/// mutating durable state (write-ahead), and the journal's commit/free
+/// records double as fsync barriers: record_commit must not return until
+/// both the record and every block write it names are on stable storage.
+/// Implemented by recover::WalManifest; the store never depends on the
+/// recover library, only on this interface.
+class BlockJournal {
+ public:
+  virtual ~BlockJournal() = default;
+  /// Blocks handed out by the allocator (not yet durable, not yet data).
+  virtual void record_alloc(const std::vector<std::uint32_t>& blocks) = 0;
+  /// One block's payload was written; `crc` fingerprints the padded block.
+  virtual void record_write(std::uint32_t block, std::uint32_t crc) = 0;
+  /// A whole keyed payload is durable. Barrier: fsyncs the journal (the
+  /// store syncs the data backend first).
+  virtual void record_commit(const std::string& key, const BlockHandle& handle) = 0;
+  /// Blocks returned to the free list. Barrier.
+  virtual void record_free(const std::vector<std::uint32_t>& blocks) = 0;
+};
+
+/// Everything the recovery scan reconstructs from a surviving journal —
+/// installed into a fresh BlockStore with adopt_state() before any put().
+struct RecoveredState {
+  std::uint32_t next_block = 0;            ///< high-water mark
+  std::vector<std::uint32_t> free_blocks;  ///< allocatable indices
+  std::vector<std::uint32_t> block_crc;    ///< fingerprint per block index
+  std::map<std::string, BlockHandle> entries;  ///< committed keyed payloads
+};
+
 class BlockStore {
  public:
   /// Fault-injection sites (see util/fault.hpp).
@@ -84,8 +115,11 @@ class BlockStore {
   /// Stripe `payload` across freshly-allocated blocks. Throws
   /// ResourceExhausted when the capacity ceiling would be exceeded (no
   /// blocks leak), StorageError when a block cannot be persisted within
-  /// the write budget.
-  BlockHandle put(std::span<const std::byte> payload);
+  /// the write budget. A non-empty `key` names the payload in the journal
+  /// (and in a recovered store's entry table) so a restarted process can
+  /// re-adopt it instead of rewriting.
+  BlockHandle put(std::span<const std::byte> payload,
+                  const std::string& key = {});
 
   /// Read back a stored payload, verifying every block's fingerprint.
   std::vector<std::byte> get(const BlockHandle& handle);
@@ -98,6 +132,35 @@ class BlockStore {
   std::uint64_t bytes_in_use() const;  ///< blocks_in_use * block_bytes
   /// Whole blocks the capacity ceiling admits; UINT64_MAX when unbounded.
   std::uint64_t capacity_blocks() const;
+
+  // ---- crash recovery ----------------------------------------------------
+
+  /// Attach (and own) a write-ahead manifest. Must be set before the first
+  /// put(); every subsequent mutation is journaled write-ahead.
+  void set_journal(std::unique_ptr<BlockJournal> journal);
+  bool journaled() const { return journal_ != nullptr; }
+  /// The attached manifest, if any — RecoveryManager downcasts it to stamp
+  /// epoch records at checkpoint boundaries.
+  BlockJournal* journal() { return journal_.get(); }
+
+  /// Install the state a recovery scan reconstructed. Must run before any
+  /// put(); every recovered entry starts unclaimed until adopt()ed.
+  void adopt_state(RecoveredState&& state);
+
+  /// Claim a recovered payload: if `key` survived with this exact byte
+  /// length and whole-payload CRC, return its handle (no I/O, no rewrite).
+  /// A mismatch — the spiller changed content — frees the stale blocks and
+  /// returns nullopt so the caller re-put()s.
+  std::optional<BlockHandle> adopt(const std::string& key, std::uint32_t crc,
+                                   std::uint64_t bytes);
+
+  /// Free every recovered entry that was never adopt()ed (the dead process
+  /// spilled tensors this incarnation keeps in RAM). Returns how many
+  /// entries were swept; after this, blocks_in_use() counts live data only.
+  std::size_t release_unclaimed();
+
+  /// Committed handle for `key`, if one exists (recovered or written).
+  std::optional<BlockHandle> lookup(const std::string& key) const;
 
   const StoreConfig& config() const { return config_; }
   const StorageBackend& backend() const { return *backend_; }
@@ -116,12 +179,22 @@ class BlockStore {
 
   std::unique_ptr<StorageBackend> backend_;
   StoreConfig config_;
+  std::unique_ptr<BlockJournal> journal_;
+
+  /// Keyed payloads: committed handles plus whether this process has
+  /// claimed them (adopt() or a keyed put()). Unclaimed entries are
+  /// recovered leftovers awaiting adopt()/release_unclaimed().
+  struct KeyedEntry {
+    BlockHandle handle;
+    bool claimed = false;
+  };
 
   mutable std::mutex mutex_;          ///< free list + per-block CRC table
   std::vector<std::uint32_t> free_;   ///< released block indices
   std::uint32_t next_block_ = 0;      ///< high-water mark
   std::uint64_t in_use_ = 0;
   std::vector<std::uint32_t> block_crc_;  ///< fingerprint per block index
+  std::map<std::string, KeyedEntry> keyed_;
 
   // Hot-path metric handles; null when no registry was supplied.
   telemetry::Counter* write_blocks_ = nullptr;

@@ -1,6 +1,7 @@
 #include "lmo/store/storage_backend.hpp"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -39,11 +40,21 @@ void MemoryBackend::read_block(std::uint64_t index,
 
 std::string MemoryBackend::describe() const { return "memory"; }
 
-FileBackend::FileBackend(const std::string& path, std::uint64_t block_bytes)
+FileBackend::FileBackend(const std::string& path, std::uint64_t block_bytes,
+                         OpenMode mode)
     : StorageBackend(block_bytes), path_(path) {
-  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  const int flags =
+      O_RDWR | O_CREAT | (mode == OpenMode::kTruncate ? O_TRUNC : 0);
+  fd_ = ::open(path.c_str(), flags, 0644);
   LMO_CHECK_MSG(fd_ >= 0, "FileBackend: cannot open " + path + ": " +
                               std::strerror(errno));
+  if (mode == OpenMode::kPreserve) {
+    struct stat st{};
+    LMO_CHECK_MSG(::fstat(fd_, &st) == 0, "FileBackend: fstat(" + path +
+                                              ") failed: " +
+                                              std::strerror(errno));
+    file_blocks_ = static_cast<std::uint64_t>(st.st_size) / block_bytes_;
+  }
 }
 
 FileBackend::~FileBackend() {
@@ -94,6 +105,15 @@ void FileBackend::read_block(std::uint64_t index, std::span<std::byte> out) {
     }
     done += static_cast<std::size_t>(n);
   }
+}
+
+void FileBackend::sync() {
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  LMO_CHECK_MSG(rc == 0, "FileBackend: fsync(" + path_ + ") failed: " +
+                             std::strerror(errno));
 }
 
 std::string FileBackend::describe() const { return "file:" + path_; }

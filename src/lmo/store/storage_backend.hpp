@@ -35,6 +35,14 @@ class StorageBackend {
   /// Read one whole block previously written. `out.size() == block_bytes()`.
   virtual void read_block(std::uint64_t index, std::span<std::byte> out) = 0;
 
+  /// Durability barrier: when this returns, every write_block() issued
+  /// before the call has reached stable storage (fsync for files, no-op in
+  /// memory). Without it a write-verify read-back can pass straight from
+  /// the page cache while nothing survived a power cut — the crash-recovery
+  /// journal calls this before committing a manifest record that promises
+  /// the blocks exist.
+  virtual void sync() = 0;
+
   std::uint64_t block_bytes() const { return block_bytes_; }
   /// Human-readable identity for logs ("memory", "file:/path").
   virtual std::string describe() const = 0;
@@ -55,6 +63,7 @@ class MemoryBackend final : public StorageBackend {
   void write_block(std::uint64_t index,
                    std::span<const std::byte> block) override;
   void read_block(std::uint64_t index, std::span<std::byte> out) override;
+  void sync() override {}  // heap contents are as durable as they get
   std::string describe() const override;
 
  private:
@@ -68,13 +77,21 @@ class MemoryBackend final : public StorageBackend {
 /// is block-aligned.
 class FileBackend final : public StorageBackend {
  public:
-  /// Creates (or truncates) `path`. Throws CheckError if it cannot open.
-  FileBackend(const std::string& path, std::uint64_t block_bytes);
+  enum class OpenMode {
+    kTruncate,  ///< fresh store: discard whatever a dead process left
+    kPreserve,  ///< crash recovery: reopen the surviving block file as-is
+  };
+
+  /// Creates (or, with kPreserve, reopens) `path`. Throws CheckError if it
+  /// cannot open.
+  FileBackend(const std::string& path, std::uint64_t block_bytes,
+              OpenMode mode = OpenMode::kTruncate);
   ~FileBackend() override;
 
   void write_block(std::uint64_t index,
                    std::span<const std::byte> block) override;
   void read_block(std::uint64_t index, std::span<std::byte> out) override;
+  void sync() override;
   std::string describe() const override;
 
  private:

@@ -1,5 +1,8 @@
 #include "lmo/util/fault.hpp"
 
+#include <csignal>
+#include <unistd.h>
+
 #include "lmo/util/check.hpp"
 
 namespace lmo::util {
@@ -31,6 +34,7 @@ void FaultSpec::validate() const {
   LMO_CHECK_LE(torn_write_probability, 1.0);
   LMO_CHECK_GE(read_error_probability, 0.0);
   LMO_CHECK_LE(read_error_probability, 1.0);
+  LMO_CHECK_GE(crash_at_op, -1);
 }
 
 const char* to_string(FaultKind kind) {
@@ -47,6 +51,8 @@ const char* to_string(FaultKind kind) {
       return "torn-write";
     case FaultKind::kReadError:
       return "read-error";
+    case FaultKind::kCrashPoint:
+      return "crash-point";
   }
   LMO_UNREACHABLE("bad FaultKind");
 }
@@ -71,6 +77,7 @@ void FaultInjector::disable() {
   enabled_.store(false, std::memory_order_relaxed);
   sites_.clear();
   events_.clear();
+  crash_handler_ = nullptr;
 }
 
 void FaultInjector::arm(const std::string& site, const FaultSpec& spec) {
@@ -185,6 +192,36 @@ bool FaultInjector::should_fail_read(const std::string& site) {
   events_.push_back(FaultEvent{site, FaultKind::kReadError,
                                static_cast<std::uint64_t>(op)});
   return true;
+}
+
+void FaultInjector::maybe_crash(const std::string& site) {
+  if (!enabled()) return;
+  std::function<void(const std::string&)> handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Site* s = find_site_locked(site);
+    if (s == nullptr || s->spec.crash_at_op < 0) return;
+    const std::int64_t check = s->crash_checks++;
+    if (check != s->spec.crash_at_op) return;
+    events_.push_back(FaultEvent{site, FaultKind::kCrashPoint,
+                                 static_cast<std::uint64_t>(check)});
+    handler = crash_handler_;
+  }
+  // Run the crash action outside the lock: a test handler that throws (or
+  // longjmps) must not leave the injector mutex held.
+  if (handler) {
+    handler(site);
+    return;
+  }
+  // The genuine article. SIGKILL cannot be caught or cleaned up after —
+  // exactly the discipline the crash-recovery path is designed for.
+  ::kill(::getpid(), SIGKILL);
+}
+
+void FaultInjector::set_crash_handler(
+    std::function<void(const std::string&)> handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_handler_ = std::move(handler);
 }
 
 std::vector<FaultEvent> FaultInjector::events() const {

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -65,6 +66,14 @@ struct FaultSpec {
   /// transient transfer faults.
   double read_error_probability = 0.0;
 
+  /// Kill the process (SIGKILL by default — see set_crash_handler) at the
+  /// `crash_at_op`-th maybe_crash() check at this site; -1 = never. Crash
+  /// checks keep their own counter, separate from the shared op counter,
+  /// and consume zero draws: arming a crash point cannot shift any other
+  /// fault class's schedule, so a killed-and-recovered run replays the
+  /// exact chaos sequence of an uninterrupted one.
+  std::int64_t crash_at_op = -1;
+
   void validate() const;
 };
 
@@ -75,6 +84,7 @@ enum class FaultKind {
   kBitFlip,
   kTornWrite,
   kReadError,
+  kCrashPoint,
 };
 
 const char* to_string(FaultKind kind);
@@ -143,6 +153,18 @@ class FaultInjector {
   /// zero draws when read_error_probability == 0.
   bool should_fail_read(const std::string& site);
 
+  /// Crash-point check: when the armed spec's crash_at_op equals this
+  /// site's crash-check index, invoke the crash handler (default: SIGKILL
+  /// the process — the real thing, not an exception). Counts against a
+  /// dedicated crash-check counter, never the shared op counter, and
+  /// consumes zero draws. The event is logged before the handler runs so
+  /// an in-process (test) handler can observe it.
+  void maybe_crash(const std::string& site);
+
+  /// Replace the crash action for tests that cannot die (throws instead of
+  /// kill, say). Cleared on disable(); pass nullptr to restore SIGKILL.
+  void set_crash_handler(std::function<void(const std::string&)> handler);
+
   /// Trigger log (copy; ordered by firing time).
   std::vector<FaultEvent> events() const;
   /// Number of logged events at `site` of `kind`.
@@ -177,6 +199,10 @@ class FaultInjector {
     std::int64_t failures = 0;  ///< transient failures injected
     std::int64_t allocs_denied = 0;
     std::uint64_t draws = 0;    ///< rng.uniform() calls consumed
+    /// maybe_crash() checks observed. Deliberately NOT part of
+    /// FaultSiteState: the recovered process re-arms crash points fresh
+    /// (or not at all) — replaying a crash schedule would just die again.
+    std::int64_t crash_checks = 0;
 
     /// Every consumption goes through here so `draws` is exact.
     double draw() {
@@ -192,6 +218,7 @@ class FaultInjector {
   std::uint64_t seed_ = 0;
   std::map<std::string, Site> sites_;
   std::vector<FaultEvent> events_;
+  std::function<void(const std::string&)> crash_handler_;
 };
 
 /// RAII enablement: arms sites on a freshly-seeded injector and disarms
@@ -218,6 +245,9 @@ class ScopedFaultInjection {
   }
   void restore_site_state(const FaultSiteState& state) {
     FaultInjector::instance().restore_site_state(state);
+  }
+  void set_crash_handler(std::function<void(const std::string&)> handler) {
+    FaultInjector::instance().set_crash_handler(std::move(handler));
   }
 };
 

@@ -9,9 +9,11 @@
 //   lmo chaos    --profile kill-resume           (crash-recovery determinism)
 //   lmo chaos    --profile bitflip               (silent-corruption repair)
 //   lmo chaos    --profile diskfault             (disk-tier read-fault drill)
+//   lmo chaos    --profile crash                 (fork/SIGKILL recovery drill)
 //   lmo checkpoint --out gen.ckpt                (snapshot mid-generation)
 //   lmo checkpoint --verify gen.ckpt             (validate without restoring)
 //   lmo resume     --from gen.ckpt               (finish from the snapshot)
+//   lmo recover    --dir crash_dir               (restore a supervised run)
 //   lmo models                                    (list presets)
 //
 // trace/serve/chaos accept --metrics-out FILE to export the run's telemetry
@@ -20,6 +22,9 @@
 //
 // --platform takes either a preset name (a100-single, v100-quad) or a path
 // to a key=value platform config (see lmo/hw/platform_config.hpp).
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +40,8 @@
 #include "lmo/hw/platform_config.hpp"
 #include "lmo/integrity/integrity.hpp"
 #include "lmo/parallel/adaptive_controller.hpp"
+#include "lmo/recover/recovery_manager.hpp"
+#include "lmo/recover/wal.hpp"
 #include "lmo/runtime/checkpoint.hpp"
 #include "lmo/runtime/generator.hpp"
 #include "lmo/sched/flexgen.hpp"
@@ -1197,6 +1204,164 @@ int cmd_resume(const Args& args) {
   return 0;
 }
 
+/// `lmo recover --dir D`: restore the last durable state a supervised run
+/// (RecoveryManager) left in a recovery directory — WAL replay, spill-block
+/// adoption, checkpoint restore — and finish the generation under continued
+/// supervision. The runtime configuration comes from the checkpoint itself.
+int cmd_recover(const Args& args) {
+  const std::string dir = args.get("dir", "lmo_crash_drill");
+  recover::RecoveryManager manager({dir});
+  recover::RecoveredSession session = manager.recover();
+  runtime::Generator& gen = *session.generator;
+  std::printf("recovered %s: epoch %llu, %llu WAL record(s) replayed, "
+              "%llu orphan block(s) freed, %llu torn byte(s) truncated, "
+              "%llu stale payload(s) swept (%.3f ms replay)\n",
+              dir.c_str(), static_cast<unsigned long long>(session.epoch),
+              static_cast<unsigned long long>(session.replay_records),
+              static_cast<unsigned long long>(session.orphan_blocks),
+              static_cast<unsigned long long>(session.truncated_bytes),
+              static_cast<unsigned long long>(session.stale_payloads),
+              session.replay_seconds * 1e3);
+  while (!gen.done()) {
+    gen.step();
+    manager.note_step(gen);
+  }
+  const auto result = gen.finish();
+  for (std::size_t i = 0; i < result.tokens.size(); ++i) {
+    std::printf("sequence %zu tokens:", i);
+    for (std::int64_t tok : result.tokens[i]) {
+      std::printf(" %lld", static_cast<long long>(tok));
+    }
+    std::printf("\n");
+  }
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    gen.manager().metrics().snapshot().save(metrics_out);
+    std::printf("wrote recovery-run metrics to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
+/// `lmo chaos --profile crash`: the kill -9 drill. A reference supervised
+/// run records the expected tokens; then, for every crash-point fault site
+/// on the offload path, a forked child re-runs the same supervised
+/// generation with SIGKILL armed at successive operation indices of that
+/// site. The parent recovers each kill from the on-disk state alone and
+/// asserts byte-identical tokens. A clean child exit means the site ran
+/// out of operations — the sweep moves to the next site.
+int cmd_chaos_crash(const Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  const std::int64_t gen_len = args.get_int("len", 8);
+  const int max_ops = args.get_int("ops", 4);
+  const std::string dir = args.get("dir", "lmo_crash_drill");
+
+  runtime::RuntimeConfig config = tiny_runtime_config(args);
+  // Disk tier on (journaled spills) and strictly no threads: the child is
+  // forked, and a forked process must not inherit pool threads mid-state.
+  config.disk_layers = 2;
+  config.disk_capacity = 8u << 20;
+  config.spill_block_bytes = 4096;
+  config.prefetch_threads = 0;
+  config.compute_threads = 0;
+  const std::vector<std::vector<std::int64_t>> prompts = {{1, 2, 3, 4}};
+
+  // Reference: one uninterrupted supervised run.
+  std::vector<std::vector<std::int64_t>> reference;
+  {
+    recover::RecoveryManager manager({dir});
+    auto gen = manager.start(config);
+    gen->begin(prompts, gen_len);
+    while (!gen->done()) {
+      gen->step();
+      manager.note_step(*gen);
+    }
+    reference = gen->finish().tokens;
+  }
+
+  const std::vector<std::string> sites = {
+      recover::kJournalAppendSite,
+      store::BlockStore::kWriteSite,
+      recover::kJournalFsyncSite,
+      ckpt::kPublishSite,
+  };
+  int kills = 0;
+  int recovered_ok = 0;
+  int failures = 0;
+  for (const std::string& site : sites) {
+    for (int at = 0; at < max_ops; ++at) {
+      std::fflush(stdout);
+      const pid_t pid = ::fork();
+      if (pid == 0) {
+        // Child: same supervised run, SIGKILL armed at operation `at` of
+        // `site`. _exit(0) means the schedule never fired.
+        util::ScopedFaultInjection chaos(seed);
+        util::FaultSpec spec;
+        spec.crash_at_op = at;
+        chaos.arm(site, spec);
+        try {
+          recover::RecoveryManager manager({dir});
+          auto gen = manager.start(config);
+          gen->begin(prompts, gen_len);
+          while (!gen->done()) {
+            gen->step();
+            manager.note_step(*gen);
+          }
+          gen->finish();
+        } catch (...) {
+          ::_exit(3);
+        }
+        ::_exit(0);
+      }
+      LMO_CHECK_MSG(pid > 0, "fork failed");
+      int status = 0;
+      LMO_CHECK_MSG(::waitpid(pid, &status, 0) == pid, "waitpid failed");
+      if (WIFEXITED(status) && WEXITSTATUS(status) == 0) break;  // site done
+      const bool killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+      if (!killed) {
+        std::printf("site %s op %d: child failed unexpectedly (status %d)\n",
+                    site.c_str(), at, status);
+        ++failures;
+        continue;
+      }
+      ++kills;
+      // Parent: recover from the on-disk state alone. A crash before the
+      // first checkpoint legitimately recovers unresumed — then the drill
+      // begins from scratch (identical tokens either way: deterministic).
+      recover::RecoveryManager manager({dir});
+      recover::RecoveredSession session = manager.recover(&config);
+      runtime::Generator& gen = *session.generator;
+      if (!session.resumed) gen.begin(prompts, gen_len);
+      while (!gen.done()) {
+        gen.step();
+        manager.note_step(gen);
+      }
+      const auto tokens = gen.finish().tokens;
+      const bool identical = tokens == reference;
+      std::printf("site %-24s op %d: killed, recovered at epoch %llu "
+                  "(%s, %llu orphan block(s)) -> tokens %s\n",
+                  site.c_str(), at,
+                  static_cast<unsigned long long>(session.epoch),
+                  session.resumed ? "resumed" : "fresh start",
+                  static_cast<unsigned long long>(session.orphan_blocks),
+                  identical ? "identical" : "DIVERGED");
+      if (identical) {
+        ++recovered_ok;
+      } else {
+        ++failures;
+      }
+    }
+  }
+  std::printf("chaos profile 'crash' (seed %llu): %d kill(s), %d recovered "
+              "byte-identically, %d failure(s)\n",
+              static_cast<unsigned long long>(seed), kills, recovered_ok,
+              failures);
+  if (kills == 0) {
+    std::printf("no crash site ever fired — drill is vacuous\n");
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int cmd_chaos(const Args& args) {
   // Run real generation under a named fault profile and report how the
   // recovery machinery absorbed it. The robustness contract: faults perturb
@@ -1209,6 +1374,7 @@ int cmd_chaos(const Args& args) {
   if (profile == "diskfault") return cmd_chaos_diskfault(args);
   if (profile == "overload") return cmd_chaos_overload(args);
   if (profile == "adaptive") return cmd_chaos_adaptive(args);
+  if (profile == "crash") return cmd_chaos_crash(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
   const std::int64_t gen_len = args.get_int("len", 12);
 
@@ -1261,7 +1427,8 @@ int cmd_chaos(const Args& args) {
                  "kill-resume [--rate P] [--kv dense|paged|window], "
                  "shared-prefix [--rate P] [--kv-block-tokens N], "
                  "overload [--burst-rate R] [--kv-pool-kb N], "
-                 "adaptive [--windows N]\n",
+                 "adaptive [--windows N], "
+                 "crash [--ops N] [--dir D]\n",
                  profile.c_str());
     return 2;
   }
@@ -1535,6 +1702,7 @@ int main(int argc, char** argv) {
     if (args.command == "chaos") return cmd_chaos(args);
     if (args.command == "checkpoint") return cmd_checkpoint(args);
     if (args.command == "resume") return cmd_resume(args);
+    if (args.command == "recover") return cmd_recover(args);
     if (args.command == "trace") return cmd_trace(args);
     return usage();
   } catch (const std::exception& e) {

@@ -181,6 +181,60 @@ TEST(CkptEnvelope, WrongPayloadKindIsMismatch) {
                CheckpointMismatch);
 }
 
+TEST(CkptEnvelope, TornTmpFileNeverShadowsPublishedCheckpoint) {
+  // Atomic publish: writes land in <path>.tmp and only a completed rename
+  // makes them visible. A crash mid-write leaves a torn tmp file behind —
+  // the previously published checkpoint must still restore bit-exactly.
+  TempFile file("ckpt_test_atomic.bin");
+  std::vector<std::byte> published(48, std::byte{0x11});
+  ckpt::write_checkpoint_file(file.path, ckpt::PayloadKind::kGeneratorState,
+                              published);
+  // The next writer died mid-tmp: plant a truncated garbage tmp file.
+  write_file(file.path + ".tmp", std::vector<char>{'t', 'o', 'r', 'n'});
+  const auto loaded = ckpt::read_checkpoint_file(
+      file.path, ckpt::PayloadKind::kGeneratorState);
+  EXPECT_EQ(loaded, published);
+}
+
+TEST(CkptEnvelope, CrashPointsStraddleThePublishRename) {
+  // ckpt.publish is checked twice: before the tmp write and after fsync,
+  // immediately before the rename. A crash at either point must leave the
+  // previous checkpoint restorable (the first leaves no tmp bytes at all,
+  // the second a complete-but-unpublished tmp).
+  struct Fired : std::runtime_error {
+    using std::runtime_error::runtime_error;
+  };
+  TempFile file("ckpt_test_publish.bin");
+  const std::vector<std::byte> old_payload(32, std::byte{0x22});
+  const std::vector<std::byte> new_payload(32, std::byte{0x33});
+  ckpt::write_checkpoint_file(file.path, ckpt::PayloadKind::kGeneratorState,
+                              old_payload);
+  for (const std::int64_t at : {0, 1}) {
+    util::ScopedFaultInjection chaos(7);
+    util::FaultSpec spec;
+    spec.crash_at_op = at;
+    chaos.arm(ckpt::kPublishSite, spec);
+    chaos.set_crash_handler(
+        [](const std::string& site) { throw Fired(site); });
+    EXPECT_THROW(ckpt::write_checkpoint_file(
+                     file.path, ckpt::PayloadKind::kGeneratorState,
+                     new_payload),
+                 Fired)
+        << "publish crash point " << at << " never fired";
+    EXPECT_EQ(ckpt::read_checkpoint_file(file.path,
+                                         ckpt::PayloadKind::kGeneratorState),
+              old_payload)
+        << "crash at publish check " << at
+        << " corrupted the published checkpoint";
+  }
+  // With no crash armed the publish completes and the new payload wins.
+  ckpt::write_checkpoint_file(file.path, ckpt::PayloadKind::kGeneratorState,
+                              new_payload);
+  EXPECT_EQ(ckpt::read_checkpoint_file(file.path,
+                                       ckpt::PayloadKind::kGeneratorState),
+            new_payload);
+}
+
 // -------------------------------------------------------- tensor codec --
 
 TEST(CkptTensorCodec, DenseTensorRoundTripsBitExactly) {

@@ -244,6 +244,86 @@ TEST(ServeSim, ValidatesRobustnessConfig) {
   EXPECT_THROW(config.validate(), CheckError);
   config.fault_windows = {FaultWindow{0.0, 5.0, 0.5}};
   EXPECT_NO_THROW(config.validate());
+
+  config = ServeConfig{};
+  config.crashes.push_back(CrashEvent{-1.0});  // negative crash time
+  EXPECT_THROW(config.validate(), CheckError);
+  config.crashes = {CrashEvent{5.0}};
+  config.recover_disk_gbps = 0.0;  // scheduled crash needs a replay rate
+  EXPECT_THROW(config.validate(), CheckError);
+  config.recover_disk_gbps = 2.0;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ServeSim, CrashRollsBackAndChargesRecoveryStall) {
+  // An engine-wide crash mid-run: every active request rolls back to its
+  // last checkpoint-interval boundary and re-decodes, the clock pays the
+  // WAL-replay/restore stall, and every request still completes.
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(), 30, 5);
+  const auto platform = hw::Platform::a100_single();
+  ServeConfig clean;
+  clean.max_batch = 8;
+  clean.batching = Batching::kContinuous;
+  const auto m_clean = simulate_serving(spec, serving_policy(), platform,
+                                        requests, clean);
+
+  ServeConfig config = clean;
+  config.ckpt_interval_tokens = 16;
+  config.crashes = {CrashEvent{m_clean.duration * 0.5}};
+  config.recover_disk_gbps = 2.0;
+  config.recover_spill_bytes = 8'000'000'000;  // 8 GB at 2 GB/s -> 4 s stall
+  const auto metrics = simulate_serving(spec, serving_policy(), platform,
+                                        requests, config);
+  EXPECT_EQ(metrics.crashes, 1u);
+  EXPECT_DOUBLE_EQ(metrics.crash_recovery_seconds, 4.0);
+  EXPECT_GT(metrics.crash_rollback_tokens, 0u);
+  EXPECT_EQ(metrics.completed, 30u);
+  // Re-decoding plus the stall can only lengthen the run.
+  EXPECT_GT(metrics.duration, m_clean.duration);
+
+  // A crash after the run drains touches nothing but the counter.
+  ServeConfig late = clean;
+  late.crashes = {CrashEvent{m_clean.duration + 100.0}};
+  late.recover_spill_bytes = 1 << 20;
+  const auto m_late = simulate_serving(spec, serving_policy(), platform,
+                                       requests, late);
+  EXPECT_EQ(m_late.crash_rollback_tokens, 0u);
+  EXPECT_EQ(m_late.completed, 30u);
+}
+
+TEST(ServeSim, CrashMetricsFlowThroughRegistry) {
+  const auto spec = model::ModelSpec::opt_13b();
+  const auto requests = generate_requests(quick_profile(), 20, 7);
+  ServeConfig config;
+  config.max_batch = 8;
+  config.batching = Batching::kContinuous;
+  config.crashes = {CrashEvent{2.0}, CrashEvent{4.0}};
+  config.recover_disk_gbps = 1.0;
+  config.recover_spill_bytes = 1'000'000'000;  // 1 s per recovery
+  telemetry::MetricsRegistry registry;
+  telemetry::TraceRecorder trace;
+  trace.enable();
+  const auto metrics =
+      simulate_serving(spec, serving_policy(), hw::Platform::a100_single(),
+                       requests, config, &registry, &trace);
+  trace.disable();
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("serve.crash.total"), metrics.crashes);
+  EXPECT_EQ(snap.counter("serve.crash.rollback.tokens"),
+            metrics.crash_rollback_tokens);
+  EXPECT_DOUBLE_EQ(snap.gauge("serve.crash.recovery_seconds"),
+                   metrics.crash_recovery_seconds);
+  EXPECT_EQ(metrics.crashes, 2u);
+  EXPECT_DOUBLE_EQ(metrics.crash_recovery_seconds, 2.0);
+
+  // Each recovery stall is marked on the trace.
+  std::size_t crash_spans = 0;
+  for (const auto& ev : trace.events()) {
+    if (ev.name == "crash_recover") ++crash_spans;
+  }
+  EXPECT_EQ(crash_spans, metrics.crashes);
 }
 
 // ------------------------------------------------------- fault windows ---
